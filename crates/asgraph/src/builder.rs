@@ -1,0 +1,382 @@
+//! Construction and validation of [`AsGraph`]s.
+
+use crate::error::GraphError;
+use crate::graph::AsGraph;
+use crate::ids::{AsClass, AsId, Relationship};
+use std::collections::{HashMap, HashSet};
+
+/// Builder (and validator) for [`AsGraph`].
+///
+/// Nodes are declared with [`add_node`](Self::add_node) (carrying an AS
+/// number label), edges with
+/// [`add_provider_customer`](Self::add_provider_customer) /
+/// [`add_peer_peer`](Self::add_peer_peer), and content providers are
+/// designated with [`mark_content_provider`](Self::mark_content_provider).
+///
+/// [`build`](Self::build) performs the model's structural validation:
+///
+/// * every edge references declared nodes, no self-loops, at most one
+///   logical edge per node pair;
+/// * the customer–provider digraph is acyclic (Gao–Rexford GR1), which
+///   the routing model of Appendix A requires for BGP convergence
+///   (Lemma G.1);
+/// * classification: a node with no customers that is not a designated
+///   CP is a [`AsClass::Stub`]; every other non-CP node is an
+///   [`AsClass::Isp`].
+#[derive(Default, Debug)]
+pub struct AsGraphBuilder {
+    asns: Vec<u32>,
+    asn_index: HashMap<u32, AsId>,
+    /// (provider, customer) pairs.
+    cp_edges: Vec<(AsId, AsId)>,
+    /// unordered peer pairs.
+    peer_edges: Vec<(AsId, AsId)>,
+    edge_set: HashSet<(AsId, AsId)>,
+    cps: Vec<AsId>,
+}
+
+impl AsGraphBuilder {
+    /// Fresh, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder pre-sized for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            asns: Vec::with_capacity(nodes),
+            asn_index: HashMap::with_capacity(nodes),
+            cp_edges: Vec::with_capacity(edges),
+            peer_edges: Vec::with_capacity(edges / 4),
+            edge_set: HashSet::with_capacity(edges),
+            cps: Vec::new(),
+        }
+    }
+
+    /// Number of nodes declared so far.
+    pub fn len(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// Whether no nodes have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.asns.is_empty()
+    }
+
+    /// Declare a node carrying AS-number label `asn`; returns its dense id.
+    ///
+    /// Declaring the same AS number twice is reported at
+    /// [`build`](Self::build) time as [`GraphError::DuplicateAsn`].
+    pub fn add_node(&mut self, asn: u32) -> AsId {
+        let id = AsId(self.asns.len() as u32);
+        self.asns.push(asn);
+        self.asn_index.entry(asn).or_insert(id);
+        id
+    }
+
+    /// Declare `count` nodes with consecutive AS numbers starting at
+    /// `first_asn`; returns the id of the first.
+    pub fn add_nodes(&mut self, first_asn: u32, count: usize) -> AsId {
+        let first = AsId(self.asns.len() as u32);
+        for k in 0..count {
+            self.add_node(first_asn + k as u32);
+        }
+        first
+    }
+
+    /// Look up a previously declared node by AS number.
+    pub fn node_by_asn(&self, asn: u32) -> Option<AsId> {
+        self.asn_index.get(&asn).copied()
+    }
+
+    /// Add a customer–provider edge: `provider` sells transit to
+    /// `customer`.
+    pub fn add_provider_customer(
+        &mut self,
+        provider: AsId,
+        customer: AsId,
+    ) -> Result<(), GraphError> {
+        self.check_edge(provider, customer)?;
+        self.cp_edges.push((provider, customer));
+        Ok(())
+    }
+
+    /// Add a settlement-free peer–peer edge.
+    pub fn add_peer_peer(&mut self, a: AsId, b: AsId) -> Result<(), GraphError> {
+        self.check_edge(a, b)?;
+        self.peer_edges.push((a, b));
+        Ok(())
+    }
+
+    /// Designate a node as one of the model's content providers.
+    pub fn mark_content_provider(&mut self, n: AsId) {
+        if !self.cps.contains(&n) {
+            self.cps.push(n);
+        }
+    }
+
+    fn check_edge(&mut self, a: AsId, b: AsId) -> Result<(), GraphError> {
+        let n = self.asns.len() as u32;
+        if a.0 >= n {
+            return Err(GraphError::UnknownNode(a));
+        }
+        if b.0 >= n {
+            return Err(GraphError::UnknownNode(b));
+        }
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if !self.edge_set.insert(key) {
+            return Err(GraphError::DuplicateEdge(a, b));
+        }
+        Ok(())
+    }
+
+    /// Validate and freeze into an immutable [`AsGraph`].
+    pub fn build(self) -> Result<AsGraph, GraphError> {
+        let n = self.asns.len();
+
+        // Duplicate AS numbers.
+        if self.asn_index.len() != n {
+            let mut seen = HashSet::with_capacity(n);
+            for &asn in &self.asns {
+                if !seen.insert(asn) {
+                    return Err(GraphError::DuplicateAsn(asn));
+                }
+            }
+        }
+
+        // GR1: the provider→customer digraph must be acyclic.
+        check_acyclic(n, &self.cp_edges)?;
+
+        // Bucket neighbors by relationship.
+        let mut customers: Vec<Vec<AsId>> = vec![Vec::new(); n];
+        let mut peers: Vec<Vec<AsId>> = vec![Vec::new(); n];
+        let mut providers: Vec<Vec<AsId>> = vec![Vec::new(); n];
+        for &(p, c) in &self.cp_edges {
+            customers[p.index()].push(c);
+            providers[c.index()].push(p);
+        }
+        for &(a, b) in &self.peer_edges {
+            peers[a.index()].push(b);
+            peers[b.index()].push(a);
+        }
+
+        // Classify.
+        let cp_set: HashSet<AsId> = self.cps.iter().copied().collect();
+        let class: Vec<AsClass> = (0..n)
+            .map(|i| {
+                if cp_set.contains(&AsId(i as u32)) {
+                    AsClass::ContentProvider
+                } else if customers[i].is_empty() {
+                    AsClass::Stub
+                } else {
+                    AsClass::Isp
+                }
+            })
+            .collect();
+
+        // Freeze to CSR with groups sorted by id.
+        let total: usize = self.cp_edges.len() * 2 + self.peer_edges.len() * 2;
+        let mut adj = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut peer_start = Vec::with_capacity(n);
+        let mut prov_start = Vec::with_capacity(n);
+        for i in 0..n {
+            offsets.push(adj.len() as u32);
+            customers[i].sort_unstable();
+            peers[i].sort_unstable();
+            providers[i].sort_unstable();
+            adj.extend_from_slice(&customers[i]);
+            peer_start.push(adj.len() as u32);
+            adj.extend_from_slice(&peers[i]);
+            prov_start.push(adj.len() as u32);
+            adj.extend_from_slice(&providers[i]);
+        }
+        offsets.push(adj.len() as u32);
+
+        Ok(AsGraph {
+            asns: self.asns,
+            class,
+            adj,
+            offsets,
+            peer_start,
+            prov_start,
+            asn_index: self.asn_index,
+            content_providers: self.cps,
+        })
+    }
+}
+
+/// Kahn's algorithm over the provider→customer digraph; any remaining
+/// node after peeling indicates a customer–provider cycle.
+fn check_acyclic(n: usize, cp_edges: &[(AsId, AsId)]) -> Result<(), GraphError> {
+    let mut indeg = vec![0u32; n]; // number of providers
+    let mut out: Vec<Vec<AsId>> = vec![Vec::new(); n];
+    for &(p, c) in cp_edges {
+        indeg[c.index()] += 1;
+        out[p.index()].push(c);
+    }
+    let mut queue: Vec<AsId> = (0..n as u32)
+        .map(AsId)
+        .filter(|v| indeg[v.index()] == 0)
+        .collect();
+    let mut seen = 0usize;
+    while let Some(v) = queue.pop() {
+        seen += 1;
+        for &c in &out[v.index()] {
+            indeg[c.index()] -= 1;
+            if indeg[c.index()] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    if seen != n {
+        let culprit = (0..n as u32)
+            .map(AsId)
+            .find(|v| indeg[v.index()] > 0)
+            .expect("cycle implies a node with positive in-degree");
+        return Err(GraphError::CustomerProviderCycle(culprit));
+    }
+    Ok(())
+}
+
+/// Rebuild a graph from an existing one plus extra peer edges, keeping
+/// node ids, AS numbers, and CP designations stable.
+///
+/// Used by the Appendix D augmentation; edges that already exist are
+/// skipped silently (the augmentation draws random IXP members and
+/// collisions are expected).
+pub(crate) fn rebuild_with_extra_peers(
+    g: &AsGraph,
+    extra_peers: &[(AsId, AsId)],
+) -> Result<AsGraph, GraphError> {
+    let mut b = AsGraphBuilder::with_capacity(g.len(), g.num_edges() + extra_peers.len());
+    for i in 0..g.len() {
+        b.add_node(g.asns[i]);
+    }
+    for (a, bb, rel) in g.edges() {
+        match rel {
+            Relationship::Customer => b.add_provider_customer(a, bb)?,
+            Relationship::Peer => b.add_peer_peer(a, bb)?,
+            Relationship::Provider => unreachable!("edges() never emits provider orientation"),
+        }
+    }
+    for &(a, c) in extra_peers {
+        // Ignore duplicates: drawing an existing neighbor is not an error here.
+        let _ = b.add_peer_peer(a, c);
+    }
+    for &cp in g.content_providers() {
+        b.mark_content_provider(cp);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = AsGraphBuilder::new();
+        let a = b.add_node(1);
+        assert_eq!(b.add_peer_peer(a, a), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut b = AsGraphBuilder::new();
+        let a = b.add_node(1);
+        let ghost = AsId(9);
+        assert_eq!(
+            b.add_provider_customer(a, ghost),
+            Err(GraphError::UnknownNode(ghost))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_even_across_kinds() {
+        let mut b = AsGraphBuilder::new();
+        let a = b.add_node(1);
+        let c = b.add_node(2);
+        b.add_provider_customer(a, c).unwrap();
+        assert_eq!(b.add_peer_peer(c, a), Err(GraphError::DuplicateEdge(c, a)));
+    }
+
+    #[test]
+    fn rejects_customer_provider_cycle() {
+        let mut b = AsGraphBuilder::new();
+        let a = b.add_node(1);
+        let c = b.add_node(2);
+        let d = b.add_node(3);
+        b.add_provider_customer(a, c).unwrap();
+        b.add_provider_customer(c, d).unwrap();
+        b.add_provider_customer(d, a).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::CustomerProviderCycle(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_asn() {
+        let mut b = AsGraphBuilder::new();
+        b.add_node(7);
+        b.add_node(7);
+        assert_eq!(b.build().unwrap_err(), GraphError::DuplicateAsn(7));
+    }
+
+    #[test]
+    fn peer_only_graph_is_fine() {
+        let mut b = AsGraphBuilder::new();
+        let a = b.add_node(1);
+        let c = b.add_node(2);
+        b.add_peer_peer(a, c).unwrap();
+        let g = b.build().unwrap();
+        // Both are stubs: neither has customers.
+        assert_eq!(g.stubs().count(), 2);
+    }
+
+    #[test]
+    fn cp_designation_overrides_stub() {
+        let mut b = AsGraphBuilder::new();
+        let p = b.add_node(1);
+        let cp = b.add_node(2);
+        b.add_provider_customer(p, cp).unwrap();
+        b.mark_content_provider(cp);
+        let g = b.build().unwrap();
+        assert_eq!(g.class(cp), crate::AsClass::ContentProvider);
+        assert_eq!(g.content_providers(), &[cp]);
+    }
+
+    #[test]
+    fn add_nodes_bulk() {
+        let mut b = AsGraphBuilder::new();
+        let first = b.add_nodes(100, 5);
+        assert_eq!(first, AsId(0));
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.node_by_asn(104), Some(AsId(4)));
+    }
+
+    #[test]
+    fn rebuild_with_extra_peers_keeps_structure() {
+        let mut b = AsGraphBuilder::new();
+        let p = b.add_node(1);
+        let c1 = b.add_node(2);
+        let c2 = b.add_node(3);
+        b.add_provider_customer(p, c1).unwrap();
+        b.add_provider_customer(p, c2).unwrap();
+        let g = b.build().unwrap();
+        let g2 = rebuild_with_extra_peers(&g, &[(c1, c2)]).unwrap();
+        assert_eq!(g2.num_edges(), 3);
+        assert_eq!(
+            g2.relationship(c1, c2),
+            Some(crate::Relationship::Peer)
+        );
+        assert_eq!(g2.asn(c1), 2);
+        // Duplicate extra edge is ignored.
+        let g3 = rebuild_with_extra_peers(&g2, &[(c1, c2)]).unwrap();
+        assert_eq!(g3.num_edges(), 3);
+    }
+}

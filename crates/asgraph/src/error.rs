@@ -1,0 +1,57 @@
+//! Error type shared by graph construction and I/O.
+
+use crate::ids::AsId;
+use std::fmt;
+
+/// Errors produced while building, validating, or parsing an AS graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a node index that was never declared.
+    UnknownNode(AsId),
+    /// An edge connects a node to itself.
+    SelfLoop(AsId),
+    /// The same pair of nodes was connected twice (with any
+    /// relationship); the model has at most one logical edge per pair.
+    DuplicateEdge(AsId, AsId),
+    /// The customer–provider digraph contains a cycle, violating the
+    /// Gao–Rexford GR1 condition the whole routing model rests on.
+    CustomerProviderCycle(AsId),
+    /// Two nodes were declared with the same AS number label.
+    DuplicateAsn(u32),
+    /// A parse error from the serial-2 style text reader.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure while reading or writing a graph file.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "edge references unknown node {n}"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n}"),
+            GraphError::DuplicateEdge(a, b) => {
+                write!(f, "duplicate edge between nodes {a} and {b}")
+            }
+            GraphError::CustomerProviderCycle(n) => write!(
+                f,
+                "customer-provider cycle through node {n} (violates GR1)"
+            ),
+            GraphError::DuplicateAsn(asn) => write!(f, "duplicate AS number {asn}"),
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,506 @@
+//! Seeded synthetic Internet-like topology generator.
+//!
+//! This is the repo's substitute for the paper's empirical Cyclops +
+//! IXP AS graph (Dec 9 2010; 36,964 ASes), which is proprietary
+//! measurement data. The generator is built to land in the structural
+//! regimes the paper's results depend on and states explicitly:
+//!
+//! * ≈85% of ASes are stubs, ≈15% ISPs (Section 2.2.1);
+//! * extreme degree skew: a small Tier-1 clique at the top, a transit
+//!   hierarchy below it, preferential attachment of stubs;
+//! * widespread but far-from-universal stub multihoming, which creates
+//!   the small tiebreak sets (mean ≈ 1.2) of Figure 10;
+//! * five designated content providers with moderate transit degree
+//!   (their rich peering is added separately by [`crate::augment`],
+//!   mirroring Appendix D);
+//! * an IXP substrate: a subset of ASes are IXP members, giving the
+//!   peering mesh and the augmentation its attachment points.
+//!
+//! Generation is fully deterministic given [`GenParams::seed`].
+
+use crate::builder::AsGraphBuilder;
+use crate::graph::AsGraph;
+use crate::ids::AsId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Parameters for [`generate`]. Start from [`GenParams::new`] and
+/// override fields as needed; all fields have paper-shaped defaults.
+#[derive(Clone, Debug)]
+pub struct GenParams {
+    /// Total number of ASes (minimum 50).
+    pub n_ases: usize,
+    /// Size of the Tier-1 clique. `0` selects `clamp(n/500, 5, 12)`.
+    pub n_tier1: usize,
+    /// Number of designated content providers (the paper uses 5).
+    pub n_cps: usize,
+    /// Fraction of ASes that are stubs (paper: ≈0.85).
+    pub stub_fraction: f64,
+    /// Probability a stub is multi-homed (≥2 providers); a third
+    /// provider is added with 0.3× this probability.
+    pub stub_multihoming: f64,
+    /// Fraction of non-Tier-1 ISPs in the mid tier (direct Tier-1
+    /// customers).
+    pub mid_tier_fraction: f64,
+    /// Expected number of peer links each mid-tier ISP initiates.
+    pub mid_tier_peering: usize,
+    /// Number of IXP clusters.
+    pub ixp_count: usize,
+    /// Fraction of all ASes that are IXP members.
+    pub ixp_member_fraction: f64,
+    /// Expected number of IXP peer links each member ISP initiates
+    /// inside its cluster.
+    pub ixp_peering: usize,
+    /// RNG seed; generation is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl GenParams {
+    /// Paper-shaped defaults for an `n_ases`-node topology.
+    pub fn new(n_ases: usize, seed: u64) -> Self {
+        GenParams {
+            n_ases,
+            n_tier1: 0,
+            n_cps: 5,
+            stub_fraction: 0.85,
+            stub_multihoming: 0.45,
+            mid_tier_fraction: 0.25,
+            mid_tier_peering: 3,
+            ixp_count: 4,
+            ixp_member_fraction: 0.13,
+            ixp_peering: 2,
+            seed,
+        }
+    }
+
+    /// A ~200-node topology for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        GenParams::new(200, seed)
+    }
+
+    /// A ~1,000-node topology for integration tests and benches.
+    pub fn small(seed: u64) -> Self {
+        GenParams::new(1_000, seed)
+    }
+
+    fn tier1_count(&self) -> usize {
+        if self.n_tier1 > 0 {
+            self.n_tier1
+        } else {
+            (self.n_ases / 500).clamp(5, 12)
+        }
+    }
+}
+
+/// Output of [`generate`]: the topology plus the IXP membership list
+/// that [`crate::augment::augment_cp_peering`] attaches to.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// The validated topology.
+    pub graph: AsGraph,
+    /// ASes present at IXPs (mix of ISPs and stubs).
+    pub ixp_members: Vec<AsId>,
+}
+
+/// Edge accumulator that silently deduplicates; the generator's random
+/// draws may propose the same pair twice.
+struct EdgeAcc {
+    set: HashSet<(AsId, AsId)>,
+    cp: Vec<(AsId, AsId)>,
+    peer: Vec<(AsId, AsId)>,
+}
+
+impl EdgeAcc {
+    fn new() -> Self {
+        EdgeAcc {
+            set: HashSet::new(),
+            cp: Vec::new(),
+            peer: Vec::new(),
+        }
+    }
+
+    fn key(a: AsId, b: AsId) -> (AsId, AsId) {
+        if a < b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    fn add_pc(&mut self, provider: AsId, customer: AsId) -> bool {
+        if provider == customer || !self.set.insert(Self::key(provider, customer)) {
+            return false;
+        }
+        self.cp.push((provider, customer));
+        true
+    }
+
+    fn add_peer(&mut self, a: AsId, b: AsId) -> bool {
+        if a == b || !self.set.insert(Self::key(a, b)) {
+            return false;
+        }
+        self.peer.push((a, b));
+        true
+    }
+}
+
+/// Generate a synthetic AS-level topology.
+///
+/// # Panics
+/// Panics if `n_ases < 50` or the tier sizes don't fit.
+pub fn generate(params: &GenParams) -> Generated {
+    assert!(params.n_ases >= 50, "need at least 50 ASes");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let n = params.n_ases;
+    let n_t1 = params.tier1_count();
+    let n_cps = params.n_cps;
+    let n_stubs = ((n as f64) * params.stub_fraction).round() as usize;
+    let n_isps_total = n - n_stubs - n_cps;
+    assert!(
+        n_isps_total > n_t1 + 2,
+        "tier sizes don't fit: {n} ASes, {n_t1} tier1, {n_cps} CPs, {n_stubs} stubs"
+    );
+    let n_mid = (((n_isps_total - n_t1) as f64) * params.mid_tier_fraction).round() as usize;
+    let n_low = n_isps_total - n_t1 - n_mid;
+
+    // Node index layout: [tier1][mid][low][cps][stubs].
+    let t1_range = 0..n_t1;
+    let mid_range = n_t1..n_t1 + n_mid;
+    let low_range = n_t1 + n_mid..n_t1 + n_mid + n_low;
+    let cp_range = n_isps_total..n_isps_total + n_cps;
+    let stub_range = n_isps_total + n_cps..n;
+
+    let ids: Vec<AsId> = (0..n as u32).map(AsId).collect();
+    let mut acc = EdgeAcc::new();
+
+    // Tier-1 full peering clique.
+    for i in t1_range.clone() {
+        for j in i + 1..n_t1 {
+            acc.add_peer(ids[i], ids[j]);
+        }
+    }
+
+    // Mid tier: 2–3 Tier-1 providers each, plus a few lateral peers.
+    for i in mid_range.clone() {
+        let n_prov = 2 + usize::from(rng.gen_bool(0.4));
+        let mut provs: Vec<usize> = t1_range.clone().collect();
+        provs.shuffle(&mut rng);
+        for &p in provs.iter().take(n_prov.min(n_t1)) {
+            acc.add_pc(ids[p], ids[i]);
+        }
+    }
+    for i in mid_range.clone() {
+        for _ in 0..params.mid_tier_peering {
+            let j = rng.gen_range(mid_range.clone());
+            if j != i {
+                acc.add_peer(ids[i], ids[j]);
+            }
+        }
+    }
+
+    // Zipf rank-weighted sampler over a contiguous index range:
+    // candidate at rank r is drawn ∝ (r+1)^-α. Deterministic
+    // attractiveness by rank keeps the degree skew controllable.
+    let zipf_cum = |range: std::ops::Range<usize>, alpha: f64| -> Vec<f64> {
+        let mut cum = Vec::with_capacity(range.len());
+        let mut running = 0.0f64;
+        for (r, _) in range.enumerate() {
+            running += ((r + 1) as f64).powf(-alpha);
+            cum.push(running);
+        }
+        cum
+    };
+    let sample_zipf = |rng: &mut StdRng, base: usize, cum: &[f64]| -> AsId {
+        let total = *cum.last().expect("non-empty sampler");
+        let x = rng.gen_range(0.0..total);
+        let k = cum.partition_point(|&c| c < x);
+        AsId((base + k.min(cum.len() - 1)) as u32)
+    };
+    let mid_cum = zipf_cum(mid_range.clone(), 0.8);
+    let low_cum = zipf_cum(low_range.clone(), 0.8);
+    let t1_cum = zipf_cum(t1_range.clone(), 0.5);
+
+    // Low-tier ISPs: 1–3 *mid-tier* providers, Zipf-weighted. Keeping
+    // providers within one tier gives multihomed customers equal-length
+    // alternative paths — the tiebreak sets where all of the paper's
+    // competition happens (Section 6.6).
+    for i in low_range.clone() {
+        let n_prov = 1 + usize::from(rng.gen_bool(0.6)) + usize::from(rng.gen_bool(0.15));
+        let mut chosen: Vec<AsId> = Vec::with_capacity(n_prov);
+        let mut guard = 0;
+        while chosen.len() < n_prov && guard < 64 {
+            guard += 1;
+            let cand = sample_zipf(&mut rng, mid_range.start, &mid_cum);
+            if !chosen.contains(&cand) {
+                chosen.push(cand);
+            }
+        }
+        for p in chosen {
+            acc.add_pc(p, ids[i]);
+        }
+    }
+
+    // CPs: a couple of Tier-1 transit providers plus one mid-tier and
+    // one low-tier provider (CPs buy transit broadly), and a handful
+    // of mid-tier peers (rich IXP peering comes from `augment`, per
+    // Appendix D). The low-tier provider matters beyond realism: a
+    // heavy source reachable through an ISP's *customer* cone is what
+    // creates the Figure 13 turn-off incentives (Section 7.3) — the
+    // secure path enters the ISP via its provider, the plain-tiebreak
+    // alternative climbs in through a customer.
+    for i in cp_range.clone() {
+        let mut t1s: Vec<usize> = t1_range.clone().collect();
+        t1s.shuffle(&mut rng);
+        for &p in t1s.iter().take(2) {
+            acc.add_pc(ids[p], ids[i]);
+        }
+        if n_mid > 0 {
+            let m = rng.gen_range(mid_range.clone());
+            acc.add_pc(ids[m], ids[i]);
+            for _ in 0..3 {
+                let q = rng.gen_range(mid_range.clone());
+                acc.add_peer(ids[i], ids[q]);
+            }
+        }
+        let l = sample_zipf(&mut rng, low_range.start, &low_cum);
+        acc.add_pc(l, ids[i]);
+    }
+
+    // Stubs attach tier-stratified: pick a provider *tier* first, then
+    // Zipf-sample providers within that tier, and draw any extra
+    // (multihoming) providers from the SAME tier. Same-tier providers
+    // sit at the same depth in the hierarchy, so a multihomed stub's
+    // alternative paths have equal length — producing the multi-path
+    // tiebreak sets (≈20% of pairs, Figure 10) through which secure
+    // early adopters exert market pressure. Zipf weighting inside each
+    // tier reproduces the skew where most ISPs have very few stub
+    // customers (Section 2.2.1) while the head accumulates hundreds.
+    //
+    // Guarantee every low-tier ISP one (single-homed) stub customer
+    // first, so it keeps its ISP classification; this also seeds the
+    // paper's population of ISPs that never face competition — and so
+    // never deploy — because they serve only single-homed stubs
+    // (Section 5.3).
+    let mut stub_iter = stub_range.clone();
+    for low in low_range.clone() {
+        if let Some(s) = stub_iter.next() {
+            acc.add_pc(ids[low], ids[s]);
+        }
+    }
+    for i in stub_iter {
+        let n_prov = 1
+            + usize::from(rng.gen_bool(params.stub_multihoming))
+            + usize::from(rng.gen_bool(params.stub_multihoming * 0.3));
+        // A slice of multihomed stubs buys transit across tiers (one
+        // mid + one low provider). Their two paths differ in length
+        // for most sources, so they add little tiebreak competition —
+        // but they create the valley-free "up through a customer"
+        // detours behind Figure 13's turn-off incentives.
+        if n_prov >= 2 && n_mid > 0 && rng.gen_bool(0.15) {
+            let m = sample_zipf(&mut rng, mid_range.start, &mid_cum);
+            let l = sample_zipf(&mut rng, low_range.start, &low_cum);
+            if m != l {
+                acc.add_pc(m, ids[i]);
+                acc.add_pc(l, ids[i]);
+                continue;
+            }
+        }
+        let tier: f64 = rng.gen_range(0.0..1.0);
+        let (base, cum) = if tier < 0.12 {
+            (t1_range.start, &t1_cum)
+        } else if tier < 0.50 {
+            (mid_range.start, &mid_cum)
+        } else {
+            (low_range.start, &low_cum)
+        };
+        let mut chosen: Vec<AsId> = Vec::with_capacity(n_prov);
+        let mut guard = 0;
+        while chosen.len() < n_prov.min(cum.len()) && guard < 64 {
+            guard += 1;
+            let cand = sample_zipf(&mut rng, base, cum);
+            if !chosen.contains(&cand) {
+                chosen.push(cand);
+            }
+        }
+        for p in chosen {
+            acc.add_pc(p, ids[i]);
+        }
+    }
+
+    // IXP membership and intra-IXP peering among member ISPs. IXP
+    // membership skews heavily toward transit networks in practice, so
+    // every mid- and low-tier ISP is a member and random stubs fill
+    // the remainder of the membership quota. This matters for the
+    // Appendix D augmentation: CPs peering with (mostly) ISPs is what
+    // pulls their mean path lengths toward ≈2 hops (Table 3).
+    let n_members = ((n as f64) * params.ixp_member_fraction).round() as usize;
+    let mut ixp_members: Vec<AsId> = mid_range
+        .clone()
+        .chain(low_range.clone())
+        .map(|i| ids[i])
+        .collect();
+    let mut stub_candidates: Vec<AsId> = stub_range.clone().map(|i| ids[i]).collect();
+    stub_candidates.shuffle(&mut rng);
+    for &s in stub_candidates
+        .iter()
+        .take(n_members.saturating_sub(ixp_members.len()))
+    {
+        ixp_members.push(s);
+    }
+    let n_clusters = params.ixp_count.max(1);
+    let mut clusters: Vec<Vec<AsId>> = vec![Vec::new(); n_clusters];
+    for &m in &ixp_members {
+        clusters[rng.gen_range(0..n_clusters)].push(m);
+    }
+    let isp_upper = n_isps_total; // indices below this are ISPs
+    for cluster in &clusters {
+        let isps: Vec<AsId> = cluster
+            .iter()
+            .copied()
+            .filter(|m| (m.index()) < isp_upper)
+            .collect();
+        if isps.len() < 2 {
+            continue;
+        }
+        for &a in &isps {
+            for _ in 0..params.ixp_peering {
+                let b = isps[rng.gen_range(0..isps.len())];
+                acc.add_peer(a, b);
+            }
+        }
+    }
+
+    // Freeze. Providers always have lower index than customers by
+    // construction, so GR1 validation cannot fail; edge dedup already
+    // happened in the accumulator.
+    let mut b = AsGraphBuilder::with_capacity(n, acc.cp.len() + acc.peer.len());
+    for i in 0..n {
+        // AS numbers offset so they are visibly distinct from indices.
+        b.add_node(10_000 + i as u32);
+    }
+    for &(p, c) in &acc.cp {
+        b.add_provider_customer(p, c)
+            .expect("accumulator deduplicates");
+    }
+    for &(x, y) in &acc.peer {
+        b.add_peer_peer(x, y).expect("accumulator deduplicates");
+    }
+    for i in cp_range {
+        b.mark_content_provider(ids[i]);
+    }
+    let graph = b.build().expect("generator output must validate");
+
+    Generated { graph, ixp_members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&GenParams::tiny(7));
+        let b = generate(&GenParams::tiny(7));
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        let ea: Vec<_> = a.graph.edges().collect();
+        let eb: Vec<_> = b.graph.edges().collect();
+        assert_eq!(ea, eb);
+        assert_eq!(a.ixp_members, b.ixp_members);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenParams::tiny(1));
+        let b = generate(&GenParams::tiny(2));
+        let ea: Vec<_> = a.graph.edges().collect();
+        let eb: Vec<_> = b.graph.edges().collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn class_shares_match_paper_shape() {
+        let g = generate(&GenParams::small(42)).graph;
+        let s = stats::summarize(&g);
+        assert_eq!(s.ases, 1_000);
+        assert_eq!(s.cps, 5);
+        let stub_share = s.stubs as f64 / s.ases as f64;
+        assert!(
+            (0.80..=0.90).contains(&stub_share),
+            "stub share {stub_share}"
+        );
+    }
+
+    #[test]
+    fn stub_multihoming_in_range() {
+        let g = generate(&GenParams::small(42)).graph;
+        let mh = stats::multihomed_stub_fraction(&g);
+        assert!((0.35..=0.65).contains(&mh), "multihoming {mh}");
+    }
+
+    #[test]
+    fn degree_skew_present() {
+        let g = generate(&GenParams::small(42)).graph;
+        let top = stats::top_k_by_degree(&g, crate::AsClass::Isp, 1);
+        let dmax = g.degree(top[0]);
+        let mean = 2.0 * g.num_edges() as f64 / g.len() as f64;
+        assert!(
+            dmax as f64 > 10.0 * mean,
+            "no skew: max {dmax}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn most_isps_have_few_stub_customers() {
+        // Paper: 80% of ISPs have < 7 stub customers (on 36K ASes /
+        // 6K ISPs). Downscaled graphs carry more stubs per ISP (the
+        // stub:ISP ratio is fixed but the Zipf head is relatively
+        // fatter), so the expected majority share is lower here and
+        // approaches the paper's as n grows.
+        let g = generate(&GenParams::small(42)).graph;
+        let frac = stats::isp_fraction_with_at_most_stub_customers(&g, 6);
+        assert!(frac > 0.5, "fraction with ≤6 stub customers: {frac}");
+        let g4 = generate(&GenParams::new(4_000, 42)).graph;
+        let frac4 = stats::isp_fraction_with_at_most_stub_customers(&g4, 6);
+        assert!(frac4 > frac - 0.05, "skew should not worsen with scale: {frac4} vs {frac}");
+    }
+
+    #[test]
+    fn connected_to_tier1() {
+        // Every node must reach a Tier-1 via provider edges (no orphans).
+        let g = generate(&GenParams::tiny(3)).graph;
+        for node in g.nodes() {
+            let mut cur = node;
+            let mut hops = 0;
+            while !g.providers(cur).is_empty() {
+                cur = g.providers(cur)[0];
+                hops += 1;
+                assert!(hops < 20, "provider chain too long at {node}");
+            }
+            // Top of every provider chain is in the Tier-1 clique
+            // (index < tier1 count) or is itself a Tier-1.
+            assert!(
+                cur.index() < 12 || g.providers(node).is_empty(),
+                "chain from {node} tops out at non-tier1 {cur}"
+            );
+        }
+    }
+
+    #[test]
+    fn ixp_members_nonempty_and_valid() {
+        let gen = generate(&GenParams::small(9));
+        assert!(!gen.ixp_members.is_empty());
+        for &m in &gen.ixp_members {
+            assert!(m.index() < gen.graph.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 50")]
+    fn rejects_tiny_n() {
+        let _ = generate(&GenParams::new(10, 0));
+    }
+}

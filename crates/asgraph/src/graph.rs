@@ -1,0 +1,323 @@
+//! The immutable, validated AS-level graph.
+
+use crate::ids::{AsClass, AsId, Relationship};
+use std::collections::HashMap;
+
+/// An immutable AS-level topology annotated with business relationships.
+///
+/// Adjacency is stored in a compressed sparse row (CSR) layout with each
+/// node's neighbors grouped by relationship — `[customers][peers]
+/// [providers]` — and each group sorted by node id. The policy-aware
+/// BFS of the routing crate iterates exactly one of these groups per
+/// stage, so grouping avoids a per-neighbor branch in the innermost
+/// loop of the simulator.
+///
+/// Construct via [`AsGraphBuilder`](crate::AsGraphBuilder), which
+/// validates the topology (symmetric relationships, no duplicates, GR1
+/// acyclicity) before freezing it.
+#[derive(Clone, Debug)]
+pub struct AsGraph {
+    pub(crate) asns: Vec<u32>,
+    pub(crate) class: Vec<AsClass>,
+    pub(crate) adj: Vec<AsId>,
+    /// `offsets[n]..offsets[n+1]` spans node n's neighbors in `adj`.
+    pub(crate) offsets: Vec<u32>,
+    /// Index into `adj` where node n's peers begin.
+    pub(crate) peer_start: Vec<u32>,
+    /// Index into `adj` where node n's providers begin.
+    pub(crate) prov_start: Vec<u32>,
+    pub(crate) asn_index: HashMap<u32, AsId>,
+    pub(crate) content_providers: Vec<AsId>,
+}
+
+impl AsGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.asns.is_empty()
+    }
+
+    /// Total number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// All node ids, in index order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = AsId> + '_ {
+        (0..self.len() as u32).map(AsId)
+    }
+
+    /// The AS-number label of a node (distinct from its dense index).
+    #[inline]
+    pub fn asn(&self, n: AsId) -> u32 {
+        self.asns[n.index()]
+    }
+
+    /// Look up a node by its AS-number label.
+    pub fn node_by_asn(&self, asn: u32) -> Option<AsId> {
+        self.asn_index.get(&asn).copied()
+    }
+
+    /// The class (stub / ISP / content provider) of a node.
+    #[inline]
+    pub fn class(&self, n: AsId) -> AsClass {
+        self.class[n.index()]
+    }
+
+    /// Whether the node is a stub (no customers, not a CP).
+    #[inline]
+    pub fn is_stub(&self, n: AsId) -> bool {
+        self.class[n.index()] == AsClass::Stub
+    }
+
+    /// Whether the node is an ISP.
+    #[inline]
+    pub fn is_isp(&self, n: AsId) -> bool {
+        self.class[n.index()] == AsClass::Isp
+    }
+
+    /// The designated content providers, in declaration order.
+    pub fn content_providers(&self) -> &[AsId] {
+        &self.content_providers
+    }
+
+    /// Node ids of all ISPs.
+    pub fn isps(&self) -> impl Iterator<Item = AsId> + '_ {
+        self.nodes().filter(|&n| self.is_isp(n))
+    }
+
+    /// Node ids of all stubs.
+    pub fn stubs(&self) -> impl Iterator<Item = AsId> + '_ {
+        self.nodes().filter(|&n| self.is_stub(n))
+    }
+
+    /// The customers of `n` (neighbors that pay `n`), sorted by id.
+    #[inline]
+    pub fn customers(&self, n: AsId) -> &[AsId] {
+        let i = n.index();
+        &self.adj[self.offsets[i] as usize..self.peer_start[i] as usize]
+    }
+
+    /// The peers of `n`, sorted by id.
+    #[inline]
+    pub fn peers(&self, n: AsId) -> &[AsId] {
+        let i = n.index();
+        &self.adj[self.peer_start[i] as usize..self.prov_start[i] as usize]
+    }
+
+    /// The providers of `n` (neighbors `n` pays), sorted by id.
+    #[inline]
+    pub fn providers(&self, n: AsId) -> &[AsId] {
+        let i = n.index();
+        &self.adj[self.prov_start[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// All neighbors of `n`, grouped customers-then-peers-then-providers.
+    #[inline]
+    pub fn neighbors(&self, n: AsId) -> &[AsId] {
+        let i = n.index();
+        &self.adj[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Total degree of `n`.
+    #[inline]
+    pub fn degree(&self, n: AsId) -> usize {
+        let i = n.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Number of customers of `n`.
+    #[inline]
+    pub fn num_customers(&self, n: AsId) -> usize {
+        let i = n.index();
+        (self.peer_start[i] - self.offsets[i]) as usize
+    }
+
+    /// The relationship of `b` as seen from `a` (`None` if not adjacent).
+    pub fn relationship(&self, a: AsId, b: AsId) -> Option<Relationship> {
+        if self.customers(a).binary_search(&b).is_ok() {
+            Some(Relationship::Customer)
+        } else if self.peers(a).binary_search(&b).is_ok() {
+            Some(Relationship::Peer)
+        } else if self.providers(a).binary_search(&b).is_ok() {
+            Some(Relationship::Provider)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `a` and `b` share an edge of any kind.
+    pub fn are_adjacent(&self, a: AsId, b: AsId) -> bool {
+        self.relationship(a, b).is_some()
+    }
+
+    /// Iterate over every undirected edge exactly once, as
+    /// `(node, neighbor, relationship-of-neighbor-to-node)` with
+    /// `node < neighbor` for customer/provider order normalization the
+    /// peer case, and provider→customer orientation otherwise.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            graph: self,
+            node: 0,
+            pos: 0,
+        }
+    }
+
+    /// Number of stubs whose only providers appear in `set`.
+    ///
+    /// Used by the deployment model: a secure ISP deploys simplex
+    /// S\*BGP at *all* of its stub customers, so this counts stubs that
+    /// become secure when `set` does.
+    pub fn stub_customers_of(&self, n: AsId) -> impl Iterator<Item = AsId> + '_ {
+        self.customers(n).iter().copied().filter(|&c| self.is_stub(c))
+    }
+}
+
+/// Iterator over undirected edges; see [`AsGraph::edges`].
+pub struct EdgeIter<'g> {
+    graph: &'g AsGraph,
+    node: u32,
+    pos: usize,
+}
+
+impl<'g> Iterator for EdgeIter<'g> {
+    /// `(a, b, rel)` where `rel` is the relationship of `b` from `a`'s
+    /// perspective. Customer–provider edges are emitted once, oriented
+    /// provider→customer (`rel == Relationship::Customer`); peer edges
+    /// are emitted once with `a < b`.
+    type Item = (AsId, AsId, Relationship);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let g = self.graph;
+        while (self.node as usize) < g.len() {
+            let n = AsId(self.node);
+            let i = n.index();
+            let start = g.offsets[i] as usize;
+            let end = g.offsets[i + 1] as usize;
+            while start + self.pos < end {
+                let k = start + self.pos;
+                self.pos += 1;
+                let m = g.adj[k];
+                if k < g.peer_start[i] as usize {
+                    // m is a customer of n: emit provider→customer once.
+                    return Some((n, m, Relationship::Customer));
+                } else if k < g.prov_start[i] as usize {
+                    // peer edge: emit only from the lower-id endpoint.
+                    if n < m {
+                        return Some((n, m, Relationship::Peer));
+                    }
+                }
+                // provider edges are emitted from the other endpoint.
+            }
+            self.node += 1;
+            self.pos = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::AsGraphBuilder;
+    use crate::ids::{AsClass, Relationship};
+
+    /// Tiny fixture: 0 is provider of 1 and 2; 1--2 peer; 2 provider of 3.
+    fn tiny() -> crate::AsGraph {
+        let mut b = AsGraphBuilder::new();
+        let a0 = b.add_node(100);
+        let a1 = b.add_node(200);
+        let a2 = b.add_node(300);
+        let a3 = b.add_node(400);
+        b.add_provider_customer(a0, a1).unwrap();
+        b.add_provider_customer(a0, a2).unwrap();
+        b.add_peer_peer(a1, a2).unwrap();
+        b.add_provider_customer(a2, a3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn adjacency_groups() {
+        let g = tiny();
+        let (a0, a1, a2, a3) = (
+            g.node_by_asn(100).unwrap(),
+            g.node_by_asn(200).unwrap(),
+            g.node_by_asn(300).unwrap(),
+            g.node_by_asn(400).unwrap(),
+        );
+        assert_eq!(g.customers(a0), &[a1, a2]);
+        assert!(g.peers(a0).is_empty());
+        assert!(g.providers(a0).is_empty());
+        assert_eq!(g.providers(a1), &[a0]);
+        assert_eq!(g.peers(a1), &[a2]);
+        assert_eq!(g.customers(a2), &[a3]);
+        assert_eq!(g.providers(a3), &[a2]);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn classification() {
+        let g = tiny();
+        let (a0, a1, a2, a3) = (
+            g.node_by_asn(100).unwrap(),
+            g.node_by_asn(200).unwrap(),
+            g.node_by_asn(300).unwrap(),
+            g.node_by_asn(400).unwrap(),
+        );
+        assert_eq!(g.class(a0), AsClass::Isp);
+        assert_eq!(g.class(a1), AsClass::Stub); // no customers
+        assert_eq!(g.class(a2), AsClass::Isp);
+        assert_eq!(g.class(a3), AsClass::Stub);
+        assert_eq!(g.stubs().count(), 2);
+        assert_eq!(g.isps().count(), 2);
+    }
+
+    #[test]
+    fn relationship_lookup() {
+        let g = tiny();
+        let (a0, a1, a2, a3) = (
+            g.node_by_asn(100).unwrap(),
+            g.node_by_asn(200).unwrap(),
+            g.node_by_asn(300).unwrap(),
+            g.node_by_asn(400).unwrap(),
+        );
+        assert_eq!(g.relationship(a0, a1), Some(Relationship::Customer));
+        assert_eq!(g.relationship(a1, a0), Some(Relationship::Provider));
+        assert_eq!(g.relationship(a1, a2), Some(Relationship::Peer));
+        assert_eq!(g.relationship(a2, a1), Some(Relationship::Peer));
+        assert_eq!(g.relationship(a0, a3), None);
+        assert!(g.are_adjacent(a2, a3));
+        assert!(!g.are_adjacent(a1, a3));
+    }
+
+    #[test]
+    fn edge_iterator_emits_each_edge_once() {
+        let g = tiny();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        let peers = edges
+            .iter()
+            .filter(|(_, _, r)| *r == Relationship::Peer)
+            .count();
+        assert_eq!(peers, 1);
+        let cp = edges
+            .iter()
+            .filter(|(_, _, r)| *r == Relationship::Customer)
+            .count();
+        assert_eq!(cp, 3);
+    }
+
+    #[test]
+    fn degree_counts() {
+        let g = tiny();
+        let a2 = g.node_by_asn(300).unwrap();
+        assert_eq!(g.degree(a2), 3);
+        assert_eq!(g.num_customers(a2), 1);
+        assert_eq!(g.stub_customers_of(a2).count(), 1);
+    }
+}

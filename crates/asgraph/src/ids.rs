@@ -1,0 +1,144 @@
+//! Core identifier and enum types for the AS graph.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense node identifier: an index into the [`AsGraph`](crate::AsGraph)
+/// arrays, *not* an AS number. The AS number label of a node is
+/// available via [`AsGraph::asn`](crate::AsGraph::asn).
+///
+/// Using dense indices keeps the simulator's hot arrays (path lengths,
+/// utilities, secure bits) flat and cache-friendly, which matters for
+/// the `O(0.15·t·|V|³)` per-round workload of Appendix C.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AsId(pub u32);
+
+impl AsId {
+    /// The node index as a `usize`, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AsId({})", self.0)
+    }
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The paper's three-way classification of ASes (Section 3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum AsClass {
+    /// An AS with no customers that is not a designated content
+    /// provider. Stubs are ≈85% of the Internet, originate unit
+    /// traffic, and run *simplex* S\*BGP once any of their providers is
+    /// secure (Section 2.2.1).
+    Stub,
+    /// A transit provider: earns revenue from customer traffic and is
+    /// the only kind of AS that makes autonomous deployment decisions
+    /// in the model (Section 3.2).
+    Isp,
+    /// One of the designated content providers (the paper uses Google,
+    /// Facebook, Microsoft, Akamai, Limelight). CPs originate an `x`
+    /// fraction of all Internet traffic and only deploy S\*BGP if
+    /// seeded as early adopters.
+    ContentProvider,
+}
+
+impl AsClass {
+    /// Short human-readable label (used by the experiment harness).
+    pub fn label(self) -> &'static str {
+        match self {
+            AsClass::Stub => "stub",
+            AsClass::Isp => "ISP",
+            AsClass::ContentProvider => "CP",
+        }
+    }
+}
+
+/// A business relationship, expressed from the perspective of the node
+/// whose adjacency list is being read (the standard Gao–Rexford model,
+/// Figure 1 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// The neighbor is *my customer* (it pays me to carry its traffic).
+    Customer,
+    /// The neighbor is *my peer* (settlement-free transit of each
+    /// other's customer traffic).
+    Peer,
+    /// The neighbor is *my provider* (I pay it).
+    Provider,
+}
+
+impl Relationship {
+    /// The same physical edge seen from the other endpoint.
+    pub fn reverse(self) -> Relationship {
+        match self {
+            Relationship::Customer => Relationship::Provider,
+            Relationship::Peer => Relationship::Peer,
+            Relationship::Provider => Relationship::Customer,
+        }
+    }
+
+    /// Local-preference rank in the routing model of Appendix A:
+    /// customer routes (rank 0) beat peer routes (rank 1) beat provider
+    /// routes (rank 2).
+    pub fn preference_rank(self) -> u8 {
+        match self {
+            Relationship::Customer => 0,
+            Relationship::Peer => 1,
+            Relationship::Provider => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_is_involutive() {
+        for r in [
+            Relationship::Customer,
+            Relationship::Peer,
+            Relationship::Provider,
+        ] {
+            assert_eq!(r.reverse().reverse(), r);
+        }
+    }
+
+    #[test]
+    fn peer_is_self_reverse() {
+        assert_eq!(Relationship::Peer.reverse(), Relationship::Peer);
+    }
+
+    #[test]
+    fn preference_order_matches_gao_rexford() {
+        assert!(
+            Relationship::Customer.preference_rank() < Relationship::Peer.preference_rank()
+        );
+        assert!(Relationship::Peer.preference_rank() < Relationship::Provider.preference_rank());
+    }
+
+    #[test]
+    fn as_id_roundtrip() {
+        let id = AsId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "42");
+        assert_eq!(format!("{id:?}"), "AsId(42)");
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(AsClass::Stub.label(), "stub");
+        assert_eq!(AsClass::Isp.label(), "ISP");
+        assert_eq!(AsClass::ContentProvider.label(), "CP");
+    }
+}

@@ -1,0 +1,66 @@
+//! # sbgp-asgraph
+//!
+//! AS-level Internet topology substrate for the S\*BGP deployment
+//! simulator, reproducing the modeling layer of *"Let the Market Drive
+//! Deployment: A Strategy for Transitioning to BGP Security"* (Gill,
+//! Schapira, Goldberg — SIGCOMM 2011).
+//!
+//! The crate provides:
+//!
+//! * [`AsGraph`] — an immutable, validated AS-level graph annotated with
+//!   the standard Gao–Rexford business relationships
+//!   (customer–provider and peer–peer), stored in a compact CSR layout
+//!   with neighbors grouped by relationship for fast policy-aware BFS.
+//! * [`AsGraphBuilder`] — the only way to construct an [`AsGraph`];
+//!   validates symmetry, rejects duplicate/self edges, and enforces GR1
+//!   (no customer–provider cycles).
+//! * [`AsClass`] — the paper's three-way node classification: *stubs*
+//!   (no customers, ≈85% of the Internet), *ISPs* (transit providers),
+//!   and *content providers* (the five designated CPs of Section 3.1).
+//! * [`Weights`] — the paper's traffic-origination weights: every stub
+//!   and ISP originates unit traffic; the CPs jointly originate an `x`
+//!   fraction of all traffic (Section 3.1).
+//! * [`gen`] — a seeded synthetic Internet-like topology generator (our
+//!   substitute for the proprietary Cyclops + IXP measurement graph),
+//!   and [`augment`] — the Appendix D CP-peering augmentation.
+//! * [`io`] — a CAIDA serial-2 style text format so empirical
+//!   AS-relationship files can be dropped in.
+//! * [`stats`] — degree/edge/class summaries used by Tables 2 and 4.
+//!
+//! # Example
+//!
+//! ```
+//! use sbgp_asgraph::gen::{generate, GenParams};
+//! use sbgp_asgraph::{stats, Weights};
+//!
+//! let generated = generate(&GenParams::new(300, 7));
+//! let graph = &generated.graph;
+//! let summary = stats::summarize(graph);
+//! assert_eq!(summary.ases, 300);
+//! assert!(summary.stubs as f64 / summary.ases as f64 > 0.8); // ≈85% stubs
+//!
+//! // The five CPs jointly originate 20% of all traffic.
+//! let weights = Weights::with_cp_fraction(graph, 0.20);
+//! let cp_total: f64 = graph.content_providers().iter().map(|&c| weights.get(c)).sum();
+//! assert!((cp_total / weights.total() - 0.20).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+mod ids;
+mod weights;
+
+pub mod augment;
+pub mod gen;
+pub mod io;
+pub mod stats;
+
+pub use builder::AsGraphBuilder;
+pub use error::GraphError;
+pub use graph::{AsGraph, EdgeIter};
+pub use ids::{AsClass, AsId, Relationship};
+pub use weights::Weights;

@@ -1,0 +1,174 @@
+//! Topology summaries used by Tables 2 and 4 of the paper and by the
+//! generator's self-validation.
+
+use crate::graph::AsGraph;
+use crate::ids::{AsClass, AsId, Relationship};
+
+/// Headline counts for a topology (the shape of the paper's Table 2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphSummary {
+    /// Total ASes.
+    pub ases: usize,
+    /// Stub count.
+    pub stubs: usize,
+    /// ISP count.
+    pub isps: usize,
+    /// Content-provider count.
+    pub cps: usize,
+    /// Peer–peer edge count.
+    pub peering_edges: usize,
+    /// Customer–provider edge count.
+    pub customer_provider_edges: usize,
+}
+
+/// Compute a [`GraphSummary`].
+pub fn summarize(g: &AsGraph) -> GraphSummary {
+    let mut peering = 0usize;
+    let mut cp = 0usize;
+    for (_, _, rel) in g.edges() {
+        match rel {
+            Relationship::Peer => peering += 1,
+            Relationship::Customer => cp += 1,
+            Relationship::Provider => unreachable!(),
+        }
+    }
+    GraphSummary {
+        ases: g.len(),
+        stubs: g.stubs().count(),
+        isps: g.isps().count(),
+        cps: g.content_providers().len(),
+        peering_edges: peering,
+        customer_provider_edges: cp,
+    }
+}
+
+/// The `k` highest-degree nodes of a class (ties broken by lower id),
+/// e.g. "top five Tier 1 ASes in terms of degree" (Section 5).
+pub fn top_k_by_degree(g: &AsGraph, class: AsClass, k: usize) -> Vec<AsId> {
+    let mut nodes: Vec<AsId> = g.nodes().filter(|&n| g.class(n) == class).collect();
+    nodes.sort_by_key(|&n| (std::cmp::Reverse(g.degree(n)), n));
+    nodes.truncate(k);
+    nodes
+}
+
+/// Degree histogram bucketed by powers of two: `buckets[i]` counts
+/// nodes with degree in `[2^i, 2^(i+1))` (degree 0 lands in bucket 0).
+pub fn degree_histogram(g: &AsGraph) -> Vec<usize> {
+    let mut buckets = Vec::new();
+    for n in g.nodes() {
+        let d = g.degree(n);
+        let b = usize::BITS as usize - d.max(1).leading_zeros() as usize - 1;
+        if buckets.len() <= b {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+}
+
+/// Share of ISPs with at most `k` stub customers — the paper's "80% of
+/// ISPs have fewer than 7 stub customers" observation (Section 2.2.1).
+pub fn isp_fraction_with_at_most_stub_customers(g: &AsGraph, k: usize) -> f64 {
+    let mut total = 0usize;
+    let mut small = 0usize;
+    for n in g.isps() {
+        total += 1;
+        if g.stub_customers_of(n).count() <= k {
+            small += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        small as f64 / total as f64
+    }
+}
+
+/// Fraction of stubs with two or more providers (multi-homed stubs are
+/// the locus of the competition that drives deployment — Section 5.1).
+pub fn multihomed_stub_fraction(g: &AsGraph) -> f64 {
+    let mut total = 0usize;
+    let mut multi = 0usize;
+    for s in g.stubs() {
+        total += 1;
+        if g.providers(s).len() >= 2 {
+            multi += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        multi as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AsGraphBuilder;
+
+    fn fixture() -> AsGraph {
+        // t1 --peer-- t2 ; t1 -> isp -> {s1, s2}; t2 -> isp; t2 -> s2 (multihomed s2)
+        let mut b = AsGraphBuilder::new();
+        let t1 = b.add_node(1);
+        let t2 = b.add_node(2);
+        let isp = b.add_node(3);
+        let s1 = b.add_node(4);
+        let s2 = b.add_node(5);
+        b.add_peer_peer(t1, t2).unwrap();
+        b.add_provider_customer(t1, isp).unwrap();
+        b.add_provider_customer(t2, isp).unwrap();
+        b.add_provider_customer(isp, s1).unwrap();
+        b.add_provider_customer(isp, s2).unwrap();
+        b.add_provider_customer(t2, s2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn summary_counts() {
+        let g = fixture();
+        let s = summarize(&g);
+        assert_eq!(
+            s,
+            GraphSummary {
+                ases: 5,
+                stubs: 2,
+                isps: 3,
+                cps: 0,
+                peering_edges: 1,
+                customer_provider_edges: 5,
+            }
+        );
+    }
+
+    #[test]
+    fn top_k_degree_ranking() {
+        let g = fixture();
+        let top = top_k_by_degree(&g, AsClass::Isp, 2);
+        // isp has degree 4 (2 providers + 2 customers), t2 has degree 3.
+        assert_eq!(top[0], g.node_by_asn(3).unwrap());
+        assert_eq!(top[1], g.node_by_asn(2).unwrap());
+    }
+
+    #[test]
+    fn histogram_covers_all_nodes() {
+        let g = fixture();
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), g.len());
+    }
+
+    #[test]
+    fn stub_customer_share() {
+        let g = fixture();
+        // Every ISP has ≤ 2 stub customers.
+        assert_eq!(isp_fraction_with_at_most_stub_customers(&g, 2), 1.0);
+        // t1 has 0 stub customers; isp has 2; t2 has 1 → with k=0: 1/3.
+        assert!((isp_fraction_with_at_most_stub_customers(&g, 0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multihoming_share() {
+        let g = fixture();
+        assert!((multihomed_stub_fraction(&g) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+//! Traffic-origination weights (Section 3.1 of the paper).
+
+use crate::graph::AsGraph;
+use crate::ids::AsId;
+
+/// Per-node traffic-origination weights `w_n`.
+///
+/// The paper's model: every stub and ISP originates unit traffic
+/// (`w = 1`); the designated content providers jointly originate an
+/// `x` fraction of *all* Internet traffic, split equally among them
+/// (Section 3.1). Solving `k·w_cp = x · (k·w_cp + m)` for `k` CPs and
+/// `m` other ASes gives `w_cp = x·m / (k·(1-x))` — e.g. `x = 10%` on
+/// the paper's 36,964-node graph yields `w_cp ≈ 821`, matching the
+/// figure quoted in Section 7.1.
+#[derive(Clone, Debug)]
+pub struct Weights {
+    w: Vec<f64>,
+    cp_fraction: f64,
+}
+
+impl Weights {
+    /// Unit weight for every AS (`x = 0`: no CP skew).
+    pub fn uniform(graph: &AsGraph) -> Self {
+        Weights {
+            w: vec![1.0; graph.len()],
+            cp_fraction: 0.0,
+        }
+    }
+
+    /// The paper's CP-skewed weights: the designated CPs jointly
+    /// originate fraction `x ∈ [0, 1)` of all traffic, split equally;
+    /// all other ASes originate unit traffic.
+    ///
+    /// # Panics
+    /// Panics if `x` is not in `[0, 1)`, or if `x > 0` while the graph
+    /// designates no content providers.
+    pub fn with_cp_fraction(graph: &AsGraph, x: f64) -> Self {
+        assert!((0.0..1.0).contains(&x), "cp fraction must be in [0,1)");
+        let k = graph.content_providers().len();
+        if x > 0.0 {
+            assert!(k > 0, "cp fraction > 0 requires designated content providers");
+        }
+        let mut w = vec![1.0; graph.len()];
+        if k > 0 && x > 0.0 {
+            let m = (graph.len() - k) as f64;
+            let w_cp = x * m / (k as f64 * (1.0 - x));
+            for &cp in graph.content_providers() {
+                w[cp.index()] = w_cp;
+            }
+        }
+        Weights { w, cp_fraction: x }
+    }
+
+    /// The weight of node `n`.
+    #[inline]
+    pub fn get(&self, n: AsId) -> f64 {
+        self.w[n.index()]
+    }
+
+    /// The configured CP traffic fraction `x`.
+    pub fn cp_fraction(&self) -> f64 {
+        self.cp_fraction
+    }
+
+    /// Total originated traffic, `Σ_n w_n`.
+    pub fn total(&self) -> f64 {
+        self.w.iter().sum()
+    }
+
+    /// Raw slice indexed by node id.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AsGraphBuilder;
+
+    fn graph_with_cps(k: usize, others: usize) -> AsGraph {
+        let mut b = AsGraphBuilder::new();
+        let hub = b.add_node(1);
+        for i in 0..k {
+            let cp = b.add_node(1000 + i as u32);
+            b.add_provider_customer(hub, cp).unwrap();
+            b.mark_content_provider(cp);
+        }
+        for i in 0..others.saturating_sub(1) {
+            let s = b.add_node(2000 + i as u32);
+            b.add_provider_customer(hub, s).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let g = graph_with_cps(2, 10);
+        let w = Weights::uniform(&g);
+        assert_eq!(w.total(), g.len() as f64);
+        assert_eq!(w.cp_fraction(), 0.0);
+    }
+
+    #[test]
+    fn cp_fraction_balances() {
+        let g = graph_with_cps(5, 100);
+        for &x in &[0.1, 0.2, 0.33, 0.5] {
+            let w = Weights::with_cp_fraction(&g, x);
+            let cp_total: f64 = g.content_providers().iter().map(|&c| w.get(c)).sum();
+            assert!(
+                (cp_total / w.total() - x).abs() < 1e-12,
+                "x={x}: got {}",
+                cp_total / w.total()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_w_cp_821() {
+        // 36,964 ASes, 5 CPs, x = 10% → w_cp ≈ 821 (Section 7.1).
+        let m: f64 = 36_964.0 - 5.0;
+        let w_cp = 0.1 * m / (5.0 * 0.9);
+        assert!((w_cp - 821.0).abs() < 1.0, "w_cp = {w_cp}");
+    }
+
+    #[test]
+    fn zero_fraction_is_uniform() {
+        let g = graph_with_cps(3, 20);
+        let w = Weights::with_cp_fraction(&g, 0.0);
+        assert_eq!(w.get(g.content_providers()[0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cp fraction")]
+    fn rejects_fraction_of_one() {
+        let g = graph_with_cps(1, 5);
+        let _ = Weights::with_cp_fraction(&g, 1.0);
+    }
+}

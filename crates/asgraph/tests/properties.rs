@@ -1,0 +1,145 @@
+//! Property-based tests for the topology substrate.
+
+use proptest::prelude::*;
+use sbgp_asgraph::gen::{generate, GenParams};
+use sbgp_asgraph::{io, stats, AsGraphBuilder, AsId, GraphError, Relationship, Weights};
+
+/// Random edge soup over `n` nodes: provider→customer edges only point
+/// from lower to higher index (guaranteeing GR1), peers arbitrary.
+fn arb_hierarchy(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, bool)>)> {
+    (4usize..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0u32..n as u32, 0u32..n as u32, any::<bool>()),
+            0..n * 3,
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The builder either produces a valid graph or rejects with a
+    /// structured error — never panics, never builds inconsistent
+    /// adjacency.
+    #[test]
+    fn builder_total_and_consistent((n, edges) in arb_hierarchy(40)) {
+        let mut b = AsGraphBuilder::new();
+        for i in 0..n {
+            b.add_node(1000 + i as u32);
+        }
+        let mut accepted: Vec<(AsId, AsId, bool)> = Vec::new();
+        for (x, y, is_peer) in edges {
+            let (a, c) = (AsId(x.min(y)), AsId(x.max(y)));
+            let res = if is_peer {
+                b.add_peer_peer(a, c)
+            } else {
+                b.add_provider_customer(a, c)
+            };
+            match res {
+                Ok(()) => accepted.push((a, c, is_peer)),
+                Err(GraphError::SelfLoop(_)) => prop_assert_eq!(a, c),
+                Err(GraphError::DuplicateEdge(p, q)) => {
+                    prop_assert!(accepted.iter().any(|&(u, v, _)|
+                        (u == p && v == q) || (u == q && v == p)));
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+        }
+        let g = b.build().expect("index-ordered providers cannot form GR1 cycles");
+        prop_assert_eq!(g.num_edges(), accepted.len());
+        // Relationship symmetry on every accepted edge.
+        for (a, c, is_peer) in accepted {
+            let fwd = g.relationship(a, c).unwrap();
+            let back = g.relationship(c, a).unwrap();
+            prop_assert_eq!(back, fwd.reverse());
+            prop_assert_eq!(fwd == Relationship::Peer, is_peer);
+        }
+    }
+
+    /// Serialization round-trips preserve the relationship multiset.
+    #[test]
+    fn io_roundtrip((n, edges) in arb_hierarchy(30)) {
+        let mut b = AsGraphBuilder::new();
+        for i in 0..n {
+            b.add_node(1000 + i as u32);
+        }
+        for (x, y, is_peer) in edges {
+            let (a, c) = (AsId(x.min(y)), AsId(x.max(y)));
+            let _ = if is_peer {
+                b.add_peer_peer(a, c)
+            } else {
+                b.add_provider_customer(a, c)
+            };
+        }
+        let g = b.build().unwrap();
+        let mut buf = Vec::new();
+        io::write_graph(&g, &mut buf).unwrap();
+        let g2 = io::read_graph(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(g.len(), g2.len());
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        let norm = |g: &sbgp_asgraph::AsGraph| {
+            let mut v: Vec<(u32, u32, bool)> = g
+                .edges()
+                .map(|(a, b, r)| {
+                    let (x, y) = (g.asn(a), g.asn(b));
+                    if r == Relationship::Peer {
+                        (x.min(y), x.max(y), true)
+                    } else {
+                        (x, y, false)
+                    }
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(norm(&g), norm(&g2));
+    }
+
+    /// Weights always balance the requested CP fraction.
+    #[test]
+    fn weights_balance(x in 0.0f64..0.9, seed in 0u64..100) {
+        let g = generate(&GenParams::new(120, seed)).graph;
+        let w = Weights::with_cp_fraction(&g, x);
+        let cp_total: f64 = g.content_providers().iter().map(|&c| w.get(c)).sum();
+        prop_assert!((cp_total / w.total() - x).abs() < 1e-9);
+        for n in g.nodes() {
+            prop_assert!(w.get(n) > 0.0);
+        }
+    }
+
+    /// Generator invariants across seeds and sizes: classification is
+    /// definitional, the structure is connected upward, and the class
+    /// mix stays in the paper's regime.
+    #[test]
+    fn generator_invariants(seed in 0u64..50, n in 100usize..400) {
+        let gen = generate(&GenParams::new(n, seed));
+        let g = &gen.graph;
+        prop_assert_eq!(g.len(), n);
+        let s = stats::summarize(g);
+        prop_assert_eq!(s.ases, s.stubs + s.isps + s.cps);
+        let stub_share = s.stubs as f64 / s.ases as f64;
+        prop_assert!((0.78..=0.92).contains(&stub_share), "stub share {}", stub_share);
+        for node in g.nodes() {
+            // Stubs have no customers; ISPs have at least one.
+            match g.class(node) {
+                sbgp_asgraph::AsClass::Stub => prop_assert!(g.customers(node).is_empty()),
+                sbgp_asgraph::AsClass::Isp => prop_assert!(!g.customers(node).is_empty()),
+                sbgp_asgraph::AsClass::ContentProvider => {
+                    prop_assert!(!g.providers(node).is_empty(), "CP must buy transit");
+                }
+            }
+            // Everyone except the Tier-1 clique has a provider.
+            if g.providers(node).is_empty() {
+                prop_assert!(
+                    g.is_isp(node),
+                    "provider-free node {} must be a Tier-1 ISP",
+                    node
+                );
+            }
+        }
+        for &m in &gen.ixp_members {
+            prop_assert!(m.index() < g.len());
+        }
+    }
+}

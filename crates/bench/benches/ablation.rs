@@ -1,0 +1,35 @@
+//! Ablation: the Appendix C.4 skip rules on vs off.
+//!
+//! `skip=false` recomputes the routing tree for every (candidate,
+//! destination) pair — the naive `O(0.15·t·|V|³)` round the paper's
+//! cluster was sized for. `skip=true` is the shipping configuration.
+//! The equivalence of the two is asserted by
+//! `sbgp-core`'s `skip_rules_are_exact_not_heuristic` test; this bench
+//! measures what the rules buy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbgp_asgraph::AsId;
+use sbgp_bench::{bench_world, SMALL};
+use sbgp_core::{SimConfig, UtilityEngine};
+use sbgp_routing::HashTieBreak;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c4_skip_rules_ablation");
+    group.sample_size(10);
+    let world = bench_world(SMALL);
+    let g = &world.gen.graph;
+    let cfg = SimConfig::default();
+    let engine = UtilityEngine::new(g, &world.weights, &HashTieBreak, cfg);
+    let candidates: Vec<AsId> = g.isps().filter(|&x| !world.seeded.get(x)).collect();
+    group.bench_function("optimized", |b| {
+        b.iter(|| black_box(engine.compute_with_options(&world.seeded, &candidates, true)));
+    });
+    group.bench_function("brute_force", |b| {
+        b.iter(|| black_box(engine.compute_with_options(&world.seeded, &candidates, false)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Post-hoc analysis kernels: the tiebreak census (Figure 10),
+//! secure-path counting (Figure 9), diamond counting (Table 1), path
+//! lengths (Table 3), and the turn-off search (Figure 13 / §7.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbgp_bench::{bench_world, SMALL};
+use sbgp_core::{metrics, turnoff};
+use sbgp_routing::census::TiebreakCensus;
+use sbgp_routing::{HashTieBreak, TreePolicy};
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let world = bench_world(SMALL);
+    let g = &world.gen.graph;
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+
+    group.bench_function("tiebreak_census_fig10", |b| {
+        b.iter(|| black_box(TiebreakCensus::run(g, g.nodes(), &HashTieBreak)).mean());
+    });
+
+    group.bench_function("secure_paths_fig9", |b| {
+        b.iter(|| {
+            black_box(metrics::secure_path_fraction(
+                g,
+                &world.half,
+                TreePolicy::default(),
+                &HashTieBreak,
+            ))
+        });
+    });
+
+    let adopter = g.isps().next().unwrap();
+    group.bench_function("diamonds_table1", |b| {
+        b.iter(|| black_box(metrics::diamonds_for(g, adopter, &HashTieBreak)));
+    });
+
+    let cp = g.content_providers()[0];
+    group.bench_function("mean_path_length_table3", |b| {
+        b.iter(|| black_box(metrics::mean_path_length(g, cp, &HashTieBreak)));
+    });
+
+    group.bench_function("turnoff_census_fig13", |b| {
+        b.iter(|| {
+            black_box(turnoff::per_destination_census(
+                g,
+                &world.weights,
+                &world.half,
+                TreePolicy::default(),
+                &HashTieBreak,
+                1e-9,
+            ))
+            .len()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Per-destination routing kernels — the inner loops behind *every*
+//! table and figure: the three-stage BFS (`DestContext::compute`), the
+//! fast routing tree (Appendix C.2), and the flow/utility passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbgp_bench::{bench_world, MEDIUM, SMALL};
+use sbgp_routing::{
+    accumulate_flows, compute_tree, flows_and_target_utility, DestContext, HashTieBreak,
+    RouteTree, TreePolicy,
+};
+use std::hint::black_box;
+
+fn bench_dest_context(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dest_context_bfs");
+    for n in [SMALL, MEDIUM] {
+        let world = bench_world(n);
+        let g = &world.gen.graph;
+        let mut ctx = DestContext::new(g.len());
+        let dests: Vec<_> = g.nodes().take(32).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                ctx.compute(g, dests[i % dests.len()], &HashTieBreak);
+                i += 1;
+                black_box(ctx.reachable())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_routing_tree");
+    for n in [SMALL, MEDIUM] {
+        let world = bench_world(n);
+        let g = &world.gen.graph;
+        let mut ctx = DestContext::new(g.len());
+        // A stub destination with secure providers: the worst case.
+        let dest = world.half.iter().find(|&d| g.is_stub(d)).unwrap();
+        ctx.compute(g, dest, &HashTieBreak);
+        let mut tree = RouteTree::new(g.len());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                compute_tree(g, &ctx, &world.half, TreePolicy::default(), &mut tree);
+                black_box(tree.secure[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_accumulation");
+    for n in [SMALL, MEDIUM] {
+        let world = bench_world(n);
+        let g = &world.gen.graph;
+        let mut ctx = DestContext::new(g.len());
+        let dest = g.nodes().last().unwrap();
+        ctx.compute(g, dest, &HashTieBreak);
+        let mut tree = RouteTree::new(g.len());
+        compute_tree(g, &ctx, &world.half, TreePolicy::default(), &mut tree);
+        let mut flow = Vec::new();
+        group.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
+            b.iter(|| {
+                accumulate_flows(&ctx, &tree, &world.weights, &mut flow);
+                black_box(flow[0])
+            });
+        });
+        let target = g.isps().next().unwrap();
+        group.bench_with_input(BenchmarkId::new("fused_target", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(flows_and_target_utility(
+                    &ctx,
+                    &tree,
+                    &world.weights,
+                    target,
+                    &mut flow,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dest_context, bench_fast_tree, bench_flows);
+criterion_main!(benches);

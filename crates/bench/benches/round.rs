@@ -1,0 +1,55 @@
+//! One full deployment round — base utilities for every node plus
+//! projected utilities for every candidate ISP. This is the unit of
+//! work behind Figures 3–8, 11, and 12 (a simulation is 2–40 of
+//! these).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbgp_asgraph::AsId;
+use sbgp_bench::{bench_world, SMALL};
+use sbgp_core::{SimConfig, UtilityEngine, UtilityModel};
+use sbgp_routing::HashTieBreak;
+use std::hint::black_box;
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deployment_round");
+    group.sample_size(10);
+    for n in [SMALL, 600] {
+        let world = bench_world(n);
+        let g = &world.gen.graph;
+        let cfg = SimConfig::default();
+        let engine = UtilityEngine::new(g, &world.weights, &HashTieBreak, cfg);
+        // Round-1 shape: few secure destinations, many candidates.
+        let candidates: Vec<AsId> = g.isps().filter(|&x| !world.seeded.get(x)).collect();
+        group.bench_with_input(BenchmarkId::new("seeded_state", n), &n, |b, _| {
+            b.iter(|| black_box(engine.compute(&world.seeded, &candidates)));
+        });
+        // Late-round shape: many secure destinations.
+        let candidates_half: Vec<AsId> = g.isps().filter(|&x| !world.half.get(x)).collect();
+        group.bench_with_input(BenchmarkId::new("half_deployed", n), &n, |b, _| {
+            b.iter(|| black_box(engine.compute(&world.half, &candidates_half)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_round_incoming(c: &mut Criterion) {
+    // The incoming model also projects turn-offs for secure ISPs —
+    // strictly more work (no Theorem 6.2 skip).
+    let mut group = c.benchmark_group("deployment_round_incoming");
+    group.sample_size(10);
+    let world = bench_world(SMALL);
+    let g = &world.gen.graph;
+    let cfg = SimConfig {
+        model: UtilityModel::Incoming,
+        ..SimConfig::default()
+    };
+    let engine = UtilityEngine::new(g, &world.weights, &HashTieBreak, cfg);
+    let candidates: Vec<AsId> = g.isps().collect();
+    group.bench_function("half_deployed_300", |b| {
+        b.iter(|| black_box(engine.compute(&world.half, &candidates)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round, bench_round_incoming);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Full deployment simulations: the case study (Figure 3), a θ-sweep
+//! point (Figure 8), and the gadget dynamics (Figures 2, 17, 20).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbgp_asgraph::Weights;
+use sbgp_bench::{bench_world, SMALL};
+use sbgp_core::{EarlyAdopters, SimConfig, Simulation, UtilityModel};
+use sbgp_gadgets::{and_gadget, chicken, diamond};
+use sbgp_routing::{HashTieBreak, LowestAsnTieBreak};
+use std::hint::black_box;
+
+fn bench_case_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    let world = bench_world(SMALL);
+    let g = &world.gen.graph;
+    let adopters = EarlyAdopters::ContentProvidersPlusTopIsps(5).select(g);
+    group.bench_function("case_study_fig3_300", |b| {
+        let cfg = SimConfig::default();
+        let sim = Simulation::new(g, &world.weights, &HashTieBreak, cfg);
+        b.iter(|| black_box(sim.run(&adopters)).rounds.len());
+    });
+    group.bench_function("high_theta_fig8_300", |b| {
+        let cfg = SimConfig {
+            theta: 0.5,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(g, &world.weights, &HashTieBreak, cfg);
+        b.iter(|| black_box(sim.run(&adopters)).rounds.len());
+    });
+    group.finish();
+}
+
+fn bench_gadgets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gadget_dynamics");
+    group.bench_function("diamond_fig2", |b| {
+        let (world, d) = diamond::build(2);
+        let w = Weights::uniform(&world.graph);
+        let cfg = SimConfig {
+            theta: 0.05,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&world.graph, &w, &LowestAsnTieBreak, cfg);
+        b.iter(|| {
+            black_box(sim.run_constrained(
+                world.initial.clone(),
+                &world.movable,
+                vec![d.tier1],
+            ))
+            .rounds
+            .len()
+        });
+    });
+    group.bench_function("oscillator_fig17", |b| {
+        let (world, _) = chicken::build(10, true, true);
+        let w = Weights::uniform(&world.graph);
+        let cfg = SimConfig {
+            theta: 0.001,
+            model: UtilityModel::Incoming,
+            max_rounds: 12,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&world.graph, &w, &LowestAsnTieBreak, cfg);
+        b.iter(|| {
+            black_box(sim.run_constrained(world.initial.clone(), &world.movable, vec![]))
+                .rounds
+                .len()
+        });
+    });
+    group.bench_function("and_gadget_fig20", |b| {
+        let (world, _) = and_gadget::build(10, [true, true, true], false);
+        let w = Weights::uniform(&world.graph);
+        let cfg = SimConfig {
+            theta: 0.005,
+            model: UtilityModel::Incoming,
+            max_rounds: 10,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&world.graph, &w, &LowestAsnTieBreak, cfg);
+        b.iter(|| {
+            black_box(sim.run_constrained(world.initial.clone(), &world.movable, vec![]))
+                .rounds
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_case_study, bench_gadgets);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Topology substrate: generation (Table 2), Appendix D augmentation
+//! (Tables 3–4), and serialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbgp_asgraph::augment::augment_cp_peering;
+use sbgp_asgraph::gen::{generate, GenParams};
+use sbgp_asgraph::io;
+use sbgp_bench::{MEDIUM, SMALL};
+use std::hint::black_box;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_topology");
+    for n in [SMALL, MEDIUM, 4_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(generate(&GenParams::new(n, 42))).graph.len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_augment(c: &mut Criterion) {
+    let gen = generate(&GenParams::new(MEDIUM, 42));
+    c.bench_function("augment_cp_peering_1000", |b| {
+        b.iter(|| {
+            black_box(augment_cp_peering(&gen.graph, &gen.ixp_members, 0.8, 9).unwrap())
+                .num_edges()
+        });
+    });
+}
+
+fn bench_io(c: &mut Criterion) {
+    let gen = generate(&GenParams::new(MEDIUM, 42));
+    let mut buf = Vec::new();
+    io::write_graph(&gen.graph, &mut buf).unwrap();
+    c.bench_function("serialize_1000", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            io::write_graph(&gen.graph, &mut out).unwrap();
+            black_box(out.len())
+        });
+    });
+    c.bench_function("parse_1000", |b| {
+        b.iter(|| black_box(io::read_graph(std::io::Cursor::new(&buf)).unwrap()).len());
+    });
+}
+
+criterion_group!(benches, bench_generate, bench_augment, bench_io);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! Each bench file regenerates the kernel behind one or more of the
+//! paper's tables/figures (the mapping is documented per bench group
+//! and in DESIGN.md's experiment index).
+
+use sbgp_asgraph::gen::{generate, GenParams, Generated};
+use sbgp_asgraph::Weights;
+use sbgp_core::{initial_state, EarlyAdopters};
+use sbgp_routing::SecureSet;
+
+/// Standard bench topology size (small).
+pub const SMALL: usize = 300;
+/// Mid-size bench topology.
+pub const MEDIUM: usize = 1_000;
+
+/// A ready-made bench world.
+pub struct BenchWorld {
+    /// Generated topology + IXP membership.
+    pub gen: Generated,
+    /// x = 10% CP-skewed weights.
+    pub weights: Weights,
+    /// Case-study seeded state (5 CPs + top 5 ISPs + their stubs).
+    pub seeded: SecureSet,
+    /// A half-deployed state (every other AS secure) to exercise the
+    /// secure-path machinery.
+    pub half: SecureSet,
+}
+
+/// Build the standard bench world at `n` ASes.
+pub fn bench_world(n: usize) -> BenchWorld {
+    let gen = generate(&GenParams::new(n, 42));
+    let weights = Weights::with_cp_fraction(&gen.graph, 0.10);
+    let adopters = EarlyAdopters::ContentProvidersPlusTopIsps(5).select(&gen.graph);
+    let seeded = initial_state(&gen.graph, &adopters);
+    let mut half = SecureSet::new(gen.graph.len());
+    for node in gen.graph.nodes() {
+        if node.0 % 2 == 0 {
+            half.set(node, true);
+        }
+    }
+    BenchWorld {
+        gen,
+        weights,
+        seeded,
+        half,
+    }
+}

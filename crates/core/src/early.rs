@@ -1,0 +1,219 @@
+//! Early-adopter selection (Section 6).
+//!
+//! Theorem 6.1 shows choosing the *optimal* early-adopter set is
+//! NP-hard (even to approximate), so the paper — and this crate —
+//! evaluates heuristics: degree rank, content providers, random sets,
+//! and combinations.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sbgp_asgraph::{stats, AsClass, AsGraph, AsId};
+
+/// A strategy for picking the seeded early-adopter set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EarlyAdopters {
+    /// No early adopters (the paper's baseline; deployment can still
+    /// start at θ = 0).
+    None,
+    /// The `k` highest-degree ISPs — the "top 5–200 Tier 1s" sets of
+    /// Figure 8.
+    TopIspsByDegree(usize),
+    /// `k` ISPs drawn uniformly at random (Figure 8's weak baseline).
+    RandomIsps {
+        /// Number of ISPs to draw.
+        k: usize,
+        /// Draw seed (deterministic given the graph).
+        seed: u64,
+    },
+    /// The designated content providers (Section 6.8).
+    ContentProviders,
+    /// CPs plus the top-`k` ISPs by degree — the paper's case-study
+    /// set is `ContentProvidersPlusTopIsps(5)` (Section 5).
+    ContentProvidersPlusTopIsps(usize),
+    /// An explicit set.
+    Custom(Vec<AsId>),
+}
+
+impl EarlyAdopters {
+    /// Resolve the strategy to a concrete set of node ids.
+    pub fn select(&self, g: &AsGraph) -> Vec<AsId> {
+        match self {
+            EarlyAdopters::None => Vec::new(),
+            EarlyAdopters::TopIspsByDegree(k) => stats::top_k_by_degree(g, AsClass::Isp, *k),
+            EarlyAdopters::RandomIsps { k, seed } => {
+                let mut isps: Vec<AsId> = g.isps().collect();
+                let mut rng = StdRng::seed_from_u64(*seed);
+                isps.shuffle(&mut rng);
+                isps.truncate(*k);
+                isps.sort_unstable();
+                isps
+            }
+            EarlyAdopters::ContentProviders => g.content_providers().to_vec(),
+            EarlyAdopters::ContentProvidersPlusTopIsps(k) => {
+                let mut set = g.content_providers().to_vec();
+                set.extend(stats::top_k_by_degree(g, AsClass::Isp, *k));
+                set
+            }
+            EarlyAdopters::Custom(v) => v.clone(),
+        }
+    }
+
+    /// Short label for experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            EarlyAdopters::None => "none".into(),
+            EarlyAdopters::TopIspsByDegree(k) => format!("top{k}-isps"),
+            EarlyAdopters::RandomIsps { k, .. } => format!("random{k}-isps"),
+            EarlyAdopters::ContentProviders => "5cps".into(),
+            EarlyAdopters::ContentProvidersPlusTopIsps(k) => format!("5cps+top{k}"),
+            EarlyAdopters::Custom(v) => format!("custom{}", v.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_asgraph::gen::{generate, GenParams};
+
+    #[test]
+    fn strategies_resolve() {
+        let g = generate(&GenParams::tiny(3)).graph;
+        assert!(EarlyAdopters::None.select(&g).is_empty());
+        let top5 = EarlyAdopters::TopIspsByDegree(5).select(&g);
+        assert_eq!(top5.len(), 5);
+        assert!(top5.iter().all(|&n| g.is_isp(n)));
+        // Top-degree set really is descending in degree.
+        for w in top5.windows(2) {
+            assert!(g.degree(w[0]) >= g.degree(w[1]));
+        }
+        let cps = EarlyAdopters::ContentProviders.select(&g);
+        assert_eq!(cps.len(), 5);
+        let combo = EarlyAdopters::ContentProvidersPlusTopIsps(5).select(&g);
+        assert_eq!(combo.len(), 10);
+    }
+
+    #[test]
+    fn random_is_seeded_and_isp_only() {
+        let g = generate(&GenParams::tiny(3)).graph;
+        let a = EarlyAdopters::RandomIsps { k: 7, seed: 1 }.select(&g);
+        let b = EarlyAdopters::RandomIsps { k: 7, seed: 1 }.select(&g);
+        let c = EarlyAdopters::RandomIsps { k: 7, seed: 2 }.select(&g);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&n| g.is_isp(n)));
+        assert_eq!(a.len(), 7);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(EarlyAdopters::TopIspsByDegree(200).label(), "top200-isps");
+        assert_eq!(
+            EarlyAdopters::ContentProvidersPlusTopIsps(5).label(),
+            "5cps+top5"
+        );
+    }
+}
+
+/// Greedy early-adopter selection — the natural heuristic for the
+/// Theorem 6.1 objective (maximize terminal secure ASes), which is
+/// NP-hard to optimize or even approximate.
+///
+/// Starting from the empty set, repeatedly add the candidate whose
+/// inclusion maximizes the number of secure ASes when the deployment
+/// process terminates, evaluated by actually running the simulator.
+/// Candidates are the `pool` highest-degree ISPs plus the designated
+/// CPs (the full AS set would be hopeless — and pointless, per the
+/// degree results of Section 6.3).
+///
+/// Cost: `k × (pool + cps)` full simulations; intended for
+/// experiment-scale graphs.
+pub fn greedy_select(
+    g: &sbgp_asgraph::AsGraph,
+    weights: &sbgp_asgraph::Weights,
+    tiebreaker: &dyn sbgp_routing::TieBreaker,
+    cfg: crate::SimConfig,
+    k: usize,
+    pool: usize,
+) -> Vec<AsId> {
+    use crate::Simulation;
+    let mut candidates: Vec<AsId> = stats::top_k_by_degree(g, AsClass::Isp, pool);
+    candidates.extend_from_slice(g.content_providers());
+    let sim = Simulation::new(g, weights, tiebreaker, cfg);
+    let mut chosen: Vec<AsId> = Vec::with_capacity(k);
+    let mut best_score = 0usize;
+    for _ in 0..k {
+        let mut round_best: Option<(usize, AsId)> = None;
+        for &cand in &candidates {
+            if chosen.contains(&cand) {
+                continue;
+            }
+            let mut trial = chosen.clone();
+            trial.push(cand);
+            let score = sim.run(&trial).final_state.count();
+            if round_best.is_none_or(|(s, _)| score > s) {
+                round_best = Some((score, cand));
+            }
+        }
+        let Some((score, cand)) = round_best else {
+            break;
+        };
+        // Keep adding even on ties — a larger seed set never hurts the
+        // Theorem 6.1 objective here, and the budget is k.
+        chosen.push(cand);
+        best_score = score;
+    }
+    let _ = best_score;
+    chosen
+}
+
+#[cfg(test)]
+mod greedy_tests {
+    use super::*;
+    use crate::SimConfig;
+    use sbgp_asgraph::gen::{generate, GenParams};
+    use sbgp_asgraph::Weights;
+    use sbgp_routing::HashTieBreak;
+
+    #[test]
+    fn greedy_beats_random_and_matches_budget() {
+        let g = generate(&GenParams::new(200, 6)).graph;
+        let w = Weights::with_cp_fraction(&g, 0.10);
+        let cfg = SimConfig {
+            theta: 0.10,
+            ..SimConfig::default()
+        };
+        let greedy = greedy_select(&g, &w, &HashTieBreak, cfg, 3, 8);
+        assert_eq!(greedy.len(), 3);
+        let mut dedup = greedy.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "no duplicates");
+
+        let sim = crate::Simulation::new(&g, &w, &HashTieBreak, cfg);
+        let greedy_score = sim.run(&greedy).final_state.count();
+        let random = EarlyAdopters::RandomIsps { k: 3, seed: 5 }.select(&g);
+        let random_score = sim.run(&random).final_state.count();
+        assert!(
+            greedy_score >= random_score,
+            "greedy {greedy_score} vs random {random_score}"
+        );
+        // Greedy is at least as good as its own first pick alone.
+        let solo_score = sim.run(&greedy[..1]).final_state.count();
+        assert!(greedy_score >= solo_score);
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let g = generate(&GenParams::new(150, 9)).graph;
+        let w = Weights::with_cp_fraction(&g, 0.10);
+        let cfg = SimConfig {
+            theta: 0.05,
+            ..SimConfig::default()
+        };
+        let a = greedy_select(&g, &w, &HashTieBreak, cfg, 2, 6);
+        let b = greedy_select(&g, &w, &HashTieBreak, cfg, 2, 6);
+        assert_eq!(a, b);
+    }
+}

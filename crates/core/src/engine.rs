@@ -1,0 +1,596 @@
+//! The per-round utility computation (Appendix C).
+//!
+//! For a deployment state `S`, one round must produce, for every node,
+//! its utility `u_n(S)` and, for every *candidate* ISP `n`, its
+//! projected utility `u_n(¬S_n, S_−n)` in its own flipped state. Done
+//! naively that is `0.15·|V|` full routing-tree computations per
+//! destination; the engine applies the paper's optimizations:
+//!
+//! * **C.4-1** — if a destination is insecure in both the base and the
+//!   flipped state, its routing tree is *identical* in both (no secure
+//!   paths can exist), so the candidate's projected contribution
+//!   equals its base contribution and no work is needed. For an
+//!   insecure destination `d`, the only candidates whose flip changes
+//!   `d`'s security are `d` itself and — because turning on deploys
+//!   simplex S\*BGP at stubs — `d`'s providers when `d` is a stub.
+//! * **C.4-2** — in the outgoing model secure ISPs are never
+//!   candidates (Theorem 6.2), handled by the caller's candidate list.
+//! * **C.4-3** — for a secure destination, flipping candidate `n` ON
+//!   provably leaves the tree unchanged unless a fully secure path
+//!   could newly appear through `n` (some tiebreak-set member of `n`
+//!   already has a secure path) or an upgraded stub of `n` would
+//!   change its own choice (stubs prefer secure paths and have a
+//!   secure member). Flipping `n` OFF changes nothing unless `n`'s own
+//!   chosen path was secure.
+//!
+//! Work is split across worker threads by destination (the map side of
+//! the paper's DryadLINQ layout, Appendix C.3) and reduced by summing
+//! per-worker accumulators.
+
+use crate::config::SimConfig;
+use sbgp_asgraph::{AsGraph, AsId, Weights};
+use sbgp_routing::{
+    add_utilities, accumulate_flows, compute_tree, flows_and_target_utility, DestContext,
+    RouteTree, SecureSet, TieBreaker,
+};
+
+use crate::config::UtilityModel;
+
+/// Candidate action this round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CandKind {
+    NotCandidate,
+    /// Insecure ISP evaluating deployment (also secures its stubs).
+    TurnOn,
+    /// Secure ISP evaluating disabling (incoming model only).
+    TurnOff,
+}
+
+/// Result of one round's utility computation.
+#[derive(Clone, Debug)]
+pub struct RoundComputation {
+    /// `u_n(S)` per node, outgoing model (Eq. 1).
+    pub base_out: Vec<f64>,
+    /// `u_n(S)` per node, incoming model (Eq. 2).
+    pub base_in: Vec<f64>,
+    /// `u_n(¬S_n, S_−n)` per node, outgoing model. Meaningful only for
+    /// the round's candidates; equals the base value elsewhere.
+    pub proj_out: Vec<f64>,
+    /// `u_n(¬S_n, S_−n)` per node, incoming model.
+    pub proj_in: Vec<f64>,
+}
+
+impl RoundComputation {
+    /// Base utility of `n` under `model`.
+    pub fn base(&self, model: UtilityModel, n: AsId) -> f64 {
+        match model {
+            UtilityModel::Outgoing => self.base_out[n.index()],
+            UtilityModel::Incoming => self.base_in[n.index()],
+        }
+    }
+
+    /// Projected utility of `n` under `model`.
+    pub fn projected(&self, model: UtilityModel, n: AsId) -> f64 {
+        match model {
+            UtilityModel::Outgoing => self.proj_out[n.index()],
+            UtilityModel::Incoming => self.proj_in[n.index()],
+        }
+    }
+}
+
+/// Per-worker scratch: everything a thread needs to process
+/// destinations without allocation in the loop.
+struct Scratch {
+    ctx: DestContext,
+    base_tree: RouteTree,
+    proj_tree: RouteTree,
+    flow: Vec<f64>,
+    base_flow: Vec<f64>,
+    secure: SecureSet,
+    dest_out: Vec<f64>,
+    dest_in: Vec<f64>,
+    flips: Vec<AsId>,
+    // Accumulators (the worker's "reduce" inputs).
+    u_out: Vec<f64>,
+    u_in: Vec<f64>,
+    delta_out: Vec<f64>,
+    delta_in: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(n: usize, state: &SecureSet) -> Self {
+        Scratch {
+            ctx: DestContext::new(n),
+            base_tree: RouteTree::new(n),
+            proj_tree: RouteTree::new(n),
+            flow: Vec::with_capacity(n),
+            base_flow: Vec::with_capacity(n),
+            secure: state.clone(),
+            dest_out: vec![0.0; n],
+            dest_in: vec![0.0; n],
+            flips: Vec::new(),
+            u_out: vec![0.0; n],
+            u_in: vec![0.0; n],
+            delta_out: vec![0.0; n],
+            delta_in: vec![0.0; n],
+        }
+    }
+}
+
+/// The round-utility engine; holds the immutable inputs shared by all
+/// rounds of a simulation.
+pub struct UtilityEngine<'a> {
+    g: &'a AsGraph,
+    weights: &'a Weights,
+    tiebreaker: &'a dyn TieBreaker,
+    cfg: SimConfig,
+}
+
+impl<'a> UtilityEngine<'a> {
+    /// Create an engine over `g` with traffic `weights`.
+    pub fn new(
+        g: &'a AsGraph,
+        weights: &'a Weights,
+        tiebreaker: &'a dyn TieBreaker,
+        cfg: SimConfig,
+    ) -> Self {
+        UtilityEngine {
+            g,
+            weights,
+            tiebreaker,
+            cfg,
+        }
+    }
+
+    /// The configuration this engine runs under.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Compute base and projected utilities for `state`.
+    ///
+    /// `candidates` are the ISPs whose projected (flipped) utility is
+    /// needed: the simulation passes every insecure ISP (evaluating
+    /// turn-on) and, in the incoming model, every secure ISP
+    /// (evaluating turn-off).
+    pub fn compute(&self, state: &SecureSet, candidates: &[AsId]) -> RoundComputation {
+        self.compute_with_options(state, candidates, true)
+    }
+
+    /// [`compute`](Self::compute) with the Appendix C.4 skip rules
+    /// switchable. `skip_rules = false` recomputes the routing tree
+    /// for **every** (candidate, destination) pair — the naive
+    /// `O(0.15·t·|V|³)` algorithm. Exists for the ablation benchmark
+    /// and as a cross-check oracle in tests; results must be
+    /// identical either way.
+    pub fn compute_with_options(
+        &self,
+        state: &SecureSet,
+        candidates: &[AsId],
+        skip_rules: bool,
+    ) -> RoundComputation {
+        let n = self.g.len();
+        let mut kind = vec![CandKind::NotCandidate; n];
+        for &c in candidates {
+            kind[c.index()] = if state.get(c) {
+                CandKind::TurnOff
+            } else {
+                CandKind::TurnOn
+            };
+        }
+
+        let threads = self.cfg.effective_threads().max(1).min(n.max(1));
+        let outputs: Vec<Scratch> = if threads <= 1 {
+            let mut sc = Scratch::new(n, state);
+            for d in self.g.nodes() {
+                self.process_dest(d, state, candidates, &kind, skip_rules, &mut sc);
+            }
+            vec![sc]
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for t in 0..threads {
+                    let kind = &kind;
+                    let candidates = &candidates;
+                    handles.push(scope.spawn(move |_| {
+                        let mut sc = Scratch::new(n, state);
+                        // Strided assignment balances the cost skew
+                        // between secure and insecure destinations.
+                        let mut d = t as u32;
+                        while (d as usize) < n {
+                            self.process_dest(AsId(d), state, candidates, kind, skip_rules, &mut sc);
+                            d += threads as u32;
+                        }
+                        sc
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("worker thread panicked")
+        };
+
+        // Reduce.
+        let mut base_out = vec![0.0; n];
+        let mut base_in = vec![0.0; n];
+        let mut proj_out = vec![0.0; n];
+        let mut proj_in = vec![0.0; n];
+        for sc in &outputs {
+            for i in 0..n {
+                base_out[i] += sc.u_out[i];
+                base_in[i] += sc.u_in[i];
+                proj_out[i] += sc.delta_out[i];
+                proj_in[i] += sc.delta_in[i];
+            }
+        }
+        // Projected = base + accumulated deltas (skipped destinations
+        // contribute zero delta by the C.4 arguments).
+        for i in 0..n {
+            proj_out[i] += base_out[i];
+            proj_in[i] += base_in[i];
+        }
+        RoundComputation {
+            base_out,
+            base_in,
+            proj_out,
+            proj_in,
+        }
+    }
+
+    /// Does any member of `x`'s tiebreak set have a fully secure path
+    /// in `tree`?
+    #[inline]
+    fn member_secure(ctx: &DestContext, tree: &RouteTree, x: AsId) -> bool {
+        ctx.tiebreak_set(x)
+            .iter()
+            .any(|&m| tree.secure[m as usize])
+    }
+
+    fn process_dest(
+        &self,
+        d: AsId,
+        state: &SecureSet,
+        candidates: &[AsId],
+        kind: &[CandKind],
+        skip_rules: bool,
+        sc: &mut Scratch,
+    ) {
+        let g = self.g;
+        let policy = self.cfg.tree_policy;
+        sc.ctx.compute(g, d, self.tiebreaker);
+
+        // Base tree, flows, and this destination's utility contributions.
+        compute_tree(g, &sc.ctx, state, policy, &mut sc.base_tree);
+        accumulate_flows(&sc.ctx, &sc.base_tree, self.weights, &mut sc.base_flow);
+        for &xi in sc.ctx.order() {
+            sc.dest_out[xi as usize] = 0.0;
+            sc.dest_in[xi as usize] = 0.0;
+        }
+        add_utilities(
+            &sc.ctx,
+            &sc.base_tree,
+            self.weights,
+            &sc.base_flow,
+            &mut sc.dest_out,
+            &mut sc.dest_in,
+        );
+        for &xi in sc.ctx.order() {
+            sc.u_out[xi as usize] += sc.dest_out[xi as usize];
+            sc.u_in[xi as usize] += sc.dest_in[xi as usize];
+        }
+
+        if !skip_rules {
+            // Ablation mode: project every candidate against every
+            // destination, no shortcuts.
+            for &cand in candidates {
+                let k = kind[cand.index()];
+                debug_assert_ne!(k, CandKind::NotCandidate);
+                self.project_candidate(cand, k, state, sc);
+            }
+            return;
+        }
+
+        let d_secure = state.get(d);
+        if !d_secure {
+            // C.4-1: the tree of an insecure destination is
+            // state-independent. Only flips that *secure d itself*
+            // matter: d (if an insecure candidate ISP) or, for a stub
+            // destination, its candidate providers (simplex upgrade).
+            if kind[d.index()] == CandKind::TurnOn {
+                self.project_candidate(d, CandKind::TurnOn, state, sc);
+            }
+            if g.is_stub(d) {
+                for &p in g.providers(d) {
+                    if kind[p.index()] == CandKind::TurnOn {
+                        self.project_candidate(p, CandKind::TurnOn, state, sc);
+                    }
+                }
+            }
+            return;
+        }
+
+        // Secure destination: evaluate each candidate under C.4-3.
+        for &cand in candidates {
+            match kind[cand.index()] {
+                CandKind::NotCandidate => unreachable!("candidate list mismatch"),
+                CandKind::TurnOn => {
+                    let mut need = Self::member_secure(&sc.ctx, &sc.base_tree, cand);
+                    if !need && policy.stubs_prefer_secure {
+                        need = g.stub_customers_of(cand).any(|s| {
+                            !state.get(s) && Self::member_secure(&sc.ctx, &sc.base_tree, s)
+                        });
+                    }
+                    if need {
+                        self.project_candidate(cand, CandKind::TurnOn, state, sc);
+                    }
+                }
+                CandKind::TurnOff => {
+                    if sc.base_tree.secure[cand.index()] {
+                        self.project_candidate(cand, CandKind::TurnOff, state, sc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recompute the tree in `cand`'s flipped state and accumulate the
+    /// delta of `cand`'s utility contribution for the current
+    /// destination.
+    fn project_candidate(&self, cand: AsId, kind: CandKind, state: &SecureSet, sc: &mut Scratch) {
+        let g = self.g;
+        sc.flips.clear();
+        sc.flips.push(cand);
+        let turning_on = kind == CandKind::TurnOn;
+        if turning_on {
+            // Deploying also installs simplex S*BGP at all currently
+            // insecure stub customers (Section 2.3). Turning off does
+            // not un-install it.
+            for s in g.stub_customers_of(cand) {
+                if !state.get(s) {
+                    sc.flips.push(s);
+                }
+            }
+        }
+        for &f in &sc.flips {
+            sc.secure.set(f, turning_on);
+        }
+        compute_tree(g, &sc.ctx, &sc.secure, self.cfg.tree_policy, &mut sc.proj_tree);
+        let (o, i) =
+            flows_and_target_utility(&sc.ctx, &sc.proj_tree, self.weights, cand, &mut sc.flow);
+        sc.delta_out[cand.index()] += o - sc.dest_out[cand.index()];
+        sc.delta_in[cand.index()] += i - sc.dest_in[cand.index()];
+        for &f in &sc.flips {
+            sc.secure.set(f, !turning_on);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SimConfig, UtilityModel};
+    use sbgp_asgraph::{AsGraph, AsGraphBuilder};
+    use sbgp_routing::{HashTieBreak, LowestAsnTieBreak, TreePolicy};
+
+    /// Brute-force reference: compute projected utility by running the
+    /// full pipeline on every destination in the flipped state, with
+    /// no skip rules.
+    fn brute_force_projected(
+        g: &AsGraph,
+        weights: &Weights,
+        state: &SecureSet,
+        cand: AsId,
+        policy: TreePolicy,
+        tiebreaker: &dyn TieBreaker,
+    ) -> (f64, f64) {
+        let mut flipped = state.clone();
+        let turning_on = !state.get(cand);
+        flipped.set(cand, turning_on);
+        if turning_on {
+            for s in g.stub_customers_of(cand) {
+                flipped.set(s, true);
+            }
+        }
+        let mut ctx = DestContext::new(g.len());
+        let mut acc = sbgp_routing::UtilityAccumulator::new(g.len());
+        for d in g.nodes() {
+            ctx.compute(g, d, tiebreaker);
+            acc.add_destination(g, &ctx, &flipped, policy, weights);
+        }
+        (acc.u_out[cand.index()], acc.u_in[cand.index()])
+    }
+
+    /// Diamond with an extra tier: t (early adopter) above two
+    /// competing ISPs over a multihomed stub, plus single-homed stubs.
+    fn diamond_world() -> (AsGraph, AsId, AsId, AsId, AsId) {
+        let mut b = AsGraphBuilder::new();
+        let t = b.add_node(100);
+        let ia = b.add_node(10);
+        let ib = b.add_node(20);
+        let s = b.add_node(30);
+        let sa = b.add_node(40);
+        let sb = b.add_node(50);
+        b.add_provider_customer(t, ia).unwrap();
+        b.add_provider_customer(t, ib).unwrap();
+        b.add_provider_customer(ia, s).unwrap();
+        b.add_provider_customer(ib, s).unwrap();
+        b.add_provider_customer(ia, sa).unwrap();
+        b.add_provider_customer(ib, sb).unwrap();
+        let g = b.build().unwrap();
+        (g, t, ia, ib, s)
+    }
+
+    #[test]
+    fn engine_matches_brute_force_on_diamond() {
+        let (g, t, ia, ib, _s) = diamond_world();
+        let w = Weights::uniform(&g);
+        let tb = LowestAsnTieBreak;
+        let cfg = SimConfig::default();
+        let state = crate::state::initial_state(&g, &[t]);
+        let engine = UtilityEngine::new(&g, &w, &tb, cfg);
+        let comp = engine.compute(&state, &[ia, ib]);
+        for cand in [ia, ib] {
+            let (o, i) =
+                brute_force_projected(&g, &w, &state, cand, cfg.tree_policy, &tb);
+            assert!(
+                (comp.proj_out[cand.index()] - o).abs() < 1e-9,
+                "out mismatch for {cand}: engine {} vs brute {o}",
+                comp.proj_out[cand.index()]
+            );
+            assert!(
+                (comp.proj_in[cand.index()] - i).abs() < 1e-9,
+                "in mismatch for {cand}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_matches_brute_force_on_generated_graph() {
+        use sbgp_asgraph::gen::{generate, GenParams};
+        let g = generate(&GenParams::new(100, 77)).graph;
+        let w = Weights::with_cp_fraction(&g, 0.1);
+        let tb = HashTieBreak;
+        for stubs_prefer in [true, false] {
+            let cfg = SimConfig {
+                tree_policy: TreePolicy {
+                    stubs_prefer_secure: stubs_prefer,
+                },
+                ..SimConfig::default()
+            };
+            // Seed a couple of early adopters so secure paths exist.
+            let adopters: Vec<AsId> =
+                sbgp_asgraph::stats::top_k_by_degree(&g, sbgp_asgraph::AsClass::Isp, 2);
+            let state = crate::state::initial_state(&g, &adopters);
+            let candidates: Vec<AsId> = g.isps().filter(|&n| !state.get(n)).collect();
+            let engine = UtilityEngine::new(&g, &w, &tb, cfg);
+            let comp = engine.compute(&state, &candidates);
+            // Verify a sample of candidates against brute force.
+            for &cand in candidates.iter().step_by(7) {
+                let (o, i) =
+                    brute_force_projected(&g, &w, &state, cand, cfg.tree_policy, &tb);
+                assert!(
+                    (comp.proj_out[cand.index()] - o).abs() < 1e-6,
+                    "out mismatch for {cand} (stubs_prefer={stubs_prefer}): {} vs {o}",
+                    comp.proj_out[cand.index()]
+                );
+                assert!(
+                    (comp.proj_in[cand.index()] - i).abs() < 1e-6,
+                    "in mismatch for {cand} (stubs_prefer={stubs_prefer}): {} vs {i}",
+                    comp.proj_in[cand.index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn turn_off_projection_matches_brute_force() {
+        use sbgp_asgraph::gen::{generate, GenParams};
+        let g = generate(&GenParams::new(100, 3)).graph;
+        let w = Weights::with_cp_fraction(&g, 0.2);
+        let tb = HashTieBreak;
+        let cfg = SimConfig {
+            model: UtilityModel::Incoming,
+            ..SimConfig::default()
+        };
+        let adopters: Vec<AsId> =
+            sbgp_asgraph::stats::top_k_by_degree(&g, sbgp_asgraph::AsClass::Isp, 4);
+        let state = crate::state::initial_state(&g, &adopters);
+        let engine = UtilityEngine::new(&g, &w, &tb, cfg);
+        let comp = engine.compute(&state, &adopters);
+        for &cand in &adopters {
+            let (o, i) = brute_force_projected(&g, &w, &state, cand, cfg.tree_policy, &tb);
+            assert!(
+                (comp.proj_out[cand.index()] - o).abs() < 1e-6,
+                "turn-off out mismatch for {cand}"
+            );
+            assert!(
+                (comp.proj_in[cand.index()] - i).abs() < 1e-6,
+                "turn-off in mismatch for {cand}: {} vs {i}",
+                comp.proj_in[cand.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn base_utilities_match_direct_accumulation() {
+        use sbgp_asgraph::gen::{generate, GenParams};
+        let g = generate(&GenParams::new(100, 5)).graph;
+        let w = Weights::uniform(&g);
+        let tb = HashTieBreak;
+        let cfg = SimConfig::default();
+        let state = SecureSet::new(g.len());
+        let engine = UtilityEngine::new(&g, &w, &tb, cfg);
+        let comp = engine.compute(&state, &[]);
+        let mut ctx = DestContext::new(g.len());
+        let mut acc = sbgp_routing::UtilityAccumulator::new(g.len());
+        for d in g.nodes() {
+            ctx.compute(&g, d, &tb);
+            acc.add_destination(&g, &ctx, &state, cfg.tree_policy, &w);
+        }
+        for i in 0..g.len() {
+            assert!((comp.base_out[i] - acc.u_out[i]).abs() < 1e-9);
+            assert!((comp.base_in[i] - acc.u_in[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn skip_rules_are_exact_not_heuristic() {
+        // The C.4 optimizations must change nothing but speed: the
+        // optimized and brute-force computations agree bit-for-bit on
+        // decisions (and to fp tolerance on values).
+        use sbgp_asgraph::gen::{generate, GenParams};
+        let g = generate(&GenParams::new(120, 21)).graph;
+        let w = Weights::with_cp_fraction(&g, 0.10);
+        let tb = HashTieBreak;
+        for model in [UtilityModel::Outgoing, UtilityModel::Incoming] {
+            let cfg = SimConfig {
+                model,
+                ..SimConfig::default()
+            };
+            let adopters: Vec<AsId> =
+                sbgp_asgraph::stats::top_k_by_degree(&g, sbgp_asgraph::AsClass::Isp, 3);
+            let state = crate::state::initial_state(&g, &adopters);
+            let candidates: Vec<AsId> = g
+                .isps()
+                .filter(|&x| !state.get(x) || model == UtilityModel::Incoming)
+                .collect();
+            let engine = UtilityEngine::new(&g, &w, &tb, cfg);
+            let fast = engine.compute_with_options(&state, &candidates, true);
+            let brute = engine.compute_with_options(&state, &candidates, false);
+            for &c in &candidates {
+                assert!(
+                    (fast.proj_out[c.index()] - brute.proj_out[c.index()]).abs() < 1e-6,
+                    "{model:?} out mismatch at {c}"
+                );
+                assert!(
+                    (fast.proj_in[c.index()] - brute.proj_in[c.index()]).abs() < 1e-6,
+                    "{model:?} in mismatch at {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multithreaded_matches_single_threaded() {
+        use sbgp_asgraph::gen::{generate, GenParams};
+        let g = generate(&GenParams::new(90, 8)).graph;
+        let w = Weights::uniform(&g);
+        let tb = HashTieBreak;
+        let adopters: Vec<AsId> =
+            sbgp_asgraph::stats::top_k_by_degree(&g, sbgp_asgraph::AsClass::Isp, 2);
+        let state = crate::state::initial_state(&g, &adopters);
+        let candidates: Vec<AsId> = g.isps().filter(|&n| !state.get(n)).collect();
+        let run = |threads| {
+            let cfg = SimConfig {
+                threads,
+                ..SimConfig::default()
+            };
+            UtilityEngine::new(&g, &w, &tb, cfg).compute(&state, &candidates)
+        };
+        let a = run(1);
+        let b = run(4);
+        for i in 0..g.len() {
+            assert!((a.base_out[i] - b.base_out[i]).abs() < 1e-6);
+            assert!((a.proj_in[i] - b.proj_in[i]).abs() < 1e-6);
+        }
+    }
+}

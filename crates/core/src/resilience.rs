@@ -1,0 +1,356 @@
+//! How much security does partial deployment buy? (Section 6.4.)
+//!
+//! The paper counts secure paths but explicitly defers quantifying
+//! "resiliency to attack" to future work, citing the methodology of
+//! [15] (Goldberg et al.) — an attacker origin-hijacks a victim's
+//! prefix and one asks how much of the Internet is fooled. The paper's
+//! own motivation cites that under plain BGP "an arbitrary misbehaving
+//! AS can impact about half of the ASes in the Internet".
+//!
+//! This module implements that evaluation against a deployment state:
+//!
+//! * the attacker announces the victim's prefix as its own (a one-hop
+//!   fabrication, the classic origin hijack);
+//! * a **fully secure** AS (secure ISP or CP) *validates* and rejects
+//!   the bogus announcement outright — it neither uses nor propagates
+//!   it;
+//! * a **simplex** stub (Section 2.2.1) signs its own announcements
+//!   but cannot validate, so — like an insecure AS — it treats the
+//!   bogus route as an ordinary route to the prefix and picks by LP,
+//!   path length, and tiebreak;
+//! * every AS ends up routing the prefix toward either the victim or
+//!   the attacker; the *deceived* set is everyone routing to the
+//!   attacker.
+//!
+//! The computation is a two-origin path-vector convergence (both the
+//! victim and the attacker originate the prefix), structured like
+//! [`sbgp_routing::oracle`]. It is deliberately the naive algorithm:
+//! per-node candidate filtering makes route class and length depend on
+//! the deployment state, so the Observation C.1 fast path does not
+//! apply.
+
+use sbgp_asgraph::{AsGraph, AsId};
+use sbgp_routing::{SecureSet, TieBreaker, TreePolicy};
+
+/// Result of one hijack simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HijackOutcome {
+    /// ASes whose chosen route for the prefix leads to the attacker.
+    pub deceived: usize,
+    /// ASes that still reach the true victim.
+    pub reached_victim: usize,
+    /// ASes with no route to the prefix at all (neither origin
+    /// reachable, or every candidate was rejected by validation).
+    pub unreachable: usize,
+}
+
+impl HijackOutcome {
+    /// Fraction of (non-origin) ASes deceived.
+    pub fn deceived_fraction(&self) -> f64 {
+        let total = self.deceived + self.reached_victim + self.unreachable;
+        if total == 0 {
+            0.0
+        } else {
+            self.deceived as f64 / total as f64
+        }
+    }
+}
+
+/// A ranked candidate: (LP class, length, security flag, tiebreak key)
+/// plus the path itself.
+type RankedPath = ((u8, usize, u8, u64), Vec<AsId>);
+
+/// Does `n` validate S\*BGP announcements in `state`? Fully secure
+/// ISPs and CPs do; simplex stubs and insecure ASes do not.
+fn validates(g: &AsGraph, state: &SecureSet, n: AsId) -> bool {
+    state.get(n) && !g.is_stub(n)
+}
+
+/// Simulate `attacker` origin-hijacking `victim`'s prefix under
+/// deployment state `state`.
+///
+/// # Panics
+/// Panics if `attacker == victim`.
+pub fn simulate_hijack(
+    g: &AsGraph,
+    state: &SecureSet,
+    policy: TreePolicy,
+    attacker: AsId,
+    victim: AsId,
+    tiebreaker: &dyn TieBreaker,
+) -> HijackOutcome {
+    assert_ne!(attacker, victim, "attacker cannot hijack itself");
+    let n = g.len();
+    // Route per node: the AS-path to whichever origin it selected.
+    // `None` = no route. A path ending at `attacker` is bogus.
+    let mut paths: Vec<Option<Vec<AsId>>> = vec![None; n];
+    paths[victim.index()] = Some(vec![victim]);
+    paths[attacker.index()] = Some(vec![attacker]);
+
+    let is_bogus = |p: &[AsId]| *p.last().expect("paths are non-empty") == attacker;
+    let fully_secure = |p: &[AsId]| p.iter().all(|&x| state.get(x));
+
+    let lp = |x: AsId, m: AsId| -> u8 {
+        g.relationship(x, m)
+            .expect("candidate must be a neighbor")
+            .preference_rank()
+    };
+    let exports = |m: AsId, x: AsId, mp: &[AsId]| -> bool {
+        if mp.len() == 1 {
+            return true; // origin announces to everyone
+        }
+        if g.customers(m).binary_search(&x).is_ok() {
+            return true;
+        }
+        g.customers(m).binary_search(&mp[1]).is_ok()
+    };
+
+    let max_iters = 2 * n + 10;
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        assert!(iterations <= max_iters, "hijack simulation failed to converge");
+        let mut changed = false;
+        let mut next = paths.clone();
+        for x in g.nodes() {
+            if x == victim || x == attacker {
+                continue;
+            }
+            let x_validates = validates(g, state, x);
+            let applies_secp = state.get(x) && (policy.stubs_prefer_secure || !g.is_stub(x));
+            let mut best: Option<RankedPath> = None;
+            for &m in g.neighbors(x) {
+                let Some(mp) = paths[m.index()].as_ref() else {
+                    continue;
+                };
+                if mp.contains(&x) || !exports(m, x, mp) {
+                    continue;
+                }
+                // Validation: a fully secure AS rejects the hijack —
+                // the announcement cannot carry the victim's
+                // signature (S-BGP) or a certificate for the
+                // fabricated origination (soBGP).
+                if x_validates && is_bogus(mp) {
+                    continue;
+                }
+                let mut cand = Vec::with_capacity(mp.len() + 1);
+                cand.push(x);
+                cand.extend_from_slice(mp);
+                // Bogus routes are never fully secure: the attacker
+                // cannot forge the victim's signature.
+                let sec_flag =
+                    u8::from(!(applies_secp && !is_bogus(&cand) && fully_secure(&cand)));
+                let rank = (lp(x, m), cand.len() - 1, sec_flag, tiebreaker.key(g, x, m));
+                if best.as_ref().is_none_or(|(r, _)| rank < *r) {
+                    best = Some((rank, cand));
+                }
+            }
+            let new = best.map(|(_, p)| p);
+            if new != paths[x.index()] {
+                changed = true;
+            }
+            next[x.index()] = new;
+        }
+        paths = next;
+        if !changed {
+            break;
+        }
+    }
+
+    let mut outcome = HijackOutcome {
+        deceived: 0,
+        reached_victim: 0,
+        unreachable: 0,
+    };
+    for x in g.nodes() {
+        if x == victim || x == attacker {
+            continue;
+        }
+        match &paths[x.index()] {
+            None => outcome.unreachable += 1,
+            Some(p) if is_bogus(p) => outcome.deceived += 1,
+            Some(_) => outcome.reached_victim += 1,
+        }
+    }
+    outcome
+}
+
+/// Mean deceived fraction over `n_pairs` deterministic
+/// (attacker, victim) samples — the headline resilience number for a
+/// deployment state. The same seed samples the same pairs, so states
+/// can be compared.
+pub fn mean_deceived_fraction(
+    g: &AsGraph,
+    state: &SecureSet,
+    policy: TreePolicy,
+    tiebreaker: &dyn TieBreaker,
+    n_pairs: usize,
+    seed: u64,
+) -> f64 {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.len() as u32;
+    let mut total = 0.0;
+    let mut count = 0;
+    while count < n_pairs {
+        let a = AsId(rng.gen_range(0..n));
+        let v = AsId(rng.gen_range(0..n));
+        if a == v {
+            continue;
+        }
+        total += simulate_hijack(g, state, policy, a, v, tiebreaker).deceived_fraction();
+        count += 1;
+    }
+    total / n_pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_asgraph::gen::{generate, GenParams};
+    use sbgp_asgraph::AsGraphBuilder;
+    use sbgp_routing::{HashTieBreak, LowestAsnTieBreak};
+
+    /// v and a are both stubs of competing ISPs under a common Tier-1.
+    fn contest() -> (AsGraph, AsId, AsId, AsId, AsId, AsId) {
+        let mut b = AsGraphBuilder::new();
+        let t = b.add_node(1);
+        let ia = b.add_node(10);
+        let ib = b.add_node(20);
+        let v = b.add_node(100);
+        let a = b.add_node(200);
+        b.add_provider_customer(t, ia).unwrap();
+        b.add_provider_customer(t, ib).unwrap();
+        b.add_provider_customer(ia, v).unwrap();
+        b.add_provider_customer(ib, a).unwrap();
+        let g = b.build().unwrap();
+        (g, t, ia, ib, v, a)
+    }
+
+    #[test]
+    fn insecure_world_splits_by_distance_and_tiebreak() {
+        let (g, t, ia, _ib, v, a) = contest();
+        let state = SecureSet::new(g.len());
+        let out = simulate_hijack(&g, &state, TreePolicy::default(), a, v, &LowestAsnTieBreak);
+        // ia is v's provider (1 hop): not deceived. ib is a's provider:
+        // deceived. t ties at length 2 and picks via ia (ASN 10 < 20):
+        // reaches the victim.
+        assert_eq!(
+            out,
+            HijackOutcome {
+                deceived: 1,
+                reached_victim: 2,
+                unreachable: 0
+            }
+        );
+        let _ = (t, ia);
+    }
+
+    #[test]
+    fn validating_isps_block_the_hijack() {
+        let (g, t, ia, ib, v, a) = contest();
+        let mut state = SecureSet::new(g.len());
+        // Everyone secure except the attacker: bogus routes are
+        // rejected at every validating hop, so even a's own provider
+        // refuses the announcement... ib *is* secure so it validates.
+        for x in [t, ia, ib, v] {
+            state.set(x, true);
+        }
+        let out = simulate_hijack(&g, &state, TreePolicy::default(), a, v, &LowestAsnTieBreak);
+        assert_eq!(out.deceived, 0);
+        assert_eq!(out.reached_victim, 3);
+    }
+
+    #[test]
+    fn simplex_stubs_remain_deceivable() {
+        // Add a multihomed stub s under both ISPs; secure everything
+        // except s runs simplex (it cannot validate). The bogus route
+        // dies at the validating ISPs, so even s is protected — the
+        // paper's "the only open attack vector is the ISP itself"
+        // argument (Section 2.2.1).
+        let mut b = AsGraphBuilder::new();
+        let t = b.add_node(1);
+        let ia = b.add_node(10);
+        let ib = b.add_node(20);
+        let v = b.add_node(100);
+        let a = b.add_node(200);
+        let s = b.add_node(300);
+        b.add_provider_customer(t, ia).unwrap();
+        b.add_provider_customer(t, ib).unwrap();
+        b.add_provider_customer(ia, v).unwrap();
+        b.add_provider_customer(ib, a).unwrap();
+        b.add_provider_customer(ia, s).unwrap();
+        b.add_provider_customer(ib, s).unwrap();
+        let g = b.build().unwrap();
+        let (t, ia, ib, v, a, s) = (
+            g.node_by_asn(1).unwrap(),
+            g.node_by_asn(10).unwrap(),
+            g.node_by_asn(20).unwrap(),
+            g.node_by_asn(100).unwrap(),
+            g.node_by_asn(200).unwrap(),
+            g.node_by_asn(300).unwrap(),
+        );
+        let mut state = SecureSet::new(g.len());
+        for x in [t, ia, ib, v, s] {
+            state.set(x, true);
+        }
+        let out = simulate_hijack(&g, &state, TreePolicy::default(), a, v, &HashTieBreak);
+        assert_eq!(out.deceived, 0, "validating providers shield the simplex stub");
+
+        // But if s's providers are NOT validating, the simplex stub
+        // falls back to plain tiebreaks and can be deceived.
+        let mut partial = SecureSet::new(g.len());
+        partial.set(s, true);
+        partial.set(v, true);
+        let out = simulate_hijack(&g, &partial, TreePolicy::default(), a, v, &LowestAsnTieBreak);
+        // s ties between (s, ia, v) true and (s, ib, a) bogus, both
+        // 2-hop provider routes; with no secure path available its
+        // plain tiebreak decides (ia, ASN 10) — not deceived. ib is.
+        assert_eq!(out.deceived, 1);
+    }
+
+    #[test]
+    fn deployment_reduces_deception_monotonically_in_practice() {
+        let g = generate(&GenParams::new(200, 3)).graph;
+        let insecure = SecureSet::new(g.len());
+        let mut half = SecureSet::new(g.len());
+        for x in g.nodes().step_by(2) {
+            half.set(x, true);
+        }
+        let mut full = SecureSet::new(g.len());
+        for x in g.nodes() {
+            full.set(x, true);
+        }
+        let policy = TreePolicy::default();
+        let base = mean_deceived_fraction(&g, &insecure, policy, &HashTieBreak, 30, 9);
+        let mid = mean_deceived_fraction(&g, &half, policy, &HashTieBreak, 30, 9);
+        let top = mean_deceived_fraction(&g, &full, policy, &HashTieBreak, 30, 9);
+        // The paper's motivating number: an arbitrary attacker fools a
+        // large chunk of the insecure Internet.
+        assert!(base > 0.15, "insecure baseline too low: {base}");
+        assert!(mid < base, "half deployment must help: {mid} vs {base}");
+        // Full deployment: only the attacker's own simplex stubs (if
+        // any) could be fooled; with everyone validating upstream,
+        // deception collapses.
+        assert!(top < 0.02, "full deployment should stop hijacks: {top}");
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let g = generate(&GenParams::new(120, 5)).graph;
+        let state = SecureSet::new(g.len());
+        let p = TreePolicy::default();
+        let a = mean_deceived_fraction(&g, &state, p, &HashTieBreak, 20, 1);
+        let b = mean_deceived_fraction(&g, &state, p, &HashTieBreak, 20, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "hijack itself")]
+    fn attacker_is_not_victim() {
+        let (g, _, _, _, v, _) = contest();
+        let state = SecureSet::new(g.len());
+        let _ = simulate_hijack(&g, &state, TreePolicy::default(), v, v, &HashTieBreak);
+    }
+}

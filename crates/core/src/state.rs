@@ -1,0 +1,86 @@
+//! Deployment-state construction and transitions (Section 3.2).
+
+use sbgp_asgraph::{AsGraph, AsId};
+use sbgp_routing::SecureSet;
+
+/// Build the round-0 state: the early adopters are secure, and the
+/// stub customers of every early-adopter *ISP* run simplex S\*BGP
+/// (Section 3.2 — CP early adopters have no customers to upgrade).
+pub fn initial_state(g: &AsGraph, early_adopters: &[AsId]) -> SecureSet {
+    let mut s = SecureSet::new(g.len());
+    for &n in early_adopters {
+        s.set(n, true);
+    }
+    for &n in early_adopters {
+        secure_stubs_of(g, n, &mut s);
+    }
+    s
+}
+
+/// Deploy simplex S\*BGP at every stub customer of `n` (Section 2.3:
+/// "a secure ISP should be responsible for upgrading all its insecure
+/// stub customers").
+pub fn secure_stubs_of(g: &AsGraph, n: AsId, s: &mut SecureSet) {
+    for stub in g.stub_customers_of(n) {
+        s.set(stub, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_asgraph::AsGraphBuilder;
+
+    #[test]
+    fn initial_state_secures_adopters_and_their_stubs() {
+        // isp1 -> {stub_a, stub_b}; isp2 -> stub_c; cp (no customers).
+        let mut b = AsGraphBuilder::new();
+        let t = b.add_node(0);
+        let isp1 = b.add_node(1);
+        let isp2 = b.add_node(2);
+        let stub_a = b.add_node(3);
+        let stub_b = b.add_node(4);
+        let stub_c = b.add_node(5);
+        let cp = b.add_node(6);
+        b.add_provider_customer(t, isp1).unwrap();
+        b.add_provider_customer(t, isp2).unwrap();
+        b.add_provider_customer(isp1, stub_a).unwrap();
+        b.add_provider_customer(isp1, stub_b).unwrap();
+        b.add_provider_customer(isp2, stub_c).unwrap();
+        b.add_provider_customer(t, cp).unwrap();
+        b.mark_content_provider(cp);
+        let g = b.build().unwrap();
+
+        let s = initial_state(&g, &[isp1, cp]);
+        assert!(s.get(isp1) && s.get(cp));
+        assert!(s.get(stub_a) && s.get(stub_b), "isp1's stubs run simplex");
+        assert!(!s.get(isp2) && !s.get(stub_c) && !s.get(t));
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn empty_adopters_gives_empty_state() {
+        let mut b = AsGraphBuilder::new();
+        let a = b.add_node(0);
+        let c = b.add_node(1);
+        b.add_provider_customer(a, c).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(initial_state(&g, &[]).count(), 0);
+    }
+
+    #[test]
+    fn non_stub_customers_not_upgraded() {
+        // t -> isp -> stub: securing t upgrades nothing (isp is not a stub).
+        let mut b = AsGraphBuilder::new();
+        let t = b.add_node(0);
+        let isp = b.add_node(1);
+        let stub = b.add_node(2);
+        b.add_provider_customer(t, isp).unwrap();
+        b.add_provider_customer(isp, stub).unwrap();
+        let g = b.build().unwrap();
+        let s = initial_state(&g, &[t]);
+        assert!(s.get(t));
+        assert!(!s.get(isp));
+        assert!(!s.get(stub));
+    }
+}

@@ -1,0 +1,155 @@
+//! The Section 5 case study (Figures 3–6): five CPs plus the top five
+//! Tier-1s as early adopters, θ = 5%, x = 10%, stubs break ties on
+//! security.
+
+use crate::cli::Options;
+use crate::output::{f3, heading, pct, Table};
+use crate::world::{case_study_adopters, case_study_config, weights, World, TIEBREAK};
+use sbgp_asgraph::AsId;
+use sbgp_core::{metrics, SimResult, Simulation};
+
+fn run_case_study(opts: &Options) -> (World, SimResult) {
+    let world = World::build(opts);
+    let g = world.base();
+    let w = weights(g, opts);
+    let cfg = case_study_config(opts);
+    let adopters = case_study_adopters().select(g);
+    let sim = Simulation::new(g, &w, &TIEBREAK, cfg);
+    let res = sim.run(&adopters);
+    (world, res)
+}
+
+/// Figure 3: number of ASes and ISPs that newly deploy each round.
+pub fn fig3(opts: &Options) {
+    heading("Figure 3: newly secure ASes and ISPs per round (case study)");
+    let (world, res) = run_case_study(opts);
+    let g = world.base();
+    let mut t = Table::new(
+        "fig3_rounds",
+        &["round", "new ISPs", "new stubs", "new ASes", "secure ASes", "secure ISPs"],
+    );
+    for r in &res.rounds {
+        t.row(vec![
+            r.round.to_string(),
+            r.turned_on.len().to_string(),
+            r.newly_secure_stubs.len().to_string(),
+            (r.turned_on.len() + r.newly_secure_stubs.len()).to_string(),
+            r.secure_ases_after.to_string(),
+            r.secure_isps_after.to_string(),
+        ]);
+    }
+    t.emit(opts);
+    println!(
+        "outcome: {:?}; final secure: {} of ASes, {} of ISPs",
+        res.outcome,
+        pct(res.secure_as_fraction(g)),
+        pct(res.secure_isp_fraction(g))
+    );
+}
+
+/// Figure 4: normalized utility traces of three narratively
+/// interesting ISPs — an early adopter-chaser, a late adopter, and a
+/// holdout (the paper tracks ASes 8359, 6731, 8342).
+pub fn fig4(opts: &Options) {
+    heading("Figure 4: normalized utility traces (early / late / never adopter)");
+    let (world, res) = run_case_study(opts);
+    let g = world.base();
+    // Pick protagonists from the run itself.
+    let early = res
+        .rounds
+        .iter()
+        .find(|r| !r.turned_on.is_empty())
+        .and_then(|r| {
+            r.turned_on
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    let ua = res.starting_utilities[a.index()];
+                    let ub = res.starting_utilities[b.index()];
+                    ua.partial_cmp(&ub).unwrap()
+                })
+        });
+    let late = res
+        .rounds
+        .iter()
+        .rev()
+        .find(|r| !r.turned_on.is_empty())
+        .map(|r| r.turned_on[0]);
+    let never = g
+        .isps()
+        .filter(|&n| !res.final_state.get(n) && res.starting_utilities[n.index()] > 0.0)
+        .max_by(|&a, &b| {
+            res.starting_utilities[a.index()]
+                .partial_cmp(&res.starting_utilities[b.index()])
+                .unwrap()
+        });
+    let mut cols = vec!["round".to_string()];
+    let mut picks: Vec<AsId> = Vec::new();
+    for (label, pick) in [("early", early), ("late", late), ("never", never)] {
+        if let Some(n) = pick {
+            cols.push(format!("{label} (ASN {})", g.asn(n)));
+            picks.push(n);
+        }
+    }
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("fig4_traces", &col_refs);
+    let traces: Vec<Vec<f64>> = picks
+        .iter()
+        .map(|&n| metrics::normalized_trace(&res, n))
+        .collect();
+    for (i, r) in res.rounds.iter().enumerate() {
+        let mut row = vec![r.round.to_string()];
+        for tr in &traces {
+            row.push(f3(tr[i]));
+        }
+        t.row(row);
+    }
+    t.emit(opts);
+}
+
+/// Figure 5: per round, the median normalized utility and projected
+/// utility of the ISPs that deploy in the *next* round.
+pub fn fig5(opts: &Options) {
+    heading("Figure 5: median (projected) utility of next-round adopters");
+    let (_world, res) = run_case_study(opts);
+    let mut t = Table::new(
+        "fig5_projected",
+        &["round", "median utility / starting", "median projected / starting"],
+    );
+    for (round, med_u, med_p) in metrics::adopter_utility_series(&res) {
+        t.row(vec![round.to_string(), f3(med_u), f3(med_p)]);
+    }
+    t.emit(opts);
+}
+
+/// Figure 6: cumulative fraction of ISPs secure per round, split by
+/// degree bucket — high-degree ISPs adopt earlier and more often.
+pub fn fig6(opts: &Options) {
+    heading("Figure 6: cumulative ISP adoption by degree bucket");
+    let (world, res) = run_case_study(opts);
+    let g = world.base();
+    let edges = [5usize, 10, 25, 100];
+    let (labels, series) = metrics::adoption_by_degree(g, &res, &edges);
+    let mut cols = vec!["round".to_string()];
+    cols.extend(labels.iter().map(|l| format!("deg {l}")));
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("fig6_by_degree", &col_refs);
+    for (i, snap) in series.iter().enumerate() {
+        let mut row = vec![i.to_string()];
+        row.extend(snap.iter().map(|&v| f3(v)));
+        t.row(row);
+    }
+    t.emit(opts);
+    // The paper's companion observation: the holdouts are
+    // low-degree ISPs serving single-homed stubs.
+    let holdouts: Vec<_> = g.isps().filter(|&n| !res.final_state.get(n)).collect();
+    if !holdouts.is_empty() {
+        let mean_deg =
+            holdouts.iter().map(|&n| g.degree(n)).sum::<usize>() as f64 / holdouts.len() as f64;
+        println!(
+            "{} ISPs never deploy; mean degree {:.1} (paper: ~1000 ISPs, mean degree 6)",
+            holdouts.len(),
+            mean_deg
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 10: the tiebreak-set census and the Section 6.7
+//! security-sensitive-decision computation.
+
+use crate::cli::Options;
+use crate::output::{f3, heading, pct, Table};
+use crate::world::{World, TIEBREAK};
+use sbgp_asgraph::AsClass;
+use sbgp_routing::census::TiebreakCensus;
+
+/// Figure 10 + Section 6.7.
+pub fn fig10(opts: &Options) {
+    heading("Figure 10: tiebreak-set size distribution");
+    let world = World::build(opts);
+    let g = world.base();
+    let census = TiebreakCensus::run(g, g.nodes(), &TIEBREAK);
+
+    let mut t = Table::new("fig10_tiebreak_hist", &["set size", "pairs", "fraction"]);
+    let total = census.total_pairs() as f64;
+    for (size, &count) in census.histogram.iter().enumerate().skip(1) {
+        if count > 0 {
+            t.row(vec![
+                size.to_string(),
+                count.to_string(),
+                format!("{:.6}", count as f64 / total),
+            ]);
+        }
+    }
+    t.emit(opts);
+
+    let mut s = Table::new("fig10_tiebreak_summary", &["statistic", "value", "paper"]);
+    s.row(vec!["mean size (all pairs)".into(), f3(census.mean()), "1.18".into()]);
+    s.row(vec![
+        "mean size (ISP sources)".into(),
+        f3(census.mean_for(AsClass::Isp)),
+        "1.30".into(),
+    ]);
+    s.row(vec![
+        "mean size (stub sources)".into(),
+        f3(census.mean_for(AsClass::Stub)),
+        "1.16".into(),
+    ]);
+    s.row(vec![
+        "pairs with >1 path".into(),
+        pct(census.multi_fraction()),
+        "~20%".into(),
+    ]);
+    s.row(vec![
+        "ISP pairs with >1 path".into(),
+        pct(census.multi_fraction_for(AsClass::Isp)),
+        "~25%".into(),
+    ]);
+    s.row(vec![
+        "security-sensitive decisions".into(),
+        pct(census.security_sensitive_fraction()),
+        "~3.5%".into(),
+    ]);
+    s.emit(opts);
+}

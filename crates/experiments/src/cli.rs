@@ -1,0 +1,108 @@
+//! Minimal flag parsing (no external CLI crates offline).
+
+/// Options shared by all `repro` subcommands.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Topology size (paper: 36,964; default downscaled to 1,000).
+    pub ases: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Deployment threshold θ for single-run commands.
+    pub theta: f64,
+    /// Fraction of traffic originated by the five CPs.
+    pub cp_fraction: f64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Optional CSV output directory.
+    pub out: Option<std::path::PathBuf>,
+    /// `fig13 --census`: run the Section 7.3 whole-graph search.
+    pub census: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            ases: 1_000,
+            seed: 42,
+            theta: 0.05,
+            cp_fraction: 0.10,
+            threads: 1,
+            out: None,
+            census: false,
+        }
+    }
+}
+
+impl Options {
+    /// Parse `--flag value` pairs; unknown flags are errors.
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--ases" => o.ases = value("--ases")?.parse().map_err(|e| format!("--ases: {e}"))?,
+                "--seed" => o.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--theta" => {
+                    o.theta = value("--theta")?.parse().map_err(|e| format!("--theta: {e}"))?
+                }
+                "--cp-fraction" => {
+                    o.cp_fraction = value("--cp-fraction")?
+                        .parse()
+                        .map_err(|e| format!("--cp-fraction: {e}"))?
+                }
+                "--threads" => {
+                    o.threads = value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?
+                }
+                "--out" => o.out = Some(value("--out")?.into()),
+                "--census" => o.census = true,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if o.ases < 50 {
+            return Err("--ases must be at least 50".into());
+        }
+        Ok(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = Options::parse(&[]).unwrap();
+        assert_eq!(o.ases, 1_000);
+        assert_eq!(o.theta, 0.05);
+        assert!(!o.census);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = Options::parse(&s(&[
+            "--ases", "2000", "--seed", "7", "--theta", "0.3", "--census", "--out", "/tmp/x",
+        ]))
+        .unwrap();
+        assert_eq!(o.ases, 2000);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.theta, 0.3);
+        assert!(o.census);
+        assert_eq!(o.out.unwrap(), std::path::PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing() {
+        assert!(Options::parse(&s(&["--bogus"])).is_err());
+        assert!(Options::parse(&s(&["--ases"])).is_err());
+        assert!(Options::parse(&s(&["--ases", "10"])).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! Demonstrations built on the appendix constructions (Figures 2, 13,
+//! 15, 16, 17, 20, 21).
+
+use crate::cli::Options;
+use crate::output::{f3, heading, pct, Table};
+use crate::world::{case_study_adopters, case_study_config, weights, World, TIEBREAK};
+use sbgp_asgraph::Weights;
+use sbgp_core::{turnoff, SimConfig, Simulation, UtilityEngine, UtilityModel};
+use sbgp_gadgets::{and_gadget, attack, chicken, diamond, setcover, turnoff as fig13_gadget};
+use sbgp_routing::LowestAsnTieBreak;
+
+/// Figure 2: the DIAMOND competition narrative, round by round.
+pub fn fig2(opts: &Options) {
+    heading("Figure 2: DIAMOND — competition over a multihomed stub");
+    let (world, d) = diamond::build(2);
+    let g = &world.graph;
+    let w = Weights::uniform(g);
+    let cfg = SimConfig {
+        theta: 0.05,
+        ..SimConfig::default()
+    };
+    let sim = Simulation::new(g, &w, &LowestAsnTieBreak, cfg);
+    let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![d.tier1]);
+    let mut t = Table::new("fig2_diamond", &["round", "deployed", "u(13789)/start", "u(8359)/start"]);
+    let tr_a = sbgp_core::metrics::normalized_trace(&res, d.isp_a);
+    let tr_b = sbgp_core::metrics::normalized_trace(&res, d.isp_b);
+    for (i, r) in res.rounds.iter().enumerate() {
+        let deployed: Vec<String> = r.turned_on.iter().map(|&n| g.asn(n).to_string()).collect();
+        t.row(vec![
+            r.round.to_string(),
+            if deployed.is_empty() { "-".into() } else { deployed.join("+") },
+            f3(tr_a[i]),
+            f3(tr_b[i]),
+        ]);
+    }
+    t.emit(opts);
+    println!(
+        "Sprint-like AS {} is secure; ASes {} and {} compete for stub {}.",
+        g.asn(d.tier1),
+        g.asn(d.isp_a),
+        g.asn(d.isp_b),
+        g.asn(d.stub)
+    );
+}
+
+/// Figure 13: buyer's remorse. Without `--census`, replays the
+/// constructed AS-4755 example; with `--census`, also runs the
+/// Section 7.3 search across every state a case-study run visits.
+pub fn fig13(opts: &Options) {
+    heading("Figure 13: incentive to disable S*BGP (incoming model)");
+    // The constructed example.
+    let (world, f) = fig13_gadget::build(24, 50);
+    let g = &world.graph;
+    let w = Weights::uniform(g);
+    let cfg = SimConfig {
+        theta: 0.05,
+        model: UtilityModel::Incoming,
+        ..SimConfig::default()
+    };
+    let engine = UtilityEngine::new(g, &w, &LowestAsnTieBreak, cfg);
+    let comp = engine.compute(&world.initial, &world.movable);
+    let u = comp.base(UtilityModel::Incoming, f.telecom);
+    let proj = comp.projected(UtilityModel::Incoming, f.telecom);
+    println!(
+        "AS {} secure: incoming utility {:.0}; projected after turning OFF: {:.0} ({} gain)",
+        g.asn(f.telecom),
+        u,
+        proj,
+        pct(proj / u - 1.0),
+    );
+    let sim = Simulation::new(g, &w, &LowestAsnTieBreak, cfg);
+    let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+    println!(
+        "simulated: AS {} turned S*BGP {} (outcome {:?})",
+        g.asn(f.telecom),
+        if res.final_state.get(f.telecom) { "ON" } else { "OFF" },
+        res.outcome
+    );
+
+    if opts.census {
+        println!();
+        println!("Section 7.3 census across every state of a case-study run:");
+        let big = World::build(opts);
+        let bg = big.base();
+        let bw = weights(bg, opts);
+        let run = Simulation::new(bg, &bw, &TIEBREAK, case_study_config(opts))
+            .run(&case_study_adopters().select(bg));
+        // The paper asks whether an ISP "could find itself in a state"
+        // with a turn-off incentive, so scan every state the process
+        // visits, not just the terminal one.
+        let mut flagged: std::collections::HashMap<u32, (usize, f64)> = Default::default();
+        for state in sbgp_core::metrics::states_by_round(&run) {
+            let census = turnoff::per_destination_census(
+                bg,
+                &bw,
+                &state,
+                case_study_config(opts).tree_policy,
+                &TIEBREAK,
+                1e-6,
+            );
+            for r in census.iter().filter(|r| !r.destinations.is_empty()) {
+                let e = flagged.entry(bg.asn(r.isp)).or_insert((0, 0.0));
+                e.0 = e.0.max(r.destinations.len());
+                e.1 = e.1.max(r.whole_network_gain);
+            }
+        }
+        let total_isps = bg.isps().count();
+        println!(
+            "ISPs with a per-destination turn-off incentive in some visited state: {} of {} ({}) — paper: >=10%",
+            flagged.len(),
+            total_isps,
+            pct(flagged.len() as f64 / total_isps as f64)
+        );
+        let mut t = Table::new("fig13_census", &["ISP (ASN)", "max destinations", "max net gain"]);
+        let mut rows: Vec<_> = flagged.into_iter().collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1 .0));
+        for (asn, (dests, gain)) in rows.iter().take(15) {
+            t.row(vec![asn.to_string(), dests.to_string(), f3(*gain)]);
+        }
+        t.emit(opts);
+    } else {
+        println!("(add --census for the Section 7.3 whole-graph search)");
+    }
+}
+
+/// Figure 15 / Appendix B: the partial-security attack.
+pub fn fig15(opts: &Options) {
+    heading("Figure 15: why partially-secure paths must not be preferred");
+    let (false_path, true_path) = attack::figure15();
+    let routes = [false_path, true_path];
+    for policy in [
+        attack::SecurityPolicy::FullySecureOnly,
+        attack::SecurityPolicy::PreferPartiallySecure,
+    ] {
+        let chosen = attack::select_route(&routes, policy);
+        println!(
+            "{policy:?}: p selects {:?} — {}",
+            chosen.path,
+            if chosen.legitimate {
+                "the legitimate route"
+            } else {
+                "the ATTACKER's fabricated route"
+            }
+        );
+    }
+    let _ = opts;
+}
+
+/// Figure 16 / Theorem 6.1: early-adopter choice encodes SET-COVER.
+pub fn fig16(opts: &Options) {
+    heading("Figure 16: set-cover reduction (Theorem 6.1)");
+    let inst = setcover::SetCoverInstance {
+        universe: 6,
+        subsets: vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]],
+    };
+    let mut t = Table::new(
+        "fig16_setcover",
+        &["early adopters (subsets)", "union size", "elements secured"],
+    );
+    for pair in [[0usize, 2], [0, 1], [1, 3], [2, 3]] {
+        let covered = setcover::deploy_and_count(&inst, &pair, 0.05);
+        let union: std::collections::HashSet<usize> = pair
+            .iter()
+            .flat_map(|&i| inst.subsets[i].iter().copied())
+            .collect();
+        t.row(vec![
+            format!("S{} + S{}", pair[0], pair[1]),
+            union.len().to_string(),
+            covered.iter().filter(|&&c| c).count().to_string(),
+        ]);
+    }
+    t.emit(opts);
+    println!("securing ASes with k adopters == MAX-k-COVER: NP-hard, even to approximate");
+}
+
+/// Figure 17 / Section 7.2: oscillation under simultaneous best
+/// response (via the CHICKEN gadget started at (ON, ON)).
+pub fn fig17(opts: &Options) {
+    heading("Figure 17: deployment oscillation (incoming model)");
+    let (world, c) = chicken::build(10, true, true);
+    let g = &world.graph;
+    let w = Weights::uniform(g);
+    let cfg = SimConfig {
+        theta: 0.001,
+        model: UtilityModel::Incoming,
+        max_rounds: 12,
+        ..SimConfig::default()
+    };
+    let sim = Simulation::new(g, &w, &LowestAsnTieBreak, cfg);
+    let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+    let mut t = Table::new("fig17_oscillator", &["round", "node 10", "node 20"]);
+    let mut on10 = true;
+    let mut on20 = true;
+    t.row(vec!["0".into(), "ON".into(), "ON".into()]);
+    for r in &res.rounds {
+        for &n in &r.turned_on {
+            if n == c.p10 {
+                on10 = true;
+            } else {
+                on20 = true;
+            }
+        }
+        for &n in &r.turned_off {
+            if n == c.p10 {
+                on10 = false;
+            } else {
+                on20 = false;
+            }
+        }
+        t.row(vec![
+            r.round.to_string(),
+            if on10 { "ON" } else { "OFF" }.into(),
+            if on20 { "ON" } else { "OFF" }.into(),
+        ]);
+    }
+    t.emit(opts);
+    println!("outcome: {:?} — no stable state exists on this trajectory", res.outcome);
+    println!("(Theorem 7.1: deciding whether any oscillation exists is PSPACE-complete)");
+}
+
+/// Figure 20 / Appendix K.4: the AND gadget truth table.
+pub fn fig20(opts: &Options) {
+    heading("Figure 20: AND gadget (output deploys iff all inputs deployed)");
+    let mut t = Table::new("fig20_and", &["inputs", "output settles"]);
+    for bits in 0..8u8 {
+        let inputs = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+        let (world, gadget) = and_gadget::build(10, inputs, false);
+        let w = Weights::uniform(&world.graph);
+        let cfg = SimConfig {
+            theta: 0.005,
+            model: UtilityModel::Incoming,
+            max_rounds: 10,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&world.graph, &w, &LowestAsnTieBreak, cfg);
+        let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+        t.row(vec![
+            format!(
+                "{}{}{}",
+                u8::from(inputs[0]),
+                u8::from(inputs[1]),
+                u8::from(inputs[2])
+            ),
+            if res.final_state.get(gadget.output) {
+                "ON"
+            } else {
+                "OFF"
+            }
+            .into(),
+        ]);
+    }
+    t.emit(opts);
+}
+
+/// Figure 21 / Table 5: the CHICKEN gadget bimatrix.
+pub fn fig21(opts: &Options) {
+    heading("Figure 21 / Table 5: CHICKEN gadget bimatrix (incoming utility)");
+    let mut t = Table::new(
+        "fig21_chicken",
+        &["state (10,20)", "u(10)", "proj(10)", "u(20)", "proj(20)", "wants to flip"],
+    );
+    for (a, b) in [(true, true), (true, false), (false, true), (false, false)] {
+        let (world, c) = chicken::build(10, a, b);
+        let w = Weights::uniform(&world.graph);
+        let cfg = SimConfig {
+            theta: 0.001,
+            model: UtilityModel::Incoming,
+            ..SimConfig::default()
+        };
+        let engine = UtilityEngine::new(&world.graph, &w, &LowestAsnTieBreak, cfg);
+        let comp = engine.compute(&world.initial, &world.movable);
+        let u10 = comp.base(UtilityModel::Incoming, c.p10);
+        let p10 = comp.projected(UtilityModel::Incoming, c.p10);
+        let u20 = comp.base(UtilityModel::Incoming, c.p20);
+        let p20 = comp.projected(UtilityModel::Incoming, c.p20);
+        let flips = match (p10 > 1.001 * u10, p20 > 1.001 * u20) {
+            (true, true) => "both",
+            (true, false) => "10",
+            (false, true) => "20",
+            (false, false) => "none (stable)",
+        };
+        t.row(vec![
+            format!("({}, {})", onoff(a), onoff(b)),
+            f3(u10),
+            f3(p10),
+            f3(u20),
+            f3(p20),
+            flips.into(),
+        ]);
+    }
+    t.emit(opts);
+}
+
+fn onoff(b: bool) -> &'static str {
+    if b {
+        "ON"
+    } else {
+        "OFF"
+    }
+}

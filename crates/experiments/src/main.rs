@@ -1,0 +1,143 @@
+//! `repro` — the reproduction harness.
+//!
+//! One subcommand per table and figure of the paper's evaluation; see
+//! `repro help` (or DESIGN.md's per-experiment index). Each command
+//! prints the rows/series the paper reports and, when `--out DIR` is
+//! given, writes the same data as CSV.
+
+mod cli;
+mod output;
+mod world;
+
+mod casestudy;
+mod extensions;
+mod census;
+mod gadget_demos;
+mod projection;
+mod sweeps;
+mod tables;
+
+use cli::Options;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        help();
+        std::process::exit(2);
+    }
+    let cmd = args.remove(0);
+    let opts = match Options::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match cmd.as_str() {
+        "table1" => tables::table1(&opts),
+        "table2" => tables::table2(&opts),
+        "table3" => tables::table3(&opts),
+        "table4" => tables::table4(&opts),
+        "fig2" => gadget_demos::fig2(&opts),
+        "fig3" => casestudy::fig3(&opts),
+        "fig4" => casestudy::fig4(&opts),
+        "fig5" => casestudy::fig5(&opts),
+        "fig6" => casestudy::fig6(&opts),
+        "fig7" => extensions::fig7(&opts),
+        "fig8" => sweeps::fig8(&opts),
+        "fig9" => sweeps::fig9(&opts),
+        "fig10" => census::fig10(&opts),
+        "fig11" => sweeps::fig11(&opts),
+        "fig12" => sweeps::fig12(&opts),
+        "fig13" => gadget_demos::fig13(&opts),
+        "fig14" => projection::fig14(&opts),
+        "fig15" => gadget_demos::fig15(&opts),
+        "fig16" => gadget_demos::fig16(&opts),
+        "fig17" => gadget_demos::fig17(&opts),
+        "fig20" => gadget_demos::fig20(&opts),
+        "fig21" => gadget_demos::fig21(&opts),
+        "ext-resilience" => extensions::ext_resilience(&opts),
+        "ext-theta" => extensions::ext_theta(&opts),
+        "ext-disable" => extensions::ext_disable(&opts),
+        "ext-greedy" => extensions::ext_greedy(&opts),
+        "ext-incoming" => extensions::ext_incoming(&opts),
+        "all" => run_all(&opts),
+        "help" | "--help" | "-h" => help(),
+        other => {
+            eprintln!("unknown command {other:?}; try `repro help`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_all(opts: &Options) {
+    tables::table1(opts);
+    tables::table2(opts);
+    tables::table3(opts);
+    tables::table4(opts);
+    gadget_demos::fig2(opts);
+    casestudy::fig3(opts);
+    casestudy::fig4(opts);
+    casestudy::fig5(opts);
+    casestudy::fig6(opts);
+    extensions::fig7(opts);
+    sweeps::fig8(opts);
+    sweeps::fig9(opts);
+    census::fig10(opts);
+    sweeps::fig11(opts);
+    sweeps::fig12(opts);
+    gadget_demos::fig13(opts);
+    projection::fig14(opts);
+    gadget_demos::fig15(opts);
+    gadget_demos::fig16(opts);
+    gadget_demos::fig17(opts);
+    gadget_demos::fig20(opts);
+    gadget_demos::fig21(opts);
+    extensions::ext_resilience(opts);
+    extensions::ext_theta(opts);
+    extensions::ext_disable(opts);
+    extensions::ext_greedy(opts);
+    extensions::ext_incoming(opts);
+}
+
+fn help() {
+    println!(
+        "repro — regenerate every table and figure of
+'Let the Market Drive Deployment' (SIGCOMM 2011) on a synthetic topology.
+
+USAGE: repro <command> [--ases N] [--seed S] [--theta T] [--cp-fraction X]
+             [--threads K] [--out DIR] [--census]
+
+COMMANDS
+  table1   diamond counts per early adopter
+  table2   topology summaries (base vs augmented graph)
+  table3   CP mean path lengths (base vs augmented)
+  table4   CP vs Tier-1 degrees (base vs augmented)
+  fig2     the DIAMOND competition narrative
+  fig3     case study: newly secure ASes/ISPs per round
+  fig4     case study: normalized utility traces
+  fig5     case study: median (projected) utility of next-round adopters
+  fig6     case study: cumulative ISP adoption by degree
+  fig7     deployment chain reactions
+  fig8     fraction of ASes (a) and ISPs (b) secure vs theta, per adopter set
+  fig9     fraction of secure paths vs theta; f^2 comparison
+  fig10    tiebreak-set census (+ section 6.7 decision fractions)
+  fig11    sensitivity to stubs breaking ties on security
+  fig12    CPs vs Tier-1s: traffic share x sweep, base vs augmented
+  fig13    buyer's remorse (turn-off incentive); --census runs the 7.3 search
+  fig14    projected vs actual utility accuracy
+  fig15    partial-security attack demo
+  fig16    set-cover reduction demo (Theorem 6.1)
+  fig17    oscillator: endless on/off cycling (incoming model)
+  fig20    AND gadget truth table
+  fig21    CHICKEN gadget bimatrix (Table 5)
+  ext-resilience  origin-hijack deception across the deployment process
+  ext-theta       randomized per-ISP thresholds (Section 8.2)
+  ext-disable     optimal per-destination disable (Section 7.1)
+  ext-greedy      greedy early-adopter selection vs degree heuristic
+  ext-incoming    the case study under the incoming-utility model
+  all      everything above
+
+DEFAULTS: --ases 1000  --seed 42  --theta 0.05  --cp-fraction 0.10 --threads 1"
+    );
+}

@@ -1,0 +1,82 @@
+//! Table printing and CSV export.
+
+use crate::cli::Options;
+use std::io::Write;
+
+/// Print a section header for one experiment.
+pub fn heading(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+/// A simple column-aligned text table that can also be dumped as CSV.
+pub struct Table {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table; `name` becomes the CSV file stem.
+    pub fn new(name: &str, columns: &[&str]) -> Table {
+        Table {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Print aligned to stdout and, if `--out` was given, write
+    /// `<out>/<name>.csv`.
+    pub fn emit(&self, opts: &Options) {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                s.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            s.trim_end().to_string()
+        };
+        println!("{}", line(&self.columns));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+        if let Some(dir) = &opts.out {
+            if let Err(e) = self.write_csv(dir) {
+                eprintln!("warning: failed to write {}.csv: {e}", self.name);
+            }
+        }
+    }
+
+    fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}

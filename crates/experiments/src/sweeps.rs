@@ -1,0 +1,168 @@
+//! The θ-sweep figures (8, 9, 11, 12).
+
+use crate::cli::Options;
+use crate::output::{f3, heading, Table};
+use crate::world::{weights, World, THETAS, TIEBREAK};
+use sbgp_asgraph::{AsGraph, Weights};
+use sbgp_core::{metrics, EarlyAdopters, SimConfig, SimResult, Simulation, UtilityModel};
+use sbgp_routing::TreePolicy;
+
+fn run_once(
+    g: &AsGraph,
+    w: &Weights,
+    adopters: &EarlyAdopters,
+    theta: f64,
+    stubs_prefer_secure: bool,
+    threads: usize,
+) -> SimResult {
+    let cfg = SimConfig {
+        theta,
+        model: UtilityModel::Outgoing,
+        tree_policy: TreePolicy {
+            stubs_prefer_secure,
+        },
+        max_rounds: 100,
+        threads,
+        ..SimConfig::default()
+    };
+    let seeds = adopters.select(g);
+    Simulation::new(g, w, &TIEBREAK, cfg).run(&seeds)
+}
+
+/// Figure 8: fraction of ASes (a) and ISPs (b) that end up secure, for
+/// each θ and each early-adopter set.
+pub fn fig8(opts: &Options) {
+    heading("Figure 8: secure fraction vs theta per early-adopter set");
+    let world = World::build(opts);
+    let g = world.base();
+    let w = weights(g, opts);
+    let mut ta = Table::new("fig8a_ases", &columns());
+    let mut tb = Table::new("fig8b_isps", &columns());
+    for adopters in crate::world::figure8_adopter_sets(g) {
+        let mut row_a = vec![adopters.label()];
+        let mut row_b = vec![adopters.label()];
+        for &theta in &THETAS {
+            let res = run_once(g, &w, &adopters, theta, true, opts.threads);
+            row_a.push(f3(res.secure_as_fraction(g)));
+            row_b.push(f3(res.secure_isp_fraction(g)));
+        }
+        ta.row(row_a);
+        tb.row(row_b);
+    }
+    println!("(a) fraction of ASes secure");
+    ta.emit(opts);
+    println!("(b) fraction of ISPs secure");
+    tb.emit(opts);
+}
+
+fn columns() -> Vec<&'static str> {
+    let mut c = vec!["early adopters"];
+    c.extend(["theta=0", "0.05", "0.10", "0.20", "0.30", "0.40", "0.50"]);
+    c
+}
+
+/// Figure 9: fraction of all (src, dst) paths fully secure at
+/// termination, vs θ; the paper observes it lands just under f².
+pub fn fig9(opts: &Options) {
+    heading("Figure 9: secure-path fraction vs theta (and f^2 check)");
+    let world = World::build(opts);
+    let g = world.base();
+    let w = weights(g, opts);
+    let mut t = Table::new(
+        "fig9_secure_paths",
+        &["early adopters", "theta", "f (secure ASes)", "secure paths", "f^2"],
+    );
+    let big = (g.isps().count() / 5).clamp(12, 200);
+    for adopters in [
+        EarlyAdopters::ContentProvidersPlusTopIsps(5),
+        EarlyAdopters::TopIspsByDegree(big),
+    ] {
+        for &theta in &THETAS {
+            let res = run_once(g, &w, &adopters, theta, true, opts.threads);
+            let f = res.secure_as_fraction(g);
+            let frac = metrics::secure_path_fraction(
+                g,
+                &res.final_state,
+                TreePolicy {
+                    stubs_prefer_secure: true,
+                },
+                &TIEBREAK,
+            );
+            t.row(vec![
+                adopters.label(),
+                format!("{theta}"),
+                f3(f),
+                f3(frac),
+                f3(f * f),
+            ]);
+        }
+    }
+    t.emit(opts);
+}
+
+/// Figure 11: the stub-tiebreak sensitivity — rerun the Figure 8
+/// sweep with stubs ignoring security; results should barely move for
+/// θ > 0 (Section 6.7).
+pub fn fig11(opts: &Options) {
+    heading("Figure 11: sensitivity to stubs breaking ties on security");
+    let world = World::build(opts);
+    let g = world.base();
+    let w = weights(g, opts);
+    let mut t = Table::new(
+        "fig11_stub_sensitivity",
+        &["early adopters", "theta", "ASes (stubs prefer)", "ASes (stubs ignore)", "delta"],
+    );
+    let big = (g.isps().count() / 5).clamp(12, 200);
+    for adopters in [
+        EarlyAdopters::ContentProvidersPlusTopIsps(5),
+        EarlyAdopters::TopIspsByDegree(big),
+    ] {
+        for &theta in &THETAS {
+            let with = run_once(g, &w, &adopters, theta, true, opts.threads);
+            let without = run_once(g, &w, &adopters, theta, false, opts.threads);
+            let a = with.secure_as_fraction(g);
+            let b = without.secure_as_fraction(g);
+            t.row(vec![
+                adopters.label(),
+                format!("{theta}"),
+                f3(a),
+                f3(b),
+                f3(a - b),
+            ]);
+        }
+    }
+    t.emit(opts);
+}
+
+/// Figure 12: five CPs vs top five Tier-1s as early adopters, across
+/// CP traffic shares x ∈ {10, 20, 33, 50}% and on the base vs
+/// augmented graph.
+pub fn fig12(opts: &Options) {
+    heading("Figure 12: CPs vs Tier-1s as early adopters");
+    let world = World::build(opts);
+    let mut t = Table::new(
+        "fig12_cp_vs_tier1",
+        &["graph", "x", "early adopters", "theta", "secure ASes"],
+    );
+    for (glabel, g) in [("base", world.base()), ("augmented", &world.augmented)] {
+        for &x in &[0.10, 0.20, 0.33, 0.50] {
+            let w = Weights::with_cp_fraction(g, x);
+            for adopters in [
+                EarlyAdopters::ContentProviders,
+                EarlyAdopters::TopIspsByDegree(5),
+            ] {
+                for &theta in &[0.0, 0.05, 0.10, 0.30] {
+                    let res = run_once(g, &w, &adopters, theta, true, opts.threads);
+                    t.row(vec![
+                        glabel.to_string(),
+                        format!("{x}"),
+                        adopters.label(),
+                        format!("{theta}"),
+                        f3(res.secure_as_fraction(g)),
+                    ]);
+                }
+            }
+        }
+    }
+    t.emit(opts);
+}

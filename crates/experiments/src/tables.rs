@@ -1,0 +1,91 @@
+//! Tables 1–4.
+
+use crate::cli::Options;
+use crate::output::{f3, heading, Table};
+use crate::world::{case_study_adopters, World, TIEBREAK};
+use sbgp_asgraph::{stats, AsClass};
+use sbgp_core::metrics;
+
+/// Table 1: DIAMOND counts per early adopter (destinations where the
+/// adopter's tiebreak set contains competing next hops).
+pub fn table1(opts: &Options) {
+    heading("Table 1: diamonds per early adopter (case-study set)");
+    let world = World::build(opts);
+    let g = world.base();
+    let adopters = case_study_adopters().select(g);
+    let mut t = Table::new("table1_diamonds", &["early adopter (ASN)", "class", "degree", "diamonds"]);
+    for &e in &adopters {
+        let d = metrics::diamonds_for(g, e, &TIEBREAK);
+        t.row(vec![
+            g.asn(e).to_string(),
+            g.class(e).label().to_string(),
+            g.degree(e).to_string(),
+            d.to_string(),
+        ]);
+    }
+    t.emit(opts);
+}
+
+/// Table 2: topology summaries for the base and augmented graphs.
+pub fn table2(opts: &Options) {
+    heading("Table 2: AS graph summaries");
+    let world = World::build(opts);
+    let mut t = Table::new(
+        "table2_graphs",
+        &["graph", "ASes", "stubs", "ISPs", "CPs", "peering", "customer-provider"],
+    );
+    for (label, g) in [("base", world.base()), ("augmented", &world.augmented)] {
+        let s = stats::summarize(g);
+        t.row(vec![
+            label.to_string(),
+            s.ases.to_string(),
+            s.stubs.to_string(),
+            s.isps.to_string(),
+            s.cps.to_string(),
+            s.peering_edges.to_string(),
+            s.customer_provider_edges.to_string(),
+        ]);
+    }
+    t.emit(opts);
+}
+
+/// Table 3: mean path length from each CP, base vs augmented —
+/// augmentation should pull CP paths toward ≈2 hops.
+pub fn table3(opts: &Options) {
+    heading("Table 3: CP mean path lengths (base vs augmented)");
+    let world = World::build(opts);
+    let g = world.base();
+    let mut t = Table::new("table3_pathlen", &["CP (ASN)", "base", "augmented"]);
+    for &cp in g.content_providers() {
+        let base = metrics::mean_path_length(g, cp, &TIEBREAK);
+        let aug = metrics::mean_path_length(&world.augmented, cp, &TIEBREAK);
+        t.row(vec![g.asn(cp).to_string(), f3(base), f3(aug)]);
+    }
+    t.emit(opts);
+}
+
+/// Table 4: CP vs Tier-1 degrees, base vs augmented — augmentation
+/// should push CP degrees to (or past) Tier-1 levels.
+pub fn table4(opts: &Options) {
+    heading("Table 4: CP vs Tier-1 degrees");
+    let world = World::build(opts);
+    let g = world.base();
+    let mut t = Table::new("table4_degrees", &["AS (ASN)", "class", "base degree", "augmented degree"]);
+    for &cp in g.content_providers() {
+        t.row(vec![
+            g.asn(cp).to_string(),
+            "CP".into(),
+            g.degree(cp).to_string(),
+            world.augmented.degree(cp).to_string(),
+        ]);
+    }
+    for t1 in stats::top_k_by_degree(g, AsClass::Isp, 5) {
+        t.row(vec![
+            g.asn(t1).to_string(),
+            "Tier1".into(),
+            g.degree(t1).to_string(),
+            world.augmented.degree(t1).to_string(),
+        ]);
+    }
+    t.emit(opts);
+}

@@ -1,0 +1,85 @@
+//! Shared experiment setup: graph, weights, adopter sets.
+
+use crate::cli::Options;
+use sbgp_asgraph::augment::augment_cp_peering;
+use sbgp_asgraph::gen::{generate, GenParams, Generated};
+use sbgp_asgraph::{AsGraph, Weights};
+use sbgp_core::{EarlyAdopters, SimConfig, UtilityModel};
+use sbgp_routing::{HashTieBreak, TreePolicy};
+
+/// The standard experiment world: the generated base graph (our
+/// Cyclops+IXP stand-in) and its Appendix D augmented variant.
+pub struct World {
+    /// Generated topology plus IXP membership.
+    pub gen: Generated,
+    /// The augmented graph (CPs peered to 80% of IXP members).
+    pub augmented: AsGraph,
+}
+
+impl World {
+    /// Build both graphs from the options.
+    pub fn build(opts: &Options) -> World {
+        let gen = generate(&GenParams::new(opts.ases, opts.seed));
+        let augmented = augment_cp_peering(&gen.graph, &gen.ixp_members, 0.8, opts.seed ^ 0xa6)
+            .expect("augmentation over a valid graph cannot fail");
+        World { gen, augmented }
+    }
+
+    /// The base graph.
+    pub fn base(&self) -> &AsGraph {
+        &self.gen.graph
+    }
+}
+
+/// The paper's shared hash tiebreaker.
+pub const TIEBREAK: HashTieBreak = HashTieBreak;
+
+/// CP-skewed weights per the options.
+pub fn weights(g: &AsGraph, opts: &Options) -> Weights {
+    Weights::with_cp_fraction(g, opts.cp_fraction)
+}
+
+/// The case-study configuration (Section 5): θ from options,
+/// outgoing utility, stubs break ties on security.
+pub fn case_study_config(opts: &Options) -> SimConfig {
+    SimConfig {
+        theta: opts.theta,
+        model: UtilityModel::Outgoing,
+        tree_policy: TreePolicy {
+            stubs_prefer_secure: true,
+        },
+        max_rounds: 100,
+        threads: opts.threads,
+        ..SimConfig::default()
+    }
+}
+
+/// The case-study early adopters: the five CPs plus the top five
+/// Tier-1s by degree (Section 5).
+pub fn case_study_adopters() -> EarlyAdopters {
+    EarlyAdopters::ContentProvidersPlusTopIsps(5)
+}
+
+/// The Figure 8 family of early-adopter sets.
+///
+/// The paper uses absolute sizes {5, 50, 200} out of ≈6,000 ISPs; a
+/// downscaled graph has proportionally fewer ISPs, so the mid and
+/// large sets scale with the ISP count (and are capped below it, or
+/// "seed everyone" stops being an experiment).
+pub fn figure8_adopter_sets(g: &AsGraph) -> Vec<EarlyAdopters> {
+    let isps = g.isps().count();
+    let mid = (isps / 12).clamp(6, 50);
+    let big = (isps / 5).clamp(12, 200);
+    vec![
+        EarlyAdopters::None,
+        EarlyAdopters::TopIspsByDegree(5),
+        EarlyAdopters::TopIspsByDegree(mid),
+        EarlyAdopters::TopIspsByDegree(big),
+        EarlyAdopters::ContentProviders,
+        EarlyAdopters::ContentProvidersPlusTopIsps(5),
+        EarlyAdopters::RandomIsps { k: big, seed: 99 },
+    ]
+}
+
+/// The θ grid used by the sweep figures.
+pub const THETAS: [f64; 7] = [0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50];

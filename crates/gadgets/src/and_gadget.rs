@@ -1,0 +1,162 @@
+//! The Appendix K.4 AND gadget (Figure 20).
+//!
+//! An output ISP `&` surrounded by three *input* nodes turns S\*BGP on
+//! iff **all three** inputs are on — the combinational building block
+//! from which the PSPACE-hardness construction (Theorem 7.1) wires
+//! Turing-machine transitions.
+//!
+//! Mechanics (incoming-utility model):
+//!
+//! * per input `i`, an `And_i` customer tree (weight `2m`) reaches a
+//!   stub `A_i` behind `&` either through `input_i` (a customer of
+//!   `&` — pays `&`; fully secure iff `input_i` **and** `&` are on) or
+//!   through the fixed-insecure peer `v_i` (wins the plain tiebreak,
+//!   pays nothing);
+//! * a `Hold` tree (weight `5m`) reaches stub `H` behind `&` either
+//!   through fixed-secure provider `p_h` (secure iff `&` is on; pays
+//!   nothing) or through fixed-insecure customer `c_h` (plain-tiebreak
+//!   default; pays `&`).
+//!
+//! So `&` earns ≈`5m` while OFF (Hold via the customer edge) and
+//! ≈`2m` per active input while ON — crossing the Eq. 3 threshold
+//! exactly when all three inputs are on (`6m > 5m`, while `4m < 5m`).
+
+use crate::{attach_tree, GadgetWorld};
+use sbgp_asgraph::{AsGraphBuilder, AsId};
+use sbgp_routing::SecureSet;
+
+/// Node handles for the AND gadget.
+#[derive(Clone, Copy, Debug)]
+pub struct AndGadget {
+    /// The output node `&`.
+    pub output: AsId,
+    /// The three input nodes.
+    pub inputs: [AsId; 3],
+}
+
+/// Build the AND gadget with scale `m` (the paper's analysis needs
+/// `2m`-weight And trees vs a `5m`-weight Hold tree).
+///
+/// `inputs_on` fixes the three input nodes' states; `start_on` is the
+/// output's initial state. Only the output may act.
+pub fn build(m: usize, inputs_on: [bool; 3], start_on: bool) -> (GadgetWorld, AndGadget) {
+    assert!(m >= 2);
+    let mut b = AsGraphBuilder::new();
+    let output = b.add_node(50);
+    let p_h = b.add_node(900);
+    let c_h = b.add_node(40);
+    let hold_dest = b.add_node(60);
+    b.add_provider_customer(p_h, output).unwrap();
+    b.add_provider_customer(output, c_h).unwrap();
+    b.add_provider_customer(output, hold_dest).unwrap();
+    let hold_root = b.add_node(2000);
+    b.add_provider_customer(p_h, hold_root).unwrap();
+    b.add_provider_customer(c_h, hold_root).unwrap();
+    attach_tree(&mut b, hold_root, 20_000, 5 * m - 1);
+
+    let mut inputs = [AsId(0); 3];
+    let mut and_roots = [AsId(0); 3];
+    for i in 0..3 {
+        let input = b.add_node(101 + i as u32);
+        let v = b.add_node(11 + i as u32); // < input ASN: wins plain tiebreak
+        let a_dest = b.add_node(61 + i as u32);
+        inputs[i] = input;
+        b.add_provider_customer(output, input).unwrap();
+        b.add_peer_peer(v, output).unwrap();
+        b.add_provider_customer(output, a_dest).unwrap();
+        let and_root = b.add_node(2001 + i as u32);
+        and_roots[i] = and_root;
+        b.add_provider_customer(input, and_root).unwrap();
+        b.add_provider_customer(v, and_root).unwrap();
+        attach_tree(&mut b, and_root, 21_000 + 1_000 * i as u32, 2 * m - 1);
+    }
+    // Neutralize non-designated traffic with direct peer edges — the
+    // appendix's "standard trick" (Appendix K.6). Without these, the
+    // Hold tree's routes toward `input_i` and the And trees' routes
+    // toward `input_j` (j ≠ i) flip with the *input* states, polluting
+    // the output's utility differentials.
+    for (i, &input) in inputs.iter().enumerate() {
+        b.add_peer_peer(hold_root, input).unwrap();
+        for (j, &other) in inputs.iter().enumerate() {
+            if i != j {
+                b.add_peer_peer(and_roots[i], other).unwrap();
+            }
+        }
+    }
+    let graph = b.build().unwrap();
+
+    // Everything secure except the fallback nodes {v_1, v_2, v_3,
+    // c_h}, the inputs per `inputs_on`, and the output per `start_on`.
+    let mut initial = SecureSet::new(graph.len());
+    for n in graph.nodes() {
+        initial.set(n, true);
+    }
+    initial.set(c_h, false);
+    for i in 0..3 {
+        initial.set(graph.node_by_asn(11 + i as u32).unwrap(), false);
+        initial.set(inputs[i], inputs_on[i]);
+    }
+    initial.set(output, start_on);
+
+    (
+        GadgetWorld {
+            graph,
+            initial,
+            movable: vec![output],
+        },
+        AndGadget { output, inputs },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_asgraph::Weights;
+    use sbgp_core::{Outcome, SimConfig, Simulation, UtilityModel};
+    use sbgp_routing::LowestAsnTieBreak;
+
+    fn settle(inputs_on: [bool; 3], start_on: bool) -> bool {
+        let (world, gadget) = build(10, inputs_on, start_on);
+        let w = Weights::uniform(&world.graph);
+        let tb = LowestAsnTieBreak;
+        let cfg = SimConfig {
+            theta: 0.005,
+            model: UtilityModel::Incoming,
+            max_rounds: 10,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&world.graph, &w, &tb, cfg);
+        let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+        assert!(
+            matches!(res.outcome, Outcome::Stable { .. }),
+            "AND gadget must settle: {:?}",
+            res.outcome
+        );
+        res.final_state.get(gadget.output)
+    }
+
+    #[test]
+    fn truth_table_from_off() {
+        // Proposition K.3: the output turns ON iff all inputs are ON.
+        for bits in 0..8u8 {
+            let inputs = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let expect = inputs.iter().all(|&x| x);
+            assert_eq!(
+                settle(inputs, false),
+                expect,
+                "inputs {inputs:?} from OFF"
+            );
+        }
+    }
+
+    #[test]
+    fn truth_table_from_on() {
+        // Started ON, the output *stays* on only with all inputs on —
+        // it turns itself off otherwise (the Hold traffic beckons).
+        for bits in 0..8u8 {
+            let inputs = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let expect = inputs.iter().all(|&x| x);
+            assert_eq!(settle(inputs, true), expect, "inputs {inputs:?} from ON");
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The Appendix K.5 CHICKEN gadget (Figure 21 / Table 5).
+//!
+//! Two player ISPs, node 10 and node 20 (20 a provider of 10), sit in
+//! a web of fixed nodes and customer trees arranged so their
+//! incoming-utility game is (an asymmetric version of) *chicken*:
+//!
+//! * `(ON, OFF)` and `(OFF, ON)` are stable;
+//! * at `(ON, ON)` **both** prefer to turn off;
+//! * at `(OFF, OFF)` **both** prefer to turn on.
+//!
+//! Under the simulator's simultaneous myopic best response, starting
+//! at `(ON, ON)` the players flip in lockstep forever —
+//! `(ON,ON) → (OFF,OFF) → (ON,ON) → …` — a concrete instance of the
+//! Section 7.2 oscillation phenomenon whose general form makes
+//! convergence PSPACE-complete to decide (Theorem 7.1).
+//!
+//! ## Construction
+//!
+//! Designated traffic (all other flows are state-independent
+//! background):
+//!
+//! * `Local1` (weight ε=1) → `d1`: provider routes via fixed-secure
+//!   1000 or via player 10, equal length; 10 wins the plain tiebreak,
+//!   so 10 earns ε iff it is ON. Symmetrically `Local2`/1001/20.
+//! * `Cross1` (weight m) → `d2`: via `10 → 6 → 20` (secure iff both
+//!   players ON; pays 10 on a customer edge) or via the fixed-insecure
+//!   chain `1 → 4 → 20` (wins the plain tiebreak; pays 20 via its
+//!   customer 4).
+//! * `Cross2` (weight 2m) → `d1`: via `3 → 20 → 10` (secure iff both
+//!   ON; pays nobody — 20 is reached over a peer edge, 10 over its
+//!   provider) or via the fixed-insecure chain `2 → 5 → 10` (wins the
+//!   plain tiebreak; pays 10 via its customer 5).
+//!
+//! So being jointly ON *costs* both players their cross traffic —
+//! whoever is ON alone keeps everything.
+
+use crate::{attach_tree, GadgetWorld};
+use sbgp_asgraph::{AsGraphBuilder, AsId};
+use sbgp_routing::SecureSet;
+
+/// Node handles for the chicken gadget.
+#[derive(Clone, Copy, Debug)]
+pub struct Chicken {
+    /// Player node 10.
+    pub p10: AsId,
+    /// Player node 20 (provider of 10).
+    pub p20: AsId,
+    /// Cross-tree roots (weights m and 2m).
+    pub cross1: AsId,
+    /// Root of the 2m-weight tree.
+    pub cross2: AsId,
+}
+
+/// Build the chicken gadget with cross-traffic scale `m` (the local
+/// trees have weight 1; use `m ≥ 5` so ε ≪ m).
+///
+/// `start_10_on` / `start_20_on` pick the players' initial actions;
+/// every fixed node is secure except the fallback chains
+/// {1, 2, 4, 5}, exactly as in Appendix K.5.
+pub fn build(m: usize, start_10_on: bool, start_20_on: bool) -> (GadgetWorld, Chicken) {
+    assert!(m >= 5, "need epsilon << m");
+    let mut b = AsGraphBuilder::new();
+    let n1 = b.add_node(1);
+    let n2 = b.add_node(2);
+    let n3 = b.add_node(3);
+    let n4 = b.add_node(4);
+    let n5 = b.add_node(5);
+    let n6 = b.add_node(6);
+    let p10 = b.add_node(10);
+    let p20 = b.add_node(20);
+    let d1 = b.add_node(31);
+    let d2 = b.add_node(32);
+    let n1000 = b.add_node(1000);
+    let n1001 = b.add_node(1001);
+    let local1 = b.add_node(2001);
+    let local2 = b.add_node(2002);
+    let cross1 = b.add_node(2003);
+    let cross2 = b.add_node(2004);
+
+    // Player asymmetry: 20 is a provider of 10.
+    b.add_provider_customer(p20, p10).unwrap();
+    // Destinations.
+    b.add_provider_customer(p10, d1).unwrap();
+    b.add_provider_customer(n1000, d1).unwrap();
+    b.add_provider_customer(p20, d2).unwrap();
+    b.add_provider_customer(n1001, d2).unwrap();
+    // Local trees (weight 1 each).
+    b.add_provider_customer(p10, local1).unwrap();
+    b.add_provider_customer(n1000, local1).unwrap();
+    b.add_provider_customer(p20, local2).unwrap();
+    b.add_provider_customer(n1001, local2).unwrap();
+    // Cross1 plumbing: secure branch 10 —peer— 6 —provider-of— 20;
+    // fallback branch 1 (customer of 4, customer of 20).
+    b.add_peer_peer(p10, n6).unwrap();
+    b.add_provider_customer(n6, p20).unwrap();
+    b.add_provider_customer(n4, n1).unwrap();
+    b.add_provider_customer(p20, n4).unwrap();
+    b.add_provider_customer(p10, cross1).unwrap();
+    b.add_provider_customer(n1, cross1).unwrap();
+    attach_tree(&mut b, cross1, 3000, m - 1);
+    // Cross2 plumbing: secure branch 3 —peer— 20; fallback branch
+    // 2 (customer of 5, customer of 10).
+    b.add_peer_peer(n3, p20).unwrap();
+    b.add_provider_customer(n5, n2).unwrap();
+    b.add_provider_customer(p10, n5).unwrap();
+    b.add_provider_customer(n3, cross2).unwrap();
+    b.add_provider_customer(n2, cross2).unwrap();
+    attach_tree(&mut b, cross2, 4000, 2 * m - 1);
+
+    let graph = b.build().unwrap();
+
+    // Everything secure except the fallback chains {1,2,4,5} and the
+    // players' chosen start state.
+    let mut initial = SecureSet::new(graph.len());
+    for n in graph.nodes() {
+        initial.set(n, true);
+    }
+    for off in [n1, n2, n4, n5] {
+        initial.set(off, false);
+    }
+    initial.set(p10, start_10_on);
+    initial.set(p20, start_20_on);
+
+    (
+        GadgetWorld {
+            graph,
+            initial,
+            movable: vec![p10, p20],
+        },
+        Chicken {
+            p10,
+            p20,
+            cross1,
+            cross2,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_asgraph::Weights;
+    use sbgp_core::{Outcome, SimConfig, Simulation, UtilityEngine, UtilityModel};
+    use sbgp_routing::LowestAsnTieBreak;
+
+    const THETA: f64 = 0.001;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            theta: THETA,
+            model: UtilityModel::Incoming,
+            max_rounds: 20,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Whether each player wants to flip in the given start state.
+    fn wants_to_flip(on10: bool, on20: bool) -> (bool, bool) {
+        let (world, c) = build(10, on10, on20);
+        let w = Weights::uniform(&world.graph);
+        let tb = LowestAsnTieBreak;
+        let engine = UtilityEngine::new(&world.graph, &w, &tb, cfg());
+        let comp = engine.compute(&world.initial, &world.movable);
+        let check = |n: sbgp_asgraph::AsId| {
+            comp.projected(UtilityModel::Incoming, n)
+                > (1.0 + THETA) * comp.base(UtilityModel::Incoming, n)
+        };
+        (check(c.p10), check(c.p20))
+    }
+
+    #[test]
+    fn bimatrix_has_the_chicken_structure() {
+        // Lemma K.4: (ON,ON) and (OFF,OFF) are unstable for both
+        // players; the mixed states are stable for both.
+        assert_eq!(wants_to_flip(true, true), (true, true), "(ON,ON)");
+        assert_eq!(wants_to_flip(false, false), (true, true), "(OFF,OFF)");
+        assert_eq!(wants_to_flip(true, false), (false, false), "(ON,OFF)");
+        assert_eq!(wants_to_flip(false, true), (false, false), "(OFF,ON)");
+    }
+
+    #[test]
+    fn simultaneous_best_response_oscillates() {
+        let (world, _) = build(10, true, true);
+        let w = Weights::uniform(&world.graph);
+        let tb = LowestAsnTieBreak;
+        let sim = Simulation::new(&world.graph, &w, &tb, cfg());
+        let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+        match res.outcome {
+            Outcome::Oscillation { period, .. } => assert_eq!(period, 2),
+            other => panic!("expected oscillation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_states_are_stable() {
+        for (a, b_) in [(true, false), (false, true)] {
+            let (world, c) = build(10, a, b_);
+            let w = Weights::uniform(&world.graph);
+            let tb = LowestAsnTieBreak;
+            let sim = Simulation::new(&world.graph, &w, &tb, cfg());
+            let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+            assert!(
+                matches!(res.outcome, Outcome::Stable { round: 1 }),
+                "({a},{b_}): {:?}",
+                res.outcome
+            );
+            assert_eq!(res.final_state.get(c.p10), a);
+            assert_eq!(res.final_state.get(c.p20), b_);
+        }
+    }
+
+    #[test]
+    fn outgoing_model_does_not_oscillate() {
+        // Theorem 6.2 sanity: the same topology under the outgoing
+        // model must reach a stable state.
+        let (world, _) = build(10, true, true);
+        let w = Weights::uniform(&world.graph);
+        let tb = LowestAsnTieBreak;
+        let cfg = SimConfig {
+            theta: THETA,
+            model: UtilityModel::Outgoing,
+            max_rounds: 20,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&world.graph, &w, &tb, cfg);
+        let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+        assert!(matches!(res.outcome, Outcome::Stable { .. }));
+    }
+}
+
+#[cfg(test)]
+mod activation_tests {
+    use super::*;
+    use sbgp_asgraph::Weights;
+    use sbgp_core::{Activation, Outcome, SimConfig, Simulation, UtilityModel};
+    use sbgp_routing::LowestAsnTieBreak;
+
+    /// Asynchrony resolves the chicken standoff: when players move one
+    /// at a time, the first mover grabs a stable mixed state and the
+    /// oscillation never starts — the simultaneous-update lockstep is
+    /// essential to the Section 7.2 phenomenon.
+    #[test]
+    fn round_robin_activation_stabilizes_the_chicken() {
+        let (world, c) = build(10, true, true);
+        let w = Weights::uniform(&world.graph);
+        let tb = LowestAsnTieBreak;
+        let cfg = SimConfig {
+            theta: 0.001,
+            model: UtilityModel::Incoming,
+            activation: Activation::RoundRobin,
+            max_rounds: 20,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&world.graph, &w, &tb, cfg);
+        let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+        assert!(
+            matches!(res.outcome, Outcome::Stable { .. }),
+            "async play must settle: {:?}",
+            res.outcome
+        );
+        // Exactly one player ends up ON (a mixed chicken equilibrium).
+        let on10 = res.final_state.get(c.p10);
+        let on20 = res.final_state.get(c.p20);
+        assert_ne!(on10, on20, "must settle in a mixed state");
+    }
+
+    /// Same topology, same start, simultaneous updates: oscillation.
+    /// (The contrast test for the one above.)
+    #[test]
+    fn simultaneous_activation_still_oscillates() {
+        let (world, _) = build(10, true, true);
+        let w = Weights::uniform(&world.graph);
+        let tb = LowestAsnTieBreak;
+        let cfg = SimConfig {
+            theta: 0.001,
+            model: UtilityModel::Incoming,
+            activation: Activation::Simultaneous,
+            max_rounds: 20,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&world.graph, &w, &tb, cfg);
+        let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+        assert!(matches!(res.outcome, Outcome::Oscillation { .. }));
+    }
+}

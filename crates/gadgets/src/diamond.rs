@@ -1,0 +1,139 @@
+//! The Figure 2 DIAMOND: the paper's atomic unit of market pressure.
+//!
+//! Tier-1 AS 1239 (Sprint) sits above two competing regional ISPs,
+//! AS 8359 and AS 13789, both providers of the multihomed stub
+//! AS 18608. When one competitor deploys S\*BGP (securing the stub via
+//! simplex), the secure Tier-1 breaks its tie toward the secure path,
+//! moving the stub-bound traffic — and the losing competitor then has
+//! an incentive to deploy to win it back (Section 5.1, 5.5).
+
+use crate::GadgetWorld;
+use sbgp_asgraph::{AsGraphBuilder, AsId};
+use sbgp_core::initial_state;
+
+/// The named ASes of Figure 2.
+#[derive(Clone, Copy, Debug)]
+pub struct Diamond {
+    /// Sprint, the secure early-adopter Tier-1 (AS 1239).
+    pub tier1: AsId,
+    /// The competitor that deploys first in the paper's narrative
+    /// (AS 13789).
+    pub isp_a: AsId,
+    /// AS 8359, the competitor that deploys in round 4 of the paper's
+    /// case study to win its traffic back.
+    pub isp_b: AsId,
+    /// The multihomed stub both compete over (AS 18608).
+    pub stub: AsId,
+}
+
+/// Build the Figure 2 diamond. Each competitor also has
+/// `private_stubs` single-homed stub customers, so that deploying
+/// yields utility beyond the contested stub and the Eq. 3 ratio is
+/// realistic.
+pub fn build(private_stubs: usize) -> (GadgetWorld, Diamond) {
+    let mut b = AsGraphBuilder::new();
+    let tier1 = b.add_node(1239);
+    let isp_a = b.add_node(13789);
+    let isp_b = b.add_node(8359);
+    let stub = b.add_node(18608);
+    b.add_provider_customer(tier1, isp_a).unwrap();
+    b.add_provider_customer(tier1, isp_b).unwrap();
+    b.add_provider_customer(isp_a, stub).unwrap();
+    b.add_provider_customer(isp_b, stub).unwrap();
+    for k in 0..private_stubs {
+        let sa = b.add_node(40_000 + k as u32);
+        b.add_provider_customer(isp_a, sa).unwrap();
+        let sb = b.add_node(50_000 + k as u32);
+        b.add_provider_customer(isp_b, sb).unwrap();
+    }
+    let graph = b.build().unwrap();
+    let initial = initial_state(&graph, &[tier1]);
+    let movable = vec![isp_a, isp_b];
+    (
+        GadgetWorld {
+            graph,
+            initial,
+            movable,
+        },
+        Diamond {
+            tier1,
+            isp_a,
+            isp_b,
+            stub,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_asgraph::Weights;
+    use sbgp_core::{Outcome, SimConfig, Simulation, UtilityModel};
+    use sbgp_routing::LowestAsnTieBreak;
+
+    #[test]
+    fn both_competitors_eventually_deploy() {
+        let (world, d) = build(2);
+        let w = Weights::uniform(&world.graph);
+        let tb = LowestAsnTieBreak;
+        let cfg = SimConfig {
+            theta: 0.05,
+            model: UtilityModel::Outgoing,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&world.graph, &w, &tb, cfg);
+        let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![d.tier1]);
+        assert!(matches!(res.outcome, Outcome::Stable { .. }));
+        assert!(res.final_state.get(d.isp_a));
+        assert!(res.final_state.get(d.isp_b));
+        assert!(res.final_state.get(d.stub), "contested stub runs simplex");
+    }
+
+    #[test]
+    fn deployment_is_sequential_steal_then_recover() {
+        // The paper's Figure 2/4 narrative: one ISP moves first (the
+        // one that gains, i.e. the current tiebreak loser), then the
+        // other recovers.
+        let (world, d) = build(2);
+        let w = Weights::uniform(&world.graph);
+        let tb = LowestAsnTieBreak;
+        let cfg = SimConfig {
+            theta: 0.05,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&world.graph, &w, &tb, cfg);
+        let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![d.tier1]);
+        let first_round = &res.rounds[0];
+        assert_eq!(
+            first_round.turned_on.len(),
+            1,
+            "exactly one competitor moves first: {:?}",
+            first_round.turned_on
+        );
+        // The first mover is the tiebreak *loser* (higher ASN: 13789),
+        // because the winner already carries the contested traffic and
+        // gains nothing.
+        assert_eq!(first_round.turned_on[0], d.isp_a);
+        // The original winner (8359) recovers in a later round.
+        assert!(res
+            .rounds
+            .iter()
+            .skip(1)
+            .any(|r| r.turned_on.contains(&d.isp_b)));
+    }
+
+    #[test]
+    fn no_deployment_without_secure_tier1() {
+        let (world, d) = build(2);
+        let w = Weights::uniform(&world.graph);
+        let tb = LowestAsnTieBreak;
+        let cfg = SimConfig::default();
+        let sim = Simulation::new(&world.graph, &w, &tb, cfg);
+        // Empty initial state: nobody is secure, so no secure paths
+        // can form and no one has an incentive to move.
+        let initial = sbgp_routing::SecureSet::new(world.graph.len());
+        let res = sim.run_constrained(initial, &world.movable, vec![]);
+        assert!(!res.final_state.get(d.isp_a));
+        assert!(!res.final_state.get(d.isp_b));
+    }
+}

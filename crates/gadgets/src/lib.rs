@@ -1,0 +1,76 @@
+//! # sbgp-gadgets
+//!
+//! Executable versions of the paper's appendix constructions. Each
+//! module builds a concrete [`AsGraph`](sbgp_asgraph::AsGraph) plus an
+//! initial deployment state, and the accompanying tests *run the real
+//! simulator* over it to verify the claimed dynamics:
+//!
+//! * [`diamond`] — the Figure 2 DIAMOND: two ISPs competing for
+//!   traffic to a multihomed stub, the paper's atomic unit of market
+//!   pressure;
+//! * [`attack`] — the Appendix B / Figure 15 attack showing why
+//!   partially-secure paths must never be preferred over insecure
+//!   ones;
+//! * [`setcover`] — the Theorem 6.1 / Figure 16 reduction from
+//!   SET-COVER, demonstrating why choosing optimal early adopters is
+//!   NP-hard;
+//! * [`turnoff`] — the Figure 13 "buyer's remorse" topology where a
+//!   secure ISP increases its incoming utility by disabling S\*BGP;
+//! * [`chicken`] — the Appendix K.5 CHICKEN gadget (Figure 21 /
+//!   Table 5), whose (ON, ON) start oscillates forever under
+//!   simultaneous myopic best response — the Section 7.2 phenomenon;
+//! * [`and_gadget`] — the Appendix K.4 AND gadget (Figure 20), the
+//!   combinational building block of the PSPACE-hardness proof
+//!   (Theorem 7.1);
+//! * [`selector`] — the Appendix K.6 k-SELECTOR (a clique of chicken
+//!   gadgets): exactly-one-ON states are stable, and asynchronous play
+//!   actually selects one.
+//!
+//! The paper holds gadget-internal "fixed nodes" constant with
+//! auxiliary machinery it omits (Appendix K.3); here the same effect
+//! comes from
+//! [`Simulation::run_constrained`](sbgp_core::Simulation::run_constrained),
+//! which restricts which ISPs may act.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod and_gadget;
+pub mod attack;
+pub mod chicken;
+pub mod diamond;
+pub mod selector;
+pub mod setcover;
+pub mod turnoff;
+
+use sbgp_asgraph::{AsGraph, AsId};
+use sbgp_routing::SecureSet;
+
+/// A constructed gadget: a topology, the deployment state it starts
+/// in, and the ISPs allowed to act (everything else is an Appendix
+/// K.3 "fixed node").
+#[derive(Clone, Debug)]
+pub struct GadgetWorld {
+    /// The topology.
+    pub graph: AsGraph,
+    /// Initial deployment state.
+    pub initial: SecureSet,
+    /// The ISPs whose decisions the gadget is about.
+    pub movable: Vec<AsId>,
+}
+
+/// Helper: attach `leaves` unit-weight stub children to `root`,
+/// forming one of the appendix's "customer trees" of total weight
+/// `leaves + 1`.
+pub(crate) fn attach_tree(
+    b: &mut sbgp_asgraph::AsGraphBuilder,
+    root: AsId,
+    first_leaf_asn: u32,
+    leaves: usize,
+) {
+    for k in 0..leaves {
+        let leaf = b.add_node(first_leaf_asn + k as u32);
+        b.add_provider_customer(root, leaf)
+            .expect("tree edges are fresh");
+    }
+}

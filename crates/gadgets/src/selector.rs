@@ -1,0 +1,230 @@
+//! The Appendix K.6 k-SELECTOR gadget: a clique of CHICKEN gadgets.
+//!
+//! `k` player ISPs are pairwise connected by the Figure 21/22 chicken
+//! structure (for `i < j`, player `j` is the provider in the pair, as
+//! in the paper's Figure 22 — the index ordering is what keeps the
+//! customer–provider clique acyclic, per the paper's footnote). Each
+//! player also has an ε-weight local tree that prefers it when it is
+//! ON.
+//!
+//! Lemma K.5's claims, verified by the tests against the real
+//! simulator:
+//!
+//! * the states with **exactly one player ON** are stable;
+//! * any state with two or more ON players is unstable (each
+//!   jointly-ON pair loses its cross traffic, which dwarfs the ε
+//!   gains);
+//! * all-OFF is unstable (everyone wants the ε gains);
+//! * under simultaneous updates the all-ON start oscillates, while
+//!   round-robin activation settles into a one-ON selector state.
+
+use crate::{attach_tree, GadgetWorld};
+use sbgp_asgraph::{AsGraphBuilder, AsId};
+use sbgp_routing::SecureSet;
+
+/// Build the k-selector with cross-traffic scale `m` and the given
+/// initial player states.
+///
+/// # Panics
+/// Panics if `k < 2`, `k > 9` (ASN layout), `m < 5`, or
+/// `initial_on.len() != k`.
+pub fn build(k: usize, m: usize, initial_on: &[bool]) -> (GadgetWorld, Vec<AsId>) {
+    assert!((2..=9).contains(&k), "selector supports 2..=9 players");
+    assert!(m >= 5, "need epsilon << m");
+    assert_eq!(initial_on.len(), k);
+    let mut b = AsGraphBuilder::new();
+
+    // Players: ASNs in a middle band (above every fallback node,
+    // below every backup/destination node).
+    let players: Vec<AsId> = (0..k).map(|i| b.add_node(500_000 + i as u32)).collect();
+    let mut fixed_off: Vec<AsId> = Vec::new();
+
+    // Player asymmetry edges: j (higher index) is provider of i.
+    for i in 0..k {
+        for j in i + 1..k {
+            b.add_provider_customer(players[j], players[i]).unwrap();
+        }
+    }
+
+    // Per-player local apparatus: destination d_i (customer of the
+    // player and of a fixed-secure backup), and a unit local tree.
+    for (i, &p) in players.iter().enumerate() {
+        let d = b.add_node(600_000 + i as u32);
+        let backup = b.add_node(700_000 + i as u32);
+        let local = b.add_node(800_000 + i as u32);
+        b.add_provider_customer(p, d).unwrap();
+        b.add_provider_customer(backup, d).unwrap();
+        b.add_provider_customer(p, local).unwrap();
+        b.add_provider_customer(backup, local).unwrap();
+    }
+
+    // Pairwise chicken plumbing (the Figure 21 edge set, with i in
+    // the "node 10" role and j in the "node 20" role).
+    let mut hubs: Vec<(usize, usize, AsId, AsId)> = Vec::new();
+    let mut pair_idx = 0u32;
+    for i in 0..k {
+        for j in i + 1..k {
+            let base = pair_idx * 10;
+            pair_idx += 1;
+            let n1 = b.add_node(base + 1);
+            let n2 = b.add_node(base + 2);
+            let n3 = b.add_node(base + 3);
+            let n4 = b.add_node(base + 4);
+            let n5 = b.add_node(base + 5);
+            let n6 = b.add_node(base + 6);
+            let (pi, pj) = (players[i], players[j]);
+            // Cross1: secure branch pi —peer— n6 —provider-of— pj;
+            // fallback n1 (customer of n4, customer of pj).
+            b.add_peer_peer(pi, n6).unwrap();
+            b.add_provider_customer(n6, pj).unwrap();
+            b.add_provider_customer(n4, n1).unwrap();
+            b.add_provider_customer(pj, n4).unwrap();
+            let c1 = b.add_node(1_000_000 + 1000 * pair_idx);
+            b.add_provider_customer(pi, c1).unwrap();
+            b.add_provider_customer(n1, c1).unwrap();
+            attach_tree(&mut b, c1, 2_000_000 + 1000 * pair_idx, m - 1);
+            // Cross1's destination: pj's own d_j plays that role via a
+            // dedicated stub so pair flows stay separate.
+            let d2 = b.add_node(900_000 + pair_idx);
+            b.add_provider_customer(pj, d2).unwrap();
+            // Cross2: secure branch n3 —peer— pj; fallback n2
+            // (customer of n5, customer of pi).
+            b.add_peer_peer(n3, pj).unwrap();
+            b.add_provider_customer(n5, n2).unwrap();
+            b.add_provider_customer(pi, n5).unwrap();
+            let c2 = b.add_node(1_000_000 + 1000 * pair_idx + 500);
+            b.add_provider_customer(n3, c2).unwrap();
+            b.add_provider_customer(n2, c2).unwrap();
+            attach_tree(&mut b, c2, 3_000_000 + 1000 * pair_idx, 2 * m - 1);
+            // Cross2's destination: a dedicated stub of pi.
+            let d1 = b.add_node(950_000 + pair_idx);
+            b.add_provider_customer(pi, d1).unwrap();
+            // Relay y: gives p_i an LP-dominant (peer-class) route to
+            // this pair's n3 hub without giving n3 any shorter route
+            // back — a direct p_i—n3 peer edge would break the Cross2
+            // length equality the gadget depends on.
+            let y = b.add_node(970_000 + pair_idx);
+            b.add_peer_peer(pi, y).unwrap();
+            b.add_provider_customer(y, n3).unwrap();
+            fixed_off.extend([n1, n2, n4, n5]);
+            hubs.push((i, j, n3, n6));
+        }
+    }
+
+    // Neutralize non-designated traffic (the Appendix K.6 "standard
+    // trick"): third-party players would otherwise hold *two*
+    // equal-length provider routes toward a pair's internal hubs
+    // (n3/n6) — one through each of two providers — and that tie's
+    // security depends on the pair's players, polluting their
+    // utilities. A direct peer edge gives every outside player a
+    // dominant (LP-preferred), state-independent route.
+    for &(i, j, n3, n6) in &hubs {
+        for (x, &px) in players.iter().enumerate() {
+            if x != i && x != j {
+                b.add_peer_peer(px, n3).unwrap();
+                b.add_peer_peer(px, n6).unwrap();
+            }
+        }
+    }
+
+    let graph = b.build().unwrap();
+    let mut initial = SecureSet::new(graph.len());
+    for n in graph.nodes() {
+        initial.set(n, true);
+    }
+    for &off in &fixed_off {
+        initial.set(off, false);
+    }
+    for (i, &p) in players.iter().enumerate() {
+        initial.set(p, initial_on[i]);
+    }
+
+    (
+        GadgetWorld {
+            graph,
+            initial,
+            movable: players.clone(),
+        },
+        players,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_asgraph::Weights;
+    use sbgp_core::{Activation, Outcome, SimConfig, Simulation, UtilityModel};
+    use sbgp_routing::LowestAsnTieBreak;
+
+    fn cfg(activation: Activation) -> SimConfig {
+        SimConfig {
+            // The ε advantage of turning on alone is constant (+2)
+            // while base utilities carry a large constant background,
+            // so the relative threshold must sit below ε/u.
+            theta: 0.0001,
+            model: UtilityModel::Incoming,
+            activation,
+            max_rounds: 30,
+            ..SimConfig::default()
+        }
+    }
+
+    fn run(k: usize, initial: &[bool], activation: Activation) -> (Vec<bool>, Outcome) {
+        let (world, players) = build(k, 10, initial);
+        let w = Weights::uniform(&world.graph);
+        let sim = Simulation::new(&world.graph, &w, &LowestAsnTieBreak, cfg(activation));
+        let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+        let ons = players.iter().map(|&p| res.final_state.get(p)).collect();
+        (ons, res.outcome)
+    }
+
+    #[test]
+    fn exactly_one_on_is_stable() {
+        for k in [2usize, 3] {
+            for winner in 0..k {
+                let mut init = vec![false; k];
+                init[winner] = true;
+                let (ons, outcome) = run(k, &init, Activation::Simultaneous);
+                assert!(
+                    matches!(outcome, Outcome::Stable { round: 1 }),
+                    "k={k} winner={winner}: {outcome:?}"
+                );
+                assert_eq!(ons, init, "k={k} winner={winner}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_on_oscillates_under_simultaneous_updates() {
+        let (_, outcome) = run(3, &[true, true, true], Activation::Simultaneous);
+        assert!(
+            matches!(outcome, Outcome::Oscillation { .. }),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn round_robin_selects_exactly_one() {
+        for init in [[true, true, true], [false, false, false]] {
+            let (ons, outcome) = run(3, &init, Activation::RoundRobin);
+            assert!(
+                matches!(outcome, Outcome::Stable { .. }),
+                "init {init:?}: {outcome:?}"
+            );
+            assert_eq!(
+                ons.iter().filter(|&&x| x).count(),
+                1,
+                "init {init:?} settled to {ons:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_on_collapses_toward_selector_state() {
+        // Any multi-ON state is unstable (Lemma K.5 part 2): both
+        // jointly-ON players want out.
+        let (ons, outcome) = run(3, &[true, false, true], Activation::RoundRobin);
+        assert!(matches!(outcome, Outcome::Stable { .. }), "{outcome:?}");
+        assert_eq!(ons.iter().filter(|&&x| x).count(), 1, "{ons:?}");
+    }
+}

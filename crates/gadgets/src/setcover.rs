@@ -1,0 +1,204 @@
+//! The Theorem 6.1 / Figure 16 reduction: choosing optimal early
+//! adopters encodes SET-COVER.
+//!
+//! For each subset `S_i` of the universe, the construction has a pair
+//! `(s_i1, s_i2)` with `s_i1` a customer of `s_i2`; a single stub
+//! destination `d` is a customer of every `s_i1`; and `s_i2` is a
+//! provider of every universe-element stub `u ∈ S_i`. Every `u` also
+//! has a disjoint *preferred* fallback route to `d` of equal length
+//! (through a fixed-insecure chain with a lower tiebreak key).
+//!
+//! Seeding `s_i1` as an early adopter secures `d` (simplex) and makes
+//! `s_i2` deploy: by deploying — and simplex-upgrading its stubs `u` —
+//! `s_i2` creates fully secure `u → s_i2 → s_i1 → d` paths that the
+//! now-secure `u`s prefer over their fallbacks, pulling their traffic
+//! onto `s_i2`'s customer edge. So the universe elements that end up
+//! secure are exactly the union of the chosen subsets: maximizing
+//! secure ASes with `k` early adopters *is* MAX-k-COVER, which is
+//! NP-hard even to approximate.
+
+use crate::GadgetWorld;
+use sbgp_asgraph::{AsGraphBuilder, AsId};
+use sbgp_core::initial_state;
+
+/// A SET-COVER instance: a universe `{0, .., universe-1}` and subsets.
+#[derive(Clone, Debug)]
+pub struct SetCoverInstance {
+    /// Universe size.
+    pub universe: usize,
+    /// The subsets, as lists of universe elements.
+    pub subsets: Vec<Vec<usize>>,
+}
+
+/// The reduction output: the gadget world plus the node mapping.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// The destination stub `d`.
+    pub dest: AsId,
+    /// `s_i1` per subset (the potential early adopters).
+    pub s1: Vec<AsId>,
+    /// `s_i2` per subset (the deciding ISPs).
+    pub s2: Vec<AsId>,
+    /// Universe-element stubs `u`.
+    pub elements: Vec<AsId>,
+}
+
+/// Build the Figure 16 graph from a SET-COVER instance.
+///
+/// # Panics
+/// Panics if a subset references an element outside the universe.
+pub fn build(instance: &SetCoverInstance) -> (GadgetWorld, Reduction) {
+    let m = instance.subsets.len();
+    let mut b = AsGraphBuilder::new();
+    let dest = b.add_node(1);
+    let s1: Vec<AsId> = (0..m).map(|i| b.add_node(100 + i as u32)).collect();
+    let s2: Vec<AsId> = (0..m).map(|i| b.add_node(200 + i as u32)).collect();
+    let elements: Vec<AsId> = (0..instance.universe)
+        .map(|u| b.add_node(1_000 + u as u32))
+        .collect();
+    for i in 0..m {
+        b.add_provider_customer(s1[i], dest).unwrap();
+        b.add_provider_customer(s2[i], s1[i]).unwrap();
+        for &u in &instance.subsets[i] {
+            assert!(u < instance.universe, "element {u} outside universe");
+            b.add_provider_customer(s2[i], elements[u]).unwrap();
+        }
+    }
+    // Fallback chains: u → f1_u → f2_u → d, equal length to
+    // u → s_i2 → s_i1 → d, fixed insecure, and winning the plain
+    // tiebreak: f1's ASN (10 + 2u) is below every s_i2's (200 + i).
+    assert!(
+        instance.universe <= 44,
+        "universe too large for the ASN layout (fallback ASNs must stay below 100)"
+    );
+    for (u, &elem) in elements.iter().enumerate() {
+        let f1 = b.add_node(10 + 2 * u as u32);
+        let f2 = b.add_node(11 + 2 * u as u32);
+        b.add_provider_customer(f1, elem).unwrap();
+        b.add_provider_customer(f2, f1).unwrap();
+        b.add_provider_customer(f2, dest).unwrap();
+    }
+    let graph = b.build().unwrap();
+
+    // Only the subset machinery may act; fallback chains are fixed.
+    let movable: Vec<AsId> = s1.iter().chain(s2.iter()).copied().collect();
+    let world = GadgetWorld {
+        initial: initial_state(&graph, &[]),
+        graph,
+        movable,
+    };
+    (
+        world,
+        Reduction {
+            dest,
+            s1,
+            s2,
+            elements,
+        },
+    )
+}
+
+/// Run the deployment process with `adopters` (indices into the
+/// subsets) seeded, and return which universe elements end up secure.
+pub fn deploy_and_count(
+    instance: &SetCoverInstance,
+    adopters: &[usize],
+    theta: f64,
+) -> Vec<bool> {
+    use sbgp_asgraph::Weights;
+    use sbgp_core::{SimConfig, Simulation, UtilityModel};
+    use sbgp_routing::LowestAsnTieBreak;
+
+    let (world, red) = build(instance);
+    let seeds: Vec<AsId> = adopters.iter().map(|&i| red.s1[i]).collect();
+    let initial = initial_state(&world.graph, &seeds);
+    let w = Weights::uniform(&world.graph);
+    let tb = LowestAsnTieBreak;
+    let cfg = SimConfig {
+        theta,
+        model: UtilityModel::Outgoing,
+        ..SimConfig::default()
+    };
+    let sim = Simulation::new(&world.graph, &w, &tb, cfg);
+    let res = sim.run_constrained(initial, &world.movable, seeds);
+    red.elements
+        .iter()
+        .map(|&u| res.final_state.get(u))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance() -> SetCoverInstance {
+        // Universe {0..5}; S0={0,1,2}, S1={2,3}, S2={3,4,5}, S3={0,5}.
+        SetCoverInstance {
+            universe: 6,
+            subsets: vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]],
+        }
+    }
+
+    #[test]
+    fn fallback_routes_win_without_adopters() {
+        let covered = deploy_and_count(&instance(), &[], 0.05);
+        assert!(covered.iter().all(|&c| !c), "nothing secure unseeded");
+    }
+
+    #[test]
+    fn cover_secures_exactly_the_union() {
+        // {S0, S2} covers everything.
+        let covered = deploy_and_count(&instance(), &[0, 2], 0.05);
+        assert!(covered.iter().all(|&c| c), "full cover secures all: {covered:?}");
+        // {S1, S3} covers only {0, 2, 3, 5}.
+        let covered = deploy_and_count(&instance(), &[1, 3], 0.05);
+        assert_eq!(covered, vec![true, false, true, true, false, true]);
+    }
+
+    #[test]
+    fn objective_matches_max_k_cover() {
+        // With k = 2 adopters, {S0, S2} (cover of size 6) must secure
+        // strictly more elements than any non-covering pair.
+        let inst = instance();
+        let best = deploy_and_count(&inst, &[0, 2], 0.05)
+            .iter()
+            .filter(|&&c| c)
+            .count();
+        assert_eq!(best, 6);
+        for pair in [[0, 1], [0, 3], [1, 2], [1, 3], [2, 3]] {
+            let got = deploy_and_count(&inst, &pair, 0.05)
+                .iter()
+                .filter(|&&c| c)
+                .count();
+            let union: std::collections::HashSet<usize> = pair
+                .iter()
+                .flat_map(|&i| inst.subsets[i].iter().copied())
+                .collect();
+            assert_eq!(got, union.len(), "pair {pair:?}");
+            assert!(got < best);
+        }
+    }
+
+    #[test]
+    fn s2_providers_deploy_only_above_seeded_subsets() {
+        let inst = instance();
+        let (world, red) = build(&inst);
+        let seeds = vec![red.s1[0]];
+        let initial = sbgp_core::initial_state(&world.graph, &seeds);
+        let w = sbgp_asgraph::Weights::uniform(&world.graph);
+        let tb = sbgp_routing::LowestAsnTieBreak;
+        let cfg = sbgp_core::SimConfig {
+            theta: 0.05,
+            ..Default::default()
+        };
+        let sim = sbgp_core::Simulation::new(&world.graph, &w, &tb, cfg);
+        let res = sim.run_constrained(initial, &world.movable, seeds);
+        assert!(res.final_state.get(red.s2[0]), "s_02 deploys");
+        for i in 1..inst.subsets.len() {
+            assert!(
+                !res.final_state.get(red.s2[i]),
+                "s_{i}2 has no incentive without its s_{i}1"
+            );
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The Figure 13 "buyer's remorse" topology.
+//!
+//! AS 4755 (an Indian telecom) is secure, as are Akamai (AS 20940) and
+//! its own provider NTT (AS 2914). Akamai's heavy traffic to AS 4755's
+//! stub customers follows the *fully secure* path through NTT —
+//! entering AS 4755 on a **provider** edge, which earns it nothing in
+//! the incoming-utility model. If AS 4755 turns S\*BGP *off*, the
+//! secure path disappears, Akamai falls back to its plain tiebreak,
+//! and (as in the paper's simulation) that tiebreak favors a route
+//! through AS 4755's *customer* AS 9498 — so the same traffic now
+//! enters on a customer edge and pays. Disabling security is strictly
+//! profitable (Section 7.1).
+
+use crate::GadgetWorld;
+use sbgp_asgraph::{AsGraphBuilder, AsId};
+use sbgp_routing::SecureSet;
+
+/// The named ASes of Figure 13.
+#[derive(Clone, Copy, Debug)]
+pub struct Figure13 {
+    /// Akamai (AS 20940), the secure heavy-traffic source.
+    pub akamai: AsId,
+    /// NTT (AS 2914), AS 4755's provider.
+    pub ntt: AsId,
+    /// AS 4755, the secure ISP with the turn-off incentive.
+    pub telecom: AsId,
+    /// AS 9498, AS 4755's customer carrying the fallback route.
+    pub customer: AsId,
+    /// One of the 24 stub destinations (AS 45210).
+    pub stub: AsId,
+}
+
+/// Build the Figure 13 world with `n_stubs` stub customers under
+/// AS 4755 (the paper counts 24) and an Akamai-side customer tree of
+/// `akamai_weight - 1` leaves standing in for its CP traffic volume.
+///
+/// Topology (all customer→provider arrows point up):
+///
+/// ```text
+///         ntt ──peer── akamai ──┐
+///          │                    │ (akamai is a customer of both ntt
+///        telecom                │  and `customer`, giving two equal-
+///          │  \                 │  length provider routes to the stubs)
+///        stubs  customer ───────┘
+///                  │
+///               (also provider of the stubs? no — the fallback route
+///                climbs customer → telecom → stub)
+/// ```
+///
+/// Fallback route: `(akamai, customer, telecom, stub)`; secure route:
+/// `(akamai, ntt, telecom, stub)` — equal length, tie broken at
+/// Akamai. The customer's ASN is chosen *below* NTT's so the plain
+/// tiebreak favors it, exactly as in the paper's simulation.
+pub fn build(n_stubs: usize, akamai_weight: usize) -> (GadgetWorld, Figure13) {
+    let mut b = AsGraphBuilder::new();
+    let customer = b.add_node(998); // < 2914 so the plain tiebreak picks it
+    let ntt = b.add_node(2914);
+    let akamai = b.add_node(20940);
+    let telecom = b.add_node(4755);
+    b.add_provider_customer(ntt, telecom).unwrap();
+    b.add_provider_customer(telecom, customer).unwrap();
+    b.add_provider_customer(ntt, akamai).unwrap();
+    b.add_provider_customer(customer, akamai).unwrap();
+    let mut first_stub = None;
+    for k in 0..n_stubs {
+        let s = b.add_node(45_210 + k as u32);
+        b.add_provider_customer(telecom, s).unwrap();
+        first_stub.get_or_insert(s);
+    }
+    // Akamai's traffic volume, modeled as a customer tree under it.
+    crate::attach_tree(&mut b, akamai, 60_000, akamai_weight.saturating_sub(1));
+    b.mark_content_provider(akamai);
+    let graph = b.build().unwrap();
+
+    // State S of Figure 13: Akamai, NTT, AS 4755 and its simplex stubs
+    // are secure; AS 9498 is not.
+    let mut initial = SecureSet::new(graph.len());
+    for x in [akamai, ntt, telecom] {
+        initial.set(x, true);
+    }
+    for s in graph.stub_customers_of(telecom) {
+        initial.set(s, true);
+    }
+    // Akamai's tree leaves sign too (simplex under a secure CP — they
+    // are sources only, so this only affects path security labels).
+    for s in graph.stub_customers_of(akamai) {
+        initial.set(s, true);
+    }
+
+    (
+        GadgetWorld {
+            graph,
+            initial,
+            movable: vec![telecom],
+        },
+        Figure13 {
+            akamai,
+            ntt,
+            telecom,
+            customer,
+            stub: first_stub.expect("n_stubs >= 1"),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_asgraph::Weights;
+    use sbgp_core::turnoff::per_destination_census;
+    use sbgp_core::{Outcome, SimConfig, Simulation, UtilityModel};
+    use sbgp_routing::{
+        compute_tree, extract_path, DestContext, LowestAsnTieBreak, RouteTree, TreePolicy,
+    };
+
+    #[test]
+    fn secure_state_routes_akamai_via_provider() {
+        let (world, f) = build(24, 50);
+        let g = &world.graph;
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(g, f.stub, &LowestAsnTieBreak);
+        let mut tree = RouteTree::new(g.len());
+        compute_tree(g, &ctx, &world.initial, TreePolicy::default(), &mut tree);
+        let path = extract_path(&ctx, &tree, f.akamai).unwrap();
+        assert_eq!(path, vec![f.akamai, f.ntt, f.telecom, f.stub]);
+        assert!(tree.secure[f.akamai.index()]);
+    }
+
+    #[test]
+    fn turning_off_reroutes_via_customer() {
+        let (world, f) = build(24, 50);
+        let g = &world.graph;
+        let mut off = world.initial.clone();
+        off.set(f.telecom, false);
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(g, f.stub, &LowestAsnTieBreak);
+        let mut tree = RouteTree::new(g.len());
+        compute_tree(g, &ctx, &off, TreePolicy::default(), &mut tree);
+        let path = extract_path(&ctx, &tree, f.akamai).unwrap();
+        assert_eq!(
+            path,
+            vec![f.akamai, f.customer, f.telecom, f.stub],
+            "plain tiebreak must favor the customer route"
+        );
+        assert!(!tree.secure[f.akamai.index()]);
+    }
+
+    #[test]
+    fn telecom_disables_sbgp_in_incoming_model() {
+        let (world, f) = build(24, 50);
+        let w = Weights::uniform(&world.graph);
+        let tb = LowestAsnTieBreak;
+        let cfg = SimConfig {
+            theta: 0.05,
+            model: UtilityModel::Incoming,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&world.graph, &w, &tb, cfg);
+        let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+        assert!(
+            !res.final_state.get(f.telecom),
+            "AS 4755 should turn S*BGP off"
+        );
+        assert!(matches!(res.outcome, Outcome::Stable { .. }));
+        // Its simplex stubs stay secure (the software stays installed).
+        assert!(res.final_state.get(f.stub));
+        // And it does not regret the turn-off: one decision, stable.
+        assert_eq!(res.rounds.len(), 2);
+    }
+
+    #[test]
+    fn telecom_keeps_sbgp_in_outgoing_model() {
+        // Theorem 6.2: no turn-off incentive in the outgoing model.
+        let (world, f) = build(24, 50);
+        let w = Weights::uniform(&world.graph);
+        let tb = LowestAsnTieBreak;
+        let cfg = SimConfig {
+            theta: 0.0,
+            model: UtilityModel::Outgoing,
+            ..SimConfig::default()
+        };
+        let sim = Simulation::new(&world.graph, &w, &tb, cfg);
+        let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+        assert!(res.final_state.get(f.telecom));
+    }
+
+    #[test]
+    fn census_flags_the_incentive() {
+        let (world, f) = build(24, 50);
+        let w = Weights::uniform(&world.graph);
+        let census = per_destination_census(
+            &world.graph,
+            &w,
+            &world.initial,
+            TreePolicy::default(),
+            &LowestAsnTieBreak,
+            1e-9,
+        );
+        let rec = census
+            .iter()
+            .find(|r| r.isp == f.telecom)
+            .expect("AS 4755 must be flagged");
+        assert_eq!(
+            rec.destinations.len(),
+            24,
+            "a per-destination incentive for each of the 24 stubs"
+        );
+        assert!(rec.whole_network_gain > 0.0);
+    }
+}

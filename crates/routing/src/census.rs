@@ -1,0 +1,181 @@
+//! Tiebreak-set census (Figure 10 and the Section 6.7 computation).
+//!
+//! The tiebreak set of a (source, destination) pair is where all the
+//! competition in the model lives: a set of size 1 leaves security no
+//! routing decision to influence. The paper reports that tiebreak sets
+//! are strikingly small (mean ≈ 1.3 for ISPs, 1.16 for stubs, ~20%
+//! larger than a single path) and that, combined with ISPs being only
+//! ~15% of ASes, under 4% of routing decisions are security-sensitive.
+
+use crate::context::DestContext;
+use crate::tiebreak::TieBreaker;
+use sbgp_asgraph::{AsClass, AsGraph, AsId};
+
+/// Aggregate tiebreak-set statistics across source–destination pairs.
+#[derive(Clone, Debug, Default)]
+pub struct TiebreakCensus {
+    /// `histogram[k]` = number of (src, dst) pairs whose tiebreak set
+    /// has size `k` (index 0 unused).
+    pub histogram: Vec<u64>,
+    /// Pair counts and size sums split by source class, indexed by
+    /// `[stub, isp, cp]`.
+    pub pairs_by_class: [u64; 3],
+    /// Sum of tiebreak-set sizes by source class.
+    pub size_sum_by_class: [f64; 3],
+    /// Pairs with more than one path, by source class.
+    pub multi_by_class: [u64; 3],
+}
+
+fn class_idx(c: AsClass) -> usize {
+    match c {
+        AsClass::Stub => 0,
+        AsClass::Isp => 1,
+        AsClass::ContentProvider => 2,
+    }
+}
+
+impl TiebreakCensus {
+    /// Run the census over all sources for every destination in
+    /// `dests`. Pass every node to reproduce the paper's all-pairs
+    /// census, or a sample for large graphs (document the sample!).
+    pub fn run<T: TieBreaker + ?Sized>(
+        g: &AsGraph,
+        dests: impl IntoIterator<Item = AsId>,
+        tiebreaker: &T,
+    ) -> Self {
+        let mut census = TiebreakCensus::default();
+        let mut ctx = DestContext::new(g.len());
+        for d in dests {
+            ctx.compute(g, d, tiebreaker);
+            census.add_destination(g, &ctx);
+        }
+        census
+    }
+
+    /// Add one destination's tiebreak sets to the census.
+    pub fn add_destination(&mut self, g: &AsGraph, ctx: &DestContext) {
+        for &xi in ctx.order() {
+            let x = AsId(xi);
+            if x == ctx.dest() {
+                continue;
+            }
+            let size = ctx.tiebreak_set(x).len();
+            if self.histogram.len() <= size {
+                self.histogram.resize(size + 1, 0);
+            }
+            self.histogram[size] += 1;
+            let ci = class_idx(g.class(x));
+            self.pairs_by_class[ci] += 1;
+            self.size_sum_by_class[ci] += size as f64;
+            if size > 1 {
+                self.multi_by_class[ci] += 1;
+            }
+        }
+    }
+
+    /// Total (src, dst) pairs observed.
+    pub fn total_pairs(&self) -> u64 {
+        self.pairs_by_class.iter().sum()
+    }
+
+    /// Mean tiebreak-set size across all pairs.
+    pub fn mean(&self) -> f64 {
+        let total = self.total_pairs();
+        if total == 0 {
+            return 0.0;
+        }
+        self.size_sum_by_class.iter().sum::<f64>() / total as f64
+    }
+
+    /// Mean tiebreak-set size for a source class.
+    pub fn mean_for(&self, class: AsClass) -> f64 {
+        let i = class_idx(class);
+        if self.pairs_by_class[i] == 0 {
+            return 0.0;
+        }
+        self.size_sum_by_class[i] / self.pairs_by_class[i] as f64
+    }
+
+    /// Fraction of pairs with more than one equally-good path.
+    pub fn multi_fraction(&self) -> f64 {
+        let total = self.total_pairs();
+        if total == 0 {
+            return 0.0;
+        }
+        self.multi_by_class.iter().sum::<u64>() as f64 / total as f64
+    }
+
+    /// Fraction of pairs with more than one path for a source class.
+    pub fn multi_fraction_for(&self, class: AsClass) -> f64 {
+        let i = class_idx(class);
+        if self.pairs_by_class[i] == 0 {
+            return 0.0;
+        }
+        self.multi_by_class[i] as f64 / self.pairs_by_class[i] as f64
+    }
+
+    /// The Section 6.7 estimate: the fraction of all routing decisions
+    /// that security can influence — decisions made by ISPs (stubs
+    /// transit nothing, CPs originate only) with a multi-path tiebreak
+    /// set. The paper computes 0.15 × 0.23 ≈ 3.5%.
+    pub fn security_sensitive_fraction(&self) -> f64 {
+        let total = self.total_pairs();
+        if total == 0 {
+            return 0.0;
+        }
+        self.multi_by_class[class_idx(AsClass::Isp)] as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiebreak::HashTieBreak;
+    use sbgp_asgraph::gen::{generate, GenParams};
+    use sbgp_asgraph::AsGraphBuilder;
+
+    #[test]
+    fn diamond_has_one_multipath_pair() {
+        let mut b = AsGraphBuilder::new();
+        let s = b.add_node(1);
+        let ia = b.add_node(2);
+        let ib = b.add_node(3);
+        let d = b.add_node(4);
+        b.add_provider_customer(s, ia).unwrap();
+        b.add_provider_customer(s, ib).unwrap();
+        b.add_provider_customer(ia, d).unwrap();
+        b.add_provider_customer(ib, d).unwrap();
+        let g = b.build().unwrap();
+        let census = TiebreakCensus::run(&g, [d], &HashTieBreak);
+        assert_eq!(census.total_pairs(), 3);
+        assert_eq!(census.histogram[2], 1, "s has 2 choices");
+        assert_eq!(census.histogram[1], 2, "the ISPs have 1 each");
+        assert!((census.mean() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_graph_matches_paper_regime() {
+        let g = generate(&GenParams::small(42)).graph;
+        let dests: Vec<AsId> = g.nodes().step_by(7).collect(); // sample
+        let census = TiebreakCensus::run(&g, dests, &HashTieBreak);
+        let mean = census.mean();
+        assert!(
+            (1.0..=1.8).contains(&mean),
+            "mean tiebreak size {mean} outside the paper's regime"
+        );
+        // ISPs see (weakly) more competition than stubs.
+        assert!(census.mean_for(AsClass::Isp) >= census.mean_for(AsClass::Stub) - 0.05);
+        // Most pairs have a single path.
+        assert!(census.multi_fraction() < 0.5);
+        // Security-sensitive decisions are a small minority.
+        assert!(census.security_sensitive_fraction() < 0.15);
+    }
+
+    #[test]
+    fn empty_census_is_zeroed() {
+        let census = TiebreakCensus::default();
+        assert_eq!(census.mean(), 0.0);
+        assert_eq!(census.multi_fraction(), 0.0);
+        assert_eq!(census.security_sensitive_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,431 @@
+//! Per-destination "frozen" routing information (Observation C.1).
+//!
+//! Under the Appendix A policies, the *class* (customer / peer /
+//! provider) and *length* of every node's best route to a destination
+//! do not depend on which ASes are secure — security only picks among
+//! the equally-good next hops of the **tiebreak set**. [`DestContext`]
+//! computes all three in `O(|V|+|E|)` per destination with the
+//! three-stage BFS of [15] (Goldberg et al.), as adapted in Appendix
+//! C.2:
+//!
+//! 1. **customer routes** — BFS from the destination along
+//!    customer→provider edges (a node's customer route descends
+//!    through a chain of customers to `d`);
+//! 2. **peer routes** — one peer hop onto a customer route (or a
+//!    direct peering with `d`);
+//! 3. **provider routes** — level-order BFS along provider→customer
+//!    edges seeded by every node settled in stages 1–2 (GR2 lets a
+//!    node export its best route, of any class, to its customers).
+
+use crate::tiebreak::TieBreaker;
+use sbgp_asgraph::{AsGraph, AsId};
+
+/// Length sentinel for unreachable nodes.
+const UNREACH: u16 = u16::MAX;
+
+/// The class of a node's best route to the current destination,
+/// ordered by local preference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum RouteClass {
+    /// This node *is* the destination.
+    SelfDest,
+    /// Best route's next hop is a customer.
+    Customer,
+    /// Best route's next hop is a peer.
+    Peer,
+    /// Best route's next hop is a provider.
+    Provider,
+    /// No exportable route exists.
+    Unreachable,
+}
+
+/// Frozen per-destination routing info: every node's best-route class,
+/// length, and tiebreak set (sorted by tiebreak key, so entry 0 is the
+/// insecure-world choice).
+///
+/// One `DestContext` is meant to be reused across destinations via
+/// [`compute`](Self::compute) — all buffers retain capacity.
+#[derive(Clone, Debug)]
+pub struct DestContext {
+    dest: AsId,
+    /// Best-route length per node (`UNREACH` if none).
+    len: Vec<u16>,
+    class: Vec<RouteClass>,
+    /// CSR tiebreak sets: node `i`'s equally-good next hops are
+    /// `tb[tb_off[i]..tb_off[i+1]]`, sorted by tiebreak key.
+    tb_off: Vec<u32>,
+    tb: Vec<u32>,
+    /// Reachable nodes (including the destination) in ascending order
+    /// of best-route length — the processing order of the fast routing
+    /// tree algorithm.
+    order: Vec<u32>,
+    // --- reusable scratch ---
+    buckets: Vec<Vec<u32>>,
+    key_scratch: Vec<(u64, u32)>,
+}
+
+impl DestContext {
+    /// An empty context for an `n`-node graph (call
+    /// [`compute`](Self::compute) before use).
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds `u16::MAX - 1` nodes (path lengths are
+    /// stored as `u16`; the paper's 36K-node graph fits comfortably).
+    pub fn new(n: usize) -> Self {
+        assert!(n < u16::MAX as usize, "graph too large for u16 path lengths");
+        DestContext {
+            dest: AsId(0),
+            len: vec![UNREACH; n],
+            class: vec![RouteClass::Unreachable; n],
+            tb_off: Vec::with_capacity(n + 1),
+            tb: Vec::new(),
+            order: Vec::with_capacity(n),
+            buckets: Vec::new(),
+            key_scratch: Vec::new(),
+        }
+    }
+
+    /// The destination this context currently describes.
+    pub fn dest(&self) -> AsId {
+        self.dest
+    }
+
+    /// Best-route length of `n` (`None` if unreachable; 0 for the
+    /// destination itself).
+    pub fn route_len(&self, n: AsId) -> Option<u16> {
+        match self.len[n.index()] {
+            UNREACH => None,
+            l => Some(l),
+        }
+    }
+
+    /// Best-route class of `n`.
+    pub fn route_class(&self, n: AsId) -> RouteClass {
+        self.class[n.index()]
+    }
+
+    /// The tiebreak set of `n`: equally-good next hops sorted by
+    /// tiebreak key (empty for the destination and unreachable nodes).
+    #[inline]
+    pub fn tiebreak_set(&self, n: AsId) -> &[u32] {
+        let i = n.index();
+        &self.tb[self.tb_off[i] as usize..self.tb_off[i + 1] as usize]
+    }
+
+    /// Reachable nodes in ascending best-route-length order; the
+    /// destination is first.
+    #[inline]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Number of reachable nodes, including the destination.
+    pub fn reachable(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Recompute all per-destination info for destination `d`.
+    pub fn compute<T: TieBreaker + ?Sized>(&mut self, g: &AsGraph, d: AsId, tiebreaker: &T) {
+        let n = g.len();
+        debug_assert_eq!(self.len.len(), n, "context sized for a different graph");
+        self.dest = d;
+        self.len.fill(UNREACH);
+        self.class.fill(RouteClass::Unreachable);
+
+        // --- Stage 1: customer routes (BFS from d along provider edges). ---
+        // cust_len is stored directly in `len`; nodes reached here are
+        // Customer class (overwritten for d below).
+        let mut queue: Vec<u32> = Vec::with_capacity(64);
+        self.len[d.index()] = 0;
+        self.class[d.index()] = RouteClass::SelfDest;
+        queue.push(d.0);
+        let mut head = 0;
+        while head < queue.len() {
+            let x = AsId(queue[head]);
+            head += 1;
+            let lx = self.len[x.index()];
+            for &p in g.providers(x) {
+                if self.len[p.index()] == UNREACH {
+                    self.len[p.index()] = lx + 1;
+                    self.class[p.index()] = RouteClass::Customer;
+                    queue.push(p.0);
+                }
+            }
+        }
+
+        // --- Stage 2: peer routes (one peer hop off a customer route
+        // or off d itself). Exporters are exactly the nodes settled in
+        // stage 1 (class Customer or SelfDest).
+        let customer_reachable = queue.clone();
+        for &xq in &customer_reachable {
+            let x = AsId(xq);
+            let lx = self.len[x.index()];
+            for &q in g.peers(x) {
+                if self.len[q.index()] == UNREACH {
+                    self.len[q.index()] = lx + 1;
+                    self.class[q.index()] = RouteClass::Peer;
+                }
+            }
+        }
+
+        // --- Stage 3: provider routes (level-order BFS along
+        // provider→customer edges, seeded with everything settled so
+        // far — GR2 exports any best route to customers). A bucket
+        // queue keyed by length processes nodes in ascending order.
+        let max_seed = (0..n)
+            .filter(|&i| self.len[i] != UNREACH)
+            .map(|i| self.len[i] as usize)
+            .max()
+            .unwrap_or(0);
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        if self.buckets.len() < max_seed + 2 {
+            self.buckets.resize_with(max_seed + 2, Vec::new);
+        }
+        for i in 0..n {
+            let l = self.len[i];
+            if l != UNREACH {
+                self.buckets[l as usize].push(i as u32);
+            }
+        }
+        let mut level = 0usize;
+        while level < self.buckets.len() {
+            let mut idx = 0;
+            while idx < self.buckets[level].len() {
+                let x = AsId(self.buckets[level][idx]);
+                idx += 1;
+                debug_assert_eq!(self.len[x.index()] as usize, level);
+                for &c in g.customers(x) {
+                    if self.len[c.index()] == UNREACH {
+                        self.len[c.index()] = (level + 1) as u16;
+                        self.class[c.index()] = RouteClass::Provider;
+                        if self.buckets.len() <= level + 1 {
+                            self.buckets.resize_with(level + 2, Vec::new);
+                        }
+                        self.buckets[level + 1].push(c.0);
+                    }
+                }
+            }
+            level += 1;
+        }
+
+        // --- Processing order: counting-sort by length (the buckets
+        // already hold exactly the reachable nodes by length).
+        self.order.clear();
+        for b in &self.buckets {
+            self.order.extend_from_slice(b);
+        }
+
+        // --- Tiebreak sets. A neighbor m is an equally-good next hop
+        // for x (class C, length L) iff len[m] == L-1 and m's best
+        // route is exportable to x:
+        //   Customer class: m ∈ customers(x), m exports only customer
+        //     routes upward → class[m] ∈ {Customer, SelfDest};
+        //   Peer class: m ∈ peers(x), same export rule;
+        //   Provider class: m ∈ providers(x), any class exports down.
+        self.tb_off.clear();
+        self.tb.clear();
+        self.tb_off.push(0);
+        // tb_off is indexed by node id, so build per node (not in order).
+        for i in 0..n {
+            let x = AsId(i as u32);
+            let lx = self.len[i];
+            if lx != UNREACH && x != d {
+                let want = lx - 1;
+                let start = self.tb.len();
+                match self.class[i] {
+                    RouteClass::Customer => {
+                        for &m in g.customers(x) {
+                            if self.len[m.index()] == want
+                                && matches!(
+                                    self.class[m.index()],
+                                    RouteClass::Customer | RouteClass::SelfDest
+                                )
+                            {
+                                self.tb.push(m.0);
+                            }
+                        }
+                    }
+                    RouteClass::Peer => {
+                        for &m in g.peers(x) {
+                            if self.len[m.index()] == want
+                                && matches!(
+                                    self.class[m.index()],
+                                    RouteClass::Customer | RouteClass::SelfDest
+                                )
+                            {
+                                self.tb.push(m.0);
+                            }
+                        }
+                    }
+                    RouteClass::Provider => {
+                        for &m in g.providers(x) {
+                            if self.len[m.index()] == want {
+                                self.tb.push(m.0);
+                            }
+                        }
+                    }
+                    RouteClass::SelfDest | RouteClass::Unreachable => unreachable!(),
+                }
+                debug_assert!(self.tb.len() > start, "reachable node with empty tiebreak set");
+                // Sort the set by tiebreak key; sets are tiny (mean
+                // ≈1.2, Figure 10), so this is effectively free.
+                if self.tb.len() - start > 1 {
+                    self.key_scratch.clear();
+                    for &m in &self.tb[start..] {
+                        self.key_scratch
+                            .push((tiebreaker.key(g, x, AsId(m)), m));
+                    }
+                    self.key_scratch.sort_unstable();
+                    for (k, (_, m)) in self.key_scratch.iter().enumerate() {
+                        self.tb[start + k] = *m;
+                    }
+                }
+            }
+            self.tb_off.push(self.tb.len() as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiebreak::LowestAsnTieBreak;
+    use sbgp_asgraph::AsGraphBuilder;
+
+    /// Figure-1-like fixture:
+    ///
+    /// ```text
+    ///      t1 ---peer--- t2
+    ///     /  \            \
+    ///   isp1  isp2         |    (t1,t2 providers of isps; isp2 also
+    ///     \   /  \         |     customer of t2)
+    ///      stub   s2 ------+     (s2 multihomed to isp2 and t2)
+    /// ```
+    fn fixture() -> (AsGraph, [AsId; 6]) {
+        let mut b = AsGraphBuilder::new();
+        let t1 = b.add_node(1);
+        let t2 = b.add_node(2);
+        let isp1 = b.add_node(11);
+        let isp2 = b.add_node(12);
+        let stub = b.add_node(21);
+        let s2 = b.add_node(22);
+        b.add_peer_peer(t1, t2).unwrap();
+        b.add_provider_customer(t1, isp1).unwrap();
+        b.add_provider_customer(t1, isp2).unwrap();
+        b.add_provider_customer(t2, isp2).unwrap();
+        b.add_provider_customer(isp1, stub).unwrap();
+        b.add_provider_customer(isp2, stub).unwrap();
+        b.add_provider_customer(isp2, s2).unwrap();
+        b.add_provider_customer(t2, s2).unwrap();
+        let g = b.build().unwrap();
+        (g, [t1, t2, isp1, isp2, stub, s2])
+    }
+
+    #[test]
+    fn customer_routes_win() {
+        let (g, [t1, t2, isp1, isp2, stub, s2]) = fixture();
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(&g, stub, &LowestAsnTieBreak);
+        // Providers of stub get customer routes of length 1.
+        assert_eq!(ctx.route_class(isp1), RouteClass::Customer);
+        assert_eq!(ctx.route_len(isp1), Some(1));
+        assert_eq!(ctx.route_class(isp2), RouteClass::Customer);
+        // t1 and t2: customer routes of length 2 via their ISP customers.
+        assert_eq!(ctx.route_class(t1), RouteClass::Customer);
+        assert_eq!(ctx.route_len(t1), Some(2));
+        assert_eq!(ctx.route_class(t2), RouteClass::Customer);
+        // s2 reaches stub via its provider isp2 (or t2): provider route.
+        assert_eq!(ctx.route_class(s2), RouteClass::Provider);
+        assert_eq!(ctx.route_len(s2), Some(2));
+        assert_eq!(ctx.route_class(stub), RouteClass::SelfDest);
+        assert_eq!(ctx.route_len(stub), Some(0));
+    }
+
+    #[test]
+    fn tiebreak_sets_capture_competition() {
+        let (g, [t1, _, isp1, isp2, stub, _]) = fixture();
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(&g, stub, &LowestAsnTieBreak);
+        // t1 can reach stub via isp1 or isp2, both customer length-2.
+        let tb: Vec<u32> = ctx.tiebreak_set(t1).to_vec();
+        assert_eq!(tb, vec![isp1.0, isp2.0], "sorted by ASN (11 < 12)");
+        // isp1's only choice is the stub itself.
+        assert_eq!(ctx.tiebreak_set(isp1), &[stub.0]);
+    }
+
+    #[test]
+    fn peer_routes_used_when_no_customer_route() {
+        let (g, [t1, t2, isp1, ..]) = fixture();
+        let mut ctx = DestContext::new(g.len());
+        // Destination isp1: t1 has a customer route (length 1);
+        // t2 has a peer route via t1 (length 2).
+        ctx.compute(&g, isp1, &LowestAsnTieBreak);
+        assert_eq!(ctx.route_class(t1), RouteClass::Customer);
+        assert_eq!(ctx.route_class(t2), RouteClass::Peer);
+        assert_eq!(ctx.route_len(t2), Some(2));
+    }
+
+    #[test]
+    fn valley_free_no_peer_to_peer_transit() {
+        // Destination behind t2 only reachable from t1 via the peer
+        // edge; a customer of t1 must climb: customer -> t1 (provider
+        // route), then t1 -> t2 peer, t2 -> dest customer. Check a
+        // stub of isp1 reaches s2 with a provider route of length 4.
+        let (g, [.., stub, s2]) = fixture();
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(&g, s2, &LowestAsnTieBreak);
+        assert_eq!(ctx.route_class(stub), RouteClass::Provider);
+        // stub -> isp2 -> s2 is length 2 (isp2 is s2's provider with a
+        // customer route).
+        assert_eq!(ctx.route_len(stub), Some(2));
+    }
+
+    #[test]
+    fn order_is_ascending_and_complete() {
+        let (g, [_, _, _, _, stub, _]) = fixture();
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(&g, stub, &LowestAsnTieBreak);
+        let order = ctx.order();
+        assert_eq!(order.len(), g.len(), "all nodes reachable");
+        let mut prev = 0;
+        for &x in order {
+            let l = ctx.route_len(AsId(x)).unwrap();
+            assert!(l >= prev);
+            prev = l;
+        }
+        assert_eq!(order[0], stub.0);
+    }
+
+    #[test]
+    fn disconnected_node_unreachable() {
+        let mut b = AsGraphBuilder::new();
+        let a = b.add_node(1);
+        let c = b.add_node(2);
+        let lone = b.add_node(3);
+        b.add_provider_customer(a, c).unwrap();
+        let g = b.build().unwrap();
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(&g, c, &LowestAsnTieBreak);
+        assert_eq!(ctx.route_class(lone), RouteClass::Unreachable);
+        assert_eq!(ctx.route_len(lone), None);
+        assert!(ctx.tiebreak_set(lone).is_empty());
+        assert_eq!(ctx.reachable(), 2);
+    }
+
+    #[test]
+    fn reuse_across_destinations() {
+        let (g, [t1, _, isp1, _, stub, s2]) = fixture();
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(&g, stub, &LowestAsnTieBreak);
+        ctx.compute(&g, s2, &LowestAsnTieBreak);
+        assert_eq!(ctx.dest(), s2);
+        // Old destination's info fully replaced.
+        assert_eq!(ctx.route_len(s2), Some(0));
+        assert_eq!(ctx.route_class(stub), RouteClass::Provider);
+        ctx.compute(&g, isp1, &LowestAsnTieBreak);
+        assert_eq!(ctx.route_class(t1), RouteClass::Customer);
+    }
+}

@@ -1,0 +1,364 @@
+//! Traffic-flow accumulation and the two ISP utility models
+//! (Section 3.3, Equations 1 and 2).
+//!
+//! Given a resolved [`RouteTree`], every source's origination weight is
+//! pushed down its chosen path in one pass over nodes in *descending*
+//! best-route-length order, yielding `flow[n]` — the total traffic
+//! entering or originating at `n` bound for the destination (the
+//! weight of the subtree `T_n(d,S)` plus `w_n`).
+//!
+//! From the flows, one more pass yields both utility models:
+//!
+//! * **outgoing** (Eq. 1): `n` gains `flow[n] − w_n` for a destination
+//!   it reaches *via a customer edge* (it forwards the whole subtree's
+//!   traffic to a paying customer);
+//! * **incoming** (Eq. 2): `n` gains `flow[m]` for every neighbor `m`
+//!   that routes through `n` and is `n`'s *customer* (the traffic
+//!   enters `n` on a customer edge — i.e. `m`'s best route is a
+//!   provider route through `n`).
+
+use crate::context::{DestContext, RouteClass};
+use crate::secure::SecureSet;
+use crate::tree::{compute_tree, RouteTree, TreePolicy, NO_NEXT_HOP};
+use sbgp_asgraph::{AsGraph, AsId, Weights};
+
+/// Compute per-node flows for one destination: `flow[n]` is `w_n` plus
+/// the weight of every source routing through `n` (the destination's
+/// own entry accumulates the grand total and is not meaningful).
+pub fn accumulate_flows(
+    ctx: &DestContext,
+    tree: &RouteTree,
+    weights: &Weights,
+    flow: &mut Vec<f64>,
+) {
+    flow.clear();
+    flow.resize(tree.next_hop.len(), 0.0);
+    // Descending length order: children before parents.
+    for &xi in ctx.order().iter().rev() {
+        let x = AsId(xi);
+        if x == ctx.dest() {
+            continue;
+        }
+        flow[x.index()] += weights.get(x);
+        let nh = tree.next_hop[x.index()];
+        debug_assert_ne!(nh, NO_NEXT_HOP);
+        flow[nh as usize] += flow[x.index()];
+    }
+}
+
+/// Add this destination's contribution to every node's outgoing and
+/// incoming utility (Eqs. 1 and 2). `flow` must come from
+/// [`accumulate_flows`] for the same tree.
+pub fn add_utilities(
+    ctx: &DestContext,
+    tree: &RouteTree,
+    weights: &Weights,
+    flow: &[f64],
+    u_out: &mut [f64],
+    u_in: &mut [f64],
+) {
+    for &xi in ctx.order() {
+        let x = AsId(xi);
+        if x == ctx.dest() {
+            continue;
+        }
+        match ctx.route_class(x) {
+            // x forwards the whole subtree to a paying customer.
+            RouteClass::Customer => u_out[x.index()] += flow[x.index()] - weights.get(x),
+            // x's next hop is its provider: the provider receives this
+            // branch on a customer edge.
+            RouteClass::Provider => {
+                let h = tree.next_hop[x.index()] as usize;
+                u_in[h] += flow[x.index()];
+            }
+            RouteClass::Peer => {}
+            RouteClass::SelfDest | RouteClass::Unreachable => unreachable!(),
+        }
+    }
+}
+
+/// Scratch-owning helper that runs the full per-destination pipeline
+/// (tree → flows → utilities) and accumulates both utility models
+/// across destinations. One accumulator per worker thread; this is the
+/// "map" side of the paper's DryadLINQ map-reduce (Appendix C.3).
+#[derive(Clone, Debug)]
+pub struct UtilityAccumulator {
+    /// Outgoing utility (Eq. 1) per node, summed over processed
+    /// destinations.
+    pub u_out: Vec<f64>,
+    /// Incoming utility (Eq. 2) per node, summed over processed
+    /// destinations.
+    pub u_in: Vec<f64>,
+    tree: RouteTree,
+    flow: Vec<f64>,
+}
+
+impl UtilityAccumulator {
+    /// Zeroed accumulator for an `n`-node graph.
+    pub fn new(n: usize) -> Self {
+        UtilityAccumulator {
+            u_out: vec![0.0; n],
+            u_in: vec![0.0; n],
+            tree: RouteTree::new(n),
+            flow: Vec::with_capacity(n),
+        }
+    }
+
+    /// Zero both utility vectors.
+    pub fn reset(&mut self) {
+        self.u_out.fill(0.0);
+        self.u_in.fill(0.0);
+    }
+
+    /// Process one destination under `secure_set`, adding its utility
+    /// contributions.
+    pub fn add_destination(
+        &mut self,
+        g: &AsGraph,
+        ctx: &DestContext,
+        secure_set: &SecureSet,
+        policy: TreePolicy,
+        weights: &Weights,
+    ) {
+        compute_tree(g, ctx, secure_set, policy, &mut self.tree);
+        accumulate_flows(ctx, &self.tree, weights, &mut self.flow);
+        add_utilities(ctx, &self.tree, weights, &self.flow, &mut self.u_out, &mut self.u_in);
+    }
+
+    /// The last computed route tree (for inspection/tests).
+    pub fn last_tree(&self) -> &RouteTree {
+        &self.tree
+    }
+
+    /// Merge another accumulator's totals into this one (the "reduce"
+    /// step).
+    pub fn merge(&mut self, other: &UtilityAccumulator) {
+        for (a, b) in self.u_out.iter_mut().zip(&other.u_out) {
+            *a += b;
+        }
+        for (a, b) in self.u_in.iter_mut().zip(&other.u_in) {
+            *a += b;
+        }
+    }
+}
+
+/// Compute, for a **single** node `n`, the (outgoing, incoming)
+/// utility contribution of one destination under the given tree —
+/// without touching per-node utility arrays. This is the hot path for
+/// *projected* utility, where each candidate ISP gets its own flipped
+/// state (Appendix C.1's per-ISP states).
+pub fn utilities_of(
+    ctx: &DestContext,
+    tree: &RouteTree,
+    weights: &Weights,
+    n: AsId,
+    flow: &mut Vec<f64>,
+) -> (f64, f64) {
+    accumulate_flows(ctx, tree, weights, flow);
+    let mut u_out = 0.0;
+    let mut u_in = 0.0;
+    if ctx.route_class(n) == RouteClass::Customer {
+        u_out = flow[n.index()] - weights.get(n);
+    }
+    // Incoming: branches entering n on customer edges are exactly the
+    // nodes m with next_hop == n whose own class is Provider. Scan once.
+    for &xi in ctx.order() {
+        let x = AsId(xi);
+        if tree.next_hop[x.index()] == n.0 && ctx.route_class(x) == RouteClass::Provider {
+            u_in += flow[x.index()];
+        }
+    }
+    (u_out, u_in)
+}
+
+/// Fused hot path for projected utility: compute flows *and* the
+/// single node `target`'s (outgoing, incoming) contribution in one
+/// pass over the tree, with no per-node utility arrays and no second
+/// scan. Equivalent to [`accumulate_flows`] + [`utilities_of`].
+///
+/// This is the inner loop of the simulator: it runs once per
+/// (candidate ISP, destination) pair that the Appendix C.4 skip rules
+/// cannot prove unchanged.
+pub fn flows_and_target_utility(
+    ctx: &DestContext,
+    tree: &RouteTree,
+    weights: &Weights,
+    target: AsId,
+    flow: &mut Vec<f64>,
+) -> (f64, f64) {
+    flow.clear();
+    flow.resize(tree.next_hop.len(), 0.0);
+    let mut u_in = 0.0;
+    for &xi in ctx.order().iter().rev() {
+        let x = AsId(xi);
+        if x == ctx.dest() {
+            continue;
+        }
+        let fx = flow[x.index()] + weights.get(x);
+        flow[x.index()] = fx;
+        let nh = tree.next_hop[x.index()];
+        debug_assert_ne!(nh, NO_NEXT_HOP);
+        flow[nh as usize] += fx;
+        // x is processed after its whole subtree (descending length),
+        // so fx is final here.
+        if nh == target.0 && ctx.route_class(x) == RouteClass::Provider {
+            u_in += fx;
+        }
+    }
+    let u_out = if ctx.route_class(target) == RouteClass::Customer {
+        flow[target.index()] - weights.get(target)
+    } else {
+        0.0
+    };
+    (u_out, u_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiebreak::LowestAsnTieBreak;
+    use sbgp_asgraph::AsGraphBuilder;
+
+    /// Chain: t (ASN 1) → isp (ASN 2) → {s1 (ASN 3), s2 (ASN 4)};
+    /// plus peer q (ASN 5) of isp.
+    fn chain() -> (AsGraph, [AsId; 5]) {
+        let mut b = AsGraphBuilder::new();
+        let t = b.add_node(1);
+        let isp = b.add_node(2);
+        let s1 = b.add_node(3);
+        let s2 = b.add_node(4);
+        let q = b.add_node(5);
+        b.add_provider_customer(t, isp).unwrap();
+        b.add_provider_customer(isp, s1).unwrap();
+        b.add_provider_customer(isp, s2).unwrap();
+        b.add_peer_peer(isp, q).unwrap();
+        let g = b.build().unwrap();
+        (g, [t, isp, s1, s2, q])
+    }
+
+    fn pipeline(
+        g: &AsGraph,
+        d: AsId,
+        secure: &SecureSet,
+    ) -> (DestContext, RouteTree, Vec<f64>, Weights) {
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(g, d, &LowestAsnTieBreak);
+        let mut tree = RouteTree::new(g.len());
+        compute_tree(g, &ctx, secure, TreePolicy::default(), &mut tree);
+        let w = Weights::uniform(g);
+        let mut flow = Vec::new();
+        accumulate_flows(&ctx, &tree, &w, &mut flow);
+        (ctx, tree, flow, w)
+    }
+
+    #[test]
+    fn flows_sum_subtrees() {
+        let (g, [t, isp, s1, s2, q]) = chain();
+        let secure = SecureSet::new(g.len());
+        let (_ctx, _tree, flow, _w) = pipeline(&g, s1, &secure);
+        // Everyone routes to s1 through isp:
+        // flow[isp] = w(isp) + w(t) + w(q) + w(s2) = 4.
+        assert_eq!(flow[isp.index()], 4.0);
+        assert_eq!(flow[t.index()], 1.0);
+        assert_eq!(flow[q.index()], 1.0);
+        assert_eq!(flow[s2.index()], 1.0);
+    }
+
+    #[test]
+    fn outgoing_utility_counts_customer_destinations() {
+        let (g, [t, isp, s1, _s2, q]) = chain();
+        let secure = SecureSet::new(g.len());
+        let (ctx, tree, flow, w) = pipeline(&g, s1, &secure);
+        let mut u_out = vec![0.0; g.len()];
+        let mut u_in = vec![0.0; g.len()];
+        add_utilities(&ctx, &tree, &w, &flow, &mut u_out, &mut u_in);
+        // isp reaches s1 via customer edge; subtree (t, q, s2) weighs 3... wait:
+        // flow[isp] = w(isp)+w(t)+w(q)+w(s2) = 4, minus own weight = 3.
+        assert_eq!(u_out[isp.index()], 3.0);
+        // t reaches s1 via its customer isp: subtree of t is empty.
+        assert_eq!(u_out[t.index()], 0.0);
+        // q's route is a peer route: no outgoing utility.
+        assert_eq!(u_out[q.index()], 0.0);
+    }
+
+    #[test]
+    fn incoming_utility_counts_customer_arrivals() {
+        let (g, [t, isp, s1, _s2, _q]) = chain();
+        let secure = SecureSet::new(g.len());
+        let (ctx, tree, flow, w) = pipeline(&g, s1, &secure);
+        let mut u_out = vec![0.0; g.len()];
+        let mut u_in = vec![0.0; g.len()];
+        add_utilities(&ctx, &tree, &w, &flow, &mut u_out, &mut u_in);
+        // s2's traffic enters isp on a customer edge (s2's provider
+        // route). t's traffic enters isp on a *provider* edge, q's on a
+        // peer edge: neither counts.
+        assert_eq!(u_in[isp.index()], 1.0);
+        assert_eq!(u_in[t.index()], 0.0);
+        // isp's branch into t never happens (t is the top); and the
+        // destination gets nothing.
+        assert_eq!(u_in[s1.index()], 0.0);
+    }
+
+    #[test]
+    fn accumulator_matches_manual_passes() {
+        let (g, [_, isp, s1, s2, _]) = chain();
+        let secure = SecureSet::new(g.len());
+        let w = Weights::uniform(&g);
+        let mut acc = UtilityAccumulator::new(g.len());
+        let mut ctx = DestContext::new(g.len());
+        for d in [s1, s2] {
+            ctx.compute(&g, d, &LowestAsnTieBreak);
+            acc.add_destination(&g, &ctx, &secure, TreePolicy::default(), &w);
+        }
+        // Two symmetric stub destinations: isp transits 3 units to each.
+        assert_eq!(acc.u_out[isp.index()], 6.0);
+        assert_eq!(acc.u_in[isp.index()], 2.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let (g, _) = chain();
+        let mut a = UtilityAccumulator::new(g.len());
+        let mut b = UtilityAccumulator::new(g.len());
+        a.u_out[0] = 1.5;
+        b.u_out[0] = 2.5;
+        b.u_in[1] = 1.0;
+        a.merge(&b);
+        assert_eq!(a.u_out[0], 4.0);
+        assert_eq!(a.u_in[1], 1.0);
+    }
+
+    #[test]
+    fn utilities_of_matches_full_pass() {
+        let (g, [t, isp, s1, _s2, q]) = chain();
+        let secure = SecureSet::new(g.len());
+        let (ctx, tree, flow, w) = pipeline(&g, s1, &secure);
+        let mut u_out = vec![0.0; g.len()];
+        let mut u_in = vec![0.0; g.len()];
+        add_utilities(&ctx, &tree, &w, &flow, &mut u_out, &mut u_in);
+        let mut scratch = Vec::new();
+        for n in [t, isp, q] {
+            let (o, i) = utilities_of(&ctx, &tree, &w, n, &mut scratch);
+            assert_eq!(o, u_out[n.index()], "outgoing for {n}");
+            assert_eq!(i, u_in[n.index()], "incoming for {n}");
+        }
+    }
+
+    #[test]
+    fn fused_target_matches_two_pass() {
+        let (g, [t, isp, s1, _s2, q]) = chain();
+        let mut secure = SecureSet::new(g.len());
+        secure.set(isp, true);
+        secure.set(s1, true);
+        secure.set(t, true);
+        let (ctx, tree, flow, w) = pipeline(&g, s1, &secure);
+        let mut scratch = Vec::new();
+        for n in [t, isp, q, s1] {
+            let (o1, i1) = utilities_of(&ctx, &tree, &w, n, &mut scratch);
+            let (o2, i2) = flows_and_target_utility(&ctx, &tree, &w, n, &mut scratch);
+            assert_eq!(o1, o2, "out for {n}");
+            assert_eq!(i1, i2, "in for {n}");
+        }
+        let _ = flow;
+    }
+}

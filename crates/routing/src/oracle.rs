@@ -1,0 +1,245 @@
+//! A deliberately naive, path-vector BGP simulator used as a testing
+//! oracle.
+//!
+//! This module re-implements the Appendix A semantics the slow way:
+//! every node holds its full best AS path, nodes synchronously re-rank
+//! the paths their neighbors export (GR2), and the system iterates to
+//! a fixpoint. Lemma G.1 guarantees convergence under these policies.
+//!
+//! Nothing in the simulator proper uses this module — it exists so the
+//! optimized [`DestContext`](crate::DestContext) +
+//! [`compute_tree`](crate::compute_tree) pipeline can be validated
+//! against an independent implementation (see the crate's integration
+//! tests).
+
+use crate::secure::SecureSet;
+use crate::tiebreak::TieBreaker;
+use crate::tree::TreePolicy;
+use sbgp_asgraph::{AsGraph, AsId};
+
+/// The converged outcome of the naive simulation for one destination.
+#[derive(Clone, Debug)]
+pub struct OracleOutcome {
+    /// Best AS path per node (`[node, ..., dest]`), `None` if no route.
+    pub paths: Vec<Option<Vec<AsId>>>,
+    /// Whether the node's best path is fully secure.
+    pub secure: Vec<bool>,
+    /// Number of synchronous iterations until fixpoint.
+    pub iterations: usize,
+}
+
+impl OracleOutcome {
+    /// The chosen next hop of `n`, if it has a route and is not the
+    /// destination.
+    pub fn next_hop(&self, n: AsId) -> Option<AsId> {
+        self.paths[n.index()]
+            .as_ref()
+            .and_then(|p| p.get(1))
+            .copied()
+    }
+
+    /// The AS-hop length of `n`'s best path, if any.
+    pub fn path_len(&self, n: AsId) -> Option<usize> {
+        self.paths[n.index()].as_ref().map(|p| p.len() - 1)
+    }
+}
+
+/// A ranked candidate: (LP class, length, security flag, tiebreak key)
+/// plus the path itself.
+type RankedPath = ((u8, usize, u8, u64), Vec<AsId>);
+
+/// Relationship rank of neighbor `m` from `x`'s perspective
+/// (0 customer, 1 peer, 2 provider) — the LP step.
+fn lp_rank(g: &AsGraph, x: AsId, m: AsId) -> u8 {
+    g.relationship(x, m)
+        .expect("candidate must be a neighbor")
+        .preference_rank()
+}
+
+/// Whether `m` may export its current best path to neighbor `x` under
+/// GR2: always to customers; to peers/providers only customer routes
+/// (or `m`'s own prefix).
+fn exports_to(g: &AsGraph, m: AsId, x: AsId, m_path: &[AsId], dest: AsId) -> bool {
+    if m == dest {
+        return true;
+    }
+    // x is m's customer?
+    if g.customers(m).binary_search(&x).is_ok() {
+        return true;
+    }
+    // Otherwise only customer routes propagate: m's next hop must be
+    // m's customer.
+    let next = m_path[1];
+    g.customers(m).binary_search(&next).is_ok()
+}
+
+/// Run the naive path-vector simulation for `dest` under deployment
+/// state `secure_set`.
+///
+/// # Panics
+/// Panics if the system fails to converge within `2·|V| + 10`
+/// synchronous iterations (which would contradict Lemma G.1 and
+/// indicates a bug).
+pub fn converge<T: TieBreaker + ?Sized>(
+    g: &AsGraph,
+    dest: AsId,
+    secure_set: &SecureSet,
+    policy: TreePolicy,
+    tiebreaker: &T,
+) -> OracleOutcome {
+    let n = g.len();
+    let mut paths: Vec<Option<Vec<AsId>>> = vec![None; n];
+    paths[dest.index()] = Some(vec![dest]);
+
+    let all_secure = |p: &[AsId]| p.iter().all(|&a| secure_set.get(a));
+
+    let max_iters = 2 * n + 10;
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iters,
+            "oracle failed to converge for dest {dest} (Lemma G.1 violated?)"
+        );
+        let mut changed = false;
+        let mut next_paths = paths.clone();
+        for x in g.nodes() {
+            if x == dest {
+                continue;
+            }
+            let applies_secp =
+                secure_set.get(x) && (policy.stubs_prefer_secure || !g.is_stub(x));
+            let mut best: Option<RankedPath> = None;
+            for &m in g.neighbors(x) {
+                let Some(mp) = paths[m.index()].as_ref() else {
+                    continue;
+                };
+                if mp.contains(&x) || !exports_to(g, m, x, mp, dest) {
+                    continue;
+                }
+                let mut cand = Vec::with_capacity(mp.len() + 1);
+                cand.push(x);
+                cand.extend_from_slice(mp);
+                let sec_flag = if applies_secp && all_secure(&cand) {
+                    0
+                } else {
+                    1
+                };
+                let rank = (
+                    lp_rank(g, x, m),
+                    cand.len() - 1,
+                    sec_flag,
+                    tiebreaker.key(g, x, m),
+                );
+                if best.as_ref().is_none_or(|(r, _)| rank < *r) {
+                    best = Some((rank, cand));
+                }
+            }
+            let new = best.map(|(_, p)| p);
+            if new != paths[x.index()] {
+                changed = true;
+            }
+            next_paths[x.index()] = new;
+        }
+        paths = next_paths;
+        if !changed {
+            break;
+        }
+    }
+
+    let secure: Vec<bool> = paths
+        .iter()
+        .map(|p| p.as_ref().is_some_and(|p| all_secure(p)))
+        .collect();
+    OracleOutcome {
+        paths,
+        secure,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiebreak::LowestAsnTieBreak;
+    use sbgp_asgraph::AsGraphBuilder;
+
+    fn diamond() -> (AsGraph, AsId, AsId, AsId, AsId) {
+        let mut b = AsGraphBuilder::new();
+        let s = b.add_node(10);
+        let ia = b.add_node(20);
+        let ib = b.add_node(30);
+        let d = b.add_node(40);
+        b.add_provider_customer(s, ia).unwrap();
+        b.add_provider_customer(s, ib).unwrap();
+        b.add_provider_customer(ia, d).unwrap();
+        b.add_provider_customer(ib, d).unwrap();
+        let g = b.build().unwrap();
+        (g, s, ia, ib, d)
+    }
+
+    #[test]
+    fn oracle_insecure_diamond() {
+        let (g, s, ia, _ib, d) = diamond();
+        let secure = SecureSet::new(g.len());
+        let out = converge(&g, d, &secure, TreePolicy::default(), &LowestAsnTieBreak);
+        assert_eq!(out.paths[s.index()].as_ref().unwrap(), &vec![s, ia, d]);
+        assert!(!out.secure[s.index()]);
+    }
+
+    #[test]
+    fn oracle_secure_diamond_switches() {
+        let (g, s, _ia, ib, d) = diamond();
+        let mut secure = SecureSet::new(g.len());
+        for x in [s, ib, d] {
+            secure.set(x, true);
+        }
+        let out = converge(&g, d, &secure, TreePolicy::default(), &LowestAsnTieBreak);
+        assert_eq!(out.paths[s.index()].as_ref().unwrap(), &vec![s, ib, d]);
+        assert!(out.secure[s.index()]);
+    }
+
+    #[test]
+    fn oracle_respects_gr2_no_peer_transit() {
+        // a --peer-- b --peer-- c: a must NOT reach c through b.
+        let mut builder = AsGraphBuilder::new();
+        let a = builder.add_node(1);
+        let b = builder.add_node(2);
+        let c = builder.add_node(3);
+        builder.add_peer_peer(a, b).unwrap();
+        builder.add_peer_peer(b, c).unwrap();
+        let g = builder.build().unwrap();
+        let secure = SecureSet::new(g.len());
+        let out = converge(&g, c, &secure, TreePolicy::default(), &LowestAsnTieBreak);
+        assert!(out.paths[a.index()].is_none(), "peer-peer-peer is a valley");
+        assert!(out.paths[b.index()].is_some());
+    }
+
+    #[test]
+    fn oracle_valley_free_up_then_down() {
+        // customer -> provider -> peer -> provider's customer is legal.
+        let mut builder = AsGraphBuilder::new();
+        let t1 = builder.add_node(1);
+        let t2 = builder.add_node(2);
+        let c1 = builder.add_node(11);
+        let c2 = builder.add_node(12);
+        builder.add_peer_peer(t1, t2).unwrap();
+        builder.add_provider_customer(t1, c1).unwrap();
+        builder.add_provider_customer(t2, c2).unwrap();
+        let g = builder.build().unwrap();
+        let secure = SecureSet::new(g.len());
+        let out = converge(&g, c2, &secure, TreePolicy::default(), &LowestAsnTieBreak);
+        assert_eq!(
+            out.paths[c1.index()].as_ref().unwrap(),
+            &vec![c1, t1, t2, c2]
+        );
+    }
+
+    #[test]
+    fn converges_quickly() {
+        let (g, _, _, _, d) = diamond();
+        let secure = SecureSet::new(g.len());
+        let out = converge(&g, d, &secure, TreePolicy::default(), &LowestAsnTieBreak);
+        assert!(out.iterations <= 5);
+    }
+}

@@ -1,0 +1,145 @@
+//! The set of secure (S\*BGP-deployed) ASes.
+
+use sbgp_asgraph::AsId;
+
+/// A deployment state: which ASes have deployed S\*BGP (fully or
+/// simplex — the routing layer does not distinguish, because both sign
+/// their announcements and therefore count toward a path being
+/// *fully secure*).
+///
+/// Implemented as a plain bit vector; `O(1)` flip/query, cheap clone
+/// (the simulator clones one per projected state).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SecureSet {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl SecureSet {
+    /// All-insecure state for an `n`-node graph.
+    pub fn new(n: usize) -> Self {
+        SecureSet {
+            bits: vec![0; n.div_ceil(64)],
+            len: n,
+        }
+    }
+
+    /// Number of nodes the set ranges over (not the number secure).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Whether node `n` is secure.
+    #[inline]
+    pub fn get(&self, n: AsId) -> bool {
+        let i = n.index();
+        debug_assert!(i < self.len);
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Mark node `n` secure (`true`) or insecure (`false`).
+    #[inline]
+    pub fn set(&mut self, n: AsId, secure: bool) {
+        let i = n.index();
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if secure {
+            self.bits[i / 64] |= mask;
+        } else {
+            self.bits[i / 64] &= !mask;
+        }
+    }
+
+    /// Toggle node `n`; returns the new value.
+    #[inline]
+    pub fn flip(&mut self, n: AsId) -> bool {
+        let i = n.index();
+        self.bits[i / 64] ^= 1u64 << (i % 64);
+        self.get(n)
+    }
+
+    /// Number of secure nodes.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate over the secure node ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = AsId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &bits)| {
+            let mut bits = bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(AsId((w * 64) as u32 + b))
+            })
+        })
+    }
+
+    /// Overwrite this set with the contents of `other` without
+    /// reallocating (both must range over the same node count).
+    pub fn assign(&mut self, other: &SecureSet) {
+        debug_assert_eq!(self.len, other.len);
+        self.bits.copy_from_slice(&other.bits);
+    }
+
+    /// A compact fingerprint of the state, used by the simulator's
+    /// oscillation detector (Section 7.2) to recognize revisited
+    /// states.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the words; cheap and deterministic.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &w in &self.bits {
+            h ^= w;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_flip() {
+        let mut s = SecureSet::new(130);
+        assert!(!s.get(AsId(0)));
+        s.set(AsId(0), true);
+        s.set(AsId(64), true);
+        s.set(AsId(129), true);
+        assert!(s.get(AsId(0)) && s.get(AsId(64)) && s.get(AsId(129)));
+        assert_eq!(s.count(), 3);
+        assert!(!s.flip(AsId(64)));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = SecureSet::new(200);
+        for i in [3u32, 64, 65, 199] {
+            s.set(AsId(i), true);
+        }
+        let got: Vec<u32> = s.iter().map(|a| a.0).collect();
+        assert_eq!(got, vec![3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_states() {
+        let mut a = SecureSet::new(100);
+        let mut b = SecureSet::new(100);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.set(AsId(5), true);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        b.set(AsId(5), true);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn empty_iter() {
+        let s = SecureSet::new(10);
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The fast routing tree algorithm (Appendix C.2).
+
+use crate::context::DestContext;
+use crate::secure::SecureSet;
+use sbgp_asgraph::{AsGraph, AsId};
+
+/// `next_hop` sentinel for the destination itself and for unreachable
+/// nodes.
+pub const NO_NEXT_HOP: u32 = u32::MAX;
+
+/// Which ASes apply the SecP (secure-path tiebreak) step.
+///
+/// Secure ISPs and CPs always break ties in favor of fully secure
+/// routes (Section 2.2.2). Stubs run *simplex* S\*BGP and may either
+/// trust their providers and break ties on security too, or ignore
+/// security entirely — the paper evaluates both (Section 6.7), so it
+/// is a policy knob here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreePolicy {
+    /// Whether secure stubs break ties in favor of secure paths.
+    pub stubs_prefer_secure: bool,
+}
+
+impl Default for TreePolicy {
+    fn default() -> Self {
+        TreePolicy {
+            stubs_prefer_secure: true,
+        }
+    }
+}
+
+/// The resolved routing forest for one destination and one deployment
+/// state: every node's chosen next hop and whether its chosen path is
+/// *fully secure* (every AS on it, including the node and the
+/// destination, is secure — Section 2.2.2's "secure path").
+#[derive(Clone, Debug)]
+pub struct RouteTree {
+    /// Chosen next hop per node (`NO_NEXT_HOP` for the destination and
+    /// unreachable nodes).
+    pub next_hop: Vec<u32>,
+    /// Whether the node's chosen path to the destination is fully
+    /// secure.
+    pub secure: Vec<bool>,
+}
+
+impl RouteTree {
+    /// An empty tree for an `n`-node graph.
+    pub fn new(n: usize) -> Self {
+        RouteTree {
+            next_hop: vec![NO_NEXT_HOP; n],
+            secure: vec![false; n],
+        }
+    }
+}
+
+/// Resolve the routing forest for `ctx`'s destination under deployment
+/// state `secure_set` — the Appendix C.2 algorithm.
+///
+/// Processes nodes in ascending best-route-length order (so every
+/// tiebreak-set member is already resolved) and, per node:
+///
+/// * determines whether a fully secure path exists through any
+///   tiebreak-set member;
+/// * picks the next hop: the lowest-keyed member with a secure path if
+///   the node applies SecP and one exists, otherwise the lowest-keyed
+///   member overall (the insecure-world choice);
+/// * marks the node's path secure iff the node itself is secure and
+///   the chosen member's path is secure.
+///
+/// `O(t·|V|)` where `t` is the mean tiebreak-set size.
+pub fn compute_tree(
+    g: &AsGraph,
+    ctx: &DestContext,
+    secure_set: &SecureSet,
+    policy: TreePolicy,
+    out: &mut RouteTree,
+) {
+    let n = g.len();
+    debug_assert_eq!(out.next_hop.len(), n);
+    out.next_hop.fill(NO_NEXT_HOP);
+    out.secure.fill(false);
+
+    let d = ctx.dest();
+    out.secure[d.index()] = secure_set.get(d);
+
+    for &xi in ctx.order() {
+        let x = AsId(xi);
+        if x == d {
+            continue;
+        }
+        let tb = ctx.tiebreak_set(x);
+        debug_assert!(!tb.is_empty());
+        let node_secure = secure_set.get(x);
+        let applies_secp = node_secure && (policy.stubs_prefer_secure || !g.is_stub(x));
+        let mut chosen = tb[0];
+        if applies_secp && !out.secure[chosen as usize] {
+            if let Some(&m) = tb.iter().find(|&&m| out.secure[m as usize]) {
+                chosen = m;
+            }
+        }
+        out.next_hop[x.index()] = chosen;
+        out.secure[x.index()] = node_secure && out.secure[chosen as usize];
+    }
+}
+
+/// Extract the full AS path from `src` to the destination (inclusive
+/// of both), or `None` if `src` has no route.
+pub fn extract_path(ctx: &DestContext, tree: &RouteTree, src: AsId) -> Option<Vec<AsId>> {
+    ctx.route_len(src)?;
+    let mut path = vec![src];
+    let mut cur = src;
+    while cur != ctx.dest() {
+        let nh = tree.next_hop[cur.index()];
+        debug_assert_ne!(nh, NO_NEXT_HOP);
+        cur = AsId(nh);
+        path.push(cur);
+        debug_assert!(path.len() <= ctx.reachable(), "next-hop cycle");
+    }
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiebreak::LowestAsnTieBreak;
+    use sbgp_asgraph::AsGraphBuilder;
+
+    /// The DIAMOND of Figure 2: a source `s` (Tier-1-ish) can reach a
+    /// multihomed stub `d` via two competing ISPs `a` (ASN 20) and `b`
+    /// (ASN 30).
+    fn diamond() -> (AsGraph, AsId, AsId, AsId, AsId) {
+        let mut b = AsGraphBuilder::new();
+        let s = b.add_node(10);
+        let ia = b.add_node(20);
+        let ib = b.add_node(30);
+        let d = b.add_node(40);
+        b.add_provider_customer(s, ia).unwrap();
+        b.add_provider_customer(s, ib).unwrap();
+        b.add_provider_customer(ia, d).unwrap();
+        b.add_provider_customer(ib, d).unwrap();
+        let g = b.build().unwrap();
+        (g, s, ia, ib, d)
+    }
+
+    #[test]
+    fn insecure_world_uses_lowest_key() {
+        let (g, s, ia, _ib, d) = diamond();
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(&g, d, &LowestAsnTieBreak);
+        let secure = SecureSet::new(g.len());
+        let mut tree = RouteTree::new(g.len());
+        compute_tree(&g, &ctx, &secure, TreePolicy::default(), &mut tree);
+        assert_eq!(tree.next_hop[s.index()], ia.0, "ASN 20 beats ASN 30");
+        assert!(!tree.secure[s.index()]);
+    }
+
+    #[test]
+    fn secp_steals_traffic() {
+        // Secure s + d + ISP b (ASN 30): s now routes via b even though
+        // a has the lower ASN — the Figure 2 dynamics.
+        let (g, s, ia, ib, d) = diamond();
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(&g, d, &LowestAsnTieBreak);
+        let mut secure = SecureSet::new(g.len());
+        for x in [s, ib, d] {
+            secure.set(x, true);
+        }
+        let mut tree = RouteTree::new(g.len());
+        compute_tree(&g, &ctx, &secure, TreePolicy::default(), &mut tree);
+        assert_eq!(tree.next_hop[s.index()], ib.0);
+        assert!(tree.secure[s.index()]);
+        assert!(tree.secure[ib.index()]);
+        assert!(!tree.secure[ia.index()]);
+    }
+
+    #[test]
+    fn partially_secure_path_not_preferred() {
+        // Only s and b secure, d insecure: no fully secure path exists,
+        // so s sticks with the tiebreak winner a.
+        let (g, s, ia, ib, d) = diamond();
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(&g, d, &LowestAsnTieBreak);
+        let mut secure = SecureSet::new(g.len());
+        secure.set(s, true);
+        secure.set(ib, true);
+        let mut tree = RouteTree::new(g.len());
+        compute_tree(&g, &ctx, &secure, TreePolicy::default(), &mut tree);
+        assert_eq!(tree.next_hop[s.index()], ia.0);
+        assert!(!tree.secure[s.index()]);
+    }
+
+    #[test]
+    fn insecure_node_ignores_security() {
+        // b and d secure but s insecure: s cannot validate, so it uses
+        // its plain tiebreak (a), and its path is not secure.
+        let (g, s, ia, ib, d) = diamond();
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(&g, d, &LowestAsnTieBreak);
+        let mut secure = SecureSet::new(g.len());
+        secure.set(ib, true);
+        secure.set(d, true);
+        let mut tree = RouteTree::new(g.len());
+        compute_tree(&g, &ctx, &secure, TreePolicy::default(), &mut tree);
+        assert_eq!(tree.next_hop[s.index()], ia.0);
+        assert!(!tree.secure[s.index()]);
+        assert!(tree.secure[ib.index()], "b itself has a secure 1-hop path");
+    }
+
+    #[test]
+    fn stub_policy_knob() {
+        // Make s a stub by giving it a provider-only position: rebuild
+        // the diamond with s as a multihomed stub *source*.
+        let mut b = AsGraphBuilder::new();
+        let ia = b.add_node(20);
+        let ib = b.add_node(30);
+        let s = b.add_node(40); // stub, customer of both ISPs
+        let d = b.add_node(50); // destination stub, customer of both
+        b.add_provider_customer(ia, s).unwrap();
+        b.add_provider_customer(ib, s).unwrap();
+        b.add_provider_customer(ia, d).unwrap();
+        b.add_provider_customer(ib, d).unwrap();
+        let g = b.build().unwrap();
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(&g, d, &LowestAsnTieBreak);
+        let mut secure = SecureSet::new(g.len());
+        for x in [s, ib, d] {
+            secure.set(x, true);
+        }
+        let mut tree = RouteTree::new(g.len());
+        // Stubs break ties on security: s picks secure ib.
+        compute_tree(
+            &g,
+            &ctx,
+            &secure,
+            TreePolicy {
+                stubs_prefer_secure: true,
+            },
+            &mut tree,
+        );
+        assert_eq!(tree.next_hop[s.index()], ib.0);
+        assert!(tree.secure[s.index()]);
+        // Stubs ignore security: s falls back to lowest ASN ia.
+        compute_tree(
+            &g,
+            &ctx,
+            &secure,
+            TreePolicy {
+                stubs_prefer_secure: false,
+            },
+            &mut tree,
+        );
+        assert_eq!(tree.next_hop[s.index()], ia.0);
+        assert!(!tree.secure[s.index()]);
+    }
+
+    #[test]
+    fn path_extraction() {
+        let (g, s, ia, _, d) = diamond();
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(&g, d, &LowestAsnTieBreak);
+        let secure = SecureSet::new(g.len());
+        let mut tree = RouteTree::new(g.len());
+        compute_tree(&g, &ctx, &secure, TreePolicy::default(), &mut tree);
+        assert_eq!(extract_path(&ctx, &tree, s).unwrap(), vec![s, ia, d]);
+        assert_eq!(extract_path(&ctx, &tree, d).unwrap(), vec![d]);
+    }
+}

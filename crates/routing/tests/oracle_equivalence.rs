@@ -1,0 +1,156 @@
+//! Cross-validation: the optimized DestContext + fast-routing-tree
+//! pipeline must agree with the naive path-vector oracle on class,
+//! length, next hop, and path security — for random topologies, random
+//! deployment states, both tiebreakers, and both stub policies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sbgp_asgraph::gen::{generate, GenParams};
+use sbgp_asgraph::{AsGraph, AsId};
+use sbgp_routing::{
+    compute_tree, oracle, DestContext, HashTieBreak, LowestAsnTieBreak, RouteClass, RouteTree,
+    SecureSet, TieBreaker, TreePolicy, NO_NEXT_HOP,
+};
+
+fn random_secure_set(g: &AsGraph, density: f64, rng: &mut StdRng) -> SecureSet {
+    let mut s = SecureSet::new(g.len());
+    for n in g.nodes() {
+        if rng.gen_bool(density) {
+            s.set(n, true);
+        }
+    }
+    s
+}
+
+fn check_destination<T: TieBreaker>(
+    g: &AsGraph,
+    d: AsId,
+    secure: &SecureSet,
+    policy: TreePolicy,
+    tiebreaker: &T,
+) {
+    let mut ctx = DestContext::new(g.len());
+    ctx.compute(g, d, tiebreaker);
+    let mut tree = RouteTree::new(g.len());
+    compute_tree(g, &ctx, secure, policy, &mut tree);
+    let oracle_out = oracle::converge(g, d, secure, policy, tiebreaker);
+
+    for x in g.nodes() {
+        let fast_len = ctx.route_len(x).map(|l| l as usize);
+        let slow_len = oracle_out.path_len(x);
+        assert_eq!(
+            fast_len, slow_len,
+            "length mismatch at {x} for dest {d} (fast {fast_len:?} vs oracle {slow_len:?})"
+        );
+        if x == d {
+            continue;
+        }
+        match (tree.next_hop[x.index()], oracle_out.next_hop(x)) {
+            (NO_NEXT_HOP, None) => {}
+            (nh, Some(onh)) => assert_eq!(
+                nh, onh.0,
+                "next hop mismatch at {x} for dest {d}: fast {nh} vs oracle {onh}"
+            ),
+            (nh, None) => panic!("fast found route {nh} at {x}, oracle found none"),
+        }
+        assert_eq!(
+            tree.secure[x.index()],
+            oracle_out.secure[x.index()],
+            "security mismatch at {x} for dest {d}"
+        );
+        // Route class consistency: oracle path's first hop relationship.
+        if let Some(p) = &oracle_out.paths[x.index()] {
+            let rel = g.relationship(x, p[1]).unwrap();
+            let expect = match rel {
+                sbgp_asgraph::Relationship::Customer => RouteClass::Customer,
+                sbgp_asgraph::Relationship::Peer => RouteClass::Peer,
+                sbgp_asgraph::Relationship::Provider => RouteClass::Provider,
+            };
+            assert_eq!(ctx.route_class(x), expect, "class mismatch at {x}");
+        }
+    }
+}
+
+#[test]
+fn fast_pipeline_matches_oracle_on_generated_graphs() {
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    for seed in 0..4u64 {
+        let g = generate(&GenParams::new(120, seed)).graph;
+        let dests: Vec<AsId> = (0..g.len()).step_by(9).map(|i| AsId(i as u32)).collect();
+        for density in [0.0, 0.2, 0.7] {
+            let secure = random_secure_set(&g, density, &mut rng);
+            for stubs_prefer_secure in [true, false] {
+                let policy = TreePolicy {
+                    stubs_prefer_secure,
+                };
+                for &d in &dests {
+                    check_destination(&g, d, &secure, policy, &HashTieBreak);
+                    check_destination(&g, d, &secure, policy, &LowestAsnTieBreak);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fully_secure_world_secures_every_reachable_path() {
+    let g = generate(&GenParams::new(100, 5)).graph;
+    let mut secure = SecureSet::new(g.len());
+    for n in g.nodes() {
+        secure.set(n, true);
+    }
+    let mut ctx = DestContext::new(g.len());
+    let mut tree = RouteTree::new(g.len());
+    for d in g.nodes().take(20) {
+        ctx.compute(&g, d, &HashTieBreak);
+        compute_tree(&g, &ctx, &secure, TreePolicy::default(), &mut tree);
+        for x in g.nodes() {
+            if ctx.route_len(x).is_some() {
+                assert!(tree.secure[x.index()], "{x} insecure in all-secure world");
+            }
+        }
+    }
+}
+
+#[test]
+fn secure_flag_matches_extracted_path() {
+    // Property: tree.secure[x] == every AS on the extracted path secure.
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = generate(&GenParams::new(150, 9)).graph;
+    let secure = random_secure_set(&g, 0.5, &mut rng);
+    let mut ctx = DestContext::new(g.len());
+    let mut tree = RouteTree::new(g.len());
+    for d in g.nodes().step_by(11) {
+        ctx.compute(&g, d, &HashTieBreak);
+        compute_tree(&g, &ctx, &secure, TreePolicy::default(), &mut tree);
+        for x in g.nodes() {
+            if let Some(path) = sbgp_routing::extract_path(&ctx, &tree, x) {
+                let all = path.iter().all(|&a| secure.get(a));
+                assert_eq!(tree.secure[x.index()], all, "path {path:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn lengths_are_consistent_along_chosen_paths() {
+    // Property: len[x] == len[next_hop[x]] + 1 for every routed node.
+    let g = generate(&GenParams::new(200, 13)).graph;
+    let mut rng = StdRng::seed_from_u64(1);
+    let secure = random_secure_set(&g, 0.3, &mut rng);
+    let mut ctx = DestContext::new(g.len());
+    let mut tree = RouteTree::new(g.len());
+    for d in g.nodes().step_by(17) {
+        ctx.compute(&g, d, &HashTieBreak);
+        compute_tree(&g, &ctx, &secure, TreePolicy::default(), &mut tree);
+        for x in g.nodes() {
+            if x == d {
+                continue;
+            }
+            if let Some(l) = ctx.route_len(x) {
+                let nh = AsId(tree.next_hop[x.index()]);
+                assert_eq!(ctx.route_len(nh), Some(l - 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests: the optimized routing pipeline against the
+//! naive oracle on arbitrary (not just generator-shaped) topologies,
+//! plus conservation laws on flows and utilities.
+
+use proptest::prelude::*;
+use sbgp_asgraph::{AsGraph, AsGraphBuilder, AsId, Weights};
+use sbgp_routing::{
+    accumulate_flows, add_utilities, compute_tree, oracle, DestContext, HashTieBreak,
+    LowestAsnTieBreak, RouteClass, RouteTree, SecureSet, TreePolicy,
+};
+
+/// Arbitrary valley-free-able topology: provider edges point from
+/// lower to higher index (GR1 by construction), peer edges anywhere.
+fn arb_graph() -> impl Strategy<Value = (AsGraph, Vec<bool>)> {
+    (5usize..28).prop_flat_map(|n| {
+        let edges =
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, any::<bool>()), n..n * 3);
+        let secure_bits = proptest::collection::vec(any::<bool>(), n);
+        (Just(n), edges, secure_bits).prop_map(|(n, edges, secure_bits)| {
+            let mut b = AsGraphBuilder::new();
+            for i in 0..n {
+                // Scrambled ASNs so tiebreaks are non-trivial.
+                b.add_node(((i as u32) * 7919) % 10007 + 1);
+            }
+            for (x, y, is_peer) in edges {
+                let (a, c) = (AsId(x.min(y)), AsId(x.max(y)));
+                let _ = if is_peer {
+                    b.add_peer_peer(a, c)
+                } else {
+                    b.add_provider_customer(a, c)
+                };
+            }
+            (b.build().unwrap(), secure_bits)
+        })
+    })
+}
+
+fn secure_from_bits(bits: &[bool]) -> SecureSet {
+    let mut s = SecureSet::new(bits.len());
+    for (i, &on) in bits.iter().enumerate() {
+        s.set(AsId(i as u32), on);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Gold standard: the DestContext + fast-tree pipeline agrees with
+    /// the naive path-vector oracle on arbitrary topologies, states,
+    /// policies, and both tiebreakers.
+    #[test]
+    fn fast_pipeline_equals_oracle((g, bits) in arb_graph(), stubs_prefer in any::<bool>()) {
+        let secure = secure_from_bits(&bits);
+        let policy = TreePolicy { stubs_prefer_secure: stubs_prefer };
+        let mut ctx = DestContext::new(g.len());
+        let mut tree = RouteTree::new(g.len());
+        for d in g.nodes() {
+            ctx.compute(&g, d, &HashTieBreak);
+            compute_tree(&g, &ctx, &secure, policy, &mut tree);
+            let o = oracle::converge(&g, d, &secure, policy, &HashTieBreak);
+            for x in g.nodes() {
+                prop_assert_eq!(
+                    ctx.route_len(x).map(usize::from),
+                    o.path_len(x),
+                    "len mismatch at {} dest {}", x, d
+                );
+                if x == d { continue; }
+                match o.next_hop(x) {
+                    Some(nh) => prop_assert_eq!(tree.next_hop[x.index()], nh.0,
+                        "next hop mismatch at {} dest {}", x, d),
+                    None => prop_assert_eq!(tree.next_hop[x.index()], sbgp_routing::NO_NEXT_HOP),
+                }
+                prop_assert_eq!(tree.secure[x.index()], o.secure[x.index()],
+                    "security mismatch at {} dest {}", x, d);
+            }
+        }
+    }
+
+    /// Flow conservation: the destination's accumulated flow equals
+    /// the total origination weight of every routed source.
+    #[test]
+    fn flow_conservation((g, bits) in arb_graph()) {
+        let secure = secure_from_bits(&bits);
+        let w = Weights::uniform(&g);
+        let mut ctx = DestContext::new(g.len());
+        let mut tree = RouteTree::new(g.len());
+        let mut flow = Vec::new();
+        for d in g.nodes() {
+            ctx.compute(&g, d, &LowestAsnTieBreak);
+            compute_tree(&g, &ctx, &secure, TreePolicy::default(), &mut tree);
+            accumulate_flows(&ctx, &tree, &w, &mut flow);
+            let reachable_weight: f64 = ctx
+                .order()
+                .iter()
+                .filter(|&&x| AsId(x) != d)
+                .map(|&x| w.get(AsId(x)))
+                .sum();
+            prop_assert!((flow[d.index()] - reachable_weight).abs() < 1e-9,
+                "flow into {} is {} but sources weigh {}", d, flow[d.index()], reachable_weight);
+        }
+    }
+
+    /// Utility accounting: summed incoming utility equals the total
+    /// flow crossing customer edges, and no node earns more incoming
+    /// utility than the whole network originates.
+    #[test]
+    fn utility_accounting((g, bits) in arb_graph()) {
+        let secure = secure_from_bits(&bits);
+        let w = Weights::uniform(&g);
+        let mut ctx = DestContext::new(g.len());
+        let mut tree = RouteTree::new(g.len());
+        let mut flow = Vec::new();
+        let mut u_out = vec![0.0; g.len()];
+        let mut u_in = vec![0.0; g.len()];
+        for d in g.nodes() {
+            ctx.compute(&g, d, &HashTieBreak);
+            compute_tree(&g, &ctx, &secure, TreePolicy::default(), &mut tree);
+            accumulate_flows(&ctx, &tree, &w, &mut flow);
+            add_utilities(&ctx, &tree, &w, &flow, &mut u_out, &mut u_in);
+            // Per-destination: incoming utility of each node is at
+            // most the total routed weight.
+            let total: f64 = flow[d.index()];
+            for x in g.nodes() {
+                prop_assert!(flow[x.index()] <= total + 1e-9);
+            }
+        }
+        for x in g.nodes() {
+            prop_assert!(u_out[x.index()] >= 0.0 && u_in[x.index()] >= 0.0);
+        }
+    }
+
+    /// Securing more nodes never *removes* secure paths: the set of
+    /// (src, dst) pairs with fully secure chosen paths grows
+    /// monotonically with the secure set, when everyone applies SecP.
+    #[test]
+    fn secure_paths_monotone_in_secure_set((g, bits) in arb_graph()) {
+        let small = secure_from_bits(&bits);
+        let mut big = small.clone();
+        // Add every third node.
+        for i in (0..g.len()).step_by(3) {
+            big.set(AsId(i as u32), true);
+        }
+        let policy = TreePolicy { stubs_prefer_secure: true };
+        let mut ctx = DestContext::new(g.len());
+        let mut t_small = RouteTree::new(g.len());
+        let mut t_big = RouteTree::new(g.len());
+        for d in g.nodes() {
+            ctx.compute(&g, d, &HashTieBreak);
+            compute_tree(&g, &ctx, &small, policy, &mut t_small);
+            compute_tree(&g, &ctx, &big, policy, &mut t_big);
+            for x in g.nodes() {
+                prop_assert!(
+                    !t_small.secure[x.index()] || t_big.secure[x.index()],
+                    "securing more nodes broke a secure path at {} dest {}", x, d
+                );
+            }
+        }
+    }
+
+    /// The route class invariant: a node with any customer route never
+    /// ends up on a peer or provider route (LP dominance).
+    #[test]
+    fn local_preference_dominates((g, _bits) in arb_graph()) {
+        let mut ctx = DestContext::new(g.len());
+        for d in g.nodes() {
+            ctx.compute(&g, d, &HashTieBreak);
+            for x in g.nodes() {
+                if x == d { continue; }
+                // If any customer of x exports a route (i.e. has a
+                // customer-class or self route), x must be Customer class.
+                let has_customer_route = g.customers(x).iter().any(|&cst| {
+                    matches!(ctx.route_class(cst), RouteClass::Customer | RouteClass::SelfDest)
+                });
+                if has_customer_route {
+                    prop_assert_eq!(ctx.route_class(x), RouteClass::Customer,
+                        "{} ignored an available customer route to {}", x, d);
+                }
+            }
+        }
+    }
+}

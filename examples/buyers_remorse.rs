@@ -1,0 +1,89 @@
+//! The dark side of making security affect route selection
+//! (Section 7): in the incoming-utility model an ISP can *gain* by
+//! disabling S*BGP, and groups of ISPs can oscillate forever.
+//!
+//! Walks through the Figure 13 buyer's-remorse example and the
+//! CHICKEN-gadget oscillation, both executed by the real simulator.
+//!
+//! ```sh
+//! cargo run --release --example buyers_remorse
+//! ```
+
+use sbgp_asgraph::Weights;
+use sbgp_core::{Outcome, SimConfig, Simulation, UtilityEngine, UtilityModel};
+use sbgp_gadgets::{chicken, turnoff};
+use sbgp_routing::LowestAsnTieBreak;
+
+fn main() {
+    // --- Part 1: Figure 13 — a secure ISP that wants out. ---
+    println!("Part 1: buyer's remorse (Figure 13)");
+    let (world, f) = turnoff::build(24, 50);
+    let graph = &world.graph;
+    let weights = Weights::uniform(graph);
+    let cfg = SimConfig {
+        theta: 0.05,
+        model: UtilityModel::Incoming,
+        ..SimConfig::default()
+    };
+    let engine = UtilityEngine::new(graph, &weights, &LowestAsnTieBreak, cfg);
+    let comp = engine.compute(&world.initial, &world.movable);
+    println!(
+        "  AS {} while secure: incoming utility {:.0}",
+        graph.asn(f.telecom),
+        comp.base(UtilityModel::Incoming, f.telecom)
+    );
+    println!(
+        "  ... projected if it disables S*BGP: {:.0}",
+        comp.projected(UtilityModel::Incoming, f.telecom)
+    );
+    println!(
+        "  (Akamai's heavy traffic re-enters through customer AS {} once\n   the secure path vanishes, and customers pay.)",
+        graph.asn(f.customer)
+    );
+    let sim = Simulation::new(graph, &weights, &LowestAsnTieBreak, cfg);
+    let result = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+    println!(
+        "  simulated decision: S*BGP {}",
+        if result.final_state.get(f.telecom) {
+            "stays ON"
+        } else {
+            "turned OFF"
+        }
+    );
+
+    // --- Part 2: oscillation — no stable state at all. ---
+    println!("\nPart 2: endless on/off oscillation (Section 7.2)");
+    let (world, c) = chicken::build(10, true, true);
+    let weights = Weights::uniform(&world.graph);
+    let cfg = SimConfig {
+        theta: 0.001,
+        model: UtilityModel::Incoming,
+        max_rounds: 12,
+        ..SimConfig::default()
+    };
+    let sim = Simulation::new(&world.graph, &weights, &LowestAsnTieBreak, cfg);
+    let result = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+    match result.outcome {
+        Outcome::Oscillation { period, .. } => {
+            println!(
+                "  nodes {} and {} flip in lockstep forever (period {period});\n  \
+                 deciding whether such oscillations exist is PSPACE-complete (Theorem 7.1)",
+                world.graph.asn(c.p10),
+                world.graph.asn(c.p20)
+            );
+        }
+        other => println!("  unexpected outcome: {other:?}"),
+    }
+
+    // --- Part 3: Theorem 6.2 — the outgoing model is safe. ---
+    println!("\nPart 3: under the outgoing model nobody ever turns off (Theorem 6.2)");
+    let cfg = SimConfig {
+        theta: 0.001,
+        model: UtilityModel::Outgoing,
+        max_rounds: 12,
+        ..SimConfig::default()
+    };
+    let sim = Simulation::new(&world.graph, &weights, &LowestAsnTieBreak, cfg);
+    let result = sim.run_constrained(world.initial.clone(), &world.movable, vec![]);
+    println!("  same topology, outgoing utility: {:?}", result.outcome);
+}

@@ -1,0 +1,204 @@
+//! End-to-end integration: generator → routing → deployment game →
+//! metrics, asserting the paper-shaped invariants the evaluation
+//! depends on.
+
+use sbgp_asgraph::gen::{generate, GenParams};
+use sbgp_asgraph::{AsClass, Weights};
+use sbgp_core::{metrics, EarlyAdopters, Outcome, SimConfig, Simulation, UtilityModel};
+use sbgp_routing::census::TiebreakCensus;
+use sbgp_routing::{HashTieBreak, TreePolicy};
+
+fn world(n: usize, seed: u64) -> (sbgp_asgraph::AsGraph, Weights) {
+    let g = generate(&GenParams::new(n, seed)).graph;
+    let w = Weights::with_cp_fraction(&g, 0.10);
+    (g, w)
+}
+
+#[test]
+fn case_study_reaches_high_adoption_at_low_theta() {
+    let (g, w) = world(600, 42);
+    let cfg = SimConfig {
+        theta: 0.05,
+        ..SimConfig::default()
+    };
+    let adopters = EarlyAdopters::ContentProvidersPlusTopIsps(5).select(&g);
+    let res = Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters);
+    assert!(matches!(res.outcome, Outcome::Stable { .. }));
+    // Section 5: the vast majority transitions, but never 100%.
+    let ases = res.secure_as_fraction(&g);
+    let isps = res.secure_isp_fraction(&g);
+    assert!(ases > 0.6, "AS adoption too low: {ases}");
+    assert!(ases < 1.0, "adoption should never reach 100%");
+    assert!(isps > 0.5, "ISP adoption too low: {isps}");
+}
+
+#[test]
+fn high_theta_leaves_deployment_simplex_driven() {
+    let (g, w) = world(600, 42);
+    let cfg = SimConfig {
+        theta: 0.5,
+        ..SimConfig::default()
+    };
+    let adopters = EarlyAdopters::TopIspsByDegree(5).select(&g);
+    let res = Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters);
+    // Section 6.5: at θ = 50% almost no ISP deploys from market
+    // pressure; secure ASes are mostly simplex stubs.
+    let isps_beyond_seed = g
+        .isps()
+        .filter(|&n| res.final_state.get(n) && !adopters.contains(&n))
+        .count();
+    assert!(
+        isps_beyond_seed <= g.isps().count() / 10,
+        "{isps_beyond_seed} ISPs deployed at theta=0.5"
+    );
+    let stubs = g.stubs().filter(|&s| res.final_state.get(s)).count();
+    let secure_total = res.final_state.count();
+    assert!(
+        stubs as f64 > 0.8 * secure_total as f64,
+        "secure set should be stub-dominated: {stubs}/{secure_total}"
+    );
+}
+
+#[test]
+fn adoption_monotone_in_theta_roughly() {
+    // More expensive deployment can only shrink (or keep) adoption.
+    // (Myopic dynamics aren't strictly monotone, so allow 5% slack.)
+    let (g, w) = world(400, 11);
+    let adopters = EarlyAdopters::TopIspsByDegree(5).select(&g);
+    let mut prev = f64::INFINITY;
+    for theta in [0.0, 0.05, 0.2, 0.5] {
+        let cfg = SimConfig {
+            theta,
+            ..SimConfig::default()
+        };
+        let res = Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters);
+        let f = res.secure_as_fraction(&g);
+        assert!(
+            f <= prev + 0.05,
+            "adoption rose with theta: {f} after {prev} at theta={theta}"
+        );
+        prev = f;
+    }
+}
+
+#[test]
+fn secure_paths_track_f_squared() {
+    let (g, w) = world(500, 3);
+    let cfg = SimConfig {
+        theta: 0.05,
+        ..SimConfig::default()
+    };
+    let adopters = EarlyAdopters::ContentProvidersPlusTopIsps(5).select(&g);
+    let res = Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters);
+    let f = res.secure_as_fraction(&g);
+    let frac = metrics::secure_path_fraction(&g, &res.final_state, TreePolicy::default(), &HashTieBreak);
+    // Figure 9: slightly below f², never above by more than noise.
+    assert!(frac <= f * f + 0.01, "secure paths {frac} vs f² {}", f * f);
+    assert!(frac >= f * f * 0.7, "secure paths {frac} far below f² {}", f * f);
+}
+
+#[test]
+fn tiebreak_census_in_paper_regime() {
+    let (g, _) = world(800, 21);
+    let census = TiebreakCensus::run(&g, g.nodes(), &HashTieBreak);
+    assert!((1.05..=1.5).contains(&census.mean()), "mean {}", census.mean());
+    assert!(census.mean_for(AsClass::Isp) > census.mean_for(AsClass::Stub));
+    assert!((0.10..=0.35).contains(&census.multi_fraction()));
+    assert!(census.security_sensitive_fraction() < 0.10);
+}
+
+#[test]
+fn holdouts_are_low_degree_isps() {
+    // Section 5.3: ISPs that never deploy are the ones without
+    // competition — low degree, single-homed stub customers.
+    let (g, w) = world(600, 42);
+    let cfg = SimConfig {
+        theta: 0.05,
+        ..SimConfig::default()
+    };
+    let adopters = EarlyAdopters::ContentProvidersPlusTopIsps(5).select(&g);
+    let res = Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters);
+    let holdouts: Vec<_> = g.isps().filter(|&n| !res.final_state.get(n)).collect();
+    assert!(!holdouts.is_empty(), "some ISPs must remain insecure");
+    let mean_holdout = holdouts.iter().map(|&n| g.degree(n)).sum::<usize>() as f64
+        / holdouts.len() as f64;
+    let mean_all =
+        g.isps().map(|n| g.degree(n)).sum::<usize>() as f64 / g.isps().count() as f64;
+    assert!(
+        mean_holdout < mean_all,
+        "holdout mean degree {mean_holdout} vs population {mean_all}"
+    );
+}
+
+#[test]
+fn stub_tiebreaking_barely_matters() {
+    // Section 6.7: results are insensitive to whether stubs apply SecP.
+    let (g, w) = world(500, 8);
+    let adopters = EarlyAdopters::TopIspsByDegree(5).select(&g);
+    for theta in [0.05, 0.2] {
+        let run = |stubs_prefer_secure| {
+            let cfg = SimConfig {
+                theta,
+                tree_policy: TreePolicy {
+                    stubs_prefer_secure,
+                },
+                ..SimConfig::default()
+            };
+            Simulation::new(&g, &w, &HashTieBreak, cfg)
+                .run(&adopters)
+                .secure_as_fraction(&g)
+        };
+        let with = run(true);
+        let without = run(false);
+        assert!(
+            (with - without).abs() < 0.15,
+            "theta={theta}: stubs-prefer {with} vs ignore {without}"
+        );
+    }
+}
+
+#[test]
+fn incoming_model_case_study_terminates_or_cycles() {
+    // The incoming model has no termination guarantee; the driver must
+    // classify the outcome rather than loop forever.
+    let (g, w) = world(400, 5);
+    let cfg = SimConfig {
+        theta: 0.05,
+        model: UtilityModel::Incoming,
+        max_rounds: 60,
+        ..SimConfig::default()
+    };
+    let adopters = EarlyAdopters::TopIspsByDegree(5).select(&g);
+    let res = Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters);
+    match res.outcome {
+        Outcome::Stable { .. } | Outcome::Oscillation { .. } | Outcome::MaxRounds => {}
+    }
+    assert!(res.rounds.len() <= 60);
+}
+
+#[test]
+fn augmentation_empowers_cps() {
+    // Section 6.8 / Figure 12: CP early adopters are ineffective on
+    // the base graph but competitive on the augmented one.
+    let generated = generate(&GenParams::new(600, 42));
+    let base = &generated.graph;
+    let aug =
+        sbgp_asgraph::augment::augment_cp_peering(base, &generated.ixp_members, 0.8, 9).unwrap();
+    let cfg = SimConfig {
+        theta: 0.05,
+        ..SimConfig::default()
+    };
+    let run = |g: &sbgp_asgraph::AsGraph| {
+        let w = Weights::with_cp_fraction(g, 0.33);
+        let adopters = EarlyAdopters::ContentProviders.select(g);
+        Simulation::new(g, &w, &HashTieBreak, cfg)
+            .run(&adopters)
+            .secure_as_fraction(g)
+    };
+    let on_base = run(base);
+    let on_aug = run(&aug);
+    assert!(
+        on_aug > on_base + 0.3,
+        "augmentation should unlock CP influence: base {on_base}, augmented {on_aug}"
+    );
+}

@@ -1,0 +1,184 @@
+//! Empirical checks of the paper's theorems against the real engine,
+//! over randomized graphs and states.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sbgp_asgraph::gen::{generate, GenParams};
+use sbgp_asgraph::{AsGraph, AsId, Weights};
+use sbgp_core::{
+    initial_state, metrics, EarlyAdopters, Outcome, SimConfig, Simulation, UtilityEngine,
+    UtilityModel,
+};
+use sbgp_routing::{HashTieBreak, SecureSet};
+
+fn random_state(g: &AsGraph, density: f64, rng: &mut StdRng) -> SecureSet {
+    let mut s = SecureSet::new(g.len());
+    for n in g.nodes() {
+        if rng.gen_bool(density) {
+            s.set(n, true);
+        }
+    }
+    s
+}
+
+/// Theorem 6.2: in the outgoing model, a secure node never gains by
+/// turning off — its projected (turned-off) utility is never higher.
+#[test]
+fn thm_6_2_no_turn_off_incentive_in_outgoing_model() {
+    let mut rng = StdRng::seed_from_u64(0xdead);
+    for seed in 0..3u64 {
+        let g = generate(&GenParams::new(200, seed)).graph;
+        let w = Weights::with_cp_fraction(&g, 0.10);
+        let cfg = SimConfig::default();
+        let engine = UtilityEngine::new(&g, &w, &HashTieBreak, cfg);
+        for density in [0.2, 0.6] {
+            let state = random_state(&g, density, &mut rng);
+            let secure_isps: Vec<AsId> = g.isps().filter(|&n| state.get(n)).collect();
+            let comp = engine.compute(&state, &secure_isps);
+            for &n in &secure_isps {
+                let u = comp.base(UtilityModel::Outgoing, n);
+                let off = comp.projected(UtilityModel::Outgoing, n);
+                assert!(
+                    off <= u + 1e-9,
+                    "Theorem 6.2 violated at {n} (seed {seed}, density {density}): \
+                     u={u}, off={off}"
+                );
+            }
+        }
+    }
+}
+
+/// Theorem 6.2 corollary: outgoing-model simulations always terminate
+/// in a stable state (never oscillate).
+#[test]
+fn outgoing_model_always_stabilizes() {
+    for seed in 0..4u64 {
+        let g = generate(&GenParams::new(250, seed)).graph;
+        let w = Weights::with_cp_fraction(&g, 0.10);
+        for theta in [0.0, 0.05, 0.3] {
+            let cfg = SimConfig {
+                theta,
+                ..SimConfig::default()
+            };
+            let adopters = EarlyAdopters::TopIspsByDegree(5).select(&g);
+            let res = Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters);
+            assert!(
+                matches!(res.outcome, Outcome::Stable { .. }),
+                "seed {seed} theta {theta}: {:?}",
+                res.outcome
+            );
+        }
+    }
+}
+
+/// Secure ISPs stay secure in the outgoing model — deployment is
+/// monotone round over round.
+#[test]
+fn outgoing_deployment_is_monotone() {
+    let g = generate(&GenParams::new(300, 77)).graph;
+    let w = Weights::with_cp_fraction(&g, 0.10);
+    let cfg = SimConfig {
+        theta: 0.05,
+        ..SimConfig::default()
+    };
+    let adopters = EarlyAdopters::ContentProvidersPlusTopIsps(5).select(&g);
+    let res = Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters);
+    for r in &res.rounds {
+        assert!(r.turned_off.is_empty(), "turn-off in outgoing model");
+    }
+    let states = metrics::states_by_round(&res);
+    for w2 in states.windows(2) {
+        for n in g.nodes() {
+            assert!(
+                !w2[0].get(n) || w2[1].get(n),
+                "node {n} lost security between rounds"
+            );
+        }
+    }
+    assert_eq!(states.last().unwrap(), &res.final_state);
+}
+
+/// A reported stable state really is stable: re-evaluating every ISP
+/// in the final state finds no one who wants to move.
+#[test]
+fn stable_outcome_is_a_fixed_point() {
+    let g = generate(&GenParams::new(300, 5)).graph;
+    let w = Weights::with_cp_fraction(&g, 0.10);
+    let cfg = SimConfig {
+        theta: 0.05,
+        ..SimConfig::default()
+    };
+    let adopters = EarlyAdopters::TopIspsByDegree(5).select(&g);
+    let res = Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters);
+    assert!(matches!(res.outcome, Outcome::Stable { .. }));
+    let engine = UtilityEngine::new(&g, &w, &HashTieBreak, cfg);
+    let candidates: Vec<AsId> = g.isps().filter(|&n| !res.final_state.get(n)).collect();
+    let comp = engine.compute(&res.final_state, &candidates);
+    for &n in &candidates {
+        let u = comp.base(UtilityModel::Outgoing, n);
+        let proj = comp.projected(UtilityModel::Outgoing, n);
+        assert!(
+            proj <= (1.0 + cfg.theta) * u + 1e-6,
+            "ISP {n} still wants to deploy in the 'stable' state"
+        );
+    }
+}
+
+/// Simplex invariant: in any reachable state, every stub customer of
+/// a secure ISP is secure.
+#[test]
+fn simplex_invariant_holds_every_round() {
+    let g = generate(&GenParams::new(300, 13)).graph;
+    let w = Weights::with_cp_fraction(&g, 0.10);
+    let cfg = SimConfig {
+        theta: 0.05,
+        ..SimConfig::default()
+    };
+    let adopters = EarlyAdopters::ContentProvidersPlusTopIsps(5).select(&g);
+    let res = Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters);
+    for state in metrics::states_by_round(&res) {
+        for isp in g.isps().filter(|&n| state.get(n)) {
+            for stub in g.stub_customers_of(isp) {
+                assert!(
+                    state.get(stub),
+                    "stub {stub} of secure ISP {isp} is not simplex-secured"
+                );
+            }
+        }
+    }
+}
+
+/// CPs never deploy unless seeded (Section 3.2).
+#[test]
+fn cps_only_deploy_as_early_adopters() {
+    let g = generate(&GenParams::new(300, 2)).graph;
+    let w = Weights::with_cp_fraction(&g, 0.33);
+    let cfg = SimConfig {
+        theta: 0.0,
+        ..SimConfig::default()
+    };
+    let adopters = EarlyAdopters::TopIspsByDegree(25).select(&g);
+    let res = Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters);
+    for &cp in g.content_providers() {
+        assert!(
+            !res.final_state.get(cp),
+            "CP {cp} deployed without being seeded"
+        );
+    }
+}
+
+/// The initial state is exactly: adopters + stubs of adopter ISPs.
+#[test]
+fn initial_state_matches_model() {
+    let g = generate(&GenParams::new(300, 4)).graph;
+    let adopters = EarlyAdopters::ContentProvidersPlusTopIsps(3).select(&g);
+    let s = initial_state(&g, &adopters);
+    for n in g.nodes() {
+        let should = adopters.contains(&n)
+            || (g.is_stub(n)
+                && g.providers(n)
+                    .iter()
+                    .any(|p| adopters.contains(p) && g.is_isp(*p)));
+        assert_eq!(s.get(n), should, "node {n}");
+    }
+}
