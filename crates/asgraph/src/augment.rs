@@ -24,18 +24,20 @@ use rand::SeedableRng;
 /// self-pairs are skipped. Node ids, AS numbers, and CP designations
 /// are preserved, so ids remain valid across the base/augmented pair.
 ///
-/// # Panics
-/// Panics if `fraction` is outside `[0, 1]`.
+/// Returns [`GraphError::InvalidParam`] if `fraction` is outside
+/// `[0, 1]`.
 pub fn augment_cp_peering(
     g: &AsGraph,
     ixp_members: &[AsId],
     fraction: f64,
     seed: u64,
 ) -> Result<AsGraph, GraphError> {
-    assert!(
-        (0.0..=1.0).contains(&fraction),
-        "fraction must be in [0,1]"
-    );
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(GraphError::InvalidParam {
+            param: "fraction",
+            message: format!("must be in [0, 1], got {fraction}"),
+        });
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut extra: Vec<(AsId, AsId)> = Vec::new();
     let take = ((ixp_members.len() as f64) * fraction).round() as usize;

@@ -370,10 +370,7 @@ mod tests {
         let g = b.build().unwrap();
         let g2 = rebuild_with_extra_peers(&g, &[(c1, c2)]).unwrap();
         assert_eq!(g2.num_edges(), 3);
-        assert_eq!(
-            g2.relationship(c1, c2),
-            Some(crate::Relationship::Peer)
-        );
+        assert_eq!(g2.relationship(c1, c2), Some(crate::Relationship::Peer));
         assert_eq!(g2.asn(c1), 2);
         // Duplicate extra edge is ignored.
         let g3 = rebuild_with_extra_peers(&g2, &[(c1, c2)]).unwrap();

@@ -27,6 +27,15 @@ pub enum GraphError {
     },
     /// Underlying I/O failure while reading or writing a graph file.
     Io(String),
+    /// A caller-supplied parameter is outside its valid domain (e.g. a
+    /// probability not in `[0, 1]`, or a graph size below the
+    /// generator's minimum).
+    InvalidParam {
+        /// The parameter's name as the caller knows it.
+        param: &'static str,
+        /// What was wrong with the supplied value.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -37,13 +46,17 @@ impl fmt::Display for GraphError {
             GraphError::DuplicateEdge(a, b) => {
                 write!(f, "duplicate edge between nodes {a} and {b}")
             }
-            GraphError::CustomerProviderCycle(n) => write!(
-                f,
-                "customer-provider cycle through node {n} (violates GR1)"
-            ),
+            GraphError::CustomerProviderCycle(n) => {
+                write!(f, "customer-provider cycle through node {n} (violates GR1)")
+            }
             GraphError::DuplicateAsn(asn) => write!(f, "duplicate AS number {asn}"),
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+            GraphError::InvalidParam { param, message } => {
+                write!(f, "invalid parameter {param}: {message}")
+            }
         }
     }
 }

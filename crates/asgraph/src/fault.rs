@@ -1,0 +1,266 @@
+//! Topology fault injection: seeded link and node failures.
+//!
+//! The paper defers "resiliency to attack" (Section 6.4) to future
+//! work; evaluating it honestly requires measuring hijack outcomes not
+//! just on the pristine topology but under churn — links flapping,
+//! routers dying — the regime *Is the Juice Worth the Squeeze?*-style
+//! studies stress-test. [`apply_faults`] derives a degraded copy of an
+//! [`AsGraph`] from a seeded [`FaultPlan`]:
+//!
+//! * each undirected edge fails independently with probability
+//!   `link_rate`;
+//! * each node fails independently with probability `node_rate` — a
+//!   failed node keeps its id (so [`AsId`]s, AS numbers, and any
+//!   [`SecureSet`](../../sbgp_routing/struct.SecureSet.html) indexed by
+//!   them stay valid) but loses every incident edge, isolating it.
+//!
+//! The surviving graph is rebuilt through [`AsGraphBuilder`] with the
+//! nodes in their original order, so node identity is stable across
+//! the base/faulted pair — the property the resilience evaluation
+//! relies on when it reuses a deployment state computed on the intact
+//! graph. Dropping edges cannot create customer–provider cycles, so
+//! the rebuild cannot fail GR1 validation.
+
+use crate::builder::AsGraphBuilder;
+use crate::error::GraphError;
+use crate::graph::AsGraph;
+use crate::ids::{AsId, Relationship};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded description of which failures to inject.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Independent failure probability per undirected edge, in `[0, 1]`.
+    pub link_rate: f64,
+    /// Independent failure probability per node, in `[0, 1]`. A failed
+    /// node is isolated (all incident edges removed), not deleted.
+    pub node_rate: f64,
+    /// RNG seed; the same plan always fails the same elements.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan failing only links, at `rate`.
+    pub fn links(rate: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            link_rate: rate,
+            node_rate: 0.0,
+            seed,
+        }
+    }
+
+    /// Check both rates are valid probabilities.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for (param, rate) in [("link_rate", self.link_rate), ("node_rate", self.node_rate)] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(GraphError::InvalidParam {
+                    param,
+                    message: format!("must be a probability in [0, 1], got {rate}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What a fault injection actually removed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Nodes that failed (isolated); ascending id order.
+    pub failed_nodes: Vec<AsId>,
+    /// Undirected edges removed, in the graph's canonical edge order —
+    /// both direct link failures and edges lost to a failed endpoint.
+    pub failed_links: Vec<(AsId, AsId)>,
+    /// Edges present in the degraded graph.
+    pub surviving_edges: usize,
+    /// Edges in the original graph.
+    pub total_edges: usize,
+}
+
+impl FaultReport {
+    /// Fraction of the original edges that survived.
+    pub fn edge_survival(&self) -> f64 {
+        if self.total_edges == 0 {
+            return 1.0;
+        }
+        self.surviving_edges as f64 / self.total_edges as f64
+    }
+}
+
+/// Apply `plan` to `g`, returning the degraded graph and a report of
+/// what failed. Node ids and AS numbers are preserved exactly.
+pub fn apply_faults(g: &AsGraph, plan: &FaultPlan) -> Result<(AsGraph, FaultReport), GraphError> {
+    plan.validate()?;
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+
+    // Node failures first, in node order, so the link-failure stream
+    // for a given seed is unchanged when node_rate is zero.
+    let mut node_failed = vec![false; g.len()];
+    let mut failed_nodes = Vec::new();
+    if plan.node_rate > 0.0 {
+        for n in g.nodes() {
+            if rng.gen_bool(plan.node_rate) {
+                node_failed[n.index()] = true;
+                failed_nodes.push(n);
+            }
+        }
+    }
+
+    let mut surviving: Vec<(AsId, AsId, Relationship)> = Vec::with_capacity(g.num_edges());
+    let mut failed_links = Vec::new();
+    for (a, b, rel) in g.edges() {
+        let endpoint_down = node_failed[a.index()] || node_failed[b.index()];
+        let link_down = plan.link_rate > 0.0 && rng.gen_bool(plan.link_rate);
+        if endpoint_down || link_down {
+            failed_links.push((a, b));
+        } else {
+            surviving.push((a, b, rel));
+        }
+    }
+
+    let mut b = AsGraphBuilder::with_capacity(g.len(), surviving.len());
+    for n in g.nodes() {
+        b.add_node(g.asn(n));
+    }
+    for &(x, y, rel) in &surviving {
+        match rel {
+            Relationship::Customer => b.add_provider_customer(x, y)?,
+            Relationship::Peer => b.add_peer_peer(x, y)?,
+            Relationship::Provider => unreachable!("edges() never emits provider orientation"),
+        }
+    }
+    for &cp in g.content_providers() {
+        b.mark_content_provider(cp);
+    }
+    let degraded = b.build()?;
+    let report = FaultReport {
+        failed_nodes,
+        surviving_edges: surviving.len(),
+        total_edges: g.num_edges(),
+        failed_links,
+    };
+    Ok((degraded, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenParams};
+
+    #[test]
+    fn zero_rates_are_identity() {
+        let g = generate(&GenParams::small(3)).graph;
+        let (f, report) = apply_faults(&g, &FaultPlan::links(0.0, 1)).unwrap();
+        let ea: Vec<_> = g.edges().collect();
+        let eb: Vec<_> = f.edges().collect();
+        assert_eq!(ea, eb);
+        assert!(report.failed_links.is_empty() && report.failed_nodes.is_empty());
+        assert_eq!(report.edge_survival(), 1.0);
+    }
+
+    #[test]
+    fn full_link_rate_removes_every_edge() {
+        let g = generate(&GenParams::small(3)).graph;
+        let (f, report) = apply_faults(&g, &FaultPlan::links(1.0, 1)).unwrap();
+        assert_eq!(f.num_edges(), 0);
+        assert_eq!(report.failed_links.len(), g.num_edges());
+        assert_eq!(report.edge_survival(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_plan() {
+        let g = generate(&GenParams::small(7)).graph;
+        let plan = FaultPlan {
+            link_rate: 0.2,
+            node_rate: 0.05,
+            seed: 42,
+        };
+        let (a, ra) = apply_faults(&g, &plan).unwrap();
+        let (b, rb) = apply_faults(&g, &plan).unwrap();
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+        assert_eq!(ra, rb);
+        // A different seed fails different elements.
+        let (_, rc) = apply_faults(&g, &FaultPlan { seed: 43, ..plan }).unwrap();
+        assert_ne!(ra.failed_links, rc.failed_links);
+    }
+
+    #[test]
+    fn node_identity_preserved() {
+        let g = generate(&GenParams::small(5)).graph;
+        let plan = FaultPlan {
+            link_rate: 0.3,
+            node_rate: 0.1,
+            seed: 9,
+        };
+        let (f, _) = apply_faults(&g, &plan).unwrap();
+        assert_eq!(g.len(), f.len());
+        for n in g.nodes() {
+            assert_eq!(g.asn(n), f.asn(n));
+        }
+        assert_eq!(g.content_providers(), f.content_providers());
+    }
+
+    #[test]
+    fn failed_nodes_are_isolated() {
+        let g = generate(&GenParams::small(11)).graph;
+        let plan = FaultPlan {
+            link_rate: 0.0,
+            node_rate: 0.2,
+            seed: 4,
+        };
+        let (f, report) = apply_faults(&g, &plan).unwrap();
+        assert!(
+            !report.failed_nodes.is_empty(),
+            "expected some node failures"
+        );
+        for &n in &report.failed_nodes {
+            assert_eq!(f.degree(n), 0, "failed node {n} still has edges");
+        }
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        let g = generate(&GenParams::tiny(1)).graph;
+        for bad in [-0.1, 1.5, f64::NAN] {
+            assert!(matches!(
+                apply_faults(&g, &FaultPlan::links(bad, 0)),
+                Err(GraphError::InvalidParam {
+                    param: "link_rate",
+                    ..
+                })
+            ));
+            let plan = FaultPlan {
+                link_rate: 0.0,
+                node_rate: bad,
+                seed: 0,
+            };
+            assert!(matches!(
+                apply_faults(&g, &plan),
+                Err(GraphError::InvalidParam {
+                    param: "node_rate",
+                    ..
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let g = generate(&GenParams::small(13)).graph;
+        let plan = FaultPlan {
+            link_rate: 0.25,
+            node_rate: 0.05,
+            seed: 77,
+        };
+        let (f, report) = apply_faults(&g, &plan).unwrap();
+        assert_eq!(report.total_edges, g.num_edges());
+        assert_eq!(report.surviving_edges, f.num_edges());
+        assert_eq!(
+            report.surviving_edges + report.failed_links.len(),
+            report.total_edges
+        );
+    }
+}

@@ -149,9 +149,26 @@ impl EdgeAcc {
 /// Generate a synthetic AS-level topology.
 ///
 /// # Panics
-/// Panics if `n_ases < 50` or the tier sizes don't fit.
+/// Panics if `n_ases < 50` or the tier sizes don't fit; see
+/// [`generate_checked`] for the non-panicking variant.
 pub fn generate(params: &GenParams) -> Generated {
-    assert!(params.n_ases >= 50, "need at least 50 ASes");
+    match generate_checked(params) {
+        Ok(g) => g,
+        Err(e) => panic!("invalid generator parameters: {e}"),
+    }
+}
+
+/// [`generate`] with typed errors instead of panics: invalid sizes
+/// surface as [`GraphError::InvalidParam`] and a generator bug that
+/// produces an unvalidatable graph surfaces as the underlying
+/// [`GraphError`] rather than aborting the process.
+pub fn generate_checked(params: &GenParams) -> Result<Generated, crate::GraphError> {
+    if params.n_ases < 50 {
+        return Err(crate::GraphError::InvalidParam {
+            param: "n_ases",
+            message: format!("need at least 50 ASes, got {}", params.n_ases),
+        });
+    }
     let mut rng = StdRng::seed_from_u64(params.seed);
 
     let n = params.n_ases;
@@ -159,10 +176,14 @@ pub fn generate(params: &GenParams) -> Generated {
     let n_cps = params.n_cps;
     let n_stubs = ((n as f64) * params.stub_fraction).round() as usize;
     let n_isps_total = n - n_stubs - n_cps;
-    assert!(
-        n_isps_total > n_t1 + 2,
-        "tier sizes don't fit: {n} ASes, {n_t1} tier1, {n_cps} CPs, {n_stubs} stubs"
-    );
+    if n_isps_total <= n_t1 + 2 {
+        return Err(crate::GraphError::InvalidParam {
+            param: "n_ases",
+            message: format!(
+                "tier sizes don't fit: {n} ASes, {n_t1} tier1, {n_cps} CPs, {n_stubs} stubs"
+            ),
+        });
+    }
     let n_mid = (((n_isps_total - n_t1) as f64) * params.mid_tier_fraction).round() as usize;
     let n_low = n_isps_total - n_t1 - n_mid;
 
@@ -391,9 +412,9 @@ pub fn generate(params: &GenParams) -> Generated {
     for i in cp_range {
         b.mark_content_provider(ids[i]);
     }
-    let graph = b.build().expect("generator output must validate");
+    let graph = b.build()?;
 
-    Generated { graph, ixp_members }
+    Ok(Generated { graph, ixp_members })
 }
 
 #[cfg(test)]
@@ -465,7 +486,10 @@ mod tests {
         assert!(frac > 0.5, "fraction with ≤6 stub customers: {frac}");
         let g4 = generate(&GenParams::new(4_000, 42)).graph;
         let frac4 = stats::isp_fraction_with_at_most_stub_customers(&g4, 6);
-        assert!(frac4 > frac - 0.05, "skew should not worsen with scale: {frac4} vs {frac}");
+        assert!(
+            frac4 > frac - 0.05,
+            "skew should not worsen with scale: {frac4} vs {frac}"
+        );
     }
 
     #[test]

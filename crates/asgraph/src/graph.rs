@@ -175,7 +175,10 @@ impl AsGraph {
     /// S\*BGP at *all* of its stub customers, so this counts stubs that
     /// become secure when `set` does.
     pub fn stub_customers_of(&self, n: AsId) -> impl Iterator<Item = AsId> + '_ {
-        self.customers(n).iter().copied().filter(|&c| self.is_stub(c))
+        self.customers(n)
+            .iter()
+            .copied()
+            .filter(|&c| self.is_stub(c))
     }
 }
 

@@ -121,9 +121,7 @@ mod tests {
 
     #[test]
     fn preference_order_matches_gao_rexford() {
-        assert!(
-            Relationship::Customer.preference_rank() < Relationship::Peer.preference_rank()
-        );
+        assert!(Relationship::Customer.preference_rank() < Relationship::Peer.preference_rank());
         assert!(Relationship::Peer.preference_rank() < Relationship::Provider.preference_rank());
     }
 

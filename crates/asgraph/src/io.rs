@@ -25,7 +25,12 @@ use std::path::Path;
 
 /// Serialize `g` in serial-2 style.
 pub fn write_graph<W: Write>(g: &AsGraph, out: &mut W) -> Result<(), GraphError> {
-    writeln!(out, "# sbgp-asgraph serial-2 export: {} ASes, {} edges", g.len(), g.num_edges())?;
+    writeln!(
+        out,
+        "# sbgp-asgraph serial-2 export: {} ASes, {} edges",
+        g.len(),
+        g.num_edges()
+    )?;
     for &cp in g.content_providers() {
         writeln!(out, "! cp {}", g.asn(cp))?;
     }

@@ -55,6 +55,7 @@ mod ids;
 mod weights;
 
 pub mod augment;
+pub mod fault;
 pub mod gen;
 pub mod io;
 pub mod stats;

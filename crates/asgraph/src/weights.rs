@@ -38,7 +38,10 @@ impl Weights {
         assert!((0.0..1.0).contains(&x), "cp fraction must be in [0,1)");
         let k = graph.content_providers().len();
         if x > 0.0 {
-            assert!(k > 0, "cp fraction > 0 requires designated content providers");
+            assert!(
+                k > 0,
+                "cp fraction > 0 requires designated content providers"
+            );
         }
         let mut w = vec![1.0; graph.len()];
         if k > 0 && x > 0.0 {

@@ -8,10 +8,8 @@ use sbgp_asgraph::{io, stats, AsGraphBuilder, AsId, GraphError, Relationship, We
 /// from lower to higher index (guaranteeing GR1), peers arbitrary.
 fn arb_hierarchy(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, bool)>)> {
     (4usize..max_n).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0u32..n as u32, 0u32..n as u32, any::<bool>()),
-            0..n * 3,
-        );
+        let edges =
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, any::<bool>()), 0..n * 3);
         (Just(n), edges)
     })
 }

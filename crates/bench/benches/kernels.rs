@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sbgp_bench::{bench_world, MEDIUM, SMALL};
 use sbgp_routing::{
-    accumulate_flows, compute_tree, flows_and_target_utility, DestContext, HashTieBreak,
-    RouteTree, TreePolicy,
+    accumulate_flows, compute_tree, flows_and_target_utility, DestContext, HashTieBreak, RouteTree,
+    TreePolicy,
 };
 use std::hint::black_box;
 

@@ -42,13 +42,9 @@ fn bench_gadgets(c: &mut Criterion) {
         };
         let sim = Simulation::new(&world.graph, &w, &LowestAsnTieBreak, cfg);
         b.iter(|| {
-            black_box(sim.run_constrained(
-                world.initial.clone(),
-                &world.movable,
-                vec![d.tier1],
-            ))
-            .rounds
-            .len()
+            black_box(sim.run_constrained(world.initial.clone(), &world.movable, vec![d.tier1]))
+                .rounds
+                .len()
         });
     });
     group.bench_function("oscillator_fig17", |b| {

@@ -22,8 +22,7 @@ fn bench_augment(c: &mut Criterion) {
     let gen = generate(&GenParams::new(MEDIUM, 42));
     c.bench_function("augment_cp_peering_1000", |b| {
         b.iter(|| {
-            black_box(augment_cp_peering(&gen.graph, &gen.ixp_members, 0.8, 9).unwrap())
-                .num_edges()
+            black_box(augment_cp_peering(&gen.graph, &gen.ixp_members, 0.8, 9).unwrap()).num_edges()
         });
     });
 }

@@ -1,0 +1,740 @@
+//! Checkpoint/resume for long-running sweeps.
+//!
+//! The paper's evaluation ground per-destination routing trees for a
+//! 36K-AS graph on a 200-node cluster; at that scale a mid-sweep crash
+//! must not discard hours of finished work. A [`SweepCheckpoint`]
+//! records every completed sweep unit (one `(adopter set, θ)` cell, one
+//! census round, …) keyed by a caller-chosen string, and persists
+//! itself with an **atomic write-rename** so a kill at any instant
+//! leaves either the previous complete checkpoint or the new one —
+//! never a torn file.
+//!
+//! # Bit-exact by construction
+//!
+//! Resume must be indistinguishable from an uninterrupted run (the
+//! guarantee `tests/determinism.rs` pins down), so the codec
+//! round-trips [`SimResult`]s exactly: every `f64` is stored as the
+//! hex of its IEEE-754 bits, never through decimal formatting. The
+//! format is a self-contained line-oriented text encoding
+//! ([`codec`]) — persistence does not depend on any serialization
+//! crate.
+//!
+//! A checkpoint also stores a fingerprint of the sweep parameters
+//! (graph size, seed, thread-irrelevant knobs — whatever the caller
+//! hashes via [`params_fingerprint`]); [`SweepCheckpoint::load`]
+//! refuses to resume against a checkpoint written under different
+//! parameters instead of silently mixing incompatible results.
+
+use crate::sim::SimResult;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Errors from checkpoint persistence.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure reading or writing the checkpoint.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error, stringified.
+        message: String,
+    },
+    /// The file exists but does not parse as a checkpoint.
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// 1-based line of the first offending record.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The checkpoint was written by a run with different parameters
+    /// and cannot be resumed against this one.
+    ParamsMismatch {
+        /// The file involved.
+        path: PathBuf,
+        /// Fingerprint of the current run's parameters.
+        expected: u64,
+        /// Fingerprint stored in the file.
+        found: u64,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, message } => {
+                write!(f, "checkpoint i/o error on {}: {message}", path.display())
+            }
+            CheckpointError::Corrupt {
+                path,
+                line,
+                message,
+            } => write!(
+                f,
+                "corrupt checkpoint {} at line {line}: {message}",
+                path.display()
+            ),
+            CheckpointError::ParamsMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint {} was written with different sweep parameters \
+                 (fingerprint {found:016x}, this run is {expected:016x}); \
+                 delete it to start the sweep over",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// FNV-1a fingerprint of the parameter strings that define a sweep.
+/// Order matters; include everything that changes the results (graph
+/// size, seed, θ grid, model…) and nothing that doesn't (thread count).
+pub fn params_fingerprint<S: AsRef<str>>(parts: &[S]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for part in parts {
+        for b in part.as_ref().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        // Separator so ["ab", "c"] != ["a", "bc"].
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Progress of one sweep: every completed unit's result, keyed by a
+/// caller-chosen unit label (e.g. `"adopters=CP+5;theta=0.10"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCheckpoint {
+    /// Fingerprint of the sweep parameters this progress belongs to.
+    pub fingerprint: u64,
+    units: Vec<(String, SimResult)>,
+    index: HashMap<String, usize>,
+}
+
+impl SweepCheckpoint {
+    /// Empty progress for a sweep with the given parameter fingerprint.
+    pub fn new(fingerprint: u64) -> Self {
+        SweepCheckpoint {
+            fingerprint,
+            units: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Number of completed units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether no unit has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// The recorded result for `key`, if that unit already completed.
+    pub fn get(&self, key: &str) -> Option<&SimResult> {
+        self.index.get(key).map(|&i| &self.units[i].1)
+    }
+
+    /// Record a completed unit (overwrites a previous entry with the
+    /// same key).
+    pub fn insert(&mut self, key: impl Into<String>, result: SimResult) {
+        let key = key.into();
+        match self.index.get(&key) {
+            Some(&i) => self.units[i].1 = result,
+            None => {
+                self.index.insert(key.clone(), self.units.len());
+                self.units.push((key, result));
+            }
+        }
+    }
+
+    /// Completed units in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &SimResult)> {
+        self.units.iter().map(|(k, r)| (k.as_str(), r))
+    }
+
+    /// Persist atomically: encode to `<path>.tmp`, then rename over
+    /// `path`. A crash mid-save leaves the previous checkpoint intact.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let io_err = |e: std::io::Error| CheckpointError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).map_err(io_err)?;
+            }
+        }
+        let mut text = String::new();
+        text.push_str("sbgp-checkpoint v1\n");
+        text.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        text.push_str(&format!("units {}\n", self.units.len()));
+        for (key, result) in &self.units {
+            text.push_str(&format!("unit {}\n", codec::hex_str(key)));
+            codec::encode_result(&mut text, result);
+        }
+        text.push_str("end\n");
+
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp).map_err(io_err)?;
+            f.write_all(text.as_bytes()).map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+        }
+        fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Load a checkpoint, verifying it belongs to a sweep whose
+    /// parameters hash to `expected_fingerprint`.
+    pub fn load(path: &Path, expected_fingerprint: u64) -> Result<Self, CheckpointError> {
+        let text = fs::read_to_string(path).map_err(|e| CheckpointError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        let corrupt = |line: usize, message: String| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            line,
+            message,
+        };
+        let mut p = codec::Parser::new(&text);
+        p.expect_line("sbgp-checkpoint v1")
+            .map_err(|e| corrupt(e.line, e.message))?;
+        let fingerprint = p
+            .tagged_u64_hex("fingerprint")
+            .map_err(|e| corrupt(e.line, e.message))?;
+        if fingerprint != expected_fingerprint {
+            return Err(CheckpointError::ParamsMismatch {
+                path: path.to_path_buf(),
+                expected: expected_fingerprint,
+                found: fingerprint,
+            });
+        }
+        let count = p
+            .tagged_usize("units")
+            .map_err(|e| corrupt(e.line, e.message))?;
+        let mut ckpt = SweepCheckpoint::new(fingerprint);
+        for _ in 0..count {
+            let key = p
+                .tagged_hex_str("unit")
+                .map_err(|e| corrupt(e.line, e.message))?;
+            let result = codec::decode_result(&mut p).map_err(|e| corrupt(e.line, e.message))?;
+            ckpt.insert(key, result);
+        }
+        p.expect_line("end")
+            .map_err(|e| corrupt(e.line, e.message))?;
+        Ok(ckpt)
+    }
+
+    /// Resume if `path` exists, start fresh otherwise. Corrupt files
+    /// and parameter mismatches are errors, not silent restarts.
+    pub fn load_or_new(path: &Path, fingerprint: u64) -> Result<Self, CheckpointError> {
+        if path.exists() {
+            Self::load(path, fingerprint)
+        } else {
+            Ok(Self::new(fingerprint))
+        }
+    }
+}
+
+/// The self-contained, bit-exact text codec behind [`SweepCheckpoint`].
+///
+/// Line-oriented: every record is `tag value…`; every `f64` travels as
+/// the 16-hex-digit IEEE-754 bit pattern, every string as hex-encoded
+/// UTF-8, so decode(encode(x)) == x exactly.
+pub mod codec {
+    use crate::engine::QuarantinedTask;
+    use crate::sim::{Outcome, RoundRecord, SimResult};
+    use sbgp_asgraph::AsId;
+    use sbgp_routing::SecureSet;
+    use std::fmt::Write as _;
+
+    /// A decode failure: 1-based line and description.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct DecodeError {
+        /// 1-based line number in the encoded text.
+        pub line: usize,
+        /// What was wrong.
+        pub message: String,
+    }
+
+    /// Hex-encode a string's UTF-8 bytes (empty string → `-`).
+    pub fn hex_str(s: &str) -> String {
+        if s.is_empty() {
+            return "-".to_string();
+        }
+        let mut out = String::with_capacity(s.len() * 2);
+        for b in s.bytes() {
+            let _ = write!(out, "{b:02x}");
+        }
+        out
+    }
+
+    fn unhex_str(tok: &str) -> Option<String> {
+        if tok == "-" {
+            return Some(String::new());
+        }
+        if !tok.len().is_multiple_of(2) {
+            return None;
+        }
+        let mut bytes = Vec::with_capacity(tok.len() / 2);
+        for i in (0..tok.len()).step_by(2) {
+            bytes.push(u8::from_str_radix(tok.get(i..i + 2)?, 16).ok()?);
+        }
+        String::from_utf8(bytes).ok()
+    }
+
+    fn push_f64s(out: &mut String, tag: &str, xs: &[f64]) {
+        let _ = write!(out, "{tag} {}", xs.len());
+        for x in xs {
+            let _ = write!(out, " {:016x}", x.to_bits());
+        }
+        out.push('\n');
+    }
+
+    fn push_ids(out: &mut String, tag: &str, ids: &[AsId]) {
+        let _ = write!(out, "{tag} {}", ids.len());
+        for id in ids {
+            let _ = write!(out, " {}", id.0);
+        }
+        out.push('\n');
+    }
+
+    fn push_state(out: &mut String, tag: &str, s: &SecureSet) {
+        let _ = write!(out, "{tag} {}", s.capacity());
+        for id in s.iter() {
+            let _ = write!(out, " {}", id.0);
+        }
+        out.push('\n');
+    }
+
+    /// Append the encoding of one [`SimResult`].
+    pub fn encode_result(out: &mut String, r: &SimResult) {
+        push_f64s(out, "starting_utilities", &r.starting_utilities);
+        push_state(out, "initial_state", &r.initial_state);
+        let _ = writeln!(out, "rounds {}", r.rounds.len());
+        for round in &r.rounds {
+            let _ = writeln!(
+                out,
+                "round {} {} {}",
+                round.round, round.secure_ases_after, round.secure_isps_after
+            );
+            push_f64s(out, "utilities", &round.utilities);
+            let _ = write!(out, "projected {}", round.projected.len());
+            for (n, p) in &round.projected {
+                let _ = write!(out, " {}:{:016x}", n.0, p.to_bits());
+            }
+            out.push('\n');
+            push_ids(out, "turned_on", &round.turned_on);
+            push_ids(out, "turned_off", &round.turned_off);
+            push_ids(out, "newly_secure_stubs", &round.newly_secure_stubs);
+        }
+        push_state(out, "final_state", &r.final_state);
+        match r.outcome {
+            Outcome::Stable { round } => {
+                let _ = writeln!(out, "outcome stable {round}");
+            }
+            Outcome::Oscillation { first_seen, period } => {
+                let _ = writeln!(out, "outcome oscillation {first_seen} {period}");
+            }
+            Outcome::MaxRounds => {
+                let _ = writeln!(out, "outcome maxrounds");
+            }
+        }
+        push_ids(out, "early_adopters", &r.early_adopters);
+        let _ = writeln!(out, "completeness {:016x}", r.completeness.to_bits());
+        let _ = writeln!(out, "quarantined {}", r.quarantined.len());
+        for q in &r.quarantined {
+            let _ = writeln!(
+                out,
+                "quarantine {} {} {}",
+                q.dest.0,
+                q.attempts,
+                hex_str(&q.message)
+            );
+        }
+    }
+
+    /// Line-cursor over encoded text, tracking 1-based line numbers
+    /// for error reporting.
+    pub struct Parser<'a> {
+        lines: std::str::Lines<'a>,
+        line_no: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        /// Parse from the start of `text`.
+        pub fn new(text: &'a str) -> Self {
+            Parser {
+                lines: text.lines(),
+                line_no: 0,
+            }
+        }
+
+        fn err(&self, message: impl Into<String>) -> DecodeError {
+            DecodeError {
+                line: self.line_no,
+                message: message.into(),
+            }
+        }
+
+        fn next_line(&mut self) -> Result<&'a str, DecodeError> {
+            self.line_no += 1;
+            self.lines
+                .next()
+                .ok_or_else(|| self.err("unexpected end of file"))
+        }
+
+        /// Consume a line that must equal `expected` exactly.
+        pub fn expect_line(&mut self, expected: &str) -> Result<(), DecodeError> {
+            let line = self.next_line()?;
+            if line != expected {
+                return Err(self.err(format!("expected {expected:?}, found {line:?}")));
+            }
+            Ok(())
+        }
+
+        /// Consume `tag <rest>` and return the tokens after the tag.
+        fn tagged(&mut self, tag: &str) -> Result<std::str::SplitWhitespace<'a>, DecodeError> {
+            let line = self.next_line()?;
+            let mut toks = line.split_whitespace();
+            match toks.next() {
+                Some(t) if t == tag => Ok(toks),
+                other => Err(self.err(format!("expected tag {tag:?}, found {other:?}"))),
+            }
+        }
+
+        fn one_token(&mut self, tag: &str) -> Result<&'a str, DecodeError> {
+            let mut toks = self.tagged(tag)?;
+            let tok = toks
+                .next()
+                .ok_or_else(|| self.err(format!("{tag}: missing value")))?;
+            if toks.next().is_some() {
+                return Err(self.err(format!("{tag}: trailing tokens")));
+            }
+            Ok(tok)
+        }
+
+        /// Consume `tag <decimal>`.
+        pub fn tagged_usize(&mut self, tag: &str) -> Result<usize, DecodeError> {
+            let tok = self.one_token(tag)?;
+            tok.parse()
+                .map_err(|_| self.err(format!("{tag}: bad count {tok:?}")))
+        }
+
+        /// Consume `tag <16-digit hex>`.
+        pub fn tagged_u64_hex(&mut self, tag: &str) -> Result<u64, DecodeError> {
+            let tok = self.one_token(tag)?;
+            u64::from_str_radix(tok, 16).map_err(|_| self.err(format!("{tag}: bad hex {tok:?}")))
+        }
+
+        /// Consume `tag <hex string>` and decode it.
+        pub fn tagged_hex_str(&mut self, tag: &str) -> Result<String, DecodeError> {
+            let tok = self.one_token(tag)?;
+            unhex_str(tok).ok_or_else(|| self.err(format!("{tag}: bad hex string")))
+        }
+
+        fn tagged_f64s(&mut self, tag: &str) -> Result<Vec<f64>, DecodeError> {
+            let mut toks = self.tagged(tag)?;
+            let count: usize = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| self.err(format!("{tag}: bad count")))?;
+            let mut out = Vec::with_capacity(count);
+            for tok in toks.by_ref() {
+                let bits = u64::from_str_radix(tok, 16)
+                    .map_err(|_| self.err(format!("{tag}: bad f64 bits {tok:?}")))?;
+                out.push(f64::from_bits(bits));
+            }
+            if out.len() != count {
+                return Err(self.err(format!("{tag}: expected {count} values, got {}", out.len())));
+            }
+            Ok(out)
+        }
+
+        fn tagged_ids(&mut self, tag: &str) -> Result<Vec<AsId>, DecodeError> {
+            let mut toks = self.tagged(tag)?;
+            let count: usize = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| self.err(format!("{tag}: bad count")))?;
+            let mut out = Vec::with_capacity(count);
+            for tok in toks.by_ref() {
+                let id: u32 = tok
+                    .parse()
+                    .map_err(|_| self.err(format!("{tag}: bad node id {tok:?}")))?;
+                out.push(AsId(id));
+            }
+            if out.len() != count {
+                return Err(self.err(format!("{tag}: expected {count} ids, got {}", out.len())));
+            }
+            Ok(out)
+        }
+
+        fn tagged_state(&mut self, tag: &str) -> Result<SecureSet, DecodeError> {
+            let mut toks = self.tagged(tag)?;
+            let capacity: usize = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| self.err(format!("{tag}: bad capacity")))?;
+            let mut s = SecureSet::new(capacity);
+            for tok in toks {
+                let id: u32 = tok
+                    .parse()
+                    .map_err(|_| self.err(format!("{tag}: bad node id {tok:?}")))?;
+                if id as usize >= capacity {
+                    return Err(self.err(format!("{tag}: id {id} out of capacity {capacity}")));
+                }
+                s.set(AsId(id), true);
+            }
+            Ok(s)
+        }
+    }
+
+    /// Decode one [`SimResult`] from the cursor.
+    pub fn decode_result(p: &mut Parser<'_>) -> Result<SimResult, DecodeError> {
+        let starting_utilities = p.tagged_f64s("starting_utilities")?;
+        let initial_state = p.tagged_state("initial_state")?;
+        let n_rounds = p.tagged_usize("rounds")?;
+        let mut rounds = Vec::with_capacity(n_rounds);
+        for _ in 0..n_rounds {
+            let mut toks = p.tagged("round")?;
+            let next_usize = |what: &str, toks: &mut std::str::SplitWhitespace<'_>| {
+                toks.next()
+                    .and_then(|t| t.parse::<usize>().ok())
+                    .ok_or_else(|| DecodeError {
+                        line: 0,
+                        message: format!("round: bad {what}"),
+                    })
+            };
+            let round = next_usize("number", &mut toks)?;
+            let secure_ases_after = next_usize("secure_ases_after", &mut toks)?;
+            let secure_isps_after = next_usize("secure_isps_after", &mut toks)?;
+            let utilities = p.tagged_f64s("utilities")?;
+            let mut ptoks = p.tagged("projected")?;
+            let count: usize = ptoks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| p.err("projected: bad count"))?;
+            let mut projected = Vec::with_capacity(count);
+            for tok in ptoks {
+                let (id, bits) = tok
+                    .split_once(':')
+                    .ok_or_else(|| p.err(format!("projected: bad pair {tok:?}")))?;
+                let id: u32 = id
+                    .parse()
+                    .map_err(|_| p.err(format!("projected: bad node id {id:?}")))?;
+                let bits = u64::from_str_radix(bits, 16)
+                    .map_err(|_| p.err(format!("projected: bad f64 bits {bits:?}")))?;
+                projected.push((AsId(id), f64::from_bits(bits)));
+            }
+            if projected.len() != count {
+                return Err(p.err(format!(
+                    "projected: expected {count} pairs, got {}",
+                    projected.len()
+                )));
+            }
+            let turned_on = p.tagged_ids("turned_on")?;
+            let turned_off = p.tagged_ids("turned_off")?;
+            let newly_secure_stubs = p.tagged_ids("newly_secure_stubs")?;
+            rounds.push(RoundRecord {
+                round,
+                utilities,
+                projected,
+                turned_on,
+                turned_off,
+                newly_secure_stubs,
+                secure_ases_after,
+                secure_isps_after,
+            });
+        }
+        let final_state = p.tagged_state("final_state")?;
+        let mut otoks = p.tagged("outcome")?;
+        let outcome = match otoks.next() {
+            Some("stable") => Outcome::Stable {
+                round: otoks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| p.err("outcome stable: bad round"))?,
+            },
+            Some("oscillation") => {
+                let first_seen = otoks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| p.err("outcome oscillation: bad first_seen"))?;
+                let period = otoks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| p.err("outcome oscillation: bad period"))?;
+                Outcome::Oscillation { first_seen, period }
+            }
+            Some("maxrounds") => Outcome::MaxRounds,
+            other => return Err(p.err(format!("outcome: unknown kind {other:?}"))),
+        };
+        let early_adopters = p.tagged_ids("early_adopters")?;
+        let completeness = f64::from_bits(p.tagged_u64_hex("completeness")?);
+        let n_quarantined = p.tagged_usize("quarantined")?;
+        let mut quarantined = Vec::with_capacity(n_quarantined);
+        for _ in 0..n_quarantined {
+            let mut qtoks = p.tagged("quarantine")?;
+            let dest: u32 = qtoks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| p.err("quarantine: bad dest"))?;
+            let attempts: u32 = qtoks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| p.err("quarantine: bad attempts"))?;
+            let message = qtoks
+                .next()
+                .and_then(unhex_str)
+                .ok_or_else(|| p.err("quarantine: bad message"))?;
+            quarantined.push(QuarantinedTask {
+                dest: AsId(dest),
+                attempts,
+                message,
+            });
+        }
+        Ok(SimResult {
+            starting_utilities,
+            initial_state,
+            rounds,
+            final_state,
+            outcome,
+            early_adopters,
+            completeness,
+            quarantined,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChaosPlan, SimConfig};
+    use crate::early::EarlyAdopters;
+    use crate::sim::Simulation;
+    use sbgp_asgraph::gen::{generate, GenParams};
+    use sbgp_asgraph::Weights;
+    use sbgp_routing::HashTieBreak;
+
+    fn sample_result(seed: u64, chaos: Option<ChaosPlan>) -> SimResult {
+        let g = generate(&GenParams::new(120, seed)).graph;
+        let w = Weights::with_cp_fraction(&g, 0.10);
+        let cfg = SimConfig {
+            theta: 0.05,
+            max_task_retries: 0,
+            chaos,
+            ..SimConfig::default()
+        };
+        let adopters = EarlyAdopters::ContentProvidersPlusTopIsps(5).select(&g);
+        Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters)
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exactly() {
+        for chaos in [
+            None,
+            Some(ChaosPlan {
+                dest: 7,
+                fail_attempts: u32::MAX,
+            }),
+        ] {
+            let r = sample_result(42, chaos);
+            let mut text = String::new();
+            codec::encode_result(&mut text, &r);
+            let mut p = codec::Parser::new(&text);
+            let back = codec::decode_result(&mut p).unwrap();
+            assert_eq!(back, r);
+            // Bit-exact, not just PartialEq-equal.
+            for (a, b) in r
+                .starting_utilities
+                .iter()
+                .zip(back.starting_utilities.iter())
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("sbgp_ckpt_roundtrip");
+        let path = dir.join("sweep.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let fp = params_fingerprint(&["ases=120", "seed=42"]);
+        let mut ckpt = SweepCheckpoint::new(fp);
+        ckpt.insert("theta=0.05", sample_result(42, None));
+        ckpt.insert("theta=0.10", sample_result(43, None));
+        ckpt.save(&path).unwrap();
+        let back = SweepCheckpoint::load(&path, fp).unwrap();
+        assert_eq!(back, ckpt);
+        assert!(back.get("theta=0.05").is_some());
+        assert!(back.get("theta=0.20").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn params_mismatch_is_refused() {
+        let dir = std::env::temp_dir().join("sbgp_ckpt_mismatch");
+        let path = dir.join("sweep.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let mut ckpt = SweepCheckpoint::new(1);
+        ckpt.insert("unit", sample_result(42, None));
+        ckpt.save(&path).unwrap();
+        match SweepCheckpoint::load(&path, 2) {
+            Err(CheckpointError::ParamsMismatch {
+                expected, found, ..
+            }) => {
+                assert_eq!((expected, found), (2, 1));
+            }
+            other => panic!("expected ParamsMismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_file_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("sbgp_ckpt_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.ckpt");
+        std::fs::write(&path, "sbgp-checkpoint v1\nfingerprint zzzz\n").unwrap();
+        assert!(matches!(
+            SweepCheckpoint::load(&path, 0),
+            Err(CheckpointError::Corrupt { line: 2, .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_or_new_on_missing_file() {
+        let path = std::env::temp_dir().join("sbgp_ckpt_never_written.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let ckpt = SweepCheckpoint::load_or_new(&path, 9).unwrap();
+        assert!(ckpt.is_empty());
+        assert_eq!(ckpt.fingerprint, 9);
+    }
+
+    #[test]
+    fn fingerprint_separates_parts() {
+        assert_ne!(
+            params_fingerprint(&["ab", "c"]),
+            params_fingerprint(&["a", "bc"])
+        );
+        assert_eq!(
+            params_fingerprint(&["x", "y"]),
+            params_fingerprint(&["x", "y"])
+        );
+    }
+}

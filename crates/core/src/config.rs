@@ -32,6 +32,22 @@ pub enum Activation {
     RoundRobin,
 }
 
+/// Deterministic fault injection for exercising the engine's
+/// panic-isolation path.
+///
+/// Production runs leave [`SimConfig::chaos`] as `None`; tests set a
+/// plan to poison one per-destination task and observe either recovery
+/// (when the retry budget covers `fail_attempts`) or quarantine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Node id of the destination task to poison.
+    pub dest: u32,
+    /// How many leading attempts of that task panic. With
+    /// `fail_attempts <= max_task_retries` the task recovers on retry;
+    /// larger values exhaust the budget and quarantine it.
+    pub fail_attempts: u32,
+}
+
 /// Parameters of a deployment simulation.
 #[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
@@ -60,6 +76,12 @@ pub struct SimConfig {
     pub theta_seed: u64,
     /// Whether ISPs move simultaneously (the paper) or one at a time.
     pub activation: Activation,
+    /// How many times a panicking per-destination task is retried
+    /// before it is quarantined and the round proceeds without it
+    /// (a task runs at most `1 + max_task_retries` times).
+    pub max_task_retries: u32,
+    /// Optional deterministic fault injection (see [`ChaosPlan`]).
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for SimConfig {
@@ -73,6 +95,8 @@ impl Default for SimConfig {
             theta_jitter: 0.0,
             theta_seed: 0,
             activation: Activation::Simultaneous,
+            max_task_retries: 1,
+            chaos: None,
         }
     }
 }
@@ -158,8 +182,7 @@ mod theta_tests {
         }
         let again: Vec<f64> = g.nodes().take(50).map(|n| c.theta_for(&g, n)).collect();
         assert_eq!(thetas, again, "deterministic per (seed, ASN)");
-        let distinct: std::collections::HashSet<u64> =
-            thetas.iter().map(|t| t.to_bits()).collect();
+        let distinct: std::collections::HashSet<u64> = thetas.iter().map(|t| t.to_bits()).collect();
         assert!(distinct.len() > 10, "jitter should actually vary");
         // A different seed permutes the draws.
         let c2 = SimConfig { theta_seed: 8, ..c };

@@ -26,11 +26,25 @@
 //! Work is split across worker threads by destination (the map side of
 //! the paper's DryadLINQ layout, Appendix C.3) and reduced by summing
 //! per-worker accumulators.
+//!
+//! # Fault tolerance
+//!
+//! Each per-destination task runs inside `catch_unwind`. A task's
+//! contributions are journaled (per-destination buffers plus a pending
+//! delta list) and committed to the worker accumulators only after the
+//! task returns, so a panic mid-task cannot leave half a destination's
+//! utility in the totals. A panicking task is retried up to
+//! [`SimConfig::max_task_retries`] times — the worker's flipped-state
+//! scratch is repaired from the round state first — and, if it keeps
+//! panicking, it is quarantined: the round completes without that
+//! destination and the [`RoundComputation`] reports the
+//! [`QuarantinedTask`] alongside an explicit completeness fraction,
+//! instead of one poisoned destination aborting the whole sweep.
 
 use crate::config::SimConfig;
 use sbgp_asgraph::{AsGraph, AsId, Weights};
 use sbgp_routing::{
-    add_utilities, accumulate_flows, compute_tree, flows_and_target_utility, DestContext,
+    accumulate_flows, add_utilities, compute_tree, flows_and_target_utility, DestContext,
     RouteTree, SecureSet, TieBreaker,
 };
 
@@ -46,6 +60,18 @@ enum CandKind {
     TurnOff,
 }
 
+/// A per-destination task that kept panicking after every retry and
+/// was excluded from the round's totals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedTask {
+    /// The destination whose task was poisoned.
+    pub dest: AsId,
+    /// How many times the task was attempted (1 + retries).
+    pub attempts: u32,
+    /// The panic payload of the final attempt, stringified.
+    pub message: String,
+}
+
 /// Result of one round's utility computation.
 #[derive(Clone, Debug)]
 pub struct RoundComputation {
@@ -58,6 +84,12 @@ pub struct RoundComputation {
     pub proj_out: Vec<f64>,
     /// `u_n(¬S_n, S_−n)` per node, incoming model.
     pub proj_in: Vec<f64>,
+    /// Destination tasks that exhausted their retry budget, ascending
+    /// by destination id; empty on a healthy round.
+    pub quarantined: Vec<QuarantinedTask>,
+    /// Fraction of per-destination tasks whose contributions made it
+    /// into the totals (`1.0` on a healthy round).
+    pub completeness: f64,
 }
 
 impl RoundComputation {
@@ -90,11 +122,17 @@ struct Scratch {
     dest_out: Vec<f64>,
     dest_in: Vec<f64>,
     flips: Vec<AsId>,
+    // Journal of candidate deltas from the in-flight destination task:
+    // `(candidate index, Δout, Δin)`. Committed to `delta_out`/
+    // `delta_in` only once the task completes without panicking.
+    pending: Vec<(u32, f64, f64)>,
     // Accumulators (the worker's "reduce" inputs).
     u_out: Vec<f64>,
     u_in: Vec<f64>,
     delta_out: Vec<f64>,
     delta_in: Vec<f64>,
+    // Tasks that exhausted their retry budget.
+    quarantined: Vec<QuarantinedTask>,
 }
 
 impl Scratch {
@@ -109,11 +147,24 @@ impl Scratch {
             dest_out: vec![0.0; n],
             dest_in: vec![0.0; n],
             flips: Vec::new(),
+            pending: Vec::new(),
             u_out: vec![0.0; n],
             u_in: vec![0.0; n],
             delta_out: vec![0.0; n],
             delta_in: vec![0.0; n],
+            quarantined: Vec::new(),
         }
+    }
+}
+
+/// Render a `catch_unwind` payload for the quarantine report.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -183,7 +234,7 @@ impl<'a> UtilityEngine<'a> {
         let outputs: Vec<Scratch> = if threads <= 1 {
             let mut sc = Scratch::new(n, state);
             for d in self.g.nodes() {
-                self.process_dest(d, state, candidates, &kind, skip_rules, &mut sc);
+                self.run_dest_isolated(d, state, candidates, &kind, skip_rules, &mut sc);
             }
             vec![sc]
         } else {
@@ -198,7 +249,14 @@ impl<'a> UtilityEngine<'a> {
                         // between secure and insecure destinations.
                         let mut d = t as u32;
                         while (d as usize) < n {
-                            self.process_dest(AsId(d), state, candidates, kind, skip_rules, &mut sc);
+                            self.run_dest_isolated(
+                                AsId(d),
+                                state,
+                                candidates,
+                                kind,
+                                skip_rules,
+                                &mut sc,
+                            );
                             d += threads as u32;
                         }
                         sc
@@ -214,6 +272,7 @@ impl<'a> UtilityEngine<'a> {
         let mut base_in = vec![0.0; n];
         let mut proj_out = vec![0.0; n];
         let mut proj_in = vec![0.0; n];
+        let mut quarantined = Vec::new();
         for sc in &outputs {
             for i in 0..n {
                 base_out[i] += sc.u_out[i];
@@ -221,7 +280,14 @@ impl<'a> UtilityEngine<'a> {
                 proj_out[i] += sc.delta_out[i];
                 proj_in[i] += sc.delta_in[i];
             }
+            quarantined.extend(sc.quarantined.iter().cloned());
         }
+        quarantined.sort_by_key(|q: &QuarantinedTask| q.dest);
+        let completeness = if n == 0 {
+            1.0
+        } else {
+            (n - quarantined.len()) as f64 / n as f64
+        };
         // Projected = base + accumulated deltas (skipped destinations
         // contribute zero delta by the C.4 arguments).
         for i in 0..n {
@@ -233,16 +299,75 @@ impl<'a> UtilityEngine<'a> {
             base_in,
             proj_out,
             proj_in,
+            quarantined,
+            completeness,
         }
+    }
+
+    /// Run one destination task behind a panic boundary.
+    ///
+    /// On success, commits the journaled contributions into the
+    /// worker's accumulators. On panic, repairs the scratch state and
+    /// retries up to [`SimConfig::max_task_retries`] times; a task
+    /// that keeps panicking is quarantined and contributes nothing.
+    fn run_dest_isolated(
+        &self,
+        d: AsId,
+        state: &SecureSet,
+        candidates: &[AsId],
+        kind: &[CandKind],
+        skip_rules: bool,
+        sc: &mut Scratch,
+    ) {
+        let max_attempts = self.cfg.max_task_retries.saturating_add(1);
+        let mut last_message = String::new();
+        for attempt in 1..=max_attempts {
+            sc.pending.clear();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(chaos) = self.cfg.chaos {
+                    if chaos.dest == d.0 && attempt <= chaos.fail_attempts {
+                        panic!("chaos: injected failure for destination {d} (attempt {attempt})");
+                    }
+                }
+                self.process_dest(d, state, candidates, kind, skip_rules, &mut *sc);
+            }));
+            match outcome {
+                Ok(()) => {
+                    // Commit: the task's per-destination journal only
+                    // touches indices in its own routing order, all of
+                    // which it zeroed first, so stale entries from a
+                    // panicked attempt are never read.
+                    for &xi in sc.ctx.order() {
+                        sc.u_out[xi as usize] += sc.dest_out[xi as usize];
+                        sc.u_in[xi as usize] += sc.dest_in[xi as usize];
+                    }
+                    for &(c, o, i) in &sc.pending {
+                        sc.delta_out[c as usize] += o;
+                        sc.delta_in[c as usize] += i;
+                    }
+                    return;
+                }
+                Err(payload) => {
+                    last_message = panic_message(payload.as_ref());
+                    // A panic inside `project_candidate` can leave
+                    // candidate bits flipped in the scratch state;
+                    // everything else is recomputed per attempt.
+                    sc.secure.assign(state);
+                }
+            }
+        }
+        sc.quarantined.push(QuarantinedTask {
+            dest: d,
+            attempts: max_attempts,
+            message: last_message,
+        });
     }
 
     /// Does any member of `x`'s tiebreak set have a fully secure path
     /// in `tree`?
     #[inline]
     fn member_secure(ctx: &DestContext, tree: &RouteTree, x: AsId) -> bool {
-        ctx.tiebreak_set(x)
-            .iter()
-            .any(|&m| tree.secure[m as usize])
+        ctx.tiebreak_set(x).iter().any(|&m| tree.secure[m as usize])
     }
 
     fn process_dest(
@@ -273,10 +398,6 @@ impl<'a> UtilityEngine<'a> {
             &mut sc.dest_out,
             &mut sc.dest_in,
         );
-        for &xi in sc.ctx.order() {
-            sc.u_out[xi as usize] += sc.dest_out[xi as usize];
-            sc.u_in[xi as usize] += sc.dest_in[xi as usize];
-        }
 
         if !skip_rules {
             // Ablation mode: project every candidate against every
@@ -332,9 +453,9 @@ impl<'a> UtilityEngine<'a> {
         }
     }
 
-    /// Recompute the tree in `cand`'s flipped state and accumulate the
+    /// Recompute the tree in `cand`'s flipped state and journal the
     /// delta of `cand`'s utility contribution for the current
-    /// destination.
+    /// destination (committed by [`Self::run_dest_isolated`]).
     fn project_candidate(&self, cand: AsId, kind: CandKind, state: &SecureSet, sc: &mut Scratch) {
         let g = self.g;
         sc.flips.clear();
@@ -353,11 +474,20 @@ impl<'a> UtilityEngine<'a> {
         for &f in &sc.flips {
             sc.secure.set(f, turning_on);
         }
-        compute_tree(g, &sc.ctx, &sc.secure, self.cfg.tree_policy, &mut sc.proj_tree);
+        compute_tree(
+            g,
+            &sc.ctx,
+            &sc.secure,
+            self.cfg.tree_policy,
+            &mut sc.proj_tree,
+        );
         let (o, i) =
             flows_and_target_utility(&sc.ctx, &sc.proj_tree, self.weights, cand, &mut sc.flow);
-        sc.delta_out[cand.index()] += o - sc.dest_out[cand.index()];
-        sc.delta_in[cand.index()] += i - sc.dest_in[cand.index()];
+        sc.pending.push((
+            cand.0,
+            o - sc.dest_out[cand.index()],
+            i - sc.dest_in[cand.index()],
+        ));
         for &f in &sc.flips {
             sc.secure.set(f, !turning_on);
         }
@@ -429,8 +559,7 @@ mod tests {
         let engine = UtilityEngine::new(&g, &w, &tb, cfg);
         let comp = engine.compute(&state, &[ia, ib]);
         for cand in [ia, ib] {
-            let (o, i) =
-                brute_force_projected(&g, &w, &state, cand, cfg.tree_policy, &tb);
+            let (o, i) = brute_force_projected(&g, &w, &state, cand, cfg.tree_policy, &tb);
             assert!(
                 (comp.proj_out[cand.index()] - o).abs() < 1e-9,
                 "out mismatch for {cand}: engine {} vs brute {o}",
@@ -465,8 +594,7 @@ mod tests {
             let comp = engine.compute(&state, &candidates);
             // Verify a sample of candidates against brute force.
             for &cand in candidates.iter().step_by(7) {
-                let (o, i) =
-                    brute_force_projected(&g, &w, &state, cand, cfg.tree_policy, &tb);
+                let (o, i) = brute_force_projected(&g, &w, &state, cand, cfg.tree_policy, &tb);
                 assert!(
                     (comp.proj_out[cand.index()] - o).abs() < 1e-6,
                     "out mismatch for {cand} (stubs_prefer={stubs_prefer}): {} vs {o}",

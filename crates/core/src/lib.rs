@@ -61,12 +61,13 @@ mod engine;
 mod sim;
 mod state;
 
+pub mod checkpoint;
 pub mod metrics;
 pub mod resilience;
 pub mod turnoff;
 
-pub use config::{Activation, SimConfig, UtilityModel};
+pub use config::{Activation, ChaosPlan, SimConfig, UtilityModel};
 pub use early::{greedy_select, EarlyAdopters};
-pub use engine::{RoundComputation, UtilityEngine};
+pub use engine::{QuarantinedTask, RoundComputation, UtilityEngine};
 pub use sim::{Outcome, RoundRecord, SimResult, Simulation};
 pub use state::initial_state;

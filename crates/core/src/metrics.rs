@@ -44,11 +44,7 @@ pub fn secure_path_fraction(
 /// places where `e`'s security preference sets competing next hops
 /// against each other. Reported per early adopter, restricted to stub
 /// destinations like the paper's Table 1.
-pub fn diamonds_for(
-    g: &AsGraph,
-    early_adopter: AsId,
-    tiebreaker: &dyn TieBreaker,
-) -> usize {
+pub fn diamonds_for(g: &AsGraph, early_adopter: AsId, tiebreaker: &dyn TieBreaker) -> usize {
     let mut ctx = DestContext::new(g.len());
     let mut count = 0;
     for d in g.stubs() {
@@ -227,12 +223,7 @@ pub fn mean_path_length(g: &AsGraph, src: AsId, tiebreaker: &dyn TieBreaker) -> 
 /// (sum over destinations of `n`'s subtree weight) — the Section 6.8
 /// "Tier 1s transit 2–9× more traffic than the CPs originate"
 /// comparison.
-pub fn transit_volume(
-    g: &AsGraph,
-    weights: &Weights,
-    n: AsId,
-    tiebreaker: &dyn TieBreaker,
-) -> f64 {
+pub fn transit_volume(g: &AsGraph, weights: &Weights, n: AsId, tiebreaker: &dyn TieBreaker) -> f64 {
     let mut ctx = DestContext::new(g.len());
     let mut tree = RouteTree::new(g.len());
     let state = SecureSet::new(g.len());

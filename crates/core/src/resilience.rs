@@ -109,7 +109,10 @@ pub fn simulate_hijack(
     let mut iterations = 0;
     loop {
         iterations += 1;
-        assert!(iterations <= max_iters, "hijack simulation failed to converge");
+        assert!(
+            iterations <= max_iters,
+            "hijack simulation failed to converge"
+        );
         let mut changed = false;
         let mut next = paths.clone();
         for x in g.nodes() {
@@ -138,8 +141,7 @@ pub fn simulate_hijack(
                 cand.extend_from_slice(mp);
                 // Bogus routes are never fully secure: the attacker
                 // cannot forge the victim's signature.
-                let sec_flag =
-                    u8::from(!(applies_secp && !is_bogus(&cand) && fully_secure(&cand)));
+                let sec_flag = u8::from(!(applies_secp && !is_bogus(&cand) && fully_secure(&cand)));
                 let rank = (lp(x, m), cand.len() - 1, sec_flag, tiebreaker.key(g, x, m));
                 if best.as_ref().is_none_or(|(r, _)| rank < *r) {
                     best = Some((rank, cand));
@@ -296,14 +298,24 @@ mod tests {
             state.set(x, true);
         }
         let out = simulate_hijack(&g, &state, TreePolicy::default(), a, v, &HashTieBreak);
-        assert_eq!(out.deceived, 0, "validating providers shield the simplex stub");
+        assert_eq!(
+            out.deceived, 0,
+            "validating providers shield the simplex stub"
+        );
 
         // But if s's providers are NOT validating, the simplex stub
         // falls back to plain tiebreaks and can be deceived.
         let mut partial = SecureSet::new(g.len());
         partial.set(s, true);
         partial.set(v, true);
-        let out = simulate_hijack(&g, &partial, TreePolicy::default(), a, v, &LowestAsnTieBreak);
+        let out = simulate_hijack(
+            &g,
+            &partial,
+            TreePolicy::default(),
+            a,
+            v,
+            &LowestAsnTieBreak,
+        );
         // s ties between (s, ia, v) true and (s, ib, a) bogus, both
         // 2-hop provider routes; with no secure path available its
         // plain tiebreak decides (ia, ASN 10) — not deceived. ib is.

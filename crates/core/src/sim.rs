@@ -1,7 +1,7 @@
 //! The deployment-process driver (Section 3.2).
 
 use crate::config::{SimConfig, UtilityModel};
-use crate::engine::UtilityEngine;
+use crate::engine::{QuarantinedTask, RoundComputation, UtilityEngine};
 use crate::state;
 use sbgp_asgraph::{AsGraph, AsId, Weights};
 use sbgp_routing::{SecureSet, TieBreaker};
@@ -34,7 +34,7 @@ pub enum Outcome {
 }
 
 /// Everything recorded about one round.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RoundRecord {
     /// Round number (1-based; the initial seeded state is round 0).
     pub round: usize,
@@ -56,7 +56,7 @@ pub struct RoundRecord {
 }
 
 /// The full record of one deployment simulation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimResult {
     /// Utilities in the all-insecure world — the paper's "starting
     /// utility", the normalizer of Figures 4 and 5 (decision model).
@@ -71,6 +71,13 @@ pub struct SimResult {
     pub outcome: Outcome,
     /// The seeded early adopters.
     pub early_adopters: Vec<AsId>,
+    /// Worst per-round fraction of destination tasks whose
+    /// contributions made it into the utility totals; `1.0` for a
+    /// fully healthy run (see the engine's fault-tolerance notes).
+    pub completeness: f64,
+    /// Destination tasks quarantined in any round, deduplicated by
+    /// destination and ascending by id.
+    pub quarantined: Vec<QuarantinedTask>,
 }
 
 impl SimResult {
@@ -141,10 +148,28 @@ impl<'a> Simulation<'a> {
         let engine = UtilityEngine::new(g, self.weights, self.tiebreaker, self.cfg);
         let model = self.cfg.model;
 
+        // Fault-tolerance ledger: the worst round completeness and
+        // every quarantined destination seen along the way.
+        let mut completeness = 1.0f64;
+        let mut quarantined: Vec<QuarantinedTask> = Vec::new();
+        fn absorb(
+            comp: &RoundComputation,
+            completeness: &mut f64,
+            quarantined: &mut Vec<QuarantinedTask>,
+        ) {
+            *completeness = completeness.min(comp.completeness);
+            for q in &comp.quarantined {
+                if !quarantined.iter().any(|e| e.dest == q.dest) {
+                    quarantined.push(q.clone());
+                }
+            }
+        }
+
         // "Starting utility": the all-insecure world, before even the
         // early adopters deployed (Figure 4's normalizer).
         let insecure = SecureSet::new(g.len());
         let starting = engine.compute(&insecure, &[]);
+        absorb(&starting, &mut completeness, &mut quarantined);
         let starting_utilities = match model {
             UtilityModel::Outgoing => starting.base_out.clone(),
             UtilityModel::Incoming => starting.base_in.clone(),
@@ -179,6 +204,7 @@ impl<'a> Simulation<'a> {
                     // The paper's rule: everyone best-responds to the
                     // same state, changes land together.
                     let comp = engine.compute(&state, &candidates);
+                    absorb(&comp, &mut completeness, &mut quarantined);
                     for &n in &candidates {
                         let u = comp.base(model, n);
                         let proj = comp.projected(model, n);
@@ -218,12 +244,14 @@ impl<'a> Simulation<'a> {
                     // per mover (much slower; meant for gadget-scale
                     // dynamics, not the 36K-AS sweeps).
                     let snapshot = engine.compute(&state, &[]);
+                    absorb(&snapshot, &mut completeness, &mut quarantined);
                     utilities = match model {
                         UtilityModel::Outgoing => snapshot.base_out,
                         UtilityModel::Incoming => snapshot.base_in,
                     };
                     for &n in &candidates {
                         let comp = engine.compute(&state, &[n]);
+                        absorb(&comp, &mut completeness, &mut quarantined);
                         let u = comp.base(model, n);
                         let proj = comp.projected(model, n);
                         projected.push((n, proj));
@@ -275,6 +303,7 @@ impl<'a> Simulation<'a> {
             seen.insert(fp, round);
         }
 
+        quarantined.sort_by_key(|q| q.dest);
         SimResult {
             starting_utilities,
             initial_state,
@@ -282,6 +311,8 @@ impl<'a> Simulation<'a> {
             final_state: state,
             outcome,
             early_adopters,
+            completeness,
+            quarantined,
         }
     }
 }
@@ -399,6 +430,86 @@ mod tests {
         // Final round is the stable one: nothing changed.
         let last = result.rounds.last().unwrap();
         assert!(last.turned_on.is_empty() && last.turned_off.is_empty());
+    }
+
+    #[test]
+    fn poisoned_destination_degrades_to_partial_result() {
+        use crate::config::ChaosPlan;
+        let (g, t, _, _) = diamond_world();
+        let w = Weights::uniform(&g);
+        let tb = LowestAsnTieBreak;
+        let clean = Simulation::new(&g, &w, &tb, SimConfig::default()).run(&[t]);
+        assert_eq!(clean.completeness, 1.0);
+        assert!(clean.quarantined.is_empty());
+
+        // Poison one destination task beyond the retry budget: the
+        // run must still complete, with an explicit partial result.
+        let cfg = SimConfig {
+            max_task_retries: 1,
+            chaos: Some(ChaosPlan {
+                dest: 3, // the multihomed stub
+                fail_attempts: u32::MAX,
+            }),
+            ..SimConfig::default()
+        };
+        let res = Simulation::new(&g, &w, &tb, cfg).run(&[t]);
+        assert!(res.completeness < 1.0);
+        assert!((res.completeness - (g.len() - 1) as f64 / g.len() as f64).abs() < 1e-12);
+        assert_eq!(res.quarantined.len(), 1, "one destination quarantined once");
+        let q = &res.quarantined[0];
+        assert_eq!(q.dest, AsId(3));
+        assert_eq!(q.attempts, 2, "1 try + 1 retry");
+        assert!(
+            q.message.contains("chaos"),
+            "payload captured: {}",
+            q.message
+        );
+        // The rest of the world still got simulated.
+        assert!(!res.rounds.is_empty());
+    }
+
+    #[test]
+    fn poisoned_destination_is_isolated_across_threads() {
+        use crate::config::ChaosPlan;
+        let (g, t, _, _) = diamond_world();
+        let w = Weights::uniform(&g);
+        let tb = LowestAsnTieBreak;
+        let cfg = SimConfig {
+            threads: 3,
+            max_task_retries: 0,
+            chaos: Some(ChaosPlan {
+                dest: 0,
+                fail_attempts: u32::MAX,
+            }),
+            ..SimConfig::default()
+        };
+        let res = Simulation::new(&g, &w, &tb, cfg).run(&[t]);
+        assert!(res.completeness < 1.0);
+        assert_eq!(res.quarantined.len(), 1);
+        assert_eq!(res.quarantined[0].attempts, 1, "retries disabled");
+    }
+
+    #[test]
+    fn retry_recovers_transient_panics_bit_for_bit() {
+        use crate::config::ChaosPlan;
+        let (g, t, _, _) = diamond_world();
+        let w = Weights::uniform(&g);
+        let tb = LowestAsnTieBreak;
+        let clean = Simulation::new(&g, &w, &tb, SimConfig::default()).run(&[t]);
+        // First attempt panics, the (default) single retry succeeds:
+        // the journaled commit must make the run indistinguishable
+        // from a healthy one.
+        let cfg = SimConfig {
+            chaos: Some(ChaosPlan {
+                dest: 3,
+                fail_attempts: 1,
+            }),
+            ..SimConfig::default()
+        };
+        let recovered = Simulation::new(&g, &w, &tb, cfg).run(&[t]);
+        assert_eq!(recovered.completeness, 1.0);
+        assert!(recovered.quarantined.is_empty());
+        assert_eq!(recovered, clean);
     }
 
     #[test]

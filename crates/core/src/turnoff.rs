@@ -82,8 +82,7 @@ pub fn per_destination_census(
             if !base_tree.secure[isp.index()] {
                 continue;
             }
-            let (_, base_in) =
-                flows_and_target_utility(&ctx, &base_tree, weights, isp, &mut flow);
+            let (_, base_in) = flows_and_target_utility(&ctx, &base_tree, weights, isp, &mut flow);
             off_state.set(isp, false);
             compute_tree(g, &ctx, &off_state, policy, &mut off_tree);
             let (_, off_in) = flows_and_target_utility(&ctx, &off_tree, weights, isp, &mut flow);
@@ -166,14 +165,8 @@ mod tests {
         // the security tiebreak to bite. Here (src,c,stub) is length 2
         // and (src,prov,n,stub) is length 3, so c wins regardless and
         // there is no incentive — this asserts the *absence* case.
-        let census = per_destination_census(
-            &g,
-            &w,
-            &s,
-            TreePolicy::default(),
-            &LowestAsnTieBreak,
-            1e-9,
-        );
+        let census =
+            per_destination_census(&g, &w, &s, TreePolicy::default(), &LowestAsnTieBreak, 1e-9);
         // n's chosen path security and src's choice are consistent;
         // detailed positive case is exercised by the gadgets crate's
         // faithful Figure 13 construction.
@@ -201,8 +194,9 @@ mod tests {
         let census =
             per_destination_census(&g, &w, &s, TreePolicy::default(), &LowestAsnTieBreak, 1e-9);
         assert!(
-            census.iter().all(|r| r.destinations.is_empty()
-                && r.whole_network_gain <= 1e-9),
+            census
+                .iter()
+                .all(|r| r.destinations.is_empty() && r.whole_network_gain <= 1e-9),
             "{census:?}"
         );
     }
@@ -231,7 +225,10 @@ pub fn optimal_selective_disable(
     policy: TreePolicy,
     tiebreaker: &dyn TieBreaker,
 ) -> (Vec<AsId>, f64) {
-    assert!(state.get(isp), "selective disable only applies to secure ISPs");
+    assert!(
+        state.get(isp),
+        "selective disable only applies to secure ISPs"
+    );
     let mut ctx = DestContext::new(g.len());
     let mut base_tree = RouteTree::new(g.len());
     let mut off_tree = RouteTree::new(g.len());
@@ -349,14 +346,8 @@ mod selective_tests {
         let g = b.build().unwrap();
         let w = Weights::uniform(&g);
         let state = SecureSet::new(g.len());
-        let _ = optimal_selective_disable(
-            &g,
-            &w,
-            &state,
-            p,
-            TreePolicy::default(),
-            &LowestAsnTieBreak,
-        );
+        let _ =
+            optimal_selective_disable(&g, &w, &state, p, TreePolicy::default(), &LowestAsnTieBreak);
     }
 }
 

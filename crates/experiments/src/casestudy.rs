@@ -3,30 +3,38 @@
 //! security.
 
 use crate::cli::Options;
+use crate::error::ExperimentError;
 use crate::output::{f3, heading, pct, Table};
 use crate::world::{case_study_adopters, case_study_config, weights, World, TIEBREAK};
 use sbgp_asgraph::AsId;
 use sbgp_core::{metrics, SimResult, Simulation};
 
-fn run_case_study(opts: &Options) -> (World, SimResult) {
-    let world = World::build(opts);
+fn run_case_study(opts: &Options) -> Result<(World, SimResult), ExperimentError> {
+    let world = World::build(opts)?;
     let g = world.base();
     let w = weights(g, opts);
     let cfg = case_study_config(opts);
     let adopters = case_study_adopters().select(g);
     let sim = Simulation::new(g, &w, &TIEBREAK, cfg);
     let res = sim.run(&adopters);
-    (world, res)
+    Ok((world, res))
 }
 
 /// Figure 3: number of ASes and ISPs that newly deploy each round.
-pub fn fig3(opts: &Options) {
+pub fn fig3(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 3: newly secure ASes and ISPs per round (case study)");
-    let (world, res) = run_case_study(opts);
+    let (world, res) = run_case_study(opts)?;
     let g = world.base();
     let mut t = Table::new(
         "fig3_rounds",
-        &["round", "new ISPs", "new stubs", "new ASes", "secure ASes", "secure ISPs"],
+        &[
+            "round",
+            "new ISPs",
+            "new stubs",
+            "new ASes",
+            "secure ASes",
+            "secure ISPs",
+        ],
     );
     for r in &res.rounds {
         t.row(vec![
@@ -45,14 +53,15 @@ pub fn fig3(opts: &Options) {
         pct(res.secure_as_fraction(g)),
         pct(res.secure_isp_fraction(g))
     );
+    Ok(())
 }
 
 /// Figure 4: normalized utility traces of three narratively
 /// interesting ISPs — an early adopter-chaser, a late adopter, and a
 /// holdout (the paper tracks ASes 8359, 6731, 8342).
-pub fn fig4(opts: &Options) {
+pub fn fig4(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 4: normalized utility traces (early / late / never adopter)");
-    let (world, res) = run_case_study(opts);
+    let (world, res) = run_case_study(opts)?;
     let g = world.base();
     // Pick protagonists from the run itself.
     let early = res
@@ -60,14 +69,11 @@ pub fn fig4(opts: &Options) {
         .iter()
         .find(|r| !r.turned_on.is_empty())
         .and_then(|r| {
-            r.turned_on
-                .iter()
-                .copied()
-                .max_by(|&a, &b| {
-                    let ua = res.starting_utilities[a.index()];
-                    let ub = res.starting_utilities[b.index()];
-                    ua.partial_cmp(&ub).unwrap()
-                })
+            r.turned_on.iter().copied().max_by(|&a, &b| {
+                let ua = res.starting_utilities[a.index()];
+                let ub = res.starting_utilities[b.index()];
+                ua.partial_cmp(&ub).unwrap()
+            })
         });
     let late = res
         .rounds
@@ -105,28 +111,34 @@ pub fn fig4(opts: &Options) {
         t.row(row);
     }
     t.emit(opts);
+    Ok(())
 }
 
 /// Figure 5: per round, the median normalized utility and projected
 /// utility of the ISPs that deploy in the *next* round.
-pub fn fig5(opts: &Options) {
+pub fn fig5(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 5: median (projected) utility of next-round adopters");
-    let (_world, res) = run_case_study(opts);
+    let (_world, res) = run_case_study(opts)?;
     let mut t = Table::new(
         "fig5_projected",
-        &["round", "median utility / starting", "median projected / starting"],
+        &[
+            "round",
+            "median utility / starting",
+            "median projected / starting",
+        ],
     );
     for (round, med_u, med_p) in metrics::adopter_utility_series(&res) {
         t.row(vec![round.to_string(), f3(med_u), f3(med_p)]);
     }
     t.emit(opts);
+    Ok(())
 }
 
 /// Figure 6: cumulative fraction of ISPs secure per round, split by
 /// degree bucket — high-degree ISPs adopt earlier and more often.
-pub fn fig6(opts: &Options) {
+pub fn fig6(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 6: cumulative ISP adoption by degree bucket");
-    let (world, res) = run_case_study(opts);
+    let (world, res) = run_case_study(opts)?;
     let g = world.base();
     let edges = [5usize, 10, 25, 100];
     let (labels, series) = metrics::adoption_by_degree(g, &res, &edges);
@@ -152,4 +164,5 @@ pub fn fig6(opts: &Options) {
             mean_deg
         );
     }
+    Ok(())
 }

@@ -2,15 +2,16 @@
 //! security-sensitive-decision computation.
 
 use crate::cli::Options;
+use crate::error::ExperimentError;
 use crate::output::{f3, heading, pct, Table};
 use crate::world::{World, TIEBREAK};
 use sbgp_asgraph::AsClass;
 use sbgp_routing::census::TiebreakCensus;
 
 /// Figure 10 + Section 6.7.
-pub fn fig10(opts: &Options) {
+pub fn fig10(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 10: tiebreak-set size distribution");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
     let g = world.base();
     let census = TiebreakCensus::run(g, g.nodes(), &TIEBREAK);
 
@@ -28,7 +29,11 @@ pub fn fig10(opts: &Options) {
     t.emit(opts);
 
     let mut s = Table::new("fig10_tiebreak_summary", &["statistic", "value", "paper"]);
-    s.row(vec!["mean size (all pairs)".into(), f3(census.mean()), "1.18".into()]);
+    s.row(vec![
+        "mean size (all pairs)".into(),
+        f3(census.mean()),
+        "1.18".into(),
+    ]);
     s.row(vec![
         "mean size (ISP sources)".into(),
         f3(census.mean_for(AsClass::Isp)),
@@ -55,4 +60,5 @@ pub fn fig10(opts: &Options) {
         "~3.5%".into(),
     ]);
     s.emit(opts);
+    Ok(())
 }

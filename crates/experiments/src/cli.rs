@@ -17,6 +17,14 @@ pub struct Options {
     pub out: Option<std::path::PathBuf>,
     /// `fig13 --census`: run the Section 7.3 whole-graph search.
     pub census: bool,
+    /// Resume sweep commands from their checkpoint file.
+    pub resume: bool,
+    /// Persist sweep progress every N units (0 = only with --resume).
+    pub checkpoint_every: usize,
+    /// Random link-failure rate applied to the topology (0 = intact).
+    pub fail_links: f64,
+    /// Retries before a panicking per-destination task is quarantined.
+    pub max_retries: u32,
 }
 
 impl Default for Options {
@@ -29,6 +37,10 @@ impl Default for Options {
             threads: 1,
             out: None,
             census: false,
+            resume: false,
+            checkpoint_every: 0,
+            fail_links: 0.0,
+            max_retries: 1,
         }
     }
 }
@@ -43,10 +55,20 @@ impl Options {
                 it.next().ok_or_else(|| format!("{name} needs a value"))
             };
             match flag.as_str() {
-                "--ases" => o.ases = value("--ases")?.parse().map_err(|e| format!("--ases: {e}"))?,
-                "--seed" => o.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--ases" => {
+                    o.ases = value("--ases")?
+                        .parse()
+                        .map_err(|e| format!("--ases: {e}"))?
+                }
+                "--seed" => {
+                    o.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
                 "--theta" => {
-                    o.theta = value("--theta")?.parse().map_err(|e| format!("--theta: {e}"))?
+                    o.theta = value("--theta")?
+                        .parse()
+                        .map_err(|e| format!("--theta: {e}"))?
                 }
                 "--cp-fraction" => {
                     o.cp_fraction = value("--cp-fraction")?
@@ -60,11 +82,30 @@ impl Options {
                 }
                 "--out" => o.out = Some(value("--out")?.into()),
                 "--census" => o.census = true,
+                "--resume" => o.resume = true,
+                "--checkpoint-every" => {
+                    o.checkpoint_every = value("--checkpoint-every")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-every: {e}"))?
+                }
+                "--fail-links" => {
+                    o.fail_links = value("--fail-links")?
+                        .parse()
+                        .map_err(|e| format!("--fail-links: {e}"))?
+                }
+                "--max-retries" => {
+                    o.max_retries = value("--max-retries")?
+                        .parse()
+                        .map_err(|e| format!("--max-retries: {e}"))?
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
         if o.ases < 50 {
             return Err("--ases must be at least 50".into());
+        }
+        if !(0.0..=1.0).contains(&o.fail_links) {
+            return Err("--fail-links must be a rate in [0, 1]".into());
         }
         Ok(o)
     }
@@ -104,5 +145,29 @@ mod tests {
         assert!(Options::parse(&s(&["--bogus"])).is_err());
         assert!(Options::parse(&s(&["--ases"])).is_err());
         assert!(Options::parse(&s(&["--ases", "10"])).is_err());
+    }
+
+    #[test]
+    fn parses_fault_tolerance_flags() {
+        let o = Options::parse(&s(&[
+            "--resume",
+            "--checkpoint-every",
+            "3",
+            "--fail-links",
+            "0.05",
+            "--max-retries",
+            "2",
+        ]))
+        .unwrap();
+        assert!(o.resume);
+        assert_eq!(o.checkpoint_every, 3);
+        assert_eq!(o.fail_links, 0.05);
+        assert_eq!(o.max_retries, 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range_fail_rate() {
+        assert!(Options::parse(&s(&["--fail-links", "1.5"])).is_err());
+        assert!(Options::parse(&s(&["--fail-links", "-0.1"])).is_err());
     }
 }

@@ -1,0 +1,51 @@
+//! The harness's error taxonomy.
+//!
+//! Every subcommand returns `Result<(), ExperimentError>`; `main`
+//! prints the error and exits non-zero instead of unwinding, so a bad
+//! flag combination or an unwritable checkpoint directory produces a
+//! readable one-line diagnosis rather than a panic backtrace.
+
+use sbgp_asgraph::GraphError;
+use sbgp_core::checkpoint::CheckpointError;
+use std::fmt;
+
+/// Anything that can stop an experiment command.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// Building or mutating the topology failed (bad generator
+    /// parameters, invalid fault rates, …).
+    Graph(GraphError),
+    /// Checkpoint persistence failed (I/O, corruption, or a
+    /// parameter-fingerprint mismatch on `--resume`).
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Graph(e) => write!(f, "{e}"),
+            ExperimentError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Graph(e) => Some(e),
+            ExperimentError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for ExperimentError {
+    fn from(e: GraphError) -> Self {
+        ExperimentError::Graph(e)
+    }
+}
+
+impl From<CheckpointError> for ExperimentError {
+    fn from(e: CheckpointError) -> Self {
+        ExperimentError::Checkpoint(e)
+    }
+}

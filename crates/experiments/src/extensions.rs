@@ -12,6 +12,7 @@
 //!   solved optimally per ISP.
 
 use crate::cli::Options;
+use crate::error::ExperimentError;
 use crate::output::{f3, heading, pct, Table};
 use crate::world::{case_study_adopters, case_study_config, weights, World, TIEBREAK};
 use sbgp_asgraph::AsId;
@@ -21,9 +22,9 @@ use std::collections::HashMap;
 /// Figure 7: chain reactions. For each deploying ISP, attribute its
 /// move to a neighbor that deployed in an earlier round (if any), and
 /// print the longest resulting chain.
-pub fn fig7(opts: &Options) {
+pub fn fig7(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 7: deployment chain reactions");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
     let g = world.base();
     let w = weights(g, opts);
     let res = Simulation::new(g, &w, &TIEBREAK, case_study_config(opts))
@@ -67,7 +68,10 @@ pub fn fig7(opts: &Options) {
         }
     }
     let chain = best.expect("at least the early adopters deployed");
-    let mut t = Table::new("fig7_chain", &["step", "AS (ASN)", "deployed in round", "degree"]);
+    let mut t = Table::new(
+        "fig7_chain",
+        &["step", "AS (ASN)", "deployed in round", "degree"],
+    );
     for (i, &n) in chain.iter().enumerate() {
         t.row(vec![
             i.to_string(),
@@ -81,12 +85,13 @@ pub fn fig7(opts: &Options) {
         "each AS deployed after a neighbor did, extending secure paths\n\
          outward from the early adopters — the paper's Figure 7 mechanism"
     );
+    Ok(())
 }
 
 /// Resilience to origin hijacks across the deployment process.
-pub fn ext_resilience(opts: &Options) {
+pub fn ext_resilience(opts: &Options) -> Result<(), ExperimentError> {
     heading("Extension: origin-hijack resilience across deployment (Section 6.4 future work)");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
     let g = world.base();
     let w = weights(g, opts);
     let cfg = case_study_config(opts);
@@ -113,12 +118,13 @@ pub fn ext_resilience(opts: &Options) {
          (paper's motivation: 'about half'); deployment drives this down",
         pct(base)
     );
+    Ok(())
 }
 
 /// Randomized per-ISP thresholds (Section 8.2).
-pub fn ext_theta(opts: &Options) {
+pub fn ext_theta(opts: &Options) -> Result<(), ExperimentError> {
     heading("Extension: randomized per-ISP thresholds (Section 8.2)");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
     let g = world.base();
     let w = weights(g, opts);
     let adopters = case_study_adopters().select(g);
@@ -147,12 +153,13 @@ pub fn ext_theta(opts: &Options) {
     }
     t.emit(opts);
     println!("cost heterogeneity smooths the adoption cliff but preserves the regimes");
+    Ok(())
 }
 
 /// Optimal per-destination disable (Section 7.1).
-pub fn ext_disable(opts: &Options) {
+pub fn ext_disable(opts: &Options) -> Result<(), ExperimentError> {
     heading("Extension: optimal per-destination S*BGP disable (Section 7.1)");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
     let g = world.base();
     let w = weights(g, opts);
     let cfg = case_study_config(opts);
@@ -162,18 +169,16 @@ pub fn ext_disable(opts: &Options) {
     let state = &states[states.len() / 2];
     let mut t = Table::new(
         "ext_disable",
-        &["ISP (ASN)", "destinations disabled", "incoming-utility gain"],
+        &[
+            "ISP (ASN)",
+            "destinations disabled",
+            "incoming-utility gain",
+        ],
     );
     let mut found = 0;
     for isp in g.isps().filter(|&n| state.get(n)) {
-        let (disabled, gain) = turnoff::optimal_selective_disable(
-            g,
-            &w,
-            state,
-            isp,
-            cfg.tree_policy,
-            &TIEBREAK,
-        );
+        let (disabled, gain) =
+            turnoff::optimal_selective_disable(g, &w, state, isp, cfg.tree_policy, &TIEBREAK);
         if !disabled.is_empty() {
             found += 1;
             if found <= 12 {
@@ -191,21 +196,25 @@ pub fn ext_disable(opts: &Options) {
          (unlike whole-network turn-off, this needs no trade-off — Section 7.1)",
         found
     );
+    Ok(())
 }
 
 /// Greedy early-adopter selection vs the degree heuristic.
-pub fn ext_greedy(opts: &Options) {
+pub fn ext_greedy(opts: &Options) -> Result<(), ExperimentError> {
     heading("Extension: greedy early-adopter selection (Theorem 6.1 objective)");
     // Greedy runs k × pool full simulations; cap the world size.
     let capped = Options {
         ases: opts.ases.min(600),
         ..opts.clone()
     };
-    let world = World::build(&capped);
+    let world = World::build(&capped)?;
     let g = world.base();
     let w = weights(g, &capped);
     let k = 5;
-    let mut t = Table::new("ext_greedy", &["theta", "strategy", "set (ASNs)", "secure ASes"]);
+    let mut t = Table::new(
+        "ext_greedy",
+        &["theta", "strategy", "set (ASNs)", "secure ASes"],
+    );
     for &theta in &[0.10, 0.20] {
         let cfg = SimConfig {
             theta,
@@ -230,14 +239,15 @@ pub fn ext_greedy(opts: &Options) {
     }
     t.emit(opts);
     println!("(optimal selection is NP-hard even to approximate — Theorem 6.1)");
+    Ok(())
 }
 
 /// The case study under the *incoming* utility model (Section 7's
 /// setting) — does the headline transition survive the model where
 /// turn-offs and oscillations are possible?
-pub fn ext_incoming(opts: &Options) {
+pub fn ext_incoming(opts: &Options) -> Result<(), ExperimentError> {
     heading("Extension: the case study under the incoming-utility model (Section 7)");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
     let g = world.base();
     let w = weights(g, opts);
     let cfg = SimConfig {
@@ -266,4 +276,5 @@ pub fn ext_incoming(opts: &Options) {
         total_offs,
         pct(res.secure_as_fraction(g))
     );
+    Ok(())
 }

@@ -2,6 +2,7 @@
 //! 15, 16, 17, 20, 21).
 
 use crate::cli::Options;
+use crate::error::ExperimentError;
 use crate::output::{f3, heading, pct, Table};
 use crate::world::{case_study_adopters, case_study_config, weights, World, TIEBREAK};
 use sbgp_asgraph::Weights;
@@ -10,7 +11,7 @@ use sbgp_gadgets::{and_gadget, attack, chicken, diamond, setcover, turnoff as fi
 use sbgp_routing::LowestAsnTieBreak;
 
 /// Figure 2: the DIAMOND competition narrative, round by round.
-pub fn fig2(opts: &Options) {
+pub fn fig2(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 2: DIAMOND — competition over a multihomed stub");
     let (world, d) = diamond::build(2);
     let g = &world.graph;
@@ -21,14 +22,21 @@ pub fn fig2(opts: &Options) {
     };
     let sim = Simulation::new(g, &w, &LowestAsnTieBreak, cfg);
     let res = sim.run_constrained(world.initial.clone(), &world.movable, vec![d.tier1]);
-    let mut t = Table::new("fig2_diamond", &["round", "deployed", "u(13789)/start", "u(8359)/start"]);
+    let mut t = Table::new(
+        "fig2_diamond",
+        &["round", "deployed", "u(13789)/start", "u(8359)/start"],
+    );
     let tr_a = sbgp_core::metrics::normalized_trace(&res, d.isp_a);
     let tr_b = sbgp_core::metrics::normalized_trace(&res, d.isp_b);
     for (i, r) in res.rounds.iter().enumerate() {
         let deployed: Vec<String> = r.turned_on.iter().map(|&n| g.asn(n).to_string()).collect();
         t.row(vec![
             r.round.to_string(),
-            if deployed.is_empty() { "-".into() } else { deployed.join("+") },
+            if deployed.is_empty() {
+                "-".into()
+            } else {
+                deployed.join("+")
+            },
             f3(tr_a[i]),
             f3(tr_b[i]),
         ]);
@@ -41,12 +49,13 @@ pub fn fig2(opts: &Options) {
         g.asn(d.isp_b),
         g.asn(d.stub)
     );
+    Ok(())
 }
 
 /// Figure 13: buyer's remorse. Without `--census`, replays the
 /// constructed AS-4755 example; with `--census`, also runs the
 /// Section 7.3 search across every state a case-study run visits.
-pub fn fig13(opts: &Options) {
+pub fn fig13(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 13: incentive to disable S*BGP (incoming model)");
     // The constructed example.
     let (world, f) = fig13_gadget::build(24, 50);
@@ -73,14 +82,18 @@ pub fn fig13(opts: &Options) {
     println!(
         "simulated: AS {} turned S*BGP {} (outcome {:?})",
         g.asn(f.telecom),
-        if res.final_state.get(f.telecom) { "ON" } else { "OFF" },
+        if res.final_state.get(f.telecom) {
+            "ON"
+        } else {
+            "OFF"
+        },
         res.outcome
     );
 
     if opts.census {
         println!();
         println!("Section 7.3 census across every state of a case-study run:");
-        let big = World::build(opts);
+        let big = World::build(opts)?;
         let bg = big.base();
         let bw = weights(bg, opts);
         let run = Simulation::new(bg, &bw, &TIEBREAK, case_study_config(opts))
@@ -111,7 +124,10 @@ pub fn fig13(opts: &Options) {
             total_isps,
             pct(flagged.len() as f64 / total_isps as f64)
         );
-        let mut t = Table::new("fig13_census", &["ISP (ASN)", "max destinations", "max net gain"]);
+        let mut t = Table::new(
+            "fig13_census",
+            &["ISP (ASN)", "max destinations", "max net gain"],
+        );
         let mut rows: Vec<_> = flagged.into_iter().collect();
         rows.sort_by_key(|r| std::cmp::Reverse(r.1 .0));
         for (asn, (dests, gain)) in rows.iter().take(15) {
@@ -121,10 +137,11 @@ pub fn fig13(opts: &Options) {
     } else {
         println!("(add --census for the Section 7.3 whole-graph search)");
     }
+    Ok(())
 }
 
 /// Figure 15 / Appendix B: the partial-security attack.
-pub fn fig15(opts: &Options) {
+pub fn fig15(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 15: why partially-secure paths must not be preferred");
     let (false_path, true_path) = attack::figure15();
     let routes = [false_path, true_path];
@@ -144,10 +161,11 @@ pub fn fig15(opts: &Options) {
         );
     }
     let _ = opts;
+    Ok(())
 }
 
 /// Figure 16 / Theorem 6.1: early-adopter choice encodes SET-COVER.
-pub fn fig16(opts: &Options) {
+pub fn fig16(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 16: set-cover reduction (Theorem 6.1)");
     let inst = setcover::SetCoverInstance {
         universe: 6,
@@ -171,11 +189,12 @@ pub fn fig16(opts: &Options) {
     }
     t.emit(opts);
     println!("securing ASes with k adopters == MAX-k-COVER: NP-hard, even to approximate");
+    Ok(())
 }
 
 /// Figure 17 / Section 7.2: oscillation under simultaneous best
 /// response (via the CHICKEN gadget started at (ON, ON)).
-pub fn fig17(opts: &Options) {
+pub fn fig17(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 17: deployment oscillation (incoming model)");
     let (world, c) = chicken::build(10, true, true);
     let g = &world.graph;
@@ -214,12 +233,16 @@ pub fn fig17(opts: &Options) {
         ]);
     }
     t.emit(opts);
-    println!("outcome: {:?} — no stable state exists on this trajectory", res.outcome);
+    println!(
+        "outcome: {:?} — no stable state exists on this trajectory",
+        res.outcome
+    );
     println!("(Theorem 7.1: deciding whether any oscillation exists is PSPACE-complete)");
+    Ok(())
 }
 
 /// Figure 20 / Appendix K.4: the AND gadget truth table.
-pub fn fig20(opts: &Options) {
+pub fn fig20(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 20: AND gadget (output deploys iff all inputs deployed)");
     let mut t = Table::new("fig20_and", &["inputs", "output settles"]);
     for bits in 0..8u8 {
@@ -250,14 +273,22 @@ pub fn fig20(opts: &Options) {
         ]);
     }
     t.emit(opts);
+    Ok(())
 }
 
 /// Figure 21 / Table 5: the CHICKEN gadget bimatrix.
-pub fn fig21(opts: &Options) {
+pub fn fig21(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 21 / Table 5: CHICKEN gadget bimatrix (incoming utility)");
     let mut t = Table::new(
         "fig21_chicken",
-        &["state (10,20)", "u(10)", "proj(10)", "u(20)", "proj(20)", "wants to flip"],
+        &[
+            "state (10,20)",
+            "u(10)",
+            "proj(10)",
+            "u(20)",
+            "proj(20)",
+            "wants to flip",
+        ],
     );
     for (a, b) in [(true, true), (true, false), (false, true), (false, false)] {
         let (world, c) = chicken::build(10, a, b);
@@ -289,6 +320,7 @@ pub fn fig21(opts: &Options) {
         ]);
     }
     t.emit(opts);
+    Ok(())
 }
 
 fn onoff(b: bool) -> &'static str {

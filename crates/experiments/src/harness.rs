@@ -1,0 +1,144 @@
+//! Checkpointed sweep execution.
+//!
+//! A [`SweepRunner`] wraps the unit loop of a θ-sweep (or any other
+//! multi-run figure): each unit is keyed by a label, finished units are
+//! persisted to `results/checkpoints/<cmd>.ckpt` every
+//! `--checkpoint-every` units (atomic write-rename, see
+//! [`sbgp_core::checkpoint`]), and `--resume` skips units whose results
+//! the checkpoint already holds. Because every simulation is
+//! deterministic, a resumed sweep is bit-identical to an uninterrupted
+//! one — `tests/determinism.rs` pins this down.
+//!
+//! Checkpointing is off by default (no files written); it turns on when
+//! the user passes `--resume` or `--checkpoint-every N`.
+
+use crate::cli::Options;
+use crate::error::ExperimentError;
+use sbgp_core::checkpoint::{params_fingerprint, SweepCheckpoint};
+use sbgp_core::SimResult;
+use std::path::PathBuf;
+
+/// Runs a sweep's units with optional checkpoint/resume.
+pub struct SweepRunner {
+    /// Destination file; `None` disables persistence entirely.
+    path: Option<PathBuf>,
+    ckpt: SweepCheckpoint,
+    every: usize,
+    since_save: usize,
+    reused: usize,
+}
+
+impl SweepRunner {
+    /// Open the runner for the sweep named `name` (the subcommand).
+    ///
+    /// The checkpoint's fingerprint covers every option that changes
+    /// results (`--ases`, `--seed`, `--cp-fraction`, `--fail-links`)
+    /// plus `extra` sweep-specific parameters — never `--threads`,
+    /// which determinism tests guarantee is result-neutral. With
+    /// `--resume`, an existing file for the same fingerprint is loaded;
+    /// a file from different parameters is a hard error.
+    pub fn open(name: &str, opts: &Options, extra: &[String]) -> Result<Self, ExperimentError> {
+        let mut parts = vec![
+            format!("cmd={name}"),
+            format!("ases={}", opts.ases),
+            format!("seed={}", opts.seed),
+            format!("cp={}", opts.cp_fraction),
+            format!("fail_links={}", opts.fail_links),
+        ];
+        parts.extend(extra.iter().cloned());
+        let fp = params_fingerprint(&parts);
+
+        if !opts.resume && opts.checkpoint_every == 0 {
+            return Ok(SweepRunner {
+                path: None,
+                ckpt: SweepCheckpoint::new(fp),
+                every: usize::MAX,
+                since_save: 0,
+                reused: 0,
+            });
+        }
+        let dir = match &opts.out {
+            Some(out) => out.join("checkpoints"),
+            None => PathBuf::from("results").join("checkpoints"),
+        };
+        let path = dir.join(format!("{name}.ckpt"));
+        let ckpt = if opts.resume {
+            SweepCheckpoint::load_or_new(&path, fp)?
+        } else {
+            SweepCheckpoint::new(fp)
+        };
+        if !ckpt.is_empty() {
+            println!(
+                "[resume] {} completed units loaded from {}",
+                ckpt.len(),
+                path.display()
+            );
+        }
+        Ok(SweepRunner {
+            path: Some(path),
+            ckpt,
+            every: opts.checkpoint_every.max(1),
+            since_save: 0,
+            reused: 0,
+        })
+    }
+
+    /// Run one unit: return the checkpointed result if `key` already
+    /// completed, else compute it via `f`, record it, and persist when
+    /// the save cadence is due. Partial results (a quarantined
+    /// destination task) are reported but do not abort the sweep.
+    pub fn run(
+        &mut self,
+        key: String,
+        f: impl FnOnce() -> SimResult,
+    ) -> Result<SimResult, ExperimentError> {
+        if let Some(prev) = self.ckpt.get(&key) {
+            self.reused += 1;
+            return Ok(prev.clone());
+        }
+        let result = f();
+        if result.completeness < 1.0 {
+            let dests: Vec<String> = result
+                .quarantined
+                .iter()
+                .map(|q| format!("{} ({} attempts: {})", q.dest, q.attempts, q.message))
+                .collect();
+            eprintln!(
+                "warning: unit {key:?} is partial (completeness {:.4}); quarantined: {}",
+                result.completeness,
+                dests.join("; ")
+            );
+        }
+        self.ckpt.insert(key, result.clone());
+        self.since_save += 1;
+        if let Some(path) = &self.path {
+            if self.since_save >= self.every {
+                self.ckpt.save(path)?;
+                self.since_save = 0;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Final save (if any unit since the last one) and a resume note.
+    /// The checkpoint file is kept so the sweep can be re-emitted or
+    /// extended without recomputation; delete it to start over.
+    pub fn finish(self) -> Result<(), ExperimentError> {
+        if let Some(path) = &self.path {
+            if self.since_save > 0 {
+                self.ckpt.save(path)?;
+            }
+            println!(
+                "[checkpoint] {} units in {}{}",
+                self.ckpt.len(),
+                path.display(),
+                if self.reused > 0 {
+                    format!(" ({} reused)", self.reused)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        Ok(())
+    }
+}

@@ -3,21 +3,28 @@
 //! One subcommand per table and figure of the paper's evaluation; see
 //! `repro help` (or DESIGN.md's per-experiment index). Each command
 //! prints the rows/series the paper reports and, when `--out DIR` is
-//! given, writes the same data as CSV.
+//! given, writes the same data as CSV. Commands return typed errors
+//! ([`error::ExperimentError`]) — bad parameters, fault-injection
+//! misuse, or checkpoint problems exit non-zero with a one-line
+//! message instead of panicking.
 
 mod cli;
+mod error;
+mod harness;
 mod output;
 mod world;
 
 mod casestudy;
-mod extensions;
 mod census;
+mod extensions;
+mod faults;
 mod gadget_demos;
 mod projection;
 mod sweeps;
 mod tables;
 
 use cli::Options;
+use error::ExperimentError;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +40,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match cmd.as_str() {
+    let outcome = match cmd.as_str() {
         "table1" => tables::table1(&opts),
         "table2" => tables::table2(&opts),
         "table3" => tables::table3(&opts),
@@ -56,48 +63,58 @@ fn main() {
         "fig17" => gadget_demos::fig17(&opts),
         "fig20" => gadget_demos::fig20(&opts),
         "fig21" => gadget_demos::fig21(&opts),
+        "fault" => faults::fault(&opts),
         "ext-resilience" => extensions::ext_resilience(&opts),
         "ext-theta" => extensions::ext_theta(&opts),
         "ext-disable" => extensions::ext_disable(&opts),
         "ext-greedy" => extensions::ext_greedy(&opts),
         "ext-incoming" => extensions::ext_incoming(&opts),
         "all" => run_all(&opts),
-        "help" | "--help" | "-h" => help(),
+        "help" | "--help" | "-h" => {
+            help();
+            Ok(())
+        }
         other => {
             eprintln!("unknown command {other:?}; try `repro help`");
             std::process::exit(2);
         }
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }
 
-fn run_all(opts: &Options) {
-    tables::table1(opts);
-    tables::table2(opts);
-    tables::table3(opts);
-    tables::table4(opts);
-    gadget_demos::fig2(opts);
-    casestudy::fig3(opts);
-    casestudy::fig4(opts);
-    casestudy::fig5(opts);
-    casestudy::fig6(opts);
-    extensions::fig7(opts);
-    sweeps::fig8(opts);
-    sweeps::fig9(opts);
-    census::fig10(opts);
-    sweeps::fig11(opts);
-    sweeps::fig12(opts);
-    gadget_demos::fig13(opts);
-    projection::fig14(opts);
-    gadget_demos::fig15(opts);
-    gadget_demos::fig16(opts);
-    gadget_demos::fig17(opts);
-    gadget_demos::fig20(opts);
-    gadget_demos::fig21(opts);
-    extensions::ext_resilience(opts);
-    extensions::ext_theta(opts);
-    extensions::ext_disable(opts);
-    extensions::ext_greedy(opts);
-    extensions::ext_incoming(opts);
+fn run_all(opts: &Options) -> Result<(), ExperimentError> {
+    tables::table1(opts)?;
+    tables::table2(opts)?;
+    tables::table3(opts)?;
+    tables::table4(opts)?;
+    gadget_demos::fig2(opts)?;
+    casestudy::fig3(opts)?;
+    casestudy::fig4(opts)?;
+    casestudy::fig5(opts)?;
+    casestudy::fig6(opts)?;
+    extensions::fig7(opts)?;
+    sweeps::fig8(opts)?;
+    sweeps::fig9(opts)?;
+    census::fig10(opts)?;
+    sweeps::fig11(opts)?;
+    sweeps::fig12(opts)?;
+    gadget_demos::fig13(opts)?;
+    projection::fig14(opts)?;
+    gadget_demos::fig15(opts)?;
+    gadget_demos::fig16(opts)?;
+    gadget_demos::fig17(opts)?;
+    gadget_demos::fig20(opts)?;
+    gadget_demos::fig21(opts)?;
+    faults::fault(opts)?;
+    extensions::ext_resilience(opts)?;
+    extensions::ext_theta(opts)?;
+    extensions::ext_disable(opts)?;
+    extensions::ext_greedy(opts)?;
+    extensions::ext_incoming(opts)?;
+    Ok(())
 }
 
 fn help() {
@@ -107,6 +124,7 @@ fn help() {
 
 USAGE: repro <command> [--ases N] [--seed S] [--theta T] [--cp-fraction X]
              [--threads K] [--out DIR] [--census]
+             [--resume] [--checkpoint-every N] [--fail-links R] [--max-retries N]
 
 COMMANDS
   table1   diamond counts per early adopter
@@ -131,12 +149,19 @@ COMMANDS
   fig17    oscillator: endless on/off cycling (incoming model)
   fig20    AND gadget truth table
   fig21    CHICKEN gadget bimatrix (Table 5)
+  fault    hijack deception per link-failure rate (topology churn)
   ext-resilience  origin-hijack deception across the deployment process
   ext-theta       randomized per-ISP thresholds (Section 8.2)
   ext-disable     optimal per-destination disable (Section 7.1)
   ext-greedy      greedy early-adopter selection vs degree heuristic
   ext-incoming    the case study under the incoming-utility model
   all      everything above
+
+FAULT TOLERANCE
+  --resume              resume sweep commands (fig8/9/11/12) from checkpoint
+  --checkpoint-every N  persist sweep progress every N units (atomic rename)
+  --fail-links R        degrade the topology: drop each link w.p. R (seeded)
+  --max-retries N       retries before a panicking task is quarantined
 
 DEFAULTS: --ases 1000  --seed 42  --theta 0.05  --cp-fraction 0.10 --threads 1"
     );

@@ -1,6 +1,7 @@
 //! Figure 14: how accurate is the myopic projection?
 
 use crate::cli::Options;
+use crate::error::ExperimentError;
 use crate::output::{f3, heading, Table};
 use crate::world::{weights, World, TIEBREAK};
 use sbgp_core::{metrics, EarlyAdopters, SimConfig, Simulation, UtilityModel};
@@ -8,14 +9,22 @@ use sbgp_core::{metrics, EarlyAdopters, SimConfig, Simulation, UtilityModel};
 /// Figure 14: CDF of projected utility normalized by the utility
 /// actually observed in the next round, for every ISP that deployed
 /// (θ = 0, as in the paper).
-pub fn fig14(opts: &Options) {
+pub fn fig14(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 14: projected / actual utility of deploying ISPs (theta = 0)");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
     let g = world.base();
     let w = weights(g, opts);
     let mut t = Table::new(
         "fig14_projection",
-        &["early adopters", "adopters", "p10", "median", "p90", "overest. <2%", "<6.7%"],
+        &[
+            "early adopters",
+            "adopters",
+            "p10",
+            "median",
+            "p90",
+            "overest. <2%",
+            "<6.7%",
+        ],
     );
     for adopters in [
         EarlyAdopters::ContentProvidersPlusTopIsps(5),
@@ -51,4 +60,5 @@ pub fn fig14(opts: &Options) {
     }
     t.emit(opts);
     println!("(paper: 80% of ISPs overestimate by <2%, 90% by <6.7%)");
+    Ok(())
 }

@@ -1,6 +1,13 @@
-//! The θ-sweep figures (8, 9, 11, 12).
+//! The θ-sweep figures (8, 9, 11, 12), with checkpoint/resume.
+//!
+//! Each sweep cell (one early-adopter set × one θ, plus any per-figure
+//! dimensions) is a checkpoint unit: with `--checkpoint-every N`,
+//! finished cells are persisted every `N` units, and `--resume` reloads
+//! them instead of recomputing — see [`crate::harness::SweepRunner`].
 
 use crate::cli::Options;
+use crate::error::ExperimentError;
+use crate::harness::SweepRunner;
 use crate::output::{f3, heading, Table};
 use crate::world::{weights, World, THETAS, TIEBREAK};
 use sbgp_asgraph::{AsGraph, Weights};
@@ -13,7 +20,7 @@ fn run_once(
     adopters: &EarlyAdopters,
     theta: f64,
     stubs_prefer_secure: bool,
-    threads: usize,
+    opts: &Options,
 ) -> SimResult {
     let cfg = SimConfig {
         theta,
@@ -22,7 +29,8 @@ fn run_once(
             stubs_prefer_secure,
         },
         max_rounds: 100,
-        threads,
+        threads: opts.threads,
+        max_task_retries: opts.max_retries,
         ..SimConfig::default()
     };
     let seeds = adopters.select(g);
@@ -31,28 +39,32 @@ fn run_once(
 
 /// Figure 8: fraction of ASes (a) and ISPs (b) that end up secure, for
 /// each θ and each early-adopter set.
-pub fn fig8(opts: &Options) {
+pub fn fig8(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 8: secure fraction vs theta per early-adopter set");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
     let g = world.base();
     let w = weights(g, opts);
+    let mut runner = SweepRunner::open("fig8", opts, &[])?;
     let mut ta = Table::new("fig8a_ases", &columns());
     let mut tb = Table::new("fig8b_isps", &columns());
     for adopters in crate::world::figure8_adopter_sets(g) {
         let mut row_a = vec![adopters.label()];
         let mut row_b = vec![adopters.label()];
         for &theta in &THETAS {
-            let res = run_once(g, &w, &adopters, theta, true, opts.threads);
+            let key = format!("{};theta={theta}", adopters.label());
+            let res = runner.run(key, || run_once(g, &w, &adopters, theta, true, opts))?;
             row_a.push(f3(res.secure_as_fraction(g)));
             row_b.push(f3(res.secure_isp_fraction(g)));
         }
         ta.row(row_a);
         tb.row(row_b);
     }
+    runner.finish()?;
     println!("(a) fraction of ASes secure");
     ta.emit(opts);
     println!("(b) fraction of ISPs secure");
     tb.emit(opts);
+    Ok(())
 }
 
 fn columns() -> Vec<&'static str> {
@@ -63,14 +75,21 @@ fn columns() -> Vec<&'static str> {
 
 /// Figure 9: fraction of all (src, dst) paths fully secure at
 /// termination, vs θ; the paper observes it lands just under f².
-pub fn fig9(opts: &Options) {
+pub fn fig9(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 9: secure-path fraction vs theta (and f^2 check)");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
     let g = world.base();
     let w = weights(g, opts);
+    let mut runner = SweepRunner::open("fig9", opts, &[])?;
     let mut t = Table::new(
         "fig9_secure_paths",
-        &["early adopters", "theta", "f (secure ASes)", "secure paths", "f^2"],
+        &[
+            "early adopters",
+            "theta",
+            "f (secure ASes)",
+            "secure paths",
+            "f^2",
+        ],
     );
     let big = (g.isps().count() / 5).clamp(12, 200);
     for adopters in [
@@ -78,7 +97,8 @@ pub fn fig9(opts: &Options) {
         EarlyAdopters::TopIspsByDegree(big),
     ] {
         for &theta in &THETAS {
-            let res = run_once(g, &w, &adopters, theta, true, opts.threads);
+            let key = format!("{};theta={theta}", adopters.label());
+            let res = runner.run(key, || run_once(g, &w, &adopters, theta, true, opts))?;
             let f = res.secure_as_fraction(g);
             let frac = metrics::secure_path_fraction(
                 g,
@@ -97,20 +117,29 @@ pub fn fig9(opts: &Options) {
             ]);
         }
     }
+    runner.finish()?;
     t.emit(opts);
+    Ok(())
 }
 
 /// Figure 11: the stub-tiebreak sensitivity — rerun the Figure 8
 /// sweep with stubs ignoring security; results should barely move for
 /// θ > 0 (Section 6.7).
-pub fn fig11(opts: &Options) {
+pub fn fig11(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 11: sensitivity to stubs breaking ties on security");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
     let g = world.base();
     let w = weights(g, opts);
+    let mut runner = SweepRunner::open("fig11", opts, &[])?;
     let mut t = Table::new(
         "fig11_stub_sensitivity",
-        &["early adopters", "theta", "ASes (stubs prefer)", "ASes (stubs ignore)", "delta"],
+        &[
+            "early adopters",
+            "theta",
+            "ASes (stubs prefer)",
+            "ASes (stubs ignore)",
+            "delta",
+        ],
     );
     let big = (g.isps().count() / 5).clamp(12, 200);
     for adopters in [
@@ -118,8 +147,13 @@ pub fn fig11(opts: &Options) {
         EarlyAdopters::TopIspsByDegree(big),
     ] {
         for &theta in &THETAS {
-            let with = run_once(g, &w, &adopters, theta, true, opts.threads);
-            let without = run_once(g, &w, &adopters, theta, false, opts.threads);
+            let base_key = format!("{};theta={theta}", adopters.label());
+            let with = runner.run(format!("{base_key};stubs=prefer"), || {
+                run_once(g, &w, &adopters, theta, true, opts)
+            })?;
+            let without = runner.run(format!("{base_key};stubs=ignore"), || {
+                run_once(g, &w, &adopters, theta, false, opts)
+            })?;
             let a = with.secure_as_fraction(g);
             let b = without.secure_as_fraction(g);
             t.row(vec![
@@ -131,15 +165,18 @@ pub fn fig11(opts: &Options) {
             ]);
         }
     }
+    runner.finish()?;
     t.emit(opts);
+    Ok(())
 }
 
 /// Figure 12: five CPs vs top five Tier-1s as early adopters, across
 /// CP traffic shares x ∈ {10, 20, 33, 50}% and on the base vs
 /// augmented graph.
-pub fn fig12(opts: &Options) {
+pub fn fig12(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 12: CPs vs Tier-1s as early adopters");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
+    let mut runner = SweepRunner::open("fig12", opts, &[])?;
     let mut t = Table::new(
         "fig12_cp_vs_tier1",
         &["graph", "x", "early adopters", "theta", "secure ASes"],
@@ -152,7 +189,8 @@ pub fn fig12(opts: &Options) {
                 EarlyAdopters::TopIspsByDegree(5),
             ] {
                 for &theta in &[0.0, 0.05, 0.10, 0.30] {
-                    let res = run_once(g, &w, &adopters, theta, true, opts.threads);
+                    let key = format!("{glabel};x={x};{};theta={theta}", adopters.label());
+                    let res = runner.run(key, || run_once(g, &w, &adopters, theta, true, opts))?;
                     t.row(vec![
                         glabel.to_string(),
                         format!("{x}"),
@@ -164,5 +202,7 @@ pub fn fig12(opts: &Options) {
             }
         }
     }
+    runner.finish()?;
     t.emit(opts);
+    Ok(())
 }

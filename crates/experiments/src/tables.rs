@@ -1,6 +1,7 @@
 //! Tables 1–4.
 
 use crate::cli::Options;
+use crate::error::ExperimentError;
 use crate::output::{f3, heading, Table};
 use crate::world::{case_study_adopters, World, TIEBREAK};
 use sbgp_asgraph::{stats, AsClass};
@@ -8,12 +9,15 @@ use sbgp_core::metrics;
 
 /// Table 1: DIAMOND counts per early adopter (destinations where the
 /// adopter's tiebreak set contains competing next hops).
-pub fn table1(opts: &Options) {
+pub fn table1(opts: &Options) -> Result<(), ExperimentError> {
     heading("Table 1: diamonds per early adopter (case-study set)");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
     let g = world.base();
     let adopters = case_study_adopters().select(g);
-    let mut t = Table::new("table1_diamonds", &["early adopter (ASN)", "class", "degree", "diamonds"]);
+    let mut t = Table::new(
+        "table1_diamonds",
+        &["early adopter (ASN)", "class", "degree", "diamonds"],
+    );
     for &e in &adopters {
         let d = metrics::diamonds_for(g, e, &TIEBREAK);
         t.row(vec![
@@ -24,15 +28,30 @@ pub fn table1(opts: &Options) {
         ]);
     }
     t.emit(opts);
+    Ok(())
 }
 
 /// Table 2: topology summaries for the base and augmented graphs.
-pub fn table2(opts: &Options) {
+pub fn table2(opts: &Options) -> Result<(), ExperimentError> {
     heading("Table 2: AS graph summaries");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
+    if let Some(report) = &world.fault_report {
+        println!(
+            "(topology degraded by --fail-links: {:.1}% of edges survive)",
+            100.0 * report.edge_survival()
+        );
+    }
     let mut t = Table::new(
         "table2_graphs",
-        &["graph", "ASes", "stubs", "ISPs", "CPs", "peering", "customer-provider"],
+        &[
+            "graph",
+            "ASes",
+            "stubs",
+            "ISPs",
+            "CPs",
+            "peering",
+            "customer-provider",
+        ],
     );
     for (label, g) in [("base", world.base()), ("augmented", &world.augmented)] {
         let s = stats::summarize(g);
@@ -47,13 +66,14 @@ pub fn table2(opts: &Options) {
         ]);
     }
     t.emit(opts);
+    Ok(())
 }
 
 /// Table 3: mean path length from each CP, base vs augmented —
 /// augmentation should pull CP paths toward ≈2 hops.
-pub fn table3(opts: &Options) {
+pub fn table3(opts: &Options) -> Result<(), ExperimentError> {
     heading("Table 3: CP mean path lengths (base vs augmented)");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
     let g = world.base();
     let mut t = Table::new("table3_pathlen", &["CP (ASN)", "base", "augmented"]);
     for &cp in g.content_providers() {
@@ -62,15 +82,19 @@ pub fn table3(opts: &Options) {
         t.row(vec![g.asn(cp).to_string(), f3(base), f3(aug)]);
     }
     t.emit(opts);
+    Ok(())
 }
 
 /// Table 4: CP vs Tier-1 degrees, base vs augmented — augmentation
 /// should push CP degrees to (or past) Tier-1 levels.
-pub fn table4(opts: &Options) {
+pub fn table4(opts: &Options) -> Result<(), ExperimentError> {
     heading("Table 4: CP vs Tier-1 degrees");
-    let world = World::build(opts);
+    let world = World::build(opts)?;
     let g = world.base();
-    let mut t = Table::new("table4_degrees", &["AS (ASN)", "class", "base degree", "augmented degree"]);
+    let mut t = Table::new(
+        "table4_degrees",
+        &["AS (ASN)", "class", "base degree", "augmented degree"],
+    );
     for &cp in g.content_providers() {
         t.row(vec![
             g.asn(cp).to_string(),
@@ -88,4 +112,5 @@ pub fn table4(opts: &Options) {
         ]);
     }
     t.emit(opts);
+    Ok(())
 }

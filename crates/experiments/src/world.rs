@@ -1,8 +1,10 @@
 //! Shared experiment setup: graph, weights, adopter sets.
 
 use crate::cli::Options;
+use crate::error::ExperimentError;
 use sbgp_asgraph::augment::augment_cp_peering;
-use sbgp_asgraph::gen::{generate, GenParams, Generated};
+use sbgp_asgraph::fault::{apply_faults, FaultPlan, FaultReport};
+use sbgp_asgraph::gen::{generate_checked, GenParams, Generated};
 use sbgp_asgraph::{AsGraph, Weights};
 use sbgp_core::{EarlyAdopters, SimConfig, UtilityModel};
 use sbgp_routing::{HashTieBreak, TreePolicy};
@@ -14,15 +16,35 @@ pub struct World {
     pub gen: Generated,
     /// The augmented graph (CPs peered to 80% of IXP members).
     pub augmented: AsGraph,
+    /// What `--fail-links` removed from the base graph, if anything.
+    pub fault_report: Option<FaultReport>,
 }
 
 impl World {
-    /// Build both graphs from the options.
-    pub fn build(opts: &Options) -> World {
-        let gen = generate(&GenParams::new(opts.ases, opts.seed));
-        let augmented = augment_cp_peering(&gen.graph, &gen.ixp_members, 0.8, opts.seed ^ 0xa6)
-            .expect("augmentation over a valid graph cannot fail");
-        World { gen, augmented }
+    /// Build both graphs from the options. With `--fail-links R`, the
+    /// base graph is degraded by seeded random link failures *before*
+    /// augmentation, so every experiment runs on the same churned
+    /// topology. Errors (bad generator parameters, invalid fault
+    /// rates) propagate instead of panicking.
+    pub fn build(opts: &Options) -> Result<World, ExperimentError> {
+        let mut gen = generate_checked(&GenParams::new(opts.ases, opts.seed))?;
+        let mut fault_report = None;
+        if opts.fail_links > 0.0 {
+            let plan = FaultPlan::links(opts.fail_links, opts.seed ^ 0x0fa1_17ed);
+            let (degraded, report) = apply_faults(&gen.graph, &plan)?;
+            println!(
+                "[faults] link failure rate {}: {}/{} edges survive",
+                opts.fail_links, report.surviving_edges, report.total_edges
+            );
+            gen.graph = degraded;
+            fault_report = Some(report);
+        }
+        let augmented = augment_cp_peering(&gen.graph, &gen.ixp_members, 0.8, opts.seed ^ 0xa6)?;
+        Ok(World {
+            gen,
+            augmented,
+            fault_report,
+        })
     }
 
     /// The base graph.
@@ -50,6 +72,7 @@ pub fn case_study_config(opts: &Options) -> SimConfig {
         },
         max_rounds: 100,
         threads: opts.threads,
+        max_task_retries: opts.max_retries,
         ..SimConfig::default()
     }
 }

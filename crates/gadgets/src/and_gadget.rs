@@ -141,11 +141,7 @@ mod tests {
         for bits in 0..8u8 {
             let inputs = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
             let expect = inputs.iter().all(|&x| x);
-            assert_eq!(
-                settle(inputs, false),
-                expect,
-                "inputs {inputs:?} from OFF"
-            );
+            assert_eq!(settle(inputs, false), expect, "inputs {inputs:?} from OFF");
         }
     }
 

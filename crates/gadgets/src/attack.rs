@@ -63,10 +63,7 @@ pub enum SecurityPolicy {
 
 /// Select among equally-good candidates under `policy`; ties fall back
 /// to the intradomain key.
-pub fn select_route(
-    routes: &[CandidateRoute],
-    policy: SecurityPolicy,
-) -> &CandidateRoute {
+pub fn select_route(routes: &[CandidateRoute], policy: SecurityPolicy) -> &CandidateRoute {
     routes
         .iter()
         .min_by_key(|r| {

@@ -100,11 +100,7 @@ pub fn build(instance: &SetCoverInstance) -> (GadgetWorld, Reduction) {
 
 /// Run the deployment process with `adopters` (indices into the
 /// subsets) seeded, and return which universe elements end up secure.
-pub fn deploy_and_count(
-    instance: &SetCoverInstance,
-    adopters: &[usize],
-    theta: f64,
-) -> Vec<bool> {
+pub fn deploy_and_count(instance: &SetCoverInstance, adopters: &[usize], theta: f64) -> Vec<bool> {
     use sbgp_asgraph::Weights;
     use sbgp_core::{SimConfig, Simulation, UtilityModel};
     use sbgp_routing::LowestAsnTieBreak;
@@ -149,7 +145,10 @@ mod tests {
     fn cover_secures_exactly_the_union() {
         // {S0, S2} covers everything.
         let covered = deploy_and_count(&instance(), &[0, 2], 0.05);
-        assert!(covered.iter().all(|&c| c), "full cover secures all: {covered:?}");
+        assert!(
+            covered.iter().all(|&c| c),
+            "full cover secures all: {covered:?}"
+        );
         // {S1, S3} covers only {0, 2, 3, 5}.
         let covered = deploy_and_count(&instance(), &[1, 3], 0.05);
         assert_eq!(covered, vec![true, false, true, true, false, true]);

@@ -73,7 +73,10 @@ impl DestContext {
     /// Panics if `n` exceeds `u16::MAX - 1` nodes (path lengths are
     /// stored as `u16`; the paper's 36K-node graph fits comfortably).
     pub fn new(n: usize) -> Self {
-        assert!(n < u16::MAX as usize, "graph too large for u16 path lengths");
+        assert!(
+            n < u16::MAX as usize,
+            "graph too large for u16 path lengths"
+        );
         DestContext {
             dest: AsId(0),
             len: vec![UNREACH; n],
@@ -269,14 +272,16 @@ impl DestContext {
                     }
                     RouteClass::SelfDest | RouteClass::Unreachable => unreachable!(),
                 }
-                debug_assert!(self.tb.len() > start, "reachable node with empty tiebreak set");
+                debug_assert!(
+                    self.tb.len() > start,
+                    "reachable node with empty tiebreak set"
+                );
                 // Sort the set by tiebreak key; sets are tiny (mean
                 // ≈1.2, Figure 10), so this is effectively free.
                 if self.tb.len() - start > 1 {
                     self.key_scratch.clear();
                     for &m in &self.tb[start..] {
-                        self.key_scratch
-                            .push((tiebreaker.key(g, x, AsId(m)), m));
+                        self.key_scratch.push((tiebreaker.key(g, x, AsId(m)), m));
                     }
                     self.key_scratch.sort_unstable();
                     for (k, (_, m)) in self.key_scratch.iter().enumerate() {

@@ -122,7 +122,14 @@ impl UtilityAccumulator {
     ) {
         compute_tree(g, ctx, secure_set, policy, &mut self.tree);
         accumulate_flows(ctx, &self.tree, weights, &mut self.flow);
-        add_utilities(ctx, &self.tree, weights, &self.flow, &mut self.u_out, &mut self.u_in);
+        add_utilities(
+            ctx,
+            &self.tree,
+            weights,
+            &self.flow,
+            &mut self.u_out,
+            &mut self.u_in,
+        );
     }
 
     /// The last computed route tree (for inspection/tests).

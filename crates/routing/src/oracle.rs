@@ -107,8 +107,7 @@ pub fn converge<T: TieBreaker + ?Sized>(
             if x == dest {
                 continue;
             }
-            let applies_secp =
-                secure_set.get(x) && (policy.stubs_prefer_secure || !g.is_stub(x));
+            let applies_secp = secure_set.get(x) && (policy.stubs_prefer_secure || !g.is_stub(x));
             let mut best: Option<RankedPath> = None;
             for &m in g.neighbors(x) {
                 let Some(mp) = paths[m.index()].as_ref() else {

@@ -44,7 +44,10 @@ fn main() {
                 };
                 let sim = Simulation::new(graph, &weights, &HashTieBreak, cfg);
                 let result = sim.run(&strategy.select(graph));
-                cells.push(format!("{:>9.1}%", 100.0 * result.secure_as_fraction(graph)));
+                cells.push(format!(
+                    "{:>9.1}%",
+                    100.0 * result.secure_as_fraction(graph)
+                ));
             }
             println!("{:>16}  {}  {}", strategy.label(), cells[0], cells[1]);
         }

@@ -19,7 +19,10 @@ fn main() {
 
     // --- Tiebreak census (Figure 10). ---
     let census = TiebreakCensus::run(graph, graph.nodes(), &HashTieBreak);
-    println!("tiebreak sets over all {} (src,dst) pairs:", census.total_pairs());
+    println!(
+        "tiebreak sets over all {} (src,dst) pairs:",
+        census.total_pairs()
+    );
     for (size, &count) in census.histogram.iter().enumerate().skip(1) {
         if count > 0 {
             println!("  size {size}: {count} pairs");

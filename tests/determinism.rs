@@ -1,9 +1,13 @@
 //! Reproducibility: everything must be a pure function of (seed,
 //! parameters) — same results run-to-run and across thread counts.
+//! Checkpoint/resume rides on this guarantee: a resumed sweep must be
+//! bit-identical to an uninterrupted one, which the lower half of this
+//! file pins down.
 
 use sbgp_asgraph::gen::{generate, GenParams};
 use sbgp_asgraph::Weights;
-use sbgp_core::{EarlyAdopters, SimConfig, Simulation};
+use sbgp_core::checkpoint::{params_fingerprint, SweepCheckpoint};
+use sbgp_core::{EarlyAdopters, SimConfig, SimResult, Simulation};
 use sbgp_routing::HashTieBreak;
 
 fn run(threads: usize, seed: u64) -> (Vec<u32>, usize, Vec<usize>) {
@@ -47,4 +51,94 @@ fn graph_generation_is_stable_against_itself() {
     let eb: Vec<_> = b.graph.edges().collect();
     assert_eq!(ea, eb);
     assert_eq!(a.ixp_members, b.ixp_members);
+}
+
+/// One θ-sweep unit, as the experiments harness runs it.
+fn sweep_unit(theta: f64) -> SimResult {
+    let g = generate(&GenParams::new(200, 42)).graph;
+    let w = Weights::with_cp_fraction(&g, 0.10);
+    let cfg = SimConfig {
+        theta,
+        ..SimConfig::default()
+    };
+    let adopters = EarlyAdopters::ContentProvidersPlusTopIsps(5).select(&g);
+    Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters)
+}
+
+#[test]
+fn checkpoint_round_trip_is_bit_identical() {
+    // Serialize a mid-sweep checkpoint, reload it, and verify the
+    // stored results are exactly the ones computed — including the
+    // f64 bit patterns (the codec stores raw IEEE-754 bits, so no
+    // decimal round-trip error can creep in).
+    let dir = std::env::temp_dir().join("sbgp_determinism_ckpt");
+    let path = dir.join("roundtrip.ckpt");
+    let _ = std::fs::remove_file(&path);
+    let fp = params_fingerprint(&["ases=200", "seed=42", "cp=0.10"]);
+
+    let mut ckpt = SweepCheckpoint::new(fp);
+    for theta in [0.0, 0.05, 0.10] {
+        ckpt.insert(format!("theta={theta}"), sweep_unit(theta));
+    }
+    ckpt.save(&path).unwrap();
+
+    let restored = SweepCheckpoint::load(&path, fp).unwrap();
+    for theta in [0.0, 0.05, 0.10] {
+        let original = sweep_unit(theta);
+        let stored = restored.get(&format!("theta={theta}")).unwrap();
+        assert_eq!(*stored, original);
+        for (a, b) in original
+            .starting_utilities
+            .iter()
+            .zip(stored.starting_utilities.iter())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "utilities must be bit-exact");
+        }
+        assert_eq!(original.final_state, stored.final_state);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn interrupted_sweep_resumes_to_identical_results() {
+    // Simulate an interrupted θ-sweep: the first run completes two of
+    // four units and checkpoints; the "resumed" run loads them, reuses
+    // them verbatim, and computes the rest. The combined results must
+    // equal an uninterrupted sweep's, unit for unit.
+    let dir = std::env::temp_dir().join("sbgp_determinism_resume");
+    let path = dir.join("sweep.ckpt");
+    let _ = std::fs::remove_file(&path);
+    let fp = params_fingerprint(&["ases=200", "seed=42", "cp=0.10"]);
+    let thetas = [0.0, 0.05, 0.10, 0.20];
+
+    // First run: interrupted after two units.
+    let mut first = SweepCheckpoint::new(fp);
+    for &theta in &thetas[..2] {
+        first.insert(format!("theta={theta}"), sweep_unit(theta));
+    }
+    first.save(&path).unwrap();
+
+    // Resumed run: finish the sweep from the checkpoint.
+    let mut resumed = SweepCheckpoint::load(&path, fp).unwrap();
+    assert_eq!(resumed.len(), 2, "two units survive the interruption");
+    let finished: Vec<SimResult> = thetas
+        .iter()
+        .map(|theta| {
+            let key = format!("theta={theta}");
+            match resumed.get(&key) {
+                Some(prev) => prev.clone(),
+                None => {
+                    let r = sweep_unit(*theta);
+                    resumed.insert(key, r.clone());
+                    r
+                }
+            }
+        })
+        .collect();
+
+    // Uninterrupted reference sweep.
+    for (theta, from_resume) in thetas.iter().zip(finished.iter()) {
+        assert_eq!(*from_resume, sweep_unit(*theta));
+    }
+    let _ = std::fs::remove_file(&path);
 }

@@ -91,17 +91,26 @@ fn secure_paths_track_f_squared() {
     let adopters = EarlyAdopters::ContentProvidersPlusTopIsps(5).select(&g);
     let res = Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters);
     let f = res.secure_as_fraction(&g);
-    let frac = metrics::secure_path_fraction(&g, &res.final_state, TreePolicy::default(), &HashTieBreak);
+    let frac =
+        metrics::secure_path_fraction(&g, &res.final_state, TreePolicy::default(), &HashTieBreak);
     // Figure 9: slightly below f², never above by more than noise.
     assert!(frac <= f * f + 0.01, "secure paths {frac} vs f² {}", f * f);
-    assert!(frac >= f * f * 0.7, "secure paths {frac} far below f² {}", f * f);
+    assert!(
+        frac >= f * f * 0.7,
+        "secure paths {frac} far below f² {}",
+        f * f
+    );
 }
 
 #[test]
 fn tiebreak_census_in_paper_regime() {
     let (g, _) = world(800, 21);
     let census = TiebreakCensus::run(&g, g.nodes(), &HashTieBreak);
-    assert!((1.05..=1.5).contains(&census.mean()), "mean {}", census.mean());
+    assert!(
+        (1.05..=1.5).contains(&census.mean()),
+        "mean {}",
+        census.mean()
+    );
     assert!(census.mean_for(AsClass::Isp) > census.mean_for(AsClass::Stub));
     assert!((0.10..=0.35).contains(&census.multi_fraction()));
     assert!(census.security_sensitive_fraction() < 0.10);
@@ -120,10 +129,9 @@ fn holdouts_are_low_degree_isps() {
     let res = Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters);
     let holdouts: Vec<_> = g.isps().filter(|&n| !res.final_state.get(n)).collect();
     assert!(!holdouts.is_empty(), "some ISPs must remain insecure");
-    let mean_holdout = holdouts.iter().map(|&n| g.degree(n)).sum::<usize>() as f64
-        / holdouts.len() as f64;
-    let mean_all =
-        g.isps().map(|n| g.degree(n)).sum::<usize>() as f64 / g.isps().count() as f64;
+    let mean_holdout =
+        holdouts.iter().map(|&n| g.degree(n)).sum::<usize>() as f64 / holdouts.len() as f64;
+    let mean_all = g.isps().map(|n| g.degree(n)).sum::<usize>() as f64 / g.isps().count() as f64;
     assert!(
         mean_holdout < mean_all,
         "holdout mean degree {mean_holdout} vs population {mean_all}"

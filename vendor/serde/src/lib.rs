@@ -1,0 +1,42 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! This workspace builds with no network access, so the real serde
+//! cannot be fetched. Existing code derives `Serialize`/`Deserialize`
+//! as forward-looking annotations but never drives a serde
+//! serializer; the checkpoint subsystem uses its own bit-exact codec
+//! (`sbgp_core::checkpoint::codec`) precisely so that persistence
+//! does not depend on an unavailable dependency. This stub keeps the
+//! trait names and derive machinery compiling so the annotations (and
+//! any future swap to real serde) stay in place.
+
+#![forbid(unsafe_code)]
+
+/// Marker for serializable types. No data-model methods in the
+/// offline stub — see the crate docs.
+pub trait Serialize {}
+
+/// Marker for deserializable types. No data-model methods in the
+/// offline stub — see the crate docs.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitives!(
+    bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}

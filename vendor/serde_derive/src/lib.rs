@@ -1,0 +1,63 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The sibling vendored `serde` defines `Serialize`/`Deserialize` as
+//! marker traits; these derives emit the corresponding marker impls.
+//! No syn/quote: the input item is parsed with a tiny hand-rolled
+//! scanner sufficient for the plain structs and enums this workspace
+//! annotates (no generic parameters).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name of the struct/enum a derive was applied to.
+/// Panics (a compile error) on generic items, which the offline stub
+/// does not support.
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip attributes: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+                    };
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            panic!(
+                                "serde_derive offline stub: generic item `{name}` unsupported; \
+                                 write the impl by hand"
+                            );
+                        }
+                    }
+                    return name;
+                }
+                // `pub`, `pub(crate)`, doc attrs already handled; keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive stub: no struct/enum found in derive input");
+}
+
+/// Derive the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Derive the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
