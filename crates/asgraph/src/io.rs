@@ -51,11 +51,54 @@ pub fn write_graph<W: Write>(g: &AsGraph, out: &mut W) -> Result<(), GraphError>
 }
 
 /// Parse a serial-2 style stream into a validated [`AsGraph`].
+///
+/// Duplicate and conflicting edge declarations are rejected with a
+/// diagnostic naming both offending lines. See [`read_graph_strict`]
+/// for the additional checks `repro doctor` applies.
 pub fn read_graph<R: BufRead>(input: R) -> Result<AsGraph, GraphError> {
+    read_graph_impl(input, false)
+}
+
+/// [`read_graph`] plus strict-mode checks for empirically sourced
+/// dumps: reserved AS numbers (`0` and `u32::MAX`, per RFC 7607 /
+/// RFC 6793 last-ASN reservation) are rejected, as are files declaring
+/// an implausible `u16::MAX`-or-more distinct ASes.
+pub fn read_graph_strict<R: BufRead>(input: R) -> Result<AsGraph, GraphError> {
+    read_graph_impl(input, true)
+}
+
+/// One edge declaration, normalized so that equivalent restatements
+/// compare equal: provider→customer keeps its orientation; peer edges
+/// are keyed low-ASN-first.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct EdgeDecl {
+    a: u32,
+    b: u32,
+    code: i8,
+}
+
+impl std::fmt::Display for EdgeDecl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}|{}|{}", self.a, self.b, self.code)
+    }
+}
+
+fn read_graph_impl<R: BufRead>(input: R, strict: bool) -> Result<AsGraph, GraphError> {
     let mut b = AsGraphBuilder::new();
     let mut by_asn: HashMap<u32, AsId> = HashMap::new();
-    let mut cps: Vec<u32> = Vec::new();
+    let mut cps: Vec<(u32, usize)> = Vec::new();
+    // Unordered ASN pair -> (first declaration line, normalized form).
+    let mut seen_edges: HashMap<(u32, u32), (usize, EdgeDecl)> = HashMap::new();
 
+    let check_asn = |asn: u32, lineno: usize| -> Result<(), GraphError> {
+        if strict && (asn == 0 || asn == u32::MAX) {
+            return Err(GraphError::Parse {
+                line: lineno,
+                message: format!("reserved AS number {asn} rejected in strict mode"),
+            });
+        }
+        Ok(())
+    };
     let intern = |b: &mut AsGraphBuilder, by_asn: &mut HashMap<u32, AsId>, asn: u32| -> AsId {
         *by_asn.entry(asn).or_insert_with(|| b.add_node(asn))
     };
@@ -75,7 +118,8 @@ pub fn read_graph<R: BufRead>(input: R) -> Result<AsGraph, GraphError> {
                         line: lineno,
                         message: format!("bad AS number in CP directive: {asn:?}"),
                     })?;
-                    cps.push(asn);
+                    check_asn(asn, lineno)?;
+                    cps.push((asn, lineno));
                 }
                 _ => {
                     return Err(GraphError::Parse {
@@ -93,34 +137,77 @@ pub fn read_graph<R: BufRead>(input: R) -> Result<AsGraph, GraphError> {
                 message: format!("expected 3 |-separated fields, got {}", fields.len()),
             });
         }
-        let a: u32 = fields[0].trim().parse().map_err(|_| GraphError::Parse {
+        let a_asn: u32 = fields[0].trim().parse().map_err(|_| GraphError::Parse {
             line: lineno,
             message: format!("bad AS number {:?}", fields[0]),
         })?;
+        check_asn(a_asn, lineno)?;
         if fields[1].trim().is_empty() && fields[2].trim().is_empty() {
-            intern(&mut b, &mut by_asn, a);
+            intern(&mut b, &mut by_asn, a_asn);
             continue;
         }
-        let c: u32 = fields[1].trim().parse().map_err(|_| GraphError::Parse {
+        let c_asn: u32 = fields[1].trim().parse().map_err(|_| GraphError::Parse {
             line: lineno,
             message: format!("bad AS number {:?}", fields[1]),
         })?;
-        let a = intern(&mut b, &mut by_asn, a);
-        let c = intern(&mut b, &mut by_asn, c);
-        match fields[2].trim() {
-            "-1" => b.add_provider_customer(a, c)?,
-            "0" => b.add_peer_peer(a, c)?,
+        check_asn(c_asn, lineno)?;
+        let code: i8 = match fields[2].trim() {
+            "-1" => -1,
+            "0" => 0,
             other => {
                 return Err(GraphError::Parse {
                     line: lineno,
                     message: format!("bad relationship code {other:?} (want -1 or 0)"),
                 })
             }
+        };
+        let decl = if code == -1 {
+            EdgeDecl {
+                a: a_asn,
+                b: c_asn,
+                code,
+            }
+        } else {
+            EdgeDecl {
+                a: a_asn.min(c_asn),
+                b: a_asn.max(c_asn),
+                code,
+            }
+        };
+        let key = (a_asn.min(c_asn), a_asn.max(c_asn));
+        if let Some(&(first_line, first_decl)) = seen_edges.get(&key) {
+            let message = if first_decl == decl {
+                format!("duplicate edge declaration {decl}: already declared at line {first_line}")
+            } else {
+                format!(
+                    "conflicting edge declaration {decl}: AS pair declared as {first_decl} at line {first_line}"
+                )
+            };
+            return Err(GraphError::Parse {
+                line: lineno,
+                message,
+            });
+        }
+        seen_edges.insert(key, (lineno, decl));
+        let a = intern(&mut b, &mut by_asn, a_asn);
+        let c = intern(&mut b, &mut by_asn, c_asn);
+        if strict && by_asn.len() >= u16::MAX as usize {
+            return Err(GraphError::Parse {
+                line: lineno,
+                message: format!(
+                    "strict mode: file declares {} or more distinct ASes (implausible dump)",
+                    u16::MAX
+                ),
+            });
+        }
+        match code {
+            -1 => b.add_provider_customer(a, c)?,
+            _ => b.add_peer_peer(a, c)?,
         }
     }
-    for asn in cps {
+    for (asn, lineno) in cps {
         let id = by_asn.get(&asn).copied().ok_or(GraphError::Parse {
-            line: 0,
+            line: lineno,
             message: format!("CP directive references unknown AS {asn}"),
         })?;
         b.mark_content_provider(id);
@@ -139,6 +226,13 @@ pub fn save_to_path<P: AsRef<Path>>(g: &AsGraph, path: P) -> Result<(), GraphErr
 pub fn load_from_path<P: AsRef<Path>>(path: P) -> Result<AsGraph, GraphError> {
     let file = std::fs::File::open(path)?;
     read_graph(std::io::BufReader::new(file))
+}
+
+/// Read a graph from a filesystem path with [`read_graph_strict`]
+/// checks — what `repro doctor` runs over graph files.
+pub fn load_from_path_strict<P: AsRef<Path>>(path: P) -> Result<AsGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_graph_strict(std::io::BufReader::new(file))
 }
 
 #[cfg(test)]
@@ -204,9 +298,69 @@ mod tests {
     }
 
     #[test]
-    fn rejects_unknown_cp() {
-        let err = read_graph(std::io::Cursor::new("! cp 5\n1|2|-1\n")).unwrap_err();
-        assert!(matches!(err, GraphError::Parse { .. }));
+    fn rejects_unknown_cp_with_its_line() {
+        let err = read_graph(std::io::Cursor::new("1|2|-1\n! cp 5\n")).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2, "error points at the directive's own line");
+                assert!(message.contains("unknown AS 5"), "{message}");
+            }
+            other => panic!("want Parse, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_with_both_lines() {
+        let err = read_graph(std::io::Cursor::new("# hdr\n10|20|-1\n10|20|-1\n")).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("duplicate edge"), "{message}");
+                assert!(message.contains("line 2"), "{message}");
+            }
+            other => panic!("want Parse, got {other}"),
+        }
+        // A restated peer edge is a duplicate regardless of order.
+        let err = read_graph(std::io::Cursor::new("10|20|0\n20|10|0\n")).unwrap_err();
+        assert!(err.to_string().contains("duplicate edge"), "{err}");
+    }
+
+    #[test]
+    fn rejects_conflicting_edge_with_both_lines() {
+        // Same pair, different relationship.
+        let err = read_graph(std::io::Cursor::new("10|20|-1\n20|10|0\n")).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("conflicting edge"), "{message}");
+                assert!(message.contains("10|20|-1"), "{message}");
+                assert!(message.contains("line 1"), "{message}");
+            }
+            other => panic!("want Parse, got {other}"),
+        }
+        // Same pair, opposite provider/customer orientation.
+        let err = read_graph(std::io::Cursor::new("10|20|-1\n20|10|-1\n")).unwrap_err();
+        assert!(err.to_string().contains("conflicting edge"), "{err}");
+    }
+
+    #[test]
+    fn strict_rejects_reserved_asns_lenient_allows() {
+        for bad in ["0|20|-1\n", "10|4294967295|0\n", "! cp 0\n0||\n"] {
+            let err = read_graph_strict(std::io::Cursor::new(bad)).unwrap_err();
+            assert!(err.to_string().contains("reserved AS number"), "{err}");
+        }
+        // The lenient parser (used for generated graphs) keeps accepting.
+        assert!(read_graph(std::io::Cursor::new("0|20|-1\n")).is_ok());
+    }
+
+    #[test]
+    fn strict_accepts_clean_generated_graphs() {
+        let g = generate(&GenParams::tiny(9)).graph;
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph_strict(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(g.len(), g2.len());
+        assert_eq!(g.num_edges(), g2.num_edges());
     }
 
     #[test]

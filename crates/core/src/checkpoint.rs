@@ -95,6 +95,11 @@ impl fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// Format header of the current checkpoint version. v2 added the task
+/// fault kind to quarantine records plus the self-check and deadline
+/// ledgers; older files are refused rather than half-read.
+const HEADER: &str = "sbgp-checkpoint v2";
+
 /// FNV-1a fingerprint of the parameter strings that define a sweep.
 /// Order matters; include everything that changes the results (graph
 /// size, seed, θ grid, model…) and nothing that doesn't (thread count).
@@ -178,7 +183,8 @@ impl SweepCheckpoint {
             }
         }
         let mut text = String::new();
-        text.push_str("sbgp-checkpoint v1\n");
+        text.push_str(HEADER);
+        text.push('\n');
         text.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
         text.push_str(&format!("units {}\n", self.units.len()));
         for (key, result) in &self.units {
@@ -186,6 +192,19 @@ impl SweepCheckpoint {
             codec::encode_result(&mut text, result);
         }
         text.push_str("end\n");
+
+        // Encode/decode round-trip guard: never persist bytes the
+        // decoder would not reproduce bit-for-bit (a codec bug caught
+        // at save time costs one re-run; caught at resume time it costs
+        // the whole checkpoint).
+        let reread = Self::parse(&text, path, Some(self.fingerprint))?;
+        if reread != *self {
+            return Err(CheckpointError::Corrupt {
+                path: path.to_path_buf(),
+                line: 0,
+                message: "encode/decode round-trip mismatch (codec bug); refusing to save".into(),
+            });
+        }
 
         let tmp = path.with_extension("tmp");
         {
@@ -196,30 +215,33 @@ impl SweepCheckpoint {
         fs::rename(&tmp, path).map_err(io_err)
     }
 
-    /// Load a checkpoint, verifying it belongs to a sweep whose
-    /// parameters hash to `expected_fingerprint`.
-    pub fn load(path: &Path, expected_fingerprint: u64) -> Result<Self, CheckpointError> {
-        let text = fs::read_to_string(path).map_err(|e| CheckpointError::Io {
-            path: path.to_path_buf(),
-            message: e.to_string(),
-        })?;
+    /// Parse checkpoint text. With `expected_fingerprint = Some(f)`,
+    /// refuses a file whose stored fingerprint differs; with `None`,
+    /// accepts any fingerprint (the `doctor` inspection path).
+    fn parse(
+        text: &str,
+        path: &Path,
+        expected_fingerprint: Option<u64>,
+    ) -> Result<Self, CheckpointError> {
         let corrupt = |line: usize, message: String| CheckpointError::Corrupt {
             path: path.to_path_buf(),
             line,
             message,
         };
-        let mut p = codec::Parser::new(&text);
-        p.expect_line("sbgp-checkpoint v1")
+        let mut p = codec::Parser::new(text);
+        p.expect_line(HEADER)
             .map_err(|e| corrupt(e.line, e.message))?;
         let fingerprint = p
             .tagged_u64_hex("fingerprint")
             .map_err(|e| corrupt(e.line, e.message))?;
-        if fingerprint != expected_fingerprint {
-            return Err(CheckpointError::ParamsMismatch {
-                path: path.to_path_buf(),
-                expected: expected_fingerprint,
-                found: fingerprint,
-            });
+        if let Some(expected) = expected_fingerprint {
+            if fingerprint != expected {
+                return Err(CheckpointError::ParamsMismatch {
+                    path: path.to_path_buf(),
+                    expected,
+                    found: fingerprint,
+                });
+            }
         }
         let count = p
             .tagged_usize("units")
@@ -235,6 +257,27 @@ impl SweepCheckpoint {
         p.expect_line("end")
             .map_err(|e| corrupt(e.line, e.message))?;
         Ok(ckpt)
+    }
+
+    /// Load a checkpoint, verifying it belongs to a sweep whose
+    /// parameters hash to `expected_fingerprint`.
+    pub fn load(path: &Path, expected_fingerprint: u64) -> Result<Self, CheckpointError> {
+        let text = fs::read_to_string(path).map_err(|e| CheckpointError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        Self::parse(&text, path, Some(expected_fingerprint))
+    }
+
+    /// Validate and load a checkpoint file without knowing the sweep
+    /// parameters it was written under (fingerprint is reported, not
+    /// checked) — the `repro doctor` inspection path.
+    pub fn inspect(path: &Path) -> Result<Self, CheckpointError> {
+        let text = fs::read_to_string(path).map_err(|e| CheckpointError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        Self::parse(&text, path, None)
     }
 
     /// Resume if `path` exists, start fresh otherwise. Corrupt files
@@ -254,7 +297,7 @@ impl SweepCheckpoint {
 /// the 16-hex-digit IEEE-754 bit pattern, every string as hex-encoded
 /// UTF-8, so decode(encode(x)) == x exactly.
 pub mod codec {
-    use crate::engine::QuarantinedTask;
+    use crate::engine::{QuarantinedTask, SelfCheckViolation, TaskFault};
     use crate::sim::{Outcome, RoundRecord, SimResult};
     use sbgp_asgraph::AsId;
     use sbgp_routing::SecureSet;
@@ -358,12 +401,25 @@ pub mod codec {
         for q in &r.quarantined {
             let _ = writeln!(
                 out,
-                "quarantine {} {} {}",
+                "quarantine {} {} {} {}",
                 q.dest.0,
                 q.attempts,
+                q.kind,
                 hex_str(&q.message)
             );
         }
+        let _ = writeln!(out, "self_checked {}", r.self_checked);
+        let _ = writeln!(out, "violations {}", r.violations.len());
+        for v in &r.violations {
+            let _ = writeln!(
+                out,
+                "violation {} {} {}",
+                v.dest.0,
+                hex_str(&v.detail),
+                hex_str(&v.artifact)
+            );
+        }
+        push_ids(out, "deadline_skipped", &r.deadline_skipped);
     }
 
     /// Line-cursor over encoded text, tracking 1-based line numbers
@@ -596,6 +652,11 @@ pub mod codec {
                 .next()
                 .and_then(|t| t.parse().ok())
                 .ok_or_else(|| p.err("quarantine: bad attempts"))?;
+            let kind = match qtoks.next() {
+                Some("panic") => TaskFault::Panic,
+                Some("timeout") => TaskFault::TimedOut,
+                other => return Err(p.err(format!("quarantine: unknown fault kind {other:?}"))),
+            };
             let message = qtoks
                 .next()
                 .and_then(unhex_str)
@@ -603,9 +664,34 @@ pub mod codec {
             quarantined.push(QuarantinedTask {
                 dest: AsId(dest),
                 attempts,
+                kind,
                 message,
             });
         }
+        let self_checked = p.tagged_usize("self_checked")?;
+        let n_violations = p.tagged_usize("violations")?;
+        let mut violations = Vec::with_capacity(n_violations);
+        for _ in 0..n_violations {
+            let mut vtoks = p.tagged("violation")?;
+            let dest: u32 = vtoks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| p.err("violation: bad dest"))?;
+            let detail = vtoks
+                .next()
+                .and_then(unhex_str)
+                .ok_or_else(|| p.err("violation: bad detail"))?;
+            let artifact = vtoks
+                .next()
+                .and_then(unhex_str)
+                .ok_or_else(|| p.err("violation: bad artifact"))?;
+            violations.push(SelfCheckViolation {
+                dest: AsId(dest),
+                detail,
+                artifact,
+            });
+        }
+        let deadline_skipped = p.tagged_ids("deadline_skipped")?;
         Ok(SimResult {
             starting_utilities,
             initial_state,
@@ -615,6 +701,9 @@ pub mod codec {
             early_adopters,
             completeness,
             quarantined,
+            self_checked,
+            violations,
+            deadline_skipped,
         })
     }
 }
@@ -649,6 +738,7 @@ mod tests {
             Some(ChaosPlan {
                 dest: 7,
                 fail_attempts: u32::MAX,
+                ..ChaosPlan::default()
             }),
         ] {
             let r = sample_result(42, chaos);
@@ -709,7 +799,7 @@ mod tests {
         let dir = std::env::temp_dir().join("sbgp_ckpt_corrupt");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.ckpt");
-        std::fs::write(&path, "sbgp-checkpoint v1\nfingerprint zzzz\n").unwrap();
+        std::fs::write(&path, "sbgp-checkpoint v2\nfingerprint zzzz\n").unwrap();
         assert!(matches!(
             SweepCheckpoint::load(&path, 0),
             Err(CheckpointError::Corrupt { line: 2, .. })

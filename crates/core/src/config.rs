@@ -46,6 +46,26 @@ pub struct ChaosPlan {
     /// `fail_attempts <= max_task_retries` the task recovers on retry;
     /// larger values exhaust the budget and quarantine it.
     pub fail_attempts: u32,
+    /// Instead of (or in addition to) panicking, silently corrupt the
+    /// destination's base routing tree after it is computed — the
+    /// failure mode `--self-check` exists to catch. The corruption
+    /// flips one node's next hop to a different (legal) tiebreak-set
+    /// member, which the differential checker must flag as a
+    /// [`NextHop`](sbgp_routing::diffcheck::MismatchKind::NextHop)
+    /// mismatch.
+    pub corrupt_tree: bool,
+}
+
+impl Default for ChaosPlan {
+    /// A plan that injects nothing: no destination matches `dest`
+    /// attempts (`fail_attempts == 0`) and no corruption.
+    fn default() -> Self {
+        ChaosPlan {
+            dest: u32::MAX,
+            fail_attempts: 0,
+            corrupt_tree: false,
+        }
+    }
 }
 
 /// Parameters of a deployment simulation.
@@ -82,6 +102,24 @@ pub struct SimConfig {
     pub max_task_retries: u32,
     /// Optional deterministic fault injection (see [`ChaosPlan`]).
     pub chaos: Option<ChaosPlan>,
+    /// Differential self-checking rate: the fraction of destinations
+    /// whose computed routing tree is replayed through the reference
+    /// oracle ([`sbgp_routing::diffcheck`]). `0.0` (the default)
+    /// disables the audit; `1.0` audits every destination. Sampling is
+    /// a deterministic hash of the destination id, so the audited set
+    /// is identical across runs and thread counts.
+    pub self_check: f64,
+    /// Soft per-destination deadline: a task whose successful attempt
+    /// took longer than this is quarantined as
+    /// [`TaskFault::TimedOut`](crate::TaskFault::TimedOut) and its
+    /// contributions are discarded, converting a runaway destination
+    /// into an honest completeness loss instead of a hung sweep.
+    pub task_deadline: Option<std::time::Duration>,
+    /// Global wall-clock budget: once this instant passes, workers stop
+    /// starting new destination tasks and report the remainder as
+    /// deadline-skipped, degrading gracefully to a destination sample
+    /// with an explicit completeness fraction.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for SimConfig {
@@ -97,6 +135,9 @@ impl Default for SimConfig {
             activation: Activation::Simultaneous,
             max_task_retries: 1,
             chaos: None,
+            self_check: 0.0,
+            task_deadline: None,
+            deadline: None,
         }
     }
 }

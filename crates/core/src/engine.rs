@@ -42,13 +42,24 @@
 //! instead of one poisoned destination aborting the whole sweep.
 
 use crate::config::SimConfig;
+use crate::guard;
 use sbgp_asgraph::{AsGraph, AsId, Weights};
 use sbgp_routing::{
-    accumulate_flows, add_utilities, compute_tree, flows_and_target_utility, DestContext,
-    RouteTree, SecureSet, TieBreaker,
+    accumulate_flows, add_utilities, compute_tree, diffcheck, flows_and_target_utility,
+    DestContext, RouteTree, SecureSet, TieBreaker,
 };
+use std::time::Instant;
 
 use crate::config::UtilityModel;
+
+/// Predicate-evaluation budget for shrinking one self-check violation
+/// (each evaluation runs a full oracle convergence on the shrinking
+/// graph, so this bounds the cost of minimizing a counterexample).
+const SHRINK_AUDIT_BUDGET: usize = 512;
+
+/// Release-mode node stride for the sampled export-legality guard
+/// (debug builds check every node of every guarded destination).
+const GUARD_STRIDE: usize = if cfg!(debug_assertions) { 1 } else { 16 };
 
 /// Candidate action this round.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -60,16 +71,73 @@ enum CandKind {
     TurnOff,
 }
 
-/// A per-destination task that kept panicking after every retry and
-/// was excluded from the round's totals.
+/// Why a per-destination task was quarantined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskFault {
+    /// The task panicked on every attempt (retry budget exhausted).
+    Panic,
+    /// The task completed, but its successful attempt exceeded the
+    /// [`SimConfig::task_deadline`] soft deadline; its contributions
+    /// were discarded.
+    TimedOut,
+}
+
+impl std::fmt::Display for TaskFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskFault::Panic => f.write_str("panic"),
+            TaskFault::TimedOut => f.write_str("timeout"),
+        }
+    }
+}
+
+/// A per-destination task that was excluded from the round's totals —
+/// either it kept panicking after every retry, or it blew its soft
+/// deadline.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QuarantinedTask {
     /// The destination whose task was poisoned.
     pub dest: AsId,
     /// How many times the task was attempted (1 + retries).
     pub attempts: u32,
-    /// The panic payload of the final attempt, stringified.
+    /// Why the task was quarantined.
+    pub kind: TaskFault,
+    /// The panic payload of the final attempt (or the deadline
+    /// overshoot), stringified.
     pub message: String,
+}
+
+/// A recorded disagreement between the fast routing pipeline and the
+/// reference oracle, caught by the `--self-check` differential audit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelfCheckViolation {
+    /// The destination whose routing tree diverged.
+    pub dest: AsId,
+    /// One-line description of the first divergence.
+    pub detail: String,
+    /// Replayable counterexample artifact (see
+    /// [`diffcheck::Counterexample::artifact`]), minimized when the
+    /// divergence reproduces from the `(graph, secure-set, dest)`
+    /// triple alone.
+    pub artifact: String,
+}
+
+/// Deterministic self-check sampling: audit `dest` iff an FNV-1a hash
+/// of its id, mapped to `[0, 1)`, falls below `rate`. Independent of
+/// thread count and run order, so the audited set is reproducible.
+fn self_check_due(rate: f64, dest: AsId) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in dest.0.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    ((h >> 11) as f64 / (1u64 << 53) as f64) < rate
 }
 
 /// Result of one round's utility computation.
@@ -84,9 +152,20 @@ pub struct RoundComputation {
     pub proj_out: Vec<f64>,
     /// `u_n(¬S_n, S_−n)` per node, incoming model.
     pub proj_in: Vec<f64>,
-    /// Destination tasks that exhausted their retry budget, ascending
-    /// by destination id; empty on a healthy round.
+    /// Destination tasks that exhausted their retry budget or blew
+    /// their soft deadline, ascending by destination id; empty on a
+    /// healthy round.
     pub quarantined: Vec<QuarantinedTask>,
+    /// Destinations never attempted because the global
+    /// [`SimConfig::deadline`] passed, ascending by id.
+    pub deadline_skipped: Vec<AsId>,
+    /// How many destinations the `--self-check` differential audit
+    /// replayed through the oracle this round.
+    pub audited: usize,
+    /// Divergences the differential audit found, ascending by
+    /// destination id; empty unless the fast pipeline is buggy (or
+    /// chaos corruption is injected).
+    pub violations: Vec<SelfCheckViolation>,
     /// Fraction of per-destination tasks whose contributions made it
     /// into the totals (`1.0` on a healthy round).
     pub completeness: f64,
@@ -126,13 +205,22 @@ struct Scratch {
     // `(candidate index, Δout, Δin)`. Committed to `delta_out`/
     // `delta_in` only once the task completes without panicking.
     pending: Vec<(u32, f64, f64)>,
+    // Journaled self-check results from the in-flight task, committed
+    // alongside `pending` so a retried attempt never double-counts.
+    pending_audits: usize,
+    pending_violations: Vec<SelfCheckViolation>,
     // Accumulators (the worker's "reduce" inputs).
     u_out: Vec<f64>,
     u_in: Vec<f64>,
     delta_out: Vec<f64>,
     delta_in: Vec<f64>,
-    // Tasks that exhausted their retry budget.
+    // Tasks that exhausted their retry budget or timed out.
     quarantined: Vec<QuarantinedTask>,
+    // Committed self-check tallies.
+    audited: usize,
+    violations: Vec<SelfCheckViolation>,
+    // Destinations this worker never attempted (global deadline).
+    deadline_skipped: Vec<AsId>,
 }
 
 impl Scratch {
@@ -148,12 +236,46 @@ impl Scratch {
             dest_in: vec![0.0; n],
             flips: Vec::new(),
             pending: Vec::new(),
+            pending_audits: 0,
+            pending_violations: Vec::new(),
             u_out: vec![0.0; n],
             u_in: vec![0.0; n],
             delta_out: vec![0.0; n],
             delta_in: vec![0.0; n],
             quarantined: Vec::new(),
+            audited: 0,
+            violations: Vec::new(),
+            deadline_skipped: Vec::new(),
         }
+    }
+}
+
+/// Chaos helper: corrupt a computed routing tree in a way that is
+/// *export-legal* (the substituted next hop is another tiebreak-set
+/// member, so path lengths and valley-freedom still hold) but wrong —
+/// exactly the class of silent bug only the differential oracle audit
+/// can catch. Falls back to flipping a secure bit if no node has a
+/// choice of next hops.
+fn corrupt_tree_for_chaos(ctx: &DestContext, tree: &mut RouteTree) {
+    for &xi in ctx.order() {
+        let x = AsId(xi);
+        if x == ctx.dest() {
+            continue;
+        }
+        let tb = ctx.tiebreak_set(x);
+        if tb.len() >= 2 {
+            let cur = tree.next_hop[x.index()];
+            if let Some(&other) = tb.iter().find(|&&m| m != cur) {
+                tree.next_hop[x.index()] = other;
+                return;
+            }
+        }
+    }
+    // Degenerate tree (no tiebreak competition anywhere): corrupt a
+    // security flag instead.
+    if let Some(&xi) = ctx.order().iter().find(|&&xi| AsId(xi) != ctx.dest()) {
+        let i = xi as usize;
+        tree.secure[i] = !tree.secure[i];
     }
 }
 
@@ -179,18 +301,33 @@ pub struct UtilityEngine<'a> {
 
 impl<'a> UtilityEngine<'a> {
     /// Create an engine over `g` with traffic `weights`.
+    ///
+    /// # Panics
+    /// Panics if the graph's stub/ISP/CP partition is internally
+    /// inconsistent (see [`guard::check_partition`]) — every utility
+    /// model in the paper leans on that partition, so an engine must
+    /// never be built over a graph that violates it.
     pub fn new(
         g: &'a AsGraph,
         weights: &'a Weights,
         tiebreaker: &'a dyn TieBreaker,
         cfg: SimConfig,
     ) -> Self {
+        if let Err(v) = guard::check_partition(g) {
+            panic!("{v}");
+        }
         UtilityEngine {
             g,
             weights,
             tiebreaker,
             cfg,
         }
+    }
+
+    /// Whether the global wall-clock budget has expired.
+    #[inline]
+    fn past_deadline(&self) -> bool {
+        self.cfg.deadline.is_some_and(|dl| Instant::now() >= dl)
     }
 
     /// The configuration this engine runs under.
@@ -234,6 +371,10 @@ impl<'a> UtilityEngine<'a> {
         let outputs: Vec<Scratch> = if threads <= 1 {
             let mut sc = Scratch::new(n, state);
             for d in self.g.nodes() {
+                if self.past_deadline() {
+                    sc.deadline_skipped.push(d);
+                    continue;
+                }
                 self.run_dest_isolated(d, state, candidates, &kind, skip_rules, &mut sc);
             }
             vec![sc]
@@ -249,14 +390,22 @@ impl<'a> UtilityEngine<'a> {
                         // between secure and insecure destinations.
                         let mut d = t as u32;
                         while (d as usize) < n {
-                            self.run_dest_isolated(
-                                AsId(d),
-                                state,
-                                candidates,
-                                kind,
-                                skip_rules,
-                                &mut sc,
-                            );
+                            if self.past_deadline() {
+                                // The stride keeps skipped destinations
+                                // roughly uniform across the id space —
+                                // the graceful degradation to a
+                                // destination sample.
+                                sc.deadline_skipped.push(AsId(d));
+                            } else {
+                                self.run_dest_isolated(
+                                    AsId(d),
+                                    state,
+                                    candidates,
+                                    kind,
+                                    skip_rules,
+                                    &mut sc,
+                                );
+                            }
                             d += threads as u32;
                         }
                         sc
@@ -273,6 +422,9 @@ impl<'a> UtilityEngine<'a> {
         let mut proj_out = vec![0.0; n];
         let mut proj_in = vec![0.0; n];
         let mut quarantined = Vec::new();
+        let mut deadline_skipped = Vec::new();
+        let mut audited = 0usize;
+        let mut violations = Vec::new();
         for sc in &outputs {
             for i in 0..n {
                 base_out[i] += sc.u_out[i];
@@ -281,12 +433,17 @@ impl<'a> UtilityEngine<'a> {
                 proj_in[i] += sc.delta_in[i];
             }
             quarantined.extend(sc.quarantined.iter().cloned());
+            deadline_skipped.extend(sc.deadline_skipped.iter().copied());
+            audited += sc.audited;
+            violations.extend(sc.violations.iter().cloned());
         }
         quarantined.sort_by_key(|q: &QuarantinedTask| q.dest);
+        deadline_skipped.sort_unstable();
+        violations.sort_by_key(|v: &SelfCheckViolation| v.dest);
         let completeness = if n == 0 {
             1.0
         } else {
-            (n - quarantined.len()) as f64 / n as f64
+            (n - quarantined.len() - deadline_skipped.len()) as f64 / n as f64
         };
         // Projected = base + accumulated deltas (skipped destinations
         // contribute zero delta by the C.4 arguments).
@@ -300,6 +457,9 @@ impl<'a> UtilityEngine<'a> {
             proj_out,
             proj_in,
             quarantined,
+            deadline_skipped,
+            audited,
+            violations,
             completeness,
         }
     }
@@ -323,6 +483,9 @@ impl<'a> UtilityEngine<'a> {
         let mut last_message = String::new();
         for attempt in 1..=max_attempts {
             sc.pending.clear();
+            sc.pending_audits = 0;
+            sc.pending_violations.clear();
+            let started = Instant::now();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if let Some(chaos) = self.cfg.chaos {
                     if chaos.dest == d.0 && attempt <= chaos.fail_attempts {
@@ -333,6 +496,23 @@ impl<'a> UtilityEngine<'a> {
             }));
             match outcome {
                 Ok(()) => {
+                    // Soft deadline: a successful but runaway attempt is
+                    // quarantined instead of committed — retrying would
+                    // only run long again.
+                    if let Some(limit) = self.cfg.task_deadline {
+                        let took = started.elapsed();
+                        if took > limit {
+                            sc.quarantined.push(QuarantinedTask {
+                                dest: d,
+                                attempts: attempt,
+                                kind: TaskFault::TimedOut,
+                                message: format!(
+                                    "destination task exceeded soft deadline: {took:?} > {limit:?}"
+                                ),
+                            });
+                            return;
+                        }
+                    }
                     // Commit: the task's per-destination journal only
                     // touches indices in its own routing order, all of
                     // which it zeroed first, so stale entries from a
@@ -345,6 +525,8 @@ impl<'a> UtilityEngine<'a> {
                         sc.delta_out[c as usize] += o;
                         sc.delta_in[c as usize] += i;
                     }
+                    sc.audited += sc.pending_audits;
+                    sc.violations.append(&mut sc.pending_violations);
                     return;
                 }
                 Err(payload) => {
@@ -359,6 +541,7 @@ impl<'a> UtilityEngine<'a> {
         sc.quarantined.push(QuarantinedTask {
             dest: d,
             attempts: max_attempts,
+            kind: TaskFault::Panic,
             message: last_message,
         });
     }
@@ -385,6 +568,53 @@ impl<'a> UtilityEngine<'a> {
 
         // Base tree, flows, and this destination's utility contributions.
         compute_tree(g, &sc.ctx, state, policy, &mut sc.base_tree);
+
+        // Chaos: silently corrupt the freshly computed tree — the
+        // failure mode the differential audit below must catch.
+        if let Some(chaos) = self.cfg.chaos {
+            if chaos.corrupt_tree && chaos.dest == d.0 {
+                corrupt_tree_for_chaos(&sc.ctx, &mut sc.base_tree);
+            }
+        }
+
+        // Export-legality guard: every extracted path must be GR2-legal
+        // and length-consistent. Debug builds check every sampled
+        // destination fully; release builds sample nodes too. A
+        // violation panics inside the task boundary, quarantining this
+        // destination.
+        if guard::should_check(u64::from(d.0)) {
+            if let Err(v) = guard::check_path_legality(g, &sc.ctx, &sc.base_tree, GUARD_STRIDE) {
+                panic!("{v}");
+            }
+        }
+
+        // Differential self-check: replay this destination through the
+        // reference oracle and record (never abort on) any divergence,
+        // shrunk to a minimal reproducible counterexample when possible.
+        if self_check_due(self.cfg.self_check, d) {
+            sc.pending_audits += 1;
+            if let Some(m) =
+                diffcheck::compare(g, &sc.ctx, &sc.base_tree, state, policy, self.tiebreaker)
+            {
+                let detail = m.to_string();
+                let tiebreaker = self.tiebreaker;
+                let cex = diffcheck::shrink(
+                    g,
+                    state,
+                    d,
+                    policy,
+                    m,
+                    |g2, s2, d2| diffcheck::audit(g2, d2, s2, policy, tiebreaker),
+                    SHRINK_AUDIT_BUDGET,
+                );
+                sc.pending_violations.push(SelfCheckViolation {
+                    dest: d,
+                    detail,
+                    artifact: cex.artifact(),
+                });
+            }
+        }
+
         accumulate_flows(&sc.ctx, &sc.base_tree, self.weights, &mut sc.base_flow);
         for &xi in sc.ctx.order() {
             sc.dest_out[xi as usize] = 0.0;
@@ -720,5 +950,23 @@ mod tests {
             assert!((a.base_out[i] - b.base_out[i]).abs() < 1e-6);
             assert!((a.proj_in[i] - b.proj_in[i]).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn self_check_sampling_is_roughly_uniform_on_small_id_ranges() {
+        // Regression: a mistyped FNV prime once mapped every id below
+        // 150 into [0.67, 0.91], silently disabling --self-check rates
+        // under 0.67 on small graphs.
+        for (rate, lo, hi) in [(0.05, 2, 20), (0.5, 50, 100)] {
+            let hits = (0u32..150)
+                .filter(|&i| self_check_due(rate, AsId(i)))
+                .count();
+            assert!(
+                (lo..=hi).contains(&hits),
+                "rate {rate}: {hits} of 150 sampled"
+            );
+        }
+        assert!(!self_check_due(0.0, AsId(7)));
+        assert!(self_check_due(1.0, AsId(7)));
     }
 }

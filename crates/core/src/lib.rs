@@ -62,12 +62,13 @@ mod sim;
 mod state;
 
 pub mod checkpoint;
+pub mod guard;
 pub mod metrics;
 pub mod resilience;
 pub mod turnoff;
 
 pub use config::{Activation, ChaosPlan, SimConfig, UtilityModel};
 pub use early::{greedy_select, EarlyAdopters};
-pub use engine::{QuarantinedTask, RoundComputation, UtilityEngine};
+pub use engine::{QuarantinedTask, RoundComputation, SelfCheckViolation, TaskFault, UtilityEngine};
 pub use sim::{Outcome, RoundRecord, SimResult, Simulation};
 pub use state::initial_state;

@@ -56,6 +56,57 @@ impl HijackOutcome {
     }
 }
 
+/// The two-origin path-vector fixpoint did not settle within its
+/// iteration budget.
+///
+/// On a GR1-valid graph the convergence proof of [`sbgp_routing::oracle`]
+/// carries over, so this is only reachable on malformed inputs (e.g. a
+/// fault-injected cyclic topology). It used to be a panic deep inside a
+/// sweep; it is now a value, so callers can quarantine the offending
+/// pair and keep the rest of the sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvergenceError {
+    /// The sampled attacker.
+    pub attacker: AsId,
+    /// The sampled victim.
+    pub victim: AsId,
+    /// The iteration budget that was exhausted (`2·|V| + 10`).
+    pub iterations: usize,
+}
+
+impl std::fmt::Display for ConvergenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hijack simulation (attacker node {}, victim node {}) failed to converge within {} iterations",
+            self.attacker.0, self.victim.0, self.iterations
+        )
+    }
+}
+
+impl std::error::Error for ConvergenceError {}
+
+/// Outcome of a [`mean_deceived_fraction`] sweep: the headline mean
+/// plus an explicit account of any (attacker, victim) pairs whose
+/// fixpoint had to be quarantined.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeceptionSample {
+    /// Mean deceived fraction over the pairs that converged (`0.0`
+    /// when none did).
+    pub mean: f64,
+    /// How many sampled pairs converged and contributed to the mean.
+    pub sampled: usize,
+    /// Pairs that exhausted the iteration budget, in sample order.
+    pub quarantined: Vec<ConvergenceError>,
+}
+
+impl DeceptionSample {
+    /// Did every sampled pair converge?
+    pub fn converged(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
 /// A ranked candidate: (LP class, length, security flag, tiebreak key)
 /// plus the path itself.
 type RankedPath = ((u8, usize, u8, u64), Vec<AsId>);
@@ -69,6 +120,10 @@ fn validates(g: &AsGraph, state: &SecureSet, n: AsId) -> bool {
 /// Simulate `attacker` origin-hijacking `victim`'s prefix under
 /// deployment state `state`.
 ///
+/// # Errors
+/// Returns [`ConvergenceError`] if the two-origin fixpoint exhausts its
+/// iteration budget (impossible on GR1-valid graphs).
+///
 /// # Panics
 /// Panics if `attacker == victim`.
 pub fn simulate_hijack(
@@ -78,7 +133,7 @@ pub fn simulate_hijack(
     attacker: AsId,
     victim: AsId,
     tiebreaker: &dyn TieBreaker,
-) -> HijackOutcome {
+) -> Result<HijackOutcome, ConvergenceError> {
     assert_ne!(attacker, victim, "attacker cannot hijack itself");
     let n = g.len();
     // Route per node: the AS-path to whichever origin it selected.
@@ -109,10 +164,13 @@ pub fn simulate_hijack(
     let mut iterations = 0;
     loop {
         iterations += 1;
-        assert!(
-            iterations <= max_iters,
-            "hijack simulation failed to converge"
-        );
+        if iterations > max_iters {
+            return Err(ConvergenceError {
+                attacker,
+                victim,
+                iterations: max_iters,
+            });
+        }
         let mut changed = false;
         let mut next = paths.clone();
         for x in g.nodes() {
@@ -174,13 +232,17 @@ pub fn simulate_hijack(
             Some(_) => outcome.reached_victim += 1,
         }
     }
-    outcome
+    Ok(outcome)
 }
 
 /// Mean deceived fraction over `n_pairs` deterministic
 /// (attacker, victim) samples — the headline resilience number for a
 /// deployment state. The same seed samples the same pairs, so states
 /// can be compared.
+///
+/// Pairs whose fixpoint fails to converge are quarantined in the
+/// returned [`DeceptionSample`] instead of aborting the sweep; the mean
+/// is taken over the pairs that converged.
 pub fn mean_deceived_fraction(
     g: &AsGraph,
     state: &SecureSet,
@@ -188,23 +250,39 @@ pub fn mean_deceived_fraction(
     tiebreaker: &dyn TieBreaker,
     n_pairs: usize,
     seed: u64,
-) -> f64 {
+) -> DeceptionSample {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
     let n = g.len() as u32;
     let mut total = 0.0;
-    let mut count = 0;
-    while count < n_pairs {
+    let mut sampled = 0;
+    let mut quarantined = Vec::new();
+    let mut drawn = 0;
+    while drawn < n_pairs {
         let a = AsId(rng.gen_range(0..n));
         let v = AsId(rng.gen_range(0..n));
         if a == v {
             continue;
         }
-        total += simulate_hijack(g, state, policy, a, v, tiebreaker).deceived_fraction();
-        count += 1;
+        drawn += 1;
+        match simulate_hijack(g, state, policy, a, v, tiebreaker) {
+            Ok(out) => {
+                total += out.deceived_fraction();
+                sampled += 1;
+            }
+            Err(e) => quarantined.push(e),
+        }
     }
-    total / n_pairs as f64
+    DeceptionSample {
+        mean: if sampled == 0 {
+            0.0
+        } else {
+            total / sampled as f64
+        },
+        sampled,
+        quarantined,
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +312,8 @@ mod tests {
     fn insecure_world_splits_by_distance_and_tiebreak() {
         let (g, t, ia, _ib, v, a) = contest();
         let state = SecureSet::new(g.len());
-        let out = simulate_hijack(&g, &state, TreePolicy::default(), a, v, &LowestAsnTieBreak);
+        let out =
+            simulate_hijack(&g, &state, TreePolicy::default(), a, v, &LowestAsnTieBreak).unwrap();
         // ia is v's provider (1 hop): not deceived. ib is a's provider:
         // deceived. t ties at length 2 and picks via ia (ASN 10 < 20):
         // reaches the victim.
@@ -259,7 +338,8 @@ mod tests {
         for x in [t, ia, ib, v] {
             state.set(x, true);
         }
-        let out = simulate_hijack(&g, &state, TreePolicy::default(), a, v, &LowestAsnTieBreak);
+        let out =
+            simulate_hijack(&g, &state, TreePolicy::default(), a, v, &LowestAsnTieBreak).unwrap();
         assert_eq!(out.deceived, 0);
         assert_eq!(out.reached_victim, 3);
     }
@@ -297,7 +377,7 @@ mod tests {
         for x in [t, ia, ib, v, s] {
             state.set(x, true);
         }
-        let out = simulate_hijack(&g, &state, TreePolicy::default(), a, v, &HashTieBreak);
+        let out = simulate_hijack(&g, &state, TreePolicy::default(), a, v, &HashTieBreak).unwrap();
         assert_eq!(
             out.deceived, 0,
             "validating providers shield the simplex stub"
@@ -315,7 +395,8 @@ mod tests {
             a,
             v,
             &LowestAsnTieBreak,
-        );
+        )
+        .unwrap();
         // s ties between (s, ia, v) true and (s, ib, a) bogus, both
         // 2-hop provider routes; with no secure path available its
         // plain tiebreak decides (ia, ASN 10) — not deceived. ib is.
@@ -335,9 +416,14 @@ mod tests {
             full.set(x, true);
         }
         let policy = TreePolicy::default();
-        let base = mean_deceived_fraction(&g, &insecure, policy, &HashTieBreak, 30, 9);
-        let mid = mean_deceived_fraction(&g, &half, policy, &HashTieBreak, 30, 9);
-        let top = mean_deceived_fraction(&g, &full, policy, &HashTieBreak, 30, 9);
+        let base_sample = mean_deceived_fraction(&g, &insecure, policy, &HashTieBreak, 30, 9);
+        let mid_sample = mean_deceived_fraction(&g, &half, policy, &HashTieBreak, 30, 9);
+        let top_sample = mean_deceived_fraction(&g, &full, policy, &HashTieBreak, 30, 9);
+        for s in [&base_sample, &mid_sample, &top_sample] {
+            assert!(s.converged(), "GR1-valid graph must converge: {s:?}");
+            assert_eq!(s.sampled, 30);
+        }
+        let (base, mid, top) = (base_sample.mean, mid_sample.mean, top_sample.mean);
         // The paper's motivating number: an arbitrary attacker fools a
         // large chunk of the insecure Internet.
         assert!(base > 0.15, "insecure baseline too low: {base}");
@@ -356,6 +442,19 @@ mod tests {
         let a = mean_deceived_fraction(&g, &state, p, &HashTieBreak, 20, 1);
         let b = mean_deceived_fraction(&g, &state, p, &HashTieBreak, 20, 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn convergence_error_formats_the_pair() {
+        let e = ConvergenceError {
+            attacker: AsId(7),
+            victim: AsId(3),
+            iterations: 42,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("attacker node 7"), "{msg}");
+        assert!(msg.contains("victim node 3"), "{msg}");
+        assert!(msg.contains("42 iterations"), "{msg}");
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The deployment-process driver (Section 3.2).
 
 use crate::config::{SimConfig, UtilityModel};
-use crate::engine::{QuarantinedTask, RoundComputation, UtilityEngine};
-use crate::state;
+use crate::engine::{QuarantinedTask, RoundComputation, SelfCheckViolation, UtilityEngine};
+use crate::{guard, state};
 use sbgp_asgraph::{AsGraph, AsId, Weights};
 use sbgp_routing::{SecureSet, TieBreaker};
 use std::collections::HashMap;
@@ -78,6 +78,18 @@ pub struct SimResult {
     /// Destination tasks quarantined in any round, deduplicated by
     /// destination and ascending by id.
     pub quarantined: Vec<QuarantinedTask>,
+    /// Total differential audits performed across all engine passes
+    /// (see [`SimConfig::self_check`]). `0` when self-checking is off.
+    pub self_checked: usize,
+    /// Differential-audit failures, deduplicated by destination and
+    /// ascending by id. Each carries a shrunk, replayable
+    /// counterexample artifact. Empty means every audit agreed with
+    /// the reference oracle.
+    pub violations: Vec<SelfCheckViolation>,
+    /// Destinations skipped in some round because the global
+    /// [`SimConfig::deadline`] passed, deduplicated and ascending.
+    /// Their absence is already reflected in [`completeness`](Self::completeness).
+    pub deadline_skipped: Vec<AsId>,
 }
 
 impl SimResult {
@@ -148,19 +160,37 @@ impl<'a> Simulation<'a> {
         let engine = UtilityEngine::new(g, self.weights, self.tiebreaker, self.cfg);
         let model = self.cfg.model;
 
-        // Fault-tolerance ledger: the worst round completeness and
-        // every quarantined destination seen along the way.
-        let mut completeness = 1.0f64;
-        let mut quarantined: Vec<QuarantinedTask> = Vec::new();
-        fn absorb(
-            comp: &RoundComputation,
-            completeness: &mut f64,
-            quarantined: &mut Vec<QuarantinedTask>,
-        ) {
-            *completeness = completeness.min(comp.completeness);
+        // Fault-tolerance ledger: the worst round completeness, every
+        // quarantined or deadline-skipped destination seen along the
+        // way, and the differential-audit tally.
+        #[derive(Default)]
+        struct Ledger {
+            completeness: f64,
+            quarantined: Vec<QuarantinedTask>,
+            self_checked: usize,
+            violations: Vec<SelfCheckViolation>,
+            deadline_skipped: Vec<AsId>,
+        }
+        let mut ledger = Ledger {
+            completeness: 1.0,
+            ..Ledger::default()
+        };
+        fn absorb(comp: &RoundComputation, ledger: &mut Ledger) {
+            ledger.completeness = ledger.completeness.min(comp.completeness);
             for q in &comp.quarantined {
-                if !quarantined.iter().any(|e| e.dest == q.dest) {
-                    quarantined.push(q.clone());
+                if !ledger.quarantined.iter().any(|e| e.dest == q.dest) {
+                    ledger.quarantined.push(q.clone());
+                }
+            }
+            ledger.self_checked += comp.audited;
+            for v in &comp.violations {
+                if !ledger.violations.iter().any(|e| e.dest == v.dest) {
+                    ledger.violations.push(v.clone());
+                }
+            }
+            for &d in &comp.deadline_skipped {
+                if !ledger.deadline_skipped.contains(&d) {
+                    ledger.deadline_skipped.push(d);
                 }
             }
         }
@@ -169,7 +199,7 @@ impl<'a> Simulation<'a> {
         // early adopters deployed (Figure 4's normalizer).
         let insecure = SecureSet::new(g.len());
         let starting = engine.compute(&insecure, &[]);
-        absorb(&starting, &mut completeness, &mut quarantined);
+        absorb(&starting, &mut ledger);
         let starting_utilities = match model {
             UtilityModel::Outgoing => starting.base_out.clone(),
             UtilityModel::Incoming => starting.base_in.clone(),
@@ -193,6 +223,7 @@ impl<'a> Simulation<'a> {
                 .filter(|&n| !state.get(n) || model == UtilityModel::Incoming)
                 .collect();
 
+            let secure_before = state.count();
             let mut turned_on = Vec::new();
             let mut turned_off = Vec::new();
             let mut newly_secure_stubs = Vec::new();
@@ -204,7 +235,7 @@ impl<'a> Simulation<'a> {
                     // The paper's rule: everyone best-responds to the
                     // same state, changes land together.
                     let comp = engine.compute(&state, &candidates);
-                    absorb(&comp, &mut completeness, &mut quarantined);
+                    absorb(&comp, &mut ledger);
                     for &n in &candidates {
                         let u = comp.base(model, n);
                         let proj = comp.projected(model, n);
@@ -244,14 +275,14 @@ impl<'a> Simulation<'a> {
                     // per mover (much slower; meant for gadget-scale
                     // dynamics, not the 36K-AS sweeps).
                     let snapshot = engine.compute(&state, &[]);
-                    absorb(&snapshot, &mut completeness, &mut quarantined);
+                    absorb(&snapshot, &mut ledger);
                     utilities = match model {
                         UtilityModel::Outgoing => snapshot.base_out,
                         UtilityModel::Incoming => snapshot.base_in,
                     };
                     for &n in &candidates {
                         let comp = engine.compute(&state, &[n]);
-                        absorb(&comp, &mut completeness, &mut quarantined);
+                        absorb(&comp, &mut ledger);
                         let u = comp.base(model, n);
                         let proj = comp.projected(model, n);
                         projected.push((n, proj));
@@ -273,6 +304,13 @@ impl<'a> Simulation<'a> {
                         }
                     }
                 }
+            }
+
+            // Theorem 6.2 invariant: in the outgoing model deployment
+            // only ever grows — a turn-off or a shrinking secure set
+            // here is a driver bug, not a modeling outcome.
+            if model == UtilityModel::Outgoing {
+                guard::assert_outgoing_monotone(&turned_off, secure_before, state.count());
             }
 
             let stable = turned_on.is_empty() && turned_off.is_empty();
@@ -303,7 +341,9 @@ impl<'a> Simulation<'a> {
             seen.insert(fp, round);
         }
 
-        quarantined.sort_by_key(|q| q.dest);
+        ledger.quarantined.sort_by_key(|q| q.dest);
+        ledger.violations.sort_by_key(|v| v.dest);
+        ledger.deadline_skipped.sort_unstable();
         SimResult {
             starting_utilities,
             initial_state,
@@ -311,8 +351,11 @@ impl<'a> Simulation<'a> {
             final_state: state,
             outcome,
             early_adopters,
-            completeness,
-            quarantined,
+            completeness: ledger.completeness,
+            quarantined: ledger.quarantined,
+            self_checked: ledger.self_checked,
+            violations: ledger.violations,
+            deadline_skipped: ledger.deadline_skipped,
         }
     }
 }
@@ -449,6 +492,7 @@ mod tests {
             chaos: Some(ChaosPlan {
                 dest: 3, // the multihomed stub
                 fail_attempts: u32::MAX,
+                ..ChaosPlan::default()
             }),
             ..SimConfig::default()
         };
@@ -480,6 +524,7 @@ mod tests {
             chaos: Some(ChaosPlan {
                 dest: 0,
                 fail_attempts: u32::MAX,
+                ..ChaosPlan::default()
             }),
             ..SimConfig::default()
         };
@@ -503,6 +548,7 @@ mod tests {
             chaos: Some(ChaosPlan {
                 dest: 3,
                 fail_attempts: 1,
+                ..ChaosPlan::default()
             }),
             ..SimConfig::default()
         };
@@ -510,6 +556,96 @@ mod tests {
         assert_eq!(recovered.completeness, 1.0);
         assert!(recovered.quarantined.is_empty());
         assert_eq!(recovered, clean);
+    }
+
+    #[test]
+    fn self_check_on_healthy_run_audits_everything_and_finds_nothing() {
+        let (g, t, _, _) = diamond_world();
+        let w = Weights::uniform(&g);
+        let tb = LowestAsnTieBreak;
+        let clean = Simulation::new(&g, &w, &tb, SimConfig::default()).run(&[t]);
+        let cfg = SimConfig {
+            self_check: 1.0,
+            ..SimConfig::default()
+        };
+        let audited = Simulation::new(&g, &w, &tb, cfg).run(&[t]);
+        assert!(audited.self_checked > 0, "rate 1.0 must audit");
+        assert!(
+            audited.violations.is_empty(),
+            "fast path must agree with the oracle: {:?}",
+            audited.violations
+        );
+        // The audit is observation-only: the simulated outcome is
+        // bit-identical to the unaudited run.
+        assert_eq!(audited.final_state, clean.final_state);
+        assert_eq!(audited.rounds, clean.rounds);
+        assert_eq!(audited.deadline_skipped, Vec::new());
+    }
+
+    #[test]
+    fn chaos_corrupted_tree_is_flagged_by_self_check() {
+        use crate::config::ChaosPlan;
+        let (g, t, _, _) = diamond_world();
+        let w = Weights::uniform(&g);
+        let tb = LowestAsnTieBreak;
+        let cfg = SimConfig {
+            self_check: 1.0,
+            chaos: Some(ChaosPlan {
+                dest: 3, // the multihomed stub: two providers → a real tiebreak set
+                corrupt_tree: true,
+                ..ChaosPlan::default()
+            }),
+            ..SimConfig::default()
+        };
+        let res = Simulation::new(&g, &w, &tb, cfg).run(&[t]);
+        assert_eq!(res.violations.len(), 1, "corruption deduped by destination");
+        let v = &res.violations[0];
+        assert_eq!(v.dest, AsId(3));
+        assert!(
+            v.artifact.contains("sbgp-diffcheck counterexample"),
+            "violation ships a replayable artifact:\n{}",
+            v.artifact
+        );
+        // The corrupted contribution still flowed into the totals (the
+        // checker observes, it does not veto) — but the run says so.
+        assert!(res.self_checked > 0);
+    }
+
+    #[test]
+    fn expired_global_deadline_skips_destinations_honestly() {
+        let (g, t, _, _) = diamond_world();
+        let w = Weights::uniform(&g);
+        let tb = LowestAsnTieBreak;
+        let cfg = SimConfig {
+            deadline: Some(std::time::Instant::now()),
+            ..SimConfig::default()
+        };
+        let res = Simulation::new(&g, &w, &tb, cfg).run(&[t]);
+        assert_eq!(res.completeness, 0.0, "already-expired budget skips all");
+        assert_eq!(res.deadline_skipped.len(), g.len());
+        assert!(res.quarantined.is_empty(), "skipped, not faulted");
+        // The driver still terminates with a (vacuous) outcome.
+        assert!(matches!(res.outcome, Outcome::Stable { .. }));
+    }
+
+    #[test]
+    fn zero_task_deadline_quarantines_every_destination_as_timed_out() {
+        use crate::engine::TaskFault;
+        let (g, t, _, _) = diamond_world();
+        let w = Weights::uniform(&g);
+        let tb = LowestAsnTieBreak;
+        let cfg = SimConfig {
+            task_deadline: Some(std::time::Duration::ZERO),
+            ..SimConfig::default()
+        };
+        let res = Simulation::new(&g, &w, &tb, cfg).run(&[t]);
+        assert_eq!(res.completeness, 0.0);
+        assert_eq!(res.quarantined.len(), g.len());
+        for q in &res.quarantined {
+            assert_eq!(q.kind, TaskFault::TimedOut);
+            assert!(q.message.contains("soft deadline"), "{}", q.message);
+        }
+        assert!(res.deadline_skipped.is_empty());
     }
 
     #[test]

@@ -5,7 +5,9 @@
 use crate::cli::Options;
 use crate::error::ExperimentError;
 use crate::output::{f3, heading, pct, Table};
-use crate::world::{case_study_adopters, case_study_config, weights, World, TIEBREAK};
+use crate::world::{
+    case_study_adopters, case_study_config, report_integrity, weights, World, TIEBREAK,
+};
 use sbgp_asgraph::AsId;
 use sbgp_core::{metrics, SimResult, Simulation};
 
@@ -17,6 +19,7 @@ fn run_case_study(opts: &Options) -> Result<(World, SimResult), ExperimentError>
     let adopters = case_study_adopters().select(g);
     let sim = Simulation::new(g, &w, &TIEBREAK, cfg);
     let res = sim.run(&adopters);
+    report_integrity(&res);
     Ok((world, res))
 }
 

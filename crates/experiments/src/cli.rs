@@ -1,4 +1,9 @@
 //! Minimal flag parsing (no external CLI crates offline).
+//!
+//! The same `key = value` vocabulary is accepted from a config file
+//! (`--config FILE`, or `repro doctor` validating one): keys are the
+//! flag names without the leading `--`, switches take `true`/`false`,
+//! and errors carry the offending line number.
 
 /// Options shared by all `repro` subcommands.
 #[derive(Clone, Debug)]
@@ -25,6 +30,20 @@ pub struct Options {
     pub fail_links: f64,
     /// Retries before a panicking per-destination task is quarantined.
     pub max_retries: u32,
+    /// Differential self-check sampling rate in [0, 1] (0 disables):
+    /// the fraction of destinations replayed through the reference
+    /// oracle each engine pass.
+    pub self_check: f64,
+    /// Global wall-clock budget in seconds, as given on the command
+    /// line; see [`deadline_at`](Self::deadline_at) for the resolved
+    /// instant.
+    pub deadline_secs: Option<f64>,
+    /// Soft per-destination deadline in seconds; slow tasks are
+    /// quarantined as timed out instead of stalling a sweep.
+    pub task_deadline_secs: Option<f64>,
+    /// The global budget resolved against the wall clock at parse
+    /// time, so it spans every simulation the command runs.
+    pub deadline_at: Option<std::time::Instant>,
 }
 
 impl Default for Options {
@@ -41,74 +60,131 @@ impl Default for Options {
             checkpoint_every: 0,
             fail_links: 0.0,
             max_retries: 1,
+            self_check: 0.0,
+            deadline_secs: None,
+            task_deadline_secs: None,
+            deadline_at: None,
         }
     }
 }
 
 impl Options {
-    /// Parse `--flag value` pairs; unknown flags are errors.
+    /// Parse `--flag value` pairs; unknown flags are errors. `--config
+    /// FILE` loads a `key = value` file at that point (later flags
+    /// override it).
     pub fn parse(args: &[String]) -> Result<Options, String> {
         let mut o = Options::default();
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| -> Result<&String, String> {
-                it.next().ok_or_else(|| format!("{name} needs a value"))
+            let Some(key) = flag.strip_prefix("--") else {
+                return Err(format!("unknown argument {flag:?}"));
             };
-            match flag.as_str() {
-                "--ases" => {
-                    o.ases = value("--ases")?
-                        .parse()
-                        .map_err(|e| format!("--ases: {e}"))?
+            match key {
+                "config" => {
+                    let path = it.next().ok_or("--config needs a value")?;
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("--config {path}: {e}"))?;
+                    apply_config(&mut o, &text).map_err(|e| format!("{path}: {e}"))?;
                 }
-                "--seed" => {
-                    o.seed = value("--seed")?
-                        .parse()
-                        .map_err(|e| format!("--seed: {e}"))?
+                "census" | "resume" => apply(&mut o, key, "true")?,
+                _ => {
+                    let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+                    apply(&mut o, key, v)?;
                 }
-                "--theta" => {
-                    o.theta = value("--theta")?
-                        .parse()
-                        .map_err(|e| format!("--theta: {e}"))?
-                }
-                "--cp-fraction" => {
-                    o.cp_fraction = value("--cp-fraction")?
-                        .parse()
-                        .map_err(|e| format!("--cp-fraction: {e}"))?
-                }
-                "--threads" => {
-                    o.threads = value("--threads")?
-                        .parse()
-                        .map_err(|e| format!("--threads: {e}"))?
-                }
-                "--out" => o.out = Some(value("--out")?.into()),
-                "--census" => o.census = true,
-                "--resume" => o.resume = true,
-                "--checkpoint-every" => {
-                    o.checkpoint_every = value("--checkpoint-every")?
-                        .parse()
-                        .map_err(|e| format!("--checkpoint-every: {e}"))?
-                }
-                "--fail-links" => {
-                    o.fail_links = value("--fail-links")?
-                        .parse()
-                        .map_err(|e| format!("--fail-links: {e}"))?
-                }
-                "--max-retries" => {
-                    o.max_retries = value("--max-retries")?
-                        .parse()
-                        .map_err(|e| format!("--max-retries: {e}"))?
-                }
-                other => return Err(format!("unknown flag {other:?}")),
             }
         }
-        if o.ases < 50 {
-            return Err("--ases must be at least 50".into());
-        }
-        if !(0.0..=1.0).contains(&o.fail_links) {
-            return Err("--fail-links must be a rate in [0, 1]".into());
-        }
+        o.validate()?;
         Ok(o)
     }
+
+    /// Parse a config file's text alone — `repro doctor`'s validation
+    /// path. Errors name the offending line.
+    pub fn from_config_str(text: &str) -> Result<Options, String> {
+        let mut o = Options::default();
+        apply_config(&mut o, text)?;
+        o.validate()?;
+        Ok(o)
+    }
+
+    /// The soft per-destination deadline as a [`std::time::Duration`].
+    pub fn task_deadline(&self) -> Option<std::time::Duration> {
+        self.task_deadline_secs
+            .map(std::time::Duration::from_secs_f64)
+    }
+
+    fn validate(&mut self) -> Result<(), String> {
+        if self.ases < 50 {
+            return Err("--ases must be at least 50".into());
+        }
+        if !(0.0..=1.0).contains(&self.fail_links) {
+            return Err("--fail-links must be a rate in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.self_check) {
+            return Err("--self-check must be a rate in [0, 1]".into());
+        }
+        for (name, secs) in [
+            ("--deadline", self.deadline_secs),
+            ("--task-deadline", self.task_deadline_secs),
+        ] {
+            if let Some(s) = secs {
+                if !(s > 0.0 && s.is_finite()) {
+                    return Err(format!("{name} must be a positive number of seconds"));
+                }
+            }
+        }
+        self.deadline_at = self
+            .deadline_secs
+            .map(|s| std::time::Instant::now() + std::time::Duration::from_secs_f64(s));
+        Ok(())
+    }
+}
+
+/// Apply one `key value` pair (the flag name without `--`).
+fn apply(o: &mut Options, key: &str, v: &str) -> Result<(), String> {
+    fn num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        v.parse().map_err(|e| format!("--{key}: {e}"))
+    }
+    match key {
+        "ases" => o.ases = num(key, v)?,
+        "seed" => o.seed = num(key, v)?,
+        "theta" => o.theta = num(key, v)?,
+        "cp-fraction" => o.cp_fraction = num(key, v)?,
+        "threads" => o.threads = num(key, v)?,
+        "out" => o.out = Some(v.into()),
+        "census" => o.census = num(key, v)?,
+        "resume" => o.resume = num(key, v)?,
+        "checkpoint-every" => o.checkpoint_every = num(key, v)?,
+        "fail-links" => o.fail_links = num(key, v)?,
+        "max-retries" => o.max_retries = num(key, v)?,
+        "self-check" => o.self_check = num(key, v)?,
+        "deadline" => o.deadline_secs = Some(num(key, v)?),
+        "task-deadline" => o.task_deadline_secs = Some(num(key, v)?),
+        other => return Err(format!("unknown flag \"--{other}\"")),
+    }
+    Ok(())
+}
+
+/// Apply every `key = value` line of a config file onto `o`.
+fn apply_config(o: &mut Options, text: &str) -> Result<(), String> {
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let Some((k, v)) = t.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = value`, got {t:?}"));
+        };
+        let key = k.trim();
+        if key == "config" {
+            return Err(format!("line {lineno}: config files cannot nest"));
+        }
+        apply(o, key, v.trim()).map_err(|e| format!("line {lineno}: {e}"))?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -125,6 +201,9 @@ mod tests {
         assert_eq!(o.ases, 1_000);
         assert_eq!(o.theta, 0.05);
         assert!(!o.census);
+        assert_eq!(o.self_check, 0.0);
+        assert!(o.deadline_at.is_none());
+        assert!(o.task_deadline().is_none());
     }
 
     #[test]
@@ -145,6 +224,7 @@ mod tests {
         assert!(Options::parse(&s(&["--bogus"])).is_err());
         assert!(Options::parse(&s(&["--ases"])).is_err());
         assert!(Options::parse(&s(&["--ases", "10"])).is_err());
+        assert!(Options::parse(&s(&["positional"])).is_err());
     }
 
     #[test]
@@ -169,5 +249,57 @@ mod tests {
     fn rejects_out_of_range_fail_rate() {
         assert!(Options::parse(&s(&["--fail-links", "1.5"])).is_err());
         assert!(Options::parse(&s(&["--fail-links", "-0.1"])).is_err());
+    }
+
+    #[test]
+    fn parses_guard_rail_flags() {
+        let o = Options::parse(&s(&[
+            "--self-check",
+            "0.05",
+            "--deadline",
+            "120",
+            "--task-deadline",
+            "1.5",
+        ]))
+        .unwrap();
+        assert_eq!(o.self_check, 0.05);
+        assert_eq!(o.deadline_secs, Some(120.0));
+        assert!(o.deadline_at.is_some());
+        assert_eq!(
+            o.task_deadline(),
+            Some(std::time::Duration::from_millis(1500))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_guard_rail_values() {
+        assert!(Options::parse(&s(&["--self-check", "1.5"])).is_err());
+        assert!(Options::parse(&s(&["--self-check", "-0.1"])).is_err());
+        assert!(Options::parse(&s(&["--deadline", "0"])).is_err());
+        assert!(Options::parse(&s(&["--task-deadline", "-3"])).is_err());
+    }
+
+    #[test]
+    fn config_text_round_trips_the_flag_vocabulary() {
+        let o = Options::from_config_str(
+            "# sweep setup\nases = 200\nseed = 9\nself-check = 0.25\ncensus = true\n",
+        )
+        .unwrap();
+        assert_eq!(o.ases, 200);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.self_check, 0.25);
+        assert!(o.census);
+    }
+
+    #[test]
+    fn config_errors_carry_line_numbers() {
+        let err = Options::from_config_str("ases = 200\nbogus = 12\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("unknown flag"), "{err}");
+        let err = Options::from_config_str("just words\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        // Semantic errors surface too (no line: they span the file).
+        let err = Options::from_config_str("ases = 10\n").unwrap_err();
+        assert!(err.contains("at least 50"), "{err}");
     }
 }

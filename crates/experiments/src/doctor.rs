@@ -1,0 +1,108 @@
+//! `repro doctor` — validate input artifacts before a long run.
+//!
+//! Given graph files, sweep checkpoints, and config files (or
+//! directories of them), the doctor classifies each by content and
+//! runs the strictest available validator:
+//!
+//! * files whose first line starts with `sbgp-checkpoint` are parsed
+//!   with the full checkpoint codec (fingerprint check skipped — the
+//!   doctor doesn't know which sweep will consume the file);
+//! * `.cfg`/`.conf` files are parsed with the `key = value` option
+//!   grammar of [`crate::cli::Options::from_config_str`];
+//! * everything else is read as a serial-2 graph in strict mode
+//!   ([`sbgp_asgraph::io::load_from_path_strict`]), which additionally
+//!   rejects reserved AS numbers and implausible dump sizes.
+//!
+//! One line per file (`ok:` or `error:` with a line-precise message);
+//! any failure makes the command exit non-zero.
+
+use crate::error::ExperimentError;
+use sbgp_core::checkpoint::SweepCheckpoint;
+use std::path::{Path, PathBuf};
+
+/// Run the doctor over the given paths (files or directories).
+pub fn doctor(paths: &[String]) -> Result<(), ExperimentError> {
+    if paths.is_empty() {
+        eprintln!("usage: repro doctor <file-or-dir>...");
+        return Err(ExperimentError::Doctor { failures: 1 });
+    }
+    let mut files = Vec::new();
+    let mut failures = 0usize;
+    for p in paths {
+        let path = PathBuf::from(p);
+        if path.is_dir() {
+            collect_files(&path, &mut files);
+        } else {
+            files.push(path);
+        }
+    }
+    files.sort();
+    let checked = files.len();
+    for f in &files {
+        match check_one(f) {
+            Ok(summary) => println!("ok: {}: {summary}", f.display()),
+            Err(msg) => {
+                failures += 1;
+                eprintln!("error: {}: {msg}", f.display());
+            }
+        }
+    }
+    println!(
+        "doctor: {checked} file(s) checked, {failures} invalid{}",
+        if failures == 0 { " — all good" } else { "" }
+    );
+    if failures > 0 {
+        Err(ExperimentError::Doctor { failures })
+    } else {
+        Ok(())
+    }
+}
+
+fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        out.push(dir.to_path_buf()); // surfaces as an unreadable file
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_files(&p, out);
+        } else {
+            out.push(p);
+        }
+    }
+}
+
+/// Validate one file; `Ok` carries a one-line summary, `Err` a
+/// diagnostic (line-numbered where the underlying parser provides it).
+fn check_one(path: &Path) -> Result<String, String> {
+    let is_config = matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some("cfg") | Some("conf")
+    );
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    if text
+        .lines()
+        .next()
+        .is_some_and(|l| l.starts_with("sbgp-checkpoint"))
+    {
+        let ckpt = SweepCheckpoint::inspect(path).map_err(|e| e.to_string())?;
+        return Ok(format!("checkpoint with {} completed unit(s)", ckpt.len()));
+    }
+    if is_config {
+        let opts = crate::cli::Options::from_config_str(&text)?;
+        return Ok(format!(
+            "config (ases={}, seed={}, theta={})",
+            opts.ases, opts.seed, opts.theta
+        ));
+    }
+    let g = sbgp_asgraph::io::read_graph_strict(std::io::Cursor::new(text))
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "graph with {} ASes, {} edges ({} stubs, {} CPs)",
+        g.len(),
+        g.num_edges(),
+        g.nodes().filter(|&n| g.is_stub(n)).count(),
+        g.content_providers().len()
+    ))
+}

@@ -7,6 +7,7 @@
 
 use sbgp_asgraph::GraphError;
 use sbgp_core::checkpoint::CheckpointError;
+use sbgp_core::resilience::ConvergenceError;
 use std::fmt;
 
 /// Anything that can stop an experiment command.
@@ -18,6 +19,15 @@ pub enum ExperimentError {
     /// Checkpoint persistence failed (I/O, corruption, or a
     /// parameter-fingerprint mismatch on `--resume`).
     Checkpoint(CheckpointError),
+    /// Every sampled hijack pair failed to converge — a resilience
+    /// measurement has nothing to report (partial failures are only
+    /// warned about).
+    Convergence(ConvergenceError),
+    /// `repro doctor` found invalid input files.
+    Doctor {
+        /// How many of the inspected files failed validation.
+        failures: usize,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -25,6 +35,10 @@ impl fmt::Display for ExperimentError {
         match self {
             ExperimentError::Graph(e) => write!(f, "{e}"),
             ExperimentError::Checkpoint(e) => write!(f, "{e}"),
+            ExperimentError::Convergence(e) => write!(f, "{e}"),
+            ExperimentError::Doctor { failures } => {
+                write!(f, "doctor: {failures} file(s) failed validation")
+            }
         }
     }
 }
@@ -34,6 +48,8 @@ impl std::error::Error for ExperimentError {
         match self {
             ExperimentError::Graph(e) => Some(e),
             ExperimentError::Checkpoint(e) => Some(e),
+            ExperimentError::Convergence(e) => Some(e),
+            ExperimentError::Doctor { .. } => None,
         }
     }
 }
@@ -47,5 +63,11 @@ impl From<GraphError> for ExperimentError {
 impl From<CheckpointError> for ExperimentError {
     fn from(e: CheckpointError) -> Self {
         ExperimentError::Checkpoint(e)
+    }
+}
+
+impl From<ConvergenceError> for ExperimentError {
+    fn from(e: ConvergenceError) -> Self {
+        ExperimentError::Convergence(e)
     }
 }

@@ -14,7 +14,10 @@
 use crate::cli::Options;
 use crate::error::ExperimentError;
 use crate::output::{f3, heading, pct, Table};
-use crate::world::{case_study_adopters, case_study_config, weights, World, TIEBREAK};
+use crate::world::{
+    case_study_adopters, case_study_config, deception_mean, report_integrity, weights, World,
+    TIEBREAK,
+};
 use sbgp_asgraph::AsId;
 use sbgp_core::{metrics, resilience, turnoff, SimConfig, Simulation};
 use std::collections::HashMap;
@@ -29,6 +32,7 @@ pub fn fig7(opts: &Options) -> Result<(), ExperimentError> {
     let w = weights(g, opts);
     let res = Simulation::new(g, &w, &TIEBREAK, case_study_config(opts))
         .run(&case_study_adopters().select(g));
+    report_integrity(&res);
 
     // Round each ISP deployed in (0 = early adopter).
     let mut round_of: HashMap<AsId, usize> = HashMap::new();
@@ -96,6 +100,7 @@ pub fn ext_resilience(opts: &Options) -> Result<(), ExperimentError> {
     let w = weights(g, opts);
     let cfg = case_study_config(opts);
     let res = Simulation::new(g, &w, &TIEBREAK, cfg).run(&case_study_adopters().select(g));
+    report_integrity(&res);
     let states = metrics::states_by_round(&res);
     let pairs = 60;
     let mut t = Table::new(
@@ -104,12 +109,16 @@ pub fn ext_resilience(opts: &Options) -> Result<(), ExperimentError> {
     );
     // All-insecure baseline (the paper's "half the Internet" number).
     let insecure = sbgp_routing::SecureSet::new(g.len());
-    let base =
-        resilience::mean_deceived_fraction(g, &insecure, cfg.tree_policy, &TIEBREAK, pairs, 7);
+    let base = deception_mean(
+        resilience::mean_deceived_fraction(g, &insecure, cfg.tree_policy, &TIEBREAK, pairs, 7),
+        "pre-deployment baseline",
+    )?;
     t.row(vec!["pre".into(), "0".into(), f3(base)]);
     for (i, state) in states.iter().enumerate() {
-        let frac =
-            resilience::mean_deceived_fraction(g, state, cfg.tree_policy, &TIEBREAK, pairs, 7);
+        let frac = deception_mean(
+            resilience::mean_deceived_fraction(g, state, cfg.tree_policy, &TIEBREAK, pairs, 7),
+            &format!("round {i}"),
+        )?;
         t.row(vec![i.to_string(), state.count().to_string(), f3(frac)]);
     }
     t.emit(opts);
@@ -142,6 +151,7 @@ pub fn ext_theta(opts: &Options) -> Result<(), ExperimentError> {
                 ..case_study_config(opts)
             };
             let res = Simulation::new(g, &w, &TIEBREAK, cfg).run(&adopters);
+            report_integrity(&res);
             t.row(vec![
                 format!("{theta}"),
                 format!("{jitter}"),
@@ -164,6 +174,7 @@ pub fn ext_disable(opts: &Options) -> Result<(), ExperimentError> {
     let w = weights(g, opts);
     let cfg = case_study_config(opts);
     let res = Simulation::new(g, &w, &TIEBREAK, cfg).run(&case_study_adopters().select(g));
+    report_integrity(&res);
     // Mid-process state: the richest mix of secure and insecure ASes.
     let states = metrics::states_by_round(&res);
     let state = &states[states.len() / 2];
@@ -256,6 +267,7 @@ pub fn ext_incoming(opts: &Options) -> Result<(), ExperimentError> {
         ..case_study_config(opts)
     };
     let res = Simulation::new(g, &w, &TIEBREAK, cfg).run(&case_study_adopters().select(g));
+    report_integrity(&res);
     let mut t = Table::new(
         "ext_incoming",
         &["round", "turned on", "turned off", "secure ASes"],

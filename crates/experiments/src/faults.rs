@@ -16,7 +16,10 @@
 use crate::cli::Options;
 use crate::error::ExperimentError;
 use crate::output::{f3, heading, pct, Table};
-use crate::world::{case_study_adopters, case_study_config, weights, World, TIEBREAK};
+use crate::world::{
+    case_study_adopters, case_study_config, deception_mean, report_integrity, weights, World,
+    TIEBREAK,
+};
 use sbgp_asgraph::fault::{apply_faults, FaultPlan};
 use sbgp_core::{resilience, Simulation};
 
@@ -35,6 +38,7 @@ pub fn fault(opts: &Options) -> Result<(), ExperimentError> {
     let w = weights(g, &intact);
     let cfg = case_study_config(&intact);
     let res = Simulation::new(g, &w, &TIEBREAK, cfg).run(&case_study_adopters().select(g));
+    report_integrity(&res);
     println!(
         "deployment settled: {} of ASes secure; injecting link failures…",
         pct(res.secure_as_fraction(g))
@@ -62,22 +66,28 @@ pub fn fault(opts: &Options) -> Result<(), ExperimentError> {
         let (fg, report) = apply_faults(g, &plan)?;
         // Node ids survive fault injection, so the deployment state
         // transfers to the degraded graph unchanged.
-        let base = resilience::mean_deceived_fraction(
-            &fg,
-            &insecure,
-            cfg.tree_policy,
-            &TIEBREAK,
-            pairs,
-            7,
-        );
-        let deployed = resilience::mean_deceived_fraction(
-            &fg,
-            &res.final_state,
-            cfg.tree_policy,
-            &TIEBREAK,
-            pairs,
-            7,
-        );
+        let base = deception_mean(
+            resilience::mean_deceived_fraction(
+                &fg,
+                &insecure,
+                cfg.tree_policy,
+                &TIEBREAK,
+                pairs,
+                7,
+            ),
+            &format!("rate {rate} (insecure)"),
+        )?;
+        let deployed = deception_mean(
+            resilience::mean_deceived_fraction(
+                &fg,
+                &res.final_state,
+                cfg.tree_policy,
+                &TIEBREAK,
+                pairs,
+                7,
+            ),
+            &format!("rate {rate} (deployed)"),
+        )?;
         t.row(vec![
             format!("{rate}"),
             format!("{}/{}", report.surviving_edges, report.total_edges),

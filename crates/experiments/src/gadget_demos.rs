@@ -4,7 +4,9 @@
 use crate::cli::Options;
 use crate::error::ExperimentError;
 use crate::output::{f3, heading, pct, Table};
-use crate::world::{case_study_adopters, case_study_config, weights, World, TIEBREAK};
+use crate::world::{
+    case_study_adopters, case_study_config, report_integrity, weights, World, TIEBREAK,
+};
 use sbgp_asgraph::Weights;
 use sbgp_core::{turnoff, SimConfig, Simulation, UtilityEngine, UtilityModel};
 use sbgp_gadgets::{and_gadget, attack, chicken, diamond, setcover, turnoff as fig13_gadget};
@@ -98,6 +100,7 @@ pub fn fig13(opts: &Options) -> Result<(), ExperimentError> {
         let bw = weights(bg, opts);
         let run = Simulation::new(bg, &bw, &TIEBREAK, case_study_config(opts))
             .run(&case_study_adopters().select(bg));
+        report_integrity(&run);
         // The paper asks whether an ISP "could find itself in a state"
         // with a turn-off incentive, so scan every state the process
         // visits, not just the terminal one.

@@ -18,14 +18,35 @@ use sbgp_core::checkpoint::{params_fingerprint, SweepCheckpoint};
 use sbgp_core::SimResult;
 use std::path::PathBuf;
 
+/// A checkpoint key, made filesystem-safe for artifact filenames.
+fn sanitize(key: &str) -> String {
+    key.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// Runs a sweep's units with optional checkpoint/resume.
 pub struct SweepRunner {
+    /// The sweep's name (the subcommand) — used for artifact filenames.
+    name: String,
     /// Destination file; `None` disables persistence entirely.
     path: Option<PathBuf>,
+    /// Where self-check counterexample artifacts are dumped.
+    artifact_dir: PathBuf,
     ckpt: SweepCheckpoint,
     every: usize,
     since_save: usize,
     reused: usize,
+    /// Differential audits performed across all units this run.
+    self_checked: usize,
+    /// Self-check violations observed across all units this run.
+    violations: usize,
 }
 
 impl SweepRunner {
@@ -48,19 +69,25 @@ impl SweepRunner {
         parts.extend(extra.iter().cloned());
         let fp = params_fingerprint(&parts);
 
+        let base_dir = match &opts.out {
+            Some(out) => out.clone(),
+            None => PathBuf::from("results"),
+        };
+        let artifact_dir = base_dir.join("diffcheck");
         if !opts.resume && opts.checkpoint_every == 0 {
             return Ok(SweepRunner {
+                name: name.to_string(),
                 path: None,
+                artifact_dir,
                 ckpt: SweepCheckpoint::new(fp),
                 every: usize::MAX,
                 since_save: 0,
                 reused: 0,
+                self_checked: 0,
+                violations: 0,
             });
         }
-        let dir = match &opts.out {
-            Some(out) => out.join("checkpoints"),
-            None => PathBuf::from("results").join("checkpoints"),
-        };
+        let dir = base_dir.join("checkpoints");
         let path = dir.join(format!("{name}.ckpt"));
         let ckpt = if opts.resume {
             SweepCheckpoint::load_or_new(&path, fp)?
@@ -75,11 +102,15 @@ impl SweepRunner {
             );
         }
         Ok(SweepRunner {
+            name: name.to_string(),
             path: Some(path),
+            artifact_dir,
             ckpt,
             every: opts.checkpoint_every.max(1),
             since_save: 0,
             reused: 0,
+            self_checked: 0,
+            violations: 0,
         })
     }
 
@@ -109,6 +140,32 @@ impl SweepRunner {
                 dests.join("; ")
             );
         }
+        if !result.deadline_skipped.is_empty() {
+            eprintln!(
+                "warning: unit {key:?} skipped {} destination(s) past --deadline",
+                result.deadline_skipped.len()
+            );
+        }
+        self.self_checked += result.self_checked;
+        self.violations += result.violations.len();
+        for v in &result.violations {
+            let file = self.artifact_dir.join(format!(
+                "{}-{}-dest{}.txt",
+                self.name,
+                sanitize(&key),
+                v.dest.0
+            ));
+            eprintln!(
+                "SELF-CHECK VIOLATION: unit {key:?}: {} (artifact: {})",
+                v.detail,
+                file.display()
+            );
+            if let Err(e) = std::fs::create_dir_all(&self.artifact_dir)
+                .and_then(|()| std::fs::write(&file, &v.artifact))
+            {
+                eprintln!("warning: could not write artifact {}: {e}", file.display());
+            }
+        }
         self.ckpt.insert(key, result.clone());
         self.since_save += 1;
         if let Some(path) = &self.path {
@@ -124,6 +181,18 @@ impl SweepRunner {
     /// The checkpoint file is kept so the sweep can be re-emitted or
     /// extended without recomputation; delete it to start over.
     pub fn finish(self) -> Result<(), ExperimentError> {
+        if self.self_checked > 0 || self.violations > 0 {
+            println!(
+                "[self-check] {} destination audits, {} violation(s){}",
+                self.self_checked,
+                self.violations,
+                if self.violations > 0 {
+                    format!(" — artifacts in {}", self.artifact_dir.display())
+                } else {
+                    String::new()
+                }
+            );
+        }
         if let Some(path) = &self.path {
             if self.since_save > 0 {
                 self.ckpt.save(path)?;

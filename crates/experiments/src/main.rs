@@ -9,6 +9,7 @@
 //! message instead of panicking.
 
 mod cli;
+mod doctor;
 mod error;
 mod harness;
 mod output;
@@ -33,6 +34,15 @@ fn main() {
         std::process::exit(2);
     }
     let cmd = args.remove(0);
+    // `doctor` takes file paths, not options — dispatch before flag
+    // parsing so graph/checkpoint/config paths aren't read as flags.
+    if cmd == "doctor" {
+        if let Err(e) = doctor::doctor(&args) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let opts = match Options::parse(&args) {
         Ok(o) => o,
         Err(e) => {
@@ -123,8 +133,10 @@ fn help() {
 'Let the Market Drive Deployment' (SIGCOMM 2011) on a synthetic topology.
 
 USAGE: repro <command> [--ases N] [--seed S] [--theta T] [--cp-fraction X]
-             [--threads K] [--out DIR] [--census]
+             [--threads K] [--out DIR] [--census] [--config FILE]
              [--resume] [--checkpoint-every N] [--fail-links R] [--max-retries N]
+             [--self-check RATE] [--deadline SECS] [--task-deadline SECS]
+       repro doctor <file-or-dir>...
 
 COMMANDS
   table1   diamond counts per early adopter
@@ -156,12 +168,22 @@ COMMANDS
   ext-greedy      greedy early-adopter selection vs degree heuristic
   ext-incoming    the case study under the incoming-utility model
   all      everything above
+  doctor   validate graph/checkpoint/config files (line-precise; exits non-zero)
 
 FAULT TOLERANCE
   --resume              resume sweep commands (fig8/9/11/12) from checkpoint
   --checkpoint-every N  persist sweep progress every N units (atomic rename)
   --fail-links R        degrade the topology: drop each link w.p. R (seeded)
   --max-retries N       retries before a panicking task is quarantined
+
+SELF-CHECKING
+  --self-check RATE     replay this fraction of destinations through the
+                        reference oracle; mismatches are shrunk to minimal
+                        counterexample artifacts and reported, not fatal
+  --deadline SECS       global wall-clock budget; remaining destinations are
+                        skipped with an honest completeness fraction
+  --task-deadline SECS  quarantine any destination task slower than this
+  --config FILE         load `key = value` options (later flags override)
 
 DEFAULTS: --ases 1000  --seed 42  --theta 0.05  --cp-fraction 0.10 --threads 1"
     );

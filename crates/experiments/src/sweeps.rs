@@ -31,6 +31,9 @@ fn run_once(
         max_rounds: 100,
         threads: opts.threads,
         max_task_retries: opts.max_retries,
+        self_check: opts.self_check,
+        task_deadline: opts.task_deadline(),
+        deadline: opts.deadline_at,
         ..SimConfig::default()
     };
     let seeds = adopters.select(g);

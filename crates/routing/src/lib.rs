@@ -83,6 +83,7 @@ mod tiebreak;
 mod tree;
 
 pub mod census;
+pub mod diffcheck;
 pub mod oracle;
 
 pub use context::{DestContext, RouteClass};

@@ -1,0 +1,78 @@
+//! CLI integration for `repro doctor`: the valid fixtures pass, every
+//! file in the malformed corpus is rejected with a non-zero exit and a
+//! line-numbered diagnostic.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixtures() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures")
+}
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+#[test]
+fn doctor_accepts_the_valid_fixtures() {
+    let dir = fixtures();
+    let graph = dir.join("valid.graph");
+    let cfg = dir.join("valid.cfg");
+    let out = repro(&["doctor", graph.to_str().unwrap(), cfg.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "doctor failed on valid fixtures:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("ok:"), "{stdout}");
+    assert!(stdout.contains("graph with"), "{stdout}");
+    assert!(stdout.contains("config ("), "{stdout}");
+    assert!(stdout.contains("0 invalid"), "{stdout}");
+}
+
+#[test]
+fn doctor_rejects_every_malformed_fixture() {
+    let dir = fixtures().join("malformed");
+    let entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("malformed corpus exists")
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert!(entries.len() >= 7, "corpus shrank: {entries:?}");
+    for path in entries {
+        let out = repro(&["doctor", path.to_str().unwrap()]);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            !out.status.success(),
+            "doctor accepted malformed {path:?}:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        assert!(stderr.contains("error:"), "{path:?}: {stderr}");
+        assert!(
+            stderr.contains("line"),
+            "diagnostic for {path:?} lacks a line number: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn doctor_walks_directories_and_counts_failures() {
+    let out = repro(&["doctor", fixtures().to_str().unwrap()]);
+    assert!(!out.status.success(), "corpus contains malformed files");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The two valid files still validate inside the directory walk...
+    assert!(stdout.contains("ok:"), "{stdout}");
+    // ...and the summary counts every malformed one.
+    assert!(stderr.contains("file(s) failed validation"), "{stderr}");
+}
+
+#[test]
+fn doctor_without_arguments_is_an_error() {
+    let out = repro(&["doctor"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
