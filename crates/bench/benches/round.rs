@@ -5,10 +5,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sbgp_asgraph::AsId;
-use sbgp_bench::{bench_world, SMALL};
-use sbgp_core::{SimConfig, UtilityEngine, UtilityModel};
-use sbgp_routing::HashTieBreak;
+use sbgp_bench::{bench_world, MEDIUM, SMALL};
+use sbgp_core::{EarlyAdopters, SimConfig, Simulation, UtilityEngine, UtilityModel};
+use sbgp_routing::{HashTieBreak, RoutingAtlas};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("deployment_round");
@@ -51,5 +52,42 @@ fn bench_round_incoming(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round, bench_round_incoming);
+fn bench_multi_round_sim(c: &mut Criterion) {
+    // A whole MEDIUM simulation, rounds until convergence — the
+    // multi-round workload the frozen-context atlas and cross-round
+    // contribution reuse target. `shared_atlas` additionally models a
+    // sweep repetition that hands the engine a prebuilt atlas.
+    let mut group = c.benchmark_group("multi_round_sim");
+    group.sample_size(10);
+    let world = bench_world(MEDIUM);
+    let g = &world.gen.graph;
+    let adopters = EarlyAdopters::ContentProvidersPlusTopIsps(5).select(g);
+    let cfg = SimConfig::default();
+    group.bench_function("medium_cold_atlas", |b| {
+        b.iter(|| black_box(Simulation::new(g, &world.weights, &HashTieBreak, cfg).run(&adopters)));
+    });
+    let atlas = Arc::new(RoutingAtlas::build(
+        g,
+        &HashTieBreak,
+        cfg.ctx_cache_bytes(),
+        1,
+    ));
+    group.bench_function("medium_shared_atlas", |b| {
+        b.iter(|| {
+            black_box(
+                Simulation::new(g, &world.weights, &HashTieBreak, cfg)
+                    .with_shared_atlas(Arc::clone(&atlas))
+                    .run(&adopters),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_round,
+    bench_round_incoming,
+    bench_multi_round_sim
+);
 criterion_main!(benches);

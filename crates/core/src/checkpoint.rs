@@ -704,6 +704,9 @@ pub mod codec {
             self_checked,
             violations,
             deadline_skipped,
+            // Work counters are diagnostics of the producing run, not
+            // results; they are not encoded and decode to zeros.
+            stats: crate::engine::EngineStats::default(),
         })
     }
 }

@@ -120,6 +120,14 @@ pub struct SimConfig {
     /// deadline-skipped, degrading gracefully to a destination sample
     /// with an explicit completeness fraction.
     pub deadline: Option<std::time::Instant>,
+    /// Memory budget, in MiB, for the frozen-context
+    /// [`RoutingAtlas`](sbgp_routing::RoutingAtlas) (Observation C.1).
+    /// Destinations that fit are computed once per simulation and read
+    /// from shared arenas every round; destinations beyond the budget
+    /// are recomputed on miss. `0` disables the atlas entirely
+    /// (recompute every lookup) — results are bit-identical either
+    /// way, only speed changes. CLI knob: `--ctx-cache-mb`.
+    pub ctx_cache_mb: usize,
 }
 
 impl Default for SimConfig {
@@ -138,6 +146,7 @@ impl Default for SimConfig {
             self_check: 0.0,
             task_deadline: None,
             deadline: None,
+            ctx_cache_mb: 256,
         }
     }
 }
@@ -152,6 +161,11 @@ impl SimConfig {
         } else {
             self.threads
         }
+    }
+
+    /// The [`ctx_cache_mb`](Self::ctx_cache_mb) budget in bytes.
+    pub fn ctx_cache_bytes(&self) -> usize {
+        self.ctx_cache_mb.saturating_mul(1 << 20)
     }
 
     /// The deployment threshold ISP `n` applies (Section 8.2's

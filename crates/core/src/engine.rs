@@ -6,6 +6,13 @@
 //! naively that is `0.15·|V|` full routing-tree computations per
 //! destination; the engine applies the paper's optimizations:
 //!
+//! * **C.1 / C.3** — per-destination route lengths, classes, and
+//!   tiebreak sets are state-independent, so they are computed **once
+//!   per simulation** into a shared [`RoutingAtlas`] and read from its
+//!   arenas every round instead of re-running the three-stage BFS. A
+//!   memory budget ([`SimConfig::ctx_cache_mb`]) caps the atlas on
+//!   large graphs; destinations that did not fit are recomputed on
+//!   miss into worker scratch.
 //! * **C.4-1** — if a destination is insecure in both the base and the
 //!   flipped state, its routing tree is *identical* in both (no secure
 //!   paths can exist), so the candidate's projected contribution
@@ -13,6 +20,10 @@
 //!   insecure destination `d`, the only candidates whose flip changes
 //!   `d`'s security are `d` itself and — because turning on deploys
 //!   simplex S\*BGP at stubs — `d`'s providers when `d` is a stub.
+//!   The same argument holds **across rounds**: while `d` stays
+//!   insecure its base tree, flows, and utility contributions cannot
+//!   change, so the engine caches the contribution after the first
+//!   computation and replays it verbatim in later rounds.
 //! * **C.4-2** — in the outgoing model secure ISPs are never
 //!   candidates (Theorem 6.2), handled by the caller's candidate list.
 //! * **C.4-3** — for a secure destination, flipping candidate `n` ON
@@ -23,17 +34,25 @@
 //!   secure member). Flipping `n` OFF changes nothing unless `n`'s own
 //!   chosen path was secure.
 //!
-//! Work is split across worker threads by destination (the map side of
-//! the paper's DryadLINQ layout, Appendix C.3) and reduced by summing
-//! per-worker accumulators.
+//! # Parallel layout
+//!
+//! Work is split across a **persistent worker pool** (the map side of
+//! the paper's DryadLINQ layout, Appendix C.3). [`UtilityEngine::with_pool`]
+//! spawns the workers once; each owns its scratch for the whole
+//! simulation and pulls destination chunks off an atomic work-stealing
+//! counter, which balances the cost skew between secure and insecure
+//! destinations. Workers stream per-destination results back to the
+//! caller, which commits them **in destination-major order** — so the
+//! floating-point reductions are bit-identical for every thread count
+//! (including the serial path).
 //!
 //! # Fault tolerance
 //!
 //! Each per-destination task runs inside `catch_unwind`. A task's
-//! contributions are journaled (per-destination buffers plus a pending
-//! delta list) and committed to the worker accumulators only after the
-//! task returns, so a panic mid-task cannot leave half a destination's
-//! utility in the totals. A panicking task is retried up to
+//! contributions are journaled (a sparse contribution list plus a
+//! pending delta list) and committed only after the task returns, so a
+//! panic mid-task cannot leave half a destination's utility in the
+//! totals. A panicking task is retried up to
 //! [`SimConfig::max_task_retries`] times — the worker's flipped-state
 //! scratch is repaired from the round state first — and, if it keeps
 //! panicking, it is quarantined: the round completes without that
@@ -46,8 +65,12 @@ use crate::guard;
 use sbgp_asgraph::{AsGraph, AsId, Weights};
 use sbgp_routing::{
     accumulate_flows, add_utilities, compute_tree, diffcheck, flows_and_target_utility,
-    DestContext, RouteTree, SecureSet, TieBreaker,
+    DestContext, RouteContext, RouteTree, RoutingAtlas, SecureSet, TieBreaker,
 };
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::Instant;
 
 use crate::config::UtilityModel;
@@ -189,10 +212,144 @@ impl RoundComputation {
     }
 }
 
+/// Counters describing how much work the engine actually did — and how
+/// much the Observation C.1 machinery (atlas + cross-round reuse) let
+/// it skip. Snapshot via [`UtilityEngine::stats`]; flows into
+/// [`SimResult::stats`](crate::SimResult::stats) and the perf reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EngineStats {
+    /// Fresh `DestContext::compute` BFS runs performed inside rounds
+    /// (atlas misses only; `0` when the whole graph fit the budget).
+    pub contexts_computed: u64,
+    /// Routing trees resolved (base trees + candidate projections).
+    pub trees_computed: u64,
+    /// Destination tasks that ran the full pipeline.
+    pub dests_computed: u64,
+    /// Destination tasks answered from the cross-round C.4-1 cache.
+    pub dests_reused: u64,
+    /// Engine passes (one per `compute*` call).
+    pub passes: u64,
+    /// Wall-clock nanoseconds spent inside `compute*` calls.
+    pub compute_ns: u64,
+    /// Per-destination context lookups served from the atlas arenas.
+    pub atlas_hits: u64,
+    /// Lookups that fell back to recompute (budget eviction).
+    pub atlas_misses: u64,
+    /// Destinations resident in the atlas.
+    pub atlas_stored: u64,
+    /// Destinations dropped while building because the budget filled.
+    pub atlas_evicted: u64,
+    /// Bytes held by the atlas arenas.
+    pub atlas_bytes: u64,
+    /// Wall-clock nanoseconds spent building the atlas.
+    pub atlas_build_ns: u64,
+}
+
+impl EngineStats {
+    /// Fraction of context lookups served from the atlas (`0.0` when
+    /// no lookup happened).
+    pub fn atlas_hit_rate(&self) -> f64 {
+        let total = self.atlas_hits + self.atlas_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.atlas_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of destination tasks answered from the cross-round
+    /// cache (`0.0` when no task ran).
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.dests_computed + self.dests_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.dests_reused as f64 / total as f64
+        }
+    }
+}
+
+/// Internal atomic counters behind [`EngineStats`].
+#[derive(Default)]
+struct StatCells {
+    contexts_computed: AtomicU64,
+    trees_computed: AtomicU64,
+    dests_computed: AtomicU64,
+    dests_reused: AtomicU64,
+    passes: AtomicU64,
+    compute_ns: AtomicU64,
+}
+
+/// A destination's sparse utility contribution: `(node, Δu_out, Δu_in)`
+/// ascending by node id, zero entries omitted (safe to skip bitwise:
+/// every term is `≥ +0.0`, so adding an omitted zero is a no-op).
+type Contrib = Vec<(u32, f64, f64)>;
+
+/// Base `(u_out, u_in)` contribution of node `x` in a sparse list.
+fn contrib_entry(c: &Contrib, x: AsId) -> (f64, f64) {
+    match c.binary_search_by_key(&x.0, |e| e.0) {
+        Ok(i) => (c[i].1, c[i].2),
+        Err(_) => (0.0, 0.0),
+    }
+}
+
+/// The round's immutable per-candidate metadata, shared by every task.
+#[derive(Clone, Copy)]
+struct RoundSpec<'s> {
+    candidates: &'s [AsId],
+    kind: &'s [CandKind],
+    skip_rules: bool,
+}
+
+/// What one destination task produced, streamed back to the committer.
+enum TaskBody {
+    /// The task completed; its journaled contributions are ready to
+    /// commit.
+    Done {
+        contrib: Arc<Contrib>,
+        pending: Vec<(u32, f64, f64)>,
+        audited: usize,
+        violations: Vec<SelfCheckViolation>,
+    },
+    /// Retry budget exhausted or soft deadline blown; contributes
+    /// nothing.
+    Quarantined(QuarantinedTask),
+    /// Never attempted: the global deadline passed first.
+    Skipped,
+}
+
+/// One streamed task result.
+struct DestOutcome {
+    dest: u32,
+    body: TaskBody,
+}
+
+/// One round's worth of work, shared with every pool worker.
+struct RoundJob {
+    state: SecureSet,
+    candidates: Vec<AsId>,
+    kind: Vec<CandKind>,
+    skip_rules: bool,
+    /// Work-stealing cursor: workers claim `chunk`-sized destination
+    /// ranges with `fetch_add` until the id space is exhausted.
+    next: AtomicUsize,
+    chunk: usize,
+    out: mpsc::Sender<DestOutcome>,
+}
+
 /// Per-worker scratch: everything a thread needs to process
-/// destinations without allocation in the loop.
+/// destinations without allocation in the loop. Lives for the whole
+/// simulation (the pool keeps it across rounds).
 struct Scratch {
+    /// Fallback context buffer for atlas misses.
     ctx: DestContext,
+    bufs: TaskBufs,
+}
+
+/// The non-context half of [`Scratch`], split out so a task can borrow
+/// the context (`&Scratch::ctx` or an atlas view) and the buffers
+/// mutably at the same time.
+struct TaskBufs {
     base_tree: RouteTree,
     proj_tree: RouteTree,
     flow: Vec<f64>,
@@ -202,52 +359,130 @@ struct Scratch {
     dest_in: Vec<f64>,
     flips: Vec<AsId>,
     // Journal of candidate deltas from the in-flight destination task:
-    // `(candidate index, Δout, Δin)`. Committed to `delta_out`/
-    // `delta_in` only once the task completes without panicking.
+    // `(candidate index, Δout, Δin)`. Handed to the committer only
+    // once the task completes without panicking.
     pending: Vec<(u32, f64, f64)>,
     // Journaled self-check results from the in-flight task, committed
     // alongside `pending` so a retried attempt never double-counts.
     pending_audits: usize,
     pending_violations: Vec<SelfCheckViolation>,
-    // Accumulators (the worker's "reduce" inputs).
-    u_out: Vec<f64>,
-    u_in: Vec<f64>,
-    delta_out: Vec<f64>,
-    delta_in: Vec<f64>,
-    // Tasks that exhausted their retry budget or timed out.
-    quarantined: Vec<QuarantinedTask>,
-    // Committed self-check tallies.
-    audited: usize,
-    violations: Vec<SelfCheckViolation>,
-    // Destinations this worker never attempted (global deadline).
-    deadline_skipped: Vec<AsId>,
 }
 
 impl Scratch {
-    fn new(n: usize, state: &SecureSet) -> Self {
+    fn new(n: usize) -> Self {
         Scratch {
             ctx: DestContext::new(n),
-            base_tree: RouteTree::new(n),
-            proj_tree: RouteTree::new(n),
-            flow: Vec::with_capacity(n),
-            base_flow: Vec::with_capacity(n),
-            secure: state.clone(),
-            dest_out: vec![0.0; n],
-            dest_in: vec![0.0; n],
-            flips: Vec::new(),
-            pending: Vec::new(),
-            pending_audits: 0,
-            pending_violations: Vec::new(),
-            u_out: vec![0.0; n],
-            u_in: vec![0.0; n],
+            bufs: TaskBufs {
+                base_tree: RouteTree::new(n),
+                proj_tree: RouteTree::new(n),
+                flow: Vec::with_capacity(n),
+                base_flow: Vec::with_capacity(n),
+                secure: SecureSet::new(n),
+                dest_out: vec![0.0; n],
+                dest_in: vec![0.0; n],
+                flips: Vec::new(),
+                pending: Vec::new(),
+                pending_audits: 0,
+                pending_violations: Vec::new(),
+            },
+        }
+    }
+}
+
+/// Destination-major commit state: applies streamed task bodies in
+/// ascending destination order so every floating-point reduction is
+/// performed in the same sequence regardless of thread count.
+struct RoundAccum {
+    base_out: Vec<f64>,
+    base_in: Vec<f64>,
+    delta_out: Vec<f64>,
+    delta_in: Vec<f64>,
+    quarantined: Vec<QuarantinedTask>,
+    deadline_skipped: Vec<AsId>,
+    audited: usize,
+    violations: Vec<SelfCheckViolation>,
+}
+
+impl RoundAccum {
+    fn new(n: usize) -> Self {
+        RoundAccum {
+            base_out: vec![0.0; n],
+            base_in: vec![0.0; n],
             delta_out: vec![0.0; n],
             delta_in: vec![0.0; n],
             quarantined: Vec::new(),
+            deadline_skipped: Vec::new(),
             audited: 0,
             violations: Vec::new(),
-            deadline_skipped: Vec::new(),
         }
     }
+
+    fn apply(&mut self, dest: u32, body: TaskBody) {
+        match body {
+            TaskBody::Done {
+                contrib,
+                pending,
+                audited,
+                violations,
+            } => {
+                for &(x, o, i) in contrib.iter() {
+                    self.base_out[x as usize] += o;
+                    self.base_in[x as usize] += i;
+                }
+                for &(c, o, i) in &pending {
+                    self.delta_out[c as usize] += o;
+                    self.delta_in[c as usize] += i;
+                }
+                self.audited += audited;
+                self.violations.extend(violations);
+            }
+            TaskBody::Quarantined(q) => self.quarantined.push(q),
+            TaskBody::Skipped => self.deadline_skipped.push(AsId(dest)),
+        }
+    }
+
+    fn finish(mut self, n: usize) -> RoundComputation {
+        self.quarantined.sort_by_key(|q| q.dest);
+        self.deadline_skipped.sort_unstable();
+        self.violations.sort_by_key(|v| v.dest);
+        let completeness = if n == 0 {
+            1.0
+        } else {
+            (n - self.quarantined.len() - self.deadline_skipped.len()) as f64 / n as f64
+        };
+        // Projected = base + accumulated deltas (skipped destinations
+        // contribute zero delta by the C.4 arguments).
+        let mut proj_out = self.delta_out;
+        let mut proj_in = self.delta_in;
+        for i in 0..n {
+            proj_out[i] += self.base_out[i];
+            proj_in[i] += self.base_in[i];
+        }
+        RoundComputation {
+            base_out: self.base_out,
+            base_in: self.base_in,
+            proj_out,
+            proj_in,
+            quarantined: self.quarantined,
+            deadline_skipped: self.deadline_skipped,
+            audited: self.audited,
+            violations: self.violations,
+            completeness,
+        }
+    }
+}
+
+/// A live worker pool bound to one [`UtilityEngine`], created by
+/// [`UtilityEngine::with_pool`]. Workers and their scratch survive
+/// across every `compute_in` call made through the same pool.
+pub struct EnginePool {
+    /// One job channel per worker (empty on the serial path): each
+    /// round every worker receives one `Arc` of the shared job and
+    /// claims chunks off its atomic cursor.
+    job_txs: Vec<mpsc::Sender<Arc<RoundJob>>>,
+    /// Lazily created scratch for the serial (`threads <= 1`) path, so
+    /// it too persists across rounds.
+    serial: RefCell<Option<Box<Scratch>>>,
 }
 
 /// Chaos helper: corrupt a computed routing tree in a way that is
@@ -256,7 +491,7 @@ impl Scratch {
 /// exactly the class of silent bug only the differential oracle audit
 /// can catch. Falls back to flipping a secure bit if no node has a
 /// choice of next hops.
-fn corrupt_tree_for_chaos(ctx: &DestContext, tree: &mut RouteTree) {
+fn corrupt_tree_for_chaos<C: RouteContext + ?Sized>(ctx: &C, tree: &mut RouteTree) {
     for &xi in ctx.order() {
         let x = AsId(xi);
         if x == ctx.dest() {
@@ -279,6 +514,13 @@ fn corrupt_tree_for_chaos(ctx: &DestContext, tree: &mut RouteTree) {
     }
 }
 
+/// Does any member of `x`'s tiebreak set have a fully secure path in
+/// `tree`?
+#[inline]
+fn member_secure<C: RouteContext + ?Sized>(ctx: &C, tree: &RouteTree, x: AsId) -> bool {
+    ctx.tiebreak_set(x).iter().any(|&m| tree.secure[m as usize])
+}
+
 /// Render a `catch_unwind` payload for the quarantine report.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -291,16 +533,27 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// The round-utility engine; holds the immutable inputs shared by all
-/// rounds of a simulation.
+/// rounds of a simulation: the graph, weights, the frozen-context
+/// [`RoutingAtlas`], and the cross-round C.4-1 contribution cache.
 pub struct UtilityEngine<'a> {
     g: &'a AsGraph,
     weights: &'a Weights,
     tiebreaker: &'a dyn TieBreaker,
     cfg: SimConfig,
+    atlas: Arc<RoutingAtlas>,
+    /// C.4-1 cross-round cache: a destination's base contribution,
+    /// filled the first time it is computed while insecure. Write-once
+    /// is sound because the cached value is state-independent for as
+    /// long as the destination stays insecure, and secure destinations
+    /// never read it.
+    reuse: Vec<OnceLock<Arc<Contrib>>>,
+    stats: StatCells,
 }
 
 impl<'a> UtilityEngine<'a> {
-    /// Create an engine over `g` with traffic `weights`.
+    /// Create an engine over `g` with traffic `weights`, building the
+    /// frozen-context atlas (Observation C.1) up front with the
+    /// [`SimConfig::ctx_cache_mb`] memory budget.
     ///
     /// # Panics
     /// Panics if the graph's stub/ISP/CP partition is internally
@@ -313,14 +566,47 @@ impl<'a> UtilityEngine<'a> {
         tiebreaker: &'a dyn TieBreaker,
         cfg: SimConfig,
     ) -> Self {
+        let atlas = Arc::new(RoutingAtlas::build(
+            g,
+            tiebreaker,
+            cfg.ctx_cache_bytes(),
+            cfg.effective_threads(),
+        ));
+        Self::with_atlas(g, weights, tiebreaker, cfg, atlas)
+    }
+
+    /// Like [`new`](Self::new), but reusing an already-built atlas —
+    /// the sweep harness shares one atlas across every repetition over
+    /// the same `(graph, tiebreaker)`.
+    ///
+    /// # Panics
+    /// Panics on an inconsistent partition (as [`new`](Self::new)) or
+    /// if `atlas` was built over a different-sized graph.
+    pub fn with_atlas(
+        g: &'a AsGraph,
+        weights: &'a Weights,
+        tiebreaker: &'a dyn TieBreaker,
+        cfg: SimConfig,
+        atlas: Arc<RoutingAtlas>,
+    ) -> Self {
         if let Err(v) = guard::check_partition(g) {
             panic!("{v}");
         }
+        assert_eq!(
+            atlas.nodes(),
+            g.len(),
+            "shared atlas was built over a different graph"
+        );
         UtilityEngine {
             g,
             weights,
             tiebreaker,
             cfg,
+            atlas,
+            reuse: std::iter::repeat_with(OnceLock::new)
+                .take(g.len())
+                .collect(),
+            stats: StatCells::default(),
         }
     }
 
@@ -335,28 +621,119 @@ impl<'a> UtilityEngine<'a> {
         &self.cfg
     }
 
+    /// The frozen-context atlas this engine reads from.
+    pub fn atlas(&self) -> &Arc<RoutingAtlas> {
+        &self.atlas
+    }
+
+    /// Snapshot the engine's work counters (including the atlas's).
+    pub fn stats(&self) -> EngineStats {
+        let a = self.atlas.stats();
+        EngineStats {
+            contexts_computed: self.stats.contexts_computed.load(Ordering::Relaxed),
+            trees_computed: self.stats.trees_computed.load(Ordering::Relaxed),
+            dests_computed: self.stats.dests_computed.load(Ordering::Relaxed),
+            dests_reused: self.stats.dests_reused.load(Ordering::Relaxed),
+            passes: self.stats.passes.load(Ordering::Relaxed),
+            compute_ns: self.stats.compute_ns.load(Ordering::Relaxed),
+            atlas_hits: a.hits,
+            atlas_misses: a.misses,
+            atlas_stored: a.stored as u64,
+            atlas_evicted: a.evicted as u64,
+            atlas_bytes: a.bytes as u64,
+            atlas_build_ns: a.build_ns,
+        }
+    }
+
+    /// Run `f` with a live worker pool. The pool's workers (and their
+    /// scratch) are spawned once and serve every
+    /// [`compute_in`](Self::compute_in) call `f` makes — the
+    /// simulation driver wraps its whole round loop in one `with_pool`
+    /// so nothing is respawned per round. With `threads <= 1` no
+    /// threads are spawned and the pool runs the serial path.
+    pub fn with_pool<R>(&self, f: impl FnOnce(&EnginePool) -> R) -> R {
+        let n = self.g.len();
+        let threads = self.cfg.effective_threads().clamp(1, n.max(1));
+        if threads <= 1 {
+            let pool = EnginePool {
+                job_txs: Vec::new(),
+                serial: RefCell::new(None),
+            };
+            return f(&pool);
+        }
+        crossbeam::thread::scope(|scope| {
+            let mut job_txs = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let (job_tx, job_rx) = mpsc::channel::<Arc<RoundJob>>();
+                job_txs.push(job_tx);
+                scope.spawn(move |_| {
+                    let mut sc = Scratch::new(n);
+                    while let Ok(job) = job_rx.recv() {
+                        self.work_job(&job, &mut sc);
+                    }
+                });
+            }
+            let pool = EnginePool {
+                job_txs,
+                serial: RefCell::new(None),
+            };
+            f(&pool)
+            // Dropping `pool` closes the job channels; workers drain
+            // and exit, and the scope joins them.
+        })
+        .expect("engine worker panicked")
+    }
+
     /// Compute base and projected utilities for `state`.
     ///
     /// `candidates` are the ISPs whose projected (flipped) utility is
     /// needed: the simulation passes every insecure ISP (evaluating
     /// turn-on) and, in the incoming model, every secure ISP
     /// (evaluating turn-off).
+    ///
+    /// Convenience wrapper that stands up a transient pool; round
+    /// loops should use [`with_pool`](Self::with_pool) +
+    /// [`compute_in`](Self::compute_in) instead.
     pub fn compute(&self, state: &SecureSet, candidates: &[AsId]) -> RoundComputation {
-        self.compute_with_options(state, candidates, true)
+        self.with_pool(|pool| self.compute_with_options_in(pool, state, candidates, true))
     }
 
     /// [`compute`](Self::compute) with the Appendix C.4 skip rules
-    /// switchable. `skip_rules = false` recomputes the routing tree
-    /// for **every** (candidate, destination) pair — the naive
-    /// `O(0.15·t·|V|³)` algorithm. Exists for the ablation benchmark
-    /// and as a cross-check oracle in tests; results must be
-    /// identical either way.
+    /// switchable (see
+    /// [`compute_with_options_in`](Self::compute_with_options_in)).
     pub fn compute_with_options(
         &self,
         state: &SecureSet,
         candidates: &[AsId],
         skip_rules: bool,
     ) -> RoundComputation {
+        self.with_pool(|pool| self.compute_with_options_in(pool, state, candidates, skip_rules))
+    }
+
+    /// [`compute`](Self::compute) on an existing pool.
+    pub fn compute_in(
+        &self,
+        pool: &EnginePool,
+        state: &SecureSet,
+        candidates: &[AsId],
+    ) -> RoundComputation {
+        self.compute_with_options_in(pool, state, candidates, true)
+    }
+
+    /// One engine pass on an existing pool. `skip_rules = false`
+    /// recomputes the routing tree for **every** (candidate,
+    /// destination) pair and bypasses the cross-round reuse cache —
+    /// the naive `O(0.15·t·|V|³)` algorithm. Exists for the ablation
+    /// benchmark and as a cross-check oracle in tests; results must be
+    /// identical either way.
+    pub fn compute_with_options_in(
+        &self,
+        pool: &EnginePool,
+        state: &SecureSet,
+        candidates: &[AsId],
+        skip_rules: bool,
+    ) -> RoundComputation {
+        let t0 = Instant::now();
         let n = self.g.len();
         let mut kind = vec![CandKind::NotCandidate; n];
         for &c in candidates {
@@ -367,124 +744,136 @@ impl<'a> UtilityEngine<'a> {
             };
         }
 
-        let threads = self.cfg.effective_threads().max(1).min(n.max(1));
-        let outputs: Vec<Scratch> = if threads <= 1 {
-            let mut sc = Scratch::new(n, state);
-            for d in self.g.nodes() {
-                if self.past_deadline() {
-                    sc.deadline_skipped.push(d);
-                    continue;
+        let mut acc = RoundAccum::new(n);
+        match pool.job_txs.as_slice() {
+            [] => {
+                let mut slot = pool.serial.borrow_mut();
+                let sc = slot.get_or_insert_with(|| Box::new(Scratch::new(n)));
+                sc.bufs.secure.assign(state);
+                let spec = RoundSpec {
+                    candidates,
+                    kind: &kind,
+                    skip_rules,
+                };
+                for di in 0..n as u32 {
+                    let body = if self.past_deadline() {
+                        TaskBody::Skipped
+                    } else {
+                        self.run_dest_isolated(AsId(di), state, spec, sc)
+                    };
+                    acc.apply(di, body);
                 }
-                self.run_dest_isolated(d, state, candidates, &kind, skip_rules, &mut sc);
             }
-            vec![sc]
-        } else {
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for t in 0..threads {
-                    let kind = &kind;
-                    let candidates = &candidates;
-                    handles.push(scope.spawn(move |_| {
-                        let mut sc = Scratch::new(n, state);
-                        // Strided assignment balances the cost skew
-                        // between secure and insecure destinations.
-                        let mut d = t as u32;
-                        while (d as usize) < n {
-                            if self.past_deadline() {
-                                // The stride keeps skipped destinations
-                                // roughly uniform across the id space —
-                                // the graceful degradation to a
-                                // destination sample.
-                                sc.deadline_skipped.push(AsId(d));
-                            } else {
-                                self.run_dest_isolated(
-                                    AsId(d),
-                                    state,
-                                    candidates,
-                                    kind,
-                                    skip_rules,
-                                    &mut sc,
-                                );
-                            }
-                            d += threads as u32;
+            job_txs => {
+                let (out_tx, out_rx) = mpsc::channel();
+                // Small chunks keep the work-stealing balanced across
+                // the secure/insecure destination cost skew; large
+                // enough to keep counter contention negligible.
+                let chunk = (n / (job_txs.len() * 8)).clamp(1, 64);
+                let job = Arc::new(RoundJob {
+                    state: state.clone(),
+                    candidates: candidates.to_vec(),
+                    kind,
+                    skip_rules,
+                    next: AtomicUsize::new(0),
+                    chunk,
+                    out: out_tx,
+                });
+                // One "invitation" per worker; claims are arbitrated by
+                // the job's atomic cursor, so a straggling worker that
+                // arrives after the cursor is exhausted is a no-op.
+                for job_tx in job_txs {
+                    job_tx
+                        .send(Arc::clone(&job))
+                        .expect("engine pool disconnected");
+                }
+                drop(job);
+                // Destination-major reorder buffer: commit strictly in
+                // ascending id order for thread-count-invariant sums.
+                let mut held: BTreeMap<u32, TaskBody> = BTreeMap::new();
+                let mut next_commit = 0u32;
+                for _ in 0..n {
+                    let o = out_rx.recv().expect("engine workers disconnected");
+                    if o.dest == next_commit {
+                        acc.apply(o.dest, o.body);
+                        next_commit += 1;
+                        while let Some(b) = held.remove(&next_commit) {
+                            acc.apply(next_commit, b);
+                            next_commit += 1;
                         }
-                        sc
-                    }));
+                    } else {
+                        held.insert(o.dest, o.body);
+                    }
                 }
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("worker thread panicked")
-        };
-
-        // Reduce.
-        let mut base_out = vec![0.0; n];
-        let mut base_in = vec![0.0; n];
-        let mut proj_out = vec![0.0; n];
-        let mut proj_in = vec![0.0; n];
-        let mut quarantined = Vec::new();
-        let mut deadline_skipped = Vec::new();
-        let mut audited = 0usize;
-        let mut violations = Vec::new();
-        for sc in &outputs {
-            for i in 0..n {
-                base_out[i] += sc.u_out[i];
-                base_in[i] += sc.u_in[i];
-                proj_out[i] += sc.delta_out[i];
-                proj_in[i] += sc.delta_in[i];
+                debug_assert_eq!(next_commit as usize, n);
+                debug_assert!(held.is_empty());
             }
-            quarantined.extend(sc.quarantined.iter().cloned());
-            deadline_skipped.extend(sc.deadline_skipped.iter().copied());
-            audited += sc.audited;
-            violations.extend(sc.violations.iter().cloned());
         }
-        quarantined.sort_by_key(|q: &QuarantinedTask| q.dest);
-        deadline_skipped.sort_unstable();
-        violations.sort_by_key(|v: &SelfCheckViolation| v.dest);
-        let completeness = if n == 0 {
-            1.0
-        } else {
-            (n - quarantined.len() - deadline_skipped.len()) as f64 / n as f64
+        let comp = acc.finish(n);
+        self.stats.passes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .compute_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        comp
+    }
+
+    /// Worker body: claim destination chunks off the job's cursor
+    /// until the id space is exhausted, streaming each task's result
+    /// to the committer.
+    fn work_job(&self, job: &RoundJob, sc: &mut Scratch) {
+        let n = self.g.len();
+        sc.bufs.secure.assign(&job.state);
+        let spec = RoundSpec {
+            candidates: &job.candidates,
+            kind: &job.kind,
+            skip_rules: job.skip_rules,
         };
-        // Projected = base + accumulated deltas (skipped destinations
-        // contribute zero delta by the C.4 arguments).
-        for i in 0..n {
-            proj_out[i] += base_out[i];
-            proj_in[i] += base_in[i];
-        }
-        RoundComputation {
-            base_out,
-            base_in,
-            proj_out,
-            proj_in,
-            quarantined,
-            deadline_skipped,
-            audited,
-            violations,
-            completeness,
+        loop {
+            let start = job.next.fetch_add(job.chunk, Ordering::Relaxed);
+            if start >= n {
+                return;
+            }
+            let end = (start + job.chunk).min(n);
+            for di in start..end {
+                let d = AsId(di as u32);
+                let body = if self.past_deadline() {
+                    TaskBody::Skipped
+                } else {
+                    self.run_dest_isolated(d, &job.state, spec, sc)
+                };
+                if job
+                    .out
+                    .send(DestOutcome {
+                        dest: di as u32,
+                        body,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
         }
     }
 
     /// Run one destination task behind a panic boundary.
     ///
-    /// On success, commits the journaled contributions into the
-    /// worker's accumulators. On panic, repairs the scratch state and
-    /// retries up to [`SimConfig::max_task_retries`] times; a task
-    /// that keeps panicking is quarantined and contributes nothing.
+    /// On success, hands the journaled contributions to the committer.
+    /// On panic, repairs the scratch state and retries up to
+    /// [`SimConfig::max_task_retries`] times; a task that keeps
+    /// panicking is quarantined and contributes nothing.
     fn run_dest_isolated(
         &self,
         d: AsId,
         state: &SecureSet,
-        candidates: &[AsId],
-        kind: &[CandKind],
-        skip_rules: bool,
+        spec: RoundSpec<'_>,
         sc: &mut Scratch,
-    ) {
+    ) -> TaskBody {
         let max_attempts = self.cfg.max_task_retries.saturating_add(1);
         let mut last_message = String::new();
         for attempt in 1..=max_attempts {
-            sc.pending.clear();
-            sc.pending_audits = 0;
-            sc.pending_violations.clear();
+            sc.bufs.pending.clear();
+            sc.bufs.pending_audits = 0;
+            sc.bufs.pending_violations.clear();
             let started = Instant::now();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if let Some(chaos) = self.cfg.chaos {
@@ -492,17 +881,19 @@ impl<'a> UtilityEngine<'a> {
                         panic!("chaos: injected failure for destination {d} (attempt {attempt})");
                     }
                 }
-                self.process_dest(d, state, candidates, kind, skip_rules, &mut *sc);
+                self.process_dest(d, state, spec, &mut *sc)
             }));
             match outcome {
-                Ok(()) => {
+                Ok((contrib, cacheable)) => {
                     // Soft deadline: a successful but runaway attempt is
                     // quarantined instead of committed — retrying would
-                    // only run long again.
+                    // only run long again. Checked before the cache
+                    // insert so a quarantined contribution is never
+                    // replayed in later rounds.
                     if let Some(limit) = self.cfg.task_deadline {
                         let took = started.elapsed();
                         if took > limit {
-                            sc.quarantined.push(QuarantinedTask {
+                            return TaskBody::Quarantined(QuarantinedTask {
                                 dest: d,
                                 attempts: attempt,
                                 kind: TaskFault::TimedOut,
@@ -510,70 +901,156 @@ impl<'a> UtilityEngine<'a> {
                                     "destination task exceeded soft deadline: {took:?} > {limit:?}"
                                 ),
                             });
-                            return;
                         }
                     }
-                    // Commit: the task's per-destination journal only
-                    // touches indices in its own routing order, all of
-                    // which it zeroed first, so stale entries from a
-                    // panicked attempt are never read.
-                    for &xi in sc.ctx.order() {
-                        sc.u_out[xi as usize] += sc.dest_out[xi as usize];
-                        sc.u_in[xi as usize] += sc.dest_in[xi as usize];
+                    if cacheable {
+                        let _ = self.reuse[d.index()].set(Arc::clone(&contrib));
                     }
-                    for &(c, o, i) in &sc.pending {
-                        sc.delta_out[c as usize] += o;
-                        sc.delta_in[c as usize] += i;
-                    }
-                    sc.audited += sc.pending_audits;
-                    sc.violations.append(&mut sc.pending_violations);
-                    return;
+                    return TaskBody::Done {
+                        contrib,
+                        pending: std::mem::take(&mut sc.bufs.pending),
+                        audited: sc.bufs.pending_audits,
+                        violations: std::mem::take(&mut sc.bufs.pending_violations),
+                    };
                 }
                 Err(payload) => {
                     last_message = panic_message(payload.as_ref());
                     // A panic inside `project_candidate` can leave
                     // candidate bits flipped in the scratch state;
                     // everything else is recomputed per attempt.
-                    sc.secure.assign(state);
+                    sc.bufs.secure.assign(state);
                 }
             }
         }
-        sc.quarantined.push(QuarantinedTask {
+        TaskBody::Quarantined(QuarantinedTask {
             dest: d,
             attempts: max_attempts,
             kind: TaskFault::Panic,
             message: last_message,
-        });
+        })
     }
 
-    /// Does any member of `x`'s tiebreak set have a fully secure path
-    /// in `tree`?
-    #[inline]
-    fn member_secure(ctx: &DestContext, tree: &RouteTree, x: AsId) -> bool {
-        ctx.tiebreak_set(x).iter().any(|&m| tree.secure[m as usize])
-    }
-
+    /// Process one destination: resolve its frozen context (atlas hit,
+    /// or recompute on miss), then either replay the cross-round
+    /// cached contribution (C.4-1, insecure destinations) or run the
+    /// full tree/flows/projection pipeline.
+    ///
+    /// Returns the destination's sparse contribution plus whether it
+    /// is freshly eligible for the cross-round cache.
     fn process_dest(
         &self,
         d: AsId,
         state: &SecureSet,
-        candidates: &[AsId],
-        kind: &[CandKind],
-        skip_rules: bool,
+        spec: RoundSpec<'_>,
         sc: &mut Scratch,
+    ) -> (Arc<Contrib>, bool) {
+        let g = self.g;
+        // The cross-round cache is only sound under the skip rules'
+        // C.4-1 argument and only while `d` is insecure; the ablation
+        // path (`skip_rules = false`) bypasses reads and writes.
+        let fresh_insecure = spec.skip_rules && !state.get(d);
+        if fresh_insecure {
+            if let Some(cached) = self.reuse[d.index()].get() {
+                let contrib = Arc::clone(cached);
+                self.stats.dests_reused.fetch_add(1, Ordering::Relaxed);
+                // Even a reused destination still owes projections for
+                // the flips that would secure it: itself, or (stub
+                // destinations) a candidate provider.
+                let need_self = spec.kind[d.index()] == CandKind::TurnOn;
+                let need_providers = g.is_stub(d)
+                    && g.providers(d)
+                        .iter()
+                        .any(|&p| spec.kind[p.index()] == CandKind::TurnOn);
+                if need_self || need_providers {
+                    let Scratch { ctx, bufs } = sc;
+                    match self.atlas.get(d) {
+                        Some(view) => {
+                            self.project_insecure_reused(&view, bufs, d, state, spec, &contrib)
+                        }
+                        None => {
+                            ctx.compute(g, d, self.tiebreaker);
+                            self.stats.contexts_computed.fetch_add(1, Ordering::Relaxed);
+                            self.project_insecure_reused(&*ctx, bufs, d, state, spec, &contrib)
+                        }
+                    }
+                }
+                return (contrib, false);
+            }
+        }
+        self.stats.dests_computed.fetch_add(1, Ordering::Relaxed);
+        let Scratch { ctx, bufs } = sc;
+        let contrib = match self.atlas.get(d) {
+            Some(view) => self.process_dest_full(&view, bufs, d, state, spec),
+            None => {
+                ctx.compute(g, d, self.tiebreaker);
+                self.stats.contexts_computed.fetch_add(1, Ordering::Relaxed);
+                self.process_dest_full(&*ctx, bufs, d, state, spec)
+            }
+        };
+        (contrib, fresh_insecure)
+    }
+
+    /// Projections owed by a cache-reused insecure destination, with
+    /// base contributions read from the cached sparse list instead of
+    /// the (stale) dense scratch.
+    fn project_insecure_reused<C: RouteContext + ?Sized>(
+        &self,
+        ctx: &C,
+        bufs: &mut TaskBufs,
+        d: AsId,
+        state: &SecureSet,
+        spec: RoundSpec<'_>,
+        base: &Contrib,
     ) {
         let g = self.g;
+        if spec.kind[d.index()] == CandKind::TurnOn {
+            self.project_candidate(
+                ctx,
+                bufs,
+                d,
+                CandKind::TurnOn,
+                state,
+                contrib_entry(base, d),
+            );
+        }
+        if g.is_stub(d) {
+            for &p in g.providers(d) {
+                if spec.kind[p.index()] == CandKind::TurnOn {
+                    self.project_candidate(
+                        ctx,
+                        bufs,
+                        p,
+                        CandKind::TurnOn,
+                        state,
+                        contrib_entry(base, p),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The full per-destination pipeline: base tree, guards, flows,
+    /// sparse contribution snapshot, and candidate projections.
+    fn process_dest_full<C: RouteContext + ?Sized>(
+        &self,
+        ctx: &C,
+        bufs: &mut TaskBufs,
+        d: AsId,
+        state: &SecureSet,
+        spec: RoundSpec<'_>,
+    ) -> Arc<Contrib> {
+        let g = self.g;
         let policy = self.cfg.tree_policy;
-        sc.ctx.compute(g, d, self.tiebreaker);
 
         // Base tree, flows, and this destination's utility contributions.
-        compute_tree(g, &sc.ctx, state, policy, &mut sc.base_tree);
+        compute_tree(g, ctx, state, policy, &mut bufs.base_tree);
+        self.stats.trees_computed.fetch_add(1, Ordering::Relaxed);
 
         // Chaos: silently corrupt the freshly computed tree — the
         // failure mode the differential audit below must catch.
         if let Some(chaos) = self.cfg.chaos {
             if chaos.corrupt_tree && chaos.dest == d.0 {
-                corrupt_tree_for_chaos(&sc.ctx, &mut sc.base_tree);
+                corrupt_tree_for_chaos(ctx, &mut bufs.base_tree);
             }
         }
 
@@ -583,7 +1060,7 @@ impl<'a> UtilityEngine<'a> {
         // violation panics inside the task boundary, quarantining this
         // destination.
         if guard::should_check(u64::from(d.0)) {
-            if let Err(v) = guard::check_path_legality(g, &sc.ctx, &sc.base_tree, GUARD_STRIDE) {
+            if let Err(v) = guard::check_path_legality(g, ctx, &bufs.base_tree, GUARD_STRIDE) {
                 panic!("{v}");
             }
         }
@@ -592,9 +1069,9 @@ impl<'a> UtilityEngine<'a> {
         // reference oracle and record (never abort on) any divergence,
         // shrunk to a minimal reproducible counterexample when possible.
         if self_check_due(self.cfg.self_check, d) {
-            sc.pending_audits += 1;
+            bufs.pending_audits += 1;
             if let Some(m) =
-                diffcheck::compare(g, &sc.ctx, &sc.base_tree, state, policy, self.tiebreaker)
+                diffcheck::compare(g, ctx, &bufs.base_tree, state, policy, self.tiebreaker)
             {
                 let detail = m.to_string();
                 let tiebreaker = self.tiebreaker;
@@ -607,7 +1084,7 @@ impl<'a> UtilityEngine<'a> {
                     |g2, s2, d2| diffcheck::audit(g2, d2, s2, policy, tiebreaker),
                     SHRINK_AUDIT_BUDGET,
                 );
-                sc.pending_violations.push(SelfCheckViolation {
+                bufs.pending_violations.push(SelfCheckViolation {
                     dest: d,
                     detail,
                     artifact: cex.artifact(),
@@ -615,29 +1092,43 @@ impl<'a> UtilityEngine<'a> {
             }
         }
 
-        accumulate_flows(&sc.ctx, &sc.base_tree, self.weights, &mut sc.base_flow);
-        for &xi in sc.ctx.order() {
-            sc.dest_out[xi as usize] = 0.0;
-            sc.dest_in[xi as usize] = 0.0;
+        accumulate_flows(ctx, &bufs.base_tree, self.weights, &mut bufs.base_flow);
+        for &xi in ctx.order() {
+            bufs.dest_out[xi as usize] = 0.0;
+            bufs.dest_in[xi as usize] = 0.0;
         }
         add_utilities(
-            &sc.ctx,
-            &sc.base_tree,
+            ctx,
+            &bufs.base_tree,
             self.weights,
-            &sc.base_flow,
-            &mut sc.dest_out,
-            &mut sc.dest_in,
+            &bufs.base_flow,
+            &mut bufs.dest_out,
+            &mut bufs.dest_in,
         );
+        // Sparse, id-ascending snapshot of this destination's base
+        // contribution — the unit the committer sums and the C.4-1
+        // cache replays.
+        let mut entries: Contrib = Vec::new();
+        for &xi in ctx.order() {
+            let o = bufs.dest_out[xi as usize];
+            let i = bufs.dest_in[xi as usize];
+            if o != 0.0 || i != 0.0 {
+                entries.push((xi, o, i));
+            }
+        }
+        entries.sort_unstable_by_key(|e| e.0);
+        let contrib = Arc::new(entries);
 
-        if !skip_rules {
+        if !spec.skip_rules {
             // Ablation mode: project every candidate against every
             // destination, no shortcuts.
-            for &cand in candidates {
-                let k = kind[cand.index()];
+            for &cand in spec.candidates {
+                let k = spec.kind[cand.index()];
                 debug_assert_ne!(k, CandKind::NotCandidate);
-                self.project_candidate(cand, k, state, sc);
+                let base = (bufs.dest_out[cand.index()], bufs.dest_in[cand.index()]);
+                self.project_candidate(ctx, bufs, cand, k, state, base);
             }
-            return;
+            return contrib;
         }
 
         let d_secure = state.get(d);
@@ -646,50 +1137,63 @@ impl<'a> UtilityEngine<'a> {
             // state-independent. Only flips that *secure d itself*
             // matter: d (if an insecure candidate ISP) or, for a stub
             // destination, its candidate providers (simplex upgrade).
-            if kind[d.index()] == CandKind::TurnOn {
-                self.project_candidate(d, CandKind::TurnOn, state, sc);
+            if spec.kind[d.index()] == CandKind::TurnOn {
+                let base = (bufs.dest_out[d.index()], bufs.dest_in[d.index()]);
+                self.project_candidate(ctx, bufs, d, CandKind::TurnOn, state, base);
             }
             if g.is_stub(d) {
                 for &p in g.providers(d) {
-                    if kind[p.index()] == CandKind::TurnOn {
-                        self.project_candidate(p, CandKind::TurnOn, state, sc);
+                    if spec.kind[p.index()] == CandKind::TurnOn {
+                        let base = (bufs.dest_out[p.index()], bufs.dest_in[p.index()]);
+                        self.project_candidate(ctx, bufs, p, CandKind::TurnOn, state, base);
                     }
                 }
             }
-            return;
+            return contrib;
         }
 
         // Secure destination: evaluate each candidate under C.4-3.
-        for &cand in candidates {
-            match kind[cand.index()] {
+        for &cand in spec.candidates {
+            match spec.kind[cand.index()] {
                 CandKind::NotCandidate => unreachable!("candidate list mismatch"),
                 CandKind::TurnOn => {
-                    let mut need = Self::member_secure(&sc.ctx, &sc.base_tree, cand);
+                    let mut need = member_secure(ctx, &bufs.base_tree, cand);
                     if !need && policy.stubs_prefer_secure {
-                        need = g.stub_customers_of(cand).any(|s| {
-                            !state.get(s) && Self::member_secure(&sc.ctx, &sc.base_tree, s)
-                        });
+                        need = g
+                            .stub_customers_of(cand)
+                            .any(|s| !state.get(s) && member_secure(ctx, &bufs.base_tree, s));
                     }
                     if need {
-                        self.project_candidate(cand, CandKind::TurnOn, state, sc);
+                        let base = (bufs.dest_out[cand.index()], bufs.dest_in[cand.index()]);
+                        self.project_candidate(ctx, bufs, cand, CandKind::TurnOn, state, base);
                     }
                 }
                 CandKind::TurnOff => {
-                    if sc.base_tree.secure[cand.index()] {
-                        self.project_candidate(cand, CandKind::TurnOff, state, sc);
+                    if bufs.base_tree.secure[cand.index()] {
+                        let base = (bufs.dest_out[cand.index()], bufs.dest_in[cand.index()]);
+                        self.project_candidate(ctx, bufs, cand, CandKind::TurnOff, state, base);
                     }
                 }
             }
         }
+        contrib
     }
 
     /// Recompute the tree in `cand`'s flipped state and journal the
-    /// delta of `cand`'s utility contribution for the current
-    /// destination (committed by [`Self::run_dest_isolated`]).
-    fn project_candidate(&self, cand: AsId, kind: CandKind, state: &SecureSet, sc: &mut Scratch) {
+    /// delta of `cand`'s utility contribution (vs. `base`) for the
+    /// current destination (committed by [`Self::run_dest_isolated`]).
+    fn project_candidate<C: RouteContext + ?Sized>(
+        &self,
+        ctx: &C,
+        bufs: &mut TaskBufs,
+        cand: AsId,
+        kind: CandKind,
+        state: &SecureSet,
+        base: (f64, f64),
+    ) {
         let g = self.g;
-        sc.flips.clear();
-        sc.flips.push(cand);
+        bufs.flips.clear();
+        bufs.flips.push(cand);
         let turning_on = kind == CandKind::TurnOn;
         if turning_on {
             // Deploying also installs simplex S*BGP at all currently
@@ -697,29 +1201,26 @@ impl<'a> UtilityEngine<'a> {
             // not un-install it.
             for s in g.stub_customers_of(cand) {
                 if !state.get(s) {
-                    sc.flips.push(s);
+                    bufs.flips.push(s);
                 }
             }
         }
-        for &f in &sc.flips {
-            sc.secure.set(f, turning_on);
+        for &f in &bufs.flips {
+            bufs.secure.set(f, turning_on);
         }
         compute_tree(
             g,
-            &sc.ctx,
-            &sc.secure,
+            ctx,
+            &bufs.secure,
             self.cfg.tree_policy,
-            &mut sc.proj_tree,
+            &mut bufs.proj_tree,
         );
+        self.stats.trees_computed.fetch_add(1, Ordering::Relaxed);
         let (o, i) =
-            flows_and_target_utility(&sc.ctx, &sc.proj_tree, self.weights, cand, &mut sc.flow);
-        sc.pending.push((
-            cand.0,
-            o - sc.dest_out[cand.index()],
-            i - sc.dest_in[cand.index()],
-        ));
-        for &f in &sc.flips {
-            sc.secure.set(f, !turning_on);
+            flows_and_target_utility(ctx, &bufs.proj_tree, self.weights, cand, &mut bufs.flow);
+        bufs.pending.push((cand.0, o - base.0, i - base.1));
+        for &f in &bufs.flips {
+            bufs.secure.set(f, !turning_on);
         }
     }
 }
@@ -894,7 +1395,9 @@ mod tests {
     fn skip_rules_are_exact_not_heuristic() {
         // The C.4 optimizations must change nothing but speed: the
         // optimized and brute-force computations agree bit-for-bit on
-        // decisions (and to fp tolerance on values).
+        // decisions (and to fp tolerance on values). A second fast
+        // pass — this time served from the cross-round reuse cache —
+        // must agree with the ablation oracle too.
         use sbgp_asgraph::gen::{generate, GenParams};
         let g = generate(&GenParams::new(120, 21)).graph;
         let w = Weights::with_cp_fraction(&g, 0.10);
@@ -914,6 +1417,15 @@ mod tests {
             let engine = UtilityEngine::new(&g, &w, &tb, cfg);
             let fast = engine.compute_with_options(&state, &candidates, true);
             let brute = engine.compute_with_options(&state, &candidates, false);
+            let reused = engine.compute_with_options(&state, &candidates, true);
+            assert!(
+                engine.stats().dests_reused > 0,
+                "{model:?}: second fast pass must hit the reuse cache"
+            );
+            assert_eq!(fast.base_out, reused.base_out, "{model:?} reuse base_out");
+            assert_eq!(fast.base_in, reused.base_in, "{model:?} reuse base_in");
+            assert_eq!(fast.proj_out, reused.proj_out, "{model:?} reuse proj_out");
+            assert_eq!(fast.proj_in, reused.proj_in, "{model:?} reuse proj_in");
             for &c in &candidates {
                 assert!(
                     (fast.proj_out[c.index()] - brute.proj_out[c.index()]).abs() < 1e-6,
@@ -923,12 +1435,19 @@ mod tests {
                     (fast.proj_in[c.index()] - brute.proj_in[c.index()]).abs() < 1e-6,
                     "{model:?} in mismatch at {c}"
                 );
+                assert!(
+                    (reused.proj_out[c.index()] - brute.proj_out[c.index()]).abs() < 1e-6,
+                    "{model:?} reused-vs-brute out mismatch at {c}"
+                );
             }
         }
     }
 
     #[test]
-    fn multithreaded_matches_single_threaded() {
+    fn multithreaded_matches_single_threaded_bit_for_bit() {
+        // The destination-major ordered commit makes the f64 sums
+        // identical for every thread count — exact equality, not
+        // tolerance.
         use sbgp_asgraph::gen::{generate, GenParams};
         let g = generate(&GenParams::new(90, 8)).graph;
         let w = Weights::uniform(&g);
@@ -945,11 +1464,100 @@ mod tests {
             UtilityEngine::new(&g, &w, &tb, cfg).compute(&state, &candidates)
         };
         let a = run(1);
-        let b = run(4);
-        for i in 0..g.len() {
-            assert!((a.base_out[i] - b.base_out[i]).abs() < 1e-6);
-            assert!((a.proj_in[i] - b.proj_in[i]).abs() < 1e-6);
+        for threads in [2usize, 4, 8] {
+            let b = run(threads);
+            assert_eq!(
+                a.base_out, b.base_out,
+                "base_out differs at {threads} threads"
+            );
+            assert_eq!(a.base_in, b.base_in, "base_in differs at {threads} threads");
+            assert_eq!(
+                a.proj_out, b.proj_out,
+                "proj_out differs at {threads} threads"
+            );
+            assert_eq!(a.proj_in, b.proj_in, "proj_in differs at {threads} threads");
         }
+    }
+
+    #[test]
+    fn starved_atlas_budget_is_bit_identical_to_unlimited() {
+        // A zero --ctx-cache-mb budget stores nothing: every lookup
+        // misses and recomputes into worker scratch. The resulting
+        // RoundComputation must be bit-identical to the fully cached
+        // atlas, serial or parallel.
+        use sbgp_asgraph::gen::{generate, GenParams};
+        let g = generate(&GenParams::new(100, 13)).graph;
+        let w = Weights::with_cp_fraction(&g, 0.1);
+        let tb = HashTieBreak;
+        let adopters: Vec<AsId> =
+            sbgp_asgraph::stats::top_k_by_degree(&g, sbgp_asgraph::AsClass::Isp, 2);
+        let state = crate::state::initial_state(&g, &adopters);
+        let candidates: Vec<AsId> = g.isps().filter(|&n| !state.get(n)).collect();
+        let run = |mb: usize, threads: usize| {
+            let cfg = SimConfig {
+                ctx_cache_mb: mb,
+                threads,
+                ..SimConfig::default()
+            };
+            let engine = UtilityEngine::new(&g, &w, &tb, cfg);
+            let comp = engine.compute(&state, &candidates);
+            (comp, engine.stats())
+        };
+        let (cached, cached_stats) = run(256, 1);
+        assert_eq!(cached_stats.atlas_stored as usize, g.len());
+        assert_eq!(
+            cached_stats.contexts_computed, 0,
+            "full atlas never recomputes"
+        );
+        assert!(cached_stats.atlas_hits >= g.len() as u64);
+        for threads in [1usize, 4] {
+            let (starved, stats) = run(0, threads);
+            assert_eq!(stats.atlas_stored, 0);
+            assert_eq!(stats.atlas_hits, 0);
+            assert!(
+                stats.contexts_computed >= g.len() as u64,
+                "every dest recomputes"
+            );
+            assert_eq!(cached.base_out, starved.base_out, "threads={threads}");
+            assert_eq!(cached.base_in, starved.base_in, "threads={threads}");
+            assert_eq!(cached.proj_out, starved.proj_out, "threads={threads}");
+            assert_eq!(cached.proj_in, starved.proj_in, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cross_round_reuse_is_bit_identical_and_counted() {
+        use sbgp_asgraph::gen::{generate, GenParams};
+        let g = generate(&GenParams::new(110, 9)).graph;
+        let w = Weights::with_cp_fraction(&g, 0.15);
+        let tb = HashTieBreak;
+        let adopters: Vec<AsId> =
+            sbgp_asgraph::stats::top_k_by_degree(&g, sbgp_asgraph::AsClass::Isp, 2);
+        let state = crate::state::initial_state(&g, &adopters);
+        let candidates: Vec<AsId> = g.isps().filter(|&n| !state.get(n)).collect();
+        let engine = UtilityEngine::new(&g, &w, &tb, SimConfig::default());
+        let first = engine.compute(&state, &candidates);
+        let s1 = engine.stats();
+        assert_eq!(s1.dests_reused, 0, "first pass computes everything");
+        assert_eq!(s1.dests_computed, g.len() as u64);
+        assert_eq!(s1.passes, 1);
+        let second = engine.compute(&state, &candidates);
+        let s2 = engine.stats();
+        assert!(
+            s2.dests_reused > 0,
+            "insecure destinations must be served from the cache"
+        );
+        let insecure = (0..g.len()).filter(|&i| !state.get(AsId(i as u32))).count();
+        assert_eq!(s2.dests_reused as usize, insecure);
+        assert_eq!(first.base_out, second.base_out);
+        assert_eq!(first.base_in, second.base_in);
+        assert_eq!(first.proj_out, second.proj_out);
+        assert_eq!(first.proj_in, second.proj_in);
+        assert!(s2.reuse_rate() > 0.0 && s2.reuse_rate() < 1.0);
+        assert!(
+            s2.atlas_hit_rate() > 0.99,
+            "default budget caches the whole graph"
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! records rather than panics.
 
 use sbgp_asgraph::{AsClass, AsGraph, AsId, Relationship};
-use sbgp_routing::{DestContext, RouteTree, NO_NEXT_HOP};
+use sbgp_routing::{RouteContext, RouteTree, NO_NEXT_HOP};
 use std::fmt;
 
 /// A violated structural invariant.
@@ -154,9 +154,9 @@ enum Step {
 /// The walk is explicitly bounded by the reachable-node count, so a
 /// corrupted tree containing a next-hop cycle is reported as a
 /// violation instead of looping forever.
-pub fn check_path_legality(
+pub fn check_path_legality<C: RouteContext + ?Sized>(
     g: &AsGraph,
-    ctx: &DestContext,
+    ctx: &C,
     tree: &RouteTree,
     stride: usize,
 ) -> Result<(), GuardViolation> {
@@ -275,7 +275,7 @@ mod tests {
     use super::*;
     use sbgp_asgraph::gen::{generate, GenParams};
     use sbgp_asgraph::AsGraphBuilder;
-    use sbgp_routing::{compute_tree, LowestAsnTieBreak, SecureSet, TreePolicy};
+    use sbgp_routing::{compute_tree, DestContext, LowestAsnTieBreak, SecureSet, TreePolicy};
 
     fn computed(g: &AsGraph, d: AsId) -> (DestContext, RouteTree) {
         let mut ctx = DestContext::new(g.len());

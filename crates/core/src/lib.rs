@@ -69,6 +69,9 @@ pub mod turnoff;
 
 pub use config::{Activation, ChaosPlan, SimConfig, UtilityModel};
 pub use early::{greedy_select, EarlyAdopters};
-pub use engine::{QuarantinedTask, RoundComputation, SelfCheckViolation, TaskFault, UtilityEngine};
+pub use engine::{
+    EnginePool, EngineStats, QuarantinedTask, RoundComputation, SelfCheckViolation, TaskFault,
+    UtilityEngine,
+};
 pub use sim::{Outcome, RoundRecord, SimResult, Simulation};
 pub use state::initial_state;

@@ -1,11 +1,14 @@
 //! The deployment-process driver (Section 3.2).
 
 use crate::config::{SimConfig, UtilityModel};
-use crate::engine::{QuarantinedTask, RoundComputation, SelfCheckViolation, UtilityEngine};
+use crate::engine::{
+    EngineStats, QuarantinedTask, RoundComputation, SelfCheckViolation, UtilityEngine,
+};
 use crate::{guard, state};
 use sbgp_asgraph::{AsGraph, AsId, Weights};
-use sbgp_routing::{SecureSet, TieBreaker};
+use sbgp_routing::{RoutingAtlas, SecureSet, TieBreaker};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Comparison slack for the Eq. 3 decision: utilities are sums of
 /// thousands of f64 terms, so exact equality between "projected" and
@@ -56,7 +59,7 @@ pub struct RoundRecord {
 }
 
 /// The full record of one deployment simulation.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct SimResult {
     /// Utilities in the all-insecure world — the paper's "starting
     /// utility", the normalizer of Figures 4 and 5 (decision model).
@@ -90,6 +93,28 @@ pub struct SimResult {
     /// [`SimConfig::deadline`] passed, deduplicated and ascending.
     /// Their absence is already reflected in [`completeness`](Self::completeness).
     pub deadline_skipped: Vec<AsId>,
+    /// Engine work counters for the whole run (atlas hits, contexts
+    /// computed, destinations reused, per-phase wall time). Excluded
+    /// from `PartialEq` — two runs that produced identical simulation
+    /// outcomes compare equal even if one did less work (reuse) or
+    /// ran on different hardware.
+    pub stats: EngineStats,
+}
+
+impl PartialEq for SimResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.starting_utilities == other.starting_utilities
+            && self.initial_state == other.initial_state
+            && self.rounds == other.rounds
+            && self.final_state == other.final_state
+            && self.outcome == other.outcome
+            && self.early_adopters == other.early_adopters
+            && self.completeness == other.completeness
+            && self.quarantined == other.quarantined
+            && self.self_checked == other.self_checked
+            && self.violations == other.violations
+            && self.deadline_skipped == other.deadline_skipped
+    }
 }
 
 impl SimResult {
@@ -115,6 +140,7 @@ pub struct Simulation<'a> {
     weights: &'a Weights,
     tiebreaker: &'a dyn TieBreaker,
     cfg: SimConfig,
+    atlas: Option<Arc<RoutingAtlas>>,
 }
 
 impl<'a> Simulation<'a> {
@@ -130,7 +156,17 @@ impl<'a> Simulation<'a> {
             weights,
             tiebreaker,
             cfg,
+            atlas: None,
         }
+    }
+
+    /// Reuse an already-built frozen-context atlas instead of building
+    /// one per run — the sweep harness shares a single atlas across
+    /// every repetition over the same `(graph, tiebreaker)`, which is
+    /// sound because the atlas is state-independent (Observation C.1).
+    pub fn with_shared_atlas(mut self, atlas: Arc<RoutingAtlas>) -> Self {
+        self.atlas = Some(atlas);
+        self
     }
 
     /// Run the deployment process from the seeded initial state
@@ -157,7 +193,16 @@ impl<'a> Simulation<'a> {
         early_adopters: Vec<AsId>,
     ) -> SimResult {
         let g = self.g;
-        let engine = UtilityEngine::new(g, self.weights, self.tiebreaker, self.cfg);
+        let engine = match &self.atlas {
+            Some(atlas) => UtilityEngine::with_atlas(
+                g,
+                self.weights,
+                self.tiebreaker,
+                self.cfg,
+                Arc::clone(atlas),
+            ),
+            None => UtilityEngine::new(g, self.weights, self.tiebreaker, self.cfg),
+        };
         let model = self.cfg.model;
 
         // Fault-tolerance ledger: the worst round completeness, every
@@ -171,10 +216,6 @@ impl<'a> Simulation<'a> {
             violations: Vec<SelfCheckViolation>,
             deadline_skipped: Vec<AsId>,
         }
-        let mut ledger = Ledger {
-            completeness: 1.0,
-            ..Ledger::default()
-        };
         fn absorb(comp: &RoundComputation, ledger: &mut Ledger) {
             ledger.completeness = ledger.completeness.min(comp.completeness);
             for q in &comp.quarantined {
@@ -195,168 +236,182 @@ impl<'a> Simulation<'a> {
             }
         }
 
-        // "Starting utility": the all-insecure world, before even the
-        // early adopters deployed (Figure 4's normalizer).
-        let insecure = SecureSet::new(g.len());
-        let starting = engine.compute(&insecure, &[]);
-        absorb(&starting, &mut ledger);
-        let starting_utilities = match model {
-            UtilityModel::Outgoing => starting.base_out.clone(),
-            UtilityModel::Incoming => starting.base_in.clone(),
-        };
+        // The whole round loop runs inside one pool: workers and their
+        // scratch are spawned once and survive every engine pass.
+        let mut result = engine.with_pool(|pool| {
+            let mut ledger = Ledger {
+                completeness: 1.0,
+                ..Ledger::default()
+            };
+            // "Starting utility": the all-insecure world, before even the
+            // early adopters deployed (Figure 4's normalizer). This pass
+            // also warms the engine's cross-round C.4-1 cache: every
+            // destination is insecure here, so later rounds only recompute
+            // destinations that have since become secure.
+            let insecure = SecureSet::new(g.len());
+            let starting = engine.compute_in(pool, &insecure, &[]);
+            absorb(&starting, &mut ledger);
+            let starting_utilities = match model {
+                UtilityModel::Outgoing => starting.base_out.clone(),
+                UtilityModel::Incoming => starting.base_in.clone(),
+            };
 
-        let initial_state = initial.clone();
-        let mut state = initial;
-        let mut rounds: Vec<RoundRecord> = Vec::new();
-        let mut seen: HashMap<u64, usize> = HashMap::new();
-        seen.insert(state.fingerprint(), 0);
-        let mut outcome = Outcome::MaxRounds;
+            let initial_state = initial.clone();
+            let mut state = initial;
+            let mut rounds: Vec<RoundRecord> = Vec::new();
+            let mut seen: HashMap<u64, usize> = HashMap::new();
+            seen.insert(state.fingerprint(), 0);
+            let mut outcome = Outcome::MaxRounds;
 
-        for round in 1..=self.cfg.max_rounds {
-            // Candidates: insecure ISPs (turn-on) always; secure ISPs
-            // (turn-off) only in the incoming model (Theorem 6.2 /
-            // optimization C.4-2 rules them out in the outgoing model).
-            // CPs and stubs never decide (Section 3.2).
-            let candidates: Vec<AsId> = movable
-                .iter()
-                .copied()
-                .filter(|&n| !state.get(n) || model == UtilityModel::Incoming)
-                .collect();
+            for round in 1..=self.cfg.max_rounds {
+                // Candidates: insecure ISPs (turn-on) always; secure ISPs
+                // (turn-off) only in the incoming model (Theorem 6.2 /
+                // optimization C.4-2 rules them out in the outgoing model).
+                // CPs and stubs never decide (Section 3.2).
+                let candidates: Vec<AsId> = movable
+                    .iter()
+                    .copied()
+                    .filter(|&n| !state.get(n) || model == UtilityModel::Incoming)
+                    .collect();
 
-            let secure_before = state.count();
-            let mut turned_on = Vec::new();
-            let mut turned_off = Vec::new();
-            let mut newly_secure_stubs = Vec::new();
-            let mut projected = Vec::with_capacity(candidates.len());
-            let utilities;
+                let secure_before = state.count();
+                let mut turned_on = Vec::new();
+                let mut turned_off = Vec::new();
+                let mut newly_secure_stubs = Vec::new();
+                let mut projected = Vec::with_capacity(candidates.len());
+                let utilities;
 
-            match self.cfg.activation {
-                crate::config::Activation::Simultaneous => {
-                    // The paper's rule: everyone best-responds to the
-                    // same state, changes land together.
-                    let comp = engine.compute(&state, &candidates);
-                    absorb(&comp, &mut ledger);
-                    for &n in &candidates {
-                        let u = comp.base(model, n);
-                        let proj = comp.projected(model, n);
-                        projected.push((n, proj));
-                        // Eq. 3: flip iff projected > (1+θ_n)·current
-                        // (θ_n = θ unless Section 8.2 jitter is set).
-                        let theta_n = self.cfg.theta_for(g, n);
-                        if proj > (1.0 + theta_n) * u * (1.0 + DECISION_EPS) + DECISION_EPS {
-                            if state.get(n) {
-                                turned_off.push(n);
-                            } else {
-                                turned_on.push(n);
-                            }
-                        }
-                    }
-                    // Apply actions; newly secure ISPs upgrade stubs.
-                    for &n in &turned_on {
-                        state.set(n, true);
-                        for s in g.stub_customers_of(n) {
-                            if !state.get(s) {
-                                state.set(s, true);
-                                newly_secure_stubs.push(s);
-                            }
-                        }
-                    }
-                    for &n in &turned_off {
-                        state.set(n, false);
-                    }
-                    utilities = match model {
-                        UtilityModel::Outgoing => comp.base_out,
-                        UtilityModel::Incoming => comp.base_in,
-                    };
-                }
-                crate::config::Activation::RoundRobin => {
-                    // Asynchronous sweep: each ISP moves seeing every
-                    // earlier move of the same round. One engine pass
-                    // per mover (much slower; meant for gadget-scale
-                    // dynamics, not the 36K-AS sweeps).
-                    let snapshot = engine.compute(&state, &[]);
-                    absorb(&snapshot, &mut ledger);
-                    utilities = match model {
-                        UtilityModel::Outgoing => snapshot.base_out,
-                        UtilityModel::Incoming => snapshot.base_in,
-                    };
-                    for &n in &candidates {
-                        let comp = engine.compute(&state, &[n]);
+                match self.cfg.activation {
+                    crate::config::Activation::Simultaneous => {
+                        // The paper's rule: everyone best-responds to the
+                        // same state, changes land together.
+                        let comp = engine.compute_in(pool, &state, &candidates);
                         absorb(&comp, &mut ledger);
-                        let u = comp.base(model, n);
-                        let proj = comp.projected(model, n);
-                        projected.push((n, proj));
-                        let theta_n = self.cfg.theta_for(g, n);
-                        if proj > (1.0 + theta_n) * u * (1.0 + DECISION_EPS) + DECISION_EPS {
-                            if state.get(n) {
-                                state.set(n, false);
-                                turned_off.push(n);
-                            } else {
-                                state.set(n, true);
-                                for s in g.stub_customers_of(n) {
-                                    if !state.get(s) {
-                                        state.set(s, true);
-                                        newly_secure_stubs.push(s);
-                                    }
+                        for &n in &candidates {
+                            let u = comp.base(model, n);
+                            let proj = comp.projected(model, n);
+                            projected.push((n, proj));
+                            // Eq. 3: flip iff projected > (1+θ_n)·current
+                            // (θ_n = θ unless Section 8.2 jitter is set).
+                            let theta_n = self.cfg.theta_for(g, n);
+                            if proj > (1.0 + theta_n) * u * (1.0 + DECISION_EPS) + DECISION_EPS {
+                                if state.get(n) {
+                                    turned_off.push(n);
+                                } else {
+                                    turned_on.push(n);
                                 }
-                                turned_on.push(n);
+                            }
+                        }
+                        // Apply actions; newly secure ISPs upgrade stubs.
+                        for &n in &turned_on {
+                            state.set(n, true);
+                            for s in g.stub_customers_of(n) {
+                                if !state.get(s) {
+                                    state.set(s, true);
+                                    newly_secure_stubs.push(s);
+                                }
+                            }
+                        }
+                        for &n in &turned_off {
+                            state.set(n, false);
+                        }
+                        utilities = match model {
+                            UtilityModel::Outgoing => comp.base_out,
+                            UtilityModel::Incoming => comp.base_in,
+                        };
+                    }
+                    crate::config::Activation::RoundRobin => {
+                        // Asynchronous sweep: each ISP moves seeing every
+                        // earlier move of the same round. One engine pass
+                        // per mover (much slower; meant for gadget-scale
+                        // dynamics, not the 36K-AS sweeps).
+                        let snapshot = engine.compute_in(pool, &state, &[]);
+                        absorb(&snapshot, &mut ledger);
+                        utilities = match model {
+                            UtilityModel::Outgoing => snapshot.base_out,
+                            UtilityModel::Incoming => snapshot.base_in,
+                        };
+                        for &n in &candidates {
+                            let comp = engine.compute_in(pool, &state, &[n]);
+                            absorb(&comp, &mut ledger);
+                            let u = comp.base(model, n);
+                            let proj = comp.projected(model, n);
+                            projected.push((n, proj));
+                            let theta_n = self.cfg.theta_for(g, n);
+                            if proj > (1.0 + theta_n) * u * (1.0 + DECISION_EPS) + DECISION_EPS {
+                                if state.get(n) {
+                                    state.set(n, false);
+                                    turned_off.push(n);
+                                } else {
+                                    state.set(n, true);
+                                    for s in g.stub_customers_of(n) {
+                                        if !state.get(s) {
+                                            state.set(s, true);
+                                            newly_secure_stubs.push(s);
+                                        }
+                                    }
+                                    turned_on.push(n);
+                                }
                             }
                         }
                     }
                 }
+
+                // Theorem 6.2 invariant: in the outgoing model deployment
+                // only ever grows — a turn-off or a shrinking secure set
+                // here is a driver bug, not a modeling outcome.
+                if model == UtilityModel::Outgoing {
+                    guard::assert_outgoing_monotone(&turned_off, secure_before, state.count());
+                }
+
+                let stable = turned_on.is_empty() && turned_off.is_empty();
+                let secure_isps_after = g.isps().filter(|&n| state.get(n)).count();
+                rounds.push(RoundRecord {
+                    round,
+                    utilities,
+                    projected,
+                    turned_on,
+                    turned_off,
+                    newly_secure_stubs,
+                    secure_ases_after: state.count(),
+                    secure_isps_after,
+                });
+
+                if stable {
+                    outcome = Outcome::Stable { round };
+                    break;
+                }
+                let fp = state.fingerprint();
+                if let Some(&first) = seen.get(&fp) {
+                    outcome = Outcome::Oscillation {
+                        first_seen: first,
+                        period: round - first,
+                    };
+                    break;
+                }
+                seen.insert(fp, round);
             }
 
-            // Theorem 6.2 invariant: in the outgoing model deployment
-            // only ever grows — a turn-off or a shrinking secure set
-            // here is a driver bug, not a modeling outcome.
-            if model == UtilityModel::Outgoing {
-                guard::assert_outgoing_monotone(&turned_off, secure_before, state.count());
+            ledger.quarantined.sort_by_key(|q| q.dest);
+            ledger.violations.sort_by_key(|v| v.dest);
+            ledger.deadline_skipped.sort_unstable();
+            SimResult {
+                starting_utilities,
+                initial_state,
+                rounds,
+                final_state: state,
+                outcome,
+                early_adopters,
+                completeness: ledger.completeness,
+                quarantined: ledger.quarantined,
+                self_checked: ledger.self_checked,
+                violations: ledger.violations,
+                deadline_skipped: ledger.deadline_skipped,
+                stats: EngineStats::default(),
             }
-
-            let stable = turned_on.is_empty() && turned_off.is_empty();
-            let secure_isps_after = g.isps().filter(|&n| state.get(n)).count();
-            rounds.push(RoundRecord {
-                round,
-                utilities,
-                projected,
-                turned_on,
-                turned_off,
-                newly_secure_stubs,
-                secure_ases_after: state.count(),
-                secure_isps_after,
-            });
-
-            if stable {
-                outcome = Outcome::Stable { round };
-                break;
-            }
-            let fp = state.fingerprint();
-            if let Some(&first) = seen.get(&fp) {
-                outcome = Outcome::Oscillation {
-                    first_seen: first,
-                    period: round - first,
-                };
-                break;
-            }
-            seen.insert(fp, round);
-        }
-
-        ledger.quarantined.sort_by_key(|q| q.dest);
-        ledger.violations.sort_by_key(|v| v.dest);
-        ledger.deadline_skipped.sort_unstable();
-        SimResult {
-            starting_utilities,
-            initial_state,
-            rounds,
-            final_state: state,
-            outcome,
-            early_adopters,
-            completeness: ledger.completeness,
-            quarantined: ledger.quarantined,
-            self_checked: ledger.self_checked,
-            violations: ledger.violations,
-            deadline_skipped: ledger.deadline_skipped,
-        }
+        });
+        result.stats = engine.stats();
+        result
     }
 }
 

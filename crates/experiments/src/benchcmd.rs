@@ -1,0 +1,100 @@
+//! `repro bench` — the engine's perf smoke test.
+//!
+//! Runs the MEDIUM round kernel (one warm-up pass, then a fixed number
+//! of timed passes of `UtilityEngine::compute_in` over the default
+//! 1,000-AS world) and emits machine-readable `BENCH_engine.json`:
+//! rounds/sec plus the [`sbgp_core::EngineStats`] work counters (atlas
+//! hit rate, cross-round reuse rate, contexts/trees computed). CI runs
+//! this and fails if the counters show the frozen-context atlas was
+//! never hit — the guard that keeps the perf work from silently
+//! regressing into recompute-everything.
+
+use crate::cli::Options;
+use crate::error::ExperimentError;
+use crate::output::heading;
+use crate::world::{weights, World, TIEBREAK};
+use sbgp_asgraph::AsId;
+use sbgp_core::{initial_state, EarlyAdopters, SimConfig, UtilityEngine};
+use std::time::Instant;
+
+/// Timed engine passes after the warm-up pass.
+const TIMED_ROUNDS: u32 = 10;
+
+/// Run the round-kernel benchmark and write `BENCH_engine.json`.
+pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
+    heading("bench: engine round kernel");
+    let world = World::build(opts)?;
+    let g = world.base();
+    let w = weights(g, opts);
+    let cfg = SimConfig {
+        theta: opts.theta,
+        threads: opts.threads,
+        ctx_cache_mb: opts.ctx_cache_mb,
+        ..SimConfig::default()
+    };
+    let engine = UtilityEngine::new(g, &w, &TIEBREAK, cfg);
+
+    let state = initial_state(g, &EarlyAdopters::ContentProvidersPlusTopIsps(5).select(g));
+    let candidates: Vec<AsId> = g.isps().filter(|&n| !state.get(n)).collect();
+
+    let secs = engine.with_pool(|pool| {
+        // Warm-up: the pass a real simulation's first round performs.
+        // It fills the cross-round reuse cache, so the timed passes
+        // below measure the steady state of rounds 2..N.
+        engine.compute_in(pool, &state, &candidates);
+        let t0 = Instant::now();
+        for _ in 0..TIMED_ROUNDS {
+            engine.compute_in(pool, &state, &candidates);
+        }
+        t0.elapsed().as_secs_f64()
+    });
+
+    let s = engine.stats();
+    let rps = f64::from(TIMED_ROUNDS) / secs.max(1e-9);
+    let json = format!(
+        "{{\n  \
+         \"n\": {n},\n  \
+         \"threads\": {threads},\n  \
+         \"rounds\": {rounds},\n  \
+         \"secs\": {secs:.6},\n  \
+         \"rounds_per_sec\": {rps:.3},\n  \
+         \"contexts_computed\": {ctx},\n  \
+         \"trees_computed\": {trees},\n  \
+         \"dests_computed\": {dc},\n  \
+         \"dests_reused\": {dr},\n  \
+         \"reuse_rate\": {rr:.6},\n  \
+         \"atlas_hits\": {ah},\n  \
+         \"atlas_misses\": {am},\n  \
+         \"atlas_hit_rate\": {ahr:.6},\n  \
+         \"atlas_bytes\": {ab},\n  \
+         \"atlas_build_ms\": {abm:.3},\n  \
+         \"atlas_ever_hit\": {ever}\n}}\n",
+        n = g.len(),
+        threads = cfg.effective_threads(),
+        rounds = TIMED_ROUNDS,
+        ctx = s.contexts_computed,
+        trees = s.trees_computed,
+        dc = s.dests_computed,
+        dr = s.dests_reused,
+        rr = s.reuse_rate(),
+        ah = s.atlas_hits,
+        am = s.atlas_misses,
+        ahr = s.atlas_hit_rate(),
+        ab = s.atlas_bytes,
+        abm = s.atlas_build_ns as f64 / 1e6,
+        ever = s.atlas_hits > 0,
+    );
+    print!("{json}");
+
+    let dir = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("results"));
+    let path = dir.join("BENCH_engine.json");
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json)) {
+        eprintln!("warning: failed to write {}: {e}", path.display());
+    } else {
+        println!("[bench] wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -41,6 +41,9 @@ pub struct Options {
     /// Soft per-destination deadline in seconds; slow tasks are
     /// quarantined as timed out instead of stalling a sweep.
     pub task_deadline_secs: Option<f64>,
+    /// Memory budget in MiB for the frozen-context routing atlas
+    /// (`0` disables it; results are identical either way).
+    pub ctx_cache_mb: usize,
     /// The global budget resolved against the wall clock at parse
     /// time, so it spans every simulation the command runs.
     pub deadline_at: Option<std::time::Instant>,
@@ -63,6 +66,7 @@ impl Default for Options {
             self_check: 0.0,
             deadline_secs: None,
             task_deadline_secs: None,
+            ctx_cache_mb: 256,
             deadline_at: None,
         }
     }
@@ -162,6 +166,7 @@ fn apply(o: &mut Options, key: &str, v: &str) -> Result<(), String> {
         "self-check" => o.self_check = num(key, v)?,
         "deadline" => o.deadline_secs = Some(num(key, v)?),
         "task-deadline" => o.task_deadline_secs = Some(num(key, v)?),
+        "ctx-cache-mb" => o.ctx_cache_mb = num(key, v)?,
         other => return Err(format!("unknown flag \"--{other}\"")),
     }
     Ok(())
@@ -277,6 +282,17 @@ mod tests {
         assert!(Options::parse(&s(&["--self-check", "-0.1"])).is_err());
         assert!(Options::parse(&s(&["--deadline", "0"])).is_err());
         assert!(Options::parse(&s(&["--task-deadline", "-3"])).is_err());
+    }
+
+    #[test]
+    fn parses_ctx_cache_mb() {
+        let o = Options::parse(&[]).unwrap();
+        assert_eq!(o.ctx_cache_mb, 256);
+        let o = Options::parse(&s(&["--ctx-cache-mb", "0"])).unwrap();
+        assert_eq!(o.ctx_cache_mb, 0);
+        let o = Options::from_config_str("ctx-cache-mb = 64\n").unwrap();
+        assert_eq!(o.ctx_cache_mb, 64);
+        assert!(Options::parse(&s(&["--ctx-cache-mb", "lots"])).is_err());
     }
 
     #[test]

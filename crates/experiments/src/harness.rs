@@ -15,8 +15,28 @@
 use crate::cli::Options;
 use crate::error::ExperimentError;
 use sbgp_core::checkpoint::{params_fingerprint, SweepCheckpoint};
-use sbgp_core::SimResult;
+use sbgp_core::{EngineStats, SimResult};
 use std::path::PathBuf;
+
+/// Fold one unit's engine counters into the sweep totals. Per-engine
+/// work counters (destinations, trees, passes) sum across units; the
+/// atlas counters describe the *shared* per-graph atlas and are
+/// cumulative across the units that used it, so the latest snapshot is
+/// kept instead of summed.
+fn absorb(total: &mut EngineStats, s: &EngineStats) {
+    total.contexts_computed += s.contexts_computed;
+    total.trees_computed += s.trees_computed;
+    total.dests_computed += s.dests_computed;
+    total.dests_reused += s.dests_reused;
+    total.passes += s.passes;
+    total.compute_ns += s.compute_ns;
+    total.atlas_hits = total.atlas_hits.max(s.atlas_hits);
+    total.atlas_misses = total.atlas_misses.max(s.atlas_misses);
+    total.atlas_stored = s.atlas_stored;
+    total.atlas_evicted = s.atlas_evicted;
+    total.atlas_bytes = s.atlas_bytes;
+    total.atlas_build_ns = s.atlas_build_ns;
+}
 
 /// A checkpoint key, made filesystem-safe for artifact filenames.
 fn sanitize(key: &str) -> String {
@@ -47,6 +67,9 @@ pub struct SweepRunner {
     self_checked: usize,
     /// Self-check violations observed across all units this run.
     violations: usize,
+    /// Engine work counters summed over freshly computed units
+    /// (checkpoint-reused units carry zeroed stats by design).
+    engine: EngineStats,
 }
 
 impl SweepRunner {
@@ -85,6 +108,7 @@ impl SweepRunner {
                 reused: 0,
                 self_checked: 0,
                 violations: 0,
+                engine: EngineStats::default(),
             });
         }
         let dir = base_dir.join("checkpoints");
@@ -111,6 +135,7 @@ impl SweepRunner {
             reused: 0,
             self_checked: 0,
             violations: 0,
+            engine: EngineStats::default(),
         })
     }
 
@@ -148,6 +173,7 @@ impl SweepRunner {
         }
         self.self_checked += result.self_checked;
         self.violations += result.violations.len();
+        absorb(&mut self.engine, &result.stats);
         for v in &result.violations {
             let file = self.artifact_dir.join(format!(
                 "{}-{}-dest{}.txt",
@@ -181,6 +207,19 @@ impl SweepRunner {
     /// The checkpoint file is kept so the sweep can be re-emitted or
     /// extended without recomputation; delete it to start over.
     pub fn finish(self) -> Result<(), ExperimentError> {
+        let e = &self.engine;
+        if e.dests_computed + e.dests_reused > 0 {
+            println!(
+                "[engine] {} passes: {} destinations computed, {} reused ({:.1}% reuse); \
+                 atlas hit rate {:.1}% ({} contexts recomputed)",
+                e.passes,
+                e.dests_computed,
+                e.dests_reused,
+                100.0 * e.reuse_rate(),
+                100.0 * e.atlas_hit_rate(),
+                e.contexts_computed,
+            );
+        }
         if self.self_checked > 0 || self.violations > 0 {
             println!(
                 "[self-check] {} destination audits, {} violation(s){}",

@@ -15,6 +15,7 @@ mod harness;
 mod output;
 mod world;
 
+mod benchcmd;
 mod casestudy;
 mod census;
 mod extensions;
@@ -74,6 +75,7 @@ fn main() {
         "fig20" => gadget_demos::fig20(&opts),
         "fig21" => gadget_demos::fig21(&opts),
         "fault" => faults::fault(&opts),
+        "bench" => benchcmd::bench(&opts),
         "ext-resilience" => extensions::ext_resilience(&opts),
         "ext-theta" => extensions::ext_theta(&opts),
         "ext-disable" => extensions::ext_disable(&opts),
@@ -162,6 +164,7 @@ COMMANDS
   fig20    AND gadget truth table
   fig21    CHICKEN gadget bimatrix (Table 5)
   fault    hijack deception per link-failure rate (topology churn)
+  bench    time the engine's round kernel; write BENCH_engine.json
   ext-resilience  origin-hijack deception across the deployment process
   ext-theta       randomized per-ISP thresholds (Section 8.2)
   ext-disable     optimal per-destination disable (Section 7.1)
@@ -184,6 +187,10 @@ SELF-CHECKING
                         skipped with an honest completeness fraction
   --task-deadline SECS  quarantine any destination task slower than this
   --config FILE         load `key = value` options (later flags override)
+
+PERFORMANCE
+  --ctx-cache-mb MB     memory budget for the frozen-context routing atlas
+                        (default 256; 0 disables it — results identical)
 
 DEFAULTS: --ases 1000  --seed 42  --theta 0.05  --cp-fraction 0.10 --threads 1"
     );

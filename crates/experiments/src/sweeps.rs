@@ -12,11 +12,34 @@ use crate::output::{f3, heading, Table};
 use crate::world::{weights, World, THETAS, TIEBREAK};
 use sbgp_asgraph::{AsGraph, Weights};
 use sbgp_core::{metrics, EarlyAdopters, SimConfig, SimResult, Simulation, UtilityModel};
-use sbgp_routing::TreePolicy;
+use sbgp_routing::{RoutingAtlas, TreePolicy};
+use std::sync::Arc;
+
+/// One frozen-context atlas per graph, shared read-only by every
+/// simulation a figure runs over that graph — all θ values, adopter
+/// sets, sweep repetitions, and both stub tiebreak policies, since
+/// per-destination route contexts are state-independent (Observation
+/// C.1) and do not depend on [`TreePolicy`].
+fn build_atlas(g: &AsGraph, opts: &Options) -> Arc<RoutingAtlas> {
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        opts.threads
+    };
+    Arc::new(RoutingAtlas::build(
+        g,
+        &TIEBREAK,
+        opts.ctx_cache_mb.saturating_mul(1 << 20),
+        threads,
+    ))
+}
 
 fn run_once(
     g: &AsGraph,
     w: &Weights,
+    atlas: &Arc<RoutingAtlas>,
     adopters: &EarlyAdopters,
     theta: f64,
     stubs_prefer_secure: bool,
@@ -34,10 +57,13 @@ fn run_once(
         self_check: opts.self_check,
         task_deadline: opts.task_deadline(),
         deadline: opts.deadline_at,
+        ctx_cache_mb: opts.ctx_cache_mb,
         ..SimConfig::default()
     };
     let seeds = adopters.select(g);
-    Simulation::new(g, w, &TIEBREAK, cfg).run(&seeds)
+    Simulation::new(g, w, &TIEBREAK, cfg)
+        .with_shared_atlas(Arc::clone(atlas))
+        .run(&seeds)
 }
 
 /// Figure 8: fraction of ASes (a) and ISPs (b) that end up secure, for
@@ -47,6 +73,7 @@ pub fn fig8(opts: &Options) -> Result<(), ExperimentError> {
     let world = World::build(opts)?;
     let g = world.base();
     let w = weights(g, opts);
+    let atlas = build_atlas(g, opts);
     let mut runner = SweepRunner::open("fig8", opts, &[])?;
     let mut ta = Table::new("fig8a_ases", &columns());
     let mut tb = Table::new("fig8b_isps", &columns());
@@ -55,7 +82,9 @@ pub fn fig8(opts: &Options) -> Result<(), ExperimentError> {
         let mut row_b = vec![adopters.label()];
         for &theta in &THETAS {
             let key = format!("{};theta={theta}", adopters.label());
-            let res = runner.run(key, || run_once(g, &w, &adopters, theta, true, opts))?;
+            let res = runner.run(key, || {
+                run_once(g, &w, &atlas, &adopters, theta, true, opts)
+            })?;
             row_a.push(f3(res.secure_as_fraction(g)));
             row_b.push(f3(res.secure_isp_fraction(g)));
         }
@@ -83,6 +112,7 @@ pub fn fig9(opts: &Options) -> Result<(), ExperimentError> {
     let world = World::build(opts)?;
     let g = world.base();
     let w = weights(g, opts);
+    let atlas = build_atlas(g, opts);
     let mut runner = SweepRunner::open("fig9", opts, &[])?;
     let mut t = Table::new(
         "fig9_secure_paths",
@@ -101,7 +131,9 @@ pub fn fig9(opts: &Options) -> Result<(), ExperimentError> {
     ] {
         for &theta in &THETAS {
             let key = format!("{};theta={theta}", adopters.label());
-            let res = runner.run(key, || run_once(g, &w, &adopters, theta, true, opts))?;
+            let res = runner.run(key, || {
+                run_once(g, &w, &atlas, &adopters, theta, true, opts)
+            })?;
             let f = res.secure_as_fraction(g);
             let frac = metrics::secure_path_fraction(
                 g,
@@ -133,6 +165,7 @@ pub fn fig11(opts: &Options) -> Result<(), ExperimentError> {
     let world = World::build(opts)?;
     let g = world.base();
     let w = weights(g, opts);
+    let atlas = build_atlas(g, opts);
     let mut runner = SweepRunner::open("fig11", opts, &[])?;
     let mut t = Table::new(
         "fig11_stub_sensitivity",
@@ -152,10 +185,10 @@ pub fn fig11(opts: &Options) -> Result<(), ExperimentError> {
         for &theta in &THETAS {
             let base_key = format!("{};theta={theta}", adopters.label());
             let with = runner.run(format!("{base_key};stubs=prefer"), || {
-                run_once(g, &w, &adopters, theta, true, opts)
+                run_once(g, &w, &atlas, &adopters, theta, true, opts)
             })?;
             let without = runner.run(format!("{base_key};stubs=ignore"), || {
-                run_once(g, &w, &adopters, theta, false, opts)
+                run_once(g, &w, &atlas, &adopters, theta, false, opts)
             })?;
             let a = with.secure_as_fraction(g);
             let b = without.secure_as_fraction(g);
@@ -185,6 +218,7 @@ pub fn fig12(opts: &Options) -> Result<(), ExperimentError> {
         &["graph", "x", "early adopters", "theta", "secure ASes"],
     );
     for (glabel, g) in [("base", world.base()), ("augmented", &world.augmented)] {
+        let atlas = build_atlas(g, opts);
         for &x in &[0.10, 0.20, 0.33, 0.50] {
             let w = Weights::with_cp_fraction(g, x);
             for adopters in [
@@ -193,7 +227,9 @@ pub fn fig12(opts: &Options) -> Result<(), ExperimentError> {
             ] {
                 for &theta in &[0.0, 0.05, 0.10, 0.30] {
                     let key = format!("{glabel};x={x};{};theta={theta}", adopters.label());
-                    let res = runner.run(key, || run_once(g, &w, &adopters, theta, true, opts))?;
+                    let res = runner.run(key, || {
+                        run_once(g, &w, &atlas, &adopters, theta, true, opts)
+                    })?;
                     t.row(vec![
                         glabel.to_string(),
                         format!("{x}"),

@@ -76,6 +76,7 @@ pub fn case_study_config(opts: &Options) -> SimConfig {
         self_check: opts.self_check,
         task_deadline: opts.task_deadline(),
         deadline: opts.deadline_at,
+        ctx_cache_mb: opts.ctx_cache_mb,
         ..SimConfig::default()
     }
 }

@@ -1,0 +1,400 @@
+//! The frozen-context atlas: every destination's [`DestContext`]
+//! precomputed once per `(graph, tiebreaker)` and shared read-only.
+//!
+//! Observation C.1 makes per-destination route classes, lengths, and
+//! tiebreak sets *state-independent*, so a simulation that recomputes
+//! them every round (or every sweep repetition over the same graph)
+//! repeats identical work `rounds × |V|` times. A [`RoutingAtlas`]
+//! runs the three-stage BFS for all destinations exactly once — in
+//! parallel — and flattens the results into CSR-style shared arenas
+//! (`len`/`class`/`tb`/`order`), which threads, rounds, and sweep
+//! repetitions borrow through [`AtlasView`] (an impl of
+//! [`RouteContext`]) behind an `Arc` with zero synchronization on the
+//! read path.
+//!
+//! A configurable **memory budget** keeps huge graphs tractable: the
+//! atlas stores destinations in ascending id order until the budget is
+//! exhausted, and the rest are *evicted at build time* — a lookup for
+//! them misses and the caller recomputes the context on the fly
+//! (identical results either way; the engine's eviction test pins
+//! that down bit for bit). Hit/miss/eviction/byte counters are
+//! exposed via [`RoutingAtlas::stats`].
+
+use crate::context::{DestContext, RouteClass, RouteContext, UNREACH};
+use crate::tiebreak::TieBreaker;
+use sbgp_asgraph::{AsGraph, AsId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// `slot_of` sentinel for destinations not stored in the arenas.
+const NO_SLOT: u32 = u32::MAX;
+
+/// One destination's context, detached from the scratch buffers so it
+/// can be sent from a build worker to the arena appender.
+struct BuiltCtx {
+    dest: u32,
+    len: Vec<u16>,
+    class: Vec<RouteClass>,
+    tb_off: Vec<u32>,
+    tb: Vec<u32>,
+    order: Vec<u32>,
+}
+
+impl BuiltCtx {
+    fn snapshot(d: AsId, ctx: &DestContext) -> Self {
+        BuiltCtx {
+            dest: d.0,
+            len: ctx.len.clone(),
+            class: ctx.class.clone(),
+            tb_off: ctx.tb_off.clone(),
+            tb: ctx.tb.clone(),
+            order: ctx.order.clone(),
+        }
+    }
+
+    /// Arena bytes this destination will occupy once flattened.
+    fn bytes(&self) -> usize {
+        self.len.len() * std::mem::size_of::<u16>()
+            + self.class.len() * std::mem::size_of::<RouteClass>()
+            + self.tb_off.len() * std::mem::size_of::<u32>()
+            + self.tb.len() * std::mem::size_of::<u32>()
+            + self.order.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// A point-in-time snapshot of the atlas's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AtlasStats {
+    /// Destinations whose contexts live in the arenas.
+    pub stored: usize,
+    /// Destinations dropped at build time because the memory budget
+    /// ran out; lookups for them miss and callers recompute.
+    pub evicted: usize,
+    /// Total arena bytes held by stored contexts.
+    pub bytes: usize,
+    /// Lookups served from the arenas.
+    pub hits: u64,
+    /// Lookups for evicted destinations (recomputed by the caller).
+    pub misses: u64,
+    /// Wall time of the parallel build, in nanoseconds.
+    pub build_ns: u64,
+}
+
+/// Immutable per-destination contexts for a whole graph, flattened
+/// into shared arenas. Build once with [`RoutingAtlas::build`], wrap
+/// in an `Arc`, and share across threads, rounds, and repetitions.
+pub struct RoutingAtlas {
+    n: usize,
+    /// Destination id → arena slot (`NO_SLOT` if evicted).
+    slot_of: Vec<u32>,
+    len_arena: Vec<u16>,
+    class_arena: Vec<RouteClass>,
+    tb_off_arena: Vec<u32>,
+    tb_arena: Vec<u32>,
+    /// Slot → start of its tiebreak segment (length `slots + 1`).
+    tb_bounds: Vec<usize>,
+    order_arena: Vec<u32>,
+    order_bounds: Vec<usize>,
+    bytes: usize,
+    evicted: usize,
+    build_ns: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for RoutingAtlas {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoutingAtlas")
+            .field("nodes", &self.n)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl RoutingAtlas {
+    /// Precompute the contexts of every destination of `g`, storing
+    /// them in ascending id order until `budget_bytes` of arena space
+    /// is used (destinations past the budget are evicted — lookups
+    /// miss and the caller recomputes). `threads = 0` uses all
+    /// available parallelism.
+    pub fn build<T: TieBreaker + ?Sized>(
+        g: &AsGraph,
+        tiebreaker: &T,
+        budget_bytes: usize,
+        threads: usize,
+    ) -> Self {
+        let t0 = Instant::now();
+        let n = g.len();
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .clamp(1, n.max(1));
+
+        let mut atlas = RoutingAtlas {
+            n,
+            slot_of: vec![NO_SLOT; n],
+            len_arena: Vec::new(),
+            class_arena: Vec::new(),
+            tb_off_arena: Vec::new(),
+            tb_arena: Vec::new(),
+            tb_bounds: vec![0],
+            order_arena: Vec::new(),
+            order_bounds: vec![0],
+            bytes: 0,
+            evicted: 0,
+            build_ns: 0,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        };
+
+        if threads <= 1 {
+            let mut ctx = DestContext::new(n);
+            for d in g.nodes() {
+                ctx.compute(g, d, tiebreaker);
+                let built = BuiltCtx::snapshot(d, &ctx);
+                if !atlas.try_append(built, budget_bytes) {
+                    break;
+                }
+            }
+        } else {
+            atlas.build_parallel(g, tiebreaker, budget_bytes, threads);
+        }
+        atlas.evicted = n - atlas.stored();
+        atlas.build_ns = t0.elapsed().as_nanos() as u64;
+        atlas
+    }
+
+    /// Parallel build: workers claim destination ids off an atomic
+    /// counter and send snapshots over a bounded channel; this thread
+    /// appends them to the arenas in ascending id order (a small
+    /// reorder buffer bridges out-of-order arrival) until the budget
+    /// runs out, at which point workers observe the stop flag and
+    /// quit.
+    fn build_parallel<T: TieBreaker + ?Sized>(
+        &mut self,
+        g: &AsGraph,
+        tiebreaker: &T,
+        budget_bytes: usize,
+        threads: usize,
+    ) {
+        use std::sync::atomic::AtomicBool;
+        let n = self.n;
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = mpsc::sync_channel::<BuiltCtx>(2 * threads);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut ctx = DestContext::new(n);
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let d = next.fetch_add(1, Ordering::Relaxed);
+                        if d >= n {
+                            return;
+                        }
+                        let d = AsId(d as u32);
+                        ctx.compute(g, d, tiebreaker);
+                        if tx.send(BuiltCtx::snapshot(d, &ctx)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            let mut pending = std::collections::BTreeMap::new();
+            let mut want = 0u32;
+            while let Ok(built) = rx.recv() {
+                pending.insert(built.dest, built);
+                while let Some(built) = pending.remove(&want) {
+                    if !self.try_append(built, budget_bytes) {
+                        stop.store(true, Ordering::Relaxed);
+                        // Drain so blocked senders can observe the flag.
+                        while rx.recv().is_ok() {}
+                        return;
+                    }
+                    want += 1;
+                }
+            }
+        });
+    }
+
+    /// Append one destination's context if it fits the budget; returns
+    /// `false` (storing nothing) once the budget is exhausted.
+    fn try_append(&mut self, built: BuiltCtx, budget_bytes: usize) -> bool {
+        let cost = built.bytes();
+        if self.bytes + cost > budget_bytes {
+            return false;
+        }
+        let slot = self.tb_bounds.len() - 1;
+        self.len_arena.extend_from_slice(&built.len);
+        self.class_arena.extend_from_slice(&built.class);
+        self.tb_off_arena.extend_from_slice(&built.tb_off);
+        self.tb_arena.extend_from_slice(&built.tb);
+        self.tb_bounds.push(self.tb_arena.len());
+        self.order_arena.extend_from_slice(&built.order);
+        self.order_bounds.push(self.order_arena.len());
+        self.slot_of[built.dest as usize] = slot as u32;
+        self.bytes += cost;
+        true
+    }
+
+    /// Number of graph nodes the atlas was built for.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Destinations whose contexts are stored.
+    pub fn stored(&self) -> usize {
+        self.tb_bounds.len() - 1
+    }
+
+    /// Borrow destination `d`'s context, counting a hit; `None` (a
+    /// counted miss) if `d` was evicted by the build budget.
+    #[inline]
+    pub fn get(&self, d: AsId) -> Option<AtlasView<'_>> {
+        let slot = self.slot_of[d.index()];
+        if slot == NO_SLOT {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        let s = slot as usize;
+        let n = self.n;
+        Some(AtlasView {
+            dest: d,
+            len: &self.len_arena[s * n..(s + 1) * n],
+            class: &self.class_arena[s * n..(s + 1) * n],
+            tb_off: &self.tb_off_arena[s * (n + 1)..(s + 1) * (n + 1)],
+            tb: &self.tb_arena[self.tb_bounds[s]..self.tb_bounds[s + 1]],
+            order: &self.order_arena[self.order_bounds[s]..self.order_bounds[s + 1]],
+        })
+    }
+
+    /// Current counters (hits/misses accumulate across all sharers).
+    pub fn stats(&self) -> AtlasStats {
+        AtlasStats {
+            stored: self.stored(),
+            evicted: self.evicted,
+            bytes: self.bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            build_ns: self.build_ns,
+        }
+    }
+}
+
+/// A borrowed view of one destination's context inside the atlas
+/// arenas; implements [`RouteContext`] so it is interchangeable with
+/// a freshly computed [`DestContext`].
+#[derive(Clone, Copy, Debug)]
+pub struct AtlasView<'a> {
+    dest: AsId,
+    len: &'a [u16],
+    class: &'a [RouteClass],
+    tb_off: &'a [u32],
+    tb: &'a [u32],
+    order: &'a [u32],
+}
+
+impl RouteContext for AtlasView<'_> {
+    #[inline]
+    fn dest(&self) -> AsId {
+        self.dest
+    }
+    #[inline]
+    fn route_len(&self, n: AsId) -> Option<u16> {
+        match self.len[n.index()] {
+            UNREACH => None,
+            l => Some(l),
+        }
+    }
+    #[inline]
+    fn route_class(&self, n: AsId) -> RouteClass {
+        self.class[n.index()]
+    }
+    #[inline]
+    fn tiebreak_set(&self, n: AsId) -> &[u32] {
+        let i = n.index();
+        &self.tb[self.tb_off[i] as usize..self.tb_off[i + 1] as usize]
+    }
+    #[inline]
+    fn order(&self) -> &[u32] {
+        self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiebreak::HashTieBreak;
+    use sbgp_asgraph::gen::{generate, GenParams};
+
+    fn views_match(g: &AsGraph, atlas: &RoutingAtlas, d: AsId) {
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(g, d, &HashTieBreak);
+        let view = atlas.get(d).expect("stored destination");
+        assert_eq!(view.dest(), RouteContext::dest(&ctx));
+        assert_eq!(view.order(), RouteContext::order(&ctx));
+        for x in g.nodes() {
+            assert_eq!(view.route_len(x), ctx.route_len(x), "len at {x}");
+            assert_eq!(view.route_class(x), ctx.route_class(x), "class at {x}");
+            assert_eq!(view.tiebreak_set(x), ctx.tiebreak_set(x), "tb at {x}");
+        }
+    }
+
+    #[test]
+    fn atlas_views_equal_fresh_contexts() {
+        let g = generate(&GenParams::new(120, 9)).graph;
+        for threads in [1, 4] {
+            let atlas = RoutingAtlas::build(&g, &HashTieBreak, usize::MAX, threads);
+            assert_eq!(atlas.stored(), g.len());
+            assert_eq!(atlas.stats().evicted, 0);
+            for d in g.nodes() {
+                views_match(&g, &atlas, d);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_evicts_suffix_and_counts_misses() {
+        let g = generate(&GenParams::new(100, 4)).graph;
+        let full = RoutingAtlas::build(&g, &HashTieBreak, usize::MAX, 2);
+        let per_dest = full.stats().bytes / g.len();
+        // Room for roughly half the destinations.
+        let budget = per_dest * (g.len() / 2);
+        let small = RoutingAtlas::build(&g, &HashTieBreak, budget, 2);
+        let stored = small.stored();
+        assert!(stored > 0 && stored < g.len(), "stored {stored}");
+        assert_eq!(small.stats().evicted, g.len() - stored);
+        assert!(small.stats().bytes <= budget);
+        // Stored prefix is exactly the low ids; the rest miss.
+        for d in g.nodes() {
+            let hit = small.get(d).is_some();
+            assert_eq!(hit, d.index() < stored, "dest {d}");
+            if hit {
+                views_match(&g, &small, d);
+            }
+        }
+        let s = small.stats();
+        assert!(s.hits > 0 && s.misses > 0);
+    }
+
+    #[test]
+    fn zero_budget_stores_nothing() {
+        let g = generate(&GenParams::new(100, 1)).graph;
+        let atlas = RoutingAtlas::build(&g, &HashTieBreak, 0, 2);
+        assert_eq!(atlas.stored(), 0);
+        assert_eq!(atlas.stats().evicted, g.len());
+        assert!(atlas.get(AsId(0)).is_none());
+    }
+}

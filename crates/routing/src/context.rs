@@ -21,7 +21,36 @@ use crate::tiebreak::TieBreaker;
 use sbgp_asgraph::{AsGraph, AsId};
 
 /// Length sentinel for unreachable nodes.
-const UNREACH: u16 = u16::MAX;
+pub(crate) const UNREACH: u16 = u16::MAX;
+
+/// Read-only access to one destination's frozen routing information
+/// (Observation C.1): best-route class, length, tiebreak set, and
+/// processing order per node.
+///
+/// Implemented by [`DestContext`] (owned, recomputed per destination)
+/// and by [`AtlasView`](crate::AtlasView) (borrowed from the shared
+/// [`RoutingAtlas`](crate::RoutingAtlas) arenas). The tree, flow, and
+/// audit layers are generic over this trait so the same code path
+/// serves both.
+pub trait RouteContext {
+    /// The destination this context describes.
+    fn dest(&self) -> AsId;
+    /// Best-route length of `n` (`None` if unreachable; 0 for the
+    /// destination itself).
+    fn route_len(&self, n: AsId) -> Option<u16>;
+    /// Best-route class of `n`.
+    fn route_class(&self, n: AsId) -> RouteClass;
+    /// The tiebreak set of `n`: equally-good next hops sorted by
+    /// tiebreak key (empty for the destination and unreachable nodes).
+    fn tiebreak_set(&self, n: AsId) -> &[u32];
+    /// Reachable nodes in ascending best-route-length order; the
+    /// destination is first.
+    fn order(&self) -> &[u32];
+    /// Number of reachable nodes, including the destination.
+    fn reachable(&self) -> usize {
+        self.order().len()
+    }
+}
 
 /// The class of a node's best route to the current destination,
 /// ordered by local preference.
@@ -50,18 +79,24 @@ pub enum RouteClass {
 pub struct DestContext {
     dest: AsId,
     /// Best-route length per node (`UNREACH` if none).
-    len: Vec<u16>,
-    class: Vec<RouteClass>,
+    pub(crate) len: Vec<u16>,
+    pub(crate) class: Vec<RouteClass>,
     /// CSR tiebreak sets: node `i`'s equally-good next hops are
     /// `tb[tb_off[i]..tb_off[i+1]]`, sorted by tiebreak key.
-    tb_off: Vec<u32>,
-    tb: Vec<u32>,
+    pub(crate) tb_off: Vec<u32>,
+    pub(crate) tb: Vec<u32>,
     /// Reachable nodes (including the destination) in ascending order
     /// of best-route length — the processing order of the fast routing
     /// tree algorithm.
-    order: Vec<u32>,
-    // --- reusable scratch ---
-    buckets: Vec<Vec<u32>>,
+    pub(crate) order: Vec<u32>,
+    // --- reusable scratch (flat buffers only; the stage-3 bucket
+    // queue is a CSR counting sort plus two frontier queues, so a
+    // compute never allocates nested vectors) ---
+    seed_off: Vec<u32>,
+    seed_cursor: Vec<u32>,
+    seeds: Vec<u32>,
+    frontier: Vec<u32>,
+    next_frontier: Vec<u32>,
     key_scratch: Vec<(u64, u32)>,
 }
 
@@ -84,7 +119,11 @@ impl DestContext {
             tb_off: Vec::with_capacity(n + 1),
             tb: Vec::new(),
             order: Vec::with_capacity(n),
-            buckets: Vec::new(),
+            seed_off: Vec::new(),
+            seed_cursor: Vec::new(),
+            seeds: Vec::new(),
+            frontier: Vec::new(),
+            next_frontier: Vec::new(),
             key_scratch: Vec::new(),
         }
     }
@@ -174,51 +213,84 @@ impl DestContext {
 
         // --- Stage 3: provider routes (level-order BFS along
         // provider→customer edges, seeded with everything settled so
-        // far — GR2 exports any best route to customers). A bucket
-        // queue keyed by length processes nodes in ascending order.
-        let max_seed = (0..n)
-            .filter(|&i| self.len[i] != UNREACH)
-            .map(|i| self.len[i] as usize)
-            .max()
-            .unwrap_or(0);
-        for b in &mut self.buckets {
-            b.clear();
-        }
-        if self.buckets.len() < max_seed + 2 {
-            self.buckets.resize_with(max_seed + 2, Vec::new);
-        }
+        // far — GR2 exports any best route to customers). The seeds
+        // are counting-sorted by length into one flat CSR buffer
+        // (stable, so ascending id within a level), and each level
+        // processes its seeds followed by the nodes discovered at that
+        // level — the exact order the former nested bucket queue
+        // produced, with no nested allocations.
+        let mut max_seed = 0usize;
+        let mut settled = 0usize;
         for i in 0..n {
             let l = self.len[i];
             if l != UNREACH {
-                self.buckets[l as usize].push(i as u32);
+                max_seed = max_seed.max(l as usize);
+                settled += 1;
             }
         }
+        self.seed_off.clear();
+        self.seed_off.resize(max_seed + 2, 0);
+        for i in 0..n {
+            let l = self.len[i];
+            if l != UNREACH {
+                self.seed_off[l as usize + 1] += 1;
+            }
+        }
+        for k in 1..self.seed_off.len() {
+            self.seed_off[k] += self.seed_off[k - 1];
+        }
+        self.seed_cursor.clear();
+        self.seed_cursor
+            .extend_from_slice(&self.seed_off[..self.seed_off.len() - 1]);
+        self.seeds.clear();
+        self.seeds.resize(settled, 0);
+        for i in 0..n {
+            let l = self.len[i];
+            if l != UNREACH {
+                let c = &mut self.seed_cursor[l as usize];
+                self.seeds[*c as usize] = i as u32;
+                *c += 1;
+            }
+        }
+        self.order.clear();
+        self.frontier.clear();
         let mut level = 0usize;
-        while level < self.buckets.len() {
-            let mut idx = 0;
-            while idx < self.buckets[level].len() {
-                let x = AsId(self.buckets[level][idx]);
-                idx += 1;
+        while level + 1 < self.seed_off.len() || !self.frontier.is_empty() {
+            let (s0, s1) = if level + 1 < self.seed_off.len() {
+                (
+                    self.seed_off[level] as usize,
+                    self.seed_off[level + 1] as usize,
+                )
+            } else {
+                (0, 0)
+            };
+            self.next_frontier.clear();
+            for k in s0..s1 {
+                let x = AsId(self.seeds[k]);
                 debug_assert_eq!(self.len[x.index()] as usize, level);
+                self.order.push(x.0);
                 for &c in g.customers(x) {
                     if self.len[c.index()] == UNREACH {
                         self.len[c.index()] = (level + 1) as u16;
                         self.class[c.index()] = RouteClass::Provider;
-                        if self.buckets.len() <= level + 1 {
-                            self.buckets.resize_with(level + 2, Vec::new);
-                        }
-                        self.buckets[level + 1].push(c.0);
+                        self.next_frontier.push(c.0);
                     }
                 }
             }
+            for k in 0..self.frontier.len() {
+                let x = AsId(self.frontier[k]);
+                debug_assert_eq!(self.len[x.index()] as usize, level);
+                self.order.push(x.0);
+                for &c in g.customers(x) {
+                    if self.len[c.index()] == UNREACH {
+                        self.len[c.index()] = (level + 1) as u16;
+                        self.class[c.index()] = RouteClass::Provider;
+                        self.next_frontier.push(c.0);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next_frontier);
             level += 1;
-        }
-
-        // --- Processing order: counting-sort by length (the buckets
-        // already hold exactly the reachable nodes by length).
-        self.order.clear();
-        for b in &self.buckets {
-            self.order.extend_from_slice(b);
         }
 
         // --- Tiebreak sets. A neighbor m is an equally-good next hop
@@ -291,6 +363,33 @@ impl DestContext {
             }
             self.tb_off.push(self.tb.len() as u32);
         }
+    }
+}
+
+impl RouteContext for DestContext {
+    #[inline]
+    fn dest(&self) -> AsId {
+        DestContext::dest(self)
+    }
+    #[inline]
+    fn route_len(&self, n: AsId) -> Option<u16> {
+        DestContext::route_len(self, n)
+    }
+    #[inline]
+    fn route_class(&self, n: AsId) -> RouteClass {
+        DestContext::route_class(self, n)
+    }
+    #[inline]
+    fn tiebreak_set(&self, n: AsId) -> &[u32] {
+        DestContext::tiebreak_set(self, n)
+    }
+    #[inline]
+    fn order(&self) -> &[u32] {
+        DestContext::order(self)
+    }
+    #[inline]
+    fn reachable(&self) -> usize {
+        DestContext::reachable(self)
     }
 }
 

@@ -21,7 +21,7 @@
 //! running with `--self-check <rate>`; violations are recorded, not
 //! fatal, so a long sweep degrades honestly instead of aborting.
 
-use crate::context::{DestContext, RouteClass};
+use crate::context::{DestContext, RouteClass, RouteContext};
 use crate::oracle;
 use crate::secure::SecureSet;
 use crate::tiebreak::TieBreaker;
@@ -110,9 +110,9 @@ fn oracle_class(g: &AsGraph, dest: AsId, x: AsId, path: Option<&Vec<AsId>>) -> R
 /// for the same destination and deployment state. Returns the first
 /// divergence in ascending node order, or `None` when the two
 /// implementations agree bit for bit.
-pub fn compare<T: TieBreaker + ?Sized>(
+pub fn compare<C: RouteContext + ?Sized, T: TieBreaker + ?Sized>(
     g: &AsGraph,
-    ctx: &DestContext,
+    ctx: &C,
     tree: &RouteTree,
     secure_set: &SecureSet,
     policy: TreePolicy,

@@ -17,7 +17,7 @@
 //!   enters `n` on a customer edge — i.e. `m`'s best route is a
 //!   provider route through `n`).
 
-use crate::context::{DestContext, RouteClass};
+use crate::context::{RouteClass, RouteContext};
 use crate::secure::SecureSet;
 use crate::tree::{compute_tree, RouteTree, TreePolicy, NO_NEXT_HOP};
 use sbgp_asgraph::{AsGraph, AsId, Weights};
@@ -25,8 +25,8 @@ use sbgp_asgraph::{AsGraph, AsId, Weights};
 /// Compute per-node flows for one destination: `flow[n]` is `w_n` plus
 /// the weight of every source routing through `n` (the destination's
 /// own entry accumulates the grand total and is not meaningful).
-pub fn accumulate_flows(
-    ctx: &DestContext,
+pub fn accumulate_flows<C: RouteContext + ?Sized>(
+    ctx: &C,
     tree: &RouteTree,
     weights: &Weights,
     flow: &mut Vec<f64>,
@@ -49,8 +49,8 @@ pub fn accumulate_flows(
 /// Add this destination's contribution to every node's outgoing and
 /// incoming utility (Eqs. 1 and 2). `flow` must come from
 /// [`accumulate_flows`] for the same tree.
-pub fn add_utilities(
-    ctx: &DestContext,
+pub fn add_utilities<C: RouteContext + ?Sized>(
+    ctx: &C,
     tree: &RouteTree,
     weights: &Weights,
     flow: &[f64],
@@ -112,10 +112,10 @@ impl UtilityAccumulator {
 
     /// Process one destination under `secure_set`, adding its utility
     /// contributions.
-    pub fn add_destination(
+    pub fn add_destination<C: RouteContext + ?Sized>(
         &mut self,
         g: &AsGraph,
-        ctx: &DestContext,
+        ctx: &C,
         secure_set: &SecureSet,
         policy: TreePolicy,
         weights: &Weights,
@@ -154,8 +154,8 @@ impl UtilityAccumulator {
 /// without touching per-node utility arrays. This is the hot path for
 /// *projected* utility, where each candidate ISP gets its own flipped
 /// state (Appendix C.1's per-ISP states).
-pub fn utilities_of(
-    ctx: &DestContext,
+pub fn utilities_of<C: RouteContext + ?Sized>(
+    ctx: &C,
     tree: &RouteTree,
     weights: &Weights,
     n: AsId,
@@ -186,8 +186,8 @@ pub fn utilities_of(
 /// This is the inner loop of the simulator: it runs once per
 /// (candidate ISP, destination) pair that the Appendix C.4 skip rules
 /// cannot prove unchanged.
-pub fn flows_and_target_utility(
-    ctx: &DestContext,
+pub fn flows_and_target_utility<C: RouteContext + ?Sized>(
+    ctx: &C,
     tree: &RouteTree,
     weights: &Weights,
     target: AsId,
@@ -223,6 +223,7 @@ pub fn flows_and_target_utility(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::DestContext;
     use crate::tiebreak::LowestAsnTieBreak;
     use sbgp_asgraph::AsGraphBuilder;
 

@@ -76,6 +76,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod atlas;
 mod context;
 mod flows;
 mod secure;
@@ -86,7 +87,8 @@ pub mod census;
 pub mod diffcheck;
 pub mod oracle;
 
-pub use context::{DestContext, RouteClass};
+pub use atlas::{AtlasStats, AtlasView, RoutingAtlas};
+pub use context::{DestContext, RouteClass, RouteContext};
 pub use flows::{
     accumulate_flows, add_utilities, flows_and_target_utility, utilities_of, UtilityAccumulator,
 };

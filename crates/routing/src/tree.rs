@@ -1,6 +1,6 @@
 //! The fast routing tree algorithm (Appendix C.2).
 
-use crate::context::DestContext;
+use crate::context::RouteContext;
 use crate::secure::SecureSet;
 use sbgp_asgraph::{AsGraph, AsId};
 
@@ -68,9 +68,9 @@ impl RouteTree {
 ///   the chosen member's path is secure.
 ///
 /// `O(t·|V|)` where `t` is the mean tiebreak-set size.
-pub fn compute_tree(
+pub fn compute_tree<C: RouteContext + ?Sized>(
     g: &AsGraph,
-    ctx: &DestContext,
+    ctx: &C,
     secure_set: &SecureSet,
     policy: TreePolicy,
     out: &mut RouteTree,
@@ -105,7 +105,11 @@ pub fn compute_tree(
 
 /// Extract the full AS path from `src` to the destination (inclusive
 /// of both), or `None` if `src` has no route.
-pub fn extract_path(ctx: &DestContext, tree: &RouteTree, src: AsId) -> Option<Vec<AsId>> {
+pub fn extract_path<C: RouteContext + ?Sized>(
+    ctx: &C,
+    tree: &RouteTree,
+    src: AsId,
+) -> Option<Vec<AsId>> {
     ctx.route_len(src)?;
     let mut path = vec![src];
     let mut cur = src;
@@ -122,6 +126,7 @@ pub fn extract_path(ctx: &DestContext, tree: &RouteTree, src: AsId) -> Option<Ve
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::DestContext;
     use crate::tiebreak::LowestAsnTieBreak;
     use sbgp_asgraph::AsGraphBuilder;
 
