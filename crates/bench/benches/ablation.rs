@@ -1,35 +1,85 @@
-//! Ablation: the Appendix C.4 skip rules on vs off.
+//! Ablation: the Appendix C.4 skip rules on vs off, and the C.4-3
+//! delta-projection kernel on vs off.
 //!
 //! `skip=false` recomputes the routing tree for every (candidate,
 //! destination) pair — the naive `O(0.15·t·|V|³)` round the paper's
-//! cluster was sized for. `skip=true` is the shipping configuration.
-//! The equivalence of the two is asserted by
-//! `sbgp-core`'s `skip_rules_are_exact_not_heuristic` test; this bench
-//! measures what the rules buy.
+//! cluster was sized for. `skip=true` is the shipping configuration,
+//! benchmarked both with the delta kernel (the default) and with full
+//! per-projection recomputes (`--delta-projections off`), so the two
+//! optimizations' contributions stay separately visible. Equivalence
+//! is asserted by `sbgp-core`'s `skip_rules_are_exact_not_heuristic`
+//! and `delta_projection_modes_are_bit_identical_and_counted` tests;
+//! these benches measure what each layer buys.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sbgp_asgraph::AsId;
-use sbgp_bench::{bench_world, SMALL};
-use sbgp_core::{SimConfig, UtilityEngine};
+use sbgp_bench::{bench_world, BenchWorld, MEDIUM, SMALL};
+use sbgp_core::{DeltaMode, SimConfig, UtilityEngine};
 use sbgp_routing::HashTieBreak;
 use std::hint::black_box;
+
+fn candidates_of(world: &BenchWorld) -> Vec<AsId> {
+    world
+        .gen
+        .graph
+        .isps()
+        .filter(|&x| !world.seeded.get(x))
+        .collect()
+}
 
 fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("c4_skip_rules_ablation");
     group.sample_size(10);
     let world = bench_world(SMALL);
     let g = &world.gen.graph;
-    let cfg = SimConfig::default();
-    let engine = UtilityEngine::new(g, &world.weights, &HashTieBreak, cfg);
-    let candidates: Vec<AsId> = g.isps().filter(|&x| !world.seeded.get(x)).collect();
-    group.bench_function("optimized", |b| {
-        b.iter(|| black_box(engine.compute_with_options(&world.seeded, &candidates, true)));
-    });
+    let candidates = candidates_of(&world);
+    for (label, mode) in [
+        ("delta", DeltaMode::Auto),
+        ("full_reproject", DeltaMode::Off),
+    ] {
+        let cfg = SimConfig {
+            delta_projections: mode,
+            ..SimConfig::default()
+        };
+        let engine = UtilityEngine::new(g, &world.weights, &HashTieBreak, cfg);
+        group.bench_function(format!("optimized_{label}"), |b| {
+            b.iter(|| black_box(engine.compute_with_options(&world.seeded, &candidates, true)));
+        });
+    }
+    let engine = UtilityEngine::new(g, &world.weights, &HashTieBreak, SimConfig::default());
     group.bench_function("brute_force", |b| {
         b.iter(|| black_box(engine.compute_with_options(&world.seeded, &candidates, false)));
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_ablation);
+/// The C.4-3 delta kernel head-to-head at the `repro bench` scale:
+/// one full round-kernel pass per mode over the MEDIUM world.
+fn bench_delta_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_projection");
+    group.sample_size(10);
+    let world = bench_world(MEDIUM);
+    let g = &world.gen.graph;
+    let candidates = candidates_of(&world);
+    for (label, mode) in [
+        ("on", DeltaMode::On),
+        ("auto", DeltaMode::Auto),
+        ("off", DeltaMode::Off),
+    ] {
+        let cfg = SimConfig {
+            delta_projections: mode,
+            ..SimConfig::default()
+        };
+        let engine = UtilityEngine::new(g, &world.weights, &HashTieBreak, cfg);
+        // Warm the cross-round reuse cache so the measured passes are
+        // the steady state of rounds 2..N, matching `repro bench`.
+        let _ = engine.compute(&world.seeded, &candidates);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(engine.compute(&world.seeded, &candidates)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation, bench_delta_projection);
 criterion_main!(benches);

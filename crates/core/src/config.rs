@@ -15,6 +15,26 @@ pub enum UtilityModel {
     Incoming,
 }
 
+/// How [`project_candidate`](crate::UtilityEngine) computes a
+/// candidate's flipped-state utility (CLI knob:
+/// `--delta-projections on|off|auto`).
+///
+/// The delta path repairs only the part of the base routing tree and
+/// flows a flip can reach (`sbgp_routing::delta_project`) and is
+/// bit-identical to the full recompute — the modes trade only speed:
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaMode {
+    /// Always take the delta path, with no affected-set cutoff.
+    On,
+    /// Always recompute the flipped tree from scratch (the PR 3
+    /// behavior; also the ablation oracle's path).
+    Off,
+    /// Delta path with a size cutoff: fall back to the full recompute
+    /// when the repaired region exceeds a quarter of the reachable
+    /// nodes, bounding wasted work on flips that ripple everywhere.
+    Auto,
+}
+
 /// When ISPs act within a round (Section 8.1 discussion).
 ///
 /// The paper's simulations update **simultaneously** — every ISP
@@ -128,6 +148,10 @@ pub struct SimConfig {
     /// (recompute every lookup) — results are bit-identical either
     /// way, only speed changes. CLI knob: `--ctx-cache-mb`.
     pub ctx_cache_mb: usize,
+    /// Whether candidate projections use the incremental
+    /// delta-projection kernel (see [`DeltaMode`]). Results are
+    /// bit-identical in every mode; only speed changes.
+    pub delta_projections: DeltaMode,
 }
 
 impl Default for SimConfig {
@@ -147,6 +171,7 @@ impl Default for SimConfig {
             task_deadline: None,
             deadline: None,
             ctx_cache_mb: 256,
+            delta_projections: DeltaMode::Auto,
         }
     }
 }

@@ -60,12 +60,13 @@
 //! [`QuarantinedTask`] alongside an explicit completeness fraction,
 //! instead of one poisoned destination aborting the whole sweep.
 
-use crate::config::SimConfig;
+use crate::config::{DeltaMode, SimConfig};
 use crate::guard;
 use sbgp_asgraph::{AsGraph, AsId, Weights};
 use sbgp_routing::{
-    accumulate_flows, add_utilities, compute_tree, diffcheck, flows_and_target_utility,
-    DestContext, RouteContext, RouteTree, RoutingAtlas, SecureSet, TieBreaker,
+    accumulate_flows, add_utilities, compute_tree, delta_project, diffcheck,
+    flows_and_target_utility, DeltaScratch, DestContext, RouteContext, RouteTree, RoutingAtlas,
+    SecureSet, TbDependents, TieBreaker,
 };
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -243,6 +244,19 @@ pub struct EngineStats {
     pub atlas_bytes: u64,
     /// Wall-clock nanoseconds spent building the atlas.
     pub atlas_build_ns: u64,
+    /// Candidate projections answered by the incremental delta kernel
+    /// (C.4-3 subtree/frontier repair instead of a fresh tree).
+    pub delta_hits: u64,
+    /// Delta attempts that bailed to the full recompute because the
+    /// repaired region exceeded the [`DeltaMode::Auto`] cutoff.
+    pub delta_fallbacks: u64,
+    /// Node repairs (decisions + flows) performed across all delta
+    /// hits.
+    pub delta_touched_nodes: u64,
+    /// Reachable nodes the full recompute would have scanned across
+    /// the same delta hits — the baseline for
+    /// [`delta_touched_fraction`](Self::delta_touched_fraction).
+    pub delta_full_nodes: u64,
 }
 
 impl EngineStats {
@@ -267,6 +281,18 @@ impl EngineStats {
             self.dests_reused as f64 / total as f64
         }
     }
+
+    /// Mean fraction of the full recompute's node scans the delta
+    /// kernel actually performed (`0.0` when no delta projection ran;
+    /// values above `1.0` would mean the "incremental" path did more
+    /// work than recomputing — the bench-regression gate).
+    pub fn delta_touched_fraction(&self) -> f64 {
+        if self.delta_full_nodes == 0 {
+            0.0
+        } else {
+            self.delta_touched_nodes as f64 / self.delta_full_nodes as f64
+        }
+    }
 }
 
 /// Internal atomic counters behind [`EngineStats`].
@@ -278,6 +304,10 @@ struct StatCells {
     dests_reused: AtomicU64,
     passes: AtomicU64,
     compute_ns: AtomicU64,
+    delta_hits: AtomicU64,
+    delta_fallbacks: AtomicU64,
+    delta_touched_nodes: AtomicU64,
+    delta_full_nodes: AtomicU64,
 }
 
 /// A destination's sparse utility contribution: `(node, Δu_out, Δu_in)`
@@ -358,6 +388,18 @@ struct TaskBufs {
     dest_out: Vec<f64>,
     dest_in: Vec<f64>,
     flips: Vec<AsId>,
+    /// Reverse tiebreak index for the delta kernel, rebuilt lazily per
+    /// destination (`deps_ready`), shared by that destination's
+    /// candidate projections.
+    deps: TbDependents,
+    deps_ready: bool,
+    delta: DeltaScratch,
+    // Whether `base_tree`/`base_flow` describe the current destination
+    // in the current state, making the delta path sound. Cleared on
+    // the cache-reuse path (stale buffers) and under tree-corrupting
+    // chaos (the delta would faithfully extend the corruption, but
+    // the full path would not — they must stay comparable).
+    delta_ok: bool,
     // Journal of candidate deltas from the in-flight destination task:
     // `(candidate index, Δout, Δin)`. Handed to the committer only
     // once the task completes without panicking.
@@ -381,6 +423,10 @@ impl Scratch {
                 dest_out: vec![0.0; n],
                 dest_in: vec![0.0; n],
                 flips: Vec::new(),
+                deps: TbDependents::new(n),
+                deps_ready: false,
+                delta: DeltaScratch::new(n),
+                delta_ok: false,
                 pending: Vec::new(),
                 pending_audits: 0,
                 pending_violations: Vec::new(),
@@ -548,6 +594,12 @@ pub struct UtilityEngine<'a> {
     /// never read it.
     reuse: Vec<OnceLock<Arc<Contrib>>>,
     stats: StatCells,
+    /// Atlas hit/miss counts at engine construction. The atlas's own
+    /// counters accumulate across every sharer; snapshotting here lets
+    /// [`stats`](Self::stats) report *this engine's* lookups, so sweep
+    /// summaries attribute atlas traffic per figure instead of leaking
+    /// earlier figures' counts in.
+    atlas_base: (u64, u64),
 }
 
 impl<'a> UtilityEngine<'a> {
@@ -597,6 +649,7 @@ impl<'a> UtilityEngine<'a> {
             g.len(),
             "shared atlas was built over a different graph"
         );
+        let a = atlas.stats();
         UtilityEngine {
             g,
             weights,
@@ -607,6 +660,7 @@ impl<'a> UtilityEngine<'a> {
                 .take(g.len())
                 .collect(),
             stats: StatCells::default(),
+            atlas_base: (a.hits, a.misses),
         }
     }
 
@@ -626,7 +680,10 @@ impl<'a> UtilityEngine<'a> {
         &self.atlas
     }
 
-    /// Snapshot the engine's work counters (including the atlas's).
+    /// Snapshot the engine's work counters. Atlas hit/miss counts are
+    /// reported relative to engine construction — a shared atlas's
+    /// cumulative counters never leak another engine's lookups into
+    /// this snapshot.
     pub fn stats(&self) -> EngineStats {
         let a = self.atlas.stats();
         EngineStats {
@@ -636,12 +693,16 @@ impl<'a> UtilityEngine<'a> {
             dests_reused: self.stats.dests_reused.load(Ordering::Relaxed),
             passes: self.stats.passes.load(Ordering::Relaxed),
             compute_ns: self.stats.compute_ns.load(Ordering::Relaxed),
-            atlas_hits: a.hits,
-            atlas_misses: a.misses,
+            atlas_hits: a.hits - self.atlas_base.0,
+            atlas_misses: a.misses - self.atlas_base.1,
             atlas_stored: a.stored as u64,
             atlas_evicted: a.evicted as u64,
             atlas_bytes: a.bytes as u64,
             atlas_build_ns: a.build_ns,
+            delta_hits: self.stats.delta_hits.load(Ordering::Relaxed),
+            delta_fallbacks: self.stats.delta_fallbacks.load(Ordering::Relaxed),
+            delta_touched_nodes: self.stats.delta_touched_nodes.load(Ordering::Relaxed),
+            delta_full_nodes: self.stats.delta_full_nodes.load(Ordering::Relaxed),
         }
     }
 
@@ -963,6 +1024,9 @@ impl<'a> UtilityEngine<'a> {
                         .any(|&p| spec.kind[p.index()] == CandKind::TurnOn);
                 if need_self || need_providers {
                     let Scratch { ctx, bufs } = sc;
+                    // The scratch base tree/flows describe some earlier
+                    // destination — the delta path must not touch them.
+                    bufs.delta_ok = false;
                     match self.atlas.get(d) {
                         Some(view) => {
                             self.project_insecure_reused(&view, bufs, d, state, spec, &contrib)
@@ -1093,6 +1157,16 @@ impl<'a> UtilityEngine<'a> {
         }
 
         accumulate_flows(ctx, &bufs.base_tree, self.weights, &mut bufs.base_flow);
+        // The base tree and flows above are exactly what the delta
+        // kernel repairs against; the reverse tiebreak index is built
+        // lazily by the first projection that wants it.
+        // Never on the ablation path (it exists to be an independent
+        // oracle) and never for a chaos-corrupted dest (the delta would
+        // faithfully extend the corruption the full recompute repairs).
+        bufs.delta_ok = spec.skip_rules
+            && self.cfg.delta_projections != DeltaMode::Off
+            && !matches!(self.cfg.chaos, Some(c) if c.corrupt_tree && c.dest == d.0);
+        bufs.deps_ready = false;
         for &xi in ctx.order() {
             bufs.dest_out[xi as usize] = 0.0;
             bufs.dest_in[xi as usize] = 0.0;
@@ -1207,6 +1281,54 @@ impl<'a> UtilityEngine<'a> {
         }
         for &f in &bufs.flips {
             bufs.secure.set(f, turning_on);
+        }
+        // C.4-3 delta path: repair only the part of the base tree/flows
+        // the flip can reach. Bit-identical to the full recompute below
+        // (see `sbgp_routing::delta_project`); `None` means the repair
+        // frontier exceeded the cutoff and we fall through.
+        if bufs.delta_ok {
+            if !bufs.deps_ready {
+                bufs.deps.build(ctx);
+                bufs.deps_ready = true;
+            }
+            let max_touched = match self.cfg.delta_projections {
+                DeltaMode::On => usize::MAX,
+                _ => ctx.reachable() / 4,
+            };
+            let outcome = delta_project(
+                g,
+                ctx,
+                &bufs.deps,
+                &bufs.base_tree,
+                &bufs.base_flow,
+                &bufs.secure,
+                &bufs.flips,
+                self.cfg.tree_policy,
+                self.weights,
+                cand,
+                max_touched,
+                &mut bufs.delta,
+            );
+            match outcome {
+                Some(out) => {
+                    self.stats.delta_hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .delta_touched_nodes
+                        .fetch_add(out.touched as u64, Ordering::Relaxed);
+                    self.stats
+                        .delta_full_nodes
+                        .fetch_add(ctx.reachable() as u64, Ordering::Relaxed);
+                    bufs.pending
+                        .push((cand.0, out.u_out - base.0, out.u_in - base.1));
+                    for &f in &bufs.flips {
+                        bufs.secure.set(f, !turning_on);
+                    }
+                    return;
+                }
+                None => {
+                    self.stats.delta_fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         compute_tree(
             g,
@@ -1558,6 +1680,115 @@ mod tests {
             s2.atlas_hit_rate() > 0.99,
             "default budget caches the whole graph"
         );
+    }
+
+    #[test]
+    fn delta_projection_modes_are_bit_identical_and_counted() {
+        // `--delta-projections` must trade only speed: every mode, at
+        // every thread count, produces the same bits as the full
+        // recompute (`Off`), and the counters prove the delta path
+        // actually ran.
+        use sbgp_asgraph::gen::{generate, GenParams};
+        let g = generate(&GenParams::new(130, 33)).graph;
+        let w = Weights::with_cp_fraction(&g, 0.12);
+        let tb = HashTieBreak;
+        for model in [UtilityModel::Outgoing, UtilityModel::Incoming] {
+            let adopters: Vec<AsId> =
+                sbgp_asgraph::stats::top_k_by_degree(&g, sbgp_asgraph::AsClass::Isp, 3);
+            let state = crate::state::initial_state(&g, &adopters);
+            let candidates: Vec<AsId> = g
+                .isps()
+                .filter(|&x| !state.get(x) || model == UtilityModel::Incoming)
+                .collect();
+            let run = |mode: DeltaMode, threads: usize| {
+                let cfg = SimConfig {
+                    model,
+                    delta_projections: mode,
+                    threads,
+                    ..SimConfig::default()
+                };
+                let engine = UtilityEngine::new(&g, &w, &tb, cfg);
+                let comp = engine.compute(&state, &candidates);
+                (comp, engine.stats())
+            };
+            let (off, off_stats) = run(DeltaMode::Off, 1);
+            assert_eq!(
+                off_stats.delta_hits, 0,
+                "{model:?}: Off never takes the delta path"
+            );
+            assert_eq!(off_stats.delta_fallbacks, 0);
+            assert_eq!(off_stats.delta_touched_fraction(), 0.0);
+            for (mode, threads) in [
+                (DeltaMode::On, 1),
+                (DeltaMode::Auto, 1),
+                (DeltaMode::Auto, 4),
+            ] {
+                let (got, stats) = run(mode, threads);
+                assert_eq!(
+                    off.base_out, got.base_out,
+                    "{model:?} {mode:?} t={threads} base_out"
+                );
+                assert_eq!(
+                    off.base_in, got.base_in,
+                    "{model:?} {mode:?} t={threads} base_in"
+                );
+                assert_eq!(
+                    off.proj_out, got.proj_out,
+                    "{model:?} {mode:?} t={threads} proj_out"
+                );
+                assert_eq!(
+                    off.proj_in, got.proj_in,
+                    "{model:?} {mode:?} t={threads} proj_in"
+                );
+                assert!(
+                    stats.delta_hits > 0,
+                    "{model:?} {mode:?}: delta path must fire"
+                );
+                if mode == DeltaMode::On {
+                    assert_eq!(stats.delta_fallbacks, 0, "On never falls back");
+                }
+                let frac = stats.delta_touched_fraction();
+                assert!(
+                    frac > 0.0 && frac <= 1.0,
+                    "{model:?} {mode:?}: touched fraction {frac} out of (0, 1]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_atlas_stats_are_attributed_per_engine() {
+        // Regression: the atlas's hit/miss counters accumulate across
+        // every sharer, and sweep summaries once reported figure N's
+        // engine with figures 1..N-1's lookups folded in. The
+        // construction-time snapshot must keep each engine's report to
+        // its own traffic.
+        use sbgp_asgraph::gen::{generate, GenParams};
+        let g = generate(&GenParams::new(100, 4)).graph;
+        let w = Weights::uniform(&g);
+        let tb = HashTieBreak;
+        let cfg = SimConfig::default();
+        let adopters: Vec<AsId> =
+            sbgp_asgraph::stats::top_k_by_degree(&g, sbgp_asgraph::AsClass::Isp, 2);
+        let state = crate::state::initial_state(&g, &adopters);
+        let candidates: Vec<AsId> = g.isps().filter(|&n| !state.get(n)).collect();
+        let e1 = UtilityEngine::new(&g, &w, &tb, cfg);
+        let _ = e1.compute(&state, &candidates);
+        let _ = e1.compute(&state, &candidates);
+        let s1 = e1.stats();
+        assert!(s1.atlas_hits > 0, "two passes over a warm atlas must hit");
+        let e2 = UtilityEngine::with_atlas(&g, &w, &tb, cfg, Arc::clone(e1.atlas()));
+        let fresh = e2.stats();
+        assert_eq!(fresh.atlas_hits, 0, "a fresh sharer inherits no hits");
+        assert_eq!(fresh.atlas_misses, 0, "a fresh sharer inherits no misses");
+        let _ = e2.compute(&state, &candidates);
+        let s2 = e2.stats();
+        assert_eq!(
+            s2.atlas_hits,
+            g.len() as u64,
+            "exactly one lookup per destination — none leaked from the first engine"
+        );
+        assert_eq!(s2.atlas_misses, 0, "fully warmed atlas: no misses");
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub mod metrics;
 pub mod resilience;
 pub mod turnoff;
 
-pub use config::{Activation, ChaosPlan, SimConfig, UtilityModel};
+pub use config::{Activation, ChaosPlan, DeltaMode, SimConfig, UtilityModel};
 pub use early::{greedy_select, EarlyAdopters};
 pub use engine::{
     EnginePool, EngineStats, QuarantinedTask, RoundComputation, SelfCheckViolation, TaskFault,

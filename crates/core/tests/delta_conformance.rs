@@ -1,0 +1,173 @@
+//! Property-based conformance suite for the C.4-3 delta-projection
+//! kernel: on arbitrary valley-free topologies, deployment states, and
+//! candidate sets, `--delta-projections on` must produce *bit-for-bit*
+//! the same round computation as the full recompute (`off`) — exact
+//! `==` on every f64, not tolerance — in both utility models and under
+//! both tiebreakers.
+//!
+//! A failing case shrinks (proptest's built-in shrinking over the
+//! edge-list strategy) and the assertion message carries a
+//! diffcheck-style artifact: the full edge list, secure set, candidate
+//! kind, and the first diverging value pair, so the minimal
+//! counterexample is reproducible from the test log alone.
+
+use proptest::prelude::*;
+use sbgp_asgraph::{AsGraph, AsGraphBuilder, AsId};
+use sbgp_core::{DeltaMode, SimConfig, UtilityEngine, UtilityModel};
+use sbgp_routing::{HashTieBreak, LowestAsnTieBreak, SecureSet, TieBreaker};
+
+/// Arbitrary valley-free topology: provider edges point from lower to
+/// higher index (GR1 by construction), peer edges anywhere, scrambled
+/// ASNs so tiebreaks are non-trivial.
+fn arb_graph() -> impl Strategy<Value = (AsGraph, Vec<bool>)> {
+    (6usize..30).prop_flat_map(|n| {
+        let edges =
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, any::<bool>()), n..n * 3);
+        let secure_bits = proptest::collection::vec(any::<bool>(), n);
+        (Just(n), edges, secure_bits).prop_map(|(n, edges, secure_bits)| {
+            let mut b = AsGraphBuilder::new();
+            for i in 0..n {
+                b.add_node(((i as u32) * 7919) % 10007 + 1);
+            }
+            for (x, y, is_peer) in edges {
+                let (a, c) = (AsId(x.min(y)), AsId(x.max(y)));
+                let _ = if is_peer {
+                    b.add_peer_peer(a, c)
+                } else {
+                    b.add_provider_customer(a, c)
+                };
+            }
+            (b.build().unwrap(), secure_bits)
+        })
+    })
+}
+
+fn secure_from_bits(bits: &[bool]) -> SecureSet {
+    let mut s = SecureSet::new(bits.len());
+    for (i, &on) in bits.iter().enumerate() {
+        s.set(AsId(i as u32), on);
+    }
+    s
+}
+
+/// Diffcheck-style artifact: everything needed to replay the case by
+/// hand, printed when a conformance assertion fails.
+fn artifact(g: &AsGraph, state: &SecureSet, model: UtilityModel, tb_name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "model: {model:?}\ntiebreaker: {tb_name}\nnodes ({}):",
+        g.len()
+    ));
+    for n in g.nodes() {
+        out.push_str(&format!(
+            " {}:{}{}",
+            n.0,
+            g.asn(n),
+            if state.get(n) { "*" } else { "" }
+        ));
+    }
+    out.push_str("\nprovider->customer edges:");
+    for n in g.nodes() {
+        for &c in g.customers(n) {
+            out.push_str(&format!(" {}->{}", n.0, c.0));
+        }
+    }
+    out.push_str("\npeer edges:");
+    for n in g.nodes() {
+        for &p in g.peers(n) {
+            if n.0 < p.0 {
+                out.push_str(&format!(" {}--{}", n.0, p.0));
+            }
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// Run one conformance case: delta `On` (and `Auto`) vs full recompute
+/// `Off`, exact equality on every array. Returns an error description
+/// on the first divergence.
+fn check_case(
+    g: &AsGraph,
+    bits: &[bool],
+    model: UtilityModel,
+    tiebreaker: &dyn TieBreaker,
+    tb_name: &str,
+) -> Result<(), String> {
+    let w = sbgp_asgraph::Weights::uniform(g);
+    let state = secure_from_bits(bits);
+    // Candidates: every insecure ISP wants to turn on; in the incoming
+    // model secure ISPs also weigh turning off (Section 7).
+    let candidates: Vec<AsId> = g
+        .isps()
+        .filter(|&x| !state.get(x) || model == UtilityModel::Incoming)
+        .collect();
+    if candidates.is_empty() {
+        return Ok(());
+    }
+    let run = |mode: DeltaMode| {
+        let cfg = SimConfig {
+            model,
+            delta_projections: mode,
+            ..SimConfig::default()
+        };
+        let engine = UtilityEngine::new(g, &w, tiebreaker, cfg);
+        let comp = engine.compute(&state, &candidates);
+        (comp, engine.stats())
+    };
+    let (full, _) = run(DeltaMode::Off);
+    for mode in [DeltaMode::On, DeltaMode::Auto] {
+        let (delta, stats) = run(mode);
+        for (name, a, b) in [
+            ("base_out", &full.base_out, &delta.base_out),
+            ("base_in", &full.base_in, &delta.base_in),
+            ("proj_out", &full.proj_out, &delta.proj_out),
+            ("proj_in", &full.proj_in, &delta.proj_in),
+        ] {
+            for i in 0..a.len() {
+                if a[i].to_bits() != b[i].to_bits() {
+                    return Err(format!(
+                        "{name}[{i}] diverges under {mode:?}: full {:?} ({:#018x}) vs \
+                         delta {:?} ({:#018x})\ndelta stats: {stats:?}\n{}",
+                        a[i],
+                        a[i].to_bits(),
+                        b[i],
+                        b[i].to_bits(),
+                        artifact(g, &state, model, tb_name),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Outgoing model (Eq. 1): 256 arbitrary worlds, both tiebreakers.
+    #[test]
+    fn delta_is_bit_identical_outgoing((g, bits) in arb_graph()) {
+        if let Err(e) = check_case(&g, &bits, UtilityModel::Outgoing, &HashTieBreak, "hash") {
+            prop_assert!(false, "{e}");
+        }
+        if let Err(e) =
+            check_case(&g, &bits, UtilityModel::Outgoing, &LowestAsnTieBreak, "lowest-asn")
+        {
+            prop_assert!(false, "{e}");
+        }
+    }
+
+    /// Incoming model (Eq. 2), which adds turn-off candidates.
+    #[test]
+    fn delta_is_bit_identical_incoming((g, bits) in arb_graph()) {
+        if let Err(e) = check_case(&g, &bits, UtilityModel::Incoming, &HashTieBreak, "hash") {
+            prop_assert!(false, "{e}");
+        }
+        if let Err(e) =
+            check_case(&g, &bits, UtilityModel::Incoming, &LowestAsnTieBreak, "lowest-asn")
+        {
+            prop_assert!(false, "{e}");
+        }
+    }
+}

@@ -2,10 +2,14 @@
 //!
 //! Runs the MEDIUM round kernel (one warm-up pass, then a fixed number
 //! of timed passes of `UtilityEngine::compute_in` over the default
-//! 1,000-AS world) and emits machine-readable `BENCH_engine.json`:
-//! rounds/sec plus the [`sbgp_core::EngineStats`] work counters (atlas
-//! hit rate, cross-round reuse rate, contexts/trees computed). CI runs
-//! this and fails if the counters show the frozen-context atlas was
+//! 1,000-AS world) twice — once with the configured
+//! `--delta-projections` mode and once with the delta kernel forced
+//! off — and emits machine-readable `BENCH_engine.json`: rounds/sec
+//! for both runs, their ratio (`delta_speedup`), plus the
+//! [`sbgp_core::EngineStats`] work counters (atlas hit rate,
+//! cross-round reuse rate, delta hit/fallback counts, the repaired
+//! fraction of reachable nodes). CI runs this and fails if the
+//! counters show the frozen-context atlas or the delta kernel was
 //! never hit — the guard that keeps the perf work from silently
 //! regressing into recompute-everything.
 
@@ -14,11 +18,35 @@ use crate::error::ExperimentError;
 use crate::output::heading;
 use crate::world::{weights, World, TIEBREAK};
 use sbgp_asgraph::AsId;
-use sbgp_core::{initial_state, EarlyAdopters, SimConfig, UtilityEngine};
+use sbgp_core::{initial_state, DeltaMode, EarlyAdopters, EngineStats, SimConfig, UtilityEngine};
 use std::time::Instant;
 
 /// Timed engine passes after the warm-up pass.
 const TIMED_ROUNDS: u32 = 10;
+
+/// One warm-up pass, then `TIMED_ROUNDS` timed passes; returns the
+/// timed seconds and the engine's counters.
+fn timed_passes(
+    g: &sbgp_asgraph::AsGraph,
+    w: &sbgp_asgraph::Weights,
+    cfg: SimConfig,
+    state: &sbgp_routing::SecureSet,
+    candidates: &[AsId],
+) -> (f64, EngineStats) {
+    let engine = UtilityEngine::new(g, w, &TIEBREAK, cfg);
+    let secs = engine.with_pool(|pool| {
+        // Warm-up: the pass a real simulation's first round performs.
+        // It fills the cross-round reuse cache, so the timed passes
+        // below measure the steady state of rounds 2..N.
+        engine.compute_in(pool, state, candidates);
+        let t0 = Instant::now();
+        for _ in 0..TIMED_ROUNDS {
+            engine.compute_in(pool, state, candidates);
+        }
+        t0.elapsed().as_secs_f64()
+    });
+    (secs, engine.stats())
+}
 
 /// Run the round-kernel benchmark and write `BENCH_engine.json`.
 pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
@@ -30,27 +58,26 @@ pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
         theta: opts.theta,
         threads: opts.threads,
         ctx_cache_mb: opts.ctx_cache_mb,
+        delta_projections: opts.delta_projections,
         ..SimConfig::default()
     };
-    let engine = UtilityEngine::new(g, &w, &TIEBREAK, cfg);
 
     let state = initial_state(g, &EarlyAdopters::ContentProvidersPlusTopIsps(5).select(g));
     let candidates: Vec<AsId> = g.isps().filter(|&n| !state.get(n)).collect();
 
-    let secs = engine.with_pool(|pool| {
-        // Warm-up: the pass a real simulation's first round performs.
-        // It fills the cross-round reuse cache, so the timed passes
-        // below measure the steady state of rounds 2..N.
-        engine.compute_in(pool, &state, &candidates);
-        let t0 = Instant::now();
-        for _ in 0..TIMED_ROUNDS {
-            engine.compute_in(pool, &state, &candidates);
-        }
-        t0.elapsed().as_secs_f64()
-    });
-
-    let s = engine.stats();
+    let (secs, s) = timed_passes(g, &w, cfg, &state, &candidates);
     let rps = f64::from(TIMED_ROUNDS) / secs.max(1e-9);
+    // Baseline with the delta kernel forced off: same world, same
+    // passes, full recompute per projection. The ratio is the delta
+    // kernel's round-level speedup (1.0 when the main run is `off`).
+    let off_cfg = SimConfig {
+        delta_projections: DeltaMode::Off,
+        ..cfg
+    };
+    let (off_secs, _) = timed_passes(g, &w, off_cfg, &state, &candidates);
+    let off_rps = f64::from(TIMED_ROUNDS) / off_secs.max(1e-9);
+    let speedup = off_secs / secs.max(1e-9);
+
     let json = format!(
         "{{\n  \
          \"n\": {n},\n  \
@@ -58,6 +85,9 @@ pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
          \"rounds\": {rounds},\n  \
          \"secs\": {secs:.6},\n  \
          \"rounds_per_sec\": {rps:.3},\n  \
+         \"full_recompute_secs\": {osecs:.6},\n  \
+         \"full_recompute_rounds_per_sec\": {orps:.3},\n  \
+         \"delta_speedup\": {speedup:.3},\n  \
          \"contexts_computed\": {ctx},\n  \
          \"trees_computed\": {trees},\n  \
          \"dests_computed\": {dc},\n  \
@@ -68,10 +98,16 @@ pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
          \"atlas_hit_rate\": {ahr:.6},\n  \
          \"atlas_bytes\": {ab},\n  \
          \"atlas_build_ms\": {abm:.3},\n  \
-         \"atlas_ever_hit\": {ever}\n}}\n",
+         \"atlas_ever_hit\": {ever},\n  \
+         \"delta_hits\": {dh},\n  \
+         \"delta_fallbacks\": {df},\n  \
+         \"delta_touched_fraction\": {dtf:.6},\n  \
+         \"delta_ever_hit\": {dever}\n}}\n",
         n = g.len(),
         threads = cfg.effective_threads(),
         rounds = TIMED_ROUNDS,
+        osecs = off_secs,
+        orps = off_rps,
         ctx = s.contexts_computed,
         trees = s.trees_computed,
         dc = s.dests_computed,
@@ -83,6 +119,10 @@ pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
         ab = s.atlas_bytes,
         abm = s.atlas_build_ns as f64 / 1e6,
         ever = s.atlas_hits > 0,
+        dh = s.delta_hits,
+        df = s.delta_fallbacks,
+        dtf = s.delta_touched_fraction(),
+        dever = s.delta_hits > 0,
     );
     print!("{json}");
 

@@ -44,6 +44,10 @@ pub struct Options {
     /// Memory budget in MiB for the frozen-context routing atlas
     /// (`0` disables it; results are identical either way).
     pub ctx_cache_mb: usize,
+    /// Candidate-projection strategy: `auto` (delta kernel with a size
+    /// cutoff, the default), `on` (delta always), `off` (full
+    /// recompute). Results are bit-identical in every mode.
+    pub delta_projections: sbgp_core::DeltaMode,
     /// The global budget resolved against the wall clock at parse
     /// time, so it spans every simulation the command runs.
     pub deadline_at: Option<std::time::Instant>,
@@ -67,6 +71,7 @@ impl Default for Options {
             deadline_secs: None,
             task_deadline_secs: None,
             ctx_cache_mb: 256,
+            delta_projections: sbgp_core::DeltaMode::Auto,
             deadline_at: None,
         }
     }
@@ -167,6 +172,18 @@ fn apply(o: &mut Options, key: &str, v: &str) -> Result<(), String> {
         "deadline" => o.deadline_secs = Some(num(key, v)?),
         "task-deadline" => o.task_deadline_secs = Some(num(key, v)?),
         "ctx-cache-mb" => o.ctx_cache_mb = num(key, v)?,
+        "delta-projections" => {
+            o.delta_projections = match v {
+                "on" => sbgp_core::DeltaMode::On,
+                "off" => sbgp_core::DeltaMode::Off,
+                "auto" => sbgp_core::DeltaMode::Auto,
+                other => {
+                    return Err(format!(
+                        "--delta-projections: expected on|off|auto, got {other:?}"
+                    ))
+                }
+            }
+        }
         other => return Err(format!("unknown flag \"--{other}\"")),
     }
     Ok(())
@@ -293,6 +310,25 @@ mod tests {
         let o = Options::from_config_str("ctx-cache-mb = 64\n").unwrap();
         assert_eq!(o.ctx_cache_mb, 64);
         assert!(Options::parse(&s(&["--ctx-cache-mb", "lots"])).is_err());
+    }
+
+    #[test]
+    fn parses_delta_projections() {
+        use sbgp_core::DeltaMode;
+        let o = Options::parse(&[]).unwrap();
+        assert_eq!(o.delta_projections, DeltaMode::Auto);
+        for (v, want) in [
+            ("on", DeltaMode::On),
+            ("off", DeltaMode::Off),
+            ("auto", DeltaMode::Auto),
+        ] {
+            let o = Options::parse(&s(&["--delta-projections", v])).unwrap();
+            assert_eq!(o.delta_projections, want);
+        }
+        let o = Options::from_config_str("delta-projections = off\n").unwrap();
+        assert_eq!(o.delta_projections, DeltaMode::Off);
+        let err = Options::parse(&s(&["--delta-projections", "maybe"])).unwrap_err();
+        assert!(err.contains("on|off|auto"), "{err}");
     }
 
     #[test]

@@ -18,11 +18,13 @@ use sbgp_core::checkpoint::{params_fingerprint, SweepCheckpoint};
 use sbgp_core::{EngineStats, SimResult};
 use std::path::PathBuf;
 
-/// Fold one unit's engine counters into the sweep totals. Per-engine
-/// work counters (destinations, trees, passes) sum across units; the
-/// atlas counters describe the *shared* per-graph atlas and are
-/// cumulative across the units that used it, so the latest snapshot is
-/// kept instead of summed.
+/// Fold one unit's engine counters into the sweep totals. Work and
+/// lookup counters (destinations, trees, passes, atlas hits/misses,
+/// delta projections) are attributed per engine — each unit's snapshot
+/// covers only that unit's traffic, even over a shared atlas — so they
+/// sum across units. The storage gauges (bytes, stored, evicted,
+/// build time) describe the shared per-graph atlas itself; the latest
+/// snapshot is kept.
 fn absorb(total: &mut EngineStats, s: &EngineStats) {
     total.contexts_computed += s.contexts_computed;
     total.trees_computed += s.trees_computed;
@@ -30,12 +32,16 @@ fn absorb(total: &mut EngineStats, s: &EngineStats) {
     total.dests_reused += s.dests_reused;
     total.passes += s.passes;
     total.compute_ns += s.compute_ns;
-    total.atlas_hits = total.atlas_hits.max(s.atlas_hits);
-    total.atlas_misses = total.atlas_misses.max(s.atlas_misses);
+    total.atlas_hits += s.atlas_hits;
+    total.atlas_misses += s.atlas_misses;
     total.atlas_stored = s.atlas_stored;
     total.atlas_evicted = s.atlas_evicted;
     total.atlas_bytes = s.atlas_bytes;
     total.atlas_build_ns = s.atlas_build_ns;
+    total.delta_hits += s.delta_hits;
+    total.delta_fallbacks += s.delta_fallbacks;
+    total.delta_touched_nodes += s.delta_touched_nodes;
+    total.delta_full_nodes += s.delta_full_nodes;
 }
 
 /// A checkpoint key, made filesystem-safe for artifact filenames.
@@ -219,6 +225,15 @@ impl SweepRunner {
                 100.0 * e.atlas_hit_rate(),
                 e.contexts_computed,
             );
+            if e.delta_hits + e.delta_fallbacks > 0 {
+                println!(
+                    "[engine] delta projections: {} repaired, {} fell back to full \
+                     recompute; repaired region averaged {:.1}% of reachable nodes",
+                    e.delta_hits,
+                    e.delta_fallbacks,
+                    100.0 * e.delta_touched_fraction(),
+                );
+            }
         }
         if self.self_checked > 0 || self.violations > 0 {
             println!(

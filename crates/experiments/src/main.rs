@@ -191,6 +191,9 @@ SELF-CHECKING
 PERFORMANCE
   --ctx-cache-mb MB     memory budget for the frozen-context routing atlas
                         (default 256; 0 disables it — results identical)
+  --delta-projections M candidate projections: `auto` (delta repair with a
+                        size cutoff, default), `on` (delta always), `off`
+                        (full recompute) — results bit-identical either way
 
 DEFAULTS: --ases 1000  --seed 42  --theta 0.05  --cp-fraction 0.10 --threads 1"
     );

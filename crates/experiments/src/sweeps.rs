@@ -58,6 +58,7 @@ fn run_once(
         task_deadline: opts.task_deadline(),
         deadline: opts.deadline_at,
         ctx_cache_mb: opts.ctx_cache_mb,
+        delta_projections: opts.delta_projections,
         ..SimConfig::default()
     };
     let seeds = adopters.select(g);

@@ -77,6 +77,7 @@ pub fn case_study_config(opts: &Options) -> SimConfig {
         task_deadline: opts.task_deadline(),
         deadline: opts.deadline_at,
         ctx_cache_mb: opts.ctx_cache_mb,
+        delta_projections: opts.delta_projections,
         ..SimConfig::default()
     }
 }

@@ -1,0 +1,696 @@
+//! Incremental delta projection for candidate flips (Appendix C.4-3).
+//!
+//! A candidate ISP's projected utility `u_n(¬S_n, S_−n)` differs from
+//! the base state by a *single* secure-set flip (plus the simplex
+//! upgrade of its insecure stub customers). By Observation C.1 the
+//! flip cannot move route classes, lengths, or tiebreak sets — only
+//! the SecP choice *within* each tiebreak set. A node's `compute_tree`
+//! decision reads exactly two inputs: its own secure bit and the
+//! path-security of its tiebreak-set members, so the set of nodes
+//! whose decision can change is the closure of the flipped nodes under
+//! the **reverse tiebreak relation** — `n`'s subtree of the base
+//! routing tree plus the re-attachment frontier, discovered level by
+//! level. Everything outside that closure provably keeps its base
+//! next hop, path security, and (by the same argument one level up)
+//! its base flow.
+//!
+//! [`delta_project`] exploits this: starting from the flips it repairs
+//! only the dirty decisions (ascending route-length order, exactly
+//! mirroring [`compute_tree`]'s scan), then repairs only the dirty
+//! flows (descending order, exactly mirroring
+//! [`flows_and_target_utility`]'s scan), and reads the candidate's
+//! projected `(u_out, u_in)` off the repaired values. Because every
+//! repaired node re-performs the *same* floating-point fold over the
+//! *same* operands in the *same* order as the full recompute — the
+//! per-node dependent lists are materialized in reverse-scan order by
+//! [`TbDependents`] — the result is **bit-identical** to running
+//! [`compute_tree`] + [`flows_and_target_utility`] from scratch, for
+//! every tiebreaker, policy, and graph. The conformance suite in
+//! `sbgp-core` (`tests/delta_conformance.rs`) proves this with exact
+//! `==` over randomized worlds.
+//!
+//! [`compute_tree`]: crate::compute_tree
+//! [`flows_and_target_utility`]: crate::flows_and_target_utility
+
+use crate::context::{RouteClass, RouteContext};
+use crate::secure::SecureSet;
+use crate::tree::{RouteTree, TreePolicy};
+use sbgp_asgraph::{AsGraph, AsId, Weights};
+
+/// The reverse tiebreak relation for one destination, in CSR form:
+/// `dependents(m)` is every node `x` with `m ∈ tiebreak_set(x)`.
+///
+/// Two properties make this the delta kernel's only index:
+///
+/// * **completeness** — a node's tree decision reads only its
+///   tiebreak-set members' path security, so a security change at `m`
+///   can affect exactly `dependents(m)` (all at route length
+///   `len(m) + 1`); and a node's next hop is always a tiebreak-set
+///   member, so the base-tree *children* of `m` are a subset of
+///   `dependents(m)`.
+/// * **order** — each list is materialized in the order the nodes
+///   appear in the **reverse** of [`RouteContext::order`], which is
+///   the order the flow scan visits them. Folding a filtered
+///   dependent list therefore reproduces the full scan's
+///   floating-point addition order operand for operand.
+///
+/// Dependent sets are deployment-state-independent (Observation C.1):
+/// one build per destination serves every candidate projection.
+#[derive(Clone, Debug)]
+pub struct TbDependents {
+    off: Vec<u32>,
+    dep: Vec<u32>,
+    /// Scratch for the counting sort (kept across builds).
+    cursor: Vec<u32>,
+}
+
+impl TbDependents {
+    /// An empty index for an `n`-node graph (call
+    /// [`build`](Self::build) before use).
+    pub fn new(n: usize) -> Self {
+        TbDependents {
+            off: vec![0; n + 1],
+            dep: Vec::new(),
+            cursor: vec![0; n],
+        }
+    }
+
+    /// (Re)build the index for `ctx`'s destination.
+    pub fn build<C: RouteContext + ?Sized>(&mut self, ctx: &C) {
+        let n = self.off.len() - 1;
+        debug_assert_eq!(self.cursor.len(), n, "index sized for a different graph");
+        self.off.fill(0);
+        for &xi in ctx.order() {
+            let x = AsId(xi);
+            for &m in ctx.tiebreak_set(x) {
+                self.off[m as usize + 1] += 1;
+            }
+        }
+        for k in 1..=n {
+            self.off[k] += self.off[k - 1];
+        }
+        self.cursor.copy_from_slice(&self.off[..n]);
+        self.dep.clear();
+        self.dep.resize(self.off[n] as usize, 0);
+        // Reverse-scan order: the flow pass iterates order() backwards,
+        // so each dependent list must list its members in that order.
+        for &xi in ctx.order().iter().rev() {
+            let x = AsId(xi);
+            for &m in ctx.tiebreak_set(x) {
+                let c = &mut self.cursor[m as usize];
+                self.dep[*c as usize] = xi;
+                *c += 1;
+            }
+        }
+    }
+
+    /// Nodes whose tiebreak set contains `m`, in reverse-scan order.
+    #[inline]
+    pub fn dependents(&self, m: AsId) -> &[u32] {
+        let i = m.index();
+        &self.dep[self.off[i] as usize..self.off[i + 1] as usize]
+    }
+}
+
+/// Epoch-stamped scratch for [`delta_project`]: dense arrays validated
+/// by a generation counter, so starting a new projection is `O(1)`
+/// instead of `O(|V|)` clears. One per worker thread, reused across
+/// every (candidate, destination) pair.
+#[derive(Clone, Debug)]
+pub struct DeltaScratch {
+    epoch: u32,
+    /// Decision-phase dirty marks.
+    dirty_at: Vec<u32>,
+    /// Repaired path-security bits (valid when `sec_at == epoch`).
+    sec_at: Vec<u32>,
+    sec_new: Vec<bool>,
+    /// Repaired next hops (valid when `nh_at == epoch`).
+    nh_at: Vec<u32>,
+    nh_new: Vec<u32>,
+    /// Repaired flows (valid when `flow_at == epoch`).
+    flow_at: Vec<u32>,
+    flow_new: Vec<f64>,
+    /// Per-route-length work queues for the decision phase (ascending)
+    /// and the flow phase (descending).
+    levels: Vec<Vec<u32>>,
+    flow_levels: Vec<Vec<u32>>,
+    /// Nodes whose next hop actually changed (flow-phase seeds).
+    nh_changed: Vec<u32>,
+}
+
+impl DeltaScratch {
+    /// Fresh scratch for an `n`-node graph.
+    pub fn new(n: usize) -> Self {
+        DeltaScratch {
+            epoch: 0,
+            dirty_at: vec![0; n],
+            sec_at: vec![0; n],
+            sec_new: vec![false; n],
+            nh_at: vec![0; n],
+            nh_new: vec![0; n],
+            flow_at: vec![0; n],
+            flow_new: vec![0.0; n],
+            levels: Vec::new(),
+            flow_levels: Vec::new(),
+            nh_changed: Vec::new(),
+        }
+    }
+
+    /// Start a new projection epoch (invalidates every stamp).
+    fn begin(&mut self) {
+        if self.epoch == u32::MAX {
+            // Practically unreachable; reset the stamps honestly.
+            self.dirty_at.fill(0);
+            self.sec_at.fill(0);
+            self.nh_at.fill(0);
+            self.flow_at.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        for b in &mut self.levels {
+            b.clear();
+        }
+        for b in &mut self.flow_levels {
+            b.clear();
+        }
+        self.nh_changed.clear();
+    }
+}
+
+/// What a successful [`delta_project`] did.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeltaOutcome {
+    /// The candidate's projected `(u_out, u_in)` contribution for this
+    /// destination — bit-identical to the full recompute.
+    pub u_out: f64,
+    /// See [`u_out`](Self::u_out).
+    pub u_in: f64,
+    /// Decision + flow repairs performed (the delta's touched-node
+    /// count; the full recompute touches `ctx.reachable()` twice).
+    pub touched: usize,
+}
+
+/// Push `x` into the level bucket for `len`, growing the bucket list
+/// as needed.
+#[inline]
+fn bucket_push(levels: &mut Vec<Vec<u32>>, len: usize, x: u32) {
+    if levels.len() <= len {
+        levels.resize_with(len + 1, Vec::new);
+    }
+    levels[len].push(x);
+}
+
+/// Project the candidate's `(u_out, u_in)` for one destination by
+/// repairing only the part of the base routing tree and flows the
+/// flips can reach, instead of recomputing both from scratch.
+///
+/// Inputs are the destination's frozen context, its [`TbDependents`]
+/// index, the **base-state** tree and flows (`base_tree` /
+/// `base_flow`, exactly as produced by
+/// [`compute_tree`](crate::compute_tree) +
+/// [`accumulate_flows`](crate::accumulate_flows)), and the **flipped**
+/// secure set together with the flip list (the candidate plus any
+/// simplex-upgraded stubs).
+///
+/// Returns `None` — no value, caller falls back to the full recompute
+/// — once more than `max_touched` node repairs have been performed
+/// (pass `usize::MAX` to disable the cutoff; the result is exact
+/// either way, the cutoff only bounds wasted work when the affected
+/// region approaches the whole graph).
+#[allow(clippy::too_many_arguments)]
+pub fn delta_project<C: RouteContext + ?Sized>(
+    g: &AsGraph,
+    ctx: &C,
+    deps: &TbDependents,
+    base_tree: &RouteTree,
+    base_flow: &[f64],
+    flipped: &SecureSet,
+    flips: &[AsId],
+    policy: TreePolicy,
+    weights: &Weights,
+    target: AsId,
+    max_touched: usize,
+    scratch: &mut DeltaScratch,
+) -> Option<DeltaOutcome> {
+    scratch.begin();
+    let s = scratch;
+    let epoch = s.epoch;
+    let d = ctx.dest();
+    let mut touched = 0usize;
+
+    // --- Seed the decision phase. A flip changes exactly one decision
+    // input: the flipped node's own secure bit (and, for the
+    // destination, the root of every path's security).
+    for &f in flips {
+        if f == d {
+            let new_sec = flipped.get(d);
+            if new_sec != base_tree.secure[d.index()] {
+                s.sec_at[d.index()] = epoch;
+                s.sec_new[d.index()] = new_sec;
+                for &x in deps.dependents(d) {
+                    if s.dirty_at[x as usize] != epoch {
+                        s.dirty_at[x as usize] = epoch;
+                        bucket_push(&mut s.levels, 1, x);
+                    }
+                }
+            }
+            continue;
+        }
+        let Some(len) = ctx.route_len(f) else {
+            // Unreachable flips have no decision and no dependents.
+            continue;
+        };
+        if s.dirty_at[f.index()] != epoch {
+            s.dirty_at[f.index()] = epoch;
+            bucket_push(&mut s.levels, len as usize, f.0);
+        }
+    }
+
+    // --- Decision phase: repair dirty nodes in ascending route-length
+    // order (tiebreak members sit one level down, so every input is
+    // final when read), mirroring compute_tree's per-node logic
+    // exactly. A repaired node whose path security changed dirties its
+    // dependents one level up.
+    #[inline]
+    fn sec_of(s: &DeltaScratch, base_tree: &RouteTree, epoch: u32, m: u32) -> bool {
+        if s.sec_at[m as usize] == epoch {
+            s.sec_new[m as usize]
+        } else {
+            base_tree.secure[m as usize]
+        }
+    }
+    let mut level = 1usize;
+    while level < s.levels.len() {
+        // Take the current bucket out so deeper buckets stay pushable;
+        // dependents land strictly at `level + 1`, never back here.
+        let cur = std::mem::take(&mut s.levels[level]);
+        for &xu in &cur {
+            let x = AsId(xu);
+            touched += 1;
+            if touched > max_touched {
+                s.levels[level] = cur;
+                return None;
+            }
+            let tb = ctx.tiebreak_set(x);
+            let node_secure = flipped.get(x);
+            let applies_secp = node_secure && (policy.stubs_prefer_secure || !g.is_stub(x));
+            let mut chosen = tb[0];
+            if applies_secp && !sec_of(s, base_tree, epoch, chosen) {
+                if let Some(&m) = tb.iter().find(|&&m| sec_of(s, base_tree, epoch, m)) {
+                    chosen = m;
+                }
+            }
+            let new_secure = node_secure && sec_of(s, base_tree, epoch, chosen);
+            s.nh_at[x.index()] = epoch;
+            s.nh_new[x.index()] = chosen;
+            if chosen != base_tree.next_hop[x.index()] {
+                s.nh_changed.push(xu);
+            }
+            if new_secure != base_tree.secure[x.index()] {
+                s.sec_at[x.index()] = epoch;
+                s.sec_new[x.index()] = new_secure;
+                for &y in deps.dependents(x) {
+                    if s.dirty_at[y as usize] != epoch {
+                        s.dirty_at[y as usize] = epoch;
+                        bucket_push(&mut s.levels, level + 1, y);
+                    }
+                }
+            }
+        }
+        // Hand the drained bucket's allocation back for reuse.
+        s.levels[level] = cur;
+        s.levels[level].clear();
+        level += 1;
+    }
+
+    // --- Flow phase. A node's flow is the fold of its *children's*
+    // flows (reverse-scan order) plus its own weight, so flows can
+    // change only where a child moved away/in (next-hop change) or a
+    // child's flow changed — propagated strictly upward (parents are
+    // one level shallower). Everything else keeps its base flow
+    // bit-for-bit.
+    #[inline]
+    fn nh_of(s: &DeltaScratch, base_tree: &RouteTree, epoch: u32, x: u32) -> u32 {
+        if s.nh_at[x as usize] == epoch {
+            s.nh_new[x as usize]
+        } else {
+            base_tree.next_hop[x as usize]
+        }
+    }
+    // `flow_at == epoch` doubles as the "queued" mark during seeding;
+    // values are written when the level is processed (descending, so
+    // every child is final first). flow[dest] accumulates in the scans
+    // but is never read by either utility model, so propagation stops
+    // there.
+    #[inline]
+    fn mark_flow(s: &mut DeltaScratch, epoch: u32, len: Option<u16>, y: u32, d: AsId) {
+        if y == d.0 || s.flow_at[y as usize] == epoch {
+            return;
+        }
+        let Some(len) = len else { return };
+        s.flow_at[y as usize] = epoch;
+        bucket_push(&mut s.flow_levels, len as usize, y);
+    }
+    for k in 0..s.nh_changed.len() {
+        let x = s.nh_changed[k] as usize;
+        let old_p = base_tree.next_hop[x];
+        let new_p = s.nh_new[x];
+        mark_flow(s, epoch, ctx.route_len(AsId(old_p)), old_p, d);
+        mark_flow(s, epoch, ctx.route_len(AsId(new_p)), new_p, d);
+    }
+    let mut lvl = s.flow_levels.len();
+    while lvl > 0 {
+        lvl -= 1;
+        let mut k = 0;
+        // Marks land strictly at shallower levels (a parent is one
+        // level up), so the current bucket never grows mid-drain.
+        while k < s.flow_levels[lvl].len() {
+            let yu = s.flow_levels[lvl][k];
+            k += 1;
+            let y = AsId(yu);
+            touched += 1;
+            if touched > max_touched {
+                return None;
+            }
+            // Re-fold exactly as the full scan does: children in
+            // reverse-scan order from +0.0, own weight last.
+            let mut total = 0.0f64;
+            for &xc in deps.dependents(y) {
+                if nh_of(s, base_tree, epoch, xc) == yu {
+                    total += if s.flow_at[xc as usize] == epoch {
+                        s.flow_new[xc as usize]
+                    } else {
+                        base_flow[xc as usize]
+                    };
+                }
+            }
+            total += weights.get(y);
+            s.flow_new[y.index()] = total;
+            if total.to_bits() != base_flow[y.index()].to_bits() {
+                let p = nh_of(s, base_tree, epoch, yu);
+                mark_flow(s, epoch, ctx.route_len(AsId(p)), p, d);
+            }
+        }
+    }
+
+    // --- Read the candidate's utilities off the repaired values, in
+    // the full scan's accumulation order.
+    let flow_of = |x: u32| {
+        if s.flow_at[x as usize] == epoch {
+            s.flow_new[x as usize]
+        } else {
+            base_flow[x as usize]
+        }
+    };
+    let mut u_in = 0.0f64;
+    for &x in deps.dependents(target) {
+        if nh_of(s, base_tree, epoch, x) == target.0
+            && ctx.route_class(AsId(x)) == RouteClass::Provider
+        {
+            u_in += flow_of(x);
+        }
+    }
+    let u_out = if ctx.route_class(target) == RouteClass::Customer {
+        flow_of(target.0) - weights.get(target)
+    } else {
+        0.0
+    };
+    Some(DeltaOutcome {
+        u_out,
+        u_in,
+        touched,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::DestContext;
+    use crate::flows::{accumulate_flows, flows_and_target_utility};
+    use crate::tiebreak::{HashTieBreak, LowestAsnTieBreak, TieBreaker};
+    use crate::tree::compute_tree;
+    use sbgp_asgraph::gen::{generate, GenParams};
+    use sbgp_asgraph::{AsClass, AsGraph, AsGraphBuilder};
+
+    /// Oracle: full recompute of the flipped tree + fused flow pass.
+    fn full_project(
+        g: &AsGraph,
+        ctx: &DestContext,
+        flipped: &SecureSet,
+        policy: TreePolicy,
+        weights: &Weights,
+        target: AsId,
+    ) -> (f64, f64) {
+        let mut tree = RouteTree::new(g.len());
+        compute_tree(g, ctx, flipped, policy, &mut tree);
+        let mut flow = Vec::new();
+        flows_and_target_utility(ctx, &tree, weights, target, &mut flow)
+    }
+
+    /// Run the delta against the oracle for one (dest, cand) pair and
+    /// assert exact equality.
+    #[allow(clippy::too_many_arguments)]
+    fn check_pair(
+        g: &AsGraph,
+        tbk: &dyn TieBreaker,
+        base_state: &SecureSet,
+        policy: TreePolicy,
+        weights: &Weights,
+        d: AsId,
+        cand: AsId,
+        turn_on: bool,
+    ) {
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(g, d, tbk);
+        let mut base_tree = RouteTree::new(g.len());
+        compute_tree(g, &ctx, base_state, policy, &mut base_tree);
+        let mut base_flow = Vec::new();
+        accumulate_flows(&ctx, &base_tree, weights, &mut base_flow);
+        let mut deps = TbDependents::new(g.len());
+        deps.build(&ctx);
+        let mut flips = vec![cand];
+        if turn_on {
+            for st in g.stub_customers_of(cand) {
+                if !base_state.get(st) {
+                    flips.push(st);
+                }
+            }
+        }
+        let mut flipped = base_state.clone();
+        for &f in &flips {
+            flipped.set(f, turn_on);
+        }
+        let mut scratch = DeltaScratch::new(g.len());
+        let got = delta_project(
+            g,
+            &ctx,
+            &deps,
+            &base_tree,
+            &base_flow,
+            &flipped,
+            &flips,
+            policy,
+            weights,
+            cand,
+            usize::MAX,
+            &mut scratch,
+        )
+        .expect("no cutoff");
+        let (o, i) = full_project(g, &ctx, &flipped, policy, weights, cand);
+        assert_eq!(got.u_out.to_bits(), o.to_bits(), "u_out d={d} cand={cand}");
+        assert_eq!(got.u_in.to_bits(), i.to_bits(), "u_in d={d} cand={cand}");
+    }
+
+    #[test]
+    fn dependents_cover_children_in_reverse_scan_order() {
+        let g = generate(&GenParams::new(120, 5)).graph;
+        let tbk = HashTieBreak;
+        let mut ctx = DestContext::new(g.len());
+        let mut deps = TbDependents::new(g.len());
+        for d in g.nodes().step_by(13) {
+            ctx.compute(&g, d, &tbk);
+            deps.build(&ctx);
+            // Reverse-scan position of every node.
+            let mut pos = vec![usize::MAX; g.len()];
+            for (k, &x) in ctx.order().iter().rev().enumerate() {
+                pos[x as usize] = k;
+            }
+            for &m in ctx.order() {
+                let list = deps.dependents(AsId(m));
+                // Strictly increasing reverse-scan positions.
+                for w in list.windows(2) {
+                    assert!(pos[w[0] as usize] < pos[w[1] as usize]);
+                }
+                // Every dependent really holds m in its tiebreak set.
+                for &x in list {
+                    assert!(ctx.tiebreak_set(AsId(x)).contains(&m));
+                }
+            }
+            // Children ⊆ dependents under any state's tree.
+            let state = SecureSet::new(g.len());
+            let mut tree = RouteTree::new(g.len());
+            compute_tree(&g, &ctx, &state, TreePolicy::default(), &mut tree);
+            for &x in ctx.order() {
+                if AsId(x) == d {
+                    continue;
+                }
+                let nh = tree.next_hop[x as usize];
+                assert!(deps.dependents(AsId(nh)).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn delta_matches_full_recompute_on_generated_graphs() {
+        for seed in [3u64, 21, 77] {
+            let g = generate(&GenParams::new(150, seed)).graph;
+            let weights = Weights::with_cp_fraction(&g, 0.1);
+            let tbk = HashTieBreak;
+            let adopters = sbgp_asgraph::stats::top_k_by_degree(&g, AsClass::Isp, 3);
+            let mut state = SecureSet::new(g.len());
+            for &a in &adopters {
+                state.set(a, true);
+                for st in g.stub_customers_of(a) {
+                    state.set(st, true);
+                }
+            }
+            for policy in [true, false] {
+                let policy = TreePolicy {
+                    stubs_prefer_secure: policy,
+                };
+                for d in g.nodes().step_by(11) {
+                    for cand in g.isps().step_by(5) {
+                        let turn_on = !state.get(cand);
+                        check_pair(&g, &tbk, &state, policy, &weights, d, cand, turn_on);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_handles_destination_flip_and_lowest_asn_tiebreak() {
+        let g = generate(&GenParams::new(100, 9)).graph;
+        let weights = Weights::uniform(&g);
+        let tbk = LowestAsnTieBreak;
+        let adopters = sbgp_asgraph::stats::top_k_by_degree(&g, AsClass::Isp, 2);
+        let mut state = SecureSet::new(g.len());
+        for &a in &adopters {
+            state.set(a, true);
+        }
+        let policy = TreePolicy::default();
+        // Candidate == destination: the flip changes the root's
+        // security, the deepest repair cascade there is.
+        for cand in g.isps().step_by(7) {
+            let turn_on = !state.get(cand);
+            check_pair(&g, &tbk, &state, policy, &weights, cand, cand, turn_on);
+        }
+    }
+
+    #[test]
+    fn cutoff_returns_none_and_counts_touched() {
+        let mut b = AsGraphBuilder::new();
+        let t = b.add_node(1);
+        let ia = b.add_node(10);
+        let ib = b.add_node(20);
+        let d = b.add_node(30);
+        b.add_provider_customer(t, ia).unwrap();
+        b.add_provider_customer(t, ib).unwrap();
+        b.add_provider_customer(ia, d).unwrap();
+        b.add_provider_customer(ib, d).unwrap();
+        let g = b.build().unwrap();
+        let weights = Weights::uniform(&g);
+        let mut state = SecureSet::new(g.len());
+        for x in [t, d] {
+            state.set(x, true);
+        }
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(&g, d, &LowestAsnTieBreak);
+        let mut base_tree = RouteTree::new(g.len());
+        compute_tree(&g, &ctx, &state, TreePolicy::default(), &mut base_tree);
+        let mut base_flow = Vec::new();
+        accumulate_flows(&ctx, &base_tree, &weights, &mut base_flow);
+        let mut deps = TbDependents::new(g.len());
+        deps.build(&ctx);
+        let mut flipped = state.clone();
+        flipped.set(ib, true);
+        let mut scratch = DeltaScratch::new(g.len());
+        let run = |scratch: &mut DeltaScratch, max| {
+            delta_project(
+                &g,
+                &ctx,
+                &deps,
+                &base_tree,
+                &base_flow,
+                &flipped,
+                &[ib],
+                TreePolicy::default(),
+                &weights,
+                ib,
+                max,
+                scratch,
+            )
+        };
+        let full = run(&mut scratch, usize::MAX).unwrap();
+        assert!(full.touched >= 2, "ib's repair must cascade to t");
+        assert!(run(&mut scratch, 1).is_none(), "cutoff triggers fallback");
+        // The epoch machinery recovers from an aborted projection.
+        let again = run(&mut scratch, usize::MAX).unwrap();
+        assert_eq!(full, again);
+    }
+
+    #[test]
+    fn untouched_region_means_zero_repairs() {
+        // Flipping a node with no secure tiebreak competition anywhere
+        // near it repairs only its own decision (and no flows when its
+        // next hop cannot change).
+        let g = generate(&GenParams::new(100, 13)).graph;
+        let weights = Weights::uniform(&g);
+        let state = SecureSet::new(g.len()); // nobody secure
+        let tbk = HashTieBreak;
+        let d = g.nodes().next().unwrap();
+        let mut ctx = DestContext::new(g.len());
+        ctx.compute(&g, d, &tbk);
+        let mut base_tree = RouteTree::new(g.len());
+        compute_tree(&g, &ctx, &state, TreePolicy::default(), &mut base_tree);
+        let mut base_flow = Vec::new();
+        accumulate_flows(&ctx, &base_tree, &weights, &mut base_flow);
+        let mut deps = TbDependents::new(g.len());
+        deps.build(&ctx);
+        let cand = g
+            .isps()
+            .find(|&c| c != d && ctx.route_len(c).is_some())
+            .unwrap();
+        let mut flips = vec![cand];
+        for st in g.stub_customers_of(cand) {
+            flips.push(st);
+        }
+        let mut flipped = state.clone();
+        for &f in &flips {
+            flipped.set(f, true);
+        }
+        let mut scratch = DeltaScratch::new(g.len());
+        let out = delta_project(
+            &g,
+            &ctx,
+            &deps,
+            &base_tree,
+            &base_flow,
+            &flipped,
+            &flips,
+            TreePolicy::default(),
+            &weights,
+            cand,
+            usize::MAX,
+            &mut scratch,
+        )
+        .unwrap();
+        // In an all-insecure world no path is secure, so securing cand
+        // (whose members are all insecure) moves nothing: the repairs
+        // are bounded by the flip count, far below the full recompute.
+        assert!(out.touched <= flips.len());
+        let (o, i) = full_project(&g, &ctx, &flipped, TreePolicy::default(), &weights, cand);
+        assert_eq!(out.u_out.to_bits(), o.to_bits());
+        assert_eq!(out.u_in.to_bits(), i.to_bits());
+    }
+}

@@ -78,6 +78,7 @@
 
 mod atlas;
 mod context;
+mod delta;
 mod flows;
 mod secure;
 mod tiebreak;
@@ -89,6 +90,7 @@ pub mod oracle;
 
 pub use atlas::{AtlasStats, AtlasView, RoutingAtlas};
 pub use context::{DestContext, RouteClass, RouteContext};
+pub use delta::{delta_project, DeltaOutcome, DeltaScratch, TbDependents};
 pub use flows::{
     accumulate_flows, add_utilities, flows_and_target_utility, utilities_of, UtilityAccumulator,
 };

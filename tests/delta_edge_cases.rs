@@ -1,0 +1,221 @@
+//! Exactness edge cases for the C.4-3 delta-projection kernel.
+//!
+//! Each case is a structural corner where an "obvious" subtree-repair
+//! implementation goes wrong, pinned by exact `==` against the full
+//! recompute (`--delta-projections off`):
+//!
+//! * the candidate is the destination's **sole provider**, so its flip
+//!   changes the security of the destination's entire tree at once;
+//! * the candidate sits inside a `--fail-links` degraded region, where
+//!   parts of the graph are unreachable and the repair frontier must
+//!   not wander into them;
+//! * turning on auto-deploys **simplex S\*BGP at insecure stub
+//!   customers** (Section 2.3), making the flip a multi-node event;
+//! * a **turn-off** candidate in the incoming model, on the Figure 13
+//!   buyer's-remorse topology whose whole point is that removing
+//!   security moves heavy traffic.
+
+use sbgp_asgraph::fault::{apply_faults, FaultPlan};
+use sbgp_asgraph::gen::{generate, GenParams};
+use sbgp_asgraph::{AsGraph, AsGraphBuilder, AsId, Weights};
+use sbgp_core::{
+    initial_state, DeltaMode, EngineStats, SimConfig, Simulation, UtilityEngine, UtilityModel,
+};
+use sbgp_routing::{HashTieBreak, LowestAsnTieBreak, SecureSet, TieBreaker};
+
+/// Compute one round with the given mode and return it with stats.
+fn round(
+    g: &AsGraph,
+    w: &Weights,
+    tb: &dyn TieBreaker,
+    cfg: SimConfig,
+    state: &SecureSet,
+    candidates: &[AsId],
+) -> (sbgp_core::RoundComputation, EngineStats) {
+    let engine = UtilityEngine::new(g, w, tb, cfg);
+    let comp = engine.compute(state, candidates);
+    (comp, engine.stats())
+}
+
+/// Assert delta (`On`) and full (`Off`) rounds agree bit-for-bit and
+/// that the delta path actually fired.
+fn assert_bit_identical(
+    g: &AsGraph,
+    w: &Weights,
+    tb: &dyn TieBreaker,
+    cfg: SimConfig,
+    state: &SecureSet,
+    candidates: &[AsId],
+    what: &str,
+) {
+    let (full, _) = round(
+        g,
+        w,
+        tb,
+        SimConfig {
+            delta_projections: DeltaMode::Off,
+            ..cfg
+        },
+        state,
+        candidates,
+    );
+    let (delta, stats) = round(
+        g,
+        w,
+        tb,
+        SimConfig {
+            delta_projections: DeltaMode::On,
+            ..cfg
+        },
+        state,
+        candidates,
+    );
+    assert!(stats.delta_hits > 0, "{what}: delta path never fired");
+    assert_eq!(full.base_out, delta.base_out, "{what}: base_out");
+    assert_eq!(full.base_in, delta.base_in, "{what}: base_in");
+    assert_eq!(full.proj_out, delta.proj_out, "{what}: proj_out");
+    assert_eq!(full.proj_in, delta.proj_in, "{what}: proj_in");
+}
+
+#[test]
+fn sole_provider_of_destination() {
+    // t over {a, b}; a is the *only* provider of stub d. Flipping a
+    // secures (or not) every route into d — the repair covers the
+    // whole tree even though only one AS flipped.
+    let mut b = AsGraphBuilder::new();
+    let t = b.add_node(100);
+    let a = b.add_node(10);
+    let bb = b.add_node(20);
+    let d = b.add_node(30);
+    let e = b.add_node(40);
+    b.add_provider_customer(t, a).unwrap();
+    b.add_provider_customer(t, bb).unwrap();
+    b.add_provider_customer(a, d).unwrap();
+    b.add_provider_customer(bb, e).unwrap();
+    let g = b.build().unwrap();
+    let w = Weights::uniform(&g);
+    let state = initial_state(&g, &[t]);
+    let cfg = SimConfig::default();
+    assert_bit_identical(
+        &g,
+        &w,
+        &LowestAsnTieBreak,
+        cfg,
+        &state,
+        &[a, bb],
+        "sole-provider",
+    );
+}
+
+#[test]
+fn candidate_inside_failed_link_region() {
+    // Degrade a generated topology with seeded link failures, then
+    // project every remaining insecure ISP. Unreachable nodes carry
+    // UNREACH route lengths; the frontier must skip them, and the
+    // delta must still match the full recompute bit-for-bit.
+    let base = generate(&GenParams::new(200, 11)).graph;
+    let plan = FaultPlan::links(0.15, 0xfa11);
+    let (g, report) = apply_faults(&base, &plan).unwrap();
+    assert!(
+        report.surviving_edges < report.total_edges,
+        "the fault plan must actually remove links"
+    );
+    let w = Weights::with_cp_fraction(&g, 0.10);
+    let adopters: Vec<AsId> =
+        sbgp_asgraph::stats::top_k_by_degree(&g, sbgp_asgraph::AsClass::Isp, 3);
+    let state = initial_state(&g, &adopters);
+    let candidates: Vec<AsId> = g.isps().filter(|&n| !state.get(n)).collect();
+    let cfg = SimConfig::default();
+    assert_bit_identical(
+        &g,
+        &w,
+        &HashTieBreak,
+        cfg,
+        &state,
+        &candidates,
+        "fail-links",
+    );
+}
+
+#[test]
+fn simplex_stub_auto_deploy_is_a_multi_flip() {
+    // An ISP with many insecure stub customers: turning it on flips
+    // the ISP *and* every stub at once (Section 2.3). The delta must
+    // seed its repair from all of them, not just the candidate.
+    let mut b = AsGraphBuilder::new();
+    let t = b.add_node(100);
+    let isp = b.add_node(10);
+    let rival = b.add_node(20);
+    b.add_provider_customer(t, isp).unwrap();
+    b.add_provider_customer(t, rival).unwrap();
+    let mut stubs = Vec::new();
+    for k in 0..6 {
+        let s = b.add_node(1000 + k);
+        b.add_provider_customer(isp, s).unwrap();
+        stubs.push(s);
+    }
+    // One multihomed stub kept insecure via the rival as well.
+    let m = b.add_node(2000);
+    b.add_provider_customer(isp, m).unwrap();
+    b.add_provider_customer(rival, m).unwrap();
+    let g = b.build().unwrap();
+    let w = Weights::uniform(&g);
+    let state = initial_state(&g, &[t]);
+    let cfg = SimConfig::default();
+    assert_bit_identical(
+        &g,
+        &w,
+        &LowestAsnTieBreak,
+        cfg,
+        &state,
+        &[isp, rival],
+        "simplex-stubs",
+    );
+}
+
+#[test]
+fn figure13_turn_off_candidates_in_incoming_model() {
+    // The Section 7.1 buyer's-remorse gadget: AS 4755 profits from
+    // turning S*BGP *off*. Run the whole constrained simulation under
+    // both modes — outcome, per-round records, and final state must
+    // match exactly, and the telecom must still disable.
+    let (world, f) = sbgp_gadgets::turnoff::build(24, 50);
+    let w = Weights::uniform(&world.graph);
+    let run = |mode: DeltaMode| {
+        let cfg = SimConfig {
+            theta: 0.05,
+            model: UtilityModel::Incoming,
+            delta_projections: mode,
+            ..SimConfig::default()
+        };
+        Simulation::new(&world.graph, &w, &LowestAsnTieBreak, cfg).run_constrained(
+            world.initial.clone(),
+            &world.movable,
+            vec![],
+        )
+    };
+    let full = run(DeltaMode::Off);
+    let delta = run(DeltaMode::On);
+    assert!(
+        !delta.final_state.get(f.telecom),
+        "AS 4755 must still turn off under the delta path"
+    );
+    assert_eq!(delta.final_state, full.final_state, "final states diverge");
+    assert_eq!(
+        delta.rounds.len(),
+        full.rounds.len(),
+        "round counts diverge"
+    );
+    for (a, b) in delta.rounds.iter().zip(&full.rounds) {
+        assert_eq!(a.turned_on, b.turned_on, "per-round turn-ons diverge");
+        assert_eq!(a.turned_off, b.turned_off, "per-round turn-offs diverge");
+        assert_eq!(
+            a.projected, b.projected,
+            "per-round projected utilities diverge"
+        );
+    }
+    assert!(
+        delta.stats.delta_hits > 0,
+        "turn-off projections must exercise the delta path"
+    );
+}

@@ -185,6 +185,49 @@ fn incoming_model_case_study_terminates_or_cycles() {
 }
 
 #[test]
+fn golden_figures_match_committed_snapshots_byte_for_byte() {
+    // Regression net for the whole harness: `repro fig3/fig5/fig8` at
+    // a small fixed seed must reproduce the committed CSVs under
+    // tests/fixtures/golden/ *byte-for-byte*. Any engine change that
+    // silently alters results — a reordered f64 sum, a tiebreak drift,
+    // a delta-projection inexactness — fails here in tier-1.
+    //
+    // To regenerate after an intentional change:
+    //   repro figN --ases 150 --seed 42 --out tests/fixtures/golden
+    let bin = env!("CARGO_BIN_EXE_repro");
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/golden");
+    let out = std::env::temp_dir().join(format!("sbgp-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&out).unwrap();
+    for (cmd, files) in [
+        ("fig3", &["fig3_rounds.csv"][..]),
+        ("fig5", &["fig5_projected.csv"][..]),
+        ("fig8", &["fig8a_ases.csv", "fig8b_isps.csv"][..]),
+    ] {
+        let status = std::process::Command::new(bin)
+            .args([cmd, "--ases", "150", "--seed", "42", "--out"])
+            .arg(&out)
+            .stdout(std::process::Stdio::null())
+            .status()
+            .unwrap();
+        assert!(status.success(), "repro {cmd} failed");
+        for f in files {
+            let want = std::fs::read(golden.join(f))
+                .unwrap_or_else(|e| panic!("missing golden fixture {f}: {e}"));
+            let got = std::fs::read(out.join(f))
+                .unwrap_or_else(|e| panic!("repro {cmd} produced no {f}: {e}"));
+            assert!(
+                want == got,
+                "{f} diverges from the golden snapshot\n--- golden ---\n{}\n--- got ---\n{}",
+                String::from_utf8_lossy(&want),
+                String::from_utf8_lossy(&got),
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
 fn augmentation_empowers_cps() {
     // Section 6.8 / Figure 12: CP early adopters are ineffective on
     // the base graph but competitive on the augmented one.
