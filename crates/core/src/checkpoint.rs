@@ -32,6 +32,18 @@ use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+/// Durably flush a directory so a rename (or append) inside it survives
+/// power loss, not just a process crash. POSIX only guarantees the new
+/// directory entry is on disk after the *directory* itself is fsynced.
+/// Best-effort: filesystems that refuse fsync on directory handles (or
+/// platforms where directories cannot be opened) keep the weaker
+/// process-crash guarantee the atomic rename already provides.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
 /// Errors from checkpoint persistence.
 #[derive(Debug)]
 pub enum CheckpointError {
@@ -212,7 +224,16 @@ impl SweepCheckpoint {
             f.write_all(text.as_bytes()).map_err(io_err)?;
             f.sync_all().map_err(io_err)?;
         }
-        fs::rename(&tmp, path).map_err(io_err)
+        fs::rename(&tmp, path).map_err(io_err)?;
+        // The rename is atomic against a process crash; fsyncing the
+        // parent directory makes the new entry durable against power
+        // loss too.
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                sync_dir(dir);
+            }
+        }
+        Ok(())
     }
 
     /// Parse checkpoint text. With `expected_fingerprint = Some(f)`,
@@ -289,6 +310,238 @@ impl SweepCheckpoint {
             Ok(Self::new(fingerprint))
         }
     }
+}
+
+/// What a journal replay recovered, and what (if anything) was torn.
+///
+/// A journal written by a process that was `SIGKILL`ed (or lost power)
+/// mid-append ends in a partial record. Replay never fails on that: it
+/// keeps every record whose checksum verifies and reports the torn
+/// suffix here so callers can warn, and `salvage` can truncate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Complete, checksum-verified unit records recovered.
+    pub records: usize,
+    /// Byte offset one past the last valid record — the length the
+    /// file should be truncated to.
+    pub valid_bytes: u64,
+    /// Bytes of torn/partial trailing data past `valid_bytes`
+    /// (`0` means the journal is clean).
+    pub torn_bytes: u64,
+}
+
+impl SalvageReport {
+    /// Whether the journal ended cleanly at a record boundary.
+    pub fn is_clean(&self) -> bool {
+        self.torn_bytes == 0
+    }
+}
+
+/// An append-only, per-unit write-ahead journal beside a checkpoint.
+///
+/// The checkpoint's atomic write-rename makes *saves* crash-safe, but a
+/// save only happens every `--checkpoint-every` units; everything since
+/// the last save dies with the process. The journal closes that window:
+/// each completed unit is appended (and fsynced) as one self-delimiting
+/// record
+///
+/// ```text
+/// rec <payload-bytes> <fnv64-hex>\n
+/// <payload>\n
+/// ```
+///
+/// where the payload is `unit <hex key>\n` + the bit-exact
+/// [`codec::encode_result`] text, and the checksum is FNV-1a over the
+/// payload bytes. A crash mid-append leaves a torn tail that replay
+/// detects (length or checksum mismatch) and salvages by truncating to
+/// the last valid record — never by refusing the whole file. After a
+/// successful checkpoint save the journal is truncated (compaction):
+/// its records are now covered by the checkpoint.
+#[derive(Debug)]
+pub struct UnitJournal {
+    path: PathBuf,
+    file: fs::File,
+}
+
+/// FNV-1a over raw bytes (same constants as [`params_fingerprint`]).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl UnitJournal {
+    /// Open (or create) the journal at `path` for appending.
+    pub fn open(path: &Path) -> Result<Self, CheckpointError> {
+        let io_err = |e: std::io::Error| CheckpointError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).map_err(io_err)?;
+            }
+        }
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(io_err)?;
+        Ok(UnitJournal {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one completed unit and fsync, so the record survives any
+    /// crash that happens after this returns.
+    pub fn append(&mut self, key: &str, result: &SimResult) -> Result<(), CheckpointError> {
+        let io_err = |e: std::io::Error| CheckpointError::Io {
+            path: self.path.clone(),
+            message: e.to_string(),
+        };
+        let mut payload = String::new();
+        payload.push_str(&format!("unit {}\n", codec::hex_str(key)));
+        codec::encode_result(&mut payload, result);
+        let mut rec = format!("rec {} {:016x}\n", payload.len(), fnv1a(payload.as_bytes()));
+        rec.push_str(&payload);
+        rec.push('\n');
+        self.file.write_all(rec.as_bytes()).map_err(io_err)?;
+        self.file.sync_all().map_err(io_err)?;
+        Ok(())
+    }
+
+    /// Drop every record (after its units were compacted into a saved
+    /// checkpoint) and fsync the now-empty file.
+    pub fn reset(&mut self) -> Result<(), CheckpointError> {
+        let io_err = |e: std::io::Error| CheckpointError::Io {
+            path: self.path.clone(),
+            message: e.to_string(),
+        };
+        self.file.set_len(0).map_err(io_err)?;
+        self.file.sync_all().map_err(io_err)?;
+        Ok(())
+    }
+
+    /// Replay a journal file: every checksum-verified record in write
+    /// order, plus a [`SalvageReport`] describing any torn tail. A
+    /// missing file replays as empty. The only errors are real I/O
+    /// failures and records whose checksum verifies but whose payload
+    /// does not decode (a writer bug, not a torn write).
+    pub fn replay(
+        path: &Path,
+    ) -> Result<(Vec<(String, SimResult)>, SalvageReport), CheckpointError> {
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((
+                    Vec::new(),
+                    SalvageReport {
+                        records: 0,
+                        valid_bytes: 0,
+                        torn_bytes: 0,
+                    },
+                ))
+            }
+            Err(e) => {
+                return Err(CheckpointError::Io {
+                    path: path.to_path_buf(),
+                    message: e.to_string(),
+                })
+            }
+        };
+        let mut units: Vec<(String, SimResult)> = Vec::new();
+        let mut offset = 0usize;
+        while let Some((payload, end)) = next_record(&bytes, offset) {
+            let (key, result) = decode_record(payload, path, units.len() + 1)?;
+            units.push((key, result));
+            offset = end;
+        }
+        let report = SalvageReport {
+            records: units.len(),
+            valid_bytes: offset as u64,
+            torn_bytes: (bytes.len() - offset) as u64,
+        };
+        Ok((units, report))
+    }
+
+    /// Truncate the file at `path` to its last valid record, making a
+    /// torn journal clean. Returns what was salvaged.
+    pub fn salvage(path: &Path) -> Result<SalvageReport, CheckpointError> {
+        let (_, report) = Self::replay(path)?;
+        if report.torn_bytes > 0 {
+            let io_err = |e: std::io::Error| CheckpointError::Io {
+                path: path.to_path_buf(),
+                message: e.to_string(),
+            };
+            let f = fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(io_err)?;
+            f.set_len(report.valid_bytes).map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+        }
+        Ok(report)
+    }
+}
+
+/// Scan one record starting at `offset`. Returns the payload slice and
+/// the offset one past the record, or `None` if the bytes from `offset`
+/// on do not form a complete valid record (torn tail — or end of file).
+fn next_record(bytes: &[u8], offset: usize) -> Option<(&[u8], usize)> {
+    let rest = &bytes[offset..];
+    let nl = rest.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&rest[..nl]).ok()?;
+    let mut toks = header.split_whitespace();
+    if toks.next() != Some("rec") {
+        return None;
+    }
+    let len: usize = toks.next()?.parse().ok()?;
+    let sum_tok = toks.next()?;
+    if toks.next().is_some() || sum_tok.len() != 16 {
+        return None;
+    }
+    let sum = u64::from_str_radix(sum_tok, 16).ok()?;
+    let body_start = nl + 1;
+    // Payload plus its trailing newline must be fully present.
+    if rest.len() < body_start + len + 1 {
+        return None;
+    }
+    let payload = &rest[body_start..body_start + len];
+    if rest[body_start + len] != b'\n' || fnv1a(payload) != sum {
+        return None;
+    }
+    Some((payload, offset + body_start + len + 1))
+}
+
+/// Decode one record's payload into `(key, result)`. `record` is the
+/// 1-based record number, for error messages.
+fn decode_record(
+    payload: &[u8],
+    path: &Path,
+    record: usize,
+) -> Result<(String, SimResult), CheckpointError> {
+    let corrupt = |line: usize, message: String| CheckpointError::Corrupt {
+        path: path.to_path_buf(),
+        line,
+        message: format!("journal record {record}: {message}"),
+    };
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| corrupt(0, format!("payload is not UTF-8: {e}")))?;
+    let mut p = codec::Parser::new(text);
+    let key = p
+        .tagged_hex_str("unit")
+        .map_err(|e| corrupt(e.line, e.message))?;
+    let result = codec::decode_result(&mut p).map_err(|e| corrupt(e.line, e.message))?;
+    Ok((key, result))
 }
 
 /// The self-contained, bit-exact text codec behind [`SweepCheckpoint`].
@@ -422,6 +675,58 @@ pub mod codec {
         push_ids(out, "deadline_skipped", &r.deadline_skipped);
     }
 
+    /// Append the encoding of an [`EngineStats`](crate::engine::EngineStats)
+    /// as one `stats` line — the 16 counters in declaration order.
+    /// Checkpoints deliberately do *not* persist stats (they describe
+    /// the producing run, not the result); this exists for the shard
+    /// worker protocol, where the supervisor must sum per-worker
+    /// counters to keep `[engine]` summaries accurate.
+    pub fn encode_stats(out: &mut String, s: &crate::engine::EngineStats) {
+        let _ = writeln!(
+            out,
+            "stats {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            s.contexts_computed,
+            s.trees_computed,
+            s.dests_computed,
+            s.dests_reused,
+            s.passes,
+            s.compute_ns,
+            s.atlas_hits,
+            s.atlas_misses,
+            s.atlas_stored,
+            s.atlas_evicted,
+            s.atlas_bytes,
+            s.atlas_build_ns,
+            s.delta_hits,
+            s.delta_fallbacks,
+            s.delta_touched_nodes,
+            s.delta_full_nodes,
+        );
+    }
+
+    /// Decode one `stats` line written by [`encode_stats`].
+    pub fn decode_stats(p: &mut Parser<'_>) -> Result<crate::engine::EngineStats, DecodeError> {
+        let vals = p.tagged_u64s("stats", 16)?;
+        Ok(crate::engine::EngineStats {
+            contexts_computed: vals[0],
+            trees_computed: vals[1],
+            dests_computed: vals[2],
+            dests_reused: vals[3],
+            passes: vals[4],
+            compute_ns: vals[5],
+            atlas_hits: vals[6],
+            atlas_misses: vals[7],
+            atlas_stored: vals[8],
+            atlas_evicted: vals[9],
+            atlas_bytes: vals[10],
+            atlas_build_ns: vals[11],
+            delta_hits: vals[12],
+            delta_fallbacks: vals[13],
+            delta_touched_nodes: vals[14],
+            delta_full_nodes: vals[15],
+        })
+    }
+
     /// Line-cursor over encoded text, tracking 1-based line numbers
     /// for error reporting.
     pub struct Parser<'a> {
@@ -493,6 +798,23 @@ pub mod codec {
         pub fn tagged_u64_hex(&mut self, tag: &str) -> Result<u64, DecodeError> {
             let tok = self.one_token(tag)?;
             u64::from_str_radix(tok, 16).map_err(|_| self.err(format!("{tag}: bad hex {tok:?}")))
+        }
+
+        /// Consume `tag <v0> <v1> … <v(count-1)>` — exactly `count`
+        /// decimal `u64` values.
+        pub fn tagged_u64s(&mut self, tag: &str, count: usize) -> Result<Vec<u64>, DecodeError> {
+            let toks = self.tagged(tag)?;
+            let mut out = Vec::with_capacity(count);
+            for tok in toks {
+                let v: u64 = tok
+                    .parse()
+                    .map_err(|_| self.err(format!("{tag}: bad value {tok:?}")))?;
+                out.push(v);
+            }
+            if out.len() != count {
+                return Err(self.err(format!("{tag}: expected {count} values, got {}", out.len())));
+            }
+            Ok(out)
         }
 
         /// Consume `tag <hex string>` and decode it.
@@ -817,6 +1139,115 @@ mod tests {
         let ckpt = SweepCheckpoint::load_or_new(&path, 9).unwrap();
         assert!(ckpt.is_empty());
         assert_eq!(ckpt.fingerprint, 9);
+    }
+
+    #[test]
+    fn journal_append_replay_round_trip() {
+        let dir = std::env::temp_dir().join("sbgp_journal_roundtrip");
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+        let r1 = sample_result(42, None);
+        let r2 = sample_result(43, None);
+        {
+            let mut j = UnitJournal::open(&path).unwrap();
+            j.append("theta=0.05", &r1).unwrap();
+            j.append("theta=0.10", &r2).unwrap();
+        }
+        let (units, report) = UnitJournal::replay(&path).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.records, 2);
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[0].0, "theta=0.05");
+        assert_eq!(units[1].0, "theta=0.10");
+        // Stats are not journaled (same contract as the checkpoint).
+        let mut want = r1.clone();
+        want.stats = crate::engine::EngineStats::default();
+        assert_eq!(units[0].1, want);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_reset_empties_the_file() {
+        let dir = std::env::temp_dir().join("sbgp_journal_reset");
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+        let mut j = UnitJournal::open(&path).unwrap();
+        j.append("a", &sample_result(42, None)).unwrap();
+        j.reset().unwrap();
+        let (units, report) = UnitJournal::replay(&path).unwrap();
+        assert!(units.is_empty());
+        assert!(report.is_clean());
+        // Appends keep working after a reset.
+        j.append("b", &sample_result(43, None)).unwrap();
+        let (units, _) = UnitJournal::replay(&path).unwrap();
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].0, "b");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_salvaged_not_fatal() {
+        let dir = std::env::temp_dir().join("sbgp_journal_torn");
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = UnitJournal::open(&path).unwrap();
+            j.append("good", &sample_result(42, None)).unwrap();
+            j.append("doomed", &sample_result(43, None)).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let (_, clean) = UnitJournal::replay(&path).unwrap();
+        assert_eq!(clean.records, 2);
+        assert_eq!(clean.valid_bytes as usize, full.len());
+        // Tear the second record's tail off, as a kill mid-append would.
+        std::fs::write(&path, &full[..full.len() - 10]).unwrap();
+        let (units, torn) = UnitJournal::replay(&path).unwrap();
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].0, "good");
+        assert_eq!(torn.records, 1);
+        assert!(torn.torn_bytes > 0);
+        // Salvage truncates to the valid prefix; replay is then clean.
+        let report = UnitJournal::salvage(&path).unwrap();
+        assert_eq!(report.records, 1);
+        let (units, after) = UnitJournal::replay(&path).unwrap();
+        assert_eq!(units.len(), 1);
+        assert!(after.is_clean());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_replays_empty() {
+        let path = std::env::temp_dir().join("sbgp_journal_never_written.journal");
+        let _ = std::fs::remove_file(&path);
+        let (units, report) = UnitJournal::replay(&path).unwrap();
+        assert!(units.is_empty());
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn stats_codec_round_trips() {
+        let s = crate::engine::EngineStats {
+            contexts_computed: 1,
+            trees_computed: 2,
+            dests_computed: 3,
+            dests_reused: 4,
+            passes: 5,
+            compute_ns: 6,
+            atlas_hits: 7,
+            atlas_misses: 8,
+            atlas_stored: 9,
+            atlas_evicted: 10,
+            atlas_bytes: 11,
+            atlas_build_ns: 12,
+            delta_hits: 13,
+            delta_fallbacks: 14,
+            delta_touched_nodes: 15,
+            delta_full_nodes: 16,
+        };
+        let mut text = String::new();
+        codec::encode_stats(&mut text, &s);
+        let mut p = codec::Parser::new(&text);
+        assert_eq!(codec::decode_stats(&mut p).unwrap(), s);
     }
 
     #[test]

@@ -258,6 +258,12 @@ pub fn mean_deceived_fraction(
     let mut total = 0.0;
     let mut sampled = 0;
     let mut quarantined = Vec::new();
+    // The sampler draws with replacement, so the same (attacker,
+    // victim) pair can come up more than once. A failing pair must be
+    // quarantined once, not once per attempt — otherwise retried
+    // draws double-count failures and the quarantine report overstates
+    // how much of the sample was lost.
+    let mut failed: std::collections::HashSet<(AsId, AsId)> = std::collections::HashSet::new();
     let mut drawn = 0;
     while drawn < n_pairs {
         let a = AsId(rng.gen_range(0..n));
@@ -266,12 +272,18 @@ pub fn mean_deceived_fraction(
             continue;
         }
         drawn += 1;
+        if failed.contains(&(a, v)) {
+            continue;
+        }
         match simulate_hijack(g, state, policy, a, v, tiebreaker) {
             Ok(out) => {
                 total += out.deceived_fraction();
                 sampled += 1;
             }
-            Err(e) => quarantined.push(e),
+            Err(e) => {
+                failed.insert((a, v));
+                quarantined.push(e);
+            }
         }
     }
     DeceptionSample {
@@ -442,6 +454,28 @@ mod tests {
         let a = mean_deceived_fraction(&g, &state, p, &HashTieBreak, 20, 1);
         let b = mean_deceived_fraction(&g, &state, p, &HashTieBreak, 20, 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_draws_count_toward_the_mean_but_failures_never_twice() {
+        // 5 nodes → at most 20 ordered pairs, so 500 draws repeat
+        // heavily. Successful repeats must each count toward the mean
+        // (sampling with replacement), while a failing pair may appear
+        // in the quarantine at most once.
+        let (g, _, _, _, _, _) = contest();
+        let state = SecureSet::new(g.len());
+        let sample =
+            mean_deceived_fraction(&g, &state, TreePolicy::default(), &HashTieBreak, 500, 9);
+        assert_eq!(sample.sampled, 500, "healthy repeats all count");
+        let mut pairs: Vec<(AsId, AsId)> = sample
+            .quarantined
+            .iter()
+            .map(|e| (e.attacker, e.victim))
+            .collect();
+        let before = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), before, "quarantined pairs must be unique");
     }
 
     #[test]

@@ -1,0 +1,1093 @@
+//! Crash-isolated process sharding: supervisor, workers, watchdog.
+//!
+//! The paper's evaluation ran on a 200-node DryadLINQ cluster precisely
+//! because the sweep shards cleanly and individual workers can die
+//! without invalidating the run (Appendix C.4). In-process panic
+//! isolation ([`crate::engine`]) cannot survive an abort, an OOM kill,
+//! or a stack overflow — those take the whole process down. This module
+//! moves the fault boundary to the OS: a **supervisor** partitions a
+//! sweep's units into batches and dispatches them to child **worker
+//! processes** (a re-exec of the same binary in a hidden worker mode),
+//! speaking length-prefixed text frames over stdin/stdout.
+//!
+//! Fault model and responses:
+//!
+//! * **Worker crash** (SIGKILL, abort, OOM, stack overflow, panic):
+//!   the reader thread sees the pipe close, the supervisor reaps the
+//!   child, requeues its outstanding units at the *front* of the queue
+//!   (preserving dispatch order), halves the worker's batch size
+//!   ("shard too big → split" degradation, which also un-wedges a
+//!   worker killed by an rlimit memory ceiling), and restarts it with
+//!   exponential backoff under a restart budget.
+//! * **Worker hang**: workers heartbeat from a dedicated thread; a
+//!   worker silent past the watchdog interval is killed and treated as
+//!   crashed.
+//! * **Duplicate results**: a worker may be killed *after* computing a
+//!   unit but *before* the supervisor processes the frame backlog, so
+//!   the requeued unit can complete twice. The supervisor dedupes on
+//!   merge (first result wins — results are deterministic, so both are
+//!   identical) and never double-counts a unit.
+//! * **Supervisor crash**: completed units were already handed to the
+//!   caller's sink (which journals them — [`crate::checkpoint`]); a
+//!   resumed run re-dispatches only what the journal does not cover.
+//!
+//! Results are merged through the caller's sink keyed by unit label,
+//! and every unit is computed by a deterministic simulation, so the
+//! merged output is **bit-identical** to a single-process run at any
+//! shard count, any kill schedule, and any restart interleaving.
+//!
+//! The frame payloads reuse the bit-exact checkpoint codec
+//! ([`crate::checkpoint::codec`]) — no serialization crate involved,
+//! and `f64`s cross the process boundary as IEEE-754 bit patterns.
+
+use crate::checkpoint::codec::{self, DecodeError, Parser};
+use crate::engine::EngineStats;
+use crate::sim::SimResult;
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::process::{Child, ChildStdin};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Upper bound on a single frame payload; anything larger is treated
+/// as stream corruption rather than an allocation request.
+pub const MAX_FRAME_BYTES: u32 = 256 * 1024 * 1024;
+
+/// Errors from the supervisor/worker layer.
+#[derive(Debug)]
+pub enum SuperviseError {
+    /// Reading or writing a frame failed.
+    Io {
+        /// What was being done.
+        context: String,
+        /// The underlying error, stringified.
+        message: String,
+    },
+    /// A peer sent bytes that do not decode as the expected message.
+    Protocol {
+        /// What was wrong.
+        message: String,
+    },
+    /// Spawning a worker process failed.
+    Spawn {
+        /// The underlying error, stringified.
+        message: String,
+    },
+    /// The restart budget was exhausted before the sweep completed.
+    RestartBudget {
+        /// The configured budget.
+        budget: u32,
+        /// Units still outstanding when the supervisor gave up.
+        outstanding: usize,
+        /// Why the last worker died.
+        last_error: String,
+    },
+    /// A worker reported an unrecoverable error (bad job config,
+    /// unknown unit key, or a panic inside a unit).
+    Worker {
+        /// The worker's message.
+        message: String,
+    },
+    /// The caller's result sink refused a unit (e.g. journal I/O).
+    Sink {
+        /// The sink's error.
+        message: String,
+    },
+}
+
+impl fmt::Display for SuperviseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuperviseError::Io { context, message } => {
+                write!(f, "shard i/o error ({context}): {message}")
+            }
+            SuperviseError::Protocol { message } => {
+                write!(f, "shard protocol error: {message}")
+            }
+            SuperviseError::Spawn { message } => {
+                write!(f, "failed to spawn shard worker: {message}")
+            }
+            SuperviseError::RestartBudget {
+                budget,
+                outstanding,
+                last_error,
+            } => write!(
+                f,
+                "shard restart budget ({budget}) exhausted with {outstanding} unit(s) \
+                 outstanding; last failure: {last_error}"
+            ),
+            SuperviseError::Worker { message } => {
+                write!(f, "shard worker failed: {message}")
+            }
+            SuperviseError::Sink { message } => {
+                write!(f, "shard result sink failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SuperviseError {}
+
+// ---------------------------------------------------------------------
+// Frame layer
+// ---------------------------------------------------------------------
+
+/// Write one frame: a 4-byte big-endian payload length, then the
+/// UTF-8 payload, then flush (frames must not sit in a BufWriter while
+/// the peer waits).
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_BYTES)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean end-of-stream (the peer
+/// closed the pipe *between* frames); EOF mid-frame is an error — the
+/// peer died mid-write.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream ended mid frame header",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 frame: {e}")))
+}
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+/// Supervisor → worker messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToWorker {
+    /// The job description, sent once right after spawn: the sweep
+    /// command, its options as config-file text, and how often the
+    /// worker must heartbeat.
+    Job {
+        /// The sweep subcommand (e.g. `fig8`).
+        cmd: String,
+        /// `key = value` option text ([`codec::hex_str`]-encoded on
+        /// the wire).
+        config: String,
+        /// Heartbeat cadence the supervisor expects.
+        heartbeat_ms: u64,
+    },
+    /// A batch of unit keys to compute, in order.
+    Assign {
+        /// The unit keys.
+        keys: Vec<String>,
+    },
+    /// No more work; exit cleanly.
+    Shutdown,
+}
+
+/// Worker → supervisor messages.
+///
+/// `Unit` dwarfs the other variants (it carries a full [`SimResult`]),
+/// but it is also the overwhelming majority of traffic — boxing it
+/// would add an allocation to the hot path to slim down rare variants.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromWorker {
+    /// Setup succeeded; the worker can resolve `units` unit keys.
+    Ready {
+        /// How many units the worker's registry holds.
+        units: usize,
+    },
+    /// Liveness signal (sent from a dedicated thread, so a long unit
+    /// computation does not look like a hang).
+    Heartbeat,
+    /// One completed unit.
+    Unit {
+        /// The unit key.
+        key: String,
+        /// The deterministic result (bit-exact over the wire).
+        result: SimResult,
+        /// Engine counters for this unit, summed supervisor-side so
+        /// `[engine]` summaries stay accurate in sharded mode.
+        stats: EngineStats,
+    },
+    /// The current [`ToWorker::Assign`] batch is fully done.
+    BatchDone,
+    /// Unrecoverable worker-side failure.
+    Fatal {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Encode a supervisor → worker message.
+pub fn encode_to_worker(msg: &ToWorker) -> String {
+    let mut out = String::new();
+    match msg {
+        ToWorker::Job {
+            cmd,
+            config,
+            heartbeat_ms,
+        } => {
+            out.push_str(&format!("job {heartbeat_ms}\n"));
+            out.push_str(&format!("cmd {}\n", codec::hex_str(cmd)));
+            out.push_str(&format!("config {}\n", codec::hex_str(config)));
+        }
+        ToWorker::Assign { keys } => {
+            out.push_str(&format!("assign {}\n", keys.len()));
+            for k in keys {
+                out.push_str(&format!("key {}\n", codec::hex_str(k)));
+            }
+        }
+        ToWorker::Shutdown => out.push_str("shutdown\n"),
+    }
+    out
+}
+
+/// Decode a supervisor → worker message.
+pub fn decode_to_worker(text: &str) -> Result<ToWorker, DecodeError> {
+    let tag = first_tag(text);
+    let mut p = Parser::new(text);
+    match tag {
+        "job" => {
+            let heartbeat_ms = p.tagged_usize("job")? as u64;
+            let cmd = p.tagged_hex_str("cmd")?;
+            let config = p.tagged_hex_str("config")?;
+            Ok(ToWorker::Job {
+                cmd,
+                config,
+                heartbeat_ms,
+            })
+        }
+        "assign" => {
+            let n = p.tagged_usize("assign")?;
+            let mut keys = Vec::with_capacity(n);
+            for _ in 0..n {
+                keys.push(p.tagged_hex_str("key")?);
+            }
+            Ok(ToWorker::Assign { keys })
+        }
+        "shutdown" => Ok(ToWorker::Shutdown),
+        other => Err(DecodeError {
+            line: 1,
+            message: format!("unknown supervisor message {other:?}"),
+        }),
+    }
+}
+
+/// Encode a worker → supervisor message.
+pub fn encode_from_worker(msg: &FromWorker) -> String {
+    let mut out = String::new();
+    match msg {
+        FromWorker::Ready { units } => out.push_str(&format!("ready {units}\n")),
+        FromWorker::Heartbeat => out.push_str("heartbeat\n"),
+        FromWorker::Unit { key, result, stats } => {
+            out.push_str(&format!("unit {}\n", codec::hex_str(key)));
+            codec::encode_stats(&mut out, stats);
+            codec::encode_result(&mut out, result);
+        }
+        FromWorker::BatchDone => out.push_str("batch-done\n"),
+        FromWorker::Fatal { message } => {
+            out.push_str(&format!("fatal {}\n", codec::hex_str(message)))
+        }
+    }
+    out
+}
+
+/// Decode a worker → supervisor message.
+pub fn decode_from_worker(text: &str) -> Result<FromWorker, DecodeError> {
+    let tag = first_tag(text);
+    let mut p = Parser::new(text);
+    match tag {
+        "ready" => Ok(FromWorker::Ready {
+            units: p.tagged_usize("ready")?,
+        }),
+        "heartbeat" => Ok(FromWorker::Heartbeat),
+        "unit" => {
+            let key = p.tagged_hex_str("unit")?;
+            let stats = codec::decode_stats(&mut p)?;
+            let result = codec::decode_result(&mut p)?;
+            Ok(FromWorker::Unit { key, result, stats })
+        }
+        "batch-done" => Ok(FromWorker::BatchDone),
+        "fatal" => Ok(FromWorker::Fatal {
+            message: p.tagged_hex_str("fatal")?,
+        }),
+        other => Err(DecodeError {
+            line: 1,
+            message: format!("unknown worker message {other:?}"),
+        }),
+    }
+}
+
+fn first_tag(text: &str) -> &str {
+    text.lines()
+        .next()
+        .and_then(|l| l.split_whitespace().next())
+        .unwrap_or("")
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+/// Serve the worker side of the protocol over `input`/`output`.
+///
+/// The first frame must be [`ToWorker::Job`]; `setup` turns its
+/// command + config into a unit handler and the number of resolvable
+/// units. A heartbeat thread runs for the whole call (including during
+/// `setup`, which may build a large topology), so the supervisor's
+/// watchdog tolerates slow setup and long units alike.
+///
+/// The handler's panics are caught and reported as [`FromWorker::Fatal`]
+/// before the error return — a deterministic poison unit is thereby
+/// attributed, not silently retried forever (the supervisor's restart
+/// budget bounds the retries).
+pub fn serve_worker<R, W, S, H>(mut input: R, output: W, setup: S) -> Result<(), SuperviseError>
+where
+    R: Read,
+    W: Write + Send,
+    S: FnOnce(&str, &str) -> Result<(H, usize), String>,
+    H: FnMut(&str) -> Result<(SimResult, EngineStats), String>,
+{
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    let io_err = |context: &str| {
+        let context = context.to_string();
+        move |e: io::Error| SuperviseError::Io {
+            context,
+            message: e.to_string(),
+        }
+    };
+    let first = read_frame(&mut input)
+        .map_err(io_err("worker reading job"))?
+        .ok_or_else(|| SuperviseError::Protocol {
+            message: "supervisor closed the pipe before sending a job".into(),
+        })?;
+    let (cmd, config, heartbeat_ms) = match decode_to_worker(&first) {
+        Ok(ToWorker::Job {
+            cmd,
+            config,
+            heartbeat_ms,
+        }) => (cmd, config, heartbeat_ms),
+        Ok(other) => {
+            return Err(SuperviseError::Protocol {
+                message: format!("expected job as first message, got {other:?}"),
+            })
+        }
+        Err(e) => {
+            return Err(SuperviseError::Protocol {
+                message: format!("bad job frame (line {}): {}", e.line, e.message),
+            })
+        }
+    };
+
+    let out = Mutex::new(output);
+    let send = |msg: &FromWorker| -> Result<(), SuperviseError> {
+        let mut w = out.lock().expect("worker stdout lock");
+        write_frame(&mut *w, &encode_from_worker(msg)).map_err(io_err("worker writing frame"))
+    };
+    let stop = AtomicBool::new(false);
+    let heartbeat = Duration::from_millis(heartbeat_ms.max(10));
+
+    let scope_result = crossbeam::thread::scope(|s| {
+        s.spawn(|_| {
+            let mut last = Instant::now();
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(10));
+                if last.elapsed() >= heartbeat {
+                    last = Instant::now();
+                    if send(&FromWorker::Heartbeat).is_err() {
+                        // Supervisor is gone; the main loop will see
+                        // EOF on stdin and exit.
+                        break;
+                    }
+                }
+            }
+        });
+
+        let run = || -> Result<(), SuperviseError> {
+            let (mut handler, units) = match setup(&cmd, &config) {
+                Ok(x) => x,
+                Err(message) => {
+                    let _ = send(&FromWorker::Fatal {
+                        message: message.clone(),
+                    });
+                    return Err(SuperviseError::Worker { message });
+                }
+            };
+            send(&FromWorker::Ready { units })?;
+            loop {
+                let Some(text) = read_frame(&mut input).map_err(io_err("worker reading frame"))?
+                else {
+                    // Supervisor died (or was killed); exit quietly so
+                    // orphaned workers never linger.
+                    return Ok(());
+                };
+                match decode_to_worker(&text).map_err(|e| SuperviseError::Protocol {
+                    message: format!("bad frame (line {}): {}", e.line, e.message),
+                })? {
+                    ToWorker::Assign { keys } => {
+                        for key in keys {
+                            let computed =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    handler(&key)
+                                }));
+                            match computed {
+                                Ok(Ok((result, stats))) => {
+                                    send(&FromWorker::Unit { key, result, stats })?
+                                }
+                                Ok(Err(message)) => {
+                                    let message = format!("unit {key:?}: {message}");
+                                    let _ = send(&FromWorker::Fatal {
+                                        message: message.clone(),
+                                    });
+                                    return Err(SuperviseError::Worker { message });
+                                }
+                                Err(panic) => {
+                                    let message =
+                                        format!("unit {key:?} panicked: {}", panic_text(&panic));
+                                    let _ = send(&FromWorker::Fatal {
+                                        message: message.clone(),
+                                    });
+                                    return Err(SuperviseError::Worker { message });
+                                }
+                            }
+                        }
+                        send(&FromWorker::BatchDone)?;
+                    }
+                    ToWorker::Shutdown => return Ok(()),
+                    ToWorker::Job { .. } => {
+                        return Err(SuperviseError::Protocol {
+                            message: "duplicate job message".into(),
+                        })
+                    }
+                }
+            }
+        };
+        let result = run();
+        stop.store(true, Ordering::Relaxed);
+        result
+    });
+    match scope_result {
+        Ok(r) => r,
+        Err(_) => Err(SuperviseError::Worker {
+            message: "worker heartbeat thread panicked".into(),
+        }),
+    }
+}
+
+fn panic_text(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Supervisor side
+// ---------------------------------------------------------------------
+
+/// Supervisor knobs.
+#[derive(Debug, Clone)]
+pub struct ShardPolicy {
+    /// Worker process count (clamped to the unit count; at least 1).
+    pub shards: usize,
+    /// A worker silent for longer than this is declared dead.
+    pub watchdog: Duration,
+    /// Worker restarts allowed across the whole run before giving up.
+    /// Injected kills (chaos testing) do not count against it.
+    pub restart_budget: u32,
+    /// First restart delay; doubles per consecutive failure of the
+    /// same worker slot.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Chaos: probability of SIGKILLing a worker after each unit it
+    /// delivers (`0.0` disables injection).
+    pub kill_rate: f64,
+    /// Seed for the injection schedule, so torture runs are
+    /// reproducible.
+    pub kill_seed: u64,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        ShardPolicy {
+            shards: 2,
+            watchdog: Duration::from_secs(30),
+            restart_budget: 8,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(2),
+            kill_rate: 0.0,
+            kill_seed: 0,
+        }
+    }
+}
+
+/// What a supervised run did, for the caller's summary line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Units merged through the sink.
+    pub units: usize,
+    /// Worker processes spawned initially.
+    pub workers: usize,
+    /// Restarts after genuine worker deaths (counted against the
+    /// budget).
+    pub restarts: u32,
+    /// Chaos kills injected (not counted against the budget).
+    pub injected_kills: u32,
+    /// Duplicate results dropped on merge.
+    pub duplicates_dropped: usize,
+    /// Batch halvings after worker deaths.
+    pub splits: u32,
+}
+
+#[allow(clippy::large_enum_variant)] // Msg is ~all traffic; see FromWorker
+enum Event {
+    Msg(FromWorker),
+    /// Reader thread finished: clean EOF (`None`) or abnormal cause.
+    Gone(Option<String>),
+}
+
+struct Slot {
+    child: Option<Child>,
+    stdin: Option<ChildStdin>,
+    /// Spawn generation; events from a killed predecessor are ignored.
+    gen: u64,
+    last_seen: Instant,
+    /// Keys dispatched to this worker and not yet completed.
+    assigned: VecDeque<String>,
+    batch: usize,
+    /// Consecutive genuine failures, for backoff.
+    failures: u32,
+    shutting_down: bool,
+    /// The next death of this slot was injected by the chaos policy.
+    injected_kill: bool,
+}
+
+impl Slot {
+    fn alive(&self) -> bool {
+        self.child.is_some() && !self.shutting_down
+    }
+}
+
+/// Run `keys` to completion across a fleet of worker processes.
+///
+/// `spawn` must produce a child with piped stdin/stdout already in
+/// worker mode (the caller owns the re-exec incantation and any
+/// rlimit wrapper). `on_unit` is called exactly once per unique key,
+/// in completion order; it must be idempotent-friendly (the caller's
+/// journal/checkpoint layer sees each unit once).
+pub fn run_sharded<S, F>(
+    policy: &ShardPolicy,
+    cmd: &str,
+    config: &str,
+    keys: &[String],
+    mut spawn: S,
+    mut on_unit: F,
+) -> Result<ShardReport, SuperviseError>
+where
+    S: FnMut() -> io::Result<Child>,
+    F: FnMut(&str, SimResult, EngineStats) -> Result<(), String>,
+{
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    // Dedupe the input while preserving order; duplicate keys would
+    // otherwise wedge the completion count.
+    let mut seen = HashSet::new();
+    let mut pending: VecDeque<String> = keys
+        .iter()
+        .filter(|k| seen.insert((*k).clone()))
+        .cloned()
+        .collect();
+    let total = pending.len();
+    if total == 0 {
+        return Ok(ShardReport::default());
+    }
+    let n_workers = policy.shards.clamp(1, total);
+    // Small batches balance heterogeneous unit costs and shrink the
+    // requeue set a crash orphans; they are also the unit of the
+    // "shard too big → split" degradation.
+    let default_batch = (total / (n_workers * 4)).max(1);
+    let heartbeat_ms = (policy.watchdog.as_millis() as u64 / 4).clamp(25, 5_000);
+    let job = ToWorker::Job {
+        cmd: cmd.to_string(),
+        config: config.to_string(),
+        heartbeat_ms,
+    };
+
+    let (tx, rx) = mpsc::channel::<(usize, u64, Event)>();
+    let mut rng = StdRng::seed_from_u64(policy.kill_seed);
+    let mut report = ShardReport {
+        workers: n_workers,
+        ..ShardReport::default()
+    };
+
+    let start_worker = |slot: &mut Slot,
+                        idx: usize,
+                        spawn: &mut S,
+                        tx: &mpsc::Sender<(usize, u64, Event)>|
+     -> Result<(), SuperviseError> {
+        let mut child = spawn().map_err(|e| SuperviseError::Spawn {
+            message: e.to_string(),
+        })?;
+        let mut stdin = child.stdin.take().ok_or_else(|| SuperviseError::Spawn {
+            message: "worker spawned without piped stdin".into(),
+        })?;
+        let mut stdout = child.stdout.take().ok_or_else(|| SuperviseError::Spawn {
+            message: "worker spawned without piped stdout".into(),
+        })?;
+        write_frame(&mut stdin, &encode_to_worker(&job)).map_err(|e| SuperviseError::Io {
+            context: format!("sending job to worker {idx}"),
+            message: e.to_string(),
+        })?;
+        slot.gen += 1;
+        let gen = slot.gen;
+        let tx = tx.clone();
+        std::thread::spawn(move || loop {
+            match read_frame(&mut stdout) {
+                Ok(Some(text)) => match decode_from_worker(&text) {
+                    Ok(msg) => {
+                        if tx.send((idx, gen, Event::Msg(msg))).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send((
+                            idx,
+                            gen,
+                            Event::Gone(Some(format!(
+                                "undecodable frame (line {}): {}",
+                                e.line, e.message
+                            ))),
+                        ));
+                        return;
+                    }
+                },
+                Ok(None) => {
+                    let _ = tx.send((idx, gen, Event::Gone(None)));
+                    return;
+                }
+                Err(e) => {
+                    let _ = tx.send((idx, gen, Event::Gone(Some(e.to_string()))));
+                    return;
+                }
+            }
+        });
+        slot.child = Some(child);
+        slot.stdin = Some(stdin);
+        slot.last_seen = Instant::now();
+        slot.shutting_down = false;
+        slot.injected_kill = false;
+        Ok(())
+    };
+
+    let mut slots: Vec<Slot> = (0..n_workers)
+        .map(|_| Slot {
+            child: None,
+            stdin: None,
+            gen: 0,
+            last_seen: Instant::now(),
+            assigned: VecDeque::new(),
+            batch: default_batch,
+            failures: 0,
+            shutting_down: false,
+            injected_kill: false,
+        })
+        .collect();
+    for (idx, slot) in slots.iter_mut().enumerate() {
+        start_worker(slot, idx, &mut spawn, &tx)?;
+    }
+
+    let mut completed: HashSet<String> = HashSet::new();
+    let tick = (policy.watchdog / 4).min(Duration::from_millis(250));
+
+    // Dispatch the next batch to `idx`, or shut it down if the queue
+    // is drained. A failed write means the worker just died; the
+    // reader's Gone event will handle it, so write errors are soft.
+    fn assign_next(slot: &mut Slot, pending: &mut VecDeque<String>) {
+        if pending.is_empty() {
+            if let Some(stdin) = slot.stdin.as_mut() {
+                let _ = write_frame(stdin, &encode_to_worker(&ToWorker::Shutdown));
+            }
+            slot.shutting_down = true;
+            slot.stdin = None;
+            return;
+        }
+        let take = slot.batch.min(pending.len());
+        let keys: Vec<String> = pending.drain(..take).collect();
+        for k in &keys {
+            slot.assigned.push_back(k.clone());
+        }
+        if let Some(stdin) = slot.stdin.as_mut() {
+            let _ = write_frame(stdin, &encode_to_worker(&ToWorker::Assign { keys }));
+        }
+    }
+
+    // Declare a slot dead: reap, requeue, and restart (or retire).
+    let fail_worker = |slots: &mut Vec<Slot>,
+                       idx: usize,
+                       why: String,
+                       pending: &mut VecDeque<String>,
+                       completed: &HashSet<String>,
+                       report: &mut ShardReport,
+                       spawn: &mut S|
+     -> Result<(), SuperviseError> {
+        let slot = &mut slots[idx];
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        slot.stdin = None;
+        let mut requeued = 0;
+        while let Some(k) = slot.assigned.pop_back() {
+            if !completed.contains(&k) {
+                pending.push_front(k);
+                requeued += 1;
+            }
+        }
+        if slot.batch > 1 {
+            slot.batch = (slot.batch / 2).max(1);
+            report.splits += 1;
+        }
+        let injected = std::mem::take(&mut slot.injected_kill);
+        if injected {
+            eprintln!(
+                "[shards] worker {idx}: injected kill; requeued {requeued} unit(s), \
+                 batch now {}",
+                slot.batch
+            );
+        } else {
+            report.restarts += 1;
+            slot.failures += 1;
+            eprintln!(
+                "[shards] worker {idx} died ({why}); requeued {requeued} unit(s), \
+                 restart {}/{}, batch now {}",
+                report.restarts, policy.restart_budget, slot.batch
+            );
+            if report.restarts > policy.restart_budget {
+                return Err(SuperviseError::RestartBudget {
+                    budget: policy.restart_budget,
+                    outstanding: total - completed.len(),
+                    last_error: why,
+                });
+            }
+            let shift = slot.failures.saturating_sub(1).min(16);
+            let delay = policy
+                .backoff_base
+                .saturating_mul(1u32 << shift)
+                .min(policy.backoff_cap);
+            std::thread::sleep(delay);
+        }
+        if pending.is_empty() {
+            // Everything left in flight belongs to other live workers;
+            // retire this slot instead of spawning an idle process.
+            slot.shutting_down = true;
+            return Ok(());
+        }
+        start_worker(slot, idx, spawn, &tx)
+    };
+
+    let result = loop {
+        if completed.len() == total {
+            break Ok(());
+        }
+        match rx.recv_timeout(tick) {
+            Ok((idx, gen, event)) => {
+                if slots[idx].gen != gen {
+                    continue; // stale event from a killed predecessor
+                }
+                match event {
+                    Event::Msg(msg) => {
+                        slots[idx].last_seen = Instant::now();
+                        match msg {
+                            FromWorker::Ready { units } => {
+                                if units == 0 {
+                                    let why =
+                                        "worker resolved zero units for this command".to_string();
+                                    if let Err(e) = fail_worker(
+                                        &mut slots,
+                                        idx,
+                                        why,
+                                        &mut pending,
+                                        &completed,
+                                        &mut report,
+                                        &mut spawn,
+                                    ) {
+                                        break Err(e);
+                                    }
+                                } else {
+                                    assign_next(&mut slots[idx], &mut pending);
+                                }
+                            }
+                            FromWorker::Heartbeat => {}
+                            FromWorker::Unit { key, result, stats } => {
+                                slots[idx].failures = 0;
+                                slots[idx].assigned.retain(|k| k != &key);
+                                if completed.contains(&key) {
+                                    report.duplicates_dropped += 1;
+                                } else {
+                                    if let Err(message) = on_unit(&key, result, stats) {
+                                        break Err(SuperviseError::Sink { message });
+                                    }
+                                    completed.insert(key);
+                                    report.units += 1;
+                                }
+                                // Chaos: maybe SIGKILL the worker that
+                                // just delivered. Skipped once the
+                                // sweep is complete (nothing left to
+                                // prove) and on retiring workers.
+                                if policy.kill_rate > 0.0
+                                    && completed.len() < total
+                                    && slots[idx].alive()
+                                    && rng.gen_bool(policy.kill_rate.clamp(0.0, 1.0))
+                                {
+                                    report.injected_kills += 1;
+                                    slots[idx].injected_kill = true;
+                                    if let Some(child) = slots[idx].child.as_mut() {
+                                        let _ = child.kill();
+                                    }
+                                }
+                            }
+                            FromWorker::BatchDone => {
+                                assign_next(&mut slots[idx], &mut pending);
+                            }
+                            FromWorker::Fatal { message } => {
+                                if let Err(e) = fail_worker(
+                                    &mut slots,
+                                    idx,
+                                    format!("fatal: {message}"),
+                                    &mut pending,
+                                    &completed,
+                                    &mut report,
+                                    &mut spawn,
+                                ) {
+                                    break Err(e);
+                                }
+                            }
+                        }
+                    }
+                    Event::Gone(why) => {
+                        if slots[idx].shutting_down {
+                            if let Some(mut child) = slots[idx].child.take() {
+                                let _ = child.wait();
+                            }
+                        } else {
+                            let why = why.unwrap_or_else(|| "pipe closed".to_string());
+                            if let Err(e) = fail_worker(
+                                &mut slots,
+                                idx,
+                                why,
+                                &mut pending,
+                                &completed,
+                                &mut report,
+                                &mut spawn,
+                            ) {
+                                break Err(e);
+                            }
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                for idx in 0..slots.len() {
+                    if slots[idx].alive() && slots[idx].last_seen.elapsed() > policy.watchdog {
+                        let why = format!(
+                            "watchdog: no heartbeat for {:.1}s",
+                            slots[idx].last_seen.elapsed().as_secs_f64()
+                        );
+                        if let Err(e) = fail_worker(
+                            &mut slots,
+                            idx,
+                            why,
+                            &mut pending,
+                            &completed,
+                            &mut report,
+                            &mut spawn,
+                        ) {
+                            return finish(slots, Err(e));
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                break Err(SuperviseError::Protocol {
+                    message: "all reader threads vanished".into(),
+                });
+            }
+        }
+    };
+    finish(slots, result.map(|()| report))
+}
+
+/// Shut every worker down (politely, then firmly) and return `result`.
+fn finish<T>(mut slots: Vec<Slot>, result: Result<T, SuperviseError>) -> Result<T, SuperviseError> {
+    for slot in &mut slots {
+        if let Some(stdin) = slot.stdin.as_mut() {
+            let _ = write_frame(stdin, &encode_to_worker(&ToWorker::Shutdown));
+        }
+        slot.stdin = None;
+    }
+    let patience = Instant::now() + Duration::from_secs(5);
+    for slot in &mut slots {
+        if let Some(mut child) = slot.child.take() {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < patience => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello frame").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        write_frame(&mut buf, "third").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("hello frame"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("third"));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn torn_frame_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "whole").unwrap();
+        // Cut mid-payload and mid-header.
+        for cut in [buf.len() - 2, 2] {
+            let mut r = &buf[..cut];
+            assert!(read_frame(&mut r).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn to_worker_messages_round_trip() {
+        for msg in [
+            ToWorker::Job {
+                cmd: "fig8".into(),
+                config: "ases = 200\nseed = 7\n".into(),
+                heartbeat_ms: 500,
+            },
+            ToWorker::Assign {
+                keys: vec!["5cps;theta=0.05".into(), "".into(), "x y z".into()],
+            },
+            ToWorker::Shutdown,
+        ] {
+            let text = encode_to_worker(&msg);
+            assert_eq!(decode_to_worker(&text).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn from_worker_messages_round_trip() {
+        use sbgp_asgraph::gen::{generate, GenParams};
+        use sbgp_asgraph::Weights;
+        use sbgp_routing::HashTieBreak;
+        let g = generate(&GenParams::new(120, 5)).graph;
+        let w = Weights::with_cp_fraction(&g, 0.10);
+        let cfg = crate::config::SimConfig::default();
+        let adopters = crate::early::EarlyAdopters::ContentProviders.select(&g);
+        let result = crate::sim::Simulation::new(&g, &w, &HashTieBreak, cfg).run(&adopters);
+        let stats = result.stats;
+        for msg in [
+            FromWorker::Ready { units: 49 },
+            FromWorker::Heartbeat,
+            FromWorker::Unit {
+                key: "5cps;theta=0.05".into(),
+                result: result.clone(),
+                stats,
+            },
+            FromWorker::BatchDone,
+            FromWorker::Fatal {
+                message: "unit \"x\" panicked: boom".into(),
+            },
+        ] {
+            let text = encode_from_worker(&msg);
+            let back = decode_from_worker(&text).unwrap();
+            match (&msg, &back) {
+                (
+                    FromWorker::Unit { key, result, stats },
+                    FromWorker::Unit {
+                        key: bk,
+                        result: br,
+                        stats: bs,
+                    },
+                ) => {
+                    assert_eq!(key, bk);
+                    assert_eq!(result, br);
+                    assert_eq!(stats, bs);
+                    // Bit-exact across the boundary.
+                    for (a, b) in result
+                        .starting_utilities
+                        .iter()
+                        .zip(br.starting_utilities.iter())
+                    {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                _ => assert_eq!(msg, back),
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_messages_are_typed_errors() {
+        assert!(decode_to_worker("launch missiles\n").is_err());
+        assert!(decode_from_worker("unit zz-not-hex\n").is_err());
+        assert!(decode_from_worker("").is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! `repro chaos` — the kill-injection torture command.
+//!
+//! Runs the Figure 9 sweep twice: once single-process with no faults
+//! (the reference), once sharded across worker processes that are
+//! SIGKILLed at the configured rate after delivering units. The two
+//! figure CSVs must be **byte-identical**; any drift under crash
+//! schedules is a supervisor bug and the command exits non-zero. This
+//! is the end-to-end claim of the process-sharding design: crashes may
+//! cost time, never answers.
+
+use crate::cli::Options;
+use crate::error::ExperimentError;
+use crate::sweeps;
+use std::path::PathBuf;
+
+/// The figure CSV both runs must agree on.
+const FIGURE_CSV: &str = "fig9_secure_paths.csv";
+
+/// Run the torture comparison. `--process-shards` defaults to 4 and
+/// `--kill-workers` to 0.2 here (elsewhere both default off).
+pub fn chaos(opts: &Options) -> Result<(), ExperimentError> {
+    let base = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results"))
+        .join("chaos");
+
+    let mut reference = opts.clone();
+    reference.out = Some(base.join("reference"));
+    reference.process_shards = 0;
+    reference.kill_workers = 0.0;
+    reference.resume = false;
+    reference.checkpoint_every = 0;
+
+    let mut sharded = opts.clone();
+    sharded.out = Some(base.join("sharded"));
+    sharded.process_shards = if opts.process_shards == 0 {
+        4
+    } else {
+        opts.process_shards
+    };
+    sharded.kill_workers = if opts.kill_workers == 0.0 {
+        0.2
+    } else {
+        opts.kill_workers
+    };
+    // Persistence on, so the torture run also exercises the journal +
+    // checkpoint path under crash pressure.
+    if sharded.checkpoint_every == 0 {
+        sharded.checkpoint_every = 1;
+    }
+
+    eprintln!("[chaos] reference run (single process, no faults)");
+    sweeps::fig9(&reference)?;
+    eprintln!(
+        "[chaos] torture run ({} shards, kill rate {})",
+        sharded.process_shards, sharded.kill_workers
+    );
+    sweeps::fig9(&sharded)?;
+
+    let ref_csv = base.join("reference").join(FIGURE_CSV);
+    let tor_csv = base.join("sharded").join(FIGURE_CSV);
+    let a = std::fs::read(&ref_csv)
+        .map_err(|e| ExperimentError::Harness(format!("reading {}: {e}", ref_csv.display())))?;
+    let b = std::fs::read(&tor_csv)
+        .map_err(|e| ExperimentError::Harness(format!("reading {}: {e}", tor_csv.display())))?;
+    if a != b {
+        return Err(ExperimentError::Harness(format!(
+            "chaos: {} differs between the reference and the sharded torture run \
+             ({} vs {}) — crash recovery changed results",
+            FIGURE_CSV,
+            ref_csv.display(),
+            tor_csv.display()
+        )));
+    }
+    println!(
+        "[chaos] PASS: {} byte-identical across {} shard(s) at kill rate {} ({} bytes)",
+        FIGURE_CSV,
+        sharded.process_shards,
+        sharded.kill_workers,
+        a.len()
+    );
+    Ok(())
+}

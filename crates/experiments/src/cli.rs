@@ -48,6 +48,23 @@ pub struct Options {
     /// cutoff, the default), `on` (delta always), `off` (full
     /// recompute). Results are bit-identical in every mode.
     pub delta_projections: sbgp_core::DeltaMode,
+    /// Shard sweep units across N child worker processes (0 = stay
+    /// in-process). Crashed workers are restarted under a watchdog;
+    /// results are bit-identical at any shard count.
+    pub process_shards: usize,
+    /// Chaos: probability of SIGKILLing a shard worker after each unit
+    /// it delivers (supervised mode only; 0 disables).
+    pub kill_workers: f64,
+    /// Watchdog interval in seconds: a shard worker silent this long
+    /// is declared dead and restarted.
+    pub watchdog_secs: f64,
+    /// Worker restarts allowed across a supervised run before the
+    /// sweep aborts (injected chaos kills are exempt).
+    pub restart_budget: u32,
+    /// Per-worker address-space ceiling in MiB (unix `ulimit -v`;
+    /// 0 = unlimited). A worker that trips it is restarted with a
+    /// halved batch.
+    pub worker_mem_mb: usize,
     /// The global budget resolved against the wall clock at parse
     /// time, so it spans every simulation the command runs.
     pub deadline_at: Option<std::time::Instant>,
@@ -72,6 +89,11 @@ impl Default for Options {
             task_deadline_secs: None,
             ctx_cache_mb: 256,
             delta_projections: sbgp_core::DeltaMode::Auto,
+            process_shards: 0,
+            kill_workers: 0.0,
+            watchdog_secs: 30.0,
+            restart_budget: 8,
+            worker_mem_mb: 0,
             deadline_at: None,
         }
     }
@@ -121,6 +143,41 @@ impl Options {
             .map(std::time::Duration::from_secs_f64)
     }
 
+    /// Render the options a shard worker needs as config-file text
+    /// (the [`Self::from_config_str`] vocabulary — floats use Rust's
+    /// shortest round-trip formatting, so the worker reparses the
+    /// exact same values).
+    ///
+    /// Supervision-only knobs (`process-shards`, `kill-workers`,
+    /// `resume`, checkpointing, the global deadline) stay with the
+    /// supervisor: workers just compute units.
+    pub fn to_worker_config(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("ases = {}\n", self.ases));
+        s.push_str(&format!("seed = {}\n", self.seed));
+        s.push_str(&format!("theta = {}\n", self.theta));
+        s.push_str(&format!("cp-fraction = {}\n", self.cp_fraction));
+        s.push_str(&format!("threads = {}\n", self.threads));
+        if let Some(out) = &self.out {
+            s.push_str(&format!("out = {}\n", out.display()));
+        }
+        s.push_str(&format!("census = {}\n", self.census));
+        s.push_str(&format!("fail-links = {}\n", self.fail_links));
+        s.push_str(&format!("max-retries = {}\n", self.max_retries));
+        s.push_str(&format!("self-check = {}\n", self.self_check));
+        if let Some(td) = self.task_deadline_secs {
+            s.push_str(&format!("task-deadline = {td}\n"));
+        }
+        s.push_str(&format!("ctx-cache-mb = {}\n", self.ctx_cache_mb));
+        let delta = match self.delta_projections {
+            sbgp_core::DeltaMode::On => "on",
+            sbgp_core::DeltaMode::Off => "off",
+            sbgp_core::DeltaMode::Auto => "auto",
+        };
+        s.push_str(&format!("delta-projections = {delta}\n"));
+        s
+    }
+
     fn validate(&mut self) -> Result<(), String> {
         if self.ases < 50 {
             return Err("--ases must be at least 50".into());
@@ -130,6 +187,12 @@ impl Options {
         }
         if !(0.0..=1.0).contains(&self.self_check) {
             return Err("--self-check must be a rate in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.kill_workers) {
+            return Err("--kill-workers must be a rate in [0, 1]".into());
+        }
+        if !(self.watchdog_secs > 0.0 && self.watchdog_secs.is_finite()) {
+            return Err("--watchdog-secs must be a positive number of seconds".into());
         }
         for (name, secs) in [
             ("--deadline", self.deadline_secs),
@@ -172,6 +235,11 @@ fn apply(o: &mut Options, key: &str, v: &str) -> Result<(), String> {
         "deadline" => o.deadline_secs = Some(num(key, v)?),
         "task-deadline" => o.task_deadline_secs = Some(num(key, v)?),
         "ctx-cache-mb" => o.ctx_cache_mb = num(key, v)?,
+        "process-shards" => o.process_shards = num(key, v)?,
+        "kill-workers" => o.kill_workers = num(key, v)?,
+        "watchdog-secs" => o.watchdog_secs = num(key, v)?,
+        "restart-budget" => o.restart_budget = num(key, v)?,
+        "worker-mem-mb" => o.worker_mem_mb = num(key, v)?,
         "delta-projections" => {
             o.delta_projections = match v {
                 "on" => sbgp_core::DeltaMode::On,
@@ -329,6 +397,80 @@ mod tests {
         assert_eq!(o.delta_projections, DeltaMode::Off);
         let err = Options::parse(&s(&["--delta-projections", "maybe"])).unwrap_err();
         assert!(err.contains("on|off|auto"), "{err}");
+    }
+
+    #[test]
+    fn parses_process_sharding_flags() {
+        let o = Options::parse(&[]).unwrap();
+        assert_eq!(o.process_shards, 0);
+        assert_eq!(o.kill_workers, 0.0);
+        assert_eq!(o.watchdog_secs, 30.0);
+        assert_eq!(o.restart_budget, 8);
+        assert_eq!(o.worker_mem_mb, 0);
+        let o = Options::parse(&s(&[
+            "--process-shards",
+            "4",
+            "--kill-workers",
+            "0.2",
+            "--watchdog-secs",
+            "2.5",
+            "--restart-budget",
+            "3",
+            "--worker-mem-mb",
+            "512",
+        ]))
+        .unwrap();
+        assert_eq!(o.process_shards, 4);
+        assert_eq!(o.kill_workers, 0.2);
+        assert_eq!(o.watchdog_secs, 2.5);
+        assert_eq!(o.restart_budget, 3);
+        assert_eq!(o.worker_mem_mb, 512);
+        assert!(Options::parse(&s(&["--kill-workers", "1.5"])).is_err());
+        assert!(Options::parse(&s(&["--watchdog-secs", "0"])).is_err());
+    }
+
+    #[test]
+    fn worker_config_round_trips_exactly() {
+        let o = Options::parse(&s(&[
+            "--ases",
+            "240",
+            "--seed",
+            "9",
+            "--theta",
+            "0.3",
+            "--cp-fraction",
+            "0.125",
+            "--fail-links",
+            "0.07",
+            "--self-check",
+            "0.25",
+            "--task-deadline",
+            "1.5",
+            "--out",
+            "/tmp/sweep-out",
+            "--delta-projections",
+            "off",
+            "--process-shards",
+            "4",
+            "--kill-workers",
+            "0.9",
+            "--resume",
+        ]))
+        .unwrap();
+        let back = Options::from_config_str(&o.to_worker_config()).unwrap();
+        assert_eq!(back.ases, o.ases);
+        assert_eq!(back.seed, o.seed);
+        assert_eq!(back.theta.to_bits(), o.theta.to_bits());
+        assert_eq!(back.cp_fraction.to_bits(), o.cp_fraction.to_bits());
+        assert_eq!(back.fail_links.to_bits(), o.fail_links.to_bits());
+        assert_eq!(back.self_check.to_bits(), o.self_check.to_bits());
+        assert_eq!(back.task_deadline_secs, o.task_deadline_secs);
+        assert_eq!(back.out, o.out);
+        assert_eq!(back.delta_projections, o.delta_projections);
+        // Supervision-only knobs must NOT propagate into workers.
+        assert_eq!(back.process_shards, 0);
+        assert_eq!(back.kill_workers, 0.0);
+        assert!(!back.resume);
     }
 
     #[test]

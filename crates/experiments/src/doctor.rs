@@ -1,36 +1,49 @@
 //! `repro doctor` — validate input artifacts before a long run.
 //!
-//! Given graph files, sweep checkpoints, and config files (or
-//! directories of them), the doctor classifies each by content and
-//! runs the strictest available validator:
+//! Given graph files, sweep checkpoints, config files, or supervisor
+//! artifacts (or directories of them), the doctor classifies each by
+//! content and runs the strictest available validator:
 //!
 //! * files whose first line starts with `sbgp-checkpoint` are parsed
 //!   with the full checkpoint codec (fingerprint check skipped — the
 //!   doctor doesn't know which sweep will consume the file);
+//! * `.journal` files (or files starting with a `rec ` frame header)
+//!   are replayed with the write-ahead journal codec; a torn tail is
+//!   reported with the salvageable record count and byte offset;
+//! * `.lock` files are sweep locks: held by a live process is healthy,
+//!   a dead owner is a stale leftover;
+//! * `__shard-worker-*` directories are worker scratch space: live
+//!   owners are healthy, dead ones were SIGKILLed mid-unit;
 //! * `.cfg`/`.conf` files are parsed with the `key = value` option
 //!   grammar of [`crate::cli::Options::from_config_str`];
 //! * everything else is read as a serial-2 graph in strict mode
 //!   ([`sbgp_asgraph::io::load_from_path_strict`]), which additionally
 //!   rejects reserved AS numbers and implausible dump sizes.
 //!
-//! One line per file (`ok:` or `error:` with a line-precise message);
-//! any failure makes the command exit non-zero.
+//! One line per entry (`ok:` or `error:` with a line-precise message);
+//! any failure makes the command exit non-zero. With `--fix`, the
+//! doctor salvages what it safely can — truncating torn journal tails
+//! to the last valid record and deleting stale locks and scratch
+//! dirs — and reports what it did.
 
 use crate::error::ExperimentError;
-use sbgp_core::checkpoint::SweepCheckpoint;
+use sbgp_core::checkpoint::{SweepCheckpoint, UnitJournal};
 use std::path::{Path, PathBuf};
 
 /// Run the doctor over the given paths (files or directories).
-pub fn doctor(paths: &[String]) -> Result<(), ExperimentError> {
+/// `--fix` anywhere in the arguments enables salvage mode.
+pub fn doctor(args: &[String]) -> Result<(), ExperimentError> {
+    let fix = args.iter().any(|a| a == "--fix");
+    let paths: Vec<&String> = args.iter().filter(|a| *a != "--fix").collect();
     if paths.is_empty() {
-        eprintln!("usage: repro doctor <file-or-dir>...");
+        eprintln!("usage: repro doctor [--fix] <file-or-dir>...");
         return Err(ExperimentError::Doctor { failures: 1 });
     }
     let mut files = Vec::new();
     let mut failures = 0usize;
     for p in paths {
         let path = PathBuf::from(p);
-        if path.is_dir() {
+        if path.is_dir() && !is_worker_scratch(&path) {
             collect_files(&path, &mut files);
         } else {
             files.push(path);
@@ -39,7 +52,7 @@ pub fn doctor(paths: &[String]) -> Result<(), ExperimentError> {
     files.sort();
     let checked = files.len();
     for f in &files {
-        match check_one(f) {
+        match check_one(f, fix) {
             Ok(summary) => println!("ok: {}: {summary}", f.display()),
             Err(msg) => {
                 failures += 1;
@@ -58,6 +71,13 @@ pub fn doctor(paths: &[String]) -> Result<(), ExperimentError> {
     }
 }
 
+/// Is this a shard worker's scratch directory (`__shard-worker-<pid>`)?
+fn is_worker_scratch(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with("__shard-worker-"))
+}
+
 fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         out.push(dir.to_path_buf()); // surfaces as an unreadable file
@@ -66,21 +86,50 @@ fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) {
     for entry in entries.flatten() {
         let p = entry.path();
         if p.is_dir() {
-            collect_files(&p, out);
+            if is_worker_scratch(&p) {
+                // Inspected as a unit, not recursed into: its contents
+                // are breadcrumbs, not standalone artifacts.
+                out.push(p);
+            } else {
+                collect_files(&p, out);
+            }
         } else {
             out.push(p);
         }
     }
 }
 
-/// Validate one file; `Ok` carries a one-line summary, `Err` a
-/// diagnostic (line-numbered where the underlying parser provides it).
-fn check_one(path: &Path) -> Result<String, String> {
+/// Is `pid` a live process? (linux: `/proc/<pid>`; elsewhere assume
+/// live, which errs toward not deleting another run's state.)
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+/// Validate one entry; `Ok` carries a one-line summary, `Err` a
+/// diagnostic (line- or byte-precise where the underlying parser
+/// provides it). With `fix`, salvageable problems are repaired and
+/// reported as `Ok`.
+fn check_one(path: &Path, fix: bool) -> Result<String, String> {
+    if is_worker_scratch(path) {
+        return check_worker_scratch(path, fix);
+    }
     let is_config = matches!(
         path.extension().and_then(|e| e.to_str()),
         Some("cfg") | Some("conf")
     );
+    let is_lock = path.extension().and_then(|e| e.to_str()) == Some("lock");
+    let is_journal = path.extension().and_then(|e| e.to_str()) == Some("journal");
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    if is_lock {
+        return check_lock(path, &text, fix);
+    }
+    if is_journal || text.starts_with("rec ") {
+        return check_journal(path, fix);
+    }
     if text
         .lines()
         .next()
@@ -105,4 +154,88 @@ fn check_one(path: &Path) -> Result<String, String> {
         g.nodes().filter(|&n| g.is_stub(n)).count(),
         g.content_providers().len()
     ))
+}
+
+/// A unit journal: replay it, reporting (or with `fix` truncating) a
+/// torn tail.
+fn check_journal(path: &Path, fix: bool) -> Result<String, String> {
+    let (units, report) = UnitJournal::replay(path).map_err(|e| e.to_string())?;
+    if report.is_clean() {
+        return Ok(format!(
+            "journal with {} complete record(s) ({} bytes)",
+            units.len(),
+            report.valid_bytes
+        ));
+    }
+    if fix {
+        let salvaged = UnitJournal::salvage(path).map_err(|e| e.to_string())?;
+        return Ok(format!(
+            "fixed: torn journal truncated to last valid record — kept {} record(s) \
+             ({} bytes), dropped {} torn byte(s)",
+            salvaged.records, salvaged.valid_bytes, salvaged.torn_bytes
+        ));
+    }
+    Err(format!(
+        "torn journal tail: {} complete record(s) end at byte {}, followed by {} \
+         unparseable byte(s) (a crash mid-append); rerun with --fix to truncate \
+         to the last valid record",
+        report.records, report.valid_bytes, report.torn_bytes
+    ))
+}
+
+/// A sweep lockfile: healthy iff its owner is alive.
+fn check_lock(path: &Path, text: &str, fix: bool) -> Result<String, String> {
+    let pid: Option<u32> = text
+        .strip_prefix("pid ")
+        .and_then(|r| r.trim().parse().ok());
+    match pid {
+        Some(pid) if pid_alive(pid) => Ok(format!("sweep lock held by live process {pid}")),
+        Some(pid) => {
+            if fix {
+                std::fs::remove_file(path).map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "fixed: removed stale sweep lock (owner {pid} is gone)"
+                ))
+            } else {
+                Err(format!(
+                    "stale sweep lock: owner process {pid} is gone (crashed supervisor?); \
+                     rerun with --fix to remove it"
+                ))
+            }
+        }
+        None => Err(format!(
+            "line 1: expected `pid <N>`, got {:?}",
+            text.lines().next().unwrap_or("")
+        )),
+    }
+}
+
+/// A `__shard-worker-<pid>` scratch directory: leftover breadcrumbs
+/// from a worker process.
+fn check_worker_scratch(path: &Path, fix: bool) -> Result<String, String> {
+    let pid: Option<u32> = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .and_then(|n| n.strip_prefix("__shard-worker-"))
+        .and_then(|p| p.parse().ok());
+    let Some(pid) = pid else {
+        return Err("scratch dir name does not end in a pid".to_string());
+    };
+    if pid_alive(pid) {
+        return Ok(format!("shard worker scratch (worker {pid} is live)"));
+    }
+    let in_flight = std::fs::read_to_string(path.join("current"))
+        .map(|k| format!(" — unit {k:?} was in flight"))
+        .unwrap_or_default();
+    if fix {
+        std::fs::remove_dir_all(path).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "fixed: removed scratch dir of dead worker {pid}{in_flight}"
+        ))
+    } else {
+        Err(format!(
+            "leftover scratch dir: worker {pid} is gone (SIGKILLed?){in_flight}; \
+             rerun with --fix to remove it"
+        ))
+    }
 }

@@ -28,6 +28,12 @@ pub enum ExperimentError {
         /// How many of the inspected files failed validation.
         failures: usize,
     },
+    /// The process-shard supervisor failed (spawn, protocol, restart
+    /// budget, …).
+    Supervise(sbgp_core::supervise::SuperviseError),
+    /// A harness-level invariant failed (lock contention, mismatched
+    /// sharded output, …).
+    Harness(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -39,6 +45,8 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Doctor { failures } => {
                 write!(f, "doctor: {failures} file(s) failed validation")
             }
+            ExperimentError::Supervise(e) => write!(f, "{e}"),
+            ExperimentError::Harness(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -50,7 +58,15 @@ impl std::error::Error for ExperimentError {
             ExperimentError::Checkpoint(e) => Some(e),
             ExperimentError::Convergence(e) => Some(e),
             ExperimentError::Doctor { .. } => None,
+            ExperimentError::Supervise(e) => Some(e),
+            ExperimentError::Harness(_) => None,
         }
+    }
+}
+
+impl From<sbgp_core::supervise::SuperviseError> for ExperimentError {
+    fn from(e: sbgp_core::supervise::SuperviseError) -> Self {
+        ExperimentError::Supervise(e)
     }
 }
 

@@ -14,9 +14,9 @@
 
 use crate::cli::Options;
 use crate::error::ExperimentError;
-use sbgp_core::checkpoint::{params_fingerprint, SweepCheckpoint};
+use sbgp_core::checkpoint::{params_fingerprint, SweepCheckpoint, UnitJournal};
 use sbgp_core::{EngineStats, SimResult};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Fold one unit's engine counters into the sweep totals. Work and
 /// lookup counters (destinations, trees, passes, atlas hits/misses,
@@ -76,6 +76,51 @@ pub struct SweepRunner {
     /// Engine work counters summed over freshly computed units
     /// (checkpoint-reused units carry zeroed stats by design).
     engine: EngineStats,
+    /// Write-ahead journal of completed units between checkpoint
+    /// saves, so a supervisor crash mid-cadence loses nothing. Only
+    /// present when persistence is on.
+    journal: Option<UnitJournal>,
+    /// The sweep's advisory lockfile, removed by [`Self::finish`].
+    lock: Option<PathBuf>,
+}
+
+/// Is `pid` a live process? (linux: `/proc/<pid>` exists; elsewhere
+/// assume live, which errs toward refusing to steal a lock.)
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+/// Take the sweep lock at `path`, stealing it only from a dead owner.
+fn take_lock(path: &Path) -> Result<(), ExperimentError> {
+    if let Ok(text) = std::fs::read_to_string(path) {
+        let owner: Option<u32> = text
+            .strip_prefix("pid ")
+            .and_then(|r| r.trim().parse().ok());
+        match owner {
+            Some(pid) if pid == std::process::id() => {}
+            Some(pid) if pid_alive(pid) => {
+                return Err(ExperimentError::Harness(format!(
+                    "sweep lock {} is held by live process {pid}; \
+                     is another run of this sweep in flight?",
+                    path.display()
+                )));
+            }
+            _ => eprintln!(
+                "[checkpoint] taking over stale sweep lock {} (owner is gone)",
+                path.display()
+            ),
+        }
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ExperimentError::Harness(format!("creating {}: {e}", dir.display())))?;
+    }
+    std::fs::write(path, format!("pid {}\n", std::process::id()))
+        .map_err(|e| ExperimentError::Harness(format!("writing {}: {e}", path.display())))
 }
 
 impl SweepRunner {
@@ -115,15 +160,50 @@ impl SweepRunner {
                 self_checked: 0,
                 violations: 0,
                 engine: EngineStats::default(),
+                journal: None,
+                lock: None,
             });
         }
         let dir = base_dir.join("checkpoints");
         let path = dir.join(format!("{name}.ckpt"));
-        let ckpt = if opts.resume {
+        let lock_path = dir.join(format!("{name}.lock"));
+        take_lock(&lock_path)?;
+        let mut ckpt = if opts.resume {
             SweepCheckpoint::load_or_new(&path, fp)?
         } else {
             SweepCheckpoint::new(fp)
         };
+        let journal_path = dir.join(format!("{name}.journal"));
+        let mut journal = UnitJournal::open(&journal_path)?;
+        if opts.resume {
+            // A crash between checkpoint saves leaves completed units
+            // only in the journal; fold them in (salvaging a torn
+            // tail first) and compact so the journal never regrows
+            // unboundedly across resumes.
+            let (units, salvage) = UnitJournal::replay(&journal_path)?;
+            if !salvage.is_clean() {
+                eprintln!(
+                    "[resume] journal {} had a torn tail: salvaged {} record(s) \
+                     ({} bytes), dropped {} trailing byte(s)",
+                    journal_path.display(),
+                    salvage.records,
+                    salvage.valid_bytes,
+                    salvage.torn_bytes
+                );
+            }
+            let mut recovered = 0;
+            for (key, result) in units {
+                if ckpt.get(&key).is_none() {
+                    ckpt.insert(key, result);
+                    recovered += 1;
+                }
+            }
+            if recovered > 0 {
+                eprintln!("[resume] {recovered} unit(s) recovered from the journal");
+                ckpt.save(&path)?;
+            }
+        }
+        journal.reset()?;
         if !ckpt.is_empty() {
             println!(
                 "[resume] {} completed units loaded from {}",
@@ -142,7 +222,15 @@ impl SweepRunner {
             self_checked: 0,
             violations: 0,
             engine: EngineStats::default(),
+            journal: Some(journal),
+            lock: Some(lock_path),
         })
+    }
+
+    /// The checkpointed result for `key`, if it has already completed
+    /// (in this run, a resumed one, or a merged shard).
+    pub fn get(&self, key: &str) -> Option<&SimResult> {
+        self.ckpt.get(key)
     }
 
     /// Run one unit: return the checkpointed result if `key` already
@@ -159,6 +247,42 @@ impl SweepRunner {
             return Ok(prev.clone());
         }
         let result = f();
+        let stats = result.stats;
+        self.record(key, result.clone(), &stats)?;
+        Ok(result)
+    }
+
+    /// Merge a unit computed by a shard worker process. The engine
+    /// counters arrive separately because the checkpoint codec
+    /// deliberately zeroes `SimResult::stats` — the shard result frame
+    /// carries them alongside so `[engine]` summaries stay accurate in
+    /// sharded mode.
+    ///
+    /// A key the checkpoint already holds is dropped, not re-counted:
+    /// a shard retried after a hard crash can complete twice, and
+    /// completeness/engine accounting must count unique units, not
+    /// attempts.
+    pub fn absorb_remote(
+        &mut self,
+        key: &str,
+        result: SimResult,
+        stats: &EngineStats,
+    ) -> Result<(), ExperimentError> {
+        if self.ckpt.get(key).is_some() {
+            return Ok(());
+        }
+        self.record(key.to_string(), result, stats)
+    }
+
+    /// Shared bookkeeping for a freshly completed unit: integrity
+    /// warnings, self-check artifacts, engine counters, the journal
+    /// append, and the checkpoint save cadence.
+    fn record(
+        &mut self,
+        key: String,
+        result: SimResult,
+        stats: &EngineStats,
+    ) -> Result<(), ExperimentError> {
         if result.completeness < 1.0 {
             let dests: Vec<String> = result
                 .quarantined
@@ -179,7 +303,7 @@ impl SweepRunner {
         }
         self.self_checked += result.self_checked;
         self.violations += result.violations.len();
-        absorb(&mut self.engine, &result.stats);
+        absorb(&mut self.engine, stats);
         for v in &result.violations {
             let file = self.artifact_dir.join(format!(
                 "{}-{}-dest{}.txt",
@@ -198,15 +322,22 @@ impl SweepRunner {
                 eprintln!("warning: could not write artifact {}: {e}", file.display());
             }
         }
-        self.ckpt.insert(key, result.clone());
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append(&key, &result)?;
+        }
+        self.ckpt.insert(key, result);
         self.since_save += 1;
         if let Some(path) = &self.path {
             if self.since_save >= self.every {
                 self.ckpt.save(path)?;
                 self.since_save = 0;
+                // Everything journaled is now in the checkpoint.
+                if let Some(journal) = self.journal.as_mut() {
+                    journal.reset()?;
+                }
             }
         }
-        Ok(result)
+        Ok(())
     }
 
     /// Final save (if any unit since the last one) and a resume note.
@@ -261,6 +392,14 @@ impl SweepRunner {
                     String::new()
                 }
             );
+        }
+        // The checkpoint now holds everything; a lingering journal or
+        // lock would only confuse the next run (and `repro doctor`).
+        if let Some(journal) = &self.journal {
+            let _ = std::fs::remove_file(journal.path());
+        }
+        if let Some(lock) = &self.lock {
+            let _ = std::fs::remove_file(lock);
         }
         Ok(())
     }

@@ -18,10 +18,12 @@ mod world;
 mod benchcmd;
 mod casestudy;
 mod census;
+mod chaos;
 mod extensions;
 mod faults;
 mod gadget_demos;
 mod projection;
+mod shards;
 mod sweeps;
 mod tables;
 
@@ -35,6 +37,12 @@ fn main() {
         std::process::exit(2);
     }
     let cmd = args.remove(0);
+    // Hidden mode: this process is a shard worker child of a
+    // `--process-shards` supervisor. It speaks frames on stdin/stdout,
+    // so it must be dispatched before anything can print there.
+    if cmd == "__shard-worker" {
+        std::process::exit(shards::worker_main());
+    }
     // `doctor` takes file paths, not options — dispatch before flag
     // parsing so graph/checkpoint/config paths aren't read as flags.
     if cmd == "doctor" {
@@ -75,6 +83,7 @@ fn main() {
         "fig20" => gadget_demos::fig20(&opts),
         "fig21" => gadget_demos::fig21(&opts),
         "fault" => faults::fault(&opts),
+        "chaos" => chaos::chaos(&opts),
         "bench" => benchcmd::bench(&opts),
         "ext-resilience" => extensions::ext_resilience(&opts),
         "ext-theta" => extensions::ext_theta(&opts),
@@ -138,7 +147,7 @@ USAGE: repro <command> [--ases N] [--seed S] [--theta T] [--cp-fraction X]
              [--threads K] [--out DIR] [--census] [--config FILE]
              [--resume] [--checkpoint-every N] [--fail-links R] [--max-retries N]
              [--self-check RATE] [--deadline SECS] [--task-deadline SECS]
-       repro doctor <file-or-dir>...
+       repro doctor [--fix] <file-or-dir>...
 
 COMMANDS
   table1   diamond counts per early adopter
@@ -164,6 +173,8 @@ COMMANDS
   fig20    AND gadget truth table
   fig21    CHICKEN gadget bimatrix (Table 5)
   fault    hijack deception per link-failure rate (topology churn)
+  chaos    torture test: run a sweep sharded with worker kills, prove the
+           output byte-identical to the single-process no-fault run
   bench    time the engine's round kernel; write BENCH_engine.json
   ext-resilience  origin-hijack deception across the deployment process
   ext-theta       randomized per-ISP thresholds (Section 8.2)
@@ -171,13 +182,22 @@ COMMANDS
   ext-greedy      greedy early-adopter selection vs degree heuristic
   ext-incoming    the case study under the incoming-utility model
   all      everything above
-  doctor   validate graph/checkpoint/config files (line-precise; exits non-zero)
+  doctor   validate graph/checkpoint/config files and supervisor artifacts
+           (torn journals, stale locks/scratch dirs); --fix salvages them
 
 FAULT TOLERANCE
   --resume              resume sweep commands (fig8/9/11/12) from checkpoint
   --checkpoint-every N  persist sweep progress every N units (atomic rename)
   --fail-links R        degrade the topology: drop each link w.p. R (seeded)
   --max-retries N       retries before a panicking task is quarantined
+
+PROCESS SHARDING (sweep commands)
+  --process-shards N    dispatch sweep units to N crash-isolated worker
+                        processes; results bit-identical at any shard count
+  --kill-workers R      chaos: SIGKILL a worker w.p. R after each unit
+  --watchdog-secs S     declare a silent worker dead after S seconds (30)
+  --restart-budget N    worker restarts allowed per run (8; chaos kills exempt)
+  --worker-mem-mb MB    per-worker address-space ulimit (unix; 0 = unlimited)
 
 SELF-CHECKING
   --self-check RATE     replay this fraction of destinations through the

@@ -1,0 +1,359 @@
+//! Process-sharded sweep execution (`--process-shards N`).
+//!
+//! The sweep figures enumerate their unit grid here **once**, shared by
+//! three consumers that must agree exactly:
+//!
+//! 1. the in-process loops in [`crate::sweeps`] (via the `*_key`
+//!    helpers),
+//! 2. the supervisor's prefetch pass ([`prefetch`]), which dispatches
+//!    every not-yet-checkpointed unit to child worker processes, and
+//! 3. the hidden `__shard-worker` mode ([`worker_main`]), which
+//!    rebuilds the same registry from the job config and computes
+//!    whatever keys the supervisor assigns.
+//!
+//! Workers are re-execs of this binary speaking the
+//! [`sbgp_core::supervise`] frame protocol on stdin/stdout (stderr
+//! passes through for human logs). Because each unit is a
+//! deterministic simulation and merged results land in the same
+//! checkpoint the in-process path reads, figure output is bit-identical
+//! to a single-process run at any shard count and under any crash or
+//! kill schedule.
+
+use crate::cli::Options;
+use crate::error::ExperimentError;
+use crate::harness::SweepRunner;
+use crate::world::{weights, World, THETAS};
+use sbgp_asgraph::Weights;
+use sbgp_core::supervise::{self, ShardPolicy};
+use sbgp_core::EarlyAdopters;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Unit keys — the single source of truth for checkpoint labels
+// ---------------------------------------------------------------------
+
+/// The standard sweep-cell key: `<adopters>;theta=<θ>`.
+pub fn theta_key(label: &str, theta: f64) -> String {
+    format!("{label};theta={theta}")
+}
+
+/// Figure 11's key: the standard key plus the stub tiebreak policy.
+pub fn stubs_key(label: &str, theta: f64, prefer: bool) -> String {
+    let policy = if prefer { "prefer" } else { "ignore" };
+    format!("{};stubs={policy}", theta_key(label, theta))
+}
+
+/// Figure 12's key: graph flavor and CP traffic share come first.
+pub fn fig12_key(glabel: &str, x: f64, label: &str, theta: f64) -> String {
+    format!("{glabel};x={x};{label};theta={theta}")
+}
+
+/// Which of the world's graphs a unit runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GraphSel {
+    /// `World::base()` — the (possibly fault-degraded) base topology.
+    Base,
+    /// `World::augmented` — the CP-peering-augmented topology.
+    Augmented,
+}
+
+/// Everything needed to recompute one sweep cell from a [`World`].
+#[derive(Clone, Debug)]
+pub struct UnitSpec {
+    /// The graph the unit runs on.
+    pub graph: GraphSel,
+    /// CP traffic share override (figure 12); `None` uses
+    /// `--cp-fraction`.
+    pub cp_x: Option<f64>,
+    /// The early-adopter set.
+    pub adopters: EarlyAdopters,
+    /// Deployment threshold θ.
+    pub theta: f64,
+    /// Whether stubs break ties on security.
+    pub stubs_prefer_secure: bool,
+}
+
+/// Enumerate `cmd`'s sweep grid in the exact order the in-process
+/// loops visit it. `None` means the command has no sharded form.
+pub fn sweep_units(cmd: &str, world: &World) -> Option<Vec<(String, UnitSpec)>> {
+    let g = world.base();
+    let big = (g.isps().count() / 5).clamp(12, 200);
+    let mut units = Vec::new();
+    match cmd {
+        "fig8" => {
+            for adopters in crate::world::figure8_adopter_sets(g) {
+                for &theta in &THETAS {
+                    units.push((
+                        theta_key(&adopters.label(), theta),
+                        UnitSpec {
+                            graph: GraphSel::Base,
+                            cp_x: None,
+                            adopters: adopters.clone(),
+                            theta,
+                            stubs_prefer_secure: true,
+                        },
+                    ));
+                }
+            }
+        }
+        "fig9" => {
+            for adopters in [
+                EarlyAdopters::ContentProvidersPlusTopIsps(5),
+                EarlyAdopters::TopIspsByDegree(big),
+            ] {
+                for &theta in &THETAS {
+                    units.push((
+                        theta_key(&adopters.label(), theta),
+                        UnitSpec {
+                            graph: GraphSel::Base,
+                            cp_x: None,
+                            adopters: adopters.clone(),
+                            theta,
+                            stubs_prefer_secure: true,
+                        },
+                    ));
+                }
+            }
+        }
+        "fig11" => {
+            for adopters in [
+                EarlyAdopters::ContentProvidersPlusTopIsps(5),
+                EarlyAdopters::TopIspsByDegree(big),
+            ] {
+                for &theta in &THETAS {
+                    for prefer in [true, false] {
+                        units.push((
+                            stubs_key(&adopters.label(), theta, prefer),
+                            UnitSpec {
+                                graph: GraphSel::Base,
+                                cp_x: None,
+                                adopters: adopters.clone(),
+                                theta,
+                                stubs_prefer_secure: prefer,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        "fig12" => {
+            for (glabel, graph) in [("base", GraphSel::Base), ("augmented", GraphSel::Augmented)] {
+                for &x in &[0.10, 0.20, 0.33, 0.50] {
+                    for adopters in [
+                        EarlyAdopters::ContentProviders,
+                        EarlyAdopters::TopIspsByDegree(5),
+                    ] {
+                        for &theta in &[0.0, 0.05, 0.10, 0.30] {
+                            units.push((
+                                fig12_key(glabel, x, &adopters.label(), theta),
+                                UnitSpec {
+                                    graph,
+                                    cp_x: Some(x),
+                                    adopters: adopters.clone(),
+                                    theta,
+                                    stubs_prefer_secure: true,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        _ => return None,
+    }
+    Some(units)
+}
+
+// ---------------------------------------------------------------------
+// Supervisor side
+// ---------------------------------------------------------------------
+
+/// Where a sweep's shard scratch directories live.
+fn shards_dir(opts: &Options) -> PathBuf {
+    opts.out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results"))
+        .join("shards")
+}
+
+/// Spawn one `__shard-worker` child: this binary re-exec'd with piped
+/// stdin/stdout (the frame channel) and inherited stderr. With
+/// `--worker-mem-mb` on unix, the child runs under `ulimit -v` via
+/// `sh`, so an over-budget shard dies with an allocation failure the
+/// supervisor converts into a batch split — no unsafe code needed.
+fn spawn_worker(opts: &Options) -> std::io::Result<Child> {
+    let exe = std::env::current_exe()?;
+    let mut cmd = if opts.worker_mem_mb > 0 && cfg!(unix) {
+        let kib = opts.worker_mem_mb.saturating_mul(1024);
+        let mut c = Command::new("sh");
+        c.arg("-c")
+            .arg(format!(
+                "ulimit -v {kib} 2>/dev/null; exec \"$0\" __shard-worker"
+            ))
+            .arg(&exe);
+        c
+    } else {
+        let mut c = Command::new(&exe);
+        c.arg("__shard-worker");
+        c
+    };
+    cmd.stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    cmd.spawn()
+}
+
+/// Compute every unit of `cmd` that `runner`'s checkpoint does not
+/// already hold, using a fleet of `--process-shards` worker processes.
+/// No-op when sharding is off or nothing is missing; afterwards the
+/// in-process sweep loop finds every unit checkpointed and only
+/// formats output.
+pub fn prefetch(
+    cmd: &str,
+    opts: &Options,
+    world: &World,
+    runner: &mut SweepRunner,
+) -> Result<(), ExperimentError> {
+    if opts.process_shards == 0 {
+        return Ok(());
+    }
+    let Some(units) = sweep_units(cmd, world) else {
+        return Ok(());
+    };
+    let missing: Vec<String> = units
+        .iter()
+        .map(|(k, _)| k.clone())
+        .filter(|k| runner.get(k).is_none())
+        .collect();
+    if missing.is_empty() {
+        eprintln!("[shards] all {} units already checkpointed", units.len());
+        return Ok(());
+    }
+    let policy = ShardPolicy {
+        shards: opts.process_shards,
+        watchdog: Duration::from_secs_f64(opts.watchdog_secs),
+        restart_budget: opts.restart_budget,
+        kill_rate: opts.kill_workers,
+        kill_seed: opts.seed ^ 0xc4a0_5c4a,
+        ..ShardPolicy::default()
+    };
+    eprintln!(
+        "[shards] dispatching {} of {} units across {} worker process(es){}",
+        missing.len(),
+        units.len(),
+        policy.shards.clamp(1, missing.len()),
+        if opts.kill_workers > 0.0 {
+            format!(" (chaos: kill rate {})", opts.kill_workers)
+        } else {
+            String::new()
+        }
+    );
+    let report = supervise::run_sharded(
+        &policy,
+        cmd,
+        &opts.to_worker_config(),
+        &missing,
+        || spawn_worker(opts),
+        |key, result, stats| {
+            runner
+                .absorb_remote(key, result, &stats)
+                .map_err(|e| e.to_string())
+        },
+    )?;
+    eprintln!(
+        "[shards] merged {} unit(s) from {} worker(s): {} restart(s), \
+         {} injected kill(s), {} duplicate(s) dropped, {} batch split(s)",
+        report.units,
+        report.workers,
+        report.restarts,
+        report.injected_kills,
+        report.duplicates_dropped,
+        report.splits
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+/// Entry point for the hidden `__shard-worker` mode. Never prints to
+/// stdout (that is the frame channel); returns the process exit code.
+pub fn worker_main() -> i32 {
+    // Scratch dir breadcrumb: created once the job arrives, removed on
+    // clean exit. A SIGKILL leaves it behind for `repro doctor`.
+    let scratch: std::cell::RefCell<Option<PathBuf>> = std::cell::RefCell::new(None);
+    // Unlocked handles: the heartbeat thread shares the writer, so it
+    // must be Send (Stdout is; StdoutLock is not).
+    let result = supervise::serve_worker(std::io::stdin(), std::io::stdout(), |cmd, config| {
+        let opts = Options::from_config_str(config).map_err(|e| format!("job config: {e}"))?;
+        let world = World::build(&opts).map_err(|e| format!("building world: {e}"))?;
+        let units = sweep_units(cmd, &world)
+            .ok_or_else(|| format!("command {cmd:?} has no sharded form"))?;
+        let registry: HashMap<String, UnitSpec> = units.into_iter().collect();
+        let n = registry.len();
+
+        let dir = shards_dir(&opts).join(format!("__shard-worker-{}", std::process::id()));
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = std::fs::write(
+                dir.join("meta"),
+                format!("pid {}\ncmd {cmd}\n", std::process::id()),
+            );
+            *scratch.borrow_mut() = Some(dir.clone());
+        }
+
+        // Atlases are built lazily per graph and shared across every
+        // unit this worker computes on that graph.
+        let mut atlases: HashMap<GraphSel, Arc<sbgp_routing::RoutingAtlas>> = HashMap::new();
+        let mut weight_cache: HashMap<(GraphSel, u64), Weights> = HashMap::new();
+        let handler = move |key: &str| {
+            let spec = registry
+                .get(key)
+                .ok_or_else(|| format!("unknown unit key {key:?}"))?;
+            // Breadcrumb for doctor: which unit was in flight if this
+            // worker is killed.
+            let _ = std::fs::write(dir.join("current"), key);
+            let g = match spec.graph {
+                GraphSel::Base => world.base(),
+                GraphSel::Augmented => &world.augmented,
+            };
+            let atlas = atlases
+                .entry(spec.graph)
+                .or_insert_with(|| crate::sweeps::build_atlas(g, &opts));
+            let w = weight_cache
+                .entry((spec.graph, spec.cp_x.map_or(u64::MAX, f64::to_bits)))
+                .or_insert_with(|| match spec.cp_x {
+                    Some(x) => Weights::with_cp_fraction(g, x),
+                    None => weights(g, &opts),
+                });
+            let result = crate::sweeps::run_once(
+                g,
+                w,
+                atlas,
+                &spec.adopters,
+                spec.theta,
+                spec.stubs_prefer_secure,
+                &opts,
+            );
+            let stats = result.stats;
+            Ok((result, stats))
+        };
+        Ok((handler, n))
+    });
+    if let Some(dir) = scratch.borrow_mut().take() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("shard worker: {e}");
+            let _ = std::io::stderr().flush();
+            1
+        }
+    }
+}

@@ -20,7 +20,7 @@ use std::sync::Arc;
 /// sets, sweep repetitions, and both stub tiebreak policies, since
 /// per-destination route contexts are state-independent (Observation
 /// C.1) and do not depend on [`TreePolicy`].
-fn build_atlas(g: &AsGraph, opts: &Options) -> Arc<RoutingAtlas> {
+pub(crate) fn build_atlas(g: &AsGraph, opts: &Options) -> Arc<RoutingAtlas> {
     let threads = if opts.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -36,7 +36,7 @@ fn build_atlas(g: &AsGraph, opts: &Options) -> Arc<RoutingAtlas> {
     ))
 }
 
-fn run_once(
+pub(crate) fn run_once(
     g: &AsGraph,
     w: &Weights,
     atlas: &Arc<RoutingAtlas>,
@@ -76,13 +76,14 @@ pub fn fig8(opts: &Options) -> Result<(), ExperimentError> {
     let w = weights(g, opts);
     let atlas = build_atlas(g, opts);
     let mut runner = SweepRunner::open("fig8", opts, &[])?;
+    crate::shards::prefetch("fig8", opts, &world, &mut runner)?;
     let mut ta = Table::new("fig8a_ases", &columns());
     let mut tb = Table::new("fig8b_isps", &columns());
     for adopters in crate::world::figure8_adopter_sets(g) {
         let mut row_a = vec![adopters.label()];
         let mut row_b = vec![adopters.label()];
         for &theta in &THETAS {
-            let key = format!("{};theta={theta}", adopters.label());
+            let key = crate::shards::theta_key(&adopters.label(), theta);
             let res = runner.run(key, || {
                 run_once(g, &w, &atlas, &adopters, theta, true, opts)
             })?;
@@ -115,6 +116,7 @@ pub fn fig9(opts: &Options) -> Result<(), ExperimentError> {
     let w = weights(g, opts);
     let atlas = build_atlas(g, opts);
     let mut runner = SweepRunner::open("fig9", opts, &[])?;
+    crate::shards::prefetch("fig9", opts, &world, &mut runner)?;
     let mut t = Table::new(
         "fig9_secure_paths",
         &[
@@ -131,7 +133,7 @@ pub fn fig9(opts: &Options) -> Result<(), ExperimentError> {
         EarlyAdopters::TopIspsByDegree(big),
     ] {
         for &theta in &THETAS {
-            let key = format!("{};theta={theta}", adopters.label());
+            let key = crate::shards::theta_key(&adopters.label(), theta);
             let res = runner.run(key, || {
                 run_once(g, &w, &atlas, &adopters, theta, true, opts)
             })?;
@@ -168,6 +170,7 @@ pub fn fig11(opts: &Options) -> Result<(), ExperimentError> {
     let w = weights(g, opts);
     let atlas = build_atlas(g, opts);
     let mut runner = SweepRunner::open("fig11", opts, &[])?;
+    crate::shards::prefetch("fig11", opts, &world, &mut runner)?;
     let mut t = Table::new(
         "fig11_stub_sensitivity",
         &[
@@ -184,13 +187,14 @@ pub fn fig11(opts: &Options) -> Result<(), ExperimentError> {
         EarlyAdopters::TopIspsByDegree(big),
     ] {
         for &theta in &THETAS {
-            let base_key = format!("{};theta={theta}", adopters.label());
-            let with = runner.run(format!("{base_key};stubs=prefer"), || {
-                run_once(g, &w, &atlas, &adopters, theta, true, opts)
-            })?;
-            let without = runner.run(format!("{base_key};stubs=ignore"), || {
-                run_once(g, &w, &atlas, &adopters, theta, false, opts)
-            })?;
+            let with = runner.run(
+                crate::shards::stubs_key(&adopters.label(), theta, true),
+                || run_once(g, &w, &atlas, &adopters, theta, true, opts),
+            )?;
+            let without = runner.run(
+                crate::shards::stubs_key(&adopters.label(), theta, false),
+                || run_once(g, &w, &atlas, &adopters, theta, false, opts),
+            )?;
             let a = with.secure_as_fraction(g);
             let b = without.secure_as_fraction(g);
             t.row(vec![
@@ -214,6 +218,7 @@ pub fn fig12(opts: &Options) -> Result<(), ExperimentError> {
     heading("Figure 12: CPs vs Tier-1s as early adopters");
     let world = World::build(opts)?;
     let mut runner = SweepRunner::open("fig12", opts, &[])?;
+    crate::shards::prefetch("fig12", opts, &world, &mut runner)?;
     let mut t = Table::new(
         "fig12_cp_vs_tier1",
         &["graph", "x", "early adopters", "theta", "secure ASes"],
@@ -227,7 +232,7 @@ pub fn fig12(opts: &Options) -> Result<(), ExperimentError> {
                 EarlyAdopters::TopIspsByDegree(5),
             ] {
                 for &theta in &[0.0, 0.05, 0.10, 0.30] {
-                    let key = format!("{glabel};x={x};{};theta={theta}", adopters.label());
+                    let key = crate::shards::fig12_key(glabel, x, &adopters.label(), theta);
                     let res = runner.run(key, || {
                         run_once(g, &w, &atlas, &adopters, theta, true, opts)
                     })?;
