@@ -357,10 +357,39 @@ impl SalvageReport {
 /// the last valid record — never by refusing the whole file. After a
 /// successful checkpoint save the journal is truncated (compaction):
 /// its records are now covered by the checkpoint.
+///
+/// Distributed sweeps add a second record type with the same framing:
+/// a **lease**, payload `lease <hex key>\npeer <hex peer>\n`, appended
+/// when a unit is dispatched to a worker. A unit record for the same
+/// key discharges the lease; a lease with no later unit record marks
+/// work that was in flight when the coordinator died — the resumed run
+/// simply re-dispatches it (the unit was never merged), and `doctor`
+/// can report which peer held it.
 #[derive(Debug)]
 pub struct UnitJournal {
     path: PathBuf,
     file: fs::File,
+}
+
+/// One replayed journal record: a completed unit, or a lease marking a
+/// unit dispatched to a worker and not yet (at append time) completed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// A completed unit with its bit-exact result (boxed: a result is
+    /// orders of magnitude larger than a lease).
+    Unit {
+        /// The unit key.
+        key: String,
+        /// The deterministic result.
+        result: Box<SimResult>,
+    },
+    /// A unit was dispatched to `peer` — in flight at append time.
+    Lease {
+        /// The unit key.
+        key: String,
+        /// Which worker held the lease (a peer address or process id).
+        peer: String,
+    },
 }
 
 /// FNV-1a over raw bytes (same constants as [`params_fingerprint`]).
@@ -404,15 +433,32 @@ impl UnitJournal {
     /// Append one completed unit and fsync, so the record survives any
     /// crash that happens after this returns.
     pub fn append(&mut self, key: &str, result: &SimResult) -> Result<(), CheckpointError> {
+        let mut payload = String::new();
+        payload.push_str(&format!("unit {}\n", codec::hex_str(key)));
+        codec::encode_result(&mut payload, result);
+        self.append_payload(&payload)
+    }
+
+    /// Append a lease record — `key` was just dispatched to `peer` —
+    /// and fsync. Written *before* the assignment leaves the
+    /// coordinator, so a resumed run can tell which units were in
+    /// flight (and with whom) at the moment of death.
+    pub fn append_lease(&mut self, key: &str, peer: &str) -> Result<(), CheckpointError> {
+        let payload = format!(
+            "lease {}\npeer {}\n",
+            codec::hex_str(key),
+            codec::hex_str(peer)
+        );
+        self.append_payload(&payload)
+    }
+
+    fn append_payload(&mut self, payload: &str) -> Result<(), CheckpointError> {
         let io_err = |e: std::io::Error| CheckpointError::Io {
             path: self.path.clone(),
             message: e.to_string(),
         };
-        let mut payload = String::new();
-        payload.push_str(&format!("unit {}\n", codec::hex_str(key)));
-        codec::encode_result(&mut payload, result);
         let mut rec = format!("rec {} {:016x}\n", payload.len(), fnv1a(payload.as_bytes()));
-        rec.push_str(&payload);
+        rec.push_str(payload);
         rec.push('\n');
         self.file.write_all(rec.as_bytes()).map_err(io_err)?;
         self.file.sync_all().map_err(io_err)?;
@@ -431,14 +477,33 @@ impl UnitJournal {
         Ok(())
     }
 
-    /// Replay a journal file: every checksum-verified record in write
-    /// order, plus a [`SalvageReport`] describing any torn tail. A
-    /// missing file replays as empty. The only errors are real I/O
-    /// failures and records whose checksum verifies but whose payload
-    /// does not decode (a writer bug, not a torn write).
+    /// Replay a journal file's *unit* records in write order (lease
+    /// records are skipped — they mark dispatch, not completion), plus
+    /// a [`SalvageReport`] describing any torn tail. A missing file
+    /// replays as empty. The only errors are real I/O failures and
+    /// records whose checksum verifies but whose payload does not
+    /// decode (a writer bug, not a torn write).
     pub fn replay(
         path: &Path,
     ) -> Result<(Vec<(String, SimResult)>, SalvageReport), CheckpointError> {
+        let (records, report) = Self::replay_records(path)?;
+        let units = records
+            .into_iter()
+            .filter_map(|r| match r {
+                JournalRecord::Unit { key, result } => Some((key, *result)),
+                JournalRecord::Lease { .. } => None,
+            })
+            .collect();
+        Ok((units, report))
+    }
+
+    /// Replay every checksum-verified record — units *and* leases — in
+    /// write order. The lease view is what a resumed coordinator and
+    /// `doctor` use: a lease with no later unit record for the same key
+    /// was in flight when the writer died.
+    pub fn replay_records(
+        path: &Path,
+    ) -> Result<(Vec<JournalRecord>, SalvageReport), CheckpointError> {
         let bytes = match fs::read(path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -458,19 +523,41 @@ impl UnitJournal {
                 })
             }
         };
-        let mut units: Vec<(String, SimResult)> = Vec::new();
+        let mut records: Vec<JournalRecord> = Vec::new();
         let mut offset = 0usize;
         while let Some((payload, end)) = next_record(&bytes, offset) {
-            let (key, result) = decode_record(payload, path, units.len() + 1)?;
-            units.push((key, result));
+            records.push(decode_record(payload, path, records.len() + 1)?);
             offset = end;
         }
         let report = SalvageReport {
-            records: units.len(),
+            records: records.len(),
             valid_bytes: offset as u64,
             torn_bytes: (bytes.len() - offset) as u64,
         };
-        Ok((units, report))
+        Ok((records, report))
+    }
+
+    /// The keys whose most recent journal mention is a lease — i.e.
+    /// dispatched but never completed — with the peer that held each.
+    /// Order is first-lease order; a unit record discharges every
+    /// earlier lease on its key.
+    pub fn outstanding_leases(records: &[JournalRecord]) -> Vec<(String, String)> {
+        let mut open: Vec<(String, String)> = Vec::new();
+        for rec in records {
+            match rec {
+                JournalRecord::Lease { key, peer } => {
+                    if let Some(slot) = open.iter_mut().find(|(k, _)| k == key) {
+                        slot.1 = peer.clone();
+                    } else {
+                        open.push((key.clone(), peer.clone()));
+                    }
+                }
+                JournalRecord::Unit { key, .. } => {
+                    open.retain(|(k, _)| k != key);
+                }
+            }
+        }
+        open
     }
 
     /// Truncate the file at `path` to its last valid record, making a
@@ -522,13 +609,13 @@ fn next_record(bytes: &[u8], offset: usize) -> Option<(&[u8], usize)> {
     Some((payload, offset + body_start + len + 1))
 }
 
-/// Decode one record's payload into `(key, result)`. `record` is the
-/// 1-based record number, for error messages.
+/// Decode one record's payload into a [`JournalRecord`]. `record` is
+/// the 1-based record number, for error messages.
 fn decode_record(
     payload: &[u8],
     path: &Path,
     record: usize,
-) -> Result<(String, SimResult), CheckpointError> {
+) -> Result<JournalRecord, CheckpointError> {
     let corrupt = |line: usize, message: String| CheckpointError::Corrupt {
         path: path.to_path_buf(),
         line,
@@ -536,12 +623,33 @@ fn decode_record(
     };
     let text = std::str::from_utf8(payload)
         .map_err(|e| corrupt(0, format!("payload is not UTF-8: {e}")))?;
+    let tag = text
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().next())
+        .unwrap_or("");
     let mut p = codec::Parser::new(text);
-    let key = p
-        .tagged_hex_str("unit")
-        .map_err(|e| corrupt(e.line, e.message))?;
-    let result = codec::decode_result(&mut p).map_err(|e| corrupt(e.line, e.message))?;
-    Ok((key, result))
+    match tag {
+        "lease" => {
+            let key = p
+                .tagged_hex_str("lease")
+                .map_err(|e| corrupt(e.line, e.message))?;
+            let peer = p
+                .tagged_hex_str("peer")
+                .map_err(|e| corrupt(e.line, e.message))?;
+            Ok(JournalRecord::Lease { key, peer })
+        }
+        _ => {
+            let key = p
+                .tagged_hex_str("unit")
+                .map_err(|e| corrupt(e.line, e.message))?;
+            let result = codec::decode_result(&mut p).map_err(|e| corrupt(e.line, e.message))?;
+            Ok(JournalRecord::Unit {
+                key,
+                result: Box::new(result),
+            })
+        }
+    }
 }
 
 /// The self-contained, bit-exact text codec behind [`SweepCheckpoint`].
@@ -1212,6 +1320,38 @@ mod tests {
         let (units, after) = UnitJournal::replay(&path).unwrap();
         assert_eq!(units.len(), 1);
         assert!(after.is_clean());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_leases_replay_and_discharge() {
+        let dir = std::env::temp_dir().join("sbgp_journal_leases");
+        let path = dir.join("sweep.journal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = UnitJournal::open(&path).unwrap();
+            j.append_lease("theta=0.05", "127.0.0.1:9001").unwrap();
+            j.append_lease("theta=0.10", "process 4242").unwrap();
+            j.append("theta=0.05", &sample_result(42, None)).unwrap();
+            // Re-lease after a requeue: a second lease on the same key
+            // updates the holder rather than duplicating the entry.
+            j.append_lease("theta=0.10", "127.0.0.1:9002").unwrap();
+        }
+        let (records, report) = UnitJournal::replay_records(&path).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.records, 4);
+        // The unit-only view skips leases (back-compat for resume).
+        let (units, units_report) = UnitJournal::replay(&path).unwrap();
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].0, "theta=0.05");
+        assert_eq!(units_report.records, 4);
+        // The completed unit discharged its lease; the requeued unit's
+        // lease survives with the latest holder.
+        let open = UnitJournal::outstanding_leases(&records);
+        assert_eq!(
+            open,
+            vec![("theta=0.10".to_string(), "127.0.0.1:9002".to_string())]
+        );
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,0 +1,181 @@
+//! Split-at-every-byte property suite for the frame codec.
+//!
+//! A TCP link (or a pipe) can deliver a frame in arbitrarily ragged
+//! pieces: partial reads at any byte boundary, `Interrupted` errors
+//! between them, and hard EOFs anywhere — including inside the 4-byte
+//! length prefix. The contract under test, mirroring `torn_write.rs`
+//! for the persistence layer:
+//!
+//! * however the bytes are split, [`read_frame`] reassembles exactly
+//!   the frames that were written, in order;
+//! * a stream cut at **any** byte yields the complete-frame prefix
+//!   followed by either a clean EOF (cut on a frame boundary) or a
+//!   typed [`SuperviseError::TornFrame`] — never a panic, never a
+//!   wrong frame, never a hang.
+
+use sbgp_core::supervise::{read_frame, write_frame, SuperviseError};
+use std::io::{self, Read};
+
+/// A transport that serves `data` but refuses to let any read cross
+/// the byte boundary at `split`, and returns `Interrupted` before
+/// every successful read — the raggedest legal delivery of the bytes.
+struct SplitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    split: usize,
+    interrupt_next: bool,
+}
+
+impl<'a> SplitReader<'a> {
+    fn new(data: &'a [u8], split: usize) -> Self {
+        SplitReader {
+            data,
+            pos: 0,
+            split,
+            interrupt_next: true,
+        }
+    }
+}
+
+impl Read for SplitReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.interrupt_next {
+            self.interrupt_next = false;
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "try again"));
+        }
+        self.interrupt_next = true;
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        // Stop short at the split boundary: the frame arrives torn in
+        // two partial reads.
+        let end = if self.pos < self.split {
+            self.split.min(self.data.len())
+        } else {
+            self.data.len()
+        };
+        let n = buf.len().min(end - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A transport that delivers exactly one byte per read.
+struct OneByteReader<'a>(&'a [u8]);
+
+impl Read for OneByteReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.0.is_empty() || buf.is_empty() {
+            return Ok(0);
+        }
+        buf[0] = self.0[0];
+        self.0 = &self.0[1..];
+        Ok(1)
+    }
+}
+
+/// Frames with the shapes the supervisor actually ships: short control
+/// messages, multibyte UTF-8, and a payload larger than one pipe read.
+fn sample_payloads() -> Vec<String> {
+    vec![
+        "heartbeat".to_string(),
+        "unit\nkey 3d7468657461e280a6\nstatus θ→✓ rés".to_string(),
+        "x".repeat(3_000),
+    ]
+}
+
+/// Encode the sample payloads into one contiguous byte stream.
+fn wire(payloads: &[String]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for p in payloads {
+        write_frame(&mut buf, p).expect("write_frame into a Vec");
+    }
+    buf
+}
+
+#[test]
+fn frames_survive_every_split_point() {
+    let payloads = sample_payloads();
+    let bytes = wire(&payloads);
+    for split in 0..=bytes.len() {
+        let mut r = SplitReader::new(&bytes, split);
+        for (i, want) in payloads.iter().enumerate() {
+            let got = read_frame(&mut r)
+                .unwrap_or_else(|e| panic!("split at {split}: frame {i} errored: {e}"))
+                .unwrap_or_else(|| panic!("split at {split}: frame {i} hit EOF"));
+            assert_eq!(&got, want, "split at {split}: frame {i} corrupted");
+        }
+        let end =
+            read_frame(&mut r).unwrap_or_else(|e| panic!("split at {split}: EOF errored: {e}"));
+        assert_eq!(end, None, "split at {split}: phantom frame after the end");
+    }
+}
+
+#[test]
+fn one_byte_reads_reassemble_exactly() {
+    let payloads = sample_payloads();
+    let bytes = wire(&payloads);
+    let mut r = OneByteReader(&bytes);
+    for want in &payloads {
+        let got = read_frame(&mut r)
+            .expect("frame reads")
+            .expect("frame present");
+        assert_eq!(&got, want);
+    }
+    assert_eq!(read_frame(&mut r).expect("clean EOF"), None);
+}
+
+#[test]
+fn truncation_at_every_byte_is_a_clean_eof_or_a_torn_frame() {
+    let payloads = sample_payloads();
+    let bytes = wire(&payloads);
+
+    // Frame boundaries, for deciding what each cut must produce.
+    let mut boundaries = vec![0usize];
+    {
+        let mut acc = Vec::new();
+        for p in &payloads {
+            write_frame(&mut acc, p).unwrap();
+            boundaries.push(acc.len());
+        }
+    }
+
+    let mut clean_cuts = 0usize;
+    for cut in 0..=bytes.len() {
+        // Complete frames fully inside the cut must replay exactly.
+        let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        let mut r = OneByteReader(&bytes[..cut]);
+        for (i, want) in payloads.iter().take(whole).enumerate() {
+            let got = read_frame(&mut r)
+                .unwrap_or_else(|e| panic!("cut at {cut}: frame {i} errored: {e}"))
+                .unwrap_or_else(|| panic!("cut at {cut}: frame {i} hit EOF"));
+            assert_eq!(&got, want, "cut at {cut}: frame {i} corrupted");
+        }
+        // The remainder is a clean EOF exactly on a frame boundary,
+        // a typed TornFrame anywhere else — mid-length-prefix included.
+        match read_frame(&mut r) {
+            Ok(None) => {
+                clean_cuts += 1;
+                assert!(
+                    boundaries.contains(&cut),
+                    "cut at {cut}: clean EOF off a frame boundary"
+                );
+            }
+            Ok(Some(f)) => panic!("cut at {cut}: phantom frame {f:?}"),
+            Err(SuperviseError::TornFrame { context }) => {
+                assert!(
+                    !context.is_empty(),
+                    "cut at {cut}: torn frame without context"
+                );
+                assert!(
+                    !boundaries.contains(&cut),
+                    "cut at {cut}: frame boundary reported torn"
+                );
+            }
+            Err(other) => panic!("cut at {cut}: wrong error type: {other}"),
+        }
+    }
+    // One clean cut per frame, plus the empty stream.
+    assert_eq!(clean_cuts, payloads.len() + 1, "boundary census diverged");
+}

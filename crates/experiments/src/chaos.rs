@@ -1,4 +1,4 @@
-//! `repro chaos` — the kill-injection torture command.
+//! `repro chaos` — the fault-injection torture command.
 //!
 //! Runs the Figure 9 sweep twice: once single-process with no faults
 //! (the reference), once sharded across worker processes that are
@@ -7,23 +7,37 @@
 //! schedules is a supervisor bug and the command exits non-zero. This
 //! is the end-to-end claim of the process-sharding design: crashes may
 //! cost time, never answers.
+//!
+//! With `--net`, the torture moves to the network: two local TCP
+//! workers (`repro worker --listen`) serve the sweep while the
+//! coordinator's links run under seeded adversarial fault schedules —
+//! frame drops/duplicates/delays, torn mid-frame disconnects with
+//! one-way partitions, and finally a SIGKILL of the coordinator itself
+//! mid-sweep followed by `--resume` against the same live fleet. Every
+//! schedule must land the same bytes as the clean single-process run.
 
 use crate::cli::Options;
 use crate::error::ExperimentError;
 use crate::sweeps;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
 
 /// The figure CSV both runs must agree on.
 const FIGURE_CSV: &str = "fig9_secure_paths.csv";
 
 /// Run the torture comparison. `--process-shards` defaults to 4 and
-/// `--kill-workers` to 0.2 here (elsewhere both default off).
+/// `--kill-workers` to 0.2 here (elsewhere both default off). With
+/// `--net`, runs the network-fault schedules instead.
 pub fn chaos(opts: &Options) -> Result<(), ExperimentError> {
     let base = opts
         .out
         .clone()
         .unwrap_or_else(|| PathBuf::from("results"))
         .join("chaos");
+    if opts.net {
+        return chaos_net(opts, &base);
+    }
 
     let mut reference = opts.clone();
     reference.out = Some(base.join("reference"));
@@ -81,4 +95,220 @@ pub fn chaos(opts: &Options) -> Result<(), ExperimentError> {
         a.len()
     );
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// `chaos --net`: network-fault torture over live TCP workers
+// ---------------------------------------------------------------------
+
+/// The seeded fault schedules the transport must survive. Each is a
+/// [`sbgp_core::supervise::ChaosProfile`] spec; the third schedule
+/// additionally SIGKILLs the coordinator mid-sweep and `--resume`s.
+const SCHEDULES: [(&str, &str); 3] = [
+    (
+        "net-drop",
+        "drop=0.08,dup=0.05,delay=0.05,delay-ms=5,seed=7",
+    ),
+    (
+        "net-torn",
+        "torn=0.08,partition=0.03,partition-frames=2,seed=11",
+    ),
+    ("net-resume", "drop=0.05,torn=0.03,seed=13"),
+];
+
+fn chaos_net(opts: &Options, base: &Path) -> Result<(), ExperimentError> {
+    let mut reference = opts.clone();
+    reference.out = Some(base.join("reference"));
+    reference.process_shards = 0;
+    reference.kill_workers = 0.0;
+    reference.workers = Vec::new();
+    reference.net_chaos = None;
+    reference.resume = false;
+    reference.checkpoint_every = 0;
+    eprintln!("[chaos] reference run (single process, no faults)");
+    sweeps::fig9(&reference)?;
+    let ref_csv = base.join("reference").join(FIGURE_CSV);
+    let want = std::fs::read(&ref_csv)
+        .map_err(|e| ExperimentError::Harness(format!("reading {}: {e}", ref_csv.display())))?;
+
+    // A fleet of two long-lived TCP workers on ephemeral localhost
+    // ports; they survive every coordinator crash below.
+    let fleet = WorkerFleet::spawn(base, 2)?;
+    eprintln!("[chaos] worker fleet: {}", fleet.addrs.join(", "));
+
+    for (name, spec) in SCHEDULES {
+        let dir = base.join(name);
+        let mut torture = opts.clone();
+        torture.out = Some(dir.clone());
+        torture.process_shards = 0;
+        torture.kill_workers = 0.0;
+        torture.workers = fleet.addrs.clone();
+        torture.net_chaos = Some(
+            sbgp_core::supervise::ChaosProfile::parse(spec)
+                .map_err(|e| ExperimentError::Harness(format!("schedule {name}: {e}")))?,
+        );
+        // Tight lease/watchdog so partition-eaten Assign frames requeue
+        // in seconds, not minutes; journal + checkpoint always on so
+        // every schedule also exercises the persistence path.
+        torture.lease_secs = 10.0;
+        torture.watchdog_secs = 15.0;
+        torture.checkpoint_every = 1;
+        torture.resume = false;
+
+        if name == "net-resume" {
+            eprintln!(
+                "[chaos] schedule {name} ({spec}): coordinator SIGKILL mid-sweep, then --resume"
+            );
+            sigkill_coordinator_mid_sweep(&torture, &dir)?;
+            torture.resume = true;
+        } else {
+            eprintln!("[chaos] schedule {name} ({spec})");
+        }
+        sweeps::fig9(&torture)?;
+
+        let got_csv = dir.join(FIGURE_CSV);
+        let got = std::fs::read(&got_csv)
+            .map_err(|e| ExperimentError::Harness(format!("reading {}: {e}", got_csv.display())))?;
+        if got != want {
+            return Err(ExperimentError::Harness(format!(
+                "chaos --net: {FIGURE_CSV} differs under schedule {name} ({spec}) \
+                 ({} vs {}) — network-fault recovery changed results",
+                ref_csv.display(),
+                got_csv.display()
+            )));
+        }
+        eprintln!(
+            "[chaos] schedule {name}: byte-identical ({} bytes)",
+            got.len()
+        );
+    }
+    println!(
+        "[chaos] PASS: {} byte-identical across {} network-fault schedule(s) \
+         ({} TCP worker(s), {} bytes)",
+        FIGURE_CSV,
+        SCHEDULES.len(),
+        fleet.addrs.len(),
+        want.len()
+    );
+    Ok(())
+}
+
+/// Launch a child coordinator running the torture sweep against the
+/// fleet, wait for its first checkpoint write, and SIGKILL it — no
+/// cleanup handlers run, so the lock, journal (with live leases), and
+/// partial checkpoint are left exactly as a crash leaves them.
+fn sigkill_coordinator_mid_sweep(torture: &Options, dir: &Path) -> Result<(), ExperimentError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| ExperimentError::Harness(format!("current_exe: {e}")))?;
+    // Science knobs travel as a config file (the same vocabulary the
+    // workers get); supervision knobs go on the command line.
+    let cfg = dir.join("coordinator.conf");
+    std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(&cfg, torture.to_worker_config()))
+        .map_err(|e| ExperimentError::Harness(format!("writing {}: {e}", cfg.display())))?;
+    let spec = torture
+        .net_chaos
+        .as_ref()
+        .map(|p| p.spec())
+        .unwrap_or_default();
+    let mut child = Command::new(&exe)
+        .arg("fig9")
+        .args(["--config".as_ref(), cfg.as_os_str()])
+        .args(["--out".as_ref(), dir.as_os_str()])
+        .args(["--workers", &torture.workers.join(",")])
+        .args(["--net-chaos", &spec])
+        .args(["--lease-secs", "10", "--watchdog-secs", "15"])
+        .args(["--checkpoint-every", "1"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| ExperimentError::Harness(format!("spawning coordinator: {e}")))?;
+    let ckpt = dir.join("checkpoints").join("fig9.ckpt");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !ckpt.exists() && Instant::now() < deadline {
+        if let Ok(Some(status)) = child.try_wait() {
+            // Finished before we could kill it — the resume run then
+            // just revalidates a complete checkpoint, which is still a
+            // fair (if gentler) test.
+            eprintln!("[chaos] coordinator finished before SIGKILL ({status})");
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    if !ckpt.exists() {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(ExperimentError::Harness(
+            "chaos --net: no checkpoint appeared within 120s; cannot stage the crash".into(),
+        ));
+    }
+    child
+        .kill()
+        .map_err(|e| ExperimentError::Harness(format!("SIGKILLing coordinator: {e}")))?;
+    let _ = child.wait();
+    eprintln!("[chaos] coordinator SIGKILLed after first checkpoint write");
+    Ok(())
+}
+
+/// `n` child `repro worker` processes on ephemeral localhost ports,
+/// killed on drop. Ports are discovered through `--port-file`.
+struct WorkerFleet {
+    children: Vec<Child>,
+    addrs: Vec<String>,
+}
+
+impl WorkerFleet {
+    fn spawn(base: &Path, n: usize) -> Result<WorkerFleet, ExperimentError> {
+        let exe = std::env::current_exe()
+            .map_err(|e| ExperimentError::Harness(format!("current_exe: {e}")))?;
+        std::fs::create_dir_all(base)
+            .map_err(|e| ExperimentError::Harness(format!("creating {}: {e}", base.display())))?;
+        let mut fleet = WorkerFleet {
+            children: Vec::new(),
+            addrs: Vec::new(),
+        };
+        let mut port_files = Vec::new();
+        for i in 0..n {
+            let pf = base.join(format!("worker-{i}.port"));
+            let _ = std::fs::remove_file(&pf);
+            let child = Command::new(&exe)
+                .args(["worker", "--listen", "127.0.0.1:0", "--port-file"])
+                .arg(&pf)
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|e| ExperimentError::Harness(format!("spawning worker {i}: {e}")))?;
+            fleet.children.push(child);
+            port_files.push(pf);
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for (i, pf) in port_files.iter().enumerate() {
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(pf) {
+                    let addr = addr.trim().to_string();
+                    if !addr.is_empty() {
+                        fleet.addrs.push(addr);
+                        break;
+                    }
+                }
+                if Instant::now() >= deadline {
+                    return Err(ExperimentError::Harness(format!(
+                        "worker {i} never published its port ({})",
+                        pf.display()
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+        Ok(fleet)
+    }
+}
+
+impl Drop for WorkerFleet {
+    fn drop(&mut self) {
+        for c in &mut self.children {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
 }

@@ -22,6 +22,9 @@ pub struct Options {
     pub out: Option<std::path::PathBuf>,
     /// `fig13 --census`: run the Section 7.3 whole-graph search.
     pub census: bool,
+    /// `chaos --net`: torture the TCP worker transport under seeded
+    /// network-fault schedules instead of (only) process kills.
+    pub net: bool,
     /// Resume sweep commands from their checkpoint file.
     pub resume: bool,
     /// Persist sweep progress every N units (0 = only with --resume).
@@ -65,6 +68,21 @@ pub struct Options {
     /// 0 = unlimited). A worker that trips it is restarted with a
     /// halved batch.
     pub worker_mem_mb: usize,
+    /// Remote worker addresses (`host:port,host:port,...`) to dispatch
+    /// sweep units to instead of (or alongside) local process shards.
+    /// Duplicates are rejected at parse time.
+    pub workers: Vec<String>,
+    /// Chaos: seeded network-fault schedule applied to every remote
+    /// worker link (drops, dups, delays, torn frames, partitions).
+    /// `None` = clean links.
+    pub net_chaos: Option<sbgp_core::supervise::ChaosProfile>,
+    /// Keep at least this many remote links live; when the remote pool
+    /// drains below it, the coordinator degrades gracefully by
+    /// spawning local process-shard workers instead.
+    pub remote_floor: usize,
+    /// Per-unit lease in seconds: a worker holding units that makes no
+    /// progress for this long is recycled even if it heartbeats.
+    pub lease_secs: f64,
     /// The global budget resolved against the wall clock at parse
     /// time, so it spans every simulation the command runs.
     pub deadline_at: Option<std::time::Instant>,
@@ -80,6 +98,7 @@ impl Default for Options {
             threads: 1,
             out: None,
             census: false,
+            net: false,
             resume: false,
             checkpoint_every: 0,
             fail_links: 0.0,
@@ -94,6 +113,10 @@ impl Default for Options {
             watchdog_secs: 30.0,
             restart_budget: 8,
             worker_mem_mb: 0,
+            workers: Vec::new(),
+            net_chaos: None,
+            remote_floor: 1,
+            lease_secs: 120.0,
             deadline_at: None,
         }
     }
@@ -117,7 +140,7 @@ impl Options {
                         .map_err(|e| format!("--config {path}: {e}"))?;
                     apply_config(&mut o, &text).map_err(|e| format!("{path}: {e}"))?;
                 }
-                "census" | "resume" => apply(&mut o, key, "true")?,
+                "census" | "net" | "resume" => apply(&mut o, key, "true")?,
                 _ => {
                     let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                     apply(&mut o, key, v)?;
@@ -149,8 +172,8 @@ impl Options {
     /// exact same values).
     ///
     /// Supervision-only knobs (`process-shards`, `kill-workers`,
-    /// `resume`, checkpointing, the global deadline) stay with the
-    /// supervisor: workers just compute units.
+    /// `workers`, `net-chaos`, `resume`, checkpointing, the global
+    /// deadline) stay with the supervisor: workers just compute units.
     pub fn to_worker_config(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!("ases = {}\n", self.ases));
@@ -194,6 +217,15 @@ impl Options {
         if !(self.watchdog_secs > 0.0 && self.watchdog_secs.is_finite()) {
             return Err("--watchdog-secs must be a positive number of seconds".into());
         }
+        if !(self.lease_secs > 0.0 && self.lease_secs.is_finite()) {
+            return Err("--lease-secs must be a positive number of seconds".into());
+        }
+        if self.restart_budget == 0 {
+            return Err(
+                "--restart-budget must be at least 1 (0 would abort on the first worker death)"
+                    .into(),
+            );
+        }
         for (name, secs) in [
             ("--deadline", self.deadline_secs),
             ("--task-deadline", self.task_deadline_secs),
@@ -227,6 +259,7 @@ fn apply(o: &mut Options, key: &str, v: &str) -> Result<(), String> {
         "threads" => o.threads = num(key, v)?,
         "out" => o.out = Some(v.into()),
         "census" => o.census = num(key, v)?,
+        "net" => o.net = num(key, v)?,
         "resume" => o.resume = num(key, v)?,
         "checkpoint-every" => o.checkpoint_every = num(key, v)?,
         "fail-links" => o.fail_links = num(key, v)?,
@@ -240,6 +273,14 @@ fn apply(o: &mut Options, key: &str, v: &str) -> Result<(), String> {
         "watchdog-secs" => o.watchdog_secs = num(key, v)?,
         "restart-budget" => o.restart_budget = num(key, v)?,
         "worker-mem-mb" => o.worker_mem_mb = num(key, v)?,
+        "workers" => o.workers = parse_workers(v)?,
+        "net-chaos" => {
+            let profile = sbgp_core::supervise::ChaosProfile::parse(v)
+                .map_err(|e| format!("--net-chaos: {e}"))?;
+            o.net_chaos = profile.is_active().then_some(profile);
+        }
+        "remote-floor" => o.remote_floor = num(key, v)?,
+        "lease-secs" => o.lease_secs = num(key, v)?,
         "delta-projections" => {
             o.delta_projections = match v {
                 "on" => sbgp_core::DeltaMode::On,
@@ -255,6 +296,38 @@ fn apply(o: &mut Options, key: &str, v: &str) -> Result<(), String> {
         other => return Err(format!("unknown flag \"--{other}\"")),
     }
     Ok(())
+}
+
+/// Parse a `host:port,host:port,...` worker list, rejecting malformed
+/// addresses and duplicates up front — a duplicate address would make
+/// two supervisor slots fight over one worker's accept queue, which
+/// surfaces as a confusing mid-sweep stall rather than a clean error.
+fn parse_workers(v: &str) -> Result<Vec<String>, String> {
+    let mut out: Vec<String> = Vec::new();
+    for part in v.split(',') {
+        let addr = part.trim();
+        if addr.is_empty() {
+            continue;
+        }
+        let Some((host, port)) = addr.rsplit_once(':') else {
+            return Err(format!("--workers: {addr:?} is not host:port"));
+        };
+        if host.is_empty() {
+            return Err(format!("--workers: {addr:?} has an empty host"));
+        }
+        match port.parse::<u16>() {
+            Ok(p) if p > 0 => {}
+            _ => return Err(format!("--workers: {addr:?} has an invalid port {port:?}")),
+        }
+        if out.iter().any(|a| a == addr) {
+            return Err(format!("--workers: duplicate address {addr:?}"));
+        }
+        out.push(addr.to_string());
+    }
+    if out.is_empty() {
+        return Err("--workers: no addresses given".into());
+    }
+    Ok(out)
 }
 
 /// Apply every `key = value` line of a config file onto `o`.
@@ -471,6 +544,66 @@ mod tests {
         assert_eq!(back.process_shards, 0);
         assert_eq!(back.kill_workers, 0.0);
         assert!(!back.resume);
+    }
+
+    #[test]
+    fn parses_remote_worker_flags() {
+        let o = Options::parse(&[]).unwrap();
+        assert!(o.workers.is_empty());
+        assert!(o.net_chaos.is_none());
+        assert_eq!(o.remote_floor, 1);
+        assert_eq!(o.lease_secs, 120.0);
+        let o = Options::parse(&s(&[
+            "--workers",
+            "10.0.0.1:9001, 10.0.0.2:9001",
+            "--net-chaos",
+            "drop=0.05,dup=0.05,seed=7",
+            "--remote-floor",
+            "2",
+            "--lease-secs",
+            "15",
+        ]))
+        .unwrap();
+        assert_eq!(o.workers, vec!["10.0.0.1:9001", "10.0.0.2:9001"]);
+        let chaos = o.net_chaos.unwrap();
+        assert_eq!(chaos.drop, 0.05);
+        assert_eq!(chaos.seed, 7);
+        assert_eq!(o.remote_floor, 2);
+        assert_eq!(o.lease_secs, 15.0);
+        // An all-zero chaos spec means no chaos at all.
+        let o = Options::parse(&s(&["--net-chaos", "seed=9"])).unwrap();
+        assert!(o.net_chaos.is_none());
+        // Remote workers do not inherit coordination knobs.
+        let o = Options::parse(&s(&["--workers", "a:1", "--net-chaos", "drop=0.5"])).unwrap();
+        let back = Options::from_config_str(&o.to_worker_config()).unwrap();
+        assert!(back.workers.is_empty());
+        assert!(back.net_chaos.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_supervisor_knobs_at_parse_time() {
+        // Satellite: these used to surface as late runtime failures.
+        let err = Options::parse(&s(&["--watchdog-secs", "0"])).unwrap_err();
+        assert!(err.contains("--watchdog-secs"), "{err}");
+        let err = Options::parse(&s(&["--restart-budget", "0"])).unwrap_err();
+        assert!(err.contains("--restart-budget"), "{err}");
+        let err = Options::parse(&s(&["--lease-secs", "0"])).unwrap_err();
+        assert!(err.contains("--lease-secs"), "{err}");
+        // Duplicate worker addresses, malformed addresses, bad ports.
+        let err = Options::parse(&s(&["--workers", "h:9001,h:9001"])).unwrap_err();
+        assert!(err.contains("duplicate address"), "{err}");
+        assert!(Options::parse(&s(&["--workers", "nocolon"])).is_err());
+        assert!(Options::parse(&s(&["--workers", "h:0"])).is_err());
+        assert!(Options::parse(&s(&["--workers", "h:notaport"])).is_err());
+        assert!(Options::parse(&s(&["--workers", " , "])).is_err());
+        let err = Options::parse(&s(&["--net-chaos", "drop=2.0"])).unwrap_err();
+        assert!(err.contains("--net-chaos"), "{err}");
+        // Config-file versions carry the line number (line-precise).
+        let err = Options::from_config_str("ases = 200\nworkers = h:1,h:1\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("duplicate address"), "{err}");
+        let err = Options::from_config_str("restart-budget = 0\n").unwrap_err();
+        assert!(err.contains("--restart-budget"), "{err}");
     }
 
     #[test]

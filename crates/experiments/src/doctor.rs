@@ -156,15 +156,35 @@ fn check_one(path: &Path, fix: bool) -> Result<String, String> {
     ))
 }
 
-/// A unit journal: replay it, reporting (or with `fix` truncating) a
-/// torn tail.
+/// A unit journal: replay it, reporting completed units, in-flight
+/// leases, and (or with `fix` truncating) a torn tail.
 fn check_journal(path: &Path, fix: bool) -> Result<String, String> {
-    let (units, report) = UnitJournal::replay(path).map_err(|e| e.to_string())?;
+    let (records, report) = UnitJournal::replay_records(path).map_err(|e| e.to_string())?;
+    let leases = UnitJournal::outstanding_leases(&records);
+    let lease_note = if leases.is_empty() {
+        String::new()
+    } else {
+        let holders: Vec<String> = leases
+            .iter()
+            .take(4)
+            .map(|(k, p)| format!("{k:?} @ {p}"))
+            .collect();
+        format!(
+            ", {} unit(s) still leased to workers ({}{}) — a coordinator died \
+             mid-dispatch; a resumed run re-dispatches them",
+            leases.len(),
+            holders.join(", "),
+            if leases.len() > holders.len() {
+                ", …"
+            } else {
+                ""
+            }
+        )
+    };
     if report.is_clean() {
         return Ok(format!(
-            "journal with {} complete record(s) ({} bytes)",
-            units.len(),
-            report.valid_bytes
+            "journal with {} complete record(s) ({} bytes){lease_note}",
+            report.records, report.valid_bytes
         ));
     }
     if fix {

@@ -180,7 +180,7 @@ impl SweepRunner {
             // only in the journal; fold them in (salvaging a torn
             // tail first) and compact so the journal never regrows
             // unboundedly across resumes.
-            let (units, salvage) = UnitJournal::replay(&journal_path)?;
+            let (records, salvage) = UnitJournal::replay_records(&journal_path)?;
             if !salvage.is_clean() {
                 eprintln!(
                     "[resume] journal {} had a torn tail: salvaged {} record(s) \
@@ -191,11 +191,21 @@ impl SweepRunner {
                     salvage.torn_bytes
                 );
             }
+            let leases = UnitJournal::outstanding_leases(&records);
+            if !leases.is_empty() {
+                eprintln!(
+                    "[resume] {} unit(s) were leased to workers and never completed \
+                     (coordinator died mid-dispatch); they will be re-dispatched",
+                    leases.len()
+                );
+            }
             let mut recovered = 0;
-            for (key, result) in units {
-                if ckpt.get(&key).is_none() {
-                    ckpt.insert(key, result);
-                    recovered += 1;
+            for record in records {
+                if let sbgp_core::checkpoint::JournalRecord::Unit { key, result } = record {
+                    if ckpt.get(&key).is_none() {
+                        ckpt.insert(key, *result);
+                        recovered += 1;
+                    }
                 }
             }
             if recovered > 0 {
@@ -231,6 +241,17 @@ impl SweepRunner {
     /// (in this run, a resumed one, or a merged shard).
     pub fn get(&self, key: &str) -> Option<&SimResult> {
         self.ckpt.get(key)
+    }
+
+    /// Journal a lease: `key` is about to be dispatched to `peer`.
+    /// Written (and fsynced) before the assignment leaves the
+    /// coordinator, so a resumed run knows which units were in flight
+    /// at the moment of death. No-op when persistence is off.
+    pub fn lease(&mut self, key: &str, peer: &str) -> Result<(), ExperimentError> {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append_lease(key, peer)?;
+        }
+        Ok(())
     }
 
     /// Run one unit: return the checkpointed result if `key` already

@@ -22,6 +22,7 @@ mod chaos;
 mod extensions;
 mod faults;
 mod gadget_demos;
+mod net;
 mod projection;
 mod shards;
 mod sweeps;
@@ -42,6 +43,15 @@ fn main() {
     // so it must be dispatched before anything can print there.
     if cmd == "__shard-worker" {
         std::process::exit(shards::worker_main());
+    }
+    // `worker` takes its own small flag set (`--listen`, `--port-file`),
+    // not the experiment options — dispatch before Options::parse.
+    if cmd == "worker" {
+        if let Err(e) = net::worker_cmd(&args) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
     }
     // `doctor` takes file paths, not options — dispatch before flag
     // parsing so graph/checkpoint/config paths aren't read as flags.
@@ -148,6 +158,7 @@ USAGE: repro <command> [--ases N] [--seed S] [--theta T] [--cp-fraction X]
              [--resume] [--checkpoint-every N] [--fail-links R] [--max-retries N]
              [--self-check RATE] [--deadline SECS] [--task-deadline SECS]
        repro doctor [--fix] <file-or-dir>...
+       repro worker --listen ADDR [--port-file PATH]
 
 COMMANDS
   table1   diamond counts per early adopter
@@ -174,7 +185,12 @@ COMMANDS
   fig21    CHICKEN gadget bimatrix (Table 5)
   fault    hijack deception per link-failure rate (topology churn)
   chaos    torture test: run a sweep sharded with worker kills, prove the
-           output byte-identical to the single-process no-fault run
+           output byte-identical to the single-process no-fault run;
+           --net adds TCP workers under seeded network-fault schedules
+           (frame drops, torn mid-frame disconnects, coordinator
+           SIGKILL + --resume) with the same byte-identical gate
+  worker   long-lived TCP sweep worker; coordinators dispatch to it via
+           --workers and it survives their crashes
   bench    time the engine's round kernel; write BENCH_engine.json
   ext-resilience  origin-hijack deception across the deployment process
   ext-theta       randomized per-ISP thresholds (Section 8.2)
@@ -198,6 +214,17 @@ PROCESS SHARDING (sweep commands)
   --watchdog-secs S     declare a silent worker dead after S seconds (30)
   --restart-budget N    worker restarts allowed per run (8; chaos kills exempt)
   --worker-mem-mb MB    per-worker address-space ulimit (unix; 0 = unlimited)
+
+DISTRIBUTED SWEEPS (sweep commands)
+  --workers H:P,...     dispatch sweep units to remote `repro worker`s over
+                        TCP instead of local processes; byte-identical output
+  --remote-floor N      when fewer than N remote workers stay reachable,
+                        degrade to local process shards (default 1)
+  --lease-secs S        requeue a dispatched unit if its worker makes no
+                        progress for S seconds (default 120)
+  --net-chaos SPEC      seeded fault injection on every remote link; SPEC is
+                        `drop=P,dup=P,delay=P,delay-ms=MS,torn=P,
+                        partition=P,partition-frames=N,seed=S` (any subset)
 
 SELF-CHECKING
   --self-check RATE     replay this fraction of destinations through the

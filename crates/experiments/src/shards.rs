@@ -24,8 +24,8 @@ use crate::error::ExperimentError;
 use crate::harness::SweepRunner;
 use crate::world::{weights, World, THETAS};
 use sbgp_asgraph::Weights;
-use sbgp_core::supervise::{self, ShardPolicy};
-use sbgp_core::EarlyAdopters;
+use sbgp_core::supervise::{self, ShardPolicy, SuperviseError};
+use sbgp_core::{EarlyAdopters, EngineStats, SimResult};
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
@@ -186,7 +186,7 @@ fn shards_dir(opts: &Options) -> PathBuf {
 /// `--worker-mem-mb` on unix, the child runs under `ulimit -v` via
 /// `sh`, so an over-budget shard dies with an allocation failure the
 /// supervisor converts into a batch split — no unsafe code needed.
-fn spawn_worker(opts: &Options) -> std::io::Result<Child> {
+pub(crate) fn spawn_worker(opts: &Options) -> std::io::Result<Child> {
     let exe = std::env::current_exe()?;
     let mut cmd = if opts.worker_mem_mb > 0 && cfg!(unix) {
         let kib = opts.worker_mem_mb.saturating_mul(1024);
@@ -219,7 +219,7 @@ pub fn prefetch(
     world: &World,
     runner: &mut SweepRunner,
 ) -> Result<(), ExperimentError> {
-    if opts.process_shards == 0 {
+    if opts.process_shards == 0 && opts.workers.is_empty() {
         return Ok(());
     }
     let Some(units) = sweep_units(cmd, world) else {
@@ -234,47 +234,89 @@ pub fn prefetch(
         eprintln!("[shards] all {} units already checkpointed", units.len());
         return Ok(());
     }
+    let remote = !opts.workers.is_empty();
     let policy = ShardPolicy {
-        shards: opts.process_shards,
+        shards: if remote {
+            opts.workers.len()
+        } else {
+            opts.process_shards
+        },
         watchdog: Duration::from_secs_f64(opts.watchdog_secs),
+        lease: Duration::from_secs_f64(opts.lease_secs),
         restart_budget: opts.restart_budget,
         kill_rate: opts.kill_workers,
         kill_seed: opts.seed ^ 0xc4a0_5c4a,
         ..ShardPolicy::default()
     };
     eprintln!(
-        "[shards] dispatching {} of {} units across {} worker process(es){}",
+        "[shards] dispatching {} of {} units across {} worker {}{}{}",
         missing.len(),
         units.len(),
         policy.shards.clamp(1, missing.len()),
+        if remote {
+            "remote link(s)"
+        } else {
+            "process(es)"
+        },
         if opts.kill_workers > 0.0 {
             format!(" (chaos: kill rate {})", opts.kill_workers)
         } else {
             String::new()
+        },
+        match &opts.net_chaos {
+            Some(p) => format!(" (net chaos: seed {})", p.seed),
+            None => String::new(),
         }
     );
-    let report = supervise::run_sharded(
+    // The supervisor drives three callbacks that all need the runner
+    // (merge, lease journal) or the pool (connect); its event loop is
+    // single-threaded, so a RefCell resolves the shared borrow.
+    let runner = std::cell::RefCell::new(runner);
+    let mut pool = remote.then(|| crate::net::RemotePool::new(opts));
+    let report = supervise::run_supervised(
         &policy,
         cmd,
         &opts.to_worker_config(),
         &missing,
-        || spawn_worker(opts),
+        |slot| match pool.as_mut() {
+            Some(pool) => pool.connect(slot),
+            None => {
+                let child = spawn_worker(opts).map_err(|e| SuperviseError::Spawn {
+                    message: e.to_string(),
+                })?;
+                supervise::pipe_link(child)
+            }
+        },
         |key, result, stats| {
             runner
+                .borrow_mut()
                 .absorb_remote(key, result, &stats)
+                .map_err(|e| e.to_string())
+        },
+        |key, peer| {
+            runner
+                .borrow_mut()
+                .lease(key, peer)
                 .map_err(|e| e.to_string())
         },
     )?;
     eprintln!(
-        "[shards] merged {} unit(s) from {} worker(s): {} restart(s), \
-         {} injected kill(s), {} duplicate(s) dropped, {} batch split(s)",
+        "[shards] merged {} unit(s) from {} worker(s): {} restart(s) \
+         ({} transport fault(s)), {} injected kill(s) + {} injected net fault(s), \
+         {} duplicate(s) dropped, {} unit(s) requeued, {} batch split(s)",
         report.units,
         report.workers,
         report.restarts,
+        report.transport_faults,
         report.injected_kills,
+        report.injected_faults,
         report.duplicates_dropped,
+        report.requeued,
         report.splits
     );
+    if let Some(pool) = &pool {
+        pool.report();
+    }
     Ok(())
 }
 
@@ -282,67 +324,90 @@ pub fn prefetch(
 // Worker side
 // ---------------------------------------------------------------------
 
+/// Build the unit handler a worker serves with, from the job's command
+/// and config text: the world, the unit registry, and per-graph lazy
+/// atlas/weight caches. Shared by the pipe worker (`__shard-worker`)
+/// and the TCP worker (`repro worker --listen`) — the computation is
+/// transport-blind by construction. Returns the handler, the registry
+/// size, and the scratch breadcrumb dir (if one was created) for the
+/// caller to clean up on graceful exit.
+pub(crate) type UnitOutcome = Result<(SimResult, EngineStats), String>;
+/// A ready worker: the unit handler, the registry size, and the
+/// scratch breadcrumb dir to remove on clean exit.
+pub(crate) type WorkerSetup<H> = Result<(H, usize, Option<PathBuf>), String>;
+
+pub(crate) fn worker_setup(
+    cmd: &str,
+    config: &str,
+) -> WorkerSetup<impl FnMut(&str) -> UnitOutcome> {
+    let opts = Options::from_config_str(config).map_err(|e| format!("job config: {e}"))?;
+    let world = World::build(&opts).map_err(|e| format!("building world: {e}"))?;
+    let units =
+        sweep_units(cmd, &world).ok_or_else(|| format!("command {cmd:?} has no sharded form"))?;
+    let registry: HashMap<String, UnitSpec> = units.into_iter().collect();
+    let n = registry.len();
+
+    // Scratch dir breadcrumb: removed by the caller on clean exit. A
+    // SIGKILL leaves it behind for `repro doctor`.
+    let dir = shards_dir(&opts).join(format!("__shard-worker-{}", std::process::id()));
+    let scratch = if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(
+            dir.join("meta"),
+            format!("pid {}\ncmd {cmd}\n", std::process::id()),
+        );
+        Some(dir.clone())
+    } else {
+        None
+    };
+
+    // Atlases are built lazily per graph and shared across every
+    // unit this worker computes on that graph.
+    let mut atlases: HashMap<GraphSel, Arc<sbgp_routing::RoutingAtlas>> = HashMap::new();
+    let mut weight_cache: HashMap<(GraphSel, u64), Weights> = HashMap::new();
+    let handler = move |key: &str| {
+        let spec = registry
+            .get(key)
+            .ok_or_else(|| format!("unknown unit key {key:?}"))?;
+        // Breadcrumb for doctor: which unit was in flight if this
+        // worker is killed.
+        let _ = std::fs::write(dir.join("current"), key);
+        let g = match spec.graph {
+            GraphSel::Base => world.base(),
+            GraphSel::Augmented => &world.augmented,
+        };
+        let atlas = atlases
+            .entry(spec.graph)
+            .or_insert_with(|| crate::sweeps::build_atlas(g, &opts));
+        let w = weight_cache
+            .entry((spec.graph, spec.cp_x.map_or(u64::MAX, f64::to_bits)))
+            .or_insert_with(|| match spec.cp_x {
+                Some(x) => Weights::with_cp_fraction(g, x),
+                None => weights(g, &opts),
+            });
+        let result = crate::sweeps::run_once(
+            g,
+            w,
+            atlas,
+            &spec.adopters,
+            spec.theta,
+            spec.stubs_prefer_secure,
+            &opts,
+        );
+        let stats = result.stats;
+        Ok((result, stats))
+    };
+    Ok((handler, n, scratch))
+}
+
 /// Entry point for the hidden `__shard-worker` mode. Never prints to
 /// stdout (that is the frame channel); returns the process exit code.
 pub fn worker_main() -> i32 {
-    // Scratch dir breadcrumb: created once the job arrives, removed on
-    // clean exit. A SIGKILL leaves it behind for `repro doctor`.
     let scratch: std::cell::RefCell<Option<PathBuf>> = std::cell::RefCell::new(None);
     // Unlocked handles: the heartbeat thread shares the writer, so it
     // must be Send (Stdout is; StdoutLock is not).
     let result = supervise::serve_worker(std::io::stdin(), std::io::stdout(), |cmd, config| {
-        let opts = Options::from_config_str(config).map_err(|e| format!("job config: {e}"))?;
-        let world = World::build(&opts).map_err(|e| format!("building world: {e}"))?;
-        let units = sweep_units(cmd, &world)
-            .ok_or_else(|| format!("command {cmd:?} has no sharded form"))?;
-        let registry: HashMap<String, UnitSpec> = units.into_iter().collect();
-        let n = registry.len();
-
-        let dir = shards_dir(&opts).join(format!("__shard-worker-{}", std::process::id()));
-        if std::fs::create_dir_all(&dir).is_ok() {
-            let _ = std::fs::write(
-                dir.join("meta"),
-                format!("pid {}\ncmd {cmd}\n", std::process::id()),
-            );
-            *scratch.borrow_mut() = Some(dir.clone());
-        }
-
-        // Atlases are built lazily per graph and shared across every
-        // unit this worker computes on that graph.
-        let mut atlases: HashMap<GraphSel, Arc<sbgp_routing::RoutingAtlas>> = HashMap::new();
-        let mut weight_cache: HashMap<(GraphSel, u64), Weights> = HashMap::new();
-        let handler = move |key: &str| {
-            let spec = registry
-                .get(key)
-                .ok_or_else(|| format!("unknown unit key {key:?}"))?;
-            // Breadcrumb for doctor: which unit was in flight if this
-            // worker is killed.
-            let _ = std::fs::write(dir.join("current"), key);
-            let g = match spec.graph {
-                GraphSel::Base => world.base(),
-                GraphSel::Augmented => &world.augmented,
-            };
-            let atlas = atlases
-                .entry(spec.graph)
-                .or_insert_with(|| crate::sweeps::build_atlas(g, &opts));
-            let w = weight_cache
-                .entry((spec.graph, spec.cp_x.map_or(u64::MAX, f64::to_bits)))
-                .or_insert_with(|| match spec.cp_x {
-                    Some(x) => Weights::with_cp_fraction(g, x),
-                    None => weights(g, &opts),
-                });
-            let result = crate::sweeps::run_once(
-                g,
-                w,
-                atlas,
-                &spec.adopters,
-                spec.theta,
-                spec.stubs_prefer_secure,
-                &opts,
-            );
-            let stats = result.stats;
-            Ok((result, stats))
-        };
+        let (handler, n, dir) = worker_setup(cmd, config)?;
+        *scratch.borrow_mut() = dir;
         Ok((handler, n))
     });
     if let Some(dir) = scratch.borrow_mut().take() {
