@@ -26,21 +26,38 @@
 //! parameters instead of silently mixing incompatible results.
 
 use crate::sim::SimResult;
+use crate::storage::{StorageError, Store};
 use std::collections::HashMap;
 use std::fmt;
-use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
-/// Durably flush a directory so a rename (or append) inside it survives
-/// power loss, not just a process crash. POSIX only guarantees the new
-/// directory entry is on disk after the *directory* itself is fsynced.
-/// Best-effort: filesystems that refuse fsync on directory handles (or
-/// platforms where directories cannot be opened) keep the weaker
-/// process-crash guarantee the atomic rename already provides.
-fn sync_dir(dir: &Path) {
-    if let Ok(d) = fs::File::open(dir) {
-        let _ = d.sync_all();
+/// A [`Store`] + key pair addressing one artifact file at `path` — the
+/// bridge that keeps the historical path-based API alive on top of the
+/// storage trait: a [`LocalDisk`](crate::storage::LocalDisk) rooted at
+/// the file's parent directory with the file name as the key, which
+/// writes byte-for-byte what the pre-trait code wrote.
+pub fn file_store(path: &Path) -> Result<(Store, String), CheckpointError> {
+    let parent = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| CheckpointError::Io {
+            path: path.to_path_buf(),
+            message: "path has no usable file name".into(),
+        })?
+        .to_string();
+    Ok((Store::localdisk(parent), name))
+}
+
+/// Map a storage failure onto the checkpoint error vocabulary, naming
+/// the artifact by its human-facing path.
+fn store_io(display: &Path, e: StorageError) -> CheckpointError {
+    CheckpointError::Io {
+        path: display.to_path_buf(),
+        message: e.to_string(),
     }
 }
 
@@ -185,15 +202,18 @@ impl SweepCheckpoint {
     /// Persist atomically: encode to `<path>.tmp`, then rename over
     /// `path`. A crash mid-save leaves the previous checkpoint intact.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let io_err = |e: std::io::Error| CheckpointError::Io {
-            path: path.to_path_buf(),
-            message: e.to_string(),
-        };
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                fs::create_dir_all(dir).map_err(io_err)?;
-            }
-        }
+        let (store, key) = file_store(path)?;
+        self.save_impl(&store, &key, path)
+    }
+
+    /// Persist atomically under `key` in `store` — the backend-generic
+    /// form of [`Self::save`], with the same atomic-replace guarantee
+    /// ([`crate::storage::StorageBackend::put_atomic`]'s contract).
+    pub fn save_to(&self, store: &Store, key: &str) -> Result<(), CheckpointError> {
+        self.save_impl(store, key, Path::new(key))
+    }
+
+    fn save_impl(&self, store: &Store, key: &str, display: &Path) -> Result<(), CheckpointError> {
         let mut text = String::new();
         text.push_str(HEADER);
         text.push('\n');
@@ -209,31 +229,18 @@ impl SweepCheckpoint {
         // decoder would not reproduce bit-for-bit (a codec bug caught
         // at save time costs one re-run; caught at resume time it costs
         // the whole checkpoint).
-        let reread = Self::parse(&text, path, Some(self.fingerprint))?;
+        let reread = Self::parse(&text, display, Some(self.fingerprint))?;
         if reread != *self {
             return Err(CheckpointError::Corrupt {
-                path: path.to_path_buf(),
+                path: display.to_path_buf(),
                 line: 0,
                 message: "encode/decode round-trip mismatch (codec bug); refusing to save".into(),
             });
         }
 
-        let tmp = path.with_extension("tmp");
-        {
-            let mut f = fs::File::create(&tmp).map_err(io_err)?;
-            f.write_all(text.as_bytes()).map_err(io_err)?;
-            f.sync_all().map_err(io_err)?;
-        }
-        fs::rename(&tmp, path).map_err(io_err)?;
-        // The rename is atomic against a process crash; fsyncing the
-        // parent directory makes the new entry durable against power
-        // loss too.
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                sync_dir(dir);
-            }
-        }
-        Ok(())
+        store
+            .put_atomic(key, text.as_bytes())
+            .map_err(|e| store_io(display, e))
     }
 
     /// Parse checkpoint text. With `expected_fingerprint = Some(f)`,
@@ -280,35 +287,82 @@ impl SweepCheckpoint {
         Ok(ckpt)
     }
 
+    /// Read and decode the checkpoint at `key`, or `None` if it does
+    /// not exist.
+    fn read_impl(
+        store: &Store,
+        key: &str,
+        display: &Path,
+        expected_fingerprint: Option<u64>,
+    ) -> Result<Option<Self>, CheckpointError> {
+        let Some(bytes) = store.get(key).map_err(|e| store_io(display, e))? else {
+            return Ok(None);
+        };
+        let text = String::from_utf8(bytes).map_err(|e| CheckpointError::Corrupt {
+            path: display.to_path_buf(),
+            line: 0,
+            message: format!("checkpoint is not UTF-8: {e}"),
+        })?;
+        Self::parse(&text, display, expected_fingerprint).map(Some)
+    }
+
+    fn missing(display: &Path) -> CheckpointError {
+        CheckpointError::Io {
+            path: display.to_path_buf(),
+            message: "no such checkpoint".into(),
+        }
+    }
+
     /// Load a checkpoint, verifying it belongs to a sweep whose
     /// parameters hash to `expected_fingerprint`.
     pub fn load(path: &Path, expected_fingerprint: u64) -> Result<Self, CheckpointError> {
-        let text = fs::read_to_string(path).map_err(|e| CheckpointError::Io {
-            path: path.to_path_buf(),
-            message: e.to_string(),
-        })?;
-        Self::parse(&text, path, Some(expected_fingerprint))
+        let (store, key) = file_store(path)?;
+        Self::read_impl(&store, &key, path, Some(expected_fingerprint))?
+            .ok_or_else(|| Self::missing(path))
+    }
+
+    /// Backend-generic [`Self::load`].
+    pub fn load_from(
+        store: &Store,
+        key: &str,
+        expected_fingerprint: u64,
+    ) -> Result<Self, CheckpointError> {
+        Self::read_impl(store, key, Path::new(key), Some(expected_fingerprint))?
+            .ok_or_else(|| Self::missing(Path::new(key)))
     }
 
     /// Validate and load a checkpoint file without knowing the sweep
     /// parameters it was written under (fingerprint is reported, not
     /// checked) — the `repro doctor` inspection path.
     pub fn inspect(path: &Path) -> Result<Self, CheckpointError> {
-        let text = fs::read_to_string(path).map_err(|e| CheckpointError::Io {
-            path: path.to_path_buf(),
-            message: e.to_string(),
-        })?;
-        Self::parse(&text, path, None)
+        let (store, key) = file_store(path)?;
+        Self::read_impl(&store, &key, path, None)?.ok_or_else(|| Self::missing(path))
+    }
+
+    /// Backend-generic [`Self::inspect`] — `doctor` validates any
+    /// backend's checkpoints through this one entry point.
+    pub fn inspect_from(store: &Store, key: &str) -> Result<Self, CheckpointError> {
+        Self::read_impl(store, key, Path::new(key), None)?
+            .ok_or_else(|| Self::missing(Path::new(key)))
     }
 
     /// Resume if `path` exists, start fresh otherwise. Corrupt files
     /// and parameter mismatches are errors, not silent restarts.
     pub fn load_or_new(path: &Path, fingerprint: u64) -> Result<Self, CheckpointError> {
-        if path.exists() {
-            Self::load(path, fingerprint)
-        } else {
-            Ok(Self::new(fingerprint))
-        }
+        let (store, key) = file_store(path)?;
+        Self::load_or_new_from(&store, &key, fingerprint)
+    }
+
+    /// Backend-generic [`Self::load_or_new`].
+    pub fn load_or_new_from(
+        store: &Store,
+        key: &str,
+        fingerprint: u64,
+    ) -> Result<Self, CheckpointError> {
+        Ok(
+            Self::read_impl(store, key, Path::new(key), Some(fingerprint))?
+                .unwrap_or_else(|| Self::new(fingerprint)),
+        )
     }
 }
 
@@ -367,8 +421,9 @@ impl SalvageReport {
 /// can report which peer held it.
 #[derive(Debug)]
 pub struct UnitJournal {
-    path: PathBuf,
-    file: fs::File,
+    store: Store,
+    key: String,
+    display: PathBuf,
 }
 
 /// One replayed journal record: a completed unit, or a lease marking a
@@ -405,29 +460,45 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 impl UnitJournal {
     /// Open (or create) the journal at `path` for appending.
     pub fn open(path: &Path) -> Result<Self, CheckpointError> {
-        let io_err = |e: std::io::Error| CheckpointError::Io {
-            path: path.to_path_buf(),
-            message: e.to_string(),
-        };
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                fs::create_dir_all(dir).map_err(io_err)?;
-            }
+        let (store, key) = file_store(path)?;
+        Self::open_impl(store, key, path.to_path_buf())
+    }
+
+    /// Open (or create) the journal at `key` in `store` — the
+    /// backend-generic form of [`Self::open`].
+    pub fn open_in(store: &Store, key: &str) -> Result<Self, CheckpointError> {
+        Self::open_impl(store.clone(), key.to_string(), PathBuf::from(key))
+    }
+
+    fn open_impl(store: Store, key: String, display: PathBuf) -> Result<Self, CheckpointError> {
+        // Match the historical open(create | append) semantics: the
+        // journal exists (empty) after open, existing records survive.
+        if store
+            .len(&key)
+            .map_err(|e| store_io(&display, e))?
+            .is_none()
+        {
+            store
+                .append_durable(&key, b"")
+                .map_err(|e| store_io(&display, e))?;
         }
-        let file = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .map_err(io_err)?;
         Ok(UnitJournal {
-            path: path.to_path_buf(),
-            file,
+            store,
+            key,
+            display,
         })
     }
 
-    /// The journal's file path.
+    /// The journal's human-facing path (the storage key, for non-disk
+    /// backends).
     pub fn path(&self) -> &Path {
-        &self.path
+        &self.display
+    }
+
+    /// The journal's storage key, for store-level operations (e.g.
+    /// deleting a compacted journal through the same backend).
+    pub fn key(&self) -> &str {
+        &self.key
     }
 
     /// Append one completed unit and fsync, so the record survives any
@@ -453,28 +524,24 @@ impl UnitJournal {
     }
 
     fn append_payload(&mut self, payload: &str) -> Result<(), CheckpointError> {
-        let io_err = |e: std::io::Error| CheckpointError::Io {
-            path: self.path.clone(),
-            message: e.to_string(),
-        };
         let mut rec = format!("rec {} {:016x}\n", payload.len(), fnv1a(payload.as_bytes()));
         rec.push_str(payload);
         rec.push('\n');
-        self.file.write_all(rec.as_bytes()).map_err(io_err)?;
-        self.file.sync_all().map_err(io_err)?;
-        Ok(())
+        // Store::append_durable is record-safe under retry: a torn
+        // first attempt is truncated back before the retry, so the
+        // journal never ends up with a half-record *followed by* its
+        // complete twin.
+        self.store
+            .append_durable(&self.key, rec.as_bytes())
+            .map_err(|e| store_io(&self.display, e))
     }
 
     /// Drop every record (after its units were compacted into a saved
     /// checkpoint) and fsync the now-empty file.
     pub fn reset(&mut self) -> Result<(), CheckpointError> {
-        let io_err = |e: std::io::Error| CheckpointError::Io {
-            path: self.path.clone(),
-            message: e.to_string(),
-        };
-        self.file.set_len(0).map_err(io_err)?;
-        self.file.sync_all().map_err(io_err)?;
-        Ok(())
+        self.store
+            .truncate(&self.key, 0)
+            .map_err(|e| store_io(&self.display, e))
     }
 
     /// Replay a journal file's *unit* records in write order (lease
@@ -486,7 +553,16 @@ impl UnitJournal {
     pub fn replay(
         path: &Path,
     ) -> Result<(Vec<(String, SimResult)>, SalvageReport), CheckpointError> {
-        let (records, report) = Self::replay_records(path)?;
+        let (store, key) = file_store(path)?;
+        Self::replay_in(&store, &key)
+    }
+
+    /// Backend-generic [`Self::replay`].
+    pub fn replay_in(
+        store: &Store,
+        key: &str,
+    ) -> Result<(Vec<(String, SimResult)>, SalvageReport), CheckpointError> {
+        let (records, report) = Self::replay_records_in(store, key)?;
         let units = records
             .into_iter()
             .filter_map(|r| match r {
@@ -504,9 +580,19 @@ impl UnitJournal {
     pub fn replay_records(
         path: &Path,
     ) -> Result<(Vec<JournalRecord>, SalvageReport), CheckpointError> {
-        let bytes = match fs::read(path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+        let (store, key) = file_store(path)?;
+        Self::replay_records_in(&store, &key)
+    }
+
+    /// Backend-generic [`Self::replay_records`].
+    pub fn replay_records_in(
+        store: &Store,
+        key: &str,
+    ) -> Result<(Vec<JournalRecord>, SalvageReport), CheckpointError> {
+        let display = Path::new(key);
+        let bytes = match store.get(key).map_err(|e| store_io(display, e))? {
+            Some(b) => b,
+            None => {
                 return Ok((
                     Vec::new(),
                     SalvageReport {
@@ -516,17 +602,11 @@ impl UnitJournal {
                     },
                 ))
             }
-            Err(e) => {
-                return Err(CheckpointError::Io {
-                    path: path.to_path_buf(),
-                    message: e.to_string(),
-                })
-            }
         };
         let mut records: Vec<JournalRecord> = Vec::new();
         let mut offset = 0usize;
         while let Some((payload, end)) = next_record(&bytes, offset) {
-            records.push(decode_record(payload, path, records.len() + 1)?);
+            records.push(decode_record(payload, display, records.len() + 1)?);
             offset = end;
         }
         let report = SalvageReport {
@@ -563,18 +643,17 @@ impl UnitJournal {
     /// Truncate the file at `path` to its last valid record, making a
     /// torn journal clean. Returns what was salvaged.
     pub fn salvage(path: &Path) -> Result<SalvageReport, CheckpointError> {
-        let (_, report) = Self::replay(path)?;
+        let (store, key) = file_store(path)?;
+        Self::salvage_in(&store, &key)
+    }
+
+    /// Backend-generic [`Self::salvage`].
+    pub fn salvage_in(store: &Store, key: &str) -> Result<SalvageReport, CheckpointError> {
+        let (_, report) = Self::replay_in(store, key)?;
         if report.torn_bytes > 0 {
-            let io_err = |e: std::io::Error| CheckpointError::Io {
-                path: path.to_path_buf(),
-                message: e.to_string(),
-            };
-            let f = fs::OpenOptions::new()
-                .write(true)
-                .open(path)
-                .map_err(io_err)?;
-            f.set_len(report.valid_bytes).map_err(io_err)?;
-            f.sync_all().map_err(io_err)?;
+            store
+                .truncate(key, report.valid_bytes)
+                .map_err(|e| store_io(Path::new(key), e))?;
         }
         Ok(report)
     }

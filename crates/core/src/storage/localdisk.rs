@@ -1,0 +1,359 @@
+//! The local-filesystem backend — the extraction of the fsync/rename
+//! code that used to live (three times over) in checkpoint save,
+//! journal open/append, and port-file publication.
+
+use super::{check_key, classify_io, StorageBackend, StorageError};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Durably flush a directory so a rename (or create) inside it survives
+/// power loss, not just a process crash. POSIX only guarantees the new
+/// directory entry is on disk after the *directory* itself is fsynced.
+/// Best-effort: filesystems that refuse fsync on directory handles (or
+/// platforms where directories cannot be opened) keep the weaker
+/// process-crash guarantee the atomic rename already provides.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// [`StorageBackend`] over a root directory. Keys map to relative
+/// paths under the root; the byte formats (checkpoint text, journal
+/// records, `pid <N>\n` lock files) are exactly what the pre-trait
+/// code wrote, so artifacts from older runs load unchanged.
+#[derive(Debug, Clone)]
+pub struct LocalDisk {
+    root: PathBuf,
+}
+
+impl LocalDisk {
+    /// A backend rooted at `root` (created lazily on first write).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        LocalDisk { root: root.into() }
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, op: &'static str, key: &str) -> Result<PathBuf, StorageError> {
+        check_key("localdisk", op, key)?;
+        Ok(self.root.join(key))
+    }
+
+    fn io(&self, op: &'static str, key: &str, e: &std::io::Error) -> StorageError {
+        StorageError {
+            backend: "localdisk",
+            op,
+            key: key.to_string(),
+            class: classify_io(e),
+            message: e.to_string(),
+        }
+    }
+
+    /// Create `path`'s parent directories (a key like `a/b/c` implies
+    /// `a/b` must exist before `c` can be written).
+    fn ensure_parent(&self, op: &'static str, key: &str, path: &Path) -> Result<(), StorageError> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).map_err(|e| self.io(op, key, &e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write `bytes` to `<path>.tmp`, fsync, and return the tmp path —
+    /// the first half of both `put_atomic` and the crash-debris hook.
+    fn write_tmp(
+        &self,
+        op: &'static str,
+        key: &str,
+        path: &Path,
+        bytes: &[u8],
+    ) -> Result<PathBuf, StorageError> {
+        self.ensure_parent(op, key, path)?;
+        let tmp = tmp_path(path);
+        let mut f = fs::File::create(&tmp).map_err(|e| self.io(op, key, &e))?;
+        f.write_all(bytes)
+            .and_then(|()| f.sync_all())
+            .map_err(|e| {
+                // Half a tmp file helps no one; best-effort cleanup.
+                let _ = fs::remove_file(&tmp);
+                self.io(op, key, &e)
+            })?;
+        Ok(tmp)
+    }
+
+    /// Publish a fully-synced tmp file over `path`: atomic rename, then
+    /// parent-directory fsync for power-loss durability.
+    fn publish_tmp(
+        &self,
+        op: &'static str,
+        key: &str,
+        tmp: &Path,
+        path: &Path,
+    ) -> Result<(), StorageError> {
+        fs::rename(tmp, path).map_err(|e| {
+            let _ = fs::remove_file(tmp);
+            self.io(op, key, &e)
+        })?;
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                sync_dir(dir);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The temporary-file sibling of `path` (`<path>.tmp`, with the tmp
+/// suffix appended so `a.ckpt` and `a.journal` never share one).
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+impl StorageBackend for LocalDisk {
+    fn name(&self) -> &'static str {
+        "localdisk"
+    }
+
+    fn put_atomic(&self, key: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        let op = "put_atomic";
+        let path = self.path(op, key)?;
+        let tmp = self.write_tmp(op, key, &path, bytes)?;
+        self.publish_tmp(op, key, &tmp, &path)
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StorageError> {
+        let path = self.path("get", key)?;
+        match fs::read(&path) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(self.io("get", key, &e)),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StorageError> {
+        // Walk from the deepest existing directory implied by the
+        // prefix; a root that does not exist yet lists empty.
+        let (dir, _) = match prefix.rfind('/') {
+            Some(i) => (self.root.join(&prefix[..i]), &prefix[..=i]),
+            None => (self.root.clone(), ""),
+        };
+        let mut out = Vec::new();
+        let mut stack = vec![dir];
+        while let Some(d) = stack.pop() {
+            let entries = match fs::read_dir(&d) {
+                Ok(it) => it,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(self.io("list", prefix, &e)),
+            };
+            for entry in entries {
+                let entry = entry.map_err(|e| self.io("list", prefix, &e))?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                    continue;
+                }
+                if let Ok(rel) = path.strip_prefix(&self.root) {
+                    let key = rel.to_string_lossy().replace('\\', "/");
+                    if key.starts_with(prefix) {
+                        out.push(key);
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn append_durable(&self, key: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        let op = "append_durable";
+        let path = self.path(op, key)?;
+        self.ensure_parent(op, key, &path)?;
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| self.io(op, key, &e))?;
+        f.write_all(bytes)
+            .and_then(|()| f.sync_all())
+            .map_err(|e| self.io(op, key, &e))
+    }
+
+    fn len(&self, key: &str) -> Result<Option<u64>, StorageError> {
+        let path = self.path("len", key)?;
+        match fs::metadata(&path) {
+            Ok(m) => Ok(Some(m.len())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(self.io("len", key, &e)),
+        }
+    }
+
+    fn truncate(&self, key: &str, len: u64) -> Result<(), StorageError> {
+        let op = "truncate";
+        let path = self.path(op, key)?;
+        if len == 0 {
+            // Journal reset: create-if-missing semantics.
+            self.ensure_parent(op, key, &path)?;
+        }
+        let f = fs::OpenOptions::new()
+            .write(true)
+            .create(len == 0)
+            .open(&path)
+            .map_err(|e| self.io(op, key, &e))?;
+        f.set_len(len)
+            .and_then(|()| f.sync_all())
+            .map_err(|e| self.io(op, key, &e))
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StorageError> {
+        let path = self.path("delete", key)?;
+        match fs::remove_file(&path) {
+            Ok(()) => {
+                if let Some(dir) = path.parent() {
+                    if !dir.as_os_str().is_empty() {
+                        sync_dir(dir);
+                    }
+                }
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(self.io("delete", key, &e)),
+        }
+    }
+
+    fn compare_and_swap(
+        &self,
+        key: &str,
+        expected: Option<&[u8]>,
+        new: &[u8],
+    ) -> Result<bool, StorageError> {
+        let op = "compare_and_swap";
+        let path = self.path(op, key)?;
+        match expected {
+            None => {
+                // Create-if-absent: write the value to a private tmp,
+                // then hard-link it into place. `link` fails with
+                // EEXIST if the key appeared concurrently — an atomic
+                // existence check that publishes the full content, the
+                // property advisory locks need.
+                let tmp = self.write_tmp(op, key, &path, new)?;
+                let linked = fs::hard_link(&tmp, &path);
+                let _ = fs::remove_file(&tmp);
+                match linked {
+                    Ok(()) => {
+                        if let Some(dir) = path.parent() {
+                            if !dir.as_os_str().is_empty() {
+                                sync_dir(dir);
+                            }
+                        }
+                        Ok(true)
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(false),
+                    Err(e) => Err(self.io(op, key, &e)),
+                }
+            }
+            Some(want) => {
+                // Read-compare-replace. The replace is atomic
+                // (tmp + rename), but the compare is advisory: the
+                // window between read and rename is closed in practice
+                // because every swap on a given key happens under the
+                // key's own lock protocol (takeover swaps a lock whose
+                // owner is dead).
+                match fs::read(&path) {
+                    Ok(cur) if cur == want => {}
+                    Ok(_) => return Ok(false),
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+                    Err(e) => return Err(self.io(op, key, &e)),
+                }
+                let tmp = self.write_tmp(op, key, &path, new)?;
+                self.publish_tmp(op, key, &tmp, &path)?;
+                Ok(true)
+            }
+        }
+    }
+
+    fn spill_tmp(&self, key: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        let op = "spill_tmp";
+        let path = self.path(op, key)?;
+        // The exact debris a crash between write_tmp and publish_tmp
+        // leaves: a synced stray `<key>.tmp`, target untouched.
+        self.write_tmp(op, key, &path, bytes)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::LockOutcome;
+
+    fn fresh(name: &str) -> LocalDisk {
+        let root = std::env::temp_dir().join(format!("sbgp_localdisk_{name}"));
+        let _ = fs::remove_dir_all(&root);
+        LocalDisk::new(root)
+    }
+
+    #[test]
+    fn put_atomic_replaces_and_cleans_tmp() {
+        let d = fresh("put");
+        d.put_atomic("a/b.txt", b"one").unwrap();
+        assert_eq!(d.get("a/b.txt").unwrap().unwrap(), b"one");
+        d.put_atomic("a/b.txt", b"two").unwrap();
+        assert_eq!(d.get("a/b.txt").unwrap().unwrap(), b"two");
+        assert!(!d.root().join("a/b.txt.tmp").exists());
+    }
+
+    #[test]
+    fn cas_create_races_lose_cleanly() {
+        let d = fresh("cas");
+        assert!(d.compare_and_swap("lock", None, b"pid 1\n").unwrap());
+        assert!(!d.compare_and_swap("lock", None, b"pid 2\n").unwrap());
+        assert_eq!(d.get("lock").unwrap().unwrap(), b"pid 1\n");
+        assert!(d
+            .compare_and_swap("lock", Some(b"pid 1\n"), b"pid 3\n")
+            .unwrap());
+        assert!(!d
+            .compare_and_swap("lock", Some(b"pid 1\n"), b"pid 4\n")
+            .unwrap());
+        assert_eq!(d.get("lock").unwrap().unwrap(), b"pid 3\n");
+    }
+
+    #[test]
+    fn lock_protocol_round_trips() {
+        let d = fresh("lockproto");
+        assert_eq!(d.try_lock("l", "pid 10").unwrap(), LockOutcome::Acquired);
+        // Re-entrant for the same owner.
+        assert_eq!(d.try_lock("l", "pid 10").unwrap(), LockOutcome::Acquired);
+        assert_eq!(
+            d.try_lock("l", "pid 11").unwrap(),
+            LockOutcome::Held {
+                owner: "pid 10".into()
+            }
+        );
+        assert!(d.takeover("l", "pid 10", "pid 11").unwrap());
+        assert!(!d.takeover("l", "pid 10", "pid 12").unwrap());
+        d.unlock("l", "pid 10").unwrap(); // not the holder: no-op
+        assert!(d.get("l").unwrap().is_some());
+        d.unlock("l", "pid 11").unwrap();
+        assert!(d.get("l").unwrap().is_none());
+    }
+
+    #[test]
+    fn spill_tmp_leaves_target_untouched() {
+        let d = fresh("spill");
+        d.put_atomic("x.ckpt", b"old").unwrap();
+        d.spill_tmp("x.ckpt", b"new-but-unpublished").unwrap();
+        assert_eq!(d.get("x.ckpt").unwrap().unwrap(), b"old");
+        assert_eq!(
+            fs::read(d.root().join("x.ckpt.tmp")).unwrap(),
+            b"new-but-unpublished"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! The in-memory backend: a `HashMap` behind a mutex. Used by tests
+//! (backend-conformance, `doctor`'s backend-uniform validation) and by
+//! the future `repro serve` daemon, which holds sweep state without a
+//! scratch directory. Durability is trivially "until the process
+//! exits" — the *semantics* (atomic replace, CAS, lock protocol) are
+//! identical to [`super::LocalDisk`].
+
+use super::{check_key, ErrorClass, StorageBackend, StorageError};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// [`StorageBackend`] over a process-local map.
+#[derive(Debug, Default)]
+pub struct InMemory {
+    map: Mutex<HashMap<String, Vec<u8>>>,
+}
+
+impl InMemory {
+    /// An empty store.
+    pub fn new() -> Self {
+        InMemory::default()
+    }
+
+    fn poisoned(&self, op: &'static str, key: &str) -> StorageError {
+        StorageError {
+            backend: "memory",
+            op,
+            key: key.to_string(),
+            class: ErrorClass::Permanent,
+            message: "store mutex poisoned".into(),
+        }
+    }
+
+    fn lock<'a>(
+        &'a self,
+        op: &'static str,
+        key: &str,
+    ) -> Result<std::sync::MutexGuard<'a, HashMap<String, Vec<u8>>>, StorageError> {
+        self.map.lock().map_err(|_| self.poisoned(op, key))
+    }
+}
+
+impl StorageBackend for InMemory {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn put_atomic(&self, key: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        check_key("memory", "put_atomic", key)?;
+        self.lock("put_atomic", key)?
+            .insert(key.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, StorageError> {
+        check_key("memory", "get", key)?;
+        Ok(self.lock("get", key)?.get(key).cloned())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, StorageError> {
+        let mut out: Vec<String> = self
+            .lock("list", prefix)?
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    fn append_durable(&self, key: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        check_key("memory", "append_durable", key)?;
+        self.lock("append_durable", key)?
+            .entry(key.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn len(&self, key: &str) -> Result<Option<u64>, StorageError> {
+        check_key("memory", "len", key)?;
+        Ok(self.lock("len", key)?.get(key).map(|v| v.len() as u64))
+    }
+
+    fn truncate(&self, key: &str, len: u64) -> Result<(), StorageError> {
+        check_key("memory", "truncate", key)?;
+        let mut map = self.lock("truncate", key)?;
+        match map.get_mut(key) {
+            Some(v) => {
+                if (len as usize) < v.len() {
+                    v.truncate(len as usize);
+                }
+                Ok(())
+            }
+            None if len == 0 => {
+                // Journal reset on a never-written journal.
+                map.insert(key.to_string(), Vec::new());
+                Ok(())
+            }
+            None => Err(StorageError {
+                backend: "memory",
+                op: "truncate",
+                key: key.to_string(),
+                class: ErrorClass::Permanent,
+                message: format!("cannot truncate missing key to {len} bytes"),
+            }),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<(), StorageError> {
+        check_key("memory", "delete", key)?;
+        self.lock("delete", key)?.remove(key);
+        Ok(())
+    }
+
+    fn compare_and_swap(
+        &self,
+        key: &str,
+        expected: Option<&[u8]>,
+        new: &[u8],
+    ) -> Result<bool, StorageError> {
+        check_key("memory", "compare_and_swap", key)?;
+        let mut map = self.lock("compare_and_swap", key)?;
+        let matches = match (map.get(key), expected) {
+            (None, None) => true,
+            (Some(cur), Some(want)) => cur.as_slice() == want,
+            _ => false,
+        };
+        if matches {
+            map.insert(key.to_string(), new.to_vec());
+        }
+        Ok(matches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_missing_creates_only_empty() {
+        let m = InMemory::new();
+        m.truncate("j", 0).unwrap();
+        assert_eq!(m.len("j").unwrap(), Some(0));
+        assert!(m.truncate("other", 5).is_err());
+    }
+
+    #[test]
+    fn append_then_truncate_back() {
+        let m = InMemory::new();
+        m.append_durable("j", b"hello ").unwrap();
+        m.append_durable("j", b"world").unwrap();
+        assert_eq!(m.get("j").unwrap().unwrap(), b"hello world");
+        m.truncate("j", 6).unwrap();
+        assert_eq!(m.get("j").unwrap().unwrap(), b"hello ");
+    }
+}

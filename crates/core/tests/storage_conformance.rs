@@ -1,0 +1,238 @@
+//! Backend-conformance suite for the storage layer.
+//!
+//! Every [`StorageBackend`] must satisfy the same observable contract —
+//! the sweeps, checkpoints, and journals built on top never know which
+//! backend they run on. The suite below runs verbatim against
+//! `LocalDisk`, `InMemory`, and a `FaultStore`-wrapped `LocalDisk`
+//! under a fault schedule plus the default retry policy (proving that
+//! retried transient faults are contract-invisible).
+
+use sbgp_core::storage::{DiskChaosProfile, InMemory, LocalDisk, LockOutcome, Store};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sbgp-storeconf-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every Store the suite must hold for, named for failure messages.
+fn backends(tag: &str) -> Vec<(&'static str, Store, Option<PathBuf>)> {
+    let d1 = tmp_dir(&format!("{tag}-disk"));
+    let d2 = tmp_dir(&format!("{tag}-fault"));
+    let profile =
+        DiskChaosProfile::parse("eio=0.1,enospc=0.05,torn=0.05,crash=0.05,corrupt=0.05,seed=99")
+            .unwrap();
+    vec![
+        ("localdisk", Store::localdisk(&d1), Some(d1)),
+        ("inmemory", Store::in_memory(), None),
+        (
+            "fault(localdisk)",
+            Store::with_chaos(LocalDisk::new(&d2), profile),
+            Some(d2),
+        ),
+    ]
+}
+
+fn cleanup(dir: Option<PathBuf>) {
+    if let Some(dir) = dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn put_get_overwrite_delete() {
+    for (name, store, dir) in backends("putget") {
+        assert_eq!(store.get("k").unwrap(), None, "{name}");
+        store.put_atomic("k", b"one").unwrap();
+        assert_eq!(
+            store.get("k").unwrap().as_deref(),
+            Some(&b"one"[..]),
+            "{name}"
+        );
+        store.put_atomic("k", b"two").unwrap();
+        assert_eq!(
+            store.get("k").unwrap().as_deref(),
+            Some(&b"two"[..]),
+            "{name}"
+        );
+        store.delete("k").unwrap();
+        assert_eq!(store.get("k").unwrap(), None, "{name}");
+        // Deleting a missing key is not an error (cleanup is idempotent).
+        store.delete("k").unwrap();
+        cleanup(dir);
+    }
+}
+
+#[test]
+fn nested_keys_and_prefix_list() {
+    for (name, store, dir) in backends("list") {
+        store.put_atomic("checkpoints/a.ckpt", b"A").unwrap();
+        store.put_atomic("checkpoints/b.ckpt", b"B").unwrap();
+        store.put_atomic("other/c.csv", b"C").unwrap();
+        let mut under = store.list("checkpoints/").unwrap();
+        under.sort();
+        assert_eq!(
+            under,
+            vec![
+                "checkpoints/a.ckpt".to_string(),
+                "checkpoints/b.ckpt".to_string()
+            ],
+            "{name}"
+        );
+        let all = store.list("").unwrap();
+        assert_eq!(all.len(), 3, "{name}: {all:?}");
+        assert_eq!(
+            store.list("nosuch/").unwrap(),
+            Vec::<String>::new(),
+            "{name}"
+        );
+        cleanup(dir);
+    }
+}
+
+#[test]
+fn append_len_truncate() {
+    for (name, store, dir) in backends("append") {
+        assert_eq!(store.len("j").unwrap(), None, "{name}");
+        store.append_durable("j", b"aaa").unwrap();
+        store.append_durable("j", b"bbb").unwrap();
+        assert_eq!(store.len("j").unwrap(), Some(6), "{name}");
+        assert_eq!(
+            store.get("j").unwrap().as_deref(),
+            Some(&b"aaabbb"[..]),
+            "{name}"
+        );
+        store.truncate("j", 3).unwrap();
+        assert_eq!(
+            store.get("j").unwrap().as_deref(),
+            Some(&b"aaa"[..]),
+            "{name}"
+        );
+        store.truncate("j", 0).unwrap();
+        assert_eq!(store.len("j").unwrap(), Some(0), "{name}");
+        // truncate-to-zero on a missing key creates it empty (journal
+        // open semantics); any other length on a missing key is an
+        // error, not silent extension.
+        store.truncate("fresh", 0).unwrap();
+        assert_eq!(store.len("fresh").unwrap(), Some(0), "{name}");
+        assert!(store.truncate("missing", 4).is_err(), "{name}");
+        cleanup(dir);
+    }
+}
+
+#[test]
+fn compare_and_swap_contract() {
+    for (name, store, dir) in backends("cas") {
+        // Create-if-absent: first writer wins.
+        assert!(
+            store.compare_and_swap("c", None, b"first").unwrap(),
+            "{name}"
+        );
+        assert!(
+            !store.compare_and_swap("c", None, b"second").unwrap(),
+            "{name}"
+        );
+        assert_eq!(
+            store.get("c").unwrap().as_deref(),
+            Some(&b"first"[..]),
+            "{name}"
+        );
+        // Swap: succeeds only from the expected value.
+        assert!(
+            !store.compare_and_swap("c", Some(b"wrong"), b"x").unwrap(),
+            "{name}"
+        );
+        assert!(
+            store
+                .compare_and_swap("c", Some(b"first"), b"next")
+                .unwrap(),
+            "{name}"
+        );
+        assert_eq!(
+            store.get("c").unwrap().as_deref(),
+            Some(&b"next"[..]),
+            "{name}"
+        );
+        // Swap against a missing key fails cleanly.
+        assert!(
+            !store.compare_and_swap("nope", Some(b"v"), b"x").unwrap(),
+            "{name}"
+        );
+        cleanup(dir);
+    }
+}
+
+#[test]
+fn lock_protocol() {
+    for (name, store, dir) in backends("lock") {
+        assert!(
+            matches!(store.try_lock("l", "pid 1").unwrap(), LockOutcome::Acquired),
+            "{name}"
+        );
+        // Re-entrant for the same owner.
+        assert!(
+            matches!(store.try_lock("l", "pid 1").unwrap(), LockOutcome::Acquired),
+            "{name}"
+        );
+        match store.try_lock("l", "pid 2").unwrap() {
+            LockOutcome::Held { owner } => assert_eq!(owner, "pid 1", "{name}"),
+            other => panic!("{name}: expected Held, got {other:?}"),
+        }
+        // Takeover moves the lock only from the expected owner.
+        assert!(!store.takeover("l", "pid 99", "pid 2").unwrap(), "{name}");
+        assert!(store.takeover("l", "pid 1", "pid 2").unwrap(), "{name}");
+        // Unlock by a non-owner is a no-op; by the owner it releases.
+        store.unlock("l", "pid 1").unwrap();
+        assert!(
+            matches!(
+                store.try_lock("l", "pid 3").unwrap(),
+                LockOutcome::Held { .. }
+            ),
+            "{name}"
+        );
+        store.unlock("l", "pid 2").unwrap();
+        assert!(
+            matches!(store.try_lock("l", "pid 3").unwrap(), LockOutcome::Acquired),
+            "{name}"
+        );
+        cleanup(dir);
+    }
+}
+
+#[test]
+fn keys_are_validated_uniformly() {
+    for (name, store, dir) in backends("keys") {
+        for bad in ["", "/abs", "a/../b", "a//b", "../up"] {
+            let err = store.put_atomic(bad, b"x").unwrap_err();
+            assert!(!err.is_transient(), "{name}: {bad:?} must be permanent");
+        }
+        cleanup(dir);
+    }
+}
+
+/// The `LocalDisk` layout is plain files under the root — existing
+/// artifacts written by older code load through the trait unchanged.
+#[test]
+fn localdisk_is_plain_files() {
+    let dir = tmp_dir("plain");
+    std::fs::create_dir_all(dir.join("checkpoints")).unwrap();
+    std::fs::write(dir.join("checkpoints/old.ckpt"), b"legacy bytes").unwrap();
+    let store = Store::localdisk(&dir);
+    assert_eq!(
+        store.get("checkpoints/old.ckpt").unwrap().as_deref(),
+        Some(&b"legacy bytes"[..])
+    );
+    store.put_atomic("fig9.csv", b"h\n1\n").unwrap();
+    assert_eq!(std::fs::read(dir.join("fig9.csv")).unwrap(), b"h\n1\n");
+    // InMemory holds the same contract without any filesystem at all.
+    let mem = InMemory::default();
+    let mem = Store::new(mem);
+    mem.put_atomic("fig9.csv", b"h\n1\n").unwrap();
+    assert_eq!(
+        mem.get("fig9.csv").unwrap().as_deref(),
+        Some(&b"h\n1\n"[..])
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -131,10 +131,11 @@ pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
         .clone()
         .unwrap_or_else(|| std::path::PathBuf::from("results"));
     let path = dir.join("BENCH_engine.json");
-    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &json)) {
-        eprintln!("warning: failed to write {}: {e}", path.display());
-    } else {
-        println!("[bench] wrote {}", path.display());
-    }
+    // Atomic replace through the artifact store: a crash mid-write
+    // never leaves a torn history file, and a failed write fails the
+    // command instead of silently dropping the benchmark record.
+    opts.storage_at(&dir)
+        .put_atomic("BENCH_engine.json", json.as_bytes())?;
+    println!("[bench] wrote {}", path.display());
     Ok(())
 }

@@ -49,7 +49,7 @@ pub fn fig3(opts: &Options) -> Result<(), ExperimentError> {
             r.secure_isps_after.to_string(),
         ]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     println!(
         "outcome: {:?}; final secure: {} of ASes, {} of ISPs",
         res.outcome,
@@ -113,7 +113,7 @@ pub fn fig4(opts: &Options) -> Result<(), ExperimentError> {
         }
         t.row(row);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     Ok(())
 }
 
@@ -133,7 +133,7 @@ pub fn fig5(opts: &Options) -> Result<(), ExperimentError> {
     for (round, med_u, med_p) in metrics::adopter_utility_series(&res) {
         t.row(vec![round.to_string(), f3(med_u), f3(med_p)]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     Ok(())
 }
 
@@ -154,7 +154,7 @@ pub fn fig6(opts: &Options) -> Result<(), ExperimentError> {
         row.extend(snap.iter().map(|&v| f3(v)));
         t.row(row);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     // The paper's companion observation: the holdouts are
     // low-degree ISPs serving single-homed stubs.
     let holdouts: Vec<_> = g.isps().filter(|&n| !res.final_state.get(n)).collect();

@@ -26,7 +26,7 @@ pub fn fig10(opts: &Options) -> Result<(), ExperimentError> {
             ]);
         }
     }
-    t.emit(opts);
+    t.emit(opts)?;
 
     let mut s = Table::new("fig10_tiebreak_summary", &["statistic", "value", "paper"]);
     s.row(vec![
@@ -59,6 +59,6 @@ pub fn fig10(opts: &Options) -> Result<(), ExperimentError> {
         pct(census.security_sensitive_fraction()),
         "~3.5%".into(),
     ]);
-    s.emit(opts);
+    s.emit(opts)?;
     Ok(())
 }

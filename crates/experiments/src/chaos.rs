@@ -15,6 +15,15 @@
 //! one-way partitions, and finally a SIGKILL of the coordinator itself
 //! mid-sweep followed by `--resume` against the same live fleet. Every
 //! schedule must land the same bytes as the clean single-process run.
+//!
+//! With `--storage`, the torture moves to the disk: the sweep's
+//! artifact store runs under seeded disk-fault schedules — injected
+//! EIO, ENOSPC, torn and short writes, crash-before-rename, detected
+//! read corruption, latency — and the last schedule SIGKILLs the run
+//! after its first checkpoint write, then `--resume`s under the same
+//! fault profile. The figure CSV must come out byte-identical to the
+//! clean run under every schedule: disk faults may cost retries,
+//! never answers.
 
 use crate::cli::Options;
 use crate::error::ExperimentError;
@@ -37,6 +46,9 @@ pub fn chaos(opts: &Options) -> Result<(), ExperimentError> {
         .join("chaos");
     if opts.net {
         return chaos_net(opts, &base);
+    }
+    if opts.storage {
+        return chaos_storage(opts, &base);
     }
 
     let mut reference = opts.clone();
@@ -193,10 +205,98 @@ fn chaos_net(opts: &Options, base: &Path) -> Result<(), ExperimentError> {
     Ok(())
 }
 
-/// Launch a child coordinator running the torture sweep against the
-/// fleet, wait for its first checkpoint write, and SIGKILL it — no
-/// cleanup handlers run, so the lock, journal (with live leases), and
-/// partial checkpoint are left exactly as a crash leaves them.
+// ---------------------------------------------------------------------
+// `chaos --storage`: disk-fault torture through the artifact store
+// ---------------------------------------------------------------------
+
+/// The seeded disk-fault schedules the storage layer must survive.
+/// Each is a [`sbgp_core::storage::DiskChaosProfile`] spec wrapped
+/// around the sweep's `LocalDisk` store; the third schedule
+/// additionally SIGKILLs the run after its first checkpoint write and
+/// `--resume`s under the same fault profile.
+const DISK_SCHEDULES: [(&str, &str); 3] = [
+    (
+        "disk-flaky",
+        "eio=0.05,corrupt=0.03,latency=0.05,latency-ms=2,seed=7",
+    ),
+    ("disk-enospc", "enospc=0.05,torn=0.04,seed=11"),
+    ("disk-resume", "eio=0.03,crash=0.04,torn=0.03,seed=13"),
+];
+
+fn chaos_storage(opts: &Options, base: &Path) -> Result<(), ExperimentError> {
+    let mut reference = opts.clone();
+    reference.out = Some(base.join("reference"));
+    reference.process_shards = 0;
+    reference.kill_workers = 0.0;
+    reference.workers = Vec::new();
+    reference.net_chaos = None;
+    reference.disk_chaos = None;
+    reference.resume = false;
+    reference.checkpoint_every = 0;
+    eprintln!("[chaos] reference run (single process, no faults)");
+    sweeps::fig9(&reference)?;
+    let ref_csv = base.join("reference").join(FIGURE_CSV);
+    let want = std::fs::read(&ref_csv)
+        .map_err(|e| ExperimentError::Harness(format!("reading {}: {e}", ref_csv.display())))?;
+
+    for (name, spec) in DISK_SCHEDULES {
+        let dir = base.join(name);
+        let mut torture = opts.clone();
+        torture.out = Some(dir.clone());
+        torture.process_shards = 0;
+        torture.kill_workers = 0.0;
+        torture.workers = Vec::new();
+        torture.net_chaos = None;
+        torture.disk_chaos = Some(
+            sbgp_core::storage::DiskChaosProfile::parse(spec)
+                .map_err(|e| ExperimentError::Harness(format!("schedule {name}: {e}")))?,
+        );
+        // Persistence every unit, so every schedule hammers the
+        // checkpoint save, journal append, and lock paths — not just
+        // the final CSV write.
+        torture.checkpoint_every = 1;
+        torture.resume = false;
+
+        if name == "disk-resume" {
+            eprintln!("[chaos] schedule {name} ({spec}): SIGKILL mid-sweep, then --resume");
+            sigkill_coordinator_mid_sweep(&torture, &dir)?;
+            torture.resume = true;
+        } else {
+            eprintln!("[chaos] schedule {name} ({spec})");
+        }
+        sweeps::fig9(&torture)?;
+
+        let got_csv = dir.join(FIGURE_CSV);
+        let got = std::fs::read(&got_csv)
+            .map_err(|e| ExperimentError::Harness(format!("reading {}: {e}", got_csv.display())))?;
+        if got != want {
+            return Err(ExperimentError::Harness(format!(
+                "chaos --storage: {FIGURE_CSV} differs under schedule {name} ({spec}) \
+                 ({} vs {}) — disk-fault recovery changed results",
+                ref_csv.display(),
+                got_csv.display()
+            )));
+        }
+        eprintln!(
+            "[chaos] schedule {name}: byte-identical ({} bytes)",
+            got.len()
+        );
+    }
+    println!(
+        "[chaos] PASS: {} byte-identical across {} disk-fault schedule(s) ({} bytes)",
+        FIGURE_CSV,
+        DISK_SCHEDULES.len(),
+        want.len()
+    );
+    Ok(())
+}
+
+/// Launch a child coordinator running the torture sweep, wait for its
+/// first checkpoint write, and SIGKILL it — no cleanup handlers run,
+/// so the lock, journal (with live leases), and partial checkpoint are
+/// left exactly as a crash leaves them. Supervision flags (workers,
+/// chaos profiles) are reconstructed from `torture`, so the same
+/// staging works for `--net` and `--storage` schedules.
 fn sigkill_coordinator_mid_sweep(torture: &Options, dir: &Path) -> Result<(), ExperimentError> {
     let exe = std::env::current_exe()
         .map_err(|e| ExperimentError::Harness(format!("current_exe: {e}")))?;
@@ -206,19 +306,28 @@ fn sigkill_coordinator_mid_sweep(torture: &Options, dir: &Path) -> Result<(), Ex
     std::fs::create_dir_all(dir)
         .and_then(|()| std::fs::write(&cfg, torture.to_worker_config()))
         .map_err(|e| ExperimentError::Harness(format!("writing {}: {e}", cfg.display())))?;
-    let spec = torture
-        .net_chaos
-        .as_ref()
-        .map(|p| p.spec())
-        .unwrap_or_default();
-    let mut child = Command::new(&exe)
-        .arg("fig9")
+    let mut cmd = Command::new(&exe);
+    cmd.arg("fig9")
         .args(["--config".as_ref(), cfg.as_os_str()])
         .args(["--out".as_ref(), dir.as_os_str()])
-        .args(["--workers", &torture.workers.join(",")])
-        .args(["--net-chaos", &spec])
-        .args(["--lease-secs", "10", "--watchdog-secs", "15"])
-        .args(["--checkpoint-every", "1"])
+        .args(["--checkpoint-every", "1"]);
+    if !torture.workers.is_empty() {
+        // Tight lease/watchdog so partition-eaten Assign frames
+        // requeue in seconds, not minutes.
+        cmd.args(["--workers", &torture.workers.join(",")]).args([
+            "--lease-secs",
+            "10",
+            "--watchdog-secs",
+            "15",
+        ]);
+    }
+    if let Some(profile) = &torture.net_chaos {
+        cmd.args(["--net-chaos", &profile.spec()]);
+    }
+    if let Some(profile) = &torture.disk_chaos {
+        cmd.args(["--disk-chaos", &profile.spec()]);
+    }
+    let mut child = cmd
         .stdout(Stdio::null())
         .stderr(Stdio::null())
         .spawn()
@@ -239,7 +348,7 @@ fn sigkill_coordinator_mid_sweep(torture: &Options, dir: &Path) -> Result<(), Ex
         let _ = child.kill();
         let _ = child.wait();
         return Err(ExperimentError::Harness(
-            "chaos --net: no checkpoint appeared within 120s; cannot stage the crash".into(),
+            "chaos: no checkpoint appeared within 120s; cannot stage the crash".into(),
         ));
     }
     child

@@ -25,6 +25,10 @@ pub struct Options {
     /// `chaos --net`: torture the TCP worker transport under seeded
     /// network-fault schedules instead of (only) process kills.
     pub net: bool,
+    /// `chaos --storage`: torture the durable-artifact store under
+    /// seeded disk-fault schedules (EIO, ENOSPC, torn writes,
+    /// crash-before-rename, read corruption) instead of process kills.
+    pub storage: bool,
     /// Resume sweep commands from their checkpoint file.
     pub resume: bool,
     /// Persist sweep progress every N units (0 = only with --resume).
@@ -76,6 +80,10 @@ pub struct Options {
     /// worker link (drops, dups, delays, torn frames, partitions).
     /// `None` = clean links.
     pub net_chaos: Option<sbgp_core::supervise::ChaosProfile>,
+    /// Chaos: seeded disk-fault schedule applied to every durable
+    /// artifact the run writes (checkpoints, journals, locks, figure
+    /// CSVs). `None` = a clean disk.
+    pub disk_chaos: Option<sbgp_core::storage::DiskChaosProfile>,
     /// Keep at least this many remote links live; when the remote pool
     /// drains below it, the coordinator degrades gracefully by
     /// spawning local process-shard workers instead.
@@ -99,6 +107,7 @@ impl Default for Options {
             out: None,
             census: false,
             net: false,
+            storage: false,
             resume: false,
             checkpoint_every: 0,
             fail_links: 0.0,
@@ -115,6 +124,7 @@ impl Default for Options {
             worker_mem_mb: 0,
             workers: Vec::new(),
             net_chaos: None,
+            disk_chaos: None,
             remote_floor: 1,
             lease_secs: 120.0,
             deadline_at: None,
@@ -140,7 +150,7 @@ impl Options {
                         .map_err(|e| format!("--config {path}: {e}"))?;
                     apply_config(&mut o, &text).map_err(|e| format!("{path}: {e}"))?;
                 }
-                "census" | "net" | "resume" => apply(&mut o, key, "true")?,
+                "census" | "net" | "storage" | "resume" => apply(&mut o, key, "true")?,
                 _ => {
                     let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                     apply(&mut o, key, v)?;
@@ -164,6 +174,20 @@ impl Options {
     pub fn task_deadline(&self) -> Option<std::time::Duration> {
         self.task_deadline_secs
             .map(std::time::Duration::from_secs_f64)
+    }
+
+    /// The durable-artifact store rooted at `base`: plain local disk,
+    /// or — with `--disk-chaos` — local disk wrapped in the seeded
+    /// fault-injection schedule. Every artifact writer (checkpoints,
+    /// journals, locks, figure CSVs, bench history) goes through this
+    /// one constructor, so the whole persistence surface is torturable
+    /// from a single flag.
+    pub fn storage_at(&self, base: &std::path::Path) -> sbgp_core::storage::Store {
+        use sbgp_core::storage::{LocalDisk, Store};
+        match self.disk_chaos {
+            Some(profile) => Store::with_chaos(LocalDisk::new(base), profile),
+            None => Store::localdisk(base),
+        }
     }
 
     /// Render the options a shard worker needs as config-file text
@@ -260,6 +284,7 @@ fn apply(o: &mut Options, key: &str, v: &str) -> Result<(), String> {
         "out" => o.out = Some(v.into()),
         "census" => o.census = num(key, v)?,
         "net" => o.net = num(key, v)?,
+        "storage" => o.storage = num(key, v)?,
         "resume" => o.resume = num(key, v)?,
         "checkpoint-every" => o.checkpoint_every = num(key, v)?,
         "fail-links" => o.fail_links = num(key, v)?,
@@ -278,6 +303,11 @@ fn apply(o: &mut Options, key: &str, v: &str) -> Result<(), String> {
             let profile = sbgp_core::supervise::ChaosProfile::parse(v)
                 .map_err(|e| format!("--net-chaos: {e}"))?;
             o.net_chaos = profile.is_active().then_some(profile);
+        }
+        "disk-chaos" => {
+            let profile = sbgp_core::storage::DiskChaosProfile::parse(v)
+                .map_err(|e| format!("--disk-chaos: {e}"))?;
+            o.disk_chaos = profile.is_active().then_some(profile);
         }
         "remote-floor" => o.remote_floor = num(key, v)?,
         "lease-secs" => o.lease_secs = num(key, v)?,
@@ -578,6 +608,45 @@ mod tests {
         let back = Options::from_config_str(&o.to_worker_config()).unwrap();
         assert!(back.workers.is_empty());
         assert!(back.net_chaos.is_none());
+    }
+
+    #[test]
+    fn parses_disk_chaos_flags() {
+        let o = Options::parse(&[]).unwrap();
+        assert!(o.disk_chaos.is_none());
+        assert!(!o.storage);
+        let o = Options::parse(&s(&[
+            "--storage",
+            "--disk-chaos",
+            "eio=0.05,enospc=0.02,torn=0.03,crash=0.02,seed=7",
+        ]))
+        .unwrap();
+        assert!(o.storage);
+        let chaos = o.disk_chaos.unwrap();
+        assert_eq!(chaos.eio, 0.05);
+        assert_eq!(chaos.crash, 0.02);
+        assert_eq!(chaos.seed, 7);
+        // An all-zero spec means a clean disk.
+        let o = Options::parse(&s(&["--disk-chaos", "seed=9"])).unwrap();
+        assert!(o.disk_chaos.is_none());
+        let err = Options::parse(&s(&["--disk-chaos", "eio=2.0"])).unwrap_err();
+        assert!(err.contains("--disk-chaos"), "{err}");
+        // Disk chaos is a supervision knob: workers don't inherit it.
+        let o = Options::parse(&s(&["--disk-chaos", "eio=0.5"])).unwrap();
+        let back = Options::from_config_str(&o.to_worker_config()).unwrap();
+        assert!(back.disk_chaos.is_none());
+    }
+
+    #[test]
+    fn storage_at_reflects_disk_chaos() {
+        let o = Options::parse(&[]).unwrap();
+        let store = o.storage_at(std::path::Path::new("/tmp/x"));
+        assert_eq!(store.backend_name(), "localdisk");
+        assert!(store.fault_ledger().is_none());
+        let o = Options::parse(&s(&["--disk-chaos", "eio=0.5,seed=3"])).unwrap();
+        let store = o.storage_at(std::path::Path::new("/tmp/x"));
+        assert_eq!(store.backend_name(), "fault");
+        assert!(store.fault_ledger().is_some());
     }
 
     #[test]

@@ -25,9 +25,14 @@
 //! doctor salvages what it safely can — truncating torn journal tails
 //! to the last valid record and deleting stale locks and scratch
 //! dirs — and reports what it did.
+//!
+//! Validation itself runs through [`sbgp_core::storage::Store`]
+//! ([`check_artifact`]), so any backend — local disk here, in-memory
+//! in tests — is checked by exactly the same code path.
 
 use crate::error::ExperimentError;
 use sbgp_core::checkpoint::{SweepCheckpoint, UnitJournal};
+use sbgp_core::storage::Store;
 use std::path::{Path, PathBuf};
 
 /// Run the doctor over the given paths (files or directories).
@@ -112,30 +117,49 @@ fn pid_alive(pid: u32) -> bool {
 /// Validate one entry; `Ok` carries a one-line summary, `Err` a
 /// diagnostic (line- or byte-precise where the underlying parser
 /// provides it). With `fix`, salvageable problems are repaired and
-/// reported as `Ok`.
+/// reported as `Ok`. Files are checked through a `LocalDisk` store
+/// rooted at the parent directory, so the validation logic itself is
+/// backend-generic ([`check_artifact`]).
 fn check_one(path: &Path, fix: bool) -> Result<String, String> {
     if is_worker_scratch(path) {
         return check_worker_scratch(path, fix);
     }
-    let is_config = matches!(
-        path.extension().and_then(|e| e.to_str()),
-        Some("cfg") | Some("conf")
-    );
-    let is_lock = path.extension().and_then(|e| e.to_str()) == Some("lock");
-    let is_journal = path.extension().and_then(|e| e.to_str()) == Some("journal");
-    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| "path has no usable file name".to_string())?;
+    check_artifact(&Store::localdisk(dir), name, fix)
+}
+
+/// Validate the artifact stored at `key`, classifying it by key suffix
+/// and content exactly as the path-based doctor always has. Works
+/// against any [`Store`] backend — `repro doctor` hands it a
+/// `LocalDisk`, tests hand it an `InMemory`.
+pub fn check_artifact(store: &Store, key: &str, fix: bool) -> Result<String, String> {
+    let is_config = key.ends_with(".cfg") || key.ends_with(".conf");
+    let is_lock = key.ends_with(".lock");
+    let is_journal = key.ends_with(".journal");
+    let bytes = store
+        .get(key)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| "no such artifact".to_string())?;
+    let text = String::from_utf8(bytes).map_err(|_| "not valid UTF-8".to_string())?;
     if is_lock {
-        return check_lock(path, &text, fix);
+        return check_lock(store, key, &text, fix);
     }
     if is_journal || text.starts_with("rec ") {
-        return check_journal(path, fix);
+        return check_journal(store, key, fix);
     }
     if text
         .lines()
         .next()
         .is_some_and(|l| l.starts_with("sbgp-checkpoint"))
     {
-        let ckpt = SweepCheckpoint::inspect(path).map_err(|e| e.to_string())?;
+        let ckpt = SweepCheckpoint::inspect_from(store, key).map_err(|e| e.to_string())?;
         return Ok(format!("checkpoint with {} completed unit(s)", ckpt.len()));
     }
     if is_config {
@@ -158,8 +182,9 @@ fn check_one(path: &Path, fix: bool) -> Result<String, String> {
 
 /// A unit journal: replay it, reporting completed units, in-flight
 /// leases, and (or with `fix` truncating) a torn tail.
-fn check_journal(path: &Path, fix: bool) -> Result<String, String> {
-    let (records, report) = UnitJournal::replay_records(path).map_err(|e| e.to_string())?;
+fn check_journal(store: &Store, key: &str, fix: bool) -> Result<String, String> {
+    let (records, report) =
+        UnitJournal::replay_records_in(store, key).map_err(|e| e.to_string())?;
     let leases = UnitJournal::outstanding_leases(&records);
     let lease_note = if leases.is_empty() {
         String::new()
@@ -188,7 +213,7 @@ fn check_journal(path: &Path, fix: bool) -> Result<String, String> {
         ));
     }
     if fix {
-        let salvaged = UnitJournal::salvage(path).map_err(|e| e.to_string())?;
+        let salvaged = UnitJournal::salvage_in(store, key).map_err(|e| e.to_string())?;
         return Ok(format!(
             "fixed: torn journal truncated to last valid record — kept {} record(s) \
              ({} bytes), dropped {} torn byte(s)",
@@ -204,7 +229,7 @@ fn check_journal(path: &Path, fix: bool) -> Result<String, String> {
 }
 
 /// A sweep lockfile: healthy iff its owner is alive.
-fn check_lock(path: &Path, text: &str, fix: bool) -> Result<String, String> {
+fn check_lock(store: &Store, key: &str, text: &str, fix: bool) -> Result<String, String> {
     let pid: Option<u32> = text
         .strip_prefix("pid ")
         .and_then(|r| r.trim().parse().ok());
@@ -212,7 +237,7 @@ fn check_lock(path: &Path, text: &str, fix: bool) -> Result<String, String> {
         Some(pid) if pid_alive(pid) => Ok(format!("sweep lock held by live process {pid}")),
         Some(pid) => {
             if fix {
-                std::fs::remove_file(path).map_err(|e| e.to_string())?;
+                store.delete(key).map_err(|e| e.to_string())?;
                 Ok(format!(
                     "fixed: removed stale sweep lock (owner {pid} is gone)"
                 ))
@@ -257,5 +282,79 @@ fn check_worker_scratch(path: &Path, fix: bool) -> Result<String, String> {
             "leftover scratch dir: worker {pid} is gone (SIGKILLed?){in_flight}; \
              rerun with --fix to remove it"
         ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_core::checkpoint::params_fingerprint;
+
+    /// The same validation code path runs against a pure in-memory
+    /// backend: the doctor's classification is store-generic, not a
+    /// filesystem special case.
+    #[test]
+    fn check_artifact_validates_in_memory_backend() {
+        let store = Store::in_memory();
+
+        let ckpt = SweepCheckpoint::new(params_fingerprint(&["doctor-test".to_string()]));
+        ckpt.save_to(&store, "checkpoints/fig9.ckpt").unwrap();
+        let summary = check_artifact(&store, "checkpoints/fig9.ckpt", false).unwrap();
+        assert!(
+            summary.contains("checkpoint with 0 completed unit(s)"),
+            "{summary}"
+        );
+
+        UnitJournal::open_in(&store, "checkpoints/fig9.journal").unwrap();
+        let summary = check_artifact(&store, "checkpoints/fig9.journal", false).unwrap();
+        assert!(
+            summary.contains("journal with 0 complete record(s)"),
+            "{summary}"
+        );
+
+        store
+            .put_atomic("run.conf", b"ases = 250\nseed = 9\n")
+            .unwrap();
+        let summary = check_artifact(&store, "run.conf", false).unwrap();
+        assert!(summary.contains("ases=250"), "{summary}");
+
+        assert!(check_artifact(&store, "nope.ckpt", false)
+            .unwrap_err()
+            .contains("no such artifact"));
+    }
+
+    #[test]
+    fn check_artifact_fixes_torn_journal_and_stale_lock_in_memory() {
+        let store = Store::in_memory();
+
+        // A journal with a torn tail: a valid (empty) journal plus a
+        // half-written record frame, as a crash mid-append leaves it.
+        UnitJournal::open_in(&store, "s.journal").unwrap();
+        store
+            .append_durable("s.journal", b"rec 999 deadbeefdeadbeef\ntorn")
+            .unwrap();
+        let err = check_artifact(&store, "s.journal", false).unwrap_err();
+        assert!(err.contains("torn journal tail"), "{err}");
+        let summary = check_artifact(&store, "s.journal", true).unwrap();
+        assert!(
+            summary.contains("fixed: torn journal truncated"),
+            "{summary}"
+        );
+        let summary = check_artifact(&store, "s.journal", false).unwrap();
+        assert!(
+            summary.contains("journal with 0 complete record(s)"),
+            "{summary}"
+        );
+
+        // A stale lock: the recorded owner pid does not exist.
+        store.put_atomic("s.lock", b"pid 999999999\n").unwrap();
+        let err = check_artifact(&store, "s.lock", false).unwrap_err();
+        assert!(err.contains("stale sweep lock"), "{err}");
+        let summary = check_artifact(&store, "s.lock", true).unwrap();
+        assert!(
+            summary.contains("fixed: removed stale sweep lock"),
+            "{summary}"
+        );
+        assert!(store.get("s.lock").unwrap().is_none());
     }
 }

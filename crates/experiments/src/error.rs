@@ -8,6 +8,7 @@
 use sbgp_asgraph::GraphError;
 use sbgp_core::checkpoint::CheckpointError;
 use sbgp_core::resilience::ConvergenceError;
+use sbgp_core::storage::StorageError;
 use std::fmt;
 
 /// Anything that can stop an experiment command.
@@ -31,6 +32,10 @@ pub enum ExperimentError {
     /// The process-shard supervisor failed (spawn, protocol, restart
     /// budget, …).
     Supervise(sbgp_core::supervise::SuperviseError),
+    /// A durable-artifact store operation failed permanently (or
+    /// exhausted its transient-retry budget) — a figure CSV, bench
+    /// history file, or sweep lock could not be written.
+    Storage(StorageError),
     /// A harness-level invariant failed (lock contention, mismatched
     /// sharded output, …).
     Harness(String),
@@ -46,6 +51,7 @@ impl fmt::Display for ExperimentError {
                 write!(f, "doctor: {failures} file(s) failed validation")
             }
             ExperimentError::Supervise(e) => write!(f, "{e}"),
+            ExperimentError::Storage(e) => write!(f, "{e}"),
             ExperimentError::Harness(msg) => write!(f, "{msg}"),
         }
     }
@@ -59,6 +65,7 @@ impl std::error::Error for ExperimentError {
             ExperimentError::Convergence(e) => Some(e),
             ExperimentError::Doctor { .. } => None,
             ExperimentError::Supervise(e) => Some(e),
+            ExperimentError::Storage(e) => Some(e),
             ExperimentError::Harness(_) => None,
         }
     }
@@ -85,5 +92,11 @@ impl From<CheckpointError> for ExperimentError {
 impl From<ConvergenceError> for ExperimentError {
     fn from(e: ConvergenceError) -> Self {
         ExperimentError::Convergence(e)
+    }
+}
+
+impl From<StorageError> for ExperimentError {
+    fn from(e: StorageError) -> Self {
+        ExperimentError::Storage(e)
     }
 }

@@ -84,7 +84,7 @@ pub fn fig7(opts: &Options) -> Result<(), ExperimentError> {
             g.degree(n).to_string(),
         ]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     println!(
         "each AS deployed after a neighbor did, extending secure paths\n\
          outward from the early adopters — the paper's Figure 7 mechanism"
@@ -121,7 +121,7 @@ pub fn ext_resilience(opts: &Options) -> Result<(), ExperimentError> {
         )?;
         t.row(vec![i.to_string(), state.count().to_string(), f3(frac)]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     println!(
         "insecure baseline: an arbitrary attacker fools {} of ASes on average\n\
          (paper's motivation: 'about half'); deployment drives this down",
@@ -161,7 +161,7 @@ pub fn ext_theta(opts: &Options) -> Result<(), ExperimentError> {
             ]);
         }
     }
-    t.emit(opts);
+    t.emit(opts)?;
     println!("cost heterogeneity smooths the adoption cliff but preserves the regimes");
     Ok(())
 }
@@ -201,7 +201,7 @@ pub fn ext_disable(opts: &Options) -> Result<(), ExperimentError> {
             }
         }
     }
-    t.emit(opts);
+    t.emit(opts)?;
     println!(
         "{} secure ISPs could profit from selective disabling in the mid-process state\n\
          (unlike whole-network turn-off, this needs no trade-off — Section 7.1)",
@@ -248,7 +248,7 @@ pub fn ext_greedy(opts: &Options) -> Result<(), ExperimentError> {
             ]);
         }
     }
-    t.emit(opts);
+    t.emit(opts)?;
     println!("(optimal selection is NP-hard even to approximate — Theorem 6.1)");
     Ok(())
 }
@@ -280,7 +280,7 @@ pub fn ext_incoming(opts: &Options) -> Result<(), ExperimentError> {
             r.secure_ases_after.to_string(),
         ]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     let total_offs: usize = res.rounds.iter().map(|r| r.turned_off.len()).sum();
     println!(
         "outcome: {:?}; {} turn-off events along the way; final: {} of ASes secure",

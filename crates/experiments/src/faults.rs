@@ -95,7 +95,7 @@ pub fn fault(opts: &Options) -> Result<(), ExperimentError> {
             f3(deployed),
         ]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     println!(
         "deployment keeps deceiving-attacker rates below the insecure baseline even as links fail"
     );

@@ -43,7 +43,7 @@ pub fn fig2(opts: &Options) -> Result<(), ExperimentError> {
             f3(tr_b[i]),
         ]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     println!(
         "Sprint-like AS {} is secure; ASes {} and {} compete for stub {}.",
         g.asn(d.tier1),
@@ -136,7 +136,7 @@ pub fn fig13(opts: &Options) -> Result<(), ExperimentError> {
         for (asn, (dests, gain)) in rows.iter().take(15) {
             t.row(vec![asn.to_string(), dests.to_string(), f3(*gain)]);
         }
-        t.emit(opts);
+        t.emit(opts)?;
     } else {
         println!("(add --census for the Section 7.3 whole-graph search)");
     }
@@ -190,7 +190,7 @@ pub fn fig16(opts: &Options) -> Result<(), ExperimentError> {
             covered.iter().filter(|&&c| c).count().to_string(),
         ]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     println!("securing ASes with k adopters == MAX-k-COVER: NP-hard, even to approximate");
     Ok(())
 }
@@ -235,7 +235,7 @@ pub fn fig17(opts: &Options) -> Result<(), ExperimentError> {
             if on20 { "ON" } else { "OFF" }.into(),
         ]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     println!(
         "outcome: {:?} — no stable state exists on this trajectory",
         res.outcome
@@ -275,7 +275,7 @@ pub fn fig20(opts: &Options) -> Result<(), ExperimentError> {
             .into(),
         ]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     Ok(())
 }
 
@@ -322,7 +322,7 @@ pub fn fig21(opts: &Options) -> Result<(), ExperimentError> {
             flips.into(),
         ]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     Ok(())
 }
 

@@ -15,6 +15,7 @@
 use crate::cli::Options;
 use crate::error::ExperimentError;
 use sbgp_core::checkpoint::{params_fingerprint, SweepCheckpoint, UnitJournal};
+use sbgp_core::storage::{LockOutcome, Store};
 use sbgp_core::{EngineStats, SimResult};
 use std::path::{Path, PathBuf};
 
@@ -61,9 +62,15 @@ fn sanitize(key: &str) -> String {
 pub struct SweepRunner {
     /// The sweep's name (the subcommand) — used for artifact filenames.
     name: String,
-    /// Destination file; `None` disables persistence entirely.
-    path: Option<PathBuf>,
-    /// Where self-check counterexample artifacts are dumped.
+    /// The durable-artifact store everything below persists through
+    /// (local disk, optionally wrapped in `--disk-chaos` injection).
+    store: Store,
+    /// Checkpoint key in the store; `None` disables persistence.
+    ckpt_key: Option<String>,
+    /// The checkpoint's human-facing path, for progress messages.
+    ckpt_display: PathBuf,
+    /// Where self-check counterexample artifacts are dumped (a key
+    /// prefix in the store; displayed as a path under the out dir).
     artifact_dir: PathBuf,
     ckpt: SweepCheckpoint,
     every: usize,
@@ -80,8 +87,8 @@ pub struct SweepRunner {
     /// saves, so a supervisor crash mid-cadence loses nothing. Only
     /// present when persistence is on.
     journal: Option<UnitJournal>,
-    /// The sweep's advisory lockfile, removed by [`Self::finish`].
-    lock: Option<PathBuf>,
+    /// The sweep's advisory lock key, released by [`Self::finish`].
+    lock: Option<String>,
 }
 
 /// Is `pid` a live process? (linux: `/proc/<pid>` exists; elsewhere
@@ -94,33 +101,42 @@ fn pid_alive(pid: u32) -> bool {
     }
 }
 
-/// Take the sweep lock at `path`, stealing it only from a dead owner.
-fn take_lock(path: &Path) -> Result<(), ExperimentError> {
-    if let Ok(text) = std::fs::read_to_string(path) {
-        let owner: Option<u32> = text
-            .strip_prefix("pid ")
-            .and_then(|r| r.trim().parse().ok());
-        match owner {
-            Some(pid) if pid == std::process::id() => {}
-            Some(pid) if pid_alive(pid) => {
-                return Err(ExperimentError::Harness(format!(
-                    "sweep lock {} is held by live process {pid}; \
-                     is another run of this sweep in flight?",
-                    path.display()
-                )));
+/// The lock-owner string for this process (the on-storage lock value
+/// keeps the historical `pid <N>\n` byte format).
+fn lock_owner() -> String {
+    format!("pid {}", std::process::id())
+}
+
+/// Take the sweep lock at `key`, stealing it only from a dead owner —
+/// first-writer-wins acquisition via the store's compare-and-swap, a
+/// CAS takeover when the recorded owner's pid no longer exists.
+fn take_lock(store: &Store, key: &str) -> Result<(), ExperimentError> {
+    let me = lock_owner();
+    match store.try_lock(key, &me)? {
+        LockOutcome::Acquired => Ok(()),
+        LockOutcome::Held { owner } => {
+            let pid: Option<u32> = owner
+                .strip_prefix("pid ")
+                .and_then(|r| r.trim().parse().ok());
+            if let Some(pid) = pid {
+                if pid_alive(pid) {
+                    return Err(ExperimentError::Harness(format!(
+                        "sweep lock {key} is held by live process {pid}; \
+                         is another run of this sweep in flight?"
+                    )));
+                }
             }
-            _ => eprintln!(
-                "[checkpoint] taking over stale sweep lock {} (owner is gone)",
-                path.display()
-            ),
+            eprintln!("[checkpoint] taking over stale sweep lock {key} (owner {owner:?} is gone)");
+            if store.takeover(key, &owner, &me)? {
+                Ok(())
+            } else {
+                Err(ExperimentError::Harness(format!(
+                    "sweep lock {key} changed hands while taking it over; \
+                     is another run of this sweep in flight?"
+                )))
+            }
         }
     }
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)
-            .map_err(|e| ExperimentError::Harness(format!("creating {}: {e}", dir.display())))?;
-    }
-    std::fs::write(path, format!("pid {}\n", std::process::id()))
-        .map_err(|e| ExperimentError::Harness(format!("writing {}: {e}", path.display())))
 }
 
 impl SweepRunner {
@@ -147,11 +163,16 @@ impl SweepRunner {
             Some(out) => out.clone(),
             None => PathBuf::from("results"),
         };
+        let store = opts.storage_at(&base_dir);
         let artifact_dir = base_dir.join("diffcheck");
+        let ckpt_key = format!("checkpoints/{name}.ckpt");
+        let ckpt_display = base_dir.join(&ckpt_key);
         if !opts.resume && opts.checkpoint_every == 0 {
             return Ok(SweepRunner {
                 name: name.to_string(),
-                path: None,
+                store,
+                ckpt_key: None,
+                ckpt_display,
                 artifact_dir,
                 ckpt: SweepCheckpoint::new(fp),
                 every: usize::MAX,
@@ -164,31 +185,26 @@ impl SweepRunner {
                 lock: None,
             });
         }
-        let dir = base_dir.join("checkpoints");
-        let path = dir.join(format!("{name}.ckpt"));
-        let lock_path = dir.join(format!("{name}.lock"));
-        take_lock(&lock_path)?;
+        let lock_key = format!("checkpoints/{name}.lock");
+        take_lock(&store, &lock_key)?;
         let mut ckpt = if opts.resume {
-            SweepCheckpoint::load_or_new(&path, fp)?
+            SweepCheckpoint::load_or_new_from(&store, &ckpt_key, fp)?
         } else {
             SweepCheckpoint::new(fp)
         };
-        let journal_path = dir.join(format!("{name}.journal"));
-        let mut journal = UnitJournal::open(&journal_path)?;
+        let journal_key = format!("checkpoints/{name}.journal");
+        let mut journal = UnitJournal::open_in(&store, &journal_key)?;
         if opts.resume {
             // A crash between checkpoint saves leaves completed units
             // only in the journal; fold them in (salvaging a torn
             // tail first) and compact so the journal never regrows
             // unboundedly across resumes.
-            let (records, salvage) = UnitJournal::replay_records(&journal_path)?;
+            let (records, salvage) = UnitJournal::replay_records_in(&store, &journal_key)?;
             if !salvage.is_clean() {
                 eprintln!(
-                    "[resume] journal {} had a torn tail: salvaged {} record(s) \
+                    "[resume] journal {journal_key} had a torn tail: salvaged {} record(s) \
                      ({} bytes), dropped {} trailing byte(s)",
-                    journal_path.display(),
-                    salvage.records,
-                    salvage.valid_bytes,
-                    salvage.torn_bytes
+                    salvage.records, salvage.valid_bytes, salvage.torn_bytes
                 );
             }
             let leases = UnitJournal::outstanding_leases(&records);
@@ -210,7 +226,7 @@ impl SweepRunner {
             }
             if recovered > 0 {
                 eprintln!("[resume] {recovered} unit(s) recovered from the journal");
-                ckpt.save(&path)?;
+                ckpt.save_to(&store, &ckpt_key)?;
             }
         }
         journal.reset()?;
@@ -218,12 +234,14 @@ impl SweepRunner {
             println!(
                 "[resume] {} completed units loaded from {}",
                 ckpt.len(),
-                path.display()
+                ckpt_display.display()
             );
         }
         Ok(SweepRunner {
             name: name.to_string(),
-            path: Some(path),
+            store,
+            ckpt_key: Some(ckpt_key),
+            ckpt_display,
             artifact_dir,
             ckpt,
             every: opts.checkpoint_every.max(1),
@@ -233,7 +251,7 @@ impl SweepRunner {
             violations: 0,
             engine: EngineStats::default(),
             journal: Some(journal),
-            lock: Some(lock_path),
+            lock: Some(lock_key),
         })
     }
 
@@ -348,9 +366,9 @@ impl SweepRunner {
         }
         self.ckpt.insert(key, result);
         self.since_save += 1;
-        if let Some(path) = &self.path {
+        if let Some(key) = &self.ckpt_key {
             if self.since_save >= self.every {
-                self.ckpt.save(path)?;
+                self.ckpt.save_to(&self.store, key)?;
                 self.since_save = 0;
                 // Everything journaled is now in the checkpoint.
                 if let Some(journal) = self.journal.as_mut() {
@@ -399,14 +417,14 @@ impl SweepRunner {
                 }
             );
         }
-        if let Some(path) = &self.path {
+        if let Some(key) = &self.ckpt_key {
             if self.since_save > 0 {
-                self.ckpt.save(path)?;
+                self.ckpt.save_to(&self.store, key)?;
             }
             println!(
                 "[checkpoint] {} units in {}{}",
                 self.ckpt.len(),
-                path.display(),
+                self.ckpt_display.display(),
                 if self.reused > 0 {
                     format!(" ({} reused)", self.reused)
                 } else {
@@ -414,13 +432,29 @@ impl SweepRunner {
                 }
             );
         }
+        if let Some(ledger) = self.store.fault_ledger() {
+            if ledger.total() > 0 {
+                let counts: Vec<String> = ledger
+                    .counts()
+                    .iter()
+                    .map(|(name, n)| format!("{name}={n}"))
+                    .collect();
+                println!(
+                    "[storage] survived {} injected disk fault(s): {}",
+                    ledger.total(),
+                    counts.join(", ")
+                );
+            }
+        }
         // The checkpoint now holds everything; a lingering journal or
         // lock would only confuse the next run (and `repro doctor`).
+        // Cleanup is best-effort: under fault injection a failed delete
+        // must not fail an otherwise completed sweep.
         if let Some(journal) = &self.journal {
-            let _ = std::fs::remove_file(journal.path());
+            let _ = self.store.delete(journal.key());
         }
         if let Some(lock) = &self.lock {
-            let _ = std::fs::remove_file(lock);
+            let _ = self.store.unlock(lock, &lock_owner());
         }
         Ok(())
     }

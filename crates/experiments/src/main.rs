@@ -188,7 +188,10 @@ COMMANDS
            output byte-identical to the single-process no-fault run;
            --net adds TCP workers under seeded network-fault schedules
            (frame drops, torn mid-frame disconnects, coordinator
-           SIGKILL + --resume) with the same byte-identical gate
+           SIGKILL + --resume) with the same byte-identical gate;
+           --storage runs seeded disk-fault schedules (EIO, ENOSPC,
+           torn writes, crash-before-rename, read corruption, plus
+           SIGKILL + --resume) against the artifact store instead
   worker   long-lived TCP sweep worker; coordinators dispatch to it via
            --workers and it survives their crashes
   bench    time the engine's round kernel; write BENCH_engine.json
@@ -206,6 +209,10 @@ FAULT TOLERANCE
   --checkpoint-every N  persist sweep progress every N units (atomic rename)
   --fail-links R        degrade the topology: drop each link w.p. R (seeded)
   --max-retries N       retries before a panicking task is quarantined
+  --disk-chaos SPEC     seeded fault injection on every artifact-store
+                        operation (checkpoints, journals, locks, CSVs);
+                        SPEC is `eio=P,enospc=P,torn=P,crash=P,corrupt=P,
+                        latency=P,latency-ms=MS,seed=S` (any subset)
 
 PROCESS SHARDING (sweep commands)
   --process-shards N    dispatch sweep units to N crash-isolated worker

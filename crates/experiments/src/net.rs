@@ -257,11 +257,27 @@ pub fn worker_cmd(args: &[String]) -> Result<(), ExperimentError> {
         .map_err(|e| harness_err(&format!("local_addr: {e}")))?;
     eprintln!("[worker] listening on {bound}");
     if let Some(pf) = &port_file {
-        // Atomic publish so a test polling the file never reads a torn
+        // Atomic publish (write-tmp, fsync, rename via the storage
+        // layer) so a test polling the file never reads a torn
         // half-written address.
-        let tmp = format!("{pf}.tmp");
-        std::fs::write(&tmp, format!("{bound}\n"))
-            .and_then(|()| std::fs::rename(&tmp, pf))
+        let path = std::path::Path::new(pf);
+        let (dir, name) = match (path.parent(), path.file_name().and_then(|n| n.to_str())) {
+            (Some(dir), Some(name)) if !name.is_empty() => (
+                if dir.as_os_str().is_empty() {
+                    std::path::Path::new(".")
+                } else {
+                    dir
+                },
+                name,
+            ),
+            _ => {
+                return Err(harness_err(&format!(
+                    "--port-file {pf} has no usable file name"
+                )))
+            }
+        };
+        sbgp_core::storage::Store::localdisk(dir)
+            .put_atomic(name, format!("{bound}\n").as_bytes())
             .map_err(|e| harness_err(&format!("writing --port-file {pf}: {e}")))?;
     }
     for conn in listener.incoming() {

@@ -1,7 +1,7 @@
 //! Table printing and CSV export.
 
 use crate::cli::Options;
-use std::io::Write;
+use crate::error::ExperimentError;
 
 /// Print a section header for one experiment.
 pub fn heading(title: &str) {
@@ -33,8 +33,11 @@ impl Table {
     }
 
     /// Print aligned to stdout and, if `--out` was given, write
-    /// `<out>/<name>.csv`.
-    pub fn emit(&self, opts: &Options) {
+    /// `<out>/<name>.csv` atomically through the artifact store. A
+    /// failed CSV write fails the command: figure CSVs are the whole
+    /// point of `--out`, and a run that silently dropped one used to
+    /// exit 0 looking successful.
+    pub fn emit(&self, opts: &Options) -> Result<(), ExperimentError> {
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
@@ -53,21 +56,24 @@ impl Table {
             println!("{}", line(row));
         }
         if let Some(dir) = &opts.out {
-            if let Err(e) = self.write_csv(dir) {
-                eprintln!("warning: failed to write {}.csv: {e}", self.name);
-            }
-        }
-    }
-
-    fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{}.csv", self.name));
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        writeln!(f, "{}", self.columns.join(","))?;
-        for row in &self.rows {
-            writeln!(f, "{}", row.join(","))?;
+            // Atomic replace: a crash (or injected disk fault) mid-emit
+            // leaves the previous CSV intact, never a torn one.
+            opts.storage_at(dir)
+                .put_atomic(&format!("{}.csv", self.name), self.to_csv().as_bytes())?;
         }
         Ok(())
+    }
+
+    /// The CSV rendering (header line plus one line per row).
+    fn to_csv(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&self.columns.join(","));
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.join(","));
+            s.push('\n');
+        }
+        s
     }
 }
 

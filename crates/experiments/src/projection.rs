@@ -58,7 +58,7 @@ pub fn fig14(opts: &Options) -> Result<(), ExperimentError> {
             f3(within(0.067)),
         ]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     println!("(paper: 80% of ISPs overestimate by <2%, 90% by <6.7%)");
     Ok(())
 }

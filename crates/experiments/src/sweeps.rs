@@ -95,9 +95,9 @@ pub fn fig8(opts: &Options) -> Result<(), ExperimentError> {
     }
     runner.finish()?;
     println!("(a) fraction of ASes secure");
-    ta.emit(opts);
+    ta.emit(opts)?;
     println!("(b) fraction of ISPs secure");
-    tb.emit(opts);
+    tb.emit(opts)?;
     Ok(())
 }
 
@@ -156,7 +156,7 @@ pub fn fig9(opts: &Options) -> Result<(), ExperimentError> {
         }
     }
     runner.finish()?;
-    t.emit(opts);
+    t.emit(opts)?;
     Ok(())
 }
 
@@ -207,7 +207,7 @@ pub fn fig11(opts: &Options) -> Result<(), ExperimentError> {
         }
     }
     runner.finish()?;
-    t.emit(opts);
+    t.emit(opts)?;
     Ok(())
 }
 
@@ -248,6 +248,6 @@ pub fn fig12(opts: &Options) -> Result<(), ExperimentError> {
         }
     }
     runner.finish()?;
-    t.emit(opts);
+    t.emit(opts)?;
     Ok(())
 }

@@ -27,7 +27,7 @@ pub fn table1(opts: &Options) -> Result<(), ExperimentError> {
             d.to_string(),
         ]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     Ok(())
 }
 
@@ -65,7 +65,7 @@ pub fn table2(opts: &Options) -> Result<(), ExperimentError> {
             s.customer_provider_edges.to_string(),
         ]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     Ok(())
 }
 
@@ -81,7 +81,7 @@ pub fn table3(opts: &Options) -> Result<(), ExperimentError> {
         let aug = metrics::mean_path_length(&world.augmented, cp, &TIEBREAK);
         t.row(vec![g.asn(cp).to_string(), f3(base), f3(aug)]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     Ok(())
 }
 
@@ -111,6 +111,6 @@ pub fn table4(opts: &Options) -> Result<(), ExperimentError> {
             world.augmented.degree(t1).to_string(),
         ]);
     }
-    t.emit(opts);
+    t.emit(opts)?;
     Ok(())
 }
