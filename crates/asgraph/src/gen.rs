@@ -85,6 +85,26 @@ impl GenParams {
         GenParams::new(1_000, seed)
     }
 
+    /// The paper's full-Internet scale: 36,964 ASes, matching the
+    /// Cyclops (Nov. 2010) + IXP graph the published figures ran on.
+    ///
+    /// Published statistics pinned here: total AS count (36,964), the
+    /// ≈85% stub share (the paper reports 31,529 stubs, i.e. a 0.853
+    /// stub fraction), a Tier-1 clique of 13 (the conventional
+    /// full-mesh transit-free core of that era), and the paper's five
+    /// designated content providers. The remaining knobs keep the
+    /// [`GenParams::new`] defaults — the generator is a synthetic
+    /// stand-in, not the proprietary measurement graph, so only the
+    /// published aggregates are matched. Empirical serial-2 dumps can
+    /// be loaded via [`crate::io`] instead.
+    pub fn paper_scale(seed: u64) -> Self {
+        GenParams {
+            n_tier1: 13,
+            stub_fraction: 0.853,
+            ..GenParams::new(36_964, seed)
+        }
+    }
+
     fn tier1_count(&self) -> usize {
         if self.n_tier1 > 0 {
             self.n_tier1
@@ -167,6 +187,17 @@ pub fn generate_checked(params: &GenParams) -> Result<Generated, crate::GraphErr
         return Err(crate::GraphError::InvalidParam {
             param: "n_ases",
             message: format!("need at least 50 ASes, got {}", params.n_ases),
+        });
+    }
+    if params.n_ases > crate::MAX_GRAPH_NODES {
+        return Err(crate::GraphError::InvalidParam {
+            param: "n_ases",
+            message: format!(
+                "{} ASes exceeds the supported maximum of {}; the routing \
+                 layer stores node ids and path lengths as u16",
+                params.n_ases,
+                crate::MAX_GRAPH_NODES
+            ),
         });
     }
     let mut rng = StdRng::seed_from_u64(params.seed);
@@ -526,5 +557,26 @@ mod tests {
     #[should_panic(expected = "at least 50")]
     fn rejects_tiny_n() {
         let _ = generate(&GenParams::new(10, 0));
+    }
+
+    #[test]
+    fn paper_scale_pins_published_aggregates() {
+        let p = GenParams::paper_scale(42);
+        assert_eq!(p.n_ases, 36_964);
+        assert_eq!(p.n_tier1, 13);
+        assert_eq!(p.n_cps, 5);
+        assert!((p.stub_fraction - 0.853).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_oversized_n() {
+        let err = generate_checked(&GenParams::new(crate::MAX_GRAPH_NODES + 1, 0)).unwrap_err();
+        match err {
+            crate::GraphError::InvalidParam { param, message } => {
+                assert_eq!(param, "n_ases");
+                assert!(message.contains("u16"), "{message}");
+            }
+            other => panic!("expected InvalidParam, got {other}"),
+        }
     }
 }

@@ -205,6 +205,17 @@ fn read_graph_impl<R: BufRead>(input: R, strict: bool) -> Result<AsGraph, GraphE
             _ => b.add_peer_peer(a, c)?,
         }
     }
+    if by_asn.len() > crate::MAX_GRAPH_NODES {
+        return Err(GraphError::InvalidParam {
+            param: "nodes",
+            message: format!(
+                "file declares {} distinct ASes, more than the supported {}; \
+                 the routing layer stores node ids and path lengths as u16",
+                by_asn.len(),
+                crate::MAX_GRAPH_NODES
+            ),
+        });
+    }
     for (asn, lineno) in cps {
         let id = by_asn.get(&asn).copied().ok_or(GraphError::Parse {
             line: lineno,
@@ -361,6 +372,23 @@ mod tests {
         let g2 = read_graph_strict(std::io::Cursor::new(buf)).unwrap();
         assert_eq!(g.len(), g2.len());
         assert_eq!(g.num_edges(), g2.num_edges());
+    }
+
+    #[test]
+    fn rejects_oversized_files() {
+        // One more AS than the u16 id space supports.
+        let mut text = String::new();
+        for asn in 1..=(crate::MAX_GRAPH_NODES as u32 + 1) {
+            text.push_str(&format!("{asn}||\n"));
+        }
+        let err = read_graph(std::io::Cursor::new(text)).unwrap_err();
+        match err {
+            GraphError::InvalidParam { param, message } => {
+                assert_eq!(param, "nodes");
+                assert!(message.contains("u16"), "{message}");
+            }
+            other => panic!("expected InvalidParam, got {other}"),
+        }
     }
 
     #[test]

@@ -65,3 +65,16 @@ pub use error::GraphError;
 pub use graph::{AsGraph, EdgeIter};
 pub use ids::{AsClass, AsId, Relationship};
 pub use weights::Weights;
+
+/// Largest node count the simulation pipeline supports.
+///
+/// The routing layer stores path lengths and (in the compressed
+/// frozen-context atlas) node ids as `u16`, reserving `u16::MAX` for
+/// the unreachable sentinel and `u16::MAX - 1` for the atlas's
+/// spilled-tiebreak marker — so node ids must stay below
+/// `u16::MAX - 1`. The paper's full 36,964-AS Internet graph fits
+/// comfortably. Graph producers ([`gen::generate_checked`], the
+/// [`io`] loaders) reject larger graphs with a typed
+/// [`GraphError::InvalidParam`] instead of letting the routing layer
+/// panic later.
+pub const MAX_GRAPH_NODES: usize = u16::MAX as usize - 1;

@@ -863,7 +863,7 @@ pub mod codec {
     }
 
     /// Append the encoding of an [`EngineStats`](crate::engine::EngineStats)
-    /// as one `stats` line — the 16 counters in declaration order.
+    /// as one `stats` line — the 17 counters in declaration order.
     /// Checkpoints deliberately do *not* persist stats (they describe
     /// the producing run, not the result); this exists for the shard
     /// worker protocol, where the supervisor must sum per-worker
@@ -871,7 +871,7 @@ pub mod codec {
     pub fn encode_stats(out: &mut String, s: &crate::engine::EngineStats) {
         let _ = writeln!(
             out,
-            "stats {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            "stats {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
             s.contexts_computed,
             s.trees_computed,
             s.dests_computed,
@@ -883,6 +883,7 @@ pub mod codec {
             s.atlas_stored,
             s.atlas_evicted,
             s.atlas_bytes,
+            s.atlas_raw_bytes,
             s.atlas_build_ns,
             s.delta_hits,
             s.delta_fallbacks,
@@ -893,7 +894,7 @@ pub mod codec {
 
     /// Decode one `stats` line written by [`encode_stats`].
     pub fn decode_stats(p: &mut Parser<'_>) -> Result<crate::engine::EngineStats, DecodeError> {
-        let vals = p.tagged_u64s("stats", 16)?;
+        let vals = p.tagged_u64s("stats", 17)?;
         Ok(crate::engine::EngineStats {
             contexts_computed: vals[0],
             trees_computed: vals[1],
@@ -906,11 +907,12 @@ pub mod codec {
             atlas_stored: vals[8],
             atlas_evicted: vals[9],
             atlas_bytes: vals[10],
-            atlas_build_ns: vals[11],
-            delta_hits: vals[12],
-            delta_fallbacks: vals[13],
-            delta_touched_nodes: vals[14],
-            delta_full_nodes: vals[15],
+            atlas_raw_bytes: vals[11],
+            atlas_build_ns: vals[12],
+            delta_hits: vals[13],
+            delta_fallbacks: vals[14],
+            delta_touched_nodes: vals[15],
+            delta_full_nodes: vals[16],
         })
     }
 
@@ -1457,11 +1459,12 @@ mod tests {
             atlas_stored: 9,
             atlas_evicted: 10,
             atlas_bytes: 11,
-            atlas_build_ns: 12,
-            delta_hits: 13,
-            delta_fallbacks: 14,
-            delta_touched_nodes: 15,
-            delta_full_nodes: 16,
+            atlas_raw_bytes: 12,
+            atlas_build_ns: 13,
+            delta_hits: 14,
+            delta_fallbacks: 15,
+            delta_touched_nodes: 16,
+            delta_full_nodes: 17,
         };
         let mut text = String::new();
         codec::encode_stats(&mut text, &s);

@@ -64,9 +64,9 @@ use crate::config::{DeltaMode, SimConfig};
 use crate::guard;
 use sbgp_asgraph::{AsGraph, AsId, Weights};
 use sbgp_routing::{
-    accumulate_flows, add_utilities, compute_tree, delta_project, diffcheck,
-    flows_and_target_utility, DeltaScratch, DestContext, RouteContext, RouteTree, RoutingAtlas,
-    SecureSet, TbDependents, TieBreaker,
+    compute_tree, delta_project, diffcheck, flows_and_target_utility, fold_utilities, AtlasScratch,
+    DeltaScratch, DestContext, RouteContext, RouteTree, RoutingAtlas, SecureSet, TbDependents,
+    TieBreaker,
 };
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -240,8 +240,12 @@ pub struct EngineStats {
     pub atlas_stored: u64,
     /// Destinations dropped while building because the budget filled.
     pub atlas_evicted: u64,
-    /// Bytes held by the atlas arenas.
+    /// Bytes held by the atlas arenas (compressed layout).
     pub atlas_bytes: u64,
+    /// Bytes the stored contexts would occupy in the dense
+    /// pre-compression layout; `atlas_raw_bytes / atlas_bytes` is the
+    /// compression ratio.
+    pub atlas_raw_bytes: u64,
     /// Wall-clock nanoseconds spent building the atlas.
     pub atlas_build_ns: u64,
     /// Candidate projections answered by the incremental delta kernel
@@ -373,6 +377,8 @@ struct RoundJob {
 struct Scratch {
     /// Fallback context buffer for atlas misses.
     ctx: DestContext,
+    /// Decode buffers for atlas hits (tiebreak CSR + order widening).
+    atlas_scratch: AtlasScratch,
     bufs: TaskBufs,
 }
 
@@ -414,6 +420,7 @@ impl Scratch {
     fn new(n: usize) -> Self {
         Scratch {
             ctx: DestContext::new(n),
+            atlas_scratch: AtlasScratch::with_capacity(n),
             bufs: TaskBufs {
                 base_tree: RouteTree::new(n),
                 proj_tree: RouteTree::new(n),
@@ -698,6 +705,7 @@ impl<'a> UtilityEngine<'a> {
             atlas_stored: a.stored as u64,
             atlas_evicted: a.evicted as u64,
             atlas_bytes: a.bytes as u64,
+            atlas_raw_bytes: a.raw_bytes as u64,
             atlas_build_ns: a.build_ns,
             delta_hits: self.stats.delta_hits.load(Ordering::Relaxed),
             delta_fallbacks: self.stats.delta_fallbacks.load(Ordering::Relaxed),
@@ -829,8 +837,13 @@ impl<'a> UtilityEngine<'a> {
                 let (out_tx, out_rx) = mpsc::channel();
                 // Small chunks keep the work-stealing balanced across
                 // the secure/insecure destination cost skew; large
-                // enough to keep counter contention negligible.
-                let chunk = (n / (job_txs.len() * 8)).clamp(1, 64);
+                // enough to keep counter contention negligible. Past
+                // ~16K destinations per-destination cost evens out and
+                // there are thousands of chunks either way, so a wider
+                // cap trades nothing in balance for fewer cursor
+                // round-trips and longer sequential arena scans.
+                let max_chunk = if n >= 16_384 { 256 } else { 64 };
+                let chunk = (n / (job_txs.len() * 8)).clamp(1, max_chunk);
                 let job = Arc::new(RoundJob {
                     state: state.clone(),
                     candidates: candidates.to_vec(),
@@ -1023,11 +1036,15 @@ impl<'a> UtilityEngine<'a> {
                         .iter()
                         .any(|&p| spec.kind[p.index()] == CandKind::TurnOn);
                 if need_self || need_providers {
-                    let Scratch { ctx, bufs } = sc;
+                    let Scratch {
+                        ctx,
+                        atlas_scratch,
+                        bufs,
+                    } = sc;
                     // The scratch base tree/flows describe some earlier
                     // destination — the delta path must not touch them.
                     bufs.delta_ok = false;
-                    match self.atlas.get(d) {
+                    match self.atlas.get(d, atlas_scratch) {
                         Some(view) => {
                             self.project_insecure_reused(&view, bufs, d, state, spec, &contrib)
                         }
@@ -1042,8 +1059,12 @@ impl<'a> UtilityEngine<'a> {
             }
         }
         self.stats.dests_computed.fetch_add(1, Ordering::Relaxed);
-        let Scratch { ctx, bufs } = sc;
-        let contrib = match self.atlas.get(d) {
+        let Scratch {
+            ctx,
+            atlas_scratch,
+            bufs,
+        } = sc;
+        let contrib = match self.atlas.get(d, atlas_scratch) {
             Some(view) => self.process_dest_full(&view, bufs, d, state, spec),
             None => {
                 ctx.compute(g, d, self.tiebreaker);
@@ -1156,7 +1177,18 @@ impl<'a> UtilityEngine<'a> {
             }
         }
 
-        accumulate_flows(ctx, &bufs.base_tree, self.weights, &mut bufs.base_flow);
+        // Fused fold: flows plus this destination's dense utility
+        // contribution in two order-streaming passes (bit-identical to
+        // the unfused zero + accumulate_flows + add_utilities sequence
+        // it replaced — pinned by the routing crate's fold test).
+        fold_utilities(
+            ctx,
+            &bufs.base_tree,
+            self.weights,
+            &mut bufs.base_flow,
+            &mut bufs.dest_out,
+            &mut bufs.dest_in,
+        );
         // The base tree and flows above are exactly what the delta
         // kernel repairs against; the reverse tiebreak index is built
         // lazily by the first projection that wants it.
@@ -1167,18 +1199,6 @@ impl<'a> UtilityEngine<'a> {
             && self.cfg.delta_projections != DeltaMode::Off
             && !matches!(self.cfg.chaos, Some(c) if c.corrupt_tree && c.dest == d.0);
         bufs.deps_ready = false;
-        for &xi in ctx.order() {
-            bufs.dest_out[xi as usize] = 0.0;
-            bufs.dest_in[xi as usize] = 0.0;
-        }
-        add_utilities(
-            ctx,
-            &bufs.base_tree,
-            self.weights,
-            &bufs.base_flow,
-            &mut bufs.dest_out,
-            &mut bufs.dest_in,
-        );
         // Sparse, id-ascending snapshot of this destination's base
         // contribution — the unit the committer sums and the C.4-1
         // cache replays.

@@ -1,17 +1,22 @@
 //! `repro bench` — the engine's perf smoke test.
 //!
-//! Runs the MEDIUM round kernel (one warm-up pass, then a fixed number
-//! of timed passes of `UtilityEngine::compute_in` over the default
-//! 1,000-AS world) twice — once with the configured
-//! `--delta-projections` mode and once with the delta kernel forced
-//! off — and emits machine-readable `BENCH_engine.json`: rounds/sec
-//! for both runs, their ratio (`delta_speedup`), plus the
-//! [`sbgp_core::EngineStats`] work counters (atlas hit rate,
-//! cross-round reuse rate, delta hit/fallback counts, the repaired
-//! fraction of reachable nodes). CI runs this and fails if the
-//! counters show the frozen-context atlas or the delta kernel was
-//! never hit — the guard that keeps the perf work from silently
-//! regressing into recompute-everything.
+//! Runs the MEDIUM round kernel (one warm-up pass, then a number of
+//! timed passes of `UtilityEngine::compute_in` scaled to the graph
+//! size) twice over one shared frozen-context atlas — once with the
+//! configured `--delta-projections` mode and once with the delta
+//! kernel forced off — and prints a machine-readable JSON record:
+//! rounds/sec for both runs, their ratio (`delta_speedup`), plus the
+//! [`sbgp_core::EngineStats`] work counters (atlas hit rate and
+//! resident/raw bytes, cross-round reuse rate, delta hit/fallback
+//! counts, the repaired fraction of reachable nodes). CI captures the
+//! stdout record and fails if the counters show the frozen-context
+//! atlas or the delta kernel was never hit — the guard that keeps the
+//! perf work from silently regressing into recompute-everything.
+//!
+//! `BENCH_engine.json` is a **keyed history**: one record per
+//! `n × threads` configuration, so benching at a new scale (e.g.
+//! `--n 36964`) appends a row instead of overwriting the n=1,000
+//! trajectory. Re-benching an existing configuration replaces its row.
 
 use crate::cli::Options;
 use crate::error::ExperimentError;
@@ -19,28 +24,44 @@ use crate::output::heading;
 use crate::world::{weights, World, TIEBREAK};
 use sbgp_asgraph::AsId;
 use sbgp_core::{initial_state, DeltaMode, EarlyAdopters, EngineStats, SimConfig, UtilityEngine};
+use sbgp_routing::RoutingAtlas;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Timed engine passes after the warm-up pass.
-const TIMED_ROUNDS: u32 = 10;
+/// Timed engine passes after the warm-up pass, scaled down at large
+/// `n` so a 36K-AS bench finishes in minutes on one machine while the
+/// default 1K config keeps its low-variance 10-pass measurement.
+fn timed_rounds(n: usize) -> u32 {
+    if n >= 20_000 {
+        2
+    } else if n >= 5_000 {
+        3
+    } else {
+        10
+    }
+}
 
-/// One warm-up pass, then `TIMED_ROUNDS` timed passes; returns the
-/// timed seconds and the engine's counters.
+/// One warm-up pass, then `rounds` timed passes over the shared
+/// `atlas`; returns the timed seconds and the engine's counters
+/// (hit/miss counts are relative to this engine, not the atlas's
+/// lifetime).
 fn timed_passes(
     g: &sbgp_asgraph::AsGraph,
     w: &sbgp_asgraph::Weights,
     cfg: SimConfig,
+    atlas: &Arc<RoutingAtlas>,
     state: &sbgp_routing::SecureSet,
     candidates: &[AsId],
+    rounds: u32,
 ) -> (f64, EngineStats) {
-    let engine = UtilityEngine::new(g, w, &TIEBREAK, cfg);
+    let engine = UtilityEngine::with_atlas(g, w, &TIEBREAK, cfg, Arc::clone(atlas));
     let secs = engine.with_pool(|pool| {
         // Warm-up: the pass a real simulation's first round performs.
         // It fills the cross-round reuse cache, so the timed passes
         // below measure the steady state of rounds 2..N.
         engine.compute_in(pool, state, candidates);
         let t0 = Instant::now();
-        for _ in 0..TIMED_ROUNDS {
+        for _ in 0..rounds {
             engine.compute_in(pool, state, candidates);
         }
         t0.elapsed().as_secs_f64()
@@ -48,7 +69,72 @@ fn timed_passes(
     (secs, engine.stats())
 }
 
-/// Run the round-kernel benchmark and write `BENCH_engine.json`.
+/// Extract the integer value of `"key":` from a compact JSON record.
+fn json_u64(record: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = record.find(&needle)? + needle.len();
+    let rest = record[start..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// A record's history key: one row per `n × threads` configuration.
+fn record_key(record: &str) -> (u64, u64) {
+    (
+        json_u64(record, "n").unwrap_or(0),
+        json_u64(record, "threads").unwrap_or(0),
+    )
+}
+
+/// Merge a compact single-line `record` into the history file text.
+/// Understands both shapes on disk: the schema-2 keyed history, and
+/// the legacy single-object file (absorbed as one record so the old
+/// trajectory survives the migration). Rows are kept sorted by
+/// `(n, threads)` for stable diffs.
+fn merge_history(existing: Option<&str>, record: &str) -> String {
+    let mut records: Vec<String> = Vec::new();
+    if let Some(text) = existing {
+        if text.contains("\"schema\"") {
+            for line in text.lines() {
+                let t = line.trim().trim_end_matches(',');
+                if t.starts_with('{') && t.ends_with('}') && t.len() > 2 {
+                    records.push(t.to_string());
+                }
+            }
+        } else if text.trim_start().starts_with('{') {
+            // Legacy single-object file. No string value in the bench
+            // vocabulary contains whitespace, so stripping all of it
+            // yields the same JSON as one compact record.
+            let compact: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+            if compact.len() > 2 {
+                records.push(compact);
+            }
+        }
+    }
+    let key = record_key(record);
+    if let Some(pos) = records.iter().position(|r| record_key(r) == key) {
+        records[pos] = record.to_string();
+    } else {
+        records.push(record.to_string());
+    }
+    records.sort_by_key(|r| record_key(r));
+    let mut out = String::from("{\n  \"schema\": 2,\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(r);
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Run the round-kernel benchmark, print the record, and merge it into
+/// the `BENCH_engine.json` history.
 pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
     heading("bench: engine round kernel");
     let world = World::build(opts)?;
@@ -65,8 +151,18 @@ pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
     let state = initial_state(g, &EarlyAdopters::ContentProvidersPlusTopIsps(5).select(g));
     let candidates: Vec<AsId> = g.isps().filter(|&n| !state.get(n)).collect();
 
-    let (secs, s) = timed_passes(g, &w, cfg, &state, &candidates);
-    let rps = f64::from(TIMED_ROUNDS) / secs.max(1e-9);
+    // One atlas shared by both runs: the build is the dominant cost at
+    // large n and is identical for every `--delta-projections` mode.
+    let atlas = Arc::new(RoutingAtlas::build(
+        g,
+        &TIEBREAK,
+        cfg.ctx_cache_bytes(),
+        cfg.effective_threads(),
+    ));
+    let rounds = timed_rounds(g.len());
+
+    let (secs, s) = timed_passes(g, &w, cfg, &atlas, &state, &candidates, rounds);
+    let rps = f64::from(rounds) / secs.max(1e-9);
     // Baseline with the delta kernel forced off: same world, same
     // passes, full recompute per projection. The ratio is the delta
     // kernel's round-level speedup (1.0 when the main run is `off`).
@@ -74,14 +170,20 @@ pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
         delta_projections: DeltaMode::Off,
         ..cfg
     };
-    let (off_secs, _) = timed_passes(g, &w, off_cfg, &state, &candidates);
-    let off_rps = f64::from(TIMED_ROUNDS) / off_secs.max(1e-9);
+    let (off_secs, _) = timed_passes(g, &w, off_cfg, &atlas, &state, &candidates, rounds);
+    let off_rps = f64::from(rounds) / off_secs.max(1e-9);
     let speedup = off_secs / secs.max(1e-9);
+    let compression = if s.atlas_bytes == 0 {
+        1.0
+    } else {
+        s.atlas_raw_bytes as f64 / s.atlas_bytes as f64
+    };
 
     let json = format!(
         "{{\n  \
          \"n\": {n},\n  \
          \"threads\": {threads},\n  \
+         \"ctx_cache_mb\": {ccm},\n  \
          \"rounds\": {rounds},\n  \
          \"secs\": {secs:.6},\n  \
          \"rounds_per_sec\": {rps:.3},\n  \
@@ -97,6 +199,9 @@ pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
          \"atlas_misses\": {am},\n  \
          \"atlas_hit_rate\": {ahr:.6},\n  \
          \"atlas_bytes\": {ab},\n  \
+         \"atlas_raw_bytes\": {arb},\n  \
+         \"atlas_compression\": {ac:.3},\n  \
+         \"atlas_mib\": {amib:.2},\n  \
          \"atlas_build_ms\": {abm:.3},\n  \
          \"atlas_ever_hit\": {ever},\n  \
          \"delta_hits\": {dh},\n  \
@@ -105,7 +210,7 @@ pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
          \"delta_ever_hit\": {dever}\n}}\n",
         n = g.len(),
         threads = cfg.effective_threads(),
-        rounds = TIMED_ROUNDS,
+        ccm = opts.ctx_cache_mb,
         osecs = off_secs,
         orps = off_rps,
         ctx = s.contexts_computed,
@@ -117,6 +222,9 @@ pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
         am = s.atlas_misses,
         ahr = s.atlas_hit_rate(),
         ab = s.atlas_bytes,
+        arb = s.atlas_raw_bytes,
+        ac = compression,
+        amib = s.atlas_bytes as f64 / (1u64 << 20) as f64,
         abm = s.atlas_build_ns as f64 / 1e6,
         ever = s.atlas_hits > 0,
         dh = s.delta_hits,
@@ -131,11 +239,84 @@ pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
         .clone()
         .unwrap_or_else(|| std::path::PathBuf::from("results"));
     let path = dir.join("BENCH_engine.json");
+    let store = opts.storage_at(&dir);
+    let existing = store
+        .get("BENCH_engine.json")
+        .ok()
+        .flatten()
+        .and_then(|b| String::from_utf8(b).ok());
+    let compact: String = json.chars().filter(|c| !c.is_whitespace()).collect();
+    let history = merge_history(existing.as_deref(), &compact);
     // Atomic replace through the artifact store: a crash mid-write
     // never leaves a torn history file, and a failed write fails the
     // command instead of silently dropping the benchmark record.
-    opts.storage_at(&dir)
-        .put_atomic("BENCH_engine.json", json.as_bytes())?;
-    println!("[bench] wrote {}", path.display());
+    store.put_atomic("BENCH_engine.json", history.as_bytes())?;
+    println!(
+        "[bench] wrote {} ({} record(s))",
+        path.display(),
+        history
+            .lines()
+            .filter(|l| l.trim_start().starts_with('{') && l.trim().len() > 2)
+            .count()
+    );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REC_1K: &str = "{\"n\":1000,\"threads\":1,\"rounds_per_sec\":31.9}";
+    const REC_36K: &str = "{\"n\":36964,\"threads\":1,\"rounds_per_sec\":0.02}";
+
+    #[test]
+    fn history_starts_empty_and_appends() {
+        let h1 = merge_history(None, REC_1K);
+        assert!(h1.contains("\"schema\": 2"));
+        assert!(h1.contains(REC_1K));
+        let h2 = merge_history(Some(&h1), REC_36K);
+        assert!(h2.contains(REC_1K), "old row survives: {h2}");
+        assert!(h2.contains(REC_36K), "new row added: {h2}");
+        // Sorted ascending by n.
+        assert!(h2.find(REC_1K).unwrap() < h2.find(REC_36K).unwrap());
+    }
+
+    #[test]
+    fn history_replaces_matching_configuration() {
+        let h1 = merge_history(None, REC_1K);
+        let updated = "{\"n\":1000,\"threads\":1,\"rounds_per_sec\":40.0}";
+        let h2 = merge_history(Some(&h1), updated);
+        assert!(!h2.contains("31.9"), "stale row replaced: {h2}");
+        assert!(h2.contains("40.0"));
+        // Same n, different thread count: a distinct row.
+        let threads4 = "{\"n\":1000,\"threads\":4,\"rounds_per_sec\":90.0}";
+        let h3 = merge_history(Some(&h2), threads4);
+        assert!(h3.contains("40.0") && h3.contains("90.0"));
+    }
+
+    #[test]
+    fn legacy_single_object_file_is_absorbed() {
+        let legacy = "{\n  \"n\": 1000,\n  \"threads\": 1,\n  \"rounds_per_sec\": 31.9,\n  \
+                      \"atlas_ever_hit\": true\n}\n";
+        let h = merge_history(Some(legacy), REC_36K);
+        assert!(h.contains("\"schema\": 2"));
+        assert!(
+            h.contains(
+                "{\"n\":1000,\"threads\":1,\"rounds_per_sec\":31.9,\"atlas_ever_hit\":true}"
+            ),
+            "legacy row compacted and kept: {h}"
+        );
+        assert!(h.contains(REC_36K));
+        // Re-benching the legacy configuration replaces it in place.
+        let h2 = merge_history(Some(&h), REC_1K);
+        assert!(!h2.contains("atlas_ever_hit"), "legacy row replaced: {h2}");
+        assert!(h2.contains(REC_1K));
+    }
+
+    #[test]
+    fn timed_rounds_scales_down_with_n() {
+        assert_eq!(timed_rounds(1_000), 10);
+        assert_eq!(timed_rounds(8_000), 3);
+        assert_eq!(timed_rounds(36_964), 2);
+    }
 }

@@ -9,7 +9,11 @@
 #[derive(Clone, Debug)]
 pub struct Options {
     /// Topology size (paper: 36,964; default downscaled to 1,000).
+    /// `--n` is accepted as an alias.
     pub ases: usize,
+    /// Use the paper-scale topology preset: 36,964 ASes with the
+    /// published Tier-1/stub mix (overrides `--ases`).
+    pub paper_scale: bool,
     /// Generator seed.
     pub seed: u64,
     /// Deployment threshold θ for single-run commands.
@@ -100,6 +104,7 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             ases: 1_000,
+            paper_scale: false,
             seed: 42,
             theta: 0.05,
             cp_fraction: 0.10,
@@ -150,7 +155,9 @@ impl Options {
                         .map_err(|e| format!("--config {path}: {e}"))?;
                     apply_config(&mut o, &text).map_err(|e| format!("{path}: {e}"))?;
                 }
-                "census" | "net" | "storage" | "resume" => apply(&mut o, key, "true")?,
+                "census" | "net" | "storage" | "resume" | "paper-scale" => {
+                    apply(&mut o, key, "true")?
+                }
                 _ => {
                     let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                     apply(&mut o, key, v)?;
@@ -201,6 +208,7 @@ impl Options {
     pub fn to_worker_config(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!("ases = {}\n", self.ases));
+        s.push_str(&format!("paper-scale = {}\n", self.paper_scale));
         s.push_str(&format!("seed = {}\n", self.seed));
         s.push_str(&format!("theta = {}\n", self.theta));
         s.push_str(&format!("cp-fraction = {}\n", self.cp_fraction));
@@ -226,6 +234,11 @@ impl Options {
     }
 
     fn validate(&mut self) -> Result<(), String> {
+        if self.paper_scale {
+            // The preset pins the topology size; `--ases` is ignored so
+            // a stale flag can't silently shrink a paper-scale run.
+            self.ases = sbgp_asgraph::gen::GenParams::paper_scale(self.seed).n_ases;
+        }
         if self.ases < 50 {
             return Err("--ases must be at least 50".into());
         }
@@ -276,7 +289,9 @@ fn apply(o: &mut Options, key: &str, v: &str) -> Result<(), String> {
         v.parse().map_err(|e| format!("--{key}: {e}"))
     }
     match key {
-        "ases" => o.ases = num(key, v)?,
+        // `--n` mirrors the paper's notation for graph size.
+        "ases" | "n" => o.ases = num(key, v)?,
+        "paper-scale" => o.paper_scale = num(key, v)?,
         "seed" => o.seed = num(key, v)?,
         "theta" => o.theta = num(key, v)?,
         "cp-fraction" => o.cp_fraction = num(key, v)?,
@@ -470,6 +485,26 @@ mod tests {
         assert!(Options::parse(&s(&["--self-check", "-0.1"])).is_err());
         assert!(Options::parse(&s(&["--deadline", "0"])).is_err());
         assert!(Options::parse(&s(&["--task-deadline", "-3"])).is_err());
+    }
+
+    #[test]
+    fn parses_paper_scale_and_n_alias() {
+        let o = Options::parse(&[]).unwrap();
+        assert!(!o.paper_scale);
+        // --n is an alias for --ases.
+        let o = Options::parse(&s(&["--n", "36964"])).unwrap();
+        assert_eq!(o.ases, 36_964);
+        // --paper-scale is a switch and pins the topology size, even
+        // against an explicit --ases.
+        let o = Options::parse(&s(&["--paper-scale", "--ases", "500"])).unwrap();
+        assert!(o.paper_scale);
+        assert_eq!(o.ases, 36_964);
+        // Config-file spelling and worker propagation.
+        let o = Options::from_config_str("paper-scale = true\n").unwrap();
+        assert!(o.paper_scale);
+        let back = Options::from_config_str(&o.to_worker_config()).unwrap();
+        assert!(back.paper_scale);
+        assert_eq!(back.ases, 36_964);
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn absorb(total: &mut EngineStats, s: &EngineStats) {
     total.atlas_stored = s.atlas_stored;
     total.atlas_evicted = s.atlas_evicted;
     total.atlas_bytes = s.atlas_bytes;
+    total.atlas_raw_bytes = s.atlas_raw_bytes;
     total.atlas_build_ns = s.atlas_build_ns;
     total.delta_hits += s.delta_hits;
     total.delta_fallbacks += s.delta_fallbacks;
@@ -402,6 +403,17 @@ impl SweepRunner {
                     e.delta_hits,
                     e.delta_fallbacks,
                     100.0 * e.delta_touched_fraction(),
+                );
+            }
+            if e.atlas_bytes > 0 {
+                println!(
+                    "[engine] atlas resident: {:.1} MiB compressed ({:.1} MiB dense \
+                     equivalent, {:.2}x), {} stored / {} evicted",
+                    e.atlas_bytes as f64 / (1u64 << 20) as f64,
+                    e.atlas_raw_bytes as f64 / (1u64 << 20) as f64,
+                    e.atlas_raw_bytes as f64 / e.atlas_bytes as f64,
+                    e.atlas_stored,
+                    e.atlas_evicted,
                 );
             }
         }

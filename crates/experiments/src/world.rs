@@ -27,7 +27,12 @@ impl World {
     /// topology. Errors (bad generator parameters, invalid fault
     /// rates) propagate instead of panicking.
     pub fn build(opts: &Options) -> Result<World, ExperimentError> {
-        let mut gen = generate_checked(&GenParams::new(opts.ases, opts.seed))?;
+        let params = if opts.paper_scale {
+            GenParams::paper_scale(opts.seed)
+        } else {
+            GenParams::new(opts.ases, opts.seed)
+        };
+        let mut gen = generate_checked(&params)?;
         let mut fault_report = None;
         if opts.fail_links > 0.0 {
             let plan = FaultPlan::links(opts.fail_links, opts.seed ^ 0x0fa1_17ed);

@@ -6,11 +6,37 @@
 //! them every round (or every sweep repetition over the same graph)
 //! repeats identical work `rounds × |V|` times. A [`RoutingAtlas`]
 //! runs the three-stage BFS for all destinations exactly once — in
-//! parallel — and flattens the results into CSR-style shared arenas
-//! (`len`/`class`/`tb`/`order`), which threads, rounds, and sweep
-//! repetitions borrow through [`AtlasView`] (an impl of
-//! [`RouteContext`]) behind an `Arc` with zero synchronization on the
-//! read path.
+//! parallel — and flattens the results into **compressed** shared
+//! arenas that threads, rounds, and sweep repetitions borrow through
+//! [`AtlasView`] (an impl of [`RouteContext`]) behind an `Arc`.
+//!
+//! # Compressed layout
+//!
+//! The dense layout (u16 length, 1-byte class, u32 CSR tiebreak sets,
+//! u32 order) costs ~15.8 bytes per (destination, node) pair — ~20 GB
+//! for the paper's 36,964-AS graph. Three observations shrink that ~3×:
+//!
+//! * **Packed class+length** — route lengths on AS graphs are tiny
+//!   (valley-free paths rarely exceed ~10 hops), so class (3 bits) and
+//!   length (5 bits, lengths ≥ 31 spill to a sorted side list) share
+//!   one byte per node in the `class_len` arena.
+//! * **Singleton-inlined tiebreak sets** — most tiebreak sets hold
+//!   exactly one next hop; a single `u16` per node stores that member
+//!   inline ([`EMPTY_TB`] for the destination / unreachable nodes,
+//!   [`SPILLED_TB`] for multi-entry sets stored as `[count, members…]`
+//!   groups in a side arena).
+//! * **u16 processing order** — node ids fit `u16` (the pipeline caps
+//!   graphs at [`sbgp_asgraph::MAX_GRAPH_NODES`] = 65,534 nodes), so
+//!   the stored per-destination BFS order halves. The order must be
+//!   *stored*, not recomputed: within a BFS level it interleaves
+//!   counting-sorted seeds with discovery-order expansion, which is not
+//!   a pure function of the packed lengths, and replaying it exactly is
+//!   what keeps flow summation bit-identical.
+//!
+//! Reads go through a caller-owned [`AtlasScratch`]: [`RoutingAtlas::get`]
+//! rebuilds the u32 CSR offsets and order the kernels consume (one
+//! linear pass, memcpy-speed) while classes and lengths are decoded
+//! in place from the packed byte.
 //!
 //! A configurable **memory budget** keeps huge graphs tractable: the
 //! atlas stores destinations in ascending id order until the budget is
@@ -20,7 +46,7 @@
 //! that down bit for bit). Hit/miss/eviction/byte counters are
 //! exposed via [`RoutingAtlas::stats`].
 
-use crate::context::{DestContext, RouteClass, RouteContext, UNREACH};
+use crate::context::{DestContext, RouteClass, RouteContext};
 use crate::tiebreak::TieBreaker;
 use sbgp_asgraph::{AsGraph, AsId};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,36 +56,104 @@ use std::time::Instant;
 /// `slot_of` sentinel for destinations not stored in the arenas.
 const NO_SLOT: u32 = u32::MAX;
 
-/// One destination's context, detached from the scratch buffers so it
-/// can be sent from a build worker to the arena appender.
-struct BuiltCtx {
-    dest: u32,
-    len: Vec<u16>,
-    class: Vec<RouteClass>,
-    tb_off: Vec<u32>,
-    tb: Vec<u32>,
-    order: Vec<u32>,
+/// `tb_word` sentinel: this node's tiebreak set is empty (it is the
+/// destination, or unreachable).
+const EMPTY_TB: u16 = u16::MAX;
+
+/// `tb_word` sentinel: this node's tiebreak set has ≥ 2 members and
+/// lives in the spill arena. Valid node ids stay below this value
+/// (`MAX_GRAPH_NODES` = `u16::MAX - 1` nodes → ids ≤ `u16::MAX - 2`).
+const SPILLED_TB: u16 = u16::MAX - 1;
+
+/// Low-5-bits sentinel in `class_len`: the true length is ≥ 31 and
+/// stored in the sorted `len_ovf` side list.
+const LEN_OVERFLOW: u8 = 0x1F;
+
+/// Decode the class bits of a packed `class_len` byte.
+#[inline]
+fn class_of(b: u8) -> RouteClass {
+    match b >> 5 {
+        0 => RouteClass::SelfDest,
+        1 => RouteClass::Customer,
+        2 => RouteClass::Peer,
+        3 => RouteClass::Provider,
+        _ => RouteClass::Unreachable,
+    }
 }
 
-impl BuiltCtx {
-    fn snapshot(d: AsId, ctx: &DestContext) -> Self {
-        BuiltCtx {
+/// One destination's context, compressed in the build worker so the
+/// arena appender extends slices without re-encoding (the dense
+/// five-buffer snapshot this replaces doubled peak build memory).
+struct CompressedCtx {
+    dest: u32,
+    class_len: Vec<u8>,
+    tb_word: Vec<u16>,
+    tb_spill: Vec<u16>,
+    len_ovf: Vec<(u16, u16)>,
+    order: Vec<u16>,
+    raw_bytes: usize,
+}
+
+impl CompressedCtx {
+    fn from_context(d: AsId, ctx: &DestContext) -> Self {
+        let n = ctx.len.len();
+        let mut class_len = Vec::with_capacity(n);
+        let mut tb_word = Vec::with_capacity(n);
+        let mut tb_spill = Vec::new();
+        let mut len_ovf = Vec::new();
+        for i in 0..n {
+            let class = ctx.class[i];
+            let b = if class == RouteClass::Unreachable {
+                (RouteClass::Unreachable as u8) << 5
+            } else {
+                let l = ctx.len[i];
+                let l5 = if l >= LEN_OVERFLOW as u16 {
+                    // Pushed in ascending node id, so the side list is
+                    // sorted and binary-searchable by construction.
+                    len_ovf.push((i as u16, l));
+                    LEN_OVERFLOW
+                } else {
+                    l as u8
+                };
+                ((class as u8) << 5) | l5
+            };
+            class_len.push(b);
+            let set = &ctx.tb[ctx.tb_off[i] as usize..ctx.tb_off[i + 1] as usize];
+            match set {
+                [] => tb_word.push(EMPTY_TB),
+                [m] => tb_word.push(*m as u16),
+                _ => {
+                    tb_word.push(SPILLED_TB);
+                    tb_spill.push(set.len() as u16);
+                    tb_spill.extend(set.iter().map(|&m| m as u16));
+                }
+            }
+        }
+        let order: Vec<u16> = ctx.order.iter().map(|&x| x as u16).collect();
+        // What the pre-compression dense layout would have cost.
+        let raw_bytes = n * std::mem::size_of::<u16>()
+            + n * std::mem::size_of::<RouteClass>()
+            + (n + 1) * std::mem::size_of::<u32>()
+            + ctx.tb.len() * std::mem::size_of::<u32>()
+            + ctx.order.len() * std::mem::size_of::<u32>();
+        CompressedCtx {
             dest: d.0,
-            len: ctx.len.clone(),
-            class: ctx.class.clone(),
-            tb_off: ctx.tb_off.clone(),
-            tb: ctx.tb.clone(),
-            order: ctx.order.clone(),
+            class_len,
+            tb_word,
+            tb_spill,
+            len_ovf,
+            order,
+            raw_bytes,
         }
     }
 
     /// Arena bytes this destination will occupy once flattened.
     fn bytes(&self) -> usize {
-        self.len.len() * std::mem::size_of::<u16>()
-            + self.class.len() * std::mem::size_of::<RouteClass>()
-            + self.tb_off.len() * std::mem::size_of::<u32>()
-            + self.tb.len() * std::mem::size_of::<u32>()
-            + self.order.len() * std::mem::size_of::<u32>()
+        self.class_len.len()
+            + self.tb_word.len() * 2
+            + self.tb_spill.len() * 2
+            + self.len_ovf.len() * 4
+            + self.order.len() * 2
     }
 }
 
@@ -71,8 +165,12 @@ pub struct AtlasStats {
     /// Destinations dropped at build time because the memory budget
     /// ran out; lookups for them miss and callers recompute.
     pub evicted: usize,
-    /// Total arena bytes held by stored contexts.
+    /// Total arena bytes held by stored contexts (compressed).
     pub bytes: usize,
+    /// Bytes the stored contexts would occupy in the dense
+    /// pre-compression layout; `raw_bytes / bytes` is the compression
+    /// ratio.
+    pub raw_bytes: usize,
     /// Lookups served from the arenas.
     pub hits: u64,
     /// Lookups for evicted destinations (recomputed by the caller).
@@ -81,22 +179,68 @@ pub struct AtlasStats {
     pub build_ns: u64,
 }
 
+impl AtlasStats {
+    /// Dense-layout bytes divided by compressed bytes (1.0 when the
+    /// atlas is empty).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// Caller-owned decode buffers for [`RoutingAtlas::get`]: the u32 CSR
+/// tiebreak offsets and processing order the kernels consume, rebuilt
+/// per lookup from the compressed arenas. One per worker thread,
+/// reused across destinations.
+#[derive(Debug, Default)]
+pub struct AtlasScratch {
+    tb_off: Vec<u32>,
+    tb: Vec<u32>,
+    order: Vec<u32>,
+}
+
+impl AtlasScratch {
+    /// Empty scratch; buffers grow to graph size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch pre-sized for an `n`-node graph.
+    pub fn with_capacity(n: usize) -> Self {
+        AtlasScratch {
+            tb_off: Vec::with_capacity(n + 1),
+            tb: Vec::with_capacity(n),
+            order: Vec::with_capacity(n),
+        }
+    }
+}
+
 /// Immutable per-destination contexts for a whole graph, flattened
-/// into shared arenas. Build once with [`RoutingAtlas::build`], wrap
-/// in an `Arc`, and share across threads, rounds, and repetitions.
+/// into compressed shared arenas. Build once with
+/// [`RoutingAtlas::build`], wrap in an `Arc`, and share across
+/// threads, rounds, and repetitions.
 pub struct RoutingAtlas {
     n: usize,
     /// Destination id → arena slot (`NO_SLOT` if evicted).
     slot_of: Vec<u32>,
-    len_arena: Vec<u16>,
-    class_arena: Vec<RouteClass>,
-    tb_off_arena: Vec<u32>,
-    tb_arena: Vec<u32>,
-    /// Slot → start of its tiebreak segment (length `slots + 1`).
-    tb_bounds: Vec<usize>,
-    order_arena: Vec<u32>,
+    /// Per (slot, node): class (high 3 bits) | length (low 5 bits).
+    class_len: Vec<u8>,
+    /// Per (slot, node): inline singleton tiebreak member or sentinel.
+    tb_word: Vec<u16>,
+    /// Multi-entry tiebreak sets as `[count, members…]` groups.
+    tb_spill: Vec<u16>,
+    /// Slot → start of its spill segment (length `slots + 1`).
+    tb_spill_bounds: Vec<usize>,
+    /// Per slot, sorted `(node id, true length)` for lengths ≥ 31.
+    len_ovf: Vec<(u16, u16)>,
+    len_ovf_bounds: Vec<usize>,
+    order: Vec<u16>,
     order_bounds: Vec<usize>,
     bytes: usize,
+    raw_bytes: usize,
     evicted: usize,
     build_ns: u64,
     hits: AtomicU64,
@@ -138,14 +282,16 @@ impl RoutingAtlas {
         let mut atlas = RoutingAtlas {
             n,
             slot_of: vec![NO_SLOT; n],
-            len_arena: Vec::new(),
-            class_arena: Vec::new(),
-            tb_off_arena: Vec::new(),
-            tb_arena: Vec::new(),
-            tb_bounds: vec![0],
-            order_arena: Vec::new(),
+            class_len: Vec::new(),
+            tb_word: Vec::new(),
+            tb_spill: Vec::new(),
+            tb_spill_bounds: vec![0],
+            len_ovf: Vec::new(),
+            len_ovf_bounds: vec![0],
+            order: Vec::new(),
             order_bounds: vec![0],
             bytes: 0,
+            raw_bytes: 0,
             evicted: 0,
             build_ns: 0,
             hits: AtomicU64::new(0),
@@ -156,7 +302,7 @@ impl RoutingAtlas {
             let mut ctx = DestContext::new(n);
             for d in g.nodes() {
                 ctx.compute(g, d, tiebreaker);
-                let built = BuiltCtx::snapshot(d, &ctx);
+                let built = CompressedCtx::from_context(d, &ctx);
                 if !atlas.try_append(built, budget_bytes) {
                     break;
                 }
@@ -170,11 +316,11 @@ impl RoutingAtlas {
     }
 
     /// Parallel build: workers claim destination ids off an atomic
-    /// counter and send snapshots over a bounded channel; this thread
-    /// appends them to the arenas in ascending id order (a small
-    /// reorder buffer bridges out-of-order arrival) until the budget
-    /// runs out, at which point workers observe the stop flag and
-    /// quit.
+    /// counter, compress in place, and send the compressed contexts
+    /// over a bounded channel; this thread appends them to the arenas
+    /// in ascending id order (a small reorder buffer bridges
+    /// out-of-order arrival) until the budget runs out, at which point
+    /// workers observe the stop flag and quit.
     fn build_parallel<T: TieBreaker + ?Sized>(
         &mut self,
         g: &AsGraph,
@@ -186,7 +332,7 @@ impl RoutingAtlas {
         let n = self.n;
         let next = std::sync::atomic::AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
-        let (tx, rx) = mpsc::sync_channel::<BuiltCtx>(2 * threads);
+        let (tx, rx) = mpsc::sync_channel::<CompressedCtx>(2 * threads);
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let tx = tx.clone();
@@ -204,7 +350,7 @@ impl RoutingAtlas {
                         }
                         let d = AsId(d as u32);
                         ctx.compute(g, d, tiebreaker);
-                        if tx.send(BuiltCtx::snapshot(d, &ctx)).is_err() {
+                        if tx.send(CompressedCtx::from_context(d, &ctx)).is_err() {
                             return;
                         }
                     }
@@ -228,23 +374,28 @@ impl RoutingAtlas {
         });
     }
 
-    /// Append one destination's context if it fits the budget; returns
-    /// `false` (storing nothing) once the budget is exhausted.
-    fn try_append(&mut self, built: BuiltCtx, budget_bytes: usize) -> bool {
+    /// Append one destination's compressed context if it fits the
+    /// budget; returns `false` (storing nothing) once the budget is
+    /// exhausted. `bytes` stays equal to the arena truth by
+    /// construction: every slice appended here is counted by
+    /// [`CompressedCtx::bytes`].
+    fn try_append(&mut self, built: CompressedCtx, budget_bytes: usize) -> bool {
         let cost = built.bytes();
         if self.bytes + cost > budget_bytes {
             return false;
         }
-        let slot = self.tb_bounds.len() - 1;
-        self.len_arena.extend_from_slice(&built.len);
-        self.class_arena.extend_from_slice(&built.class);
-        self.tb_off_arena.extend_from_slice(&built.tb_off);
-        self.tb_arena.extend_from_slice(&built.tb);
-        self.tb_bounds.push(self.tb_arena.len());
-        self.order_arena.extend_from_slice(&built.order);
-        self.order_bounds.push(self.order_arena.len());
+        let slot = self.order_bounds.len() - 1;
+        self.class_len.extend_from_slice(&built.class_len);
+        self.tb_word.extend_from_slice(&built.tb_word);
+        self.tb_spill.extend_from_slice(&built.tb_spill);
+        self.tb_spill_bounds.push(self.tb_spill.len());
+        self.len_ovf.extend_from_slice(&built.len_ovf);
+        self.len_ovf_bounds.push(self.len_ovf.len());
+        self.order.extend_from_slice(&built.order);
+        self.order_bounds.push(self.order.len());
         self.slot_of[built.dest as usize] = slot as u32;
         self.bytes += cost;
+        self.raw_bytes += built.raw_bytes;
         true
     }
 
@@ -255,13 +406,16 @@ impl RoutingAtlas {
 
     /// Destinations whose contexts are stored.
     pub fn stored(&self) -> usize {
-        self.tb_bounds.len() - 1
+        self.order_bounds.len() - 1
     }
 
     /// Borrow destination `d`'s context, counting a hit; `None` (a
     /// counted miss) if `d` was evicted by the build budget.
-    #[inline]
-    pub fn get(&self, d: AsId) -> Option<AtlasView<'_>> {
+    ///
+    /// Decodes the compressed tiebreak layout and u16 order into
+    /// `scratch` (one linear pass over the destination's rows); the
+    /// returned view borrows both the arenas and the scratch.
+    pub fn get<'a>(&'a self, d: AsId, scratch: &'a mut AtlasScratch) -> Option<AtlasView<'a>> {
         let slot = self.slot_of[d.index()];
         if slot == NO_SLOT {
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -270,13 +424,43 @@ impl RoutingAtlas {
         self.hits.fetch_add(1, Ordering::Relaxed);
         let s = slot as usize;
         let n = self.n;
+        let class_len = &self.class_len[s * n..(s + 1) * n];
+        let tb_word = &self.tb_word[s * n..(s + 1) * n];
+        let spill = &self.tb_spill[self.tb_spill_bounds[s]..self.tb_spill_bounds[s + 1]];
+        let len_ovf = &self.len_ovf[self.len_ovf_bounds[s]..self.len_ovf_bounds[s + 1]];
+        let order16 = &self.order[self.order_bounds[s]..self.order_bounds[s + 1]];
+
+        scratch.tb_off.clear();
+        scratch.tb.clear();
+        scratch.tb_off.reserve(n + 1);
+        scratch.tb_off.push(0);
+        let mut cursor = 0usize;
+        for &w in tb_word {
+            match w {
+                EMPTY_TB => {}
+                SPILLED_TB => {
+                    let count = spill[cursor] as usize;
+                    scratch.tb.extend(
+                        spill[cursor + 1..cursor + 1 + count]
+                            .iter()
+                            .map(|&m| m as u32),
+                    );
+                    cursor += 1 + count;
+                }
+                m => scratch.tb.push(m as u32),
+            }
+            scratch.tb_off.push(scratch.tb.len() as u32);
+        }
+        scratch.order.clear();
+        scratch.order.extend(order16.iter().map(|&x| x as u32));
+
         Some(AtlasView {
             dest: d,
-            len: &self.len_arena[s * n..(s + 1) * n],
-            class: &self.class_arena[s * n..(s + 1) * n],
-            tb_off: &self.tb_off_arena[s * (n + 1)..(s + 1) * (n + 1)],
-            tb: &self.tb_arena[self.tb_bounds[s]..self.tb_bounds[s + 1]],
-            order: &self.order_arena[self.order_bounds[s]..self.order_bounds[s + 1]],
+            class_len,
+            len_ovf,
+            tb_off: &scratch.tb_off,
+            tb: &scratch.tb,
+            order: &scratch.order,
         })
     }
 
@@ -286,6 +470,7 @@ impl RoutingAtlas {
             stored: self.stored(),
             evicted: self.evicted,
             bytes: self.bytes,
+            raw_bytes: self.raw_bytes,
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             build_ns: self.build_ns,
@@ -293,14 +478,15 @@ impl RoutingAtlas {
     }
 }
 
-/// A borrowed view of one destination's context inside the atlas
-/// arenas; implements [`RouteContext`] so it is interchangeable with
-/// a freshly computed [`DestContext`].
+/// A borrowed view of one destination's context: packed class/length
+/// bytes straight from the atlas arenas, tiebreak CSR and order from
+/// the caller's decoded [`AtlasScratch`]. Implements [`RouteContext`]
+/// so it is interchangeable with a freshly computed [`DestContext`].
 #[derive(Clone, Copy, Debug)]
 pub struct AtlasView<'a> {
     dest: AsId,
-    len: &'a [u16],
-    class: &'a [RouteClass],
+    class_len: &'a [u8],
+    len_ovf: &'a [(u16, u16)],
     tb_off: &'a [u32],
     tb: &'a [u32],
     order: &'a [u32],
@@ -313,14 +499,25 @@ impl RouteContext for AtlasView<'_> {
     }
     #[inline]
     fn route_len(&self, n: AsId) -> Option<u16> {
-        match self.len[n.index()] {
-            UNREACH => None,
-            l => Some(l),
+        let b = self.class_len[n.index()];
+        if b >> 5 == RouteClass::Unreachable as u8 {
+            return None;
+        }
+        match b & LEN_OVERFLOW {
+            LEN_OVERFLOW => {
+                let key = n.index() as u16;
+                let i = self
+                    .len_ovf
+                    .binary_search_by_key(&key, |&(id, _)| id)
+                    .expect("overflowed length present in side list");
+                Some(self.len_ovf[i].1)
+            }
+            l => Some(l as u16),
         }
     }
     #[inline]
     fn route_class(&self, n: AsId) -> RouteClass {
-        self.class[n.index()]
+        class_of(self.class_len[n.index()])
     }
     #[inline]
     fn tiebreak_set(&self, n: AsId) -> &[u32] {
@@ -336,13 +533,23 @@ impl RouteContext for AtlasView<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tiebreak::HashTieBreak;
+    use crate::flows::UtilityAccumulator;
+    use crate::secure::SecureSet;
+    use crate::tiebreak::{HashTieBreak, LowestAsnTieBreak};
+    use crate::tree::TreePolicy;
     use sbgp_asgraph::gen::{generate, GenParams};
+    use sbgp_asgraph::{AsGraphBuilder, Weights};
 
-    fn views_match(g: &AsGraph, atlas: &RoutingAtlas, d: AsId) {
+    fn views_match<T: TieBreaker + ?Sized>(
+        g: &AsGraph,
+        atlas: &RoutingAtlas,
+        d: AsId,
+        tiebreaker: &T,
+    ) {
         let mut ctx = DestContext::new(g.len());
-        ctx.compute(g, d, &HashTieBreak);
-        let view = atlas.get(d).expect("stored destination");
+        ctx.compute(g, d, tiebreaker);
+        let mut scratch = AtlasScratch::new();
+        let view = atlas.get(d, &mut scratch).expect("stored destination");
         assert_eq!(view.dest(), RouteContext::dest(&ctx));
         assert_eq!(view.order(), RouteContext::order(&ctx));
         for x in g.nodes() {
@@ -353,15 +560,79 @@ mod tests {
     }
 
     #[test]
-    fn atlas_views_equal_fresh_contexts() {
+    fn atlas_views_equal_fresh_contexts_both_tiebreakers() {
         let g = generate(&GenParams::new(120, 9)).graph;
         for threads in [1, 4] {
             let atlas = RoutingAtlas::build(&g, &HashTieBreak, usize::MAX, threads);
             assert_eq!(atlas.stored(), g.len());
             assert_eq!(atlas.stats().evicted, 0);
             for d in g.nodes() {
-                views_match(&g, &atlas, d);
+                views_match(&g, &atlas, d, &HashTieBreak);
             }
+        }
+        let atlas = RoutingAtlas::build(&g, &LowestAsnTieBreak, usize::MAX, 2);
+        for d in g.nodes() {
+            views_match(&g, &atlas, d, &LowestAsnTieBreak);
+        }
+    }
+
+    /// Utility accumulation through an [`AtlasView`] is bitwise equal
+    /// to accumulation through fresh [`DestContext`]s, under both
+    /// stub-security policies (the paper's two utility models) and a
+    /// partially secure deployment.
+    #[test]
+    fn atlas_utilities_bitwise_equal_both_policies() {
+        let gen = generate(&GenParams::new(150, 42));
+        let g = &gen.graph;
+        let weights = Weights::with_cp_fraction(g, 0.2);
+        let mut secure = SecureSet::new(g.len());
+        for i in (0..g.len()).step_by(3) {
+            secure.set(AsId(i as u32), true);
+        }
+        let atlas = RoutingAtlas::build(g, &HashTieBreak, usize::MAX, 2);
+        for policy in [
+            TreePolicy::default(),
+            TreePolicy {
+                stubs_prefer_secure: false,
+            },
+        ] {
+            let mut fresh = UtilityAccumulator::new(g.len());
+            let mut via_atlas = UtilityAccumulator::new(g.len());
+            let mut ctx = DestContext::new(g.len());
+            let mut scratch = AtlasScratch::new();
+            for d in g.nodes() {
+                ctx.compute(g, d, &HashTieBreak);
+                fresh.add_destination(g, &ctx, &secure, policy, &weights);
+                let view = atlas.get(d, &mut scratch).unwrap();
+                via_atlas.add_destination(g, &view, &secure, policy, &weights);
+            }
+            // Bitwise: the compressed read path must not perturb a
+            // single f64 operation.
+            assert_eq!(fresh.u_out, via_atlas.u_out);
+            assert_eq!(fresh.u_in, via_atlas.u_in);
+        }
+    }
+
+    /// Lengths ≥ 31 spill to the side list and decode exactly: a long
+    /// provider chain gives the head a 39-hop customer route.
+    #[test]
+    fn long_chain_overflows_length_encoding() {
+        let n = 40;
+        let mut b = AsGraphBuilder::new();
+        b.add_nodes(1, n);
+        for i in 0..n - 1 {
+            // i provides transit to i+1: a pure provider chain.
+            b.add_provider_customer(AsId(i as u32), AsId(i as u32 + 1))
+                .unwrap();
+        }
+        let g = b.build().unwrap();
+        let atlas = RoutingAtlas::build(&g, &HashTieBreak, usize::MAX, 1);
+        let mut scratch = AtlasScratch::new();
+        let view = atlas.get(AsId(n as u32 - 1), &mut scratch).unwrap();
+        assert_eq!(view.route_len(AsId(0)), Some(n as u16 - 1));
+        assert_eq!(view.route_class(AsId(0)), RouteClass::Customer);
+        for d in g.nodes() {
+            views_match(&g, &atlas, d, &HashTieBreak);
         }
     }
 
@@ -378,15 +649,75 @@ mod tests {
         assert_eq!(small.stats().evicted, g.len() - stored);
         assert!(small.stats().bytes <= budget);
         // Stored prefix is exactly the low ids; the rest miss.
+        let mut scratch = AtlasScratch::new();
         for d in g.nodes() {
-            let hit = small.get(d).is_some();
+            let hit = small.get(d, &mut scratch).is_some();
             assert_eq!(hit, d.index() < stored, "dest {d}");
             if hit {
-                views_match(&g, &small, d);
+                views_match(&g, &small, d, &HashTieBreak);
             }
         }
         let s = small.stats();
         assert!(s.hits > 0 && s.misses > 0);
+    }
+
+    /// Property: across seeds and budget fractions, eviction
+    /// accounting balances (`stored + evicted == n`) and
+    /// `AtlasStats.bytes`/`raw_bytes` equal the independently
+    /// recomputed per-destination sums — the arena truth, not a
+    /// pre-flatten estimate.
+    #[test]
+    fn eviction_accounting_matches_arena_truth() {
+        for seed in [1, 7, 23] {
+            let g = generate(&GenParams::new(90, seed)).graph;
+            // Per-destination compressed and raw sizes, recomputed
+            // independently of the atlas build path.
+            let mut ctx = DestContext::new(g.len());
+            let sizes: Vec<(usize, usize)> = g
+                .nodes()
+                .map(|d| {
+                    ctx.compute(&g, d, &HashTieBreak);
+                    let c = CompressedCtx::from_context(d, &ctx);
+                    (c.bytes(), c.raw_bytes)
+                })
+                .collect();
+            let total: usize = sizes.iter().map(|&(b, _)| b).sum();
+            for denom in [1, 2, 3, 8, 1000] {
+                let budget = total / denom;
+                for threads in [1, 3] {
+                    let atlas = RoutingAtlas::build(&g, &HashTieBreak, budget, threads);
+                    let s = atlas.stats();
+                    assert_eq!(s.stored + s.evicted, g.len(), "seed {seed} denom {denom}");
+                    let expect_bytes: usize = sizes[..s.stored].iter().map(|&(b, _)| b).sum();
+                    let expect_raw: usize = sizes[..s.stored].iter().map(|&(_, r)| r).sum();
+                    assert_eq!(s.bytes, expect_bytes, "seed {seed} denom {denom}");
+                    assert_eq!(s.raw_bytes, expect_raw, "seed {seed} denom {denom}");
+                    assert!(s.bytes <= budget);
+                    // The next destination must not have fit.
+                    if s.stored < g.len() {
+                        assert!(s.bytes + sizes[s.stored].0 > budget);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compression_beats_dense_layout() {
+        let g = generate(&GenParams::new(300, 11)).graph;
+        let atlas = RoutingAtlas::build(&g, &HashTieBreak, usize::MAX, 2);
+        let s = atlas.stats();
+        assert!(
+            s.raw_bytes > s.bytes,
+            "raw {} packed {}",
+            s.raw_bytes,
+            s.bytes
+        );
+        assert!(
+            s.compression_ratio() > 2.0,
+            "ratio {:.2}",
+            s.compression_ratio()
+        );
     }
 
     #[test]
@@ -395,6 +726,7 @@ mod tests {
         let atlas = RoutingAtlas::build(&g, &HashTieBreak, 0, 2);
         assert_eq!(atlas.stored(), 0);
         assert_eq!(atlas.stats().evicted, g.len());
-        assert!(atlas.get(AsId(0)).is_none());
+        let mut scratch = AtlasScratch::new();
+        assert!(atlas.get(AsId(0), &mut scratch).is_none());
     }
 }

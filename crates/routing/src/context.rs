@@ -18,7 +18,7 @@
 //!    node export its best route, of any class, to its customers).
 
 use crate::tiebreak::TieBreaker;
-use sbgp_asgraph::{AsGraph, AsId};
+use sbgp_asgraph::{AsGraph, AsId, GraphError, MAX_GRAPH_NODES};
 
 /// Length sentinel for unreachable nodes.
 pub(crate) const UNREACH: u16 = u16::MAX;
@@ -105,14 +105,33 @@ impl DestContext {
     /// [`compute`](Self::compute) before use).
     ///
     /// # Panics
-    /// Panics if `n` exceeds `u16::MAX - 1` nodes (path lengths are
-    /// stored as `u16`; the paper's 36K-node graph fits comfortably).
+    /// Panics if `n` exceeds [`MAX_GRAPH_NODES`] (path lengths and the
+    /// atlas's packed node ids are `u16`; the paper's 36K-node graph
+    /// fits comfortably). Use [`try_new`](Self::try_new) for a typed
+    /// error instead — graph producers ([`sbgp_asgraph::gen`], the
+    /// [`sbgp_asgraph::io`] loaders) already reject oversized graphs
+    /// at the boundary, so this panic marks an internal bug.
     pub fn new(n: usize) -> Self {
-        assert!(
-            n < u16::MAX as usize,
-            "graph too large for u16 path lengths"
-        );
-        DestContext {
+        match Self::try_new(n) {
+            Ok(ctx) => ctx,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`new`](Self::new): a diagnostic
+    /// [`GraphError::InvalidParam`] instead of a panic when `n` exceeds
+    /// [`MAX_GRAPH_NODES`].
+    pub fn try_new(n: usize) -> Result<Self, GraphError> {
+        if n > MAX_GRAPH_NODES {
+            return Err(GraphError::InvalidParam {
+                param: "nodes",
+                message: format!(
+                    "graph has {n} nodes, more than the supported {MAX_GRAPH_NODES}; \
+                     route lengths and atlas node ids are stored as u16"
+                ),
+            });
+        }
+        Ok(DestContext {
             dest: AsId(0),
             len: vec![UNREACH; n],
             class: vec![RouteClass::Unreachable; n],
@@ -125,7 +144,7 @@ impl DestContext {
             frontier: Vec::new(),
             next_frontier: Vec::new(),
             key_scratch: Vec::new(),
-        }
+        })
     }
 
     /// The destination this context currently describes.
@@ -517,6 +536,16 @@ mod tests {
         assert_eq!(ctx.route_len(lone), None);
         assert!(ctx.tiebreak_set(lone).is_empty());
         assert_eq!(ctx.reachable(), 2);
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_graphs() {
+        let err = DestContext::try_new(MAX_GRAPH_NODES + 1).unwrap_err();
+        assert!(
+            matches!(err, GraphError::InvalidParam { param: "nodes", .. }),
+            "want InvalidParam, got {err:?}"
+        );
+        assert!(DestContext::try_new(MAX_GRAPH_NODES).is_ok());
     }
 
     #[test]

@@ -88,11 +88,12 @@ pub mod census;
 pub mod diffcheck;
 pub mod oracle;
 
-pub use atlas::{AtlasStats, AtlasView, RoutingAtlas};
+pub use atlas::{AtlasScratch, AtlasStats, AtlasView, RoutingAtlas};
 pub use context::{DestContext, RouteClass, RouteContext};
 pub use delta::{delta_project, DeltaOutcome, DeltaScratch, TbDependents};
 pub use flows::{
-    accumulate_flows, add_utilities, flows_and_target_utility, utilities_of, UtilityAccumulator,
+    accumulate_flows, add_utilities, flows_and_target_utility, fold_utilities, utilities_of,
+    UtilityAccumulator,
 };
 pub use secure::SecureSet;
 pub use tiebreak::{HashTieBreak, LowestAsnTieBreak, TieBreaker};
