@@ -65,6 +65,7 @@ pub mod checkpoint;
 pub mod guard;
 pub mod metrics;
 pub mod resilience;
+pub mod scenario;
 pub mod storage;
 pub mod supervise;
 pub mod turnoff;

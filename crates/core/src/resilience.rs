@@ -7,7 +7,9 @@
 //! own motivation cites that under plain BGP "an arbitrary misbehaving
 //! AS can impact about half of the ASes in the Internet".
 //!
-//! This module implements that evaluation against a deployment state:
+//! This module is the origin-hijack special case of the general
+//! adversarial layer in [`crate::scenario`], kept as the stable API
+//! the experiment harness grew up on:
 //!
 //! * the attacker announces the victim's prefix as its own (a one-hop
 //!   fabrication, the classic origin hijack);
@@ -22,15 +24,18 @@
 //!   the attacker; the *deceived* set is everyone routing to the
 //!   attacker.
 //!
-//! The computation is a two-origin path-vector convergence (both the
-//! victim and the attacker originate the prefix), structured like
-//! [`sbgp_routing::oracle`]. It is deliberately the naive algorithm:
-//! per-node candidate filtering makes route class and length depend on
-//! the deployment state, so the Observation C.1 fast path does not
-//! apply.
+//! [`simulate_hijack`] maps a [`TreePolicy`] onto the equivalent
+//! [`ScenarioPolicy`] (security third, no ROV, simplex-asymmetric
+//! stubs — the paper's baseline) and runs
+//! [`crate::scenario::simulate_scenario`] with
+//! [`AttackModel::OriginHijack`]. Other attacks, rankings, and ROV
+//! live behind the general API.
 
+use crate::scenario::simulate_scenario;
 use sbgp_asgraph::{AsGraph, AsId};
-use sbgp_routing::{SecureSet, TieBreaker, TreePolicy};
+use sbgp_routing::{AttackModel, ScenarioPolicy, SecureSet, SecurityRank, TieBreaker, TreePolicy};
+
+pub use crate::scenario::ConvergenceError;
 
 /// Result of one hijack simulation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -56,36 +61,6 @@ impl HijackOutcome {
     }
 }
 
-/// The two-origin path-vector fixpoint did not settle within its
-/// iteration budget.
-///
-/// On a GR1-valid graph the convergence proof of [`sbgp_routing::oracle`]
-/// carries over, so this is only reachable on malformed inputs (e.g. a
-/// fault-injected cyclic topology). It used to be a panic deep inside a
-/// sweep; it is now a value, so callers can quarantine the offending
-/// pair and keep the rest of the sample.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ConvergenceError {
-    /// The sampled attacker.
-    pub attacker: AsId,
-    /// The sampled victim.
-    pub victim: AsId,
-    /// The iteration budget that was exhausted (`2·|V| + 10`).
-    pub iterations: usize,
-}
-
-impl std::fmt::Display for ConvergenceError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "hijack simulation (attacker node {}, victim node {}) failed to converge within {} iterations",
-            self.attacker.0, self.victim.0, self.iterations
-        )
-    }
-}
-
-impl std::error::Error for ConvergenceError {}
-
 /// Outcome of a [`mean_deceived_fraction`] sweep: the headline mean
 /// plus an explicit account of any (attacker, victim) pairs whose
 /// fixpoint had to be quarantined.
@@ -107,14 +82,15 @@ impl DeceptionSample {
     }
 }
 
-/// A ranked candidate: (LP class, length, security flag, tiebreak key)
-/// plus the path itself.
-type RankedPath = ((u8, usize, u8, u64), Vec<AsId>);
-
-/// Does `n` validate S\*BGP announcements in `state`? Fully secure
-/// ISPs and CPs do; simplex stubs and insecure ASes do not.
-fn validates(g: &AsGraph, state: &SecureSet, n: AsId) -> bool {
-    state.get(n) && !g.is_stub(n)
+/// The paper-baseline scenario policy equivalent to `policy`: security
+/// ranks third, no ROV, stubs sign but cannot validate.
+fn as_scenario_policy(policy: TreePolicy) -> ScenarioPolicy {
+    ScenarioPolicy {
+        rank: SecurityRank::Third,
+        rov: false,
+        stubs_validate: false,
+        stubs_prefer_secure: policy.stubs_prefer_secure,
+    }
 }
 
 /// Simulate `attacker` origin-hijacking `victim`'s prefix under
@@ -135,104 +111,20 @@ pub fn simulate_hijack(
     tiebreaker: &dyn TieBreaker,
 ) -> Result<HijackOutcome, ConvergenceError> {
     assert_ne!(attacker, victim, "attacker cannot hijack itself");
-    let n = g.len();
-    // Route per node: the AS-path to whichever origin it selected.
-    // `None` = no route. A path ending at `attacker` is bogus.
-    let mut paths: Vec<Option<Vec<AsId>>> = vec![None; n];
-    paths[victim.index()] = Some(vec![victim]);
-    paths[attacker.index()] = Some(vec![attacker]);
-
-    let is_bogus = |p: &[AsId]| *p.last().expect("paths are non-empty") == attacker;
-    let fully_secure = |p: &[AsId]| p.iter().all(|&x| state.get(x));
-
-    let lp = |x: AsId, m: AsId| -> u8 {
-        g.relationship(x, m)
-            .expect("candidate must be a neighbor")
-            .preference_rank()
-    };
-    let exports = |m: AsId, x: AsId, mp: &[AsId]| -> bool {
-        if mp.len() == 1 {
-            return true; // origin announces to everyone
-        }
-        if g.customers(m).binary_search(&x).is_ok() {
-            return true;
-        }
-        g.customers(m).binary_search(&mp[1]).is_ok()
-    };
-
-    let max_iters = 2 * n + 10;
-    let mut iterations = 0;
-    loop {
-        iterations += 1;
-        if iterations > max_iters {
-            return Err(ConvergenceError {
-                attacker,
-                victim,
-                iterations: max_iters,
-            });
-        }
-        let mut changed = false;
-        let mut next = paths.clone();
-        for x in g.nodes() {
-            if x == victim || x == attacker {
-                continue;
-            }
-            let x_validates = validates(g, state, x);
-            let applies_secp = state.get(x) && (policy.stubs_prefer_secure || !g.is_stub(x));
-            let mut best: Option<RankedPath> = None;
-            for &m in g.neighbors(x) {
-                let Some(mp) = paths[m.index()].as_ref() else {
-                    continue;
-                };
-                if mp.contains(&x) || !exports(m, x, mp) {
-                    continue;
-                }
-                // Validation: a fully secure AS rejects the hijack —
-                // the announcement cannot carry the victim's
-                // signature (S-BGP) or a certificate for the
-                // fabricated origination (soBGP).
-                if x_validates && is_bogus(mp) {
-                    continue;
-                }
-                let mut cand = Vec::with_capacity(mp.len() + 1);
-                cand.push(x);
-                cand.extend_from_slice(mp);
-                // Bogus routes are never fully secure: the attacker
-                // cannot forge the victim's signature.
-                let sec_flag = u8::from(!(applies_secp && !is_bogus(&cand) && fully_secure(&cand)));
-                let rank = (lp(x, m), cand.len() - 1, sec_flag, tiebreaker.key(g, x, m));
-                if best.as_ref().is_none_or(|(r, _)| rank < *r) {
-                    best = Some((rank, cand));
-                }
-            }
-            let new = best.map(|(_, p)| p);
-            if new != paths[x.index()] {
-                changed = true;
-            }
-            next[x.index()] = new;
-        }
-        paths = next;
-        if !changed {
-            break;
-        }
-    }
-
-    let mut outcome = HijackOutcome {
-        deceived: 0,
-        reached_victim: 0,
-        unreachable: 0,
-    };
-    for x in g.nodes() {
-        if x == victim || x == attacker {
-            continue;
-        }
-        match &paths[x.index()] {
-            None => outcome.unreachable += 1,
-            Some(p) if is_bogus(p) => outcome.deceived += 1,
-            Some(_) => outcome.reached_victim += 1,
-        }
-    }
-    Ok(outcome)
+    let run = simulate_scenario(
+        g,
+        state,
+        &as_scenario_policy(policy),
+        AttackModel::OriginHijack,
+        attacker,
+        victim,
+        tiebreaker,
+    )?;
+    Ok(HijackOutcome {
+        deceived: run.outcome.deceived,
+        reached_victim: run.outcome.reached_victim,
+        unreachable: run.outcome.unreachable,
+    })
 }
 
 /// Mean deceived fraction over `n_pairs` deterministic
@@ -476,19 +368,6 @@ mod tests {
         pairs.sort_unstable();
         pairs.dedup();
         assert_eq!(pairs.len(), before, "quarantined pairs must be unique");
-    }
-
-    #[test]
-    fn convergence_error_formats_the_pair() {
-        let e = ConvergenceError {
-            attacker: AsId(7),
-            victim: AsId(3),
-            iterations: 42,
-        };
-        let msg = e.to_string();
-        assert!(msg.contains("attacker node 7"), "{msg}");
-        assert!(msg.contains("victim node 3"), "{msg}");
-        assert!(msg.contains("42 iterations"), "{msg}");
     }
 
     #[test]

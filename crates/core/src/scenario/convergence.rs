@@ -1,0 +1,493 @@
+//! The fast two-origin scenario fixpoint.
+//!
+//! Semantically identical to [`sbgp_routing::scenario_oracle`] — the
+//! conformance suite proves it outcome-for-outcome — but built for
+//! running hundreds of thousands of scenarios:
+//!
+//! * **Shared-tail cons paths.** The oracle clones a `Vec<AsId>` per
+//!   candidate per pass; here a candidate is an `O(1)` `Rc` prepend
+//!   onto the neighbor's existing path, and unchanged routes are
+//!   recognized by pointer equality before any walk.
+//! * **Dirty-set scheduling.** A node's selection is a pure function
+//!   of its neighbors' previous-pass routes, so only the neighbors of
+//!   last pass's changed nodes can change this pass. The worklist
+//!   visits exactly those; every visited node still reads the same
+//!   previous-pass state the full sweep would, so the iterate
+//!   sequence — including the iteration count — is identical to the
+//!   oracle's synchronous whole-graph sweep.
+//! * **Frozen-context prephase.** A route leak needs the attacker's
+//!   clean-world route first. Under the paper's security-third ranking
+//!   that is exactly what the Observation C.1 pipeline computes, so
+//!   the prephase is served by [`DestContext`] + [`compute_tree`] +
+//!   [`extract_path`] instead of a second fixpoint (security-first/
+//!   -second rankings fall back to the generic fixpoint, which the
+//!   C.1 machinery cannot express).
+
+use super::ConvergenceError;
+use sbgp_asgraph::{AsGraph, AsId};
+use sbgp_routing::{
+    compute_tree, extract_path, AttackModel, DestContext, RouteTree, ScenarioOutcome,
+    ScenarioPolicy, SecureSet, SecurityRank, TieBreaker, TreePolicy, Verdict,
+};
+use std::rc::Rc;
+
+/// One hop of a shared-tail path; `tail == None` marks the origin.
+struct Cons {
+    id: AsId,
+    tail: Option<Rc<Cons>>,
+}
+
+/// A node's current route: the rank-relevant summary plus the path.
+#[derive(Clone)]
+struct Route {
+    /// AS-hop count (origin announcements have their true length).
+    len: u32,
+    /// Every hop on the path is secure (raw chain security; whether it
+    /// *counts* as secure also depends on the attack forging paths).
+    all_secure: bool,
+    /// The path descends from the attacker's announcement.
+    via_attacker: bool,
+    /// Head of the path (`head.id` is the owning node).
+    head: Rc<Cons>,
+}
+
+fn cons_contains(head: &Rc<Cons>, x: AsId) -> bool {
+    let mut cur = Some(head);
+    while let Some(node) = cur {
+        if node.id == x {
+            return true;
+        }
+        cur = node.tail.as_ref();
+    }
+    false
+}
+
+/// Equality on the underlying paths, with a pointer shortcut: shared
+/// tails are the common case because unchanged neighbor routes are
+/// reused by reference.
+fn same_path(a: &Route, b: &Route) -> bool {
+    if a.len != b.len {
+        return false;
+    }
+    let mut p = Some(&a.head);
+    let mut q = Some(&b.head);
+    loop {
+        match (p, q) {
+            (None, None) => return true,
+            (Some(x), Some(y)) => {
+                if Rc::ptr_eq(x, y) {
+                    return true;
+                }
+                if x.id != y.id {
+                    return false;
+                }
+                p = x.tail.as_ref();
+                q = y.tail.as_ref();
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn materialize(head: &Rc<Cons>) -> Vec<AsId> {
+    let mut out = Vec::new();
+    let mut cur = Some(head);
+    while let Some(node) = cur {
+        out.push(node.id);
+        cur = node.tail.as_ref();
+    }
+    out
+}
+
+/// Build a pinned announcement route from a full `[attacker, ..]` path.
+fn route_from_path(path: &[AsId], state: &SecureSet, via_attacker: bool) -> Route {
+    let mut head: Option<Rc<Cons>> = None;
+    for &id in path.iter().rev() {
+        head = Some(Rc::new(Cons { id, tail: head }));
+    }
+    Route {
+        len: (path.len() - 1) as u32,
+        all_secure: path.iter().all(|&x| state.get(x)),
+        via_attacker,
+        head: head.expect("announcement paths are non-empty"),
+    }
+}
+
+/// The converged result of one scenario: the tallied outcome plus the
+/// materialized per-node paths (for differential checks and verdict
+/// forensics; sweeps drop them after counting).
+#[derive(Clone, Debug)]
+pub struct ScenarioRun {
+    /// Tallied verdicts and the two-origin iteration count.
+    pub outcome: ScenarioOutcome,
+    /// Best AS path per node (`[node, ..., origin]`).
+    pub paths: Vec<Option<Vec<AsId>>>,
+}
+
+/// Simulate `attacker` mounting `attack` against `victim`'s prefix
+/// under deployment `state` and defense `policy`.
+///
+/// # Errors
+/// Returns [`ConvergenceError`] if either fixpoint phase exhausts its
+/// `2·|V| + 10` iteration budget (possible under security-first
+/// rankings, which can build dispute wheels).
+///
+/// # Panics
+/// Panics if `attacker == victim`.
+pub fn simulate_scenario(
+    g: &AsGraph,
+    state: &SecureSet,
+    policy: &ScenarioPolicy,
+    attack: AttackModel,
+    attacker: AsId,
+    victim: AsId,
+    tiebreaker: &dyn TieBreaker,
+) -> Result<ScenarioRun, ConvergenceError> {
+    assert_ne!(attacker, victim, "attacker cannot target itself");
+    let budget_err = |iterations| ConvergenceError {
+        attacker,
+        victim,
+        attack,
+        iterations,
+    };
+    let announcement = match attack {
+        AttackModel::OriginHijack | AttackModel::Downgrade => {
+            Some(route_from_path(&[attacker], state, true))
+        }
+        AttackModel::PathForgery => Some(route_from_path(&[attacker, victim], state, true)),
+        AttackModel::RouteLeak if policy.rank == SecurityRank::Third => {
+            // The clean world under security-third is exactly the
+            // Observation C.1 pipeline's domain: frozen class/length
+            // context, then the secure-set-dependent tree.
+            let mut ctx = DestContext::new(g.len());
+            ctx.compute(g, victim, tiebreaker);
+            let mut tree = RouteTree::new(g.len());
+            let tree_policy = TreePolicy {
+                stubs_prefer_secure: policy.stubs_prefer_secure,
+            };
+            compute_tree(g, &ctx, state, tree_policy, &mut tree);
+            extract_path(&ctx, &tree, attacker).map(|p| route_from_path(&p, state, true))
+        }
+        AttackModel::RouteLeak => {
+            let (clean, _) =
+                fixpoint(g, state, policy, victim, None, tiebreaker).map_err(budget_err)?;
+            clean[attacker.index()].as_ref().map(|r| Route {
+                via_attacker: true,
+                ..r.clone()
+            })
+        }
+    };
+    let (routes, iterations) = fixpoint(
+        g,
+        state,
+        policy,
+        victim,
+        Some((attacker, attack, announcement)),
+        tiebreaker,
+    )
+    .map_err(budget_err)?;
+
+    let mut verdicts = Vec::with_capacity(g.len());
+    let mut paths = Vec::with_capacity(g.len());
+    for x in g.nodes() {
+        let r = routes[x.index()].as_ref();
+        paths.push(r.map(|r| materialize(&r.head)));
+        verdicts.push(if x == attacker || x == victim {
+            Verdict::Origin
+        } else {
+            match r {
+                None => Verdict::Unreachable,
+                Some(r) if r.via_attacker => Verdict::Deceived,
+                Some(_) => Verdict::ReachedVictim,
+            }
+        });
+    }
+    Ok(ScenarioRun {
+        outcome: ScenarioOutcome::tally(verdicts, iterations),
+        paths,
+    })
+}
+
+/// The dirty-set fixpoint. `attack_cfg = None` is the clean
+/// single-origin world (route-leak prephase); otherwise the attacker
+/// is pinned to its announcement (or pinned routeless) and exports to
+/// every neighbor.
+#[allow(clippy::type_complexity)]
+fn fixpoint(
+    g: &AsGraph,
+    state: &SecureSet,
+    policy: &ScenarioPolicy,
+    victim: AsId,
+    attack_cfg: Option<(AsId, AttackModel, Option<Route>)>,
+    tiebreaker: &dyn TieBreaker,
+) -> Result<(Vec<Option<Route>>, usize), usize> {
+    let n = g.len();
+    let mut routes: Vec<Option<Route>> = Vec::with_capacity(n);
+    routes.resize_with(n, || None);
+    let mut pinned = vec![false; n];
+    routes[victim.index()] = Some(route_from_path(&[victim], state, false));
+    pinned[victim.index()] = true;
+    let mut frontier = vec![victim];
+    let attack = attack_cfg.as_ref().map(|&(a, attack, _)| (a, attack));
+    if let Some((a, _, ann)) = attack_cfg {
+        pinned[a.index()] = true;
+        if let Some(ann) = ann {
+            routes[a.index()] = Some(ann);
+            frontier.push(a);
+        }
+    }
+
+    let max_iters = 2 * n + 10;
+    let mut iterations = 0;
+    let mut in_active = vec![false; n];
+    let mut active: Vec<AsId> = Vec::new();
+    let mut writes: Vec<(AsId, Option<Route>)> = Vec::new();
+    loop {
+        iterations += 1;
+        if iterations > max_iters {
+            return Err(max_iters);
+        }
+        // Only neighbors of last pass's changed nodes can re-select.
+        active.clear();
+        for &f in &frontier {
+            for &x in g.neighbors(f) {
+                if !pinned[x.index()] && !in_active[x.index()] {
+                    in_active[x.index()] = true;
+                    active.push(x);
+                }
+            }
+        }
+        // Synchronous semantics: every selection below reads the
+        // previous pass's `routes`; writes land only after the pass.
+        writes.clear();
+        for &x in &active {
+            let new = select(g, state, policy, victim, attack, x, &routes, tiebreaker);
+            let changed = match (&new, &routes[x.index()]) {
+                (None, None) => false,
+                (Some(a), Some(b)) => !same_path(a, b),
+                _ => true,
+            };
+            if changed {
+                writes.push((x, new));
+            }
+        }
+        for &x in &active {
+            in_active[x.index()] = false;
+        }
+        frontier.clear();
+        for (x, r) in writes.drain(..) {
+            routes[x.index()] = r;
+            frontier.push(x);
+        }
+        if frontier.is_empty() {
+            // This pass found nothing to change — the same pass the
+            // oracle's full sweep would count as its final iteration.
+            break;
+        }
+    }
+    Ok((routes, iterations))
+}
+
+/// One node's best-route selection over its neighbors' current routes.
+#[allow(clippy::too_many_arguments)]
+fn select(
+    g: &AsGraph,
+    state: &SecureSet,
+    policy: &ScenarioPolicy,
+    victim: AsId,
+    attack: Option<(AsId, AttackModel)>,
+    x: AsId,
+    routes: &[Option<Route>],
+    tiebreaker: &dyn TieBreaker,
+) -> Option<Route> {
+    let applies_secp = policy.applies_secp(g, state, x);
+    let mut best: Option<((u64, u64, u64, u64), Route)> = None;
+    for &m in g.neighbors(x) {
+        let Some(r) = routes[m.index()].as_ref() else {
+            continue;
+        };
+        if cons_contains(&r.head, x) {
+            continue;
+        }
+        // Export rule: origins (and the leaking attacker) announce to
+        // everyone; everyone else follows GR2.
+        let is_origin = m == victim || attack.is_some_and(|(a, _)| m == a);
+        if !is_origin {
+            let to_customer = g.customers(m).binary_search(&x).is_ok();
+            if !to_customer {
+                let next = r
+                    .head
+                    .tail
+                    .as_ref()
+                    .expect("non-origin routes have hops")
+                    .id;
+                if g.customers(m).binary_search(&next).is_err() {
+                    continue;
+                }
+            }
+        }
+        if r.via_attacker {
+            let (_, attack) = attack.expect("attacker routes only exist under attack");
+            if policy.rejects_attacker_route(g, state, attack, victim, x) {
+                continue;
+            }
+        }
+        let all_secure = r.all_secure && state.get(x);
+        let forged = r.via_attacker && attack.is_some_and(|(_, a)| a.forges_path());
+        let sec_flag = u8::from(!(applies_secp && !forged && all_secure));
+        let key = policy.rank_key(
+            g.relationship(x, m)
+                .expect("candidate must be a neighbor")
+                .preference_rank(),
+            r.len as usize + 1,
+            sec_flag,
+            tiebreaker.key(g, x, m),
+        );
+        if best.as_ref().is_none_or(|(k, _)| key < *k) {
+            best = Some((
+                key,
+                Route {
+                    len: r.len + 1,
+                    all_secure,
+                    via_attacker: r.via_attacker,
+                    head: Rc::new(Cons {
+                        id: x,
+                        tail: Some(r.head.clone()),
+                    }),
+                },
+            ));
+        }
+    }
+    best.map(|(_, r)| r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbgp_asgraph::gen::{generate, GenParams};
+    use sbgp_asgraph::AsGraphBuilder;
+    use sbgp_routing::scenario_oracle::converge_scenario;
+    use sbgp_routing::{HashTieBreak, LowestAsnTieBreak};
+
+    fn contest() -> (AsGraph, AsId, AsId, AsId, AsId, AsId) {
+        let mut b = AsGraphBuilder::new();
+        let t = b.add_node(1);
+        let ia = b.add_node(10);
+        let ib = b.add_node(20);
+        let v = b.add_node(100);
+        let a = b.add_node(200);
+        b.add_provider_customer(t, ia).unwrap();
+        b.add_provider_customer(t, ib).unwrap();
+        b.add_provider_customer(ia, v).unwrap();
+        b.add_provider_customer(ib, a).unwrap();
+        let g = b.build().unwrap();
+        (g, t, ia, ib, v, a)
+    }
+
+    #[test]
+    fn matches_oracle_on_the_contest_graph_everywhere() {
+        let (g, t, ia, _ib, v, a) = contest();
+        let states = {
+            let empty = SecureSet::new(g.len());
+            let mut some = SecureSet::new(g.len());
+            for x in [t, ia, v] {
+                some.set(x, true);
+            }
+            let mut full = SecureSet::new(g.len());
+            for x in g.nodes() {
+                full.set(x, true);
+            }
+            [empty, some, full]
+        };
+        for state in &states {
+            for attack in AttackModel::ALL {
+                for policy in [
+                    ScenarioPolicy::security_third(),
+                    ScenarioPolicy::security_second().with_rov(),
+                    ScenarioPolicy::security_first().symmetric(),
+                ] {
+                    let fast =
+                        simulate_scenario(&g, state, &policy, attack, a, v, &LowestAsnTieBreak)
+                            .unwrap();
+                    let slow =
+                        converge_scenario(&g, state, &policy, attack, a, v, &LowestAsnTieBreak)
+                            .unwrap();
+                    assert_eq!(fast.outcome, slow.outcome, "{attack} {}", policy.label());
+                    assert_eq!(fast.paths, slow.paths, "{attack} {}", policy.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leak_prephase_shortcut_equals_generic_prephase() {
+        // Same scenario through both prephase implementations: the
+        // security-third run uses the frozen-context shortcut; forcing
+        // the generic path via security-second (with a state where
+        // sec2 and sec3 pick identical clean routes — everyone
+        // insecure) must land on the same leaked route.
+        let g = generate(&GenParams::new(120, 11)).graph;
+        let state = SecureSet::new(g.len());
+        let (a, v) = (AsId(17), AsId(80));
+        let third = simulate_scenario(
+            &g,
+            &state,
+            &ScenarioPolicy::security_third(),
+            AttackModel::RouteLeak,
+            a,
+            v,
+            &HashTieBreak,
+        )
+        .unwrap();
+        let second = simulate_scenario(
+            &g,
+            &state,
+            &ScenarioPolicy::security_second(),
+            AttackModel::RouteLeak,
+            a,
+            v,
+            &HashTieBreak,
+        )
+        .unwrap();
+        assert_eq!(third.outcome, second.outcome);
+        assert_eq!(third.paths, second.paths);
+    }
+
+    #[test]
+    fn iteration_counts_match_the_oracle_on_a_generated_graph() {
+        let g = generate(&GenParams::new(150, 7)).graph;
+        let mut state = SecureSet::new(g.len());
+        for x in g.nodes().step_by(3) {
+            state.set(x, true);
+        }
+        for (ai, vi) in [(3u32, 140u32), (77, 5), (120, 121)] {
+            for attack in AttackModel::ALL {
+                let p = ScenarioPolicy::security_third().with_rov();
+                let fast =
+                    simulate_scenario(&g, &state, &p, attack, AsId(ai), AsId(vi), &HashTieBreak)
+                        .unwrap();
+                let slow =
+                    converge_scenario(&g, &state, &p, attack, AsId(ai), AsId(vi), &HashTieBreak)
+                        .unwrap();
+                assert_eq!(fast.outcome.iterations, slow.outcome.iterations, "{attack}");
+                assert_eq!(fast.outcome, slow.outcome, "{attack}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot target itself")]
+    fn attacker_is_not_victim() {
+        let (g, _, _, _, v, _) = contest();
+        let state = SecureSet::new(g.len());
+        let _ = simulate_scenario(
+            &g,
+            &state,
+            &ScenarioPolicy::security_third(),
+            AttackModel::OriginHijack,
+            v,
+            v,
+            &HashTieBreak,
+        );
+    }
+}

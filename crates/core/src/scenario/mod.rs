@@ -1,0 +1,94 @@
+//! The adversarial scenario engine: attack models × defense policies
+//! × attacker/victim selection × deployment snapshots.
+//!
+//! The paper defers "resiliency to attack" under partial deployment to
+//! future work (Section 6.4). This module family is that evaluation,
+//! grown from the single-attack `resilience.rs` seed into a surface:
+//!
+//! * [`convergence`] — the fast two-origin fixpoint. Paths are
+//!   shared-tail cons lists (`O(1)` prepend instead of the oracle's
+//!   per-candidate `Vec` clones), scheduling is a dirty-set worklist
+//!   (only nodes with a changed neighbor re-select each pass — the
+//!   selection is a pure function of the previous pass's neighbor
+//!   routes, so the iterate sequence is provably identical to the full
+//!   synchronous sweep), and a route leak's clean-route prephase is
+//!   served by the existing [`sbgp_routing::compute_tree`] pipeline
+//!   when the ranking allows it.
+//! * [`select`] — seeded attacker/victim pair strategies (random,
+//!   degree-stratified, worst-case greedy).
+//! * [`sweep`] — the parallel surface runner: crosses everything,
+//!   keeps results bit-identical at any thread count (index-ordered
+//!   merge), differentially audits a seeded fraction of scenarios
+//!   against [`sbgp_routing::scenario_oracle`], and quarantines
+//!   non-converged scenarios with honest completeness.
+//!
+//! The attack/policy vocabulary and semantics live in
+//! [`sbgp_routing::threat`], shared with the oracle so the two
+//! implementations can be compared outcome-for-outcome (the
+//! `scenario_conformance` property suite does exactly that).
+
+pub mod convergence;
+pub mod select;
+pub mod sweep;
+
+pub use convergence::{simulate_scenario, ScenarioRun};
+pub use select::{select_pairs, PairStrategy};
+pub use sweep::{
+    run_surface, ScenarioCell, ScenarioConfig, ScenarioSnapshot, ScenarioStats, ScenarioSurface,
+};
+
+use sbgp_asgraph::AsId;
+use sbgp_routing::AttackModel;
+
+/// The two-origin path-vector fixpoint did not settle within its
+/// iteration budget.
+///
+/// Under the paper's security-third ranking this is only reachable on
+/// malformed (non-GR1) inputs, but security-first rankings abandon
+/// Gao–Rexford preferences and can genuinely oscillate. The error
+/// carries the full scenario identity — which (attacker, victim) pair,
+/// under which attack, and how much budget it burned — so a sweep can
+/// quarantine the offending scenario and keep the rest of the sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvergenceError {
+    /// The sampled attacker.
+    pub attacker: AsId,
+    /// The sampled victim.
+    pub victim: AsId,
+    /// The attack model the fixpoint was running.
+    pub attack: AttackModel,
+    /// The iteration budget that was exhausted (`2·|V| + 10`).
+    pub iterations: usize,
+}
+
+impl std::fmt::Display for ConvergenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} scenario (attacker node {}, victim node {}) failed to converge within {} iterations",
+            self.attack, self.attacker.0, self.victim.0, self.iterations
+        )
+    }
+}
+
+impl std::error::Error for ConvergenceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convergence_error_formats_the_full_scenario() {
+        let e = ConvergenceError {
+            attacker: AsId(7),
+            victim: AsId(3),
+            attack: AttackModel::Downgrade,
+            iterations: 42,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("downgrade"), "{msg}");
+        assert!(msg.contains("attacker node 7"), "{msg}");
+        assert!(msg.contains("victim node 3"), "{msg}");
+        assert!(msg.contains("42 iterations"), "{msg}");
+    }
+}

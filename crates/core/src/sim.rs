@@ -132,6 +132,14 @@ impl SimResult {
         let secure = g.isps().filter(|&n| self.final_state.get(n)).count();
         secure as f64 / total as f64
     }
+
+    /// The deployment state at the end of every round, replayed from
+    /// the recorded actions (index 0 is the initial seeded state).
+    /// These are the per-round snapshots the adversarial scenario
+    /// layer ([`crate::scenario`]) evaluates attacks against.
+    pub fn states_by_round(&self) -> Vec<SecureSet> {
+        crate::metrics::states_by_round(self)
+    }
 }
 
 /// A configured deployment simulation, ready to run.

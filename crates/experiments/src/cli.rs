@@ -98,6 +98,17 @@ pub struct Options {
     /// The global budget resolved against the wall clock at parse
     /// time, so it spans every simulation the command runs.
     pub deadline_at: Option<std::time::Instant>,
+    /// `scenario`: (attacker, victim) pairs sampled per surface cell.
+    pub pairs: usize,
+    /// `scenario`: attack models to cross (`--attacks
+    /// hijack,forgery,leak,downgrade` or `all`).
+    pub attacks: Vec<sbgp_routing::AttackModel>,
+    /// `scenario`: defense policies to cross (`--policies
+    /// sec3,sec3+rov,...`; see `ScenarioPolicy::parse`).
+    pub policies: Vec<sbgp_routing::ScenarioPolicy>,
+    /// `scenario`: how attacker/victim pairs are chosen
+    /// (`random|degree|greedy[:K]`).
+    pub pair_strategy: sbgp_core::scenario::PairStrategy,
 }
 
 impl Default for Options {
@@ -133,6 +144,15 @@ impl Default for Options {
             remote_floor: 1,
             lease_secs: 120.0,
             deadline_at: None,
+            pairs: 40,
+            attacks: sbgp_routing::AttackModel::ALL.to_vec(),
+            policies: vec![
+                sbgp_routing::ScenarioPolicy::security_third(),
+                sbgp_routing::ScenarioPolicy::security_third().with_rov(),
+                sbgp_routing::ScenarioPolicy::security_second(),
+                sbgp_routing::ScenarioPolicy::security_first(),
+            ],
+            pair_strategy: sbgp_core::scenario::PairStrategy::SeededRandom,
         }
     }
 }
@@ -257,6 +277,9 @@ impl Options {
         if !(self.lease_secs > 0.0 && self.lease_secs.is_finite()) {
             return Err("--lease-secs must be a positive number of seconds".into());
         }
+        if self.pairs == 0 {
+            return Err("--pairs must be at least 1".into());
+        }
         if self.restart_budget == 0 {
             return Err(
                 "--restart-budget must be at least 1 (0 would abort on the first worker death)"
@@ -326,6 +349,19 @@ fn apply(o: &mut Options, key: &str, v: &str) -> Result<(), String> {
         }
         "remote-floor" => o.remote_floor = num(key, v)?,
         "lease-secs" => o.lease_secs = num(key, v)?,
+        "pairs" => o.pairs = num(key, v)?,
+        "attacks" => {
+            o.attacks =
+                sbgp_routing::AttackModel::parse_list(v).map_err(|e| format!("--attacks: {e}"))?
+        }
+        "policies" => {
+            o.policies = sbgp_routing::ScenarioPolicy::parse_list(v)
+                .map_err(|e| format!("--policies: {e}"))?
+        }
+        "pair-strategy" => {
+            o.pair_strategy = sbgp_core::scenario::PairStrategy::parse(v)
+                .map_err(|e| format!("--pair-strategy: {e}"))?
+        }
         "delta-projections" => {
             o.delta_projections = match v {
                 "on" => sbgp_core::DeltaMode::On,
@@ -708,6 +744,55 @@ mod tests {
         assert!(err.contains("duplicate address"), "{err}");
         let err = Options::from_config_str("restart-budget = 0\n").unwrap_err();
         assert!(err.contains("--restart-budget"), "{err}");
+    }
+
+    #[test]
+    fn parses_scenario_flags() {
+        use sbgp_core::scenario::PairStrategy;
+        use sbgp_routing::{AttackModel, ScenarioPolicy};
+        let o = Options::parse(&[]).unwrap();
+        assert_eq!(o.pairs, 40);
+        assert_eq!(o.attacks, AttackModel::ALL.to_vec());
+        assert_eq!(o.policies.len(), 4);
+        assert_eq!(o.pair_strategy, PairStrategy::SeededRandom);
+        let o = Options::parse(&s(&[
+            "--pairs",
+            "12",
+            "--attacks",
+            "hijack,downgrade",
+            "--policies",
+            "sec3,sec1+rov",
+            "--pair-strategy",
+            "greedy:5",
+        ]))
+        .unwrap();
+        assert_eq!(o.pairs, 12);
+        assert_eq!(
+            o.attacks,
+            vec![AttackModel::OriginHijack, AttackModel::Downgrade]
+        );
+        assert_eq!(
+            o.policies,
+            vec![
+                ScenarioPolicy::security_third(),
+                ScenarioPolicy::security_first().with_rov(),
+            ]
+        );
+        assert_eq!(
+            o.pair_strategy,
+            PairStrategy::WorstCaseGreedy { candidates: 5 }
+        );
+        // Config-file spelling works too, and errors are labeled.
+        let o = Options::from_config_str("attacks = leak\npair-strategy = degree\n").unwrap();
+        assert_eq!(o.attacks, vec![AttackModel::RouteLeak]);
+        assert_eq!(o.pair_strategy, PairStrategy::DegreeStratified);
+        assert!(Options::parse(&s(&["--pairs", "0"])).is_err());
+        let err = Options::parse(&s(&["--attacks", "squat"])).unwrap_err();
+        assert!(err.contains("--attacks"), "{err}");
+        let err = Options::parse(&s(&["--policies", "sec9"])).unwrap_err();
+        assert!(err.contains("--policies"), "{err}");
+        let err = Options::parse(&s(&["--pair-strategy", "lucky"])).unwrap_err();
+        assert!(err.contains("--pair-strategy"), "{err}");
     }
 
     #[test]

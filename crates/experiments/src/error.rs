@@ -7,7 +7,7 @@
 
 use sbgp_asgraph::GraphError;
 use sbgp_core::checkpoint::CheckpointError;
-use sbgp_core::resilience::ConvergenceError;
+use sbgp_core::scenario::ConvergenceError;
 use sbgp_core::storage::StorageError;
 use std::fmt;
 

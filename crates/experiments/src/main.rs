@@ -24,6 +24,7 @@ mod faults;
 mod gadget_demos;
 mod net;
 mod projection;
+mod scenario;
 mod shards;
 mod sweeps;
 mod tables;
@@ -95,6 +96,7 @@ fn main() {
         "fault" => faults::fault(&opts),
         "chaos" => chaos::chaos(&opts),
         "bench" => benchcmd::bench(&opts),
+        "scenario" => scenario::scenario(&opts),
         "ext-resilience" => extensions::ext_resilience(&opts),
         "ext-theta" => extensions::ext_theta(&opts),
         "ext-disable" => extensions::ext_disable(&opts),
@@ -140,6 +142,7 @@ fn run_all(opts: &Options) -> Result<(), ExperimentError> {
     gadget_demos::fig20(opts)?;
     gadget_demos::fig21(opts)?;
     faults::fault(opts)?;
+    scenario::scenario(opts)?;
     extensions::ext_resilience(opts)?;
     extensions::ext_theta(opts)?;
     extensions::ext_disable(opts)?;
@@ -195,6 +198,10 @@ COMMANDS
   worker   long-lived TCP sweep worker; coordinators dispatch to it via
            --workers and it survives their crashes
   bench    time the engine's round kernel; write BENCH_engine.json
+  scenario adversarial scenario surface: attack models × defense policies ×
+           sampled (attacker, victim) pairs, evaluated against per-round
+           deployment snapshots (--pairs, --attacks, --policies,
+           --pair-strategy; --self-check audits against the oracle)
   ext-resilience  origin-hijack deception across the deployment process
   ext-theta       randomized per-ISP thresholds (Section 8.2)
   ext-disable     optimal per-destination disable (Section 7.1)
@@ -241,6 +248,14 @@ SELF-CHECKING
                         skipped with an honest completeness fraction
   --task-deadline SECS  quarantine any destination task slower than this
   --config FILE         load `key = value` options (later flags override)
+
+ADVERSARIAL SCENARIOS (scenario command)
+  --pairs N             (attacker, victim) pairs sampled per surface cell (40)
+  --attacks LIST        comma list of hijack|forgery|leak|downgrade, or `all`
+  --policies LIST       comma list of sec1|sec2|sec3 with optional +rov,
+                        +symmetric, +stubs-ignore suffixes
+  --pair-strategy S     random | degree | greedy[:K] (probe K candidate
+                        attackers per victim, keep the most damaging)
 
 PERFORMANCE
   --ctx-cache-mb MB     memory budget for the frozen-context routing atlas

@@ -61,6 +61,22 @@ pub enum SecurityPolicy {
     PreferPartiallySecure,
 }
 
+impl SecurityPolicy {
+    /// The equivalent full-engine policy, now that the adversarial
+    /// scenario layer models lying announcements for real:
+    /// [`SecurityPolicy::FullySecureOnly`] is exactly the paper's
+    /// baseline ranking (security third, fully-secure paths only).
+    /// [`SecurityPolicy::PreferPartiallySecure`] has *no* engine
+    /// equivalent — it returns `None` — because the engine refuses to
+    /// implement the broken rule this module exists to warn about.
+    pub fn as_scenario_policy(self) -> Option<sbgp_routing::ScenarioPolicy> {
+        match self {
+            SecurityPolicy::FullySecureOnly => Some(sbgp_routing::ScenarioPolicy::security_third()),
+            SecurityPolicy::PreferPartiallySecure => None,
+        }
+    }
+}
+
 /// Select among equally-good candidates under `policy`; ties fall back
 /// to the intradomain key.
 pub fn select_route(routes: &[CandidateRoute], policy: SecurityPolicy) -> &CandidateRoute {
@@ -134,6 +150,89 @@ mod tests {
         let routes = [false_path.clone(), true_path];
         let chosen = select_route(&routes, SecurityPolicy::FullySecureOnly);
         assert_eq!(chosen, &false_path);
+    }
+
+    #[test]
+    fn figure15_replays_through_the_real_scenario_engine() {
+        // The same story, but as a live topology under the scenario
+        // engine's one-hop path forgery instead of hand-fed candidate
+        // routes: p tops two customer branches, one leading to the
+        // attacker m (via q) and one to the victim v (via r, s); m
+        // announces the forged (m, v).
+        use sbgp_asgraph::AsGraphBuilder;
+        use sbgp_core::scenario::simulate_scenario;
+        use sbgp_routing::{AttackModel, LowestAsnTieBreak, SecureSet, Verdict};
+        let mut b = AsGraphBuilder::new();
+        let p = b.add_node(1);
+        let q = b.add_node(20); // p's tiebreak prefers r (ASN 3) over q
+        let m = b.add_node(666);
+        let r = b.add_node(3);
+        let s = b.add_node(4);
+        let v = b.add_node(5);
+        b.add_provider_customer(p, q).unwrap();
+        b.add_provider_customer(q, m).unwrap();
+        b.add_provider_customer(p, r).unwrap();
+        b.add_provider_customer(r, s).unwrap();
+        b.add_provider_customer(s, v).unwrap();
+        let g = b.build().unwrap();
+        let mut state = SecureSet::new(g.len());
+        state.set(p, true);
+        state.set(q, true);
+        let policy = SecurityPolicy::FullySecureOnly
+            .as_scenario_policy()
+            .expect("the sound rule has an engine equivalent");
+
+        // The insecure victim cannot sign, so the forged (m, v) is
+        // indistinguishable from a real route at p: two equally-good
+        // 3-hop customer candidates — [p,q,m,v] forged (its p,q prefix
+        // signed, never fully secure) vs [p,r,s,v] true — and p's
+        // plain tiebreak picks the true branch, exactly Figure 15
+        // under FullySecureOnly.
+        let run = simulate_scenario(
+            &g,
+            &state,
+            &policy,
+            AttackModel::PathForgery,
+            m,
+            v,
+            &LowestAsnTieBreak,
+        )
+        .unwrap();
+        assert_eq!(run.paths[p.index()].as_ref().unwrap(), &vec![p, r, s, v]);
+        assert_eq!(run.outcome.verdicts[p.index()], Verdict::ReachedVictim);
+        // q sits right above the attacker with no alternative of its
+        // own class: deceived — the forgery is a real attack even
+        // under the sound policy.
+        assert_eq!(run.outcome.verdicts[q.index()], Verdict::Deceived);
+
+        // Once the victim deploys (signs its announcements), the
+        // unsigned forgery becomes provably bogus and validators drop
+        // it: nobody is deceived anymore.
+        state.set(v, true);
+        let run = simulate_scenario(
+            &g,
+            &state,
+            &policy,
+            AttackModel::PathForgery,
+            m,
+            v,
+            &LowestAsnTieBreak,
+        )
+        .unwrap();
+        assert_eq!(run.outcome.deceived, 0);
+        assert_eq!(run.outcome.verdicts[q.index()], Verdict::ReachedVictim);
+    }
+
+    #[test]
+    fn the_broken_rule_has_no_engine_equivalent() {
+        assert_eq!(
+            SecurityPolicy::PreferPartiallySecure.as_scenario_policy(),
+            None
+        );
+        assert_eq!(
+            SecurityPolicy::FullySecureOnly.as_scenario_policy(),
+            Some(sbgp_routing::ScenarioPolicy::security_third())
+        );
     }
 
     #[test]

@@ -87,6 +87,8 @@ mod tree;
 pub mod census;
 pub mod diffcheck;
 pub mod oracle;
+pub mod scenario_oracle;
+pub mod threat;
 
 pub use atlas::{AtlasScratch, AtlasStats, AtlasView, RoutingAtlas};
 pub use context::{DestContext, RouteClass, RouteContext};
@@ -96,5 +98,6 @@ pub use flows::{
     UtilityAccumulator,
 };
 pub use secure::SecureSet;
+pub use threat::{AttackModel, ScenarioOutcome, ScenarioPolicy, SecurityRank, Verdict};
 pub use tiebreak::{HashTieBreak, LowestAsnTieBreak, TieBreaker};
 pub use tree::{compute_tree, extract_path, RouteTree, TreePolicy, NO_NEXT_HOP};

@@ -228,6 +228,71 @@ fn golden_figures_match_committed_snapshots_byte_for_byte() {
 }
 
 #[test]
+fn golden_scenario_surface_matches_and_is_thread_count_independent() {
+    // The adversarial scenario surface is pinned the same way as the
+    // figures: `repro scenario` at the fixed small seed must reproduce
+    // the committed CSVs byte-for-byte — and must keep doing so at
+    // every thread count, which turns the engine's determinism
+    // discipline (fixed job index space, pre-decided audit set,
+    // index-ordered aggregation) into a tier-1 gate.
+    //
+    // To regenerate after an intentional change:
+    //   repro scenario --ases 150 --seed 42 --pairs 12 \
+    //     --attacks hijack,downgrade --policies sec3,sec3+rov \
+    //     --out tests/fixtures/golden
+    let bin = env!("CARGO_BIN_EXE_repro");
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/golden");
+    let files = ["scenario_surface.csv", "scenario_deltas.csv"];
+    for threads in ["1", "2", "4", "8"] {
+        let out = std::env::temp_dir().join(format!(
+            "sbgp-scenario-golden-{}-{threads}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&out).unwrap();
+        let status = std::process::Command::new(bin)
+            .args([
+                "scenario",
+                "--ases",
+                "150",
+                "--seed",
+                "42",
+                "--pairs",
+                "12",
+                "--attacks",
+                "hijack,downgrade",
+                "--policies",
+                "sec3,sec3+rov",
+                "--threads",
+                threads,
+                "--out",
+            ])
+            .arg(&out)
+            .stdout(std::process::Stdio::null())
+            .status()
+            .unwrap();
+        assert!(
+            status.success(),
+            "repro scenario failed at {threads} threads"
+        );
+        for f in files {
+            let want = std::fs::read(golden.join(f))
+                .unwrap_or_else(|e| panic!("missing golden fixture {f}: {e}"));
+            let got = std::fs::read(out.join(f))
+                .unwrap_or_else(|e| panic!("repro scenario produced no {f}: {e}"));
+            assert!(
+                want == got,
+                "{f} diverges from the golden snapshot at {threads} threads\n\
+                 --- golden ---\n{}\n--- got ---\n{}",
+                String::from_utf8_lossy(&want),
+                String::from_utf8_lossy(&got),
+            );
+        }
+        let _ = std::fs::remove_dir_all(&out);
+    }
+}
+
+#[test]
 fn augmentation_empowers_cps() {
     // Section 6.8 / Figure 12: CP early adopters are ineffective on
     // the base graph but competitive on the augmented one.
