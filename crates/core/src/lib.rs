@@ -66,6 +66,7 @@ pub mod guard;
 pub mod metrics;
 pub mod resilience;
 pub mod scenario;
+pub mod serve;
 pub mod storage;
 pub mod supervise;
 pub mod turnoff;

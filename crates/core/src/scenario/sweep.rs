@@ -319,6 +319,11 @@ pub fn run_surface(
     let mut pairs = select_pairs(g, cfg.strategy, cfg.pairs, cfg.seed);
 
     if let PairStrategy::WorstCaseGreedy { candidates } = cfg.strategy {
+        // Clamp to the feasible candidate set: at least the seeded
+        // placeholder, at most one probe per non-victim AS — a
+        // `greedy:1000000` request on a 100-node graph must not stage
+        // a million probes per pair.
+        let candidates = candidates.clamp(1, g.len().saturating_sub(1));
         // Pre-pass: per victim, probe `candidates` attackers — the
         // seeded placeholder first (so `greedy:1` degenerates to plain
         // random and more candidates can only hit harder), then fresh
@@ -565,6 +570,65 @@ mod tests {
             "greedy {} < random {}",
             greedy.cells[0].mean_deceived,
             random.cells[0].mean_deceived
+        );
+    }
+
+    #[test]
+    fn greedy_k_is_deterministic_per_seed_and_moves_across_seeds() {
+        let g = generate(&GenParams::new(120, 3)).graph;
+        let snaps = snapshots(&g);
+        let run = |seed: u64| {
+            let mut cfg = config(PairStrategy::WorstCaseGreedy { candidates: 4 });
+            cfg.seed = seed;
+            run_surface(&g, &snaps, &cfg, &HashTieBreak)
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed must reproduce the whole surface");
+        let c = run(43);
+        assert_ne!(
+            a.pairs, c.pairs,
+            "a different seed must draw different greedy pairs"
+        );
+    }
+
+    #[test]
+    fn greedy_candidates_clamp_to_the_feasible_set() {
+        // `greedy:1000000` on a small graph must behave exactly like
+        // one probe per non-victim AS — same surface, same probe count.
+        let g = generate(&GenParams::new(110, 5)).graph;
+        let snaps = snapshots(&g);
+        let huge = run_surface(
+            &g,
+            &snaps,
+            &config(PairStrategy::WorstCaseGreedy {
+                candidates: 1_000_000,
+            }),
+            &HashTieBreak,
+        );
+        let exact = run_surface(
+            &g,
+            &snaps,
+            &config(PairStrategy::WorstCaseGreedy {
+                candidates: g.len() - 1,
+            }),
+            &HashTieBreak,
+        );
+        assert_eq!(huge, exact, "the clamp must make an oversized k exact");
+        // Probe accounting: scenarios_run is the main surface plus
+        // exactly pairs × (n - 1) greedy probes, not pairs × 1000000.
+        let main_only = run_surface(
+            &g,
+            &snaps,
+            &config(PairStrategy::SeededRandom),
+            &HashTieBreak,
+        )
+        .stats
+        .scenarios_run;
+        let cfg = config(PairStrategy::SeededRandom);
+        assert_eq!(
+            huge.stats.scenarios_run,
+            main_only + (cfg.pairs * (g.len() - 1)) as u64
         );
     }
 

@@ -40,7 +40,9 @@ pub use protocol::{
     decode_from_worker, decode_to_worker, encode_from_worker, encode_to_worker, read_frame,
     write_frame, FromWorker, ToWorker, MAX_FRAME_BYTES,
 };
-pub use supervisor::{run_sharded, run_supervised, serve_worker, ShardPolicy, ShardReport};
+pub use supervisor::{
+    run_sharded, run_supervised, serve_worker, serve_worker_until, ShardPolicy, ShardReport,
+};
 pub use transport::{
     pipe_link, tcp_link, ChaosProfile, ChaosSchedule, FaultLedger, FrameRecv, FrameSend,
     WorkerHandle, WorkerLink,
@@ -270,6 +272,7 @@ mod tests {
                 stats,
             },
             FromWorker::BatchDone,
+            FromWorker::Goodbye,
             FromWorker::Fatal {
                 message: "unit \"x\" panicked: boom".into(),
             },

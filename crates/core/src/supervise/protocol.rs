@@ -181,6 +181,11 @@ pub enum FromWorker {
     },
     /// The current [`ToWorker::Assign`] batch is fully done.
     BatchDone,
+    /// The worker is draining (SIGTERM): it finished its in-flight
+    /// unit and is closing the link on purpose. The supervisor treats
+    /// this as a voluntary departure — remaining units are requeued
+    /// without burning restart budget.
+    Goodbye,
     /// Unrecoverable worker-side failure.
     Fatal {
         /// What went wrong.
@@ -255,6 +260,7 @@ pub fn encode_from_worker(msg: &FromWorker) -> String {
             codec::encode_result(&mut out, result);
         }
         FromWorker::BatchDone => out.push_str("batch-done\n"),
+        FromWorker::Goodbye => out.push_str("goodbye\n"),
         FromWorker::Fatal { message } => {
             out.push_str(&format!("fatal {}\n", codec::hex_str(message)))
         }
@@ -278,6 +284,7 @@ pub fn decode_from_worker(text: &str) -> Result<FromWorker, DecodeError> {
             Ok(FromWorker::Unit { key, result, stats })
         }
         "batch-done" => Ok(FromWorker::BatchDone),
+        "goodbye" => Ok(FromWorker::Goodbye),
         "fatal" => Ok(FromWorker::Fatal {
             message: p.tagged_hex_str("fatal")?,
         }),

@@ -72,7 +72,29 @@ use std::time::{Duration, Instant};
 /// before the error return — a deterministic poison unit is thereby
 /// attributed, not silently retried forever (the supervisor's restart
 /// budget bounds the retries).
-pub fn serve_worker<R, W, S, H>(mut input: R, output: W, setup: S) -> Result<(), SuperviseError>
+pub fn serve_worker<R, W, S, H>(input: R, output: W, setup: S) -> Result<(), SuperviseError>
+where
+    R: Read,
+    W: Write + Send,
+    S: FnOnce(&str, &str) -> Result<(H, usize), String>,
+    H: FnMut(&str) -> Result<(SimResult, EngineStats), String>,
+{
+    serve_worker_until(input, output, setup, None)
+}
+
+/// [`serve_worker`] with a cooperative stop flag: when `halt` flips
+/// true (a SIGTERM latch in the hosting binary), the worker finishes
+/// the unit it is computing, sends [`FromWorker::Goodbye`], and
+/// returns cleanly — the supervisor sees a voluntary departure and
+/// requeues the rest of the batch without burning restart budget. The
+/// flag is only consulted at unit and batch boundaries, so an
+/// in-flight unit is never torn mid-result.
+pub fn serve_worker_until<R, W, S, H>(
+    mut input: R,
+    output: W,
+    setup: S,
+    halt: Option<&std::sync::atomic::AtomicBool>,
+) -> Result<(), SuperviseError>
 where
     R: Read,
     W: Write + Send,
@@ -128,6 +150,13 @@ where
         });
 
         let run = || -> Result<(), SuperviseError> {
+            let drained = |halted: bool| -> Result<bool, SuperviseError> {
+                if halted {
+                    send(&FromWorker::Goodbye)?;
+                }
+                Ok(halted)
+            };
+            let halted = || halt.is_some_and(|h| h.load(Ordering::Relaxed));
             let (mut handler, units) = match setup(&cmd, &config) {
                 Ok(x) => x,
                 Err(message) => {
@@ -148,6 +177,11 @@ where
                     message: format!("bad frame (line {}): {}", e.line, e.message),
                 })? {
                     ToWorker::Assign { keys } => {
+                        // A batch that lands after the halt flag flips
+                        // is declined whole — nothing is in flight yet.
+                        if drained(halted())? {
+                            return Ok(());
+                        }
                         for key in keys {
                             let computed =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -155,7 +189,13 @@ where
                                 }));
                             match computed {
                                 Ok(Ok((result, stats))) => {
-                                    send(&FromWorker::Unit { key, result, stats })?
+                                    send(&FromWorker::Unit { key, result, stats })?;
+                                    // Drain point: the unit above is
+                                    // delivered; the rest of the batch
+                                    // goes back to the supervisor.
+                                    if drained(halted())? {
+                                        return Ok(());
+                                    }
                                 }
                                 Ok(Err(message)) => {
                                     let message = format!("unit {key:?}: {message}");
@@ -175,6 +215,9 @@ where
                             }
                         }
                         send(&FromWorker::BatchDone)?;
+                        if drained(halted())? {
+                            return Ok(());
+                        }
                     }
                     ToWorker::Shutdown => return Ok(()),
                     ToWorker::Job { .. } => {
@@ -321,6 +364,9 @@ struct Slot {
     shutting_down: bool,
     /// The next death of this slot was injected by the kill policy.
     injected_kill: bool,
+    /// The worker said goodbye (SIGTERM drain): its link closing is a
+    /// voluntary departure, not a failure.
+    voluntary: bool,
 }
 
 impl Slot {
@@ -473,6 +519,7 @@ where
         slot.seen_frame = false;
         slot.shutting_down = false;
         slot.injected_kill = false;
+        slot.voluntary = false;
         Ok(())
     };
 
@@ -492,6 +539,7 @@ where
             failures: 0,
             shutting_down: false,
             injected_kill: false,
+            voluntary: false,
         })
         .collect();
     for (idx, slot) in slots.iter_mut().enumerate() {
@@ -565,8 +613,21 @@ where
         }
         let injected = slot.injected_death();
         let was_kill = std::mem::take(&mut slot.injected_kill);
+        let voluntary = std::mem::take(&mut slot.voluntary);
         slot.ledger = None;
-        if injected {
+        if voluntary {
+            // A draining worker said goodbye after finishing its
+            // in-flight unit — a clean departure, not a fault; no
+            // restart budget is burned and no backoff is owed. The
+            // reconnect below is how coordinators degrade: a dial to
+            // the draining listener fails and the connect factory
+            // falls back (e.g. RemotePool → local fleet).
+            eprintln!(
+                "[shards] worker {idx} ({}): said goodbye (draining); requeued \
+                 {requeued} unit(s), batch now {}",
+                slot.peer, slot.batch
+            );
+        } else if injected {
             if !was_kill {
                 report.injected_faults += 1;
             }
@@ -707,6 +768,12 @@ where
                                 {
                                     break Err(e);
                                 }
+                            }
+                            FromWorker::Goodbye => {
+                                // The clean EOF that follows lands in
+                                // the Gone arm; this flag reroutes it
+                                // to the voluntary-departure path.
+                                slots[idx].voluntary = true;
                             }
                             FromWorker::Fatal { message } => {
                                 if let Err(e) = fail_worker(

@@ -80,9 +80,23 @@ fn json_u64(record: &str, key: &str) -> Option<u64> {
     rest[..end].parse().ok()
 }
 
-/// A record's history key: one row per `n × threads` configuration.
-fn record_key(record: &str) -> (u64, u64) {
+/// Extract the string value of `"key":"..."` from a compact JSON
+/// record (bench-vocabulary strings never contain escapes).
+fn json_str<'a>(record: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = record.find(&needle)? + needle.len();
+    let rest = record[start..].trim_start().strip_prefix('"')?;
+    rest.split('"').next()
+}
+
+/// A record's history key: one row per `family × n × threads`
+/// configuration. Engine records predate families and carry no
+/// `family` field; they default to `engine`, so the serving-path
+/// records (`family: "serve"`) never collide with the kernel
+/// trajectory at the same scale.
+fn record_key(record: &str) -> (String, u64, u64) {
     (
+        json_str(record, "family").unwrap_or("engine").to_string(),
         json_u64(record, "n").unwrap_or(0),
         json_u64(record, "threads").unwrap_or(0),
     )
@@ -119,7 +133,12 @@ fn merge_history(existing: Option<&str>, record: &str) -> String {
     } else {
         records.push(record.to_string());
     }
-    records.sort_by_key(|r| record_key(r));
+    records.sort_by_key(|r| {
+        // `engine` rows stay first (the historical file shape), then
+        // other families alphabetically; within a family, by scale.
+        let (family, n, threads) = record_key(r);
+        (family != "engine", family, n, threads)
+    });
     let mut out = String::from("{\n  \"schema\": 2,\n  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str("    ");
@@ -131,6 +150,28 @@ fn merge_history(existing: Option<&str>, record: &str) -> String {
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Merge one compact single-line record into `BENCH_engine.json`
+/// through `store` (atomic replace; a torn history is impossible).
+/// Returns the post-merge record count. Shared by `repro bench`
+/// (family `engine`, implicit) and the `repro serve` drain path
+/// (family `serve`).
+pub(crate) fn write_history_record(
+    store: &sbgp_core::storage::Store,
+    record: &str,
+) -> Result<usize, ExperimentError> {
+    let existing = store
+        .get("BENCH_engine.json")
+        .ok()
+        .flatten()
+        .and_then(|b| String::from_utf8(b).ok());
+    let history = merge_history(existing.as_deref(), record);
+    store.put_atomic("BENCH_engine.json", history.as_bytes())?;
+    Ok(history
+        .lines()
+        .filter(|l| l.trim_start().starts_with('{') && l.trim().len() > 2)
+        .count())
 }
 
 /// Run the round-kernel benchmark, print the record, and merge it into
@@ -240,25 +281,12 @@ pub fn bench(opts: &Options) -> Result<(), ExperimentError> {
         .unwrap_or_else(|| std::path::PathBuf::from("results"));
     let path = dir.join("BENCH_engine.json");
     let store = opts.storage_at(&dir);
-    let existing = store
-        .get("BENCH_engine.json")
-        .ok()
-        .flatten()
-        .and_then(|b| String::from_utf8(b).ok());
     let compact: String = json.chars().filter(|c| !c.is_whitespace()).collect();
-    let history = merge_history(existing.as_deref(), &compact);
     // Atomic replace through the artifact store: a crash mid-write
     // never leaves a torn history file, and a failed write fails the
     // command instead of silently dropping the benchmark record.
-    store.put_atomic("BENCH_engine.json", history.as_bytes())?;
-    println!(
-        "[bench] wrote {} ({} record(s))",
-        path.display(),
-        history
-            .lines()
-            .filter(|l| l.trim_start().starts_with('{') && l.trim().len() > 2)
-            .count()
-    );
+    let count = write_history_record(&store, &compact)?;
+    println!("[bench] wrote {} ({count} record(s))", path.display());
     Ok(())
 }
 
@@ -311,6 +339,24 @@ mod tests {
         let h2 = merge_history(Some(&h), REC_1K);
         assert!(!h2.contains("atlas_ever_hit"), "legacy row replaced: {h2}");
         assert!(h2.contains(REC_1K));
+    }
+
+    #[test]
+    fn families_key_independently() {
+        // A serve record at the same n × threads as an engine record
+        // is a distinct row, not a replacement.
+        let serve = "{\"family\":\"serve\",\"n\":1000,\"threads\":1,\"jobs_served\":3}";
+        let h1 = merge_history(None, REC_1K);
+        let h2 = merge_history(Some(&h1), serve);
+        assert!(h2.contains(REC_1K), "engine row survives: {h2}");
+        assert!(h2.contains(serve), "serve row added: {h2}");
+        // Engine rows sort first regardless of insertion order.
+        assert!(h2.find(REC_1K).unwrap() < h2.find(serve).unwrap());
+        // Re-recording the serve configuration replaces only that row.
+        let serve2 = "{\"family\":\"serve\",\"n\":1000,\"threads\":1,\"jobs_served\":9}";
+        let h3 = merge_history(Some(&h2), serve2);
+        assert!(!h3.contains("jobs_served\":3"), "{h3}");
+        assert!(h3.contains(REC_1K) && h3.contains(serve2));
     }
 
     #[test]

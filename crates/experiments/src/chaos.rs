@@ -24,6 +24,14 @@
 //! fault profile. The figure CSV must come out byte-identical to the
 //! clean run under every schedule: disk faults may cost retries,
 //! never answers.
+//!
+//! With `--serve`, the torture moves to the simulation service: three
+//! seeded schedules against a live `repro serve` daemon — SIGKILL
+//! mid-job + restart over the same journal, shard-worker kills under a
+//! served job plus a client disconnect mid-request, and `--disk-chaos`
+//! under the job journal itself. Every served CSV must be
+//! byte-identical to its one-shot CLI twin, with zero lost or
+//! duplicated jobs across the crashes.
 
 use crate::cli::Options;
 use crate::error::ExperimentError;
@@ -49,6 +57,9 @@ pub fn chaos(opts: &Options) -> Result<(), ExperimentError> {
     }
     if opts.storage {
         return chaos_storage(opts, &base);
+    }
+    if opts.serve {
+        return chaos_serve(opts, &base);
     }
 
     let mut reference = opts.clone();
@@ -356,6 +367,354 @@ fn sigkill_coordinator_mid_sweep(torture: &Options, dir: &Path) -> Result<(), Ex
         .map_err(|e| ExperimentError::Harness(format!("SIGKILLing coordinator: {e}")))?;
     let _ = child.wait();
     eprintln!("[chaos] coordinator SIGKILLed after first checkpoint write");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// `chaos --serve`: torture the simulation service daemon
+// ---------------------------------------------------------------------
+
+/// A child `repro serve` daemon on an ephemeral localhost port,
+/// discovered through `--port-file`, killed on drop.
+struct ServeDaemon {
+    child: Child,
+    addr: String,
+}
+
+impl ServeDaemon {
+    fn spawn(dir: &Path, extra_args: &[&str]) -> Result<ServeDaemon, ExperimentError> {
+        let exe = std::env::current_exe()
+            .map_err(|e| ExperimentError::Harness(format!("current_exe: {e}")))?;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ExperimentError::Harness(format!("creating {}: {e}", dir.display())))?;
+        let pf = dir.join("serve.port");
+        let _ = std::fs::remove_file(&pf);
+        let child = Command::new(&exe)
+            .args(["serve", "--listen", "127.0.0.1:0", "--port-file"])
+            .arg(&pf)
+            .args(["--out".as_ref(), dir.as_os_str()])
+            .args(extra_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| ExperimentError::Harness(format!("spawning serve daemon: {e}")))?;
+        let deadline = Instant::now() + Duration::from_secs(15);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&pf) {
+                let addr = addr.trim().to_string();
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(ExperimentError::Harness(format!(
+                    "serve daemon never published its port ({})",
+                    pf.display()
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        Ok(ServeDaemon { child, addr })
+    }
+
+    /// `Child::kill` is SIGKILL: the crash the journal must survive.
+    fn sigkill(&mut self) -> Result<(), ExperimentError> {
+        self.child
+            .kill()
+            .map_err(|e| ExperimentError::Harness(format!("SIGKILLing serve daemon: {e}")))?;
+        let _ = self.child.wait();
+        Ok(())
+    }
+
+    /// Graceful stop: SIGTERM, then insist the drain exits 0.
+    fn sigterm_and_wait(mut self) -> Result<(), ExperimentError> {
+        let pid = self.child.id().to_string();
+        let _ = Command::new("kill").args(["-TERM", &pid]).status();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(status)) => {
+                    if status.success() {
+                        return Ok(());
+                    }
+                    return Err(ExperimentError::Harness(format!(
+                        "serve daemon drain exited non-zero: {status}"
+                    )));
+                }
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50))
+                }
+                _ => {
+                    let _ = self.child.kill();
+                    let _ = self.child.wait();
+                    return Err(ExperimentError::Harness(
+                        "serve daemon did not drain within 60s of SIGTERM".into(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ServeDaemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Pull a `"key":"value"` string field out of a flat JSON response.
+fn json_field(body: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = body.find(&pat)? + pat.len();
+    let end = body[start..].find('"')? + start;
+    Some(body[start..end].to_string())
+}
+
+/// Pull a `"key":N` numeric field out of a flat JSON response.
+fn json_num(body: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = body.find(&pat)? + pat.len();
+    let digits: String = body[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Submit a job, retrying through overload, faults, and daemon
+/// restarts. Returns `(id, was_cached)`.
+fn submit_job(addr: &str, cmd: &str, config: &str) -> Result<(String, bool), ExperimentError> {
+    let body = format!(
+        "{{\"cmd\":\"{cmd}\",\"config\":\"{}\",\"client\":\"chaos\"}}",
+        config.replace('\n', "\\n")
+    );
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match crate::serve::http_request(addr, "POST", "/jobs", Some(&body)) {
+            Ok((status @ (200 | 202), bytes)) => {
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                let id = json_field(&text, "id").ok_or_else(|| {
+                    ExperimentError::Harness(format!("submission response without id: {text}"))
+                })?;
+                return Ok((id, status == 200));
+            }
+            // Overload, a fault-injected journal append, or a drain:
+            // typed, retryable.
+            Ok((429 | 500 | 503, _)) | Err(_) => {}
+            Ok((status, bytes)) => {
+                return Err(ExperimentError::Harness(format!(
+                    "submitting {cmd}: unexpected HTTP {status}: {}",
+                    String::from_utf8_lossy(&bytes)
+                )));
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(ExperimentError::Harness(format!(
+                "submitting {cmd}: not accepted within 60s"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Poll a job to `done`, then fetch its result bytes (retrying reads
+/// through injected faults). A `parked` job is a hard failure.
+fn await_result(addr: &str, id: &str) -> Result<Vec<u8>, ExperimentError> {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        if let Ok((200, bytes)) =
+            crate::serve::http_request(addr, "GET", &format!("/jobs/{id}"), None)
+        {
+            let text = String::from_utf8_lossy(&bytes).into_owned();
+            match json_field(&text, "status").as_deref() {
+                Some("done") => break,
+                Some("parked") => {
+                    return Err(ExperimentError::Harness(format!(
+                        "job {id} was parked as poisoned: {text}"
+                    )))
+                }
+                _ => {}
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(ExperimentError::Harness(format!(
+                "job {id} did not finish within 300s"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    loop {
+        match crate::serve::http_request(addr, "GET", &format!("/jobs/{id}/result"), None) {
+            Ok((200, bytes)) => return Ok(bytes),
+            Ok((status, bytes)) if status != 500 => {
+                return Err(ExperimentError::Harness(format!(
+                    "fetching result of done job {id}: HTTP {status}: {}",
+                    String::from_utf8_lossy(&bytes)
+                )))
+            }
+            // 500 (injected read fault) or connect error: retry.
+            _ => {}
+        }
+        if Instant::now() >= deadline {
+            return Err(ExperimentError::Harness(format!(
+                "result of job {id} unreadable within the deadline"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn byte_compare(name: &str, got: &[u8], want: &[u8]) -> Result<(), ExperimentError> {
+    if got != want {
+        return Err(ExperimentError::Harness(format!(
+            "chaos --serve: {name} differs from its one-shot CLI twin \
+             ({} vs {} bytes) — the service changed results",
+            got.len(),
+            want.len()
+        )));
+    }
+    Ok(())
+}
+
+/// The serve torture: three seeded schedules against live daemons.
+fn chaos_serve(opts: &Options, base: &Path) -> Result<(), ExperimentError> {
+    let config = format!("ases = {}\nseed = {}\n", opts.ases, opts.seed);
+
+    // One-shot CLI twins: the bytes every served result must match.
+    let mut reference = opts.clone();
+    reference.out = Some(base.join("reference"));
+    reference.process_shards = 0;
+    reference.kill_workers = 0.0;
+    reference.workers = Vec::new();
+    reference.net_chaos = None;
+    reference.disk_chaos = None;
+    reference.serve = false;
+    reference.resume = false;
+    reference.checkpoint_every = 0;
+    eprintln!("[chaos] one-shot CLI twins (fig9, fig8)");
+    sweeps::fig9(&reference)?;
+    sweeps::fig8(&reference)?;
+    let want9 = std::fs::read(base.join("reference").join(FIGURE_CSV))
+        .map_err(|e| ExperimentError::Harness(format!("reading fig9 twin: {e}")))?;
+    let want8 = std::fs::read(base.join("reference").join("fig8a_ases.csv"))
+        .map_err(|e| ExperimentError::Harness(format!("reading fig8 twin: {e}")))?;
+
+    // Schedule 1: SIGKILL the daemon mid-job, restart over the same
+    // journal, and demand exactly-once completion with byte-identical
+    // results — plus an idempotent repeat submission served from cache.
+    {
+        let dir = base.join("serve-sigkill");
+        eprintln!("[chaos] schedule serve-sigkill: daemon SIGKILL mid-job + restart");
+        let mut daemon = ServeDaemon::spawn(&dir, &[])?;
+        let (id9, _) = submit_job(&daemon.addr, "fig9", &config)?;
+        // Catch the job queued or mid-run; if it outraces us the
+        // restart still has to serve it from the journal's done state.
+        let kill_deadline = Instant::now() + Duration::from_secs(30);
+        while Instant::now() < kill_deadline {
+            if let Ok((200, bytes)) =
+                crate::serve::http_request(&daemon.addr, "GET", "/stats", None)
+            {
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                if json_num(&text, "running").unwrap_or(0) > 0
+                    || json_num(&text, "done").unwrap_or(0) > 0
+                {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        daemon.sigkill()?;
+        eprintln!("[chaos] daemon SIGKILLed; restarting over the same journal");
+        drop(daemon);
+        let daemon = ServeDaemon::spawn(&dir, &[])?;
+        let got9 = await_result(&daemon.addr, &id9)?;
+        byte_compare("fig9 (after SIGKILL + restart)", &got9, &want9)?;
+        let (id8, _) = submit_job(&daemon.addr, "fig8", &config)?;
+        let got8 = await_result(&daemon.addr, &id8)?;
+        byte_compare("fig8", &got8, &want8)?;
+        // Idempotent repeat: byte-identical cached result, no third job.
+        let (id9_again, cached) = submit_job(&daemon.addr, "fig9", &config)?;
+        if id9_again != id9 || !cached {
+            return Err(ExperimentError::Harness(format!(
+                "repeat fig9 submission was not served from cache (id {id9_again}, cached {cached})"
+            )));
+        }
+        let again = await_result(&daemon.addr, &id9)?;
+        byte_compare("fig9 (cached repeat)", &again, &want9)?;
+        let (_, stats) = crate::serve::http_request(&daemon.addr, "GET", "/stats", None)
+            .map_err(|e| ExperimentError::Harness(format!("final /stats: {e}")))?;
+        let text = String::from_utf8_lossy(&stats).into_owned();
+        let done = json_num(&text, "done").unwrap_or(0);
+        let parked = json_num(&text, "parked").unwrap_or(0);
+        if done != 2 || parked != 0 {
+            return Err(ExperimentError::Harness(format!(
+                "exactly-once violated across the crash: expected 2 done / 0 parked, got {text}"
+            )));
+        }
+        daemon.sigterm_and_wait()?;
+        eprintln!("[chaos] schedule serve-sigkill: byte-identical, exactly-once, clean drain");
+    }
+
+    // Schedule 2: shard-worker kills under a served job, plus a client
+    // disconnect mid-request — the daemon must stay healthy throughout.
+    {
+        let dir = base.join("serve-workerkill");
+        eprintln!("[chaos] schedule serve-workerkill: --process-shards 2 --kill-workers 0.4");
+        let daemon = ServeDaemon::spawn(&dir, &["--process-shards", "2", "--kill-workers", "0.4"])?;
+        let (id9, _) = submit_job(&daemon.addr, "fig9", &config)?;
+        // Mid-stream client disconnect: a partial request, then drop.
+        if let Ok(mut s) = std::net::TcpStream::connect(&daemon.addr) {
+            use std::io::Write as _;
+            let _ = s.write_all(b"POST /jobs HTTP/1.1\r\ncontent-len");
+            drop(s);
+        }
+        let (status, body) = crate::serve::http_request(&daemon.addr, "GET", "/healthz", None)
+            .map_err(|e| ExperimentError::Harness(format!("/healthz after disconnect: {e}")))?;
+        if status != 200 {
+            return Err(ExperimentError::Harness(format!(
+                "/healthz after client disconnect: HTTP {status}: {}",
+                String::from_utf8_lossy(&body)
+            )));
+        }
+        let got9 = await_result(&daemon.addr, &id9)?;
+        byte_compare("fig9 (under worker kills)", &got9, &want9)?;
+        daemon.sigterm_and_wait()?;
+        eprintln!("[chaos] schedule serve-workerkill: byte-identical under worker kills");
+    }
+
+    // Schedule 3: seeded disk faults under the job journal itself —
+    // admissions and completions retry through injected EIO/torn
+    // appends, and a restart over the chaos-torn journal still serves
+    // the finished job from cache.
+    {
+        let dir = base.join("serve-disk");
+        let spec = "eio=0.05,torn=0.04,latency=0.05,latency-ms=2,seed=11";
+        eprintln!("[chaos] schedule serve-disk: --disk-chaos {spec} under the journal");
+        let daemon = ServeDaemon::spawn(&dir, &["--disk-chaos", spec])?;
+        let (id9, _) = submit_job(&daemon.addr, "fig9", &config)?;
+        let got9 = await_result(&daemon.addr, &id9)?;
+        byte_compare("fig9 (under disk chaos)", &got9, &want9)?;
+        daemon.sigterm_and_wait()?;
+        let daemon = ServeDaemon::spawn(&dir, &["--disk-chaos", spec])?;
+        let (id9_again, cached) = submit_job(&daemon.addr, "fig9", &config)?;
+        if id9_again != id9 || !cached {
+            return Err(ExperimentError::Harness(format!(
+                "fig9 not served from cache after a restart over the chaos journal \
+                 (id {id9_again}, cached {cached})"
+            )));
+        }
+        let again = await_result(&daemon.addr, &id9)?;
+        byte_compare("fig9 (cached after disk-chaos restart)", &again, &want9)?;
+        daemon.sigterm_and_wait()?;
+        eprintln!("[chaos] schedule serve-disk: journal survived seeded disk faults");
+    }
+
+    println!(
+        "[chaos] PASS: served results byte-identical to one-shot CLI twins across \
+         3 serve schedule(s) (SIGKILL+restart, worker kills + client disconnect, disk chaos); \
+         zero lost or duplicated jobs"
+    );
     Ok(())
 }
 

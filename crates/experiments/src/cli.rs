@@ -109,6 +109,20 @@ pub struct Options {
     /// `scenario`: how attacker/victim pairs are chosen
     /// (`random|degree|greedy[:K]`).
     pub pair_strategy: sbgp_core::scenario::PairStrategy,
+    /// `serve`: the daemon's listen address (`host:port`; port 0 binds
+    /// an ephemeral port, published via `--port-file`).
+    pub listen: Option<String>,
+    /// `serve`: atomically publish the bound address to this file.
+    pub port_file: Option<std::path::PathBuf>,
+    /// `serve`: bounded job-queue depth; submissions beyond it get a
+    /// typed `Overloaded` rejection with a retry-after hint.
+    pub queue_bound: usize,
+    /// `serve`: per-client cap on queued+running jobs.
+    pub client_inflight: usize,
+    /// `chaos --serve`: torture the `repro serve` daemon (SIGKILL +
+    /// restart, worker kills, disk chaos under the job journal)
+    /// instead of a batch sweep.
+    pub serve: bool,
 }
 
 impl Default for Options {
@@ -153,6 +167,11 @@ impl Default for Options {
                 sbgp_routing::ScenarioPolicy::security_first(),
             ],
             pair_strategy: sbgp_core::scenario::PairStrategy::SeededRandom,
+            listen: None,
+            port_file: None,
+            queue_bound: 16,
+            client_inflight: 8,
+            serve: false,
         }
     }
 }
@@ -175,7 +194,7 @@ impl Options {
                         .map_err(|e| format!("--config {path}: {e}"))?;
                     apply_config(&mut o, &text).map_err(|e| format!("{path}: {e}"))?;
                 }
-                "census" | "net" | "storage" | "resume" | "paper-scale" => {
+                "census" | "net" | "storage" | "resume" | "paper-scale" | "serve" => {
                     apply(&mut o, key, "true")?
                 }
                 _ => {
@@ -280,6 +299,12 @@ impl Options {
         if self.pairs == 0 {
             return Err("--pairs must be at least 1".into());
         }
+        if self.queue_bound == 0 {
+            return Err("--queue-bound must be at least 1".into());
+        }
+        if self.client_inflight == 0 {
+            return Err("--client-inflight must be at least 1".into());
+        }
         if self.restart_budget == 0 {
             return Err(
                 "--restart-budget must be at least 1 (0 would abort on the first worker death)"
@@ -349,6 +374,11 @@ fn apply(o: &mut Options, key: &str, v: &str) -> Result<(), String> {
         }
         "remote-floor" => o.remote_floor = num(key, v)?,
         "lease-secs" => o.lease_secs = num(key, v)?,
+        "serve" => o.serve = num(key, v)?,
+        "listen" => o.listen = Some(v.into()),
+        "port-file" => o.port_file = Some(v.into()),
+        "queue-bound" => o.queue_bound = num(key, v)?,
+        "client-inflight" => o.client_inflight = num(key, v)?,
         "pairs" => o.pairs = num(key, v)?,
         "attacks" => {
             o.attacks =
@@ -793,6 +823,45 @@ mod tests {
         assert!(err.contains("--policies"), "{err}");
         let err = Options::parse(&s(&["--pair-strategy", "lucky"])).unwrap_err();
         assert!(err.contains("--pair-strategy"), "{err}");
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let o = Options::parse(&[]).unwrap();
+        assert!(o.listen.is_none());
+        assert!(o.port_file.is_none());
+        assert_eq!(o.queue_bound, 16);
+        assert_eq!(o.client_inflight, 8);
+        assert!(!o.serve);
+        let o = Options::parse(&s(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            "/tmp/serve.port",
+            "--queue-bound",
+            "3",
+            "--client-inflight",
+            "1",
+            "--serve",
+        ]))
+        .unwrap();
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(
+            o.port_file.as_deref(),
+            Some(std::path::Path::new("/tmp/serve.port"))
+        );
+        assert_eq!(o.queue_bound, 3);
+        assert_eq!(o.client_inflight, 1);
+        assert!(o.serve);
+        // Degenerate bounds are parse-time errors, not runtime stalls.
+        let err = Options::parse(&s(&["--queue-bound", "0"])).unwrap_err();
+        assert!(err.contains("--queue-bound"), "{err}");
+        let err = Options::parse(&s(&["--client-inflight", "0"])).unwrap_err();
+        assert!(err.contains("--client-inflight"), "{err}");
+        // Service knobs never leak into worker configs.
+        let back = Options::from_config_str(&o.to_worker_config()).unwrap();
+        assert!(back.listen.is_none());
+        assert_eq!(back.queue_bound, 16);
     }
 
     #[test]

@@ -12,6 +12,15 @@
 //!   reported with the salvageable record count and byte offset;
 //! * `.lock` files are sweep locks: held by a live process is healthy,
 //!   a dead owner is a stale leftover;
+//! * `.port` files are daemon/worker address advertisements: healthy
+//!   iff something still answers at the published address, stale when
+//!   the process died without cleanup;
+//! * `.joblog` files (or files starting with the `sbgp-joblog` header)
+//!   are `repro serve` job journals, replayed with the serve codec; a
+//!   torn tail is reported (or truncated with `--fix`);
+//! * `.job` files are parked poisoned-job artifacts quarantined by the
+//!   serve daemon — always surfaced as needing attention, with the
+//!   replay command; `--fix` discards them;
 //! * `__shard-worker-*` directories are worker scratch space: live
 //!   owners are healthy, dead ones were SIGKILLed mid-unit;
 //! * `.cfg`/`.conf` files are parsed with the `key = value` option
@@ -143,6 +152,9 @@ pub fn check_artifact(store: &Store, key: &str, fix: bool) -> Result<String, Str
     let is_config = key.ends_with(".cfg") || key.ends_with(".conf");
     let is_lock = key.ends_with(".lock");
     let is_journal = key.ends_with(".journal");
+    let is_port = key.ends_with(".port");
+    let is_joblog = key.ends_with(".joblog");
+    let is_parked = key.ends_with(".job");
     let bytes = store
         .get(key)
         .map_err(|e| e.to_string())?
@@ -150,6 +162,15 @@ pub fn check_artifact(store: &Store, key: &str, fix: bool) -> Result<String, Str
     let text = String::from_utf8(bytes).map_err(|_| "not valid UTF-8".to_string())?;
     if is_lock {
         return check_lock(store, key, &text, fix);
+    }
+    if is_port {
+        return check_port_file(store, key, &text, fix);
+    }
+    if is_joblog || text.starts_with("sbgp-joblog") {
+        return check_joblog(store, key, fix);
+    }
+    if is_parked {
+        return check_parked(store, key, &text, fix);
     }
     if is_journal || text.starts_with("rec ") {
         return check_journal(store, key, fix);
@@ -226,6 +247,106 @@ fn check_journal(store: &Store, key: &str, fix: bool) -> Result<String, String> 
          to the last valid record",
         report.records, report.valid_bytes, report.torn_bytes
     ))
+}
+
+/// A `.port` address advertisement (`repro worker --port-file`,
+/// `repro serve --port-file`): healthy iff a listener still answers at
+/// the published address.
+fn check_port_file(store: &Store, key: &str, text: &str, fix: bool) -> Result<String, String> {
+    use std::net::ToSocketAddrs;
+    let addr = text.trim();
+    let resolved: Vec<std::net::SocketAddr> = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("line 1: {addr:?} is not a socket address: {e}"))?
+        .collect();
+    let live = resolved.iter().any(|a| {
+        std::net::TcpStream::connect_timeout(a, std::time::Duration::from_millis(300)).is_ok()
+    });
+    if live {
+        return Ok(format!("port file: a listener answers at {addr}"));
+    }
+    if fix {
+        store.delete(key).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "fixed: removed stale port file (nothing listens at {addr})"
+        ))
+    } else {
+        Err(format!(
+            "stale port file: nothing listens at {addr} (the daemon or worker died \
+             without cleanup); rerun with --fix to remove it"
+        ))
+    }
+}
+
+/// A `repro serve` job journal: replay it read-only, reporting the
+/// queue it encodes; a torn tail is truncated with `--fix`.
+fn check_joblog(store: &Store, key: &str, fix: bool) -> Result<String, String> {
+    let report = sbgp_core::serve::inspect_joblog(store, key).map_err(|e| e.to_string())?;
+    if report.torn_bytes == 0 {
+        let mut notes = String::new();
+        if report.running > 0 {
+            notes.push_str(&format!(
+                ", {} job(s) were running at crash time (requeued at the front on the \
+                 next daemon start)",
+                report.running
+            ));
+        }
+        if report.parked > 0 {
+            notes.push_str(&format!(
+                ", {} parked poisoned job(s) (see the .job artifacts)",
+                report.parked
+            ));
+        }
+        return Ok(format!(
+            "serve job journal with {} record(s): {} queued, {} done{notes}",
+            report.records, report.queued, report.done
+        ));
+    }
+    if fix {
+        let salvaged = sbgp_core::serve::salvage_joblog(store, key).map_err(|e| e.to_string())?;
+        return Ok(format!(
+            "fixed: torn serve journal truncated to last complete record — kept {} \
+             record(s) ({} bytes), dropped {} torn byte(s)",
+            salvaged.records, salvaged.valid_bytes, salvaged.torn_bytes
+        ));
+    }
+    Err(format!(
+        "torn serve journal tail: {} complete record(s) end at byte {}, followed by \
+         {} unparseable byte(s) (the daemon crashed mid-append); rerun with --fix to \
+         truncate to the last complete record",
+        report.records, report.valid_bytes, report.torn_bytes
+    ))
+}
+
+/// A parked poisoned-job artifact: a job the serve daemon quarantined
+/// after repeated crashes. Always flagged — it encodes work somebody
+/// asked for that never materialized — with the replay command; `--fix`
+/// discards it.
+fn check_parked(store: &Store, key: &str, text: &str, fix: bool) -> Result<String, String> {
+    let cmd = text
+        .lines()
+        .find_map(|l| l.strip_prefix("# cmd: "))
+        .unwrap_or("?");
+    let last_error = text
+        .lines()
+        .find_map(|l| l.strip_prefix("# last error: "))
+        .unwrap_or("?");
+    // The artifact's body must re-parse as a config file — that's what
+    // makes it replayable (comments are ignored by the grammar).
+    crate::cli::Options::from_config_str(text)
+        .map_err(|e| format!("parked job artifact does not re-parse as a config: {e}"))?;
+    if fix {
+        store.delete(key).map_err(|e| e.to_string())?;
+        Ok(format!(
+            "fixed: discarded parked poisoned-job artifact ({cmd}; last error: {last_error})"
+        ))
+    } else {
+        Err(format!(
+            "parked poisoned job ({cmd}; last error: {last_error}); replay it with \
+             `repro {cmd} --config <this file>` after fixing the cause, or rerun \
+             doctor with --fix to discard it"
+        ))
+    }
 }
 
 /// A sweep lockfile: healthy iff its owner is alive.
@@ -356,5 +477,95 @@ mod tests {
             "{summary}"
         );
         assert!(store.get("s.lock").unwrap().is_none());
+    }
+
+    #[test]
+    fn check_artifact_classifies_port_files_by_liveness() {
+        let store = Store::in_memory();
+
+        // Live: a real listener on an ephemeral port.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        store
+            .put_atomic("live.port", format!("{addr}\n").as_bytes())
+            .unwrap();
+        let summary = check_artifact(&store, "live.port", false).unwrap();
+        assert!(summary.contains("a listener answers"), "{summary}");
+
+        // Stale: the listener is gone (drop frees the port).
+        drop(listener);
+        store
+            .put_atomic("stale.port", format!("{addr}\n").as_bytes())
+            .unwrap();
+        let err = check_artifact(&store, "stale.port", false).unwrap_err();
+        assert!(err.contains("stale port file"), "{err}");
+        let summary = check_artifact(&store, "stale.port", true).unwrap();
+        assert!(
+            summary.contains("fixed: removed stale port file"),
+            "{summary}"
+        );
+        assert!(store.get("stale.port").unwrap().is_none());
+
+        // Not an address at all: line-precise parse error.
+        store.put_atomic("bad.port", b"not-an-address\n").unwrap();
+        let err = check_artifact(&store, "bad.port", false).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn check_artifact_replays_and_salvages_serve_joblogs() {
+        use sbgp_core::serve::{JobBoard, JobSpec};
+        let store = Store::in_memory();
+
+        // A healthy journal: one submitted job, one completed job.
+        let (mut board, _) = JobBoard::open(&store, "serve/jobs.joblog", 8, 8).unwrap();
+        board
+            .submit(JobSpec::new("fig9", "ases = 200\n"), "t")
+            .unwrap();
+        let (id, _, _) = board.start_next().unwrap().unwrap();
+        board.complete(&id, b"csv\n").unwrap();
+        board
+            .submit(JobSpec::new("fig8", "ases = 200\n"), "t")
+            .unwrap();
+        let summary = check_artifact(&store, "serve/jobs.joblog", false).unwrap();
+        assert!(summary.contains("1 queued, 1 done"), "{summary}");
+
+        // Tear the tail as a crash mid-append leaves it.
+        store
+            .append_durable("serve/jobs.joblog", b"sta torn-half")
+            .unwrap();
+        let err = check_artifact(&store, "serve/jobs.joblog", false).unwrap_err();
+        assert!(err.contains("torn serve journal tail"), "{err}");
+        let summary = check_artifact(&store, "serve/jobs.joblog", true).unwrap();
+        assert!(summary.contains("fixed: torn serve journal"), "{summary}");
+        let summary = check_artifact(&store, "serve/jobs.joblog", false).unwrap();
+        assert!(summary.contains("1 queued, 1 done"), "{summary}");
+    }
+
+    #[test]
+    fn check_artifact_surfaces_parked_job_artifacts() {
+        let store = Store::in_memory();
+        let artifact = "# parked poisoned job abc123 (failed 2 attempt(s))\n\
+                        # cmd: fig9\n\
+                        # client: t\n\
+                        # last error: attempt panicked: boom\n\
+                        # replay: repro fig9 --config <this file>\n\
+                        ases = 200\nseed = 7\n";
+        store
+            .put_atomic("serve/parked/abc123.job", artifact.as_bytes())
+            .unwrap();
+        let err = check_artifact(&store, "serve/parked/abc123.job", false).unwrap_err();
+        assert!(err.contains("parked poisoned job (fig9"), "{err}");
+        assert!(err.contains("repro fig9 --config"), "{err}");
+        let summary = check_artifact(&store, "serve/parked/abc123.job", true).unwrap();
+        assert!(summary.contains("fixed: discarded parked"), "{summary}");
+        assert!(store.get("serve/parked/abc123.job").unwrap().is_none());
+
+        // An artifact whose body is not valid config is its own error.
+        store
+            .put_atomic("serve/parked/bad.job", b"# cmd: fig9\nnot an option line\n")
+            .unwrap();
+        let err = check_artifact(&store, "serve/parked/bad.job", false).unwrap_err();
+        assert!(err.contains("does not re-parse as a config"), "{err}");
     }
 }

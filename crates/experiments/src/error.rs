@@ -8,6 +8,7 @@
 use sbgp_asgraph::GraphError;
 use sbgp_core::checkpoint::CheckpointError;
 use sbgp_core::scenario::ConvergenceError;
+use sbgp_core::serve::ServeError;
 use sbgp_core::storage::StorageError;
 use std::fmt;
 
@@ -36,6 +37,8 @@ pub enum ExperimentError {
     /// exhausted its transient-retry budget) — a figure CSV, bench
     /// history file, or sweep lock could not be written.
     Storage(StorageError),
+    /// The `repro serve` job board failed (journal I/O or corruption).
+    Serve(ServeError),
     /// A harness-level invariant failed (lock contention, mismatched
     /// sharded output, …).
     Harness(String),
@@ -52,6 +55,7 @@ impl fmt::Display for ExperimentError {
             }
             ExperimentError::Supervise(e) => write!(f, "{e}"),
             ExperimentError::Storage(e) => write!(f, "{e}"),
+            ExperimentError::Serve(e) => write!(f, "{e}"),
             ExperimentError::Harness(msg) => write!(f, "{msg}"),
         }
     }
@@ -66,6 +70,7 @@ impl std::error::Error for ExperimentError {
             ExperimentError::Doctor { .. } => None,
             ExperimentError::Supervise(e) => Some(e),
             ExperimentError::Storage(e) => Some(e),
+            ExperimentError::Serve(e) => Some(e),
             ExperimentError::Harness(_) => None,
         }
     }
@@ -98,5 +103,11 @@ impl From<ConvergenceError> for ExperimentError {
 impl From<StorageError> for ExperimentError {
     fn from(e: StorageError) -> Self {
         ExperimentError::Storage(e)
+    }
+}
+
+impl From<ServeError> for ExperimentError {
+    fn from(e: ServeError) -> Self {
+        ExperimentError::Serve(e)
     }
 }

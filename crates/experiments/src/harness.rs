@@ -104,14 +104,16 @@ fn pid_alive(pid: u32) -> bool {
 
 /// The lock-owner string for this process (the on-storage lock value
 /// keeps the historical `pid <N>\n` byte format).
-fn lock_owner() -> String {
+pub(crate) fn lock_owner() -> String {
     format!("pid {}", std::process::id())
 }
 
 /// Take the sweep lock at `key`, stealing it only from a dead owner —
 /// first-writer-wins acquisition via the store's compare-and-swap, a
 /// CAS takeover when the recorded owner's pid no longer exists.
-fn take_lock(store: &Store, key: &str) -> Result<(), ExperimentError> {
+/// (Shared with `repro serve`, whose daemon lock follows the same
+/// steal-only-from-the-dead discipline across SIGKILL restarts.)
+pub(crate) fn take_lock(store: &Store, key: &str) -> Result<(), ExperimentError> {
     let me = lock_owner();
     match store.try_lock(key, &me)? {
         LockOutcome::Acquired => Ok(()),

@@ -25,7 +25,9 @@ mod gadget_demos;
 mod net;
 mod projection;
 mod scenario;
+mod serve;
 mod shards;
+mod signals;
 mod sweeps;
 mod tables;
 
@@ -97,6 +99,7 @@ fn main() {
         "chaos" => chaos::chaos(&opts),
         "bench" => benchcmd::bench(&opts),
         "scenario" => scenario::scenario(&opts),
+        "serve" => serve::serve_cmd(&opts),
         "ext-resilience" => extensions::ext_resilience(&opts),
         "ext-theta" => extensions::ext_theta(&opts),
         "ext-disable" => extensions::ext_disable(&opts),
@@ -162,6 +165,8 @@ USAGE: repro <command> [--ases N] [--seed S] [--theta T] [--cp-fraction X]
              [--self-check RATE] [--deadline SECS] [--task-deadline SECS]
        repro doctor [--fix] <file-or-dir>...
        repro worker --listen ADDR [--port-file PATH]
+       repro serve [--listen ADDR] [--port-file PATH] [--queue-bound N]
+             [--client-inflight N] [--ctx-cache-mb MB] [--out DIR]
 
 COMMANDS
   table1   diamond counts per early adopter
@@ -194,9 +199,16 @@ COMMANDS
            SIGKILL + --resume) with the same byte-identical gate;
            --storage runs seeded disk-fault schedules (EIO, ENOSPC,
            torn writes, crash-before-rename, read corruption, plus
-           SIGKILL + --resume) against the artifact store instead
+           SIGKILL + --resume) against the artifact store instead;
+           --serve tortures the simulation service (daemon SIGKILL +
+           journal replay, worker kills, disk faults under the journal)
+           gated on served results byte-identical to one-shot runs
   worker   long-lived TCP sweep worker; coordinators dispatch to it via
            --workers and it survives their crashes
+  serve    long-lived simulation service: accepts sweep jobs over HTTP
+           (POST /jobs, GET /jobs/:id[/result], /healthz, /stats), keeps
+           hot routing atlases cached across jobs, journals the queue for
+           crash recovery, and drains gracefully on SIGTERM
   bench    time the engine's round kernel; write BENCH_engine.json
   scenario adversarial scenario surface: attack models × defense policies ×
            sampled (attacker, victim) pairs, evaluated against per-round
@@ -256,6 +268,13 @@ ADVERSARIAL SCENARIOS (scenario command)
                         +symmetric, +stubs-ignore suffixes
   --pair-strategy S     random | degree | greedy[:K] (probe K candidate
                         attackers per victim, keep the most damaging)
+
+SIMULATION SERVICE (serve command)
+  --listen ADDR         bind address (default 127.0.0.1:7411; port 0 = any)
+  --port-file PATH      publish the bound address atomically (for port 0)
+  --queue-bound N       admission bound on queued jobs; beyond it POSTs get
+                        a typed 429 with a retry-after hint (default 16)
+  --client-inflight N   per-client cap on unfinished jobs (default 8)
 
 PERFORMANCE
   --ctx-cache-mb MB     memory budget for the frozen-context routing atlas

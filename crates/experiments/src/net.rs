@@ -280,9 +280,23 @@ pub fn worker_cmd(args: &[String]) -> Result<(), ExperimentError> {
             .put_atomic(name, format!("{bound}\n").as_bytes())
             .map_err(|e| harness_err(&format!("writing --port-file {pf}: {e}")))?;
     }
-    for conn in listener.incoming() {
-        let stream = match conn {
-            Ok(s) => s,
+    // Graceful SIGTERM: latch the signal and poll it from a
+    // nonblocking accept loop (glibc's SA_RESTART means the signal
+    // never interrupts a blocking accept on its own). Mid-connection,
+    // `serve_worker_until` consults the same latch at unit boundaries:
+    // the in-flight unit finishes, a goodbye frame goes out, and the
+    // coordinator requeues the rest without burning restart budget.
+    crate::signals::install_term_handler();
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| harness_err(&format!("set_nonblocking: {e}")))?;
+    while !crate::signals::term_requested() {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
             Err(e) => {
                 eprintln!("[worker] accept failed: {e}");
                 continue;
@@ -294,7 +308,19 @@ pub fn worker_cmd(args: &[String]) -> Result<(), ExperimentError> {
             .unwrap_or_else(|_| "?".to_string());
         eprintln!("[worker] coordinator connected from {peer}");
         let _ = stream.set_nodelay(true);
+        // The accepted stream inherits the listener's nonblocking
+        // flag; frame reads must block again.
+        if let Err(e) = stream.set_nonblocking(false) {
+            eprintln!("[worker] set_nonblocking(false) on {peer} failed: {e}");
+            continue;
+        }
         serve_connection(stream, &peer);
+    }
+    eprintln!("[worker] SIGTERM: draining done, removing port file and exiting");
+    if let Some(pf) = &port_file {
+        // Remove the advertisement so coordinators dial a dead address
+        // (fast typed failure) instead of finding a stale file.
+        let _ = std::fs::remove_file(pf);
     }
     Ok(())
 }
@@ -304,12 +330,18 @@ pub fn worker_cmd(args: &[String]) -> Result<(), ExperimentError> {
 /// and swallowed so the accept loop keeps the worker alive.
 fn serve_connection(stream: TcpStream, peer: &str) {
     let scratch: std::cell::RefCell<Option<std::path::PathBuf>> = std::cell::RefCell::new(None);
+    let halt = crate::signals::term_flag();
     let result = match stream.try_clone() {
-        Ok(write_half) => supervise::serve_worker(stream, write_half, |cmd, config| {
-            let (handler, n, dir) = crate::shards::worker_setup(cmd, config)?;
-            *scratch.borrow_mut() = dir;
-            Ok((handler, n))
-        }),
+        Ok(write_half) => supervise::serve_worker_until(
+            stream,
+            write_half,
+            |cmd, config| {
+                let (handler, n, dir) = crate::shards::worker_setup(cmd, config)?;
+                *scratch.borrow_mut() = dir;
+                Ok((handler, n))
+            },
+            Some(halt),
+        ),
         Err(e) => Err(SuperviseError::Io {
             context: "cloning connection".to_string(),
             message: e.to_string(),

@@ -1,0 +1,70 @@
+//! SIGTERM latch for long-lived commands (`repro worker`, `repro
+//! serve`).
+//!
+//! The core crate forbids unsafe code, so the one `libc::signal` call
+//! lives here in the binary. glibc's `signal()` installs BSD semantics
+//! (`SA_RESTART`), which means a SIGTERM does *not* interrupt a
+//! blocking `accept`/`read` — callers must poll [`term_requested`]
+//! from a nonblocking loop (the worker's accept loop) or at natural
+//! boundaries (the serve executor between jobs, `serve_worker_until`
+//! between units). That is exactly the drain semantics we want: the
+//! in-flight unit always finishes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// Has a SIGTERM arrived since [`install_term_handler`]?
+pub fn term_requested() -> bool {
+    TERM.load(Ordering::Relaxed)
+}
+
+/// The latch itself, for APIs that poll an `&AtomicBool` (e.g.
+/// `serve_worker_until`).
+pub fn term_flag() -> &'static AtomicBool {
+    &TERM
+}
+
+/// The async-signal-safe handler: one relaxed store, nothing else.
+#[cfg(unix)]
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::Relaxed);
+}
+
+/// Install the SIGTERM → latch handler (idempotent; only the first
+/// call does anything).
+#[cfg(unix)]
+pub fn install_term_handler() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+        }
+    });
+}
+
+/// Non-unix builds have no SIGTERM; the latch simply never flips.
+#[cfg(not(unix))]
+pub fn install_term_handler() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| ());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_starts_clear_and_install_is_idempotent() {
+        install_term_handler();
+        install_term_handler();
+        // The latch may have flipped if the test *process* was
+        // SIGTERMed, but under cargo test it starts clear.
+        assert!(!term_requested());
+    }
+}

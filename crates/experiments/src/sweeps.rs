@@ -20,6 +20,11 @@ use std::sync::Arc;
 /// sets, sweep repetitions, and both stub tiebreak policies, since
 /// per-destination route contexts are state-independent (Observation
 /// C.1) and do not depend on [`TreePolicy`].
+///
+/// Under `repro serve` the daemon's hot atlas cache sits in front:
+/// repeat jobs over the same world reuse the built atlas instead of
+/// rebuilding it. One-shot CLI runs never install the cache, so their
+/// path is exactly the bare build.
 pub(crate) fn build_atlas(g: &AsGraph, opts: &Options) -> Arc<RoutingAtlas> {
     let threads = if opts.threads == 0 {
         std::thread::available_parallelism()
@@ -28,12 +33,14 @@ pub(crate) fn build_atlas(g: &AsGraph, opts: &Options) -> Arc<RoutingAtlas> {
     } else {
         opts.threads
     };
-    Arc::new(RoutingAtlas::build(
-        g,
-        &TIEBREAK,
-        opts.ctx_cache_mb.saturating_mul(1 << 20),
-        threads,
-    ))
+    crate::serve::cached_atlas(g, opts, || {
+        Arc::new(RoutingAtlas::build(
+            g,
+            &TIEBREAK,
+            opts.ctx_cache_mb.saturating_mul(1 << 20),
+            threads,
+        ))
+    })
 }
 
 pub(crate) fn run_once(
